@@ -1,0 +1,16 @@
+//! Regenerates the paper's Fig. 5(a) series. See `--help` for knobs.
+
+use meshpath_analysis::cli::{emit, parse_args};
+use meshpath_analysis::{fig5a, run_sweep};
+
+fn main() {
+    let (cfg, out) = match parse_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let res = run_sweep(&cfg);
+    emit(&fig5a(&res), &out, "fig5a");
+}

@@ -1,0 +1,25 @@
+//! Fig. 5(a) pipeline: fault injection + MCC labeling + disabled-area
+//! statistics, swept over fault densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::fault::stats::config_stats;
+use meshpath::prelude::*;
+use meshpath_bench::fixture_faults;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_disabled_area");
+    for faults in [40usize, 160, 320, 480] {
+        let fs = fixture_faults(faults, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(faults), &fs, |b, fs| {
+            b.iter(|| {
+                let s = config_stats(black_box(fs), Orientation::IDENTITY);
+                black_box(s.disabled_pct())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

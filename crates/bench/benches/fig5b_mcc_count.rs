@@ -1,0 +1,24 @@
+//! Fig. 5(b) pipeline: MCC extraction (component count) over densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::fault::{BorderPolicy, MccSet};
+use meshpath::prelude::*;
+use meshpath_bench::fixture_faults;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_mcc_count");
+    for faults in [40usize, 160, 320, 480] {
+        let fs = fixture_faults(faults, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(faults), &fs, |b, fs| {
+            b.iter(|| {
+                let set = MccSet::build(black_box(fs), Orientation::IDENTITY, BorderPolicy::Open);
+                black_box(set.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 5(c) pipeline: boundary construction + information propagation
+//! for each model B1/B2/B3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::fault::{BorderPolicy, MccSet};
+use meshpath::info::{InfoModel, ModelKind};
+use meshpath::prelude::*;
+use meshpath_bench::fixture_faults;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5c_propagation");
+    let fs = fixture_faults(240, 3);
+    let set = MccSet::build(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+    for kind in ModelKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &set, |b, set| {
+            b.iter(|| {
+                let m = InfoModel::build(black_box(set), kind);
+                black_box(m.stats().involved_nodes)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

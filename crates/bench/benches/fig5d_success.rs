@@ -1,0 +1,37 @@
+//! Fig. 5(d) pipeline: route a pair batch with RB1/RB2/RB3 and score
+//! shortest-path success against the BFS oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::prelude::*;
+use meshpath_bench::{fixture_network, fixture_pairs};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5d_success");
+    g.sample_size(20);
+    let net = fixture_network(240, 4);
+    let pairs = fixture_pairs(&net, 16, 5);
+    let routers: [(&str, &dyn Router); 3] =
+        [("RB1", &Rb1 { policy: Default::default(), scope: KnowledgeScope::Local }),
+         ("RB2", &Rb2 { policy: Default::default(), scope: KnowledgeScope::Local }),
+         ("RB3", &Rb3 { policy: Default::default(), scope: KnowledgeScope::Local })];
+    for (name, router) in routers {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut shortest = 0u32;
+                for &(s, d) in pairs {
+                    let oracle = DistanceField::healthy(net.faults(), d);
+                    let res = router.route(&net, s, d);
+                    if res.delivered && res.hops() == oracle.dist(s) {
+                        shortest += 1;
+                    }
+                }
+                black_box(shortest)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 5(e) pipeline: relative error of each routing (incl. the E-cube
+//! baseline) against the optimum, over a pair batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::prelude::*;
+use meshpath_bench::{fixture_network, fixture_pairs};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5e_relative_error");
+    g.sample_size(20);
+    let net = fixture_network(240, 6);
+    let pairs = fixture_pairs(&net, 16, 7);
+    let routers: [&dyn Router; 4] =
+        [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
+    for router in routers {
+        g.bench_with_input(BenchmarkId::from_parameter(router.name()), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut err = 0.0f64;
+                for &(s, d) in pairs {
+                    let oracle = DistanceField::healthy(net.faults(), d);
+                    let res = router.route(&net, s, d);
+                    if res.delivered {
+                        let opt = f64::from(oracle.dist(s)).max(1.0);
+                        err += (f64::from(res.hops()) - opt) / opt;
+                    }
+                }
+                black_box(err)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

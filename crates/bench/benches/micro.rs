@@ -1,0 +1,61 @@
+//! Microbenchmarks of the hot primitives: labeling fixpoint, distributed
+//! labeling protocol, boundary walks, oracle BFS, and network build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshpath::fault::distributed::run_distributed;
+use meshpath::fault::{BorderPolicy, Labeling, MccSet};
+use meshpath::info::BoundarySet;
+use meshpath::prelude::*;
+use meshpath_bench::{fixture_faults, fixture_network};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fs = fixture_faults(240, 8);
+
+    c.bench_function("labeling_fixpoint_40x40_240f", |b| {
+        b.iter(|| {
+            let lab = Labeling::compute(black_box(&fs), Orientation::IDENTITY, BorderPolicy::Open);
+            black_box(lab.unsafe_count())
+        })
+    });
+
+    c.bench_function("distributed_labeling_40x40_240f", |b| {
+        b.iter(|| {
+            let d = run_distributed(black_box(&fs), Orientation::IDENTITY, BorderPolicy::Open);
+            black_box(d.stats.messages)
+        })
+    });
+
+    let set = MccSet::build(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+    c.bench_function("boundary_walks_40x40_240f", |b| {
+        b.iter(|| {
+            let bounds = BoundarySet::build(black_box(&set));
+            black_box(bounds.iter().count())
+        })
+    });
+
+    c.bench_function("oracle_bfs_40x40", |b| {
+        b.iter(|| {
+            let f = DistanceField::healthy(black_box(&fs), Coord::new(39, 39));
+            black_box(f.dist(Coord::new(0, 0)))
+        })
+    });
+
+    c.bench_function("network_build_40x40_240f", |b| {
+        b.iter(|| {
+            let net = Network::build(black_box(fs.clone()));
+            black_box(net.mccs(Orientation::IDENTITY).len())
+        })
+    });
+
+    let net = fixture_network(240, 8);
+    c.bench_function("rb2_route_40x40", |b| {
+        b.iter(|| {
+            let res = Rb2::default().route(black_box(&net), Coord::new(1, 1), Coord::new(38, 36));
+            black_box(res.hops())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every `fig5*` bench exercises the exact pipeline that regenerates the
+//! corresponding figure of the paper (at a reduced scale, so `cargo
+//! bench` finishes in minutes); the `micro` bench isolates the hot
+//! primitives and `ablation` compares design variants called out in
+//! DESIGN.md.
+
+use meshpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mesh side used by the benchmark fixtures.
+pub const SIDE: u32 = 40;
+
+/// A deterministic fault set at roughly the paper's mid-sweep density.
+pub fn fixture_faults(count: usize, seed: u64) -> FaultSet {
+    let mesh = Mesh::square(SIDE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    FaultSet::random(mesh, count, FaultInjection::Uniform, &mut rng)
+}
+
+/// A fully analyzed network over [`fixture_faults`].
+pub fn fixture_network(count: usize, seed: u64) -> Network {
+    Network::build(fixture_faults(count, seed))
+}
+
+/// Deterministic routable pairs (safe endpoints, connected).
+pub fn fixture_pairs(net: &Network, count: usize, seed: u64) -> Vec<(Coord, Coord)> {
+    let n = SIDE as i32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    while out.len() < count && attempts < 50_000 {
+        attempts += 1;
+        let s = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+        let d = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+        let o = Orientation::normalizing(s, d);
+        let lab = net.mccs(o).labeling();
+        if s == d || lab.status_real(s).is_unsafe() || lab.status_real(d).is_unsafe() {
+            continue;
+        }
+        if DistanceField::healthy(net.faults(), d).reachable(s) {
+            out.push((s, d));
+        }
+    }
+    out
+}

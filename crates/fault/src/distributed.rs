@@ -1,0 +1,258 @@
+//! The labeling procedure as a *distributed* protocol.
+//!
+//! Section 2 of the paper: "The labeling procedure can quickly identify
+//! the non-faulty nodes in MCCs. Each active node collects its neighbors'
+//! status and updates its status. Only those affected nodes update their
+//! status."
+//!
+//! Here the procedure runs on the message-passing simulator: every node
+//! knows only whether each of its four neighbors is faulty (local fault
+//! detection) and exchanges *label announcements* with them. Announcements
+//! carry the node's predicate mask (useless / can't-reach bits), so the
+//! protocol converges to exactly the global fixpoint of
+//! [`Labeling::compute`](crate::Labeling::compute) regardless of message
+//! ordering — an equivalence the tests assert — and reports message and
+//! round costs.
+
+use meshpath_mesh::{Coord, Dir, FaultSet, Mesh, Orientation};
+use meshpath_sim::{Outbox, Process, SimStats, Simulator};
+
+use crate::labeling::{BorderPolicy, Labeling, NodeStatus, CANT_REACH, FAULTY, USELESS};
+
+/// Message: "my predicate mask is now `mask`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Announce {
+    mask: u8,
+}
+
+/// Per-node state of the distributed labeling protocol.
+///
+/// Coordinates are *oriented* mesh coordinates; the caller orients the
+/// fault set before constructing processes (see [`run_distributed`]).
+pub struct LabelProcess {
+    mask: u8,
+    /// Last known mask of each neighbor, `[+X, -X, +Y, -Y]`; `None` when
+    /// the neighbor is outside the mesh.
+    view: [Option<u8>; 4],
+    border: BorderPolicy,
+}
+
+impl LabelProcess {
+    fn blocked(&self, slot: usize, bit: u8) -> bool {
+        match self.view[slot] {
+            Some(m) => m & (FAULTY | bit) != 0,
+            None => self.border == BorderPolicy::Blocking,
+        }
+    }
+
+    /// Re-evaluates both labeling rules; returns the gained flags.
+    fn evaluate(&self) -> u8 {
+        if self.mask & FAULTY != 0 {
+            return 0;
+        }
+        let mut gained = 0u8;
+        // Slots: 0 = +X, 1 = -X, 2 = +Y, 3 = -Y (Dir::ALL order).
+        if self.mask & USELESS == 0 && self.blocked(0, USELESS) && self.blocked(2, USELESS) {
+            gained |= USELESS;
+        }
+        if self.mask & CANT_REACH == 0
+            && self.blocked(1, CANT_REACH)
+            && self.blocked(3, CANT_REACH)
+        {
+            gained |= CANT_REACH;
+        }
+        gained
+    }
+
+    fn announce(&self, at: Coord, out: &mut Outbox<'_, Announce>) {
+        for d in Dir::ALL {
+            let n = at.step(d);
+            if out.mesh().contains(n) {
+                out.send(n, Announce { mask: self.mask });
+            }
+        }
+    }
+
+    fn slot_of(at: Coord, from: Coord) -> usize {
+        match at.dir_to(from) {
+            Some(Dir::PlusX) => 0,
+            Some(Dir::MinusX) => 1,
+            Some(Dir::PlusY) => 2,
+            Some(Dir::MinusY) => 3,
+            None => unreachable!("message from non-neighbor {from:?} at {at:?}"),
+        }
+    }
+
+    fn react(&mut self, at: Coord, out: &mut Outbox<'_, Announce>) {
+        let gained = self.evaluate();
+        if gained != 0 {
+            self.mask |= gained;
+            self.announce(at, out);
+        }
+    }
+}
+
+impl Process for LabelProcess {
+    type Msg = Announce;
+
+    fn on_start(&mut self, at: Coord, out: &mut Outbox<'_, Announce>) {
+        if self.mask & FAULTY != 0 {
+            // Faulty nodes are inert; neighbors detected the fault locally
+            // (their `view` is pre-seeded).
+            return;
+        }
+        self.react(at, out);
+    }
+
+    fn on_message(
+        &mut self,
+        at: Coord,
+        from: Coord,
+        msg: &Announce,
+        out: &mut Outbox<'_, Announce>,
+    ) {
+        if self.mask & FAULTY != 0 {
+            return;
+        }
+        let slot = Self::slot_of(at, from);
+        let merged = self.view[slot].unwrap_or(0) | msg.mask;
+        self.view[slot] = Some(merged);
+        self.react(at, out);
+    }
+}
+
+/// Outcome of a distributed labeling run.
+pub struct DistributedLabeling {
+    /// The converged status per oriented coordinate.
+    statuses: meshpath_mesh::Grid<NodeStatus>,
+    masks: meshpath_mesh::Grid<u8>,
+    /// Simulator statistics (messages, time, nodes involved).
+    pub stats: SimStats,
+    mesh: Mesh,
+}
+
+impl DistributedLabeling {
+    /// Converged status at an oriented coordinate.
+    pub fn status(&self, oc: Coord) -> NodeStatus {
+        self.statuses[oc]
+    }
+
+    /// True when the distributed run matches a global fixpoint labeling,
+    /// comparing the exact predicate masks.
+    pub fn agrees_with(&self, global: &Labeling) -> bool {
+        self.mesh.iter().all(|oc| {
+            let g = ((global.status(oc) == NodeStatus::Faulty) as u8)
+                | ((global.is_useless(oc) as u8) << 1)
+                | ((global.is_cant_reach(oc) as u8) << 2);
+            self.masks[oc] == g
+        })
+    }
+}
+
+/// Runs the distributed labeling protocol for `faults` in the
+/// `orientation` frame and returns the converged statuses plus costs.
+pub fn run_distributed(
+    faults: &FaultSet,
+    orientation: Orientation,
+    border: BorderPolicy,
+) -> DistributedLabeling {
+    let mesh = *faults.mesh();
+    let is_faulty_oriented = |oc: Coord| faults.is_faulty(orientation.apply(&mesh, oc));
+
+    let mut sim = Simulator::new(mesh, |oc| {
+        let mut view = [None; 4];
+        for (slot, d) in Dir::ALL.into_iter().enumerate() {
+            let n = oc.step(d);
+            if mesh.contains(n) {
+                // Local fault detection: a node observes whether each
+                // neighbor answers at all. Healthy neighbors start clean.
+                view[slot] = Some(if is_faulty_oriented(n) { FAULTY } else { 0 });
+            }
+        }
+        LabelProcess {
+            mask: if is_faulty_oriented(oc) { FAULTY } else { 0 },
+            view,
+            border,
+        }
+    });
+    let stats = sim.run();
+    let statuses = meshpath_mesh::Grid::from_fn(mesh, |oc| NodeStatus::from_mask(sim.node(oc).mask));
+    let masks = meshpath_mesh::Grid::from_fn(mesh, |oc| sim.node(oc).mask);
+    DistributedLabeling { statuses, masks, stats, mesh }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::FaultInjection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distributed_matches_global_on_examples() {
+        let mesh = Mesh::square(12);
+        let cases: [&[(i32, i32)]; 5] = [
+            &[],
+            &[(5, 5)],
+            &[(2, 3), (3, 2)],
+            &[(2, 4), (3, 3), (4, 2), (8, 8), (8, 9), (9, 8)],
+            &[(4, 5), (4, 3), (3, 4), (5, 4)], // plus shape: dual label
+        ];
+        for coords in cases {
+            let fs = FaultSet::from_coords(mesh, coords.iter().map(|&(x, y)| Coord::new(x, y)));
+            for o in Orientation::ALL {
+                let global = Labeling::compute(&fs, o, BorderPolicy::Open);
+                let dist = run_distributed(&fs, o, BorderPolicy::Open);
+                assert!(dist.agrees_with(&global), "mismatch for {coords:?} under {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_global_randomized() {
+        let mesh = Mesh::square(20);
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..10 {
+            let fs = FaultSet::random(mesh, 30 + 10 * trial, FaultInjection::Uniform, &mut rng);
+            let global = Labeling::compute(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+            let dist = run_distributed(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+            assert!(dist.agrees_with(&global), "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn quiet_when_no_labels_needed() {
+        // A single fault produces no useless/can't-reach nodes, so no node
+        // ever announces: the protocol is silent.
+        let mesh = Mesh::square(8);
+        let fs = FaultSet::from_coords(mesh, [Coord::new(4, 4)]);
+        let dist = run_distributed(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+        assert_eq!(dist.stats.messages, 0);
+    }
+
+    #[test]
+    fn cascade_costs_messages_proportional_to_fill() {
+        // The descending diagonal fills a 3x3 block: 4 healthy nodes
+        // change status, each announcing to <= 4 neighbors; dual upgrades
+        // can announce twice.
+        let mesh = Mesh::square(10);
+        let fs = FaultSet::from_coords(
+            mesh,
+            [Coord::new(2, 4), Coord::new(3, 3), Coord::new(4, 2)],
+        );
+        let dist = run_distributed(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+        let global = Labeling::compute(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+        assert!(dist.agrees_with(&global));
+        assert!(dist.stats.messages > 0);
+        assert!(dist.stats.messages <= 8 * 8, "unexpectedly chatty: {}", dist.stats.messages);
+    }
+
+    #[test]
+    fn blocking_border_policy_converges_too() {
+        let mesh = Mesh::square(9);
+        let fs = FaultSet::from_coords(mesh, [Coord::new(4, 4), Coord::new(5, 3)]);
+        let global = Labeling::compute(&fs, Orientation::IDENTITY, BorderPolicy::Blocking);
+        let dist = run_distributed(&fs, Orientation::IDENTITY, BorderPolicy::Blocking);
+        assert!(dist.agrees_with(&global));
+    }
+}

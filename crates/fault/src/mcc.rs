@@ -1,0 +1,534 @@
+//! Minimal connected components: extraction, shape and corners.
+//!
+//! At the labeling fixpoint, 4-connected groups of unsafe nodes form the
+//! MCCs. Under [`BorderPolicy::Open`](crate::BorderPolicy::Open) every MCC
+//! is a **rising staircase**: its cells occupy, per column
+//! `x ∈ [x0..x1]`, one contiguous interval `[lo(x), hi(x)]` with both `lo`
+//! and `hi` non-decreasing in `x` and consecutive columns overlapping.
+//! (Sketch: the useless rule fills south-west-facing concavities, the
+//! can't-reach rule fills north-east-facing ones; every useless node has a
+//! faulty node due north in its own column and due east in its own row, so
+//! fills stay inside the component's bounding box and the fixpoint is
+//! exactly the staircase closure. The property is enforced by debug
+//! assertions and proptest.)
+//!
+//! The paper's two pivots fall out of the shape:
+//!
+//! * the **initialization corner** `c = (x0-1, lo(x0)-1)` — the safe node
+//!   whose `+X` and `+Y` neighbors are edge nodes of the MCC;
+//! * the **opposite corner** `c' = (x1+1, hi(x1)+1)` — the safe node whose
+//!   `-X` and `-Y` neighbors are edge nodes of the MCC.
+//!
+//! Either corner may fall outside the mesh (MCC touching the south/west or
+//! north/east rims) or on an unsafe node of *another* MCC (diagonally
+//! adjacent components); [`Mcc::corner_usable`] reports this and the
+//! routing layer treats such detour pivots as infeasible.
+
+use serde::{Deserialize, Serialize};
+
+use meshpath_mesh::{Coord, FaultSet, Grid, Mesh, Orientation, Rect};
+
+use crate::labeling::{BorderPolicy, Labeling};
+
+/// Identifier of an MCC within one [`MccSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct MccId(pub u32);
+
+impl MccId {
+    /// The raw index, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-column vertical span of an MCC (inclusive).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ColSpan {
+    /// Lowest occupied row of the column.
+    pub lo: i32,
+    /// Highest occupied row of the column.
+    pub hi: i32,
+}
+
+/// One minimal connected component, in oriented coordinates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mcc {
+    id: MccId,
+    x0: i32,
+    cols: Vec<ColSpan>,
+    cell_count: usize,
+    faulty_count: usize,
+    staircase: bool,
+    bbox: Rect,
+}
+
+impl Mcc {
+    /// This MCC's identifier.
+    #[inline]
+    pub fn id(&self) -> MccId {
+        self.id
+    }
+
+    /// First (westmost) occupied column.
+    #[inline]
+    pub fn x0(&self) -> i32 {
+        self.x0
+    }
+
+    /// Last (eastmost) occupied column.
+    #[inline]
+    pub fn x1(&self) -> i32 {
+        self.x0 + self.cols.len() as i32 - 1
+    }
+
+    /// The vertical span of column `x`, if occupied.
+    #[inline]
+    pub fn col(&self, x: i32) -> Option<ColSpan> {
+        if x < self.x0 {
+            return None;
+        }
+        self.cols.get((x - self.x0) as usize).copied()
+    }
+
+    /// All column spans west to east.
+    pub fn cols(&self) -> &[ColSpan] {
+        &self.cols
+    }
+
+    /// Number of cells (unsafe nodes) in the component.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Number of *faulty* cells (the rest are useless/can't-reach).
+    #[inline]
+    pub fn faulty_count(&self) -> usize {
+        self.faulty_count
+    }
+
+    /// Whether the rising-staircase shape invariant held for this
+    /// component (always true under the `Open` border policy).
+    #[inline]
+    pub fn is_staircase(&self) -> bool {
+        self.staircase
+    }
+
+    /// Bounding rectangle of the component.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// True when the (oriented) coordinate is a cell of this MCC.
+    ///
+    /// Exact only for staircase shapes; for non-staircase components (the
+    /// exploratory `Blocking` policy) this tests the per-column hull.
+    #[inline]
+    pub fn contains(&self, oc: Coord) -> bool {
+        match self.col(oc.x) {
+            Some(span) => span.lo <= oc.y && oc.y <= span.hi,
+            None => false,
+        }
+    }
+
+    /// The initialization corner `c = (x0-1, lo(x0)-1)` (paper Fig. 1b):
+    /// the pivot for `-X` boundary construction and south-west detours.
+    #[inline]
+    pub fn corner(&self) -> Coord {
+        Coord::new(self.x0 - 1, self.cols[0].lo - 1)
+    }
+
+    /// The opposite corner `c' = (x1+1, hi(x1)+1)`: the pivot for `+X`
+    /// boundary construction and north-east detours.
+    #[inline]
+    pub fn opposite(&self) -> Coord {
+        Coord::new(self.x1() + 1, self.cols[self.cols.len() - 1].hi + 1)
+    }
+
+    /// True when `corner` (either pivot) is a safe in-mesh node of
+    /// `labeling` — i.e. actually usable as a detour waypoint.
+    pub fn corner_usable(labeling: &Labeling, corner: Coord) -> bool {
+        labeling.is_safe_node(corner)
+    }
+
+    /// Iterator over the component's cells (oriented coordinates),
+    /// column-major west to east.
+    pub fn cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.cols.iter().enumerate().flat_map(move |(i, span)| {
+            let x = self.x0 + i as i32;
+            (span.lo..=span.hi).map(move |y| Coord::new(x, y))
+        })
+    }
+
+    /// Horizontal extent `(west, east)` of the component at row `y`, if
+    /// the row is occupied. Exact for staircase shapes (the occupied
+    /// columns of a row are contiguous).
+    pub fn row_range(&self, y: i32) -> Option<(i32, i32)> {
+        // lo is non-decreasing: columns with lo(x) <= y form a prefix;
+        // hi is non-decreasing: columns with hi(x) >= y form a suffix.
+        let mut west = None;
+        for (i, s) in self.cols.iter().enumerate() {
+            if s.lo <= y && y <= s.hi {
+                west = Some(self.x0 + i as i32);
+                break;
+            }
+        }
+        let west = west?;
+        let mut east = west;
+        for (i, s) in self.cols.iter().enumerate().rev() {
+            if s.lo <= y && y <= s.hi {
+                east = self.x0 + i as i32;
+                break;
+            }
+        }
+        Some((west, east))
+    }
+
+    /// True when `p` lies in the **Y-forbidden shadow** of this MCC: the
+    /// column span is occupied and `p` sits strictly below the lower
+    /// staircase. A routing at such a node cannot make monotone `+Y`
+    /// progress past this MCC within its column span.
+    #[inline]
+    pub fn shadow_y(&self, p: Coord) -> bool {
+        matches!(self.col(p.x), Some(s) if p.y < s.lo)
+    }
+
+    /// True when `p` lies in the **Y-critical region**: strictly above the
+    /// upper staircase within the column span. `shadow_y(s) && critical_y(d)`
+    /// is the paper's "routing blocked in the `+Y` direction" condition.
+    #[inline]
+    pub fn critical_y(&self, p: Coord) -> bool {
+        matches!(self.col(p.x), Some(s) if p.y > s.hi)
+    }
+
+    /// True when `p` lies in the **X-forbidden shadow**: the row is
+    /// occupied and `p` sits strictly west of the row's westmost cell.
+    #[inline]
+    pub fn shadow_x(&self, p: Coord) -> bool {
+        matches!(self.row_range(p.y), Some((w, _)) if p.x < w)
+    }
+
+    /// True when `p` lies in the **X-critical region**: strictly east of
+    /// the row's eastmost cell.
+    #[inline]
+    pub fn critical_x(&self, p: Coord) -> bool {
+        matches!(self.row_range(p.y), Some((_, e)) if p.x > e)
+    }
+}
+
+/// All MCCs of one labeling, plus the cell-to-component index.
+#[derive(Clone, Debug)]
+pub struct MccSet {
+    labeling: Labeling,
+    mccs: Vec<Mcc>,
+    /// Oriented coordinate -> owning MCC id (`NO_MCC` for safe cells).
+    cell_mcc: Grid<u32>,
+}
+
+const NO_MCC: u32 = u32::MAX;
+
+impl MccSet {
+    /// Labels `faults` under `orientation`/`border` and extracts the MCCs.
+    pub fn build(faults: &FaultSet, orientation: Orientation, border: BorderPolicy) -> Self {
+        let labeling = Labeling::compute(faults, orientation, border);
+        Self::from_labeling(labeling, faults)
+    }
+
+    /// Extracts the MCCs of an existing labeling.
+    pub fn from_labeling(labeling: Labeling, faults: &FaultSet) -> Self {
+        let mesh = *labeling.mesh();
+        let orientation = labeling.orientation();
+        let mut cell_mcc = Grid::new(mesh, NO_MCC);
+        let mut mccs: Vec<Mcc> = Vec::new();
+        let mut stack: Vec<Coord> = Vec::new();
+        let mut cells: Vec<Coord> = Vec::new();
+
+        for start in mesh.iter() {
+            if !labeling.status(start).is_unsafe() || cell_mcc[start] != NO_MCC {
+                continue;
+            }
+            let id = MccId(mccs.len() as u32);
+            cells.clear();
+            cell_mcc[start] = id.0;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                cells.push(u);
+                for v in mesh.neighbors(u) {
+                    if labeling.status(v).is_unsafe() && cell_mcc[v] == NO_MCC {
+                        cell_mcc[v] = id.0;
+                        stack.push(v);
+                    }
+                }
+            }
+            mccs.push(Self::shape_of(id, &cells, &labeling, faults, orientation));
+        }
+
+        MccSet { labeling, mccs, cell_mcc }
+    }
+
+    fn shape_of(
+        id: MccId,
+        cells: &[Coord],
+        labeling: &Labeling,
+        faults: &FaultSet,
+        orientation: Orientation,
+    ) -> Mcc {
+        let mesh = *labeling.mesh();
+        let mut bbox = Rect::point(cells[0]);
+        for &c in cells {
+            bbox.expand(c);
+        }
+        let x0 = bbox.x0;
+        let width = (bbox.x1 - bbox.x0 + 1) as usize;
+        let mut lo = vec![i32::MAX; width];
+        let mut hi = vec![i32::MIN; width];
+        let mut per_col_count = vec![0usize; width];
+        let mut faulty_count = 0usize;
+        for &c in cells {
+            let i = (c.x - x0) as usize;
+            lo[i] = lo[i].min(c.y);
+            hi[i] = hi[i].max(c.y);
+            per_col_count[i] += 1;
+            if faults.is_faulty(orientation.apply(&mesh, c)) {
+                faulty_count += 1;
+            }
+        }
+
+        // Rising-staircase validation: contiguous columns, spans matching
+        // the cell counts (no holes), lo/hi non-decreasing, consecutive
+        // columns overlapping.
+        let mut staircase = true;
+        for i in 0..width {
+            if lo[i] > hi[i] {
+                staircase = false; // empty column inside the bbox
+                break;
+            }
+            if per_col_count[i] != (hi[i] - lo[i] + 1) as usize {
+                staircase = false; // vertical hole
+                break;
+            }
+            if i > 0 && (lo[i] < lo[i - 1] || hi[i] < hi[i - 1] || lo[i] > hi[i - 1]) {
+                staircase = false; // not rising, or columns disconnected
+                break;
+            }
+        }
+        debug_assert!(
+            staircase || labeling.border_policy() == BorderPolicy::Blocking,
+            "non-staircase MCC under Open border policy: cells {cells:?}"
+        );
+
+        let cols = lo
+            .into_iter()
+            .zip(hi)
+            .map(|(lo, hi)| ColSpan { lo, hi })
+            .collect();
+        Mcc { id, x0, cols, cell_count: cells.len(), faulty_count, staircase, bbox }
+    }
+
+    /// The labeling the components were extracted from.
+    #[inline]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The mesh.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        self.labeling.mesh()
+    }
+
+    /// The orientation of the oriented frame.
+    #[inline]
+    pub fn orientation(&self) -> Orientation {
+        self.labeling.orientation()
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mccs.len()
+    }
+
+    /// True when the mesh has no unsafe node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mccs.is_empty()
+    }
+
+    /// The components, ordered by discovery (row-major first cell).
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &Mcc> {
+        self.mccs.iter()
+    }
+
+    /// Component by id.
+    #[inline]
+    pub fn get(&self, id: MccId) -> &Mcc {
+        &self.mccs[id.index()]
+    }
+
+    /// The MCC owning the (oriented) coordinate, if it is an unsafe cell.
+    #[inline]
+    pub fn mcc_at(&self, oc: Coord) -> Option<MccId> {
+        match self.cell_mcc.get(oc) {
+            Some(&raw) if raw != NO_MCC => Some(MccId(raw)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::FaultSet;
+
+    fn build(mesh: Mesh, faults: &[(i32, i32)]) -> MccSet {
+        let fs = FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y)));
+        MccSet::build(&fs, Orientation::IDENTITY, BorderPolicy::Open)
+    }
+
+    #[test]
+    fn empty_mesh_has_no_mccs() {
+        let set = build(Mesh::square(6), &[]);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn single_fault_single_cell_mcc() {
+        let set = build(Mesh::square(8), &[(3, 4)]);
+        assert_eq!(set.len(), 1);
+        let m = set.get(MccId(0));
+        assert_eq!(m.cell_count(), 1);
+        assert_eq!(m.faulty_count(), 1);
+        assert!(m.is_staircase());
+        assert_eq!(m.corner(), Coord::new(2, 3));
+        assert_eq!(m.opposite(), Coord::new(4, 5));
+        assert_eq!(set.mcc_at(Coord::new(3, 4)), Some(MccId(0)));
+        assert_eq!(set.mcc_at(Coord::new(3, 3)), None);
+    }
+
+    #[test]
+    fn separate_faults_make_separate_mccs() {
+        let set = build(Mesh::square(10), &[(1, 1), (8, 8), (4, 6)]);
+        assert_eq!(set.len(), 3);
+        for m in set.iter() {
+            assert_eq!(m.cell_count(), 1);
+        }
+    }
+
+    #[test]
+    fn anti_diagonal_merges_into_one_block() {
+        let set = build(Mesh::square(8), &[(2, 3), (3, 2)]);
+        assert_eq!(set.len(), 1);
+        let m = set.get(MccId(0));
+        assert_eq!(m.cell_count(), 4);
+        assert_eq!(m.faulty_count(), 2);
+        assert!(m.is_staircase());
+        assert_eq!(m.corner(), Coord::new(1, 1));
+        assert_eq!(m.opposite(), Coord::new(4, 4));
+        assert_eq!(m.col(2), Some(ColSpan { lo: 2, hi: 3 }));
+        assert_eq!(m.col(3), Some(ColSpan { lo: 2, hi: 3 }));
+    }
+
+    #[test]
+    fn ascending_staircase_shape() {
+        let set = build(Mesh::square(10), &[(2, 2), (3, 2), (3, 3), (4, 3), (4, 4)]);
+        assert_eq!(set.len(), 1);
+        let m = set.get(MccId(0));
+        assert!(m.is_staircase());
+        assert_eq!(m.x0(), 2);
+        assert_eq!(m.x1(), 4);
+        assert_eq!(m.col(2), Some(ColSpan { lo: 2, hi: 2 }));
+        assert_eq!(m.col(3), Some(ColSpan { lo: 2, hi: 3 }));
+        assert_eq!(m.col(4), Some(ColSpan { lo: 3, hi: 4 }));
+        assert_eq!(m.corner(), Coord::new(1, 1));
+        assert_eq!(m.opposite(), Coord::new(5, 5));
+        assert_eq!(m.cells().count(), m.cell_count());
+    }
+
+    #[test]
+    fn descending_staircase_fills_and_stays_one_component() {
+        let set = build(Mesh::square(10), &[(2, 4), (3, 3), (4, 2)]);
+        assert_eq!(set.len(), 1);
+        let m = set.get(MccId(0));
+        assert_eq!(m.cell_count(), 9);
+        assert_eq!(m.faulty_count(), 3);
+        assert!(m.is_staircase());
+        assert_eq!(m.bbox(), Rect::new(Coord::new(2, 2), Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn border_touching_mcc_has_out_of_mesh_corner() {
+        let set = build(Mesh::square(6), &[(0, 0)]);
+        let m = set.get(MccId(0));
+        assert_eq!(m.corner(), Coord::new(-1, -1));
+        assert!(!Mcc::corner_usable(set.labeling(), m.corner()));
+        assert!(Mcc::corner_usable(set.labeling(), m.opposite()));
+    }
+
+    #[test]
+    fn corner_blocked_by_diagonal_mcc_is_unusable() {
+        // MCC A at (3,3); its corner (2,2) is itself faulty (MCC B).
+        let set = build(Mesh::square(8), &[(3, 3), (2, 2)]);
+        assert_eq!(set.len(), 2);
+        let a = set.iter().find(|m| m.contains(Coord::new(3, 3))).expect("mcc A");
+        assert_eq!(a.corner(), Coord::new(2, 2));
+        assert!(!Mcc::corner_usable(set.labeling(), a.corner()));
+    }
+
+    #[test]
+    fn row_range_and_region_predicates() {
+        // Staircase: col2 [2,2], col3 [2,3], col4 [3,4].
+        let set = build(Mesh::square(10), &[(2, 2), (3, 2), (3, 3), (4, 3), (4, 4)]);
+        let m = set.get(MccId(0));
+        assert_eq!(m.row_range(2), Some((2, 3)));
+        assert_eq!(m.row_range(3), Some((3, 4)));
+        assert_eq!(m.row_range(4), Some((4, 4)));
+        assert_eq!(m.row_range(1), None);
+        assert_eq!(m.row_range(5), None);
+
+        // Y-shadow: below the lower staircase, within the column span.
+        assert!(m.shadow_y(Coord::new(2, 1)));
+        assert!(m.shadow_y(Coord::new(4, 2)));
+        assert!(!m.shadow_y(Coord::new(1, 1))); // west of span
+        assert!(!m.shadow_y(Coord::new(4, 3))); // a cell, not shadow
+        // Y-critical: above the upper staircase.
+        assert!(m.critical_y(Coord::new(2, 3)));
+        assert!(m.critical_y(Coord::new(4, 5)));
+        assert!(!m.critical_y(Coord::new(5, 5)));
+        // X-shadow / X-critical.
+        assert!(m.shadow_x(Coord::new(0, 2)));
+        assert!(m.shadow_x(Coord::new(2, 3)));
+        assert!(!m.shadow_x(Coord::new(2, 2)));
+        assert!(m.critical_x(Coord::new(4, 2)));
+        assert!(m.critical_x(Coord::new(5, 3)));
+        assert!(!m.critical_x(Coord::new(5, 5)));
+    }
+
+    #[test]
+    fn blocking_condition_matches_geometry() {
+        // Single fault at (5,5): s on the same column below, d on the same
+        // column above => blocked in +Y; shifting d one column east
+        // unblocks.
+        let set = build(Mesh::square(10), &[(5, 5)]);
+        let m = set.get(MccId(0));
+        let s = Coord::new(5, 0);
+        assert!(m.shadow_y(s) && m.critical_y(Coord::new(5, 9)));
+        assert!(!(m.shadow_y(s) && m.critical_y(Coord::new(6, 9))));
+        // And the X-type condition for a west-east pair on the same row.
+        assert!(m.shadow_x(Coord::new(0, 5)) && m.critical_x(Coord::new(9, 5)));
+    }
+
+    #[test]
+    fn contains_matches_cell_grid() {
+        let set = build(Mesh::square(12), &[(2, 4), (3, 3), (4, 2), (8, 8), (8, 9)]);
+        for oc in Mesh::square(12).iter() {
+            let by_grid = set.mcc_at(oc);
+            let by_shape = set.iter().find(|m| m.contains(oc)).map(|m| m.id());
+            assert_eq!(by_grid, by_shape, "mismatch at {oc:?}");
+        }
+    }
+}

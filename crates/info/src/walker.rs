@@ -1,0 +1,297 @@
+//! The wall-following boundary walker.
+//!
+//! The paper's boundary construction descends a straight line until it
+//! "intersects with another MCC", then "make[s] a right/left turn" and
+//! "go[es] along the edges" of the obstacle to its initialization or
+//! opposite corner, where it rejoins the straight descent. This module
+//! implements that as a wall follower over the safe-node grid: descend in
+//! a main direction; on hitting an unsafe cell, rotate (engage), hug the
+//! obstacle with the hand-on-wall rule, and disengage back into descent
+//! once the wall falls away while heading in the main direction.
+//!
+//! The walker is shape-agnostic (it only queries safe/unsafe), which makes
+//! it robust to obstacle clusters that the shape-based contour of a single
+//! MCC would not describe (e.g. diagonally touching components). Where
+//! such clusters force a different detour than the idealized per-MCC
+//! contour, the walk stays conservative (hugging the union), a deviation
+//! documented in DESIGN.md §3.
+
+use meshpath_fault::{Labeling, MccId, MccSet};
+use meshpath_mesh::{Coord, Dir, FxHashSet};
+
+/// Which way the walk turns when it hits an obstacle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Turn {
+    /// Rotate clockwise on engage (wall ends up on the walk's left).
+    Right,
+    /// Rotate counter-clockwise on engage (wall ends up on the right).
+    Left,
+}
+
+impl Turn {
+    #[inline]
+    fn rotate(self, d: Dir) -> Dir {
+        match self {
+            Turn::Right => d.clockwise(),
+            Turn::Left => d.counter_clockwise(),
+        }
+    }
+
+    /// The wall-side direction relative to heading `d`.
+    #[inline]
+    fn wall_side(self, d: Dir) -> Dir {
+        match self {
+            // Engaging right puts the wall on the left: left = ccw.
+            Turn::Right => d.counter_clockwise(),
+            Turn::Left => d.clockwise(),
+        }
+    }
+}
+
+/// Parameters of one boundary walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WalkConfig {
+    /// Straight descent direction (`-Y` for the X-boundaries of the
+    /// Y-forbidden region, `-X` for the Y-boundaries of the X-region).
+    pub main: Dir,
+    /// Turn made on hitting an obstacle. The paper's `-X` boundary turns
+    /// right; the `+X` boundary turns left (and the `-Y`/`+Y` boundaries
+    /// turn left/right respectively).
+    pub turn: Turn,
+}
+
+impl WalkConfig {
+    /// The `-X` boundary of the Y-forbidden region: descend south, turn
+    /// right, hug obstacles on the left.
+    pub const WEST_Y: WalkConfig = WalkConfig { main: Dir::MinusY, turn: Turn::Right };
+    /// The `+X` boundary: descend south, turn left.
+    pub const EAST_Y: WalkConfig = WalkConfig { main: Dir::MinusY, turn: Turn::Left };
+    /// The `-Y` boundary of the X-forbidden region: head west, turn left.
+    pub const SOUTH_X: WalkConfig = WalkConfig { main: Dir::MinusX, turn: Turn::Left };
+    /// The `+Y` boundary: head west, turn right.
+    pub const NORTH_X: WalkConfig = WalkConfig { main: Dir::MinusX, turn: Turn::Right };
+}
+
+/// The result of a boundary walk.
+#[derive(Clone, Debug, Default)]
+pub struct Walk {
+    /// Every safe node visited, in walk order (starting node first).
+    pub nodes: Vec<Coord>,
+    /// MCCs hit during straight descent, in hit order, with the position
+    /// the walk occupied when it hit.
+    pub hits: Vec<(MccId, Coord)>,
+    /// True when the walk ended by leaving the mesh in the main direction
+    /// (normal termination at the mesh edge).
+    pub reached_edge: bool,
+}
+
+/// Runs a boundary walk from `start`.
+///
+/// Returns an empty walk when `start` is not a safe in-mesh node (e.g.
+/// the corner of a border-touching MCC).
+pub fn walk(set: &MccSet, start: Coord, cfg: WalkConfig) -> Walk {
+    walk_until(set, start, cfg, usize::MAX)
+}
+
+/// Like [`walk`], but stops after `max_disengage` disengagements (used for
+/// the B3 split propagations, which merge into the obstacle's own
+/// boundary after rounding it once).
+pub fn walk_until(set: &MccSet, start: Coord, cfg: WalkConfig, max_disengage: usize) -> Walk {
+    let labeling: &Labeling = set.labeling();
+    let mesh = *set.mesh();
+    let mut out = Walk::default();
+    if !labeling.is_safe_node(start) {
+        return out;
+    }
+
+    let free = |c: Coord| labeling.is_safe_node(c);
+    let mut pos = start;
+    let mut heading = cfg.main;
+    let mut following = false;
+    let mut disengagements = 0usize;
+    let mut seen: FxHashSet<(Coord, Dir, bool)> = FxHashSet::default();
+    out.nodes.push(pos);
+
+    // Generous cap: every (pos, heading, mode) triple visited at most once.
+    let cap = mesh.len() * 8;
+    for _ in 0..cap {
+        if !seen.insert((pos, heading, following)) {
+            break; // closed loop (fully enclosed walk)
+        }
+        if !following {
+            let next = pos.step(cfg.main);
+            if !mesh.contains(next) {
+                out.reached_edge = true;
+                break;
+            }
+            if free(next) {
+                pos = next;
+                out.nodes.push(pos);
+                continue;
+            }
+            // Hit an obstacle: record which MCC (unsafe in-mesh cell).
+            if let Some(id) = set.mcc_at(next) {
+                out.hits.push((id, pos));
+            }
+            // Engage: rotate until a free direction appears.
+            let mut d = cfg.turn.rotate(cfg.main);
+            let mut rotations = 1;
+            while !free(pos.step(d)) {
+                d = cfg.turn.rotate(d);
+                rotations += 1;
+                if rotations == 4 {
+                    return out; // enclosed on all sides
+                }
+            }
+            heading = d;
+            pos = pos.step(d);
+            out.nodes.push(pos);
+            following = true;
+            continue;
+        }
+
+        // Following a wall. Disengage back into descent when heading in
+        // the main direction with the wall side open.
+        if heading == cfg.main && free(pos.step(cfg.turn.wall_side(cfg.main))) {
+            following = false;
+            disengagements += 1;
+            if disengagements >= max_disengage {
+                break;
+            }
+            continue;
+        }
+        // Hand-on-wall preference: wall side, straight, away, back.
+        let prefs = [
+            cfg.turn.wall_side(heading),
+            heading,
+            cfg.turn.rotate(heading),
+            heading.opposite(),
+        ];
+        let mut moved = false;
+        for d in prefs {
+            if free(pos.step(d)) {
+                heading = d;
+                pos = pos.step(d);
+                out.nodes.push(pos);
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break; // isolated pocket
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_fault::{BorderPolicy, MccSet};
+    use meshpath_mesh::{FaultSet, Mesh, Orientation};
+
+    fn set(mesh: Mesh, faults: &[(i32, i32)]) -> MccSet {
+        let fs = FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y)));
+        MccSet::build(&fs, Orientation::IDENTITY, BorderPolicy::Open)
+    }
+
+    #[test]
+    fn straight_descent_to_edge() {
+        let s = set(Mesh::square(8), &[(4, 6)]);
+        let w = walk(&s, Coord::new(2, 5), WalkConfig::WEST_Y);
+        assert!(w.reached_edge);
+        assert!(w.hits.is_empty());
+        let expect: Vec<Coord> = (0..=5).rev().map(|y| Coord::new(2, y)).collect();
+        assert_eq!(w.nodes, expect);
+    }
+
+    #[test]
+    fn west_walk_rounds_a_single_cell() {
+        // Obstacle at (5,5); descend column 5 from (5,7). The walk must
+        // turn right (west), hug to the obstacle's corner (4,4), and
+        // resume descent on column 4.
+        let s = set(Mesh::square(10), &[(5, 5)]);
+        let w = walk(&s, Coord::new(5, 7), WalkConfig::WEST_Y);
+        assert!(w.reached_edge);
+        assert_eq!(w.hits.len(), 1);
+        assert!(w.nodes.contains(&Coord::new(4, 6)));
+        assert!(w.nodes.contains(&Coord::new(4, 4))); // the corner v
+        assert!(w.nodes.contains(&Coord::new(4, 0)));
+        assert!(!w.nodes.contains(&Coord::new(5, 4))); // never east of wall
+    }
+
+    #[test]
+    fn east_walk_rounds_via_opposite_corner() {
+        let s = set(Mesh::square(10), &[(5, 5)]);
+        let w = walk(&s, Coord::new(5, 7), WalkConfig::EAST_Y);
+        assert!(w.reached_edge);
+        assert!(w.nodes.contains(&Coord::new(6, 6))); // the opposite corner v'
+        assert!(w.nodes.contains(&Coord::new(6, 0)));
+        assert!(!w.nodes.contains(&Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn east_walk_climbs_a_staircase_top() {
+        // Obstacle cells (5,5),(6,5),(6,6): the east walk from (5,7) must
+        // round the NE corner (7,7) and descend column 7.
+        let s = set(Mesh::square(10), &[(5, 5), (6, 5), (6, 6)]);
+        let w = walk(&s, Coord::new(5, 7), WalkConfig::EAST_Y);
+        assert!(w.reached_edge);
+        assert!(w.nodes.contains(&Coord::new(7, 7)));
+        assert!(w.nodes.contains(&Coord::new(7, 4)));
+        assert!(w.nodes.contains(&Coord::new(7, 0)));
+    }
+
+    #[test]
+    fn south_x_walk_heads_west_and_hugs_south() {
+        // Obstacle at (4,5); walk west along row 5 from (7,5): left turn
+        // (south), hug to the obstacle's corner (3,4), resume west on row 4.
+        let s = set(Mesh::square(10), &[(4, 5)]);
+        let w = walk(&s, Coord::new(7, 5), WalkConfig::SOUTH_X);
+        assert!(w.reached_edge);
+        assert!(w.nodes.contains(&Coord::new(5, 4)));
+        assert!(w.nodes.contains(&Coord::new(3, 4))); // corner v
+        assert!(w.nodes.contains(&Coord::new(0, 4)));
+    }
+
+    #[test]
+    fn north_x_walk_rounds_via_opposite_corner() {
+        let s = set(Mesh::square(10), &[(4, 5)]);
+        let w = walk(&s, Coord::new(7, 5), WalkConfig::NORTH_X);
+        assert!(w.reached_edge);
+        assert!(w.nodes.contains(&Coord::new(5, 6)));
+        assert!(w.nodes.contains(&Coord::new(3, 6))); // past v' = (5,6)
+        assert!(w.nodes.contains(&Coord::new(0, 6)));
+    }
+
+    #[test]
+    fn unsafe_start_yields_empty_walk() {
+        let s = set(Mesh::square(8), &[(3, 3)]);
+        let w = walk(&s, Coord::new(3, 3), WalkConfig::WEST_Y);
+        assert!(w.nodes.is_empty());
+        assert!(!w.reached_edge);
+    }
+
+    #[test]
+    fn split_walk_stops_after_one_disengage() {
+        // Two obstacles stacked: the bounded walk rounds only the first.
+        let s = set(Mesh::square(12), &[(5, 8), (4, 3)]);
+        let w = walk_until(&s, Coord::new(5, 10), WalkConfig::WEST_Y, 1);
+        assert!(!w.reached_edge);
+        assert_eq!(w.hits.len(), 1);
+        // It rounded (5,8) to its corner (4,7) and stopped there.
+        assert!(w.nodes.contains(&Coord::new(4, 7)));
+        assert!(!w.nodes.contains(&Coord::new(3, 2)));
+    }
+
+    #[test]
+    fn walls_of_the_mesh_do_not_trap_the_walker() {
+        // Obstacle touching the west edge: the west walk cannot pass on
+        // the west side and must terminate without looping forever.
+        let s = set(Mesh::square(8), &[(0, 4), (1, 4)]);
+        let w = walk(&s, Coord::new(0, 6), WalkConfig::WEST_Y);
+        assert!(!w.nodes.is_empty());
+        // Termination is the property under test; the exact path may hug
+        // around the east side of the obstacle.
+    }
+}

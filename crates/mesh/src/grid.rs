@@ -1,0 +1,277 @@
+//! Dense per-node storage: `Grid<T>` and the bit-packed `BitGrid`.
+
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::Coord;
+use crate::mesh::{Mesh, NodeId};
+
+/// A dense map from mesh nodes to values of type `T`, stored row-major.
+///
+/// Grids deliberately index by [`Coord`] and [`NodeId`] rather than
+/// exposing raw offsets; this keeps hot loops allocation-free while staying
+/// bounds-checked (per the workspace `forbid(unsafe_code)` policy).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Grid<T> {
+    mesh: Mesh,
+    cells: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid with every cell set to `fill`.
+    pub fn new(mesh: Mesh, fill: T) -> Self {
+        Grid { mesh, cells: vec![fill; mesh.len()] }
+    }
+
+    /// Resets every cell to `fill`, keeping the allocation.
+    pub fn fill(&mut self, fill: T) {
+        for c in &mut self.cells {
+            *c = fill.clone();
+        }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Builds a grid by evaluating `f` at every coordinate (row-major).
+    pub fn from_fn(mesh: Mesh, mut f: impl FnMut(Coord) -> T) -> Self {
+        let mut cells = Vec::with_capacity(mesh.len());
+        for c in mesh.iter() {
+            cells.push(f(c));
+        }
+        Grid { mesh, cells }
+    }
+
+    /// The mesh this grid is defined over.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Value at `c`, or `None` when `c` is outside the mesh.
+    #[inline]
+    pub fn get(&self, c: Coord) -> Option<&T> {
+        self.mesh.try_id(c).map(|id| &self.cells[id.index()])
+    }
+
+    /// Mutable value at `c`, or `None` when `c` is outside the mesh.
+    #[inline]
+    pub fn get_mut(&mut self, c: Coord) -> Option<&mut T> {
+        self.mesh.try_id(c).map(|id| &mut self.cells[id.index()])
+    }
+
+    /// Iterator over `(coordinate, value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, &T)> {
+        self.mesh.iter().zip(self.cells.iter())
+    }
+
+    /// The raw row-major cell slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.cells
+    }
+}
+
+impl<T> Index<Coord> for Grid<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, c: Coord) -> &T {
+        &self.cells[self.mesh.id(c).index()]
+    }
+}
+
+impl<T> IndexMut<Coord> for Grid<T> {
+    #[inline]
+    fn index_mut(&mut self, c: Coord) -> &mut T {
+        &mut self.cells[self.mesh.id(c).index()]
+    }
+}
+
+impl<T> Index<NodeId> for Grid<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: NodeId) -> &T {
+        &self.cells[id.index()]
+    }
+}
+
+impl<T> IndexMut<NodeId> for Grid<T> {
+    #[inline]
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.cells[id.index()]
+    }
+}
+
+/// A bit-packed set of mesh nodes.
+///
+/// Used for fault sets, visited sets and "nodes involved in propagation"
+/// counters, where a full `Grid<bool>` would waste 8x the memory and the
+/// popcount-based [`BitGrid::count`] matters for the statistics pipeline.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BitGrid {
+    mesh: Mesh,
+    words: Vec<u64>,
+    ones: usize,
+}
+
+impl BitGrid {
+    /// Creates an empty bit grid over `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        BitGrid { mesh, words: vec![0; mesh.len().div_ceil(64)], ones: 0 }
+    }
+
+    /// The mesh this set is defined over.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// True when the node at `c` is in the set. Out-of-mesh coordinates
+    /// report `false`.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        match self.mesh.try_id(c) {
+            Some(id) => self.contains_id(id),
+            None => false,
+        }
+    }
+
+    /// True when node `id` is in the set.
+    #[inline]
+    pub fn contains_id(&self, id: NodeId) -> bool {
+        let i = id.index();
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inserts the node at `c`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics (debug) when `c` lies outside the mesh.
+    pub fn insert(&mut self, c: Coord) -> bool {
+        self.insert_id(self.mesh.id(c))
+    }
+
+    /// Inserts node `id`; returns whether it was newly inserted.
+    pub fn insert_id(&mut self, id: NodeId) -> bool {
+        let i = id.index();
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the node at `c`; returns whether it was present.
+    pub fn remove(&mut self, c: Coord) -> bool {
+        let i = self.mesh.id(c).index();
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of nodes in the set (O(1)).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// True when the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Removes all nodes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ones = 0;
+    }
+
+    /// Iterator over the coordinates in the set, in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.mesh.iter().filter(|&c| self.contains(c))
+    }
+
+    /// In-place union; both grids must share a mesh.
+    pub fn union_with(&mut self, other: &BitGrid) {
+        assert_eq!(self.mesh, other.mesh, "BitGrid meshes differ");
+        let mut ones = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_index_round_trip() {
+        let m = Mesh::new(4, 3);
+        let mut g = Grid::new(m, 0u32);
+        g[Coord::new(2, 1)] = 42;
+        assert_eq!(g[Coord::new(2, 1)], 42);
+        assert_eq!(g[m.id(Coord::new(2, 1))], 42);
+        assert_eq!(g.get(Coord::new(9, 9)), None);
+    }
+
+    #[test]
+    fn grid_from_fn_row_major() {
+        let m = Mesh::new(3, 2);
+        let g = Grid::from_fn(m, |c| c.x + 10 * c.y);
+        assert_eq!(g.as_slice(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn bitgrid_insert_remove_count() {
+        let m = Mesh::square(10);
+        let mut b = BitGrid::new(m);
+        assert!(b.insert(Coord::new(3, 3)));
+        assert!(!b.insert(Coord::new(3, 3)));
+        assert!(b.insert(Coord::new(9, 9)));
+        assert_eq!(b.count(), 2);
+        assert!(b.remove(Coord::new(3, 3)));
+        assert!(!b.remove(Coord::new(3, 3)));
+        assert_eq!(b.count(), 1);
+        assert!(b.contains(Coord::new(9, 9)));
+        assert!(!b.contains(Coord::new(-1, 0)));
+    }
+
+    #[test]
+    fn bitgrid_union() {
+        let m = Mesh::square(8);
+        let mut a = BitGrid::new(m);
+        let mut b = BitGrid::new(m);
+        a.insert(Coord::new(0, 0));
+        a.insert(Coord::new(1, 1));
+        b.insert(Coord::new(1, 1));
+        b.insert(Coord::new(2, 2));
+        a.union_with(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.contains(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn bitgrid_iter_matches_contains() {
+        let m = Mesh::new(5, 7);
+        let mut b = BitGrid::new(m);
+        for c in [Coord::new(0, 6), Coord::new(4, 0), Coord::new(2, 3)] {
+            b.insert(c);
+        }
+        let collected: Vec<_> = b.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert!(collected.windows(2).all(|w| w[0] < w[1] || w[0].y < w[1].y));
+    }
+}

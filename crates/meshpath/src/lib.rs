@@ -1,0 +1,99 @@
+//! # meshpath
+//!
+//! Shortest-path fault-tolerant routing in 2-D meshes — a complete Rust
+//! implementation of Jiang & Wu, *On Achieving the Shortest-Path Routing
+//! in 2-D Meshes* (IPDPS 2007), including every substrate the paper
+//! depends on.
+//!
+//! ## What this is
+//!
+//! In a 2-D mesh multicomputer with faulty nodes, Manhattan-distance
+//! (monotone) paths may not exist. This library implements the paper's
+//! **minimal connected component (MCC)** fault-information machinery so
+//! that fully distributed, per-hop routing decisions still produce true
+//! shortest paths:
+//!
+//! * the MCC labeling (`useless` / `can't-reach` fixpoint) and the
+//!   rising-staircase component geometry ([`fault`]);
+//! * the three fault-information models — B1 boundary lines, B2 forbidden
+//!   region broadcast, B3 boundaries + relation records ([`info`]);
+//! * the routings RB1 / RB2 / RB3 plus the classic fault-tolerant E-cube
+//!   baseline over rectangular fault blocks ([`route`]);
+//! * a deterministic message-passing simulator for the distributed
+//!   protocols ([`sim`]);
+//! * the full Fig. 5 experiment harness ([`analysis`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use meshpath::prelude::*;
+//!
+//! // A 16x16 mesh with a few faults.
+//! let mesh = Mesh::square(16);
+//! let faults = FaultSet::from_coords(
+//!     mesh,
+//!     [Coord::new(8, 8), Coord::new(7, 9), Coord::new(8, 9)],
+//! );
+//! let net = Network::build(faults);
+//!
+//! // Route with RB2 (the paper's shortest-path routing).
+//! let res = Rb2::default().route(&net, Coord::new(2, 2), Coord::new(13, 13));
+//! assert!(res.delivered);
+//!
+//! // Compare against the BFS ground truth.
+//! let oracle = DistanceField::healthy(net.faults(), Coord::new(13, 13));
+//! assert_eq!(res.hops(), oracle.dist(Coord::new(2, 2)));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | re-export of | contents |
+//! |--------|--------------|----------|
+//! | [`mesh`] | `meshpath-mesh` | coordinates, grids, fault sets, connectivity |
+//! | [`sim`] | `meshpath-sim` | discrete-event message-passing kernel |
+//! | [`fault`] | `meshpath-fault` | MCC labeling, components, fault blocks |
+//! | [`info`] | `meshpath-info` | B1/B2/B3 information models |
+//! | [`route`] | `meshpath-route` | RB1/RB2/RB3, E-cube, oracles |
+//! | [`analysis`] | `meshpath-analysis` | Fig. 5 experiment harness |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use meshpath_analysis as analysis;
+pub use meshpath_fault as fault;
+pub use meshpath_info as info;
+pub use meshpath_mesh as mesh;
+pub use meshpath_route as route;
+pub use meshpath_sim as sim;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use meshpath_fault::{BorderPolicy, Labeling, Mcc, MccId, MccSet, NodeStatus};
+    pub use meshpath_info::{InfoModel, ModelKind};
+    pub use meshpath_mesh::render::GridRender;
+    pub use meshpath_mesh::{
+        Coord, Dir, FaultInjection, FaultSet, Mesh, NodeId, Orientation, Rect,
+    };
+    pub use meshpath_route::oracle::DistanceField;
+    pub use meshpath_route::{
+        validate_path, AdaptivePolicy, ECube, KnowledgeScope, Network, Rb1, Rb2, Rb3,
+        RouteResult, Router,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_routes() {
+        let mesh = Mesh::square(12);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(5, 5)]);
+        let net = Network::build(faults);
+        for router in [&Rb1::default() as &dyn Router, &Rb2::default(), &Rb3::default(), &ECube] {
+            let res = router.route(&net, Coord::new(0, 0), Coord::new(11, 11));
+            assert!(res.delivered, "{}", router.name());
+            validate_path(&net, Coord::new(0, 0), Coord::new(11, 11), &res).expect("valid");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Algorithm 2: the Manhattan routing decision.
+//!
+//! At the current node `u` with target `t` (both in the oriented frame
+//! where `t` lies in the `(+X, +Y)` quadrant):
+//!
+//! 1. add `+X` (`+Y`) to the candidate set `P` when the target is strictly
+//!    east (north) and the neighbor is a safe node;
+//! 2. for each triple `(F, R(F), R'(F))` known at `u`, exclude a candidate
+//!    whose step would enter the forbidden region `R(F)` while
+//!    `t ∈ R'(F)` — with `R(F)` the union of the shadows of every MCC
+//!    merged into `F`'s region (boundary-hit closure) and `R'(F)` the
+//!    critical region of `F` itself (see DESIGN.md §3);
+//! 3. pick any remaining direction with a fully adaptive policy.
+//!
+//! Neighbor *safety* (not just non-faultiness) is local knowledge: the
+//! distributed labeling protocol works by neighbor status exchange, so
+//! every node knows the converged status of its four neighbors.
+
+use meshpath_fault::MccSet;
+use meshpath_info::InfoModel;
+use meshpath_mesh::{Coord, Dir};
+
+use crate::seq::KnowledgeScope;
+
+/// Tie-break policy for step 3's "any fully adaptive routing".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AdaptivePolicy {
+    /// Move along the axis with the larger remaining distance (default;
+    /// keeps the walk near the rectangle's diagonal, which maximizes
+    /// later adaptivity).
+    #[default]
+    LongerFirst,
+    /// Prefer `+X` when available (dimension-ordered flavour).
+    PreferX,
+    /// Prefer `+Y` when available.
+    PreferY,
+}
+
+impl AdaptivePolicy {
+    fn pick(self, ou: Coord, ot: Coord, p: [bool; 2]) -> Option<Dir> {
+        let (px, py) = (p[0], p[1]);
+        match (px, py) {
+            (false, false) => None,
+            (true, false) => Some(Dir::PlusX),
+            (false, true) => Some(Dir::PlusY),
+            (true, true) => Some(match self {
+                AdaptivePolicy::PreferX => Dir::PlusX,
+                AdaptivePolicy::PreferY => Dir::PlusY,
+                AdaptivePolicy::LongerFirst => {
+                    if ot.x - ou.x >= ot.y - ou.y {
+                        Dir::PlusX
+                    } else {
+                        Dir::PlusY
+                    }
+                }
+            }),
+        }
+    }
+}
+
+/// One routing decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Forward along this (oriented-frame) direction.
+    Step(Dir),
+    /// Current node is the target.
+    Arrived,
+    /// Candidate set is empty: the routing is blocked here.
+    Blocked,
+}
+
+/// The per-phase decision context (one orientation).
+pub struct PhaseCtx<'a> {
+    /// MCC analysis for the phase orientation.
+    pub set: &'a MccSet,
+    /// Information model queried for triples.
+    pub model: &'a InfoModel,
+    /// Whether knowledge is restricted to what the model stored at `u`.
+    pub scope: KnowledgeScope,
+}
+
+impl PhaseCtx<'_> {
+    /// True when node `ou` holds the triple of `f` under the scope.
+    #[inline]
+    pub fn knows(&self, ou: Coord, f: meshpath_fault::MccId) -> bool {
+        match self.scope {
+            KnowledgeScope::Global => true,
+            KnowledgeScope::Local => self.model.knows(ou, f),
+        }
+    }
+}
+
+/// The Algorithm 2 decision at oriented node `ou` toward oriented target
+/// `ot`. `avoid` (the preceding node, Algorithm 3 step 1) is excluded from
+/// the candidates when given.
+pub fn decide(
+    ctx: &PhaseCtx<'_>,
+    ou: Coord,
+    ot: Coord,
+    policy: AdaptivePolicy,
+    avoid: Option<Coord>,
+) -> Decision {
+    debug_assert!(ot.x >= ou.x && ot.y >= ou.y, "target not in oriented quadrant");
+    if ou == ot {
+        return Decision::Arrived;
+    }
+    let labeling = ctx.set.labeling();
+
+    // Step 1: candidate directions.
+    let mut p = [false; 2]; // [+X, +Y]
+    if ot.x > ou.x {
+        let v = ou.step(Dir::PlusX);
+        p[0] = labeling.is_safe_node(v) && Some(v) != avoid;
+    }
+    if ot.y > ou.y {
+        let v = ou.step(Dir::PlusY);
+        p[1] = labeling.is_safe_node(v) && Some(v) != avoid;
+    }
+
+    // Step 2: exclusions from the triples known here.
+    if p[0] || p[1] {
+        for f in ctx.set.iter() {
+            if !ctx.knows(ou, f.id()) {
+                continue;
+            }
+            // Y-type triple: d in the critical region above F while the
+            // step would *enter* a shadow merged into F's forbidden
+            // region. A node already inside the region is past the guard
+            // (the pair is blocked; detours handle it), so the exclusion
+            // only fires from outside.
+            if f.critical_y(ot) {
+                let merged = ctx.model.merged_y(f.id());
+                let inside = |c: Coord| merged.iter().any(|&g| ctx.set.get(g).shadow_y(c));
+                if !inside(ou) {
+                    for (slot, dir) in [(0, Dir::PlusX), (1, Dir::PlusY)] {
+                        if p[slot] && inside(ou.step(dir)) {
+                            p[slot] = false;
+                        }
+                    }
+                }
+            }
+            // X-type triple.
+            if f.critical_x(ot) {
+                let merged = ctx.model.merged_x(f.id());
+                let inside = |c: Coord| merged.iter().any(|&g| ctx.set.get(g).shadow_x(c));
+                if !inside(ou) {
+                    for (slot, dir) in [(0, Dir::PlusX), (1, Dir::PlusY)] {
+                        if p[slot] && inside(ou.step(dir)) {
+                            p[slot] = false;
+                        }
+                    }
+                }
+            }
+            if !p[0] && !p[1] {
+                break;
+            }
+        }
+    }
+
+    // Step 3: fully adaptive selection.
+    match policy.pick(ou, ot, p) {
+        Some(dir) => Decision::Step(dir),
+        None => Decision::Blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_fault::{BorderPolicy, MccSet};
+    use meshpath_info::{InfoModel, ModelKind};
+    use meshpath_mesh::{FaultSet, Mesh, Orientation};
+
+    fn ctx_for(faults: &[(i32, i32)], kind: ModelKind) -> (MccSet, InfoModel) {
+        let mesh = Mesh::square(10);
+        let fs = FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y)));
+        let set = MccSet::build(&fs, Orientation::IDENTITY, BorderPolicy::Open);
+        let model = InfoModel::build(&set, kind);
+        (set, model)
+    }
+
+    #[test]
+    fn fault_free_decision_moves_toward_target() {
+        let (set, model) = ctx_for(&[], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Local };
+        let d = decide(&ctx, Coord::new(0, 0), Coord::new(3, 1), AdaptivePolicy::LongerFirst, None);
+        assert_eq!(d, Decision::Step(Dir::PlusX)); // larger X remainder
+        let d = decide(&ctx, Coord::new(0, 0), Coord::new(1, 3), AdaptivePolicy::LongerFirst, None);
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+        let d = decide(&ctx, Coord::new(3, 1), Coord::new(3, 1), AdaptivePolicy::LongerFirst, None);
+        assert_eq!(d, Decision::Arrived);
+    }
+
+    #[test]
+    fn faulty_neighbor_is_not_a_candidate() {
+        let (set, model) = ctx_for(&[(1, 0)], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Local };
+        let d = decide(&ctx, Coord::new(0, 0), Coord::new(3, 3), AdaptivePolicy::PreferX, None);
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+    }
+
+    #[test]
+    fn exclusion_guards_the_shadow_at_the_boundary() {
+        // Fault at (5,5); u sits on the -X boundary column at (4,2) with
+        // the destination in the critical region (5,9): stepping +X into
+        // the shadow must be excluded.
+        let (set, model) = ctx_for(&[(5, 5)], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Local };
+        let d = decide(&ctx, Coord::new(4, 2), Coord::new(5, 9), AdaptivePolicy::PreferX, None);
+        assert_eq!(d, Decision::Step(Dir::PlusY), "+X into the shadow must be excluded");
+        // With a destination NOT in the critical region, +X is fine.
+        let d = decide(&ctx, Coord::new(4, 2), Coord::new(6, 9), AdaptivePolicy::PreferX, None);
+        assert_eq!(d, Decision::Step(Dir::PlusX));
+    }
+
+    #[test]
+    fn no_knowledge_means_no_exclusion() {
+        // Same geometry, but u = (4,2) under B1 *knows* (it is on the
+        // boundary); a node east of the shadow like (7,2) does not, and
+        // a doomed target makes it walk in anyway (that is RB1's miss,
+        // repaired by detours).
+        let (set, model) = ctx_for(&[(5, 5)], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Local };
+        // (5,2) is inside the shadow and holds no triple under B1.
+        let d = decide(&ctx, Coord::new(5, 2), Coord::new(5, 9), AdaptivePolicy::PreferY, None);
+        // +X not a candidate (target.x == u.x); +Y is taken blindly toward
+        // the fault; at (5,4) the +Y neighbor is faulty and P empties.
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+        let d = decide(&ctx, Coord::new(5, 4), Coord::new(5, 9), AdaptivePolicy::PreferY, None);
+        assert_eq!(d, Decision::Blocked);
+    }
+
+    #[test]
+    fn exclusion_only_fires_on_entry() {
+        let (set, model) = ctx_for(&[(5, 5)], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Global };
+        // (5,2) is already inside the shadow: the guard is past, and the
+        // exclusion must NOT fire (the pair is blocked; RB1's detour or
+        // RB2's planning deal with it). The decision keeps +Y until the
+        // fault wall itself empties P.
+        let d = decide(&ctx, Coord::new(5, 2), Coord::new(5, 9), AdaptivePolicy::PreferY, None);
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+        // From outside (the boundary column), entry is still excluded.
+        let d = decide(&ctx, Coord::new(4, 2), Coord::new(5, 9), AdaptivePolicy::PreferX, None);
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+    }
+
+    #[test]
+    fn avoid_excludes_the_preceding_node() {
+        let (set, model) = ctx_for(&[], ModelKind::B1);
+        let ctx = PhaseCtx { set: &set, model: &model, scope: KnowledgeScope::Local };
+        let d = decide(
+            &ctx,
+            Coord::new(0, 0),
+            Coord::new(1, 1),
+            AdaptivePolicy::PreferX,
+            Some(Coord::new(1, 0)),
+        );
+        assert_eq!(d, Decision::Step(Dir::PlusY));
+    }
+}

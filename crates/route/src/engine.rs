@@ -1,0 +1,308 @@
+//! Route execution: hop loops, detour wall-following, result validation.
+
+use meshpath_mesh::{Coord, Dir, FxHashMap, FxHashSet};
+
+use crate::env::Network;
+
+/// The outcome of routing one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteResult {
+    /// Every node visited, source first. Real coordinates.
+    pub path: Vec<Coord>,
+    /// True when the destination was reached within the hop budget.
+    pub delivered: bool,
+    /// Number of re-planning events (blocked phases, observed obstacles).
+    pub replans: u32,
+    /// Number of BFS-fallback plans (outside the paper's Eq.-3 options).
+    pub fallbacks: u32,
+    /// Hops spent in wall-following detours.
+    pub detour_hops: u32,
+}
+
+impl RouteResult {
+    /// Path length in hops.
+    pub fn hops(&self) -> u32 {
+        (self.path.len().saturating_sub(1)) as u32
+    }
+}
+
+/// A routing algorithm making per-hop local decisions.
+pub trait Router {
+    /// Display name used in tables (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Routes one message from `s` to `d` (real coordinates).
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult;
+}
+
+/// Hop budget: generous, but finite (protects the harness from livelock).
+pub(crate) fn hop_budget(net: &Network) -> usize {
+    net.mesh().len() * 8
+}
+
+/// Checks that a delivered result is a real walk: starts at `s`, ends at
+/// `d`, every hop joins mesh neighbors, and no visited node is faulty.
+pub fn validate_path(net: &Network, s: Coord, d: Coord, res: &RouteResult) -> Result<(), String> {
+    if res.path.first() != Some(&s) {
+        return Err(format!("path must start at {s:?}"));
+    }
+    if res.delivered && res.path.last() != Some(&d) {
+        return Err(format!("delivered path must end at {d:?}"));
+    }
+    for w in res.path.windows(2) {
+        if !w[0].is_neighbor(w[1]) {
+            return Err(format!("non-adjacent hop {:?} -> {:?}", w[0], w[1]));
+        }
+    }
+    for &c in &res.path {
+        if !net.mesh().contains(c) {
+            return Err(format!("path leaves the mesh at {c:?}"));
+        }
+        if net.faults().is_faulty(c) {
+            return Err(format!("path visits faulty node {c:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Which side the obstacle is kept on during a wall-following detour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Wall {
+    /// Obstacle on the left of the heading.
+    Left,
+    /// Obstacle on the right.
+    Right,
+}
+
+impl Wall {
+    #[inline]
+    fn wall_dir(self, heading: Dir) -> Dir {
+        match self {
+            Wall::Left => heading.counter_clockwise(),
+            Wall::Right => heading.clockwise(),
+        }
+    }
+
+    #[inline]
+    fn anti_dir(self, heading: Dir) -> Dir {
+        self.wall_dir(heading).opposite()
+    }
+}
+
+/// Wall-following detour state (Algorithm 3 step 3, E-cube f-rings).
+#[derive(Clone, Debug)]
+pub(crate) struct Detour {
+    heading: Dir,
+    wall: Wall,
+    /// `(position, heading)` pairs already taken within this detour; a
+    /// repeat means the wall orbit is closed (dead-end pocket) and the
+    /// walk escalates to the least-visited escape.
+    seen: FxHashSet<(Coord, Dir)>,
+    /// Set once the wall orbit closed; the owner should drop this detour
+    /// after the current step.
+    pub(crate) exhausted: bool,
+}
+
+impl Detour {
+    /// Starts a detour around an obstacle met while trying to move in
+    /// `toward`. Matches the paper's "select `-X` or `-Y` direction to
+    /// route around the MCC in clockwise direction": blocked `+Y` turns
+    /// `-X` with the obstacle on the right; blocked `+X` turns `-Y` with
+    /// the obstacle on the left; negative desired directions (E-cube on
+    /// un-normalized frames) mirror those.
+    pub(crate) fn around(toward: Dir) -> Detour {
+        let (heading, wall) = match toward {
+            Dir::PlusY => (Dir::MinusX, Wall::Right),
+            Dir::PlusX => (Dir::MinusY, Wall::Left),
+            Dir::MinusY => (Dir::PlusX, Wall::Right),
+            Dir::MinusX => (Dir::PlusY, Wall::Left),
+        };
+        Detour { heading, wall, seen: FxHashSet::default(), exhausted: false }
+    }
+
+    /// One wall-following step from `pos`. When the wall orbit closes (a
+    /// dead-end pocket) the step degrades to the least-visited escape walk
+    /// and marks the detour [`exhausted`](Detour::exhausted). Returns
+    /// `None` only when every neighbor is blocked.
+    pub(crate) fn step(
+        &mut self,
+        pos: Coord,
+        free: impl Fn(Coord) -> bool,
+        visited: &Visited,
+    ) -> Option<Coord> {
+        if !self.exhausted {
+            let prefs = [
+                self.wall.wall_dir(self.heading),
+                self.heading,
+                self.wall.anti_dir(self.heading),
+                self.heading.opposite(),
+            ];
+            for d in prefs {
+                let v = pos.step(d);
+                if free(v) {
+                    if self.seen.insert((pos, d)) {
+                        self.heading = d;
+                        return Some(v);
+                    }
+                    // Closed orbit: fall through to the escape walk.
+                    self.exhausted = true;
+                    break;
+                }
+            }
+            if !self.exhausted {
+                // All four sides blocked.
+                return None;
+            }
+        }
+        least_visited_step(pos, free, visited.counts())
+    }
+}
+
+/// The last-resort escape walk: steps to the least-visited free neighbor.
+///
+/// A rotor-router-style walk visits every node of a finite connected
+/// region infinitely often, so a route that falls back to it cannot
+/// livelock in a dead-end pocket — it pays hops instead (which the
+/// relative-error metric reports honestly).
+pub(crate) fn least_visited_step(
+    pos: Coord,
+    free: impl Fn(Coord) -> bool,
+    counts: &FxHashMap<Coord, u32>,
+) -> Option<Coord> {
+    Dir::ALL
+        .into_iter()
+        .map(|d| pos.step(d))
+        .filter(|&v| free(v))
+        .min_by_key(|v| counts.get(v).copied().unwrap_or(0))
+}
+
+/// Tracks how often each node was visited: used to decide when leaving a
+/// detour is safe (re-entering a previously visited node invites a
+/// livelock) and to drive the least-visited escape walk.
+pub(crate) struct Visited {
+    counts: FxHashMap<Coord, u32>,
+}
+
+impl Visited {
+    pub(crate) fn new(start: Coord) -> Self {
+        let mut counts = FxHashMap::default();
+        counts.insert(start, 1);
+        Visited { counts }
+    }
+
+    pub(crate) fn insert(&mut self, c: Coord) {
+        *self.counts.entry(c).or_insert(0) += 1;
+    }
+
+    pub(crate) fn contains(&self, c: Coord) -> bool {
+        self.counts.contains_key(&c)
+    }
+
+    pub(crate) fn counts(&self) -> &FxHashMap<Coord, u32> {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    #[test]
+    fn detour_walks_around_a_block() {
+        // Obstacle nodes (3,3),(4,3); walker south of it at (3,2) wants
+        // +Y: detour starts heading -X with the wall on the right.
+        let blocked = [Coord::new(3, 3), Coord::new(4, 3)];
+        let free = |c: Coord| {
+            c.x >= 0 && c.y >= 0 && c.x < 8 && c.y < 8 && !blocked.contains(&c)
+        };
+        let mut det = Detour::around(Dir::PlusY);
+        let mut pos = Coord::new(3, 2);
+        let visited = Visited::new(pos);
+        let mut trail = vec![pos];
+        for _ in 0..10 {
+            pos = det.step(pos, free, &visited).expect("not trapped");
+            trail.push(pos);
+            // Stop once north of the obstacle row.
+            if pos.y > 3 {
+                break;
+            }
+        }
+        assert!(trail.contains(&Coord::new(2, 2)));
+        assert!(pos.y > 3, "detour must eventually clear the wall: {trail:?}");
+    }
+
+    #[test]
+    fn detour_none_when_trapped() {
+        let free = |_: Coord| false;
+        let mut det = Detour::around(Dir::PlusX);
+        let visited = Visited::new(Coord::new(0, 0));
+        assert_eq!(det.step(Coord::new(0, 0), free, &visited), None);
+    }
+
+    #[test]
+    fn closed_orbit_degrades_to_escape_walk() {
+        // A 2x2 pocket: the wall-follow orbits it, detects the repeat and
+        // switches to least-visited escape instead of returning None.
+        let free = |c: Coord| (0..2).contains(&c.x) && (0..2).contains(&c.y);
+        let mut det = Detour::around(Dir::PlusY);
+        let mut visited = Visited::new(Coord::new(0, 0));
+        let mut pos = Coord::new(0, 0);
+        let mut steps = 0;
+        for _ in 0..12 {
+            match det.step(pos, free, &visited) {
+                Some(w) => {
+                    pos = w;
+                    visited.insert(pos);
+                    steps += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(steps >= 6, "escape walk must keep moving inside the pocket");
+        assert!(det.exhausted, "orbit detection must have fired");
+    }
+
+    #[test]
+    fn validate_rejects_broken_paths() {
+        let net = Network::build(FaultSet::from_coords(Mesh::square(5), [Coord::new(2, 2)]));
+        let s = Coord::new(0, 0);
+        let d = Coord::new(4, 4);
+        let jump = RouteResult {
+            path: vec![s, Coord::new(2, 0), d],
+            delivered: true,
+            replans: 0,
+            fallbacks: 0,
+            detour_hops: 0,
+        };
+        assert!(validate_path(&net, s, d, &jump).is_err());
+        let through_fault = RouteResult {
+            path: vec![s, Coord::new(1, 0), Coord::new(2, 0), Coord::new(2, 1), Coord::new(2, 2)],
+            delivered: false,
+            replans: 0,
+            fallbacks: 0,
+            detour_hops: 0,
+        };
+        assert!(validate_path(&net, s, Coord::new(2, 2), &through_fault).is_err());
+        let ok = RouteResult {
+            path: vec![s, Coord::new(1, 0), Coord::new(1, 1)],
+            delivered: true,
+            replans: 0,
+            fallbacks: 0,
+            detour_hops: 0,
+        };
+        assert!(validate_path(&net, s, Coord::new(1, 1), &ok).is_ok());
+    }
+
+    #[test]
+    fn route_result_hops() {
+        let r = RouteResult {
+            path: vec![Coord::new(0, 0)],
+            delivered: false,
+            replans: 0,
+            fallbacks: 0,
+            detour_hops: 0,
+        };
+        assert_eq!(r.hops(), 0);
+    }
+}

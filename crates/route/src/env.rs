@@ -1,0 +1,128 @@
+//! The routing environment: one fault configuration, fully analyzed.
+
+use meshpath_fault::{BlockSet, BorderPolicy, MccSet};
+use meshpath_info::{BoundarySet, InfoModel, ModelKind};
+use meshpath_mesh::{Coord, FaultSet, Mesh, Orientation};
+
+/// Everything the routers need about one fault configuration:
+///
+/// * the fault set itself (local fault detection),
+/// * the MCC labeling and components for all four orientations,
+/// * the B1/B2/B3 information models for all four orientations,
+/// * the rectangular fault blocks (E-cube baseline).
+///
+/// Building a `Network` is the per-configuration setup cost; routing any
+/// number of source/destination pairs afterwards reuses it.
+pub struct Network {
+    faults: FaultSet,
+    mccs: Vec<MccSet>,
+    /// `models[orientation_index][model_kind_index]`.
+    models: Vec<[InfoModel; 3]>,
+    blocks: BlockSet,
+}
+
+impl Network {
+    /// Analyzes `faults` under all orientations and models.
+    pub fn build(faults: FaultSet) -> Self {
+        let mut mccs = Vec::with_capacity(4);
+        let mut models = Vec::with_capacity(4);
+        for o in Orientation::ALL {
+            let set = MccSet::build(&faults, o, BorderPolicy::Open);
+            let bounds = BoundarySet::build(&set);
+            models.push([
+                InfoModel::build_with(&set, &bounds, ModelKind::B1),
+                InfoModel::build_with(&set, &bounds, ModelKind::B2),
+                InfoModel::build_with(&set, &bounds, ModelKind::B3),
+            ]);
+            mccs.push(set);
+        }
+        let blocks = BlockSet::build(&faults);
+        Network { faults, mccs, models, blocks }
+    }
+
+    /// The mesh.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        self.faults.mesh()
+    }
+
+    /// The fault set.
+    #[inline]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// MCC analysis for one orientation.
+    #[inline]
+    pub fn mccs(&self, o: Orientation) -> &MccSet {
+        &self.mccs[o.index()]
+    }
+
+    /// Information model of `kind` for one orientation.
+    #[inline]
+    pub fn model(&self, o: Orientation, kind: ModelKind) -> &InfoModel {
+        let k = match kind {
+            ModelKind::B1 => 0,
+            ModelKind::B2 => 1,
+            ModelKind::B3 => 2,
+        };
+        &self.models[o.index()][k]
+    }
+
+    /// Rectangular fault blocks (E-cube baseline).
+    #[inline]
+    pub fn blocks(&self) -> &BlockSet {
+        &self.blocks
+    }
+
+    /// True when `c` is a safe node in the orientation normalizing `s -> d`
+    /// routings (used by the experiment harness to filter endpoint picks:
+    /// the paper assumes "the source and the destination are safe nodes").
+    pub fn is_safe_for(&self, c: Coord, s: Coord, d: Coord) -> bool {
+        let o = Orientation::normalizing(s, d);
+        self.mccs(o).labeling().status_real(c).is_safe()
+    }
+
+    /// True when `c` is safe under **every** orientation (the strictest
+    /// endpoint filter).
+    pub fn is_safe_all_orientations(&self, c: Coord) -> bool {
+        Orientation::ALL
+            .iter()
+            .all(|&o| self.mccs(o).labeling().status_real(c).is_safe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_populates_all_orientations() {
+        let mesh = Mesh::square(12);
+        let faults =
+            FaultSet::from_coords(mesh, [Coord::new(4, 4), Coord::new(5, 3), Coord::new(8, 9)]);
+        let net = Network::build(faults);
+        for o in Orientation::ALL {
+            assert!(net.mccs(o).len() >= 2);
+            for kind in ModelKind::ALL {
+                // Models exist and carry consistent safe-node counts.
+                assert_eq!(
+                    net.model(o, kind).stats().safe_nodes,
+                    net.mccs(o).labeling().safe_count()
+                );
+            }
+        }
+        assert!(net.blocks().disabled_count() >= 3);
+    }
+
+    #[test]
+    fn safety_filters() {
+        let mesh = Mesh::square(10);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(4, 5), Coord::new(5, 4)]);
+        let net = Network::build(faults);
+        // (4,4) is useless in the identity orientation but safe in others.
+        assert!(!net.is_safe_for(Coord::new(4, 4), Coord::new(0, 0), Coord::new(9, 9)));
+        assert!(!net.is_safe_all_orientations(Coord::new(4, 4)));
+        assert!(net.is_safe_all_orientations(Coord::new(0, 0)));
+    }
+}

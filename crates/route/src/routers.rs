@@ -1,0 +1,657 @@
+//! The four routers evaluated in the paper's Fig. 5(d)/(e).
+
+use meshpath_info::ModelKind;
+use meshpath_mesh::{Coord, Dir, FxHashSet, Orientation};
+
+use crate::alg2::{decide, AdaptivePolicy, Decision, PhaseCtx};
+use crate::engine::{hop_budget, least_visited_step, Detour, RouteResult, Router, Visited};
+use crate::env::Network;
+use crate::seq::{KnowledgeScope, Plan, Planner};
+
+/// `RB1` — Algorithm 3: Manhattan routing over the B1 boundary model,
+/// with clockwise wall-following detours when blocked (no feasibility
+/// check, no multi-phase planning).
+#[derive(Clone, Copy, Debug)]
+pub struct Rb1 {
+    /// Adaptive tie-break for Algorithm 2's step 3.
+    pub policy: AdaptivePolicy,
+    /// Knowledge scope (Local reproduces the paper; Global for reference).
+    pub scope: KnowledgeScope,
+}
+
+impl Default for Rb1 {
+    fn default() -> Self {
+        Rb1 { policy: AdaptivePolicy::LongerFirst, scope: KnowledgeScope::Local }
+    }
+}
+
+impl Router for Rb1 {
+    fn name(&self) -> &'static str {
+        "RB1"
+    }
+
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
+        route_rb1_like(net, s, d, ModelKind::B1, self.scope, self.policy)
+    }
+}
+
+/// Shared driver for boundary-model routing with detours (RB1, and the
+/// no-info last resort of RB2/RB3).
+fn route_rb1_like(
+    net: &Network,
+    s: Coord,
+    d: Coord,
+    kind: ModelKind,
+    scope: KnowledgeScope,
+    policy: AdaptivePolicy,
+) -> RouteResult {
+    let mesh = *net.mesh();
+    let mut path = vec![s];
+    let mut u = s;
+    let mut prev: Option<Coord> = None;
+    let mut visited = Visited::new(s);
+    let mut detour: Option<Detour> = None;
+    let mut detour_hops = 0u32;
+    let mut detour_run = 0u32;
+    // After a full orbit's worth of wall-following, allow stepping onto
+    // visited nodes again (breaks rare starvation around big clusters).
+    let detour_patience = 4 * (mesh.width() + mesh.height());
+    let healthy = |c: Coord| net.faults().is_healthy(c);
+
+    for _ in 0..hop_budget(net) {
+        if u == d {
+            return RouteResult { path, delivered: true, replans: 0, fallbacks: 0, detour_hops };
+        }
+        // Thrash guard: heavy revisiting means the local decisions cycle;
+        // degrade to the least-visited exploration walk, which covers the
+        // connected component and therefore terminates.
+        if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+            match least_visited_step(u, healthy, visited.counts()) {
+                Some(w) => {
+                    detour_hops += 1;
+                    prev = Some(u);
+                    u = w;
+                    visited.insert(u);
+                    path.push(u);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let o = Orientation::normalizing(u, d);
+        let ctx = PhaseCtx { set: net.mccs(o), model: net.model(o, kind), scope };
+        let (ou, od) = (o.apply(&mesh, u), o.apply(&mesh, d));
+        let oprev = prev.map(|p| o.apply(&mesh, p));
+
+        let decision = decide(&ctx, ou, od, policy, oprev);
+        let next = match (&mut detour, decision) {
+            (_, Decision::Arrived) => unreachable!("u != d was checked"),
+            (None, Decision::Step(dir)) => {
+                detour_run = 0;
+                o.apply(&mesh, ou.step(dir))
+            }
+            (Some(det), Decision::Step(dir)) => {
+                let v = o.apply(&mesh, ou.step(dir));
+                if visited.contains(v) && detour_run < detour_patience {
+                    // Keep wall-following; leaving the detour into a
+                    // visited node invites a livelock.
+                    match det.step(u, healthy, &visited) {
+                        Some(w) => {
+                            detour_hops += 1;
+                            detour_run += 1;
+                            w
+                        }
+                        None => break,
+                    }
+                } else {
+                    detour = None;
+                    detour_run = 0;
+                    v
+                }
+            }
+            (None, Decision::Blocked) => {
+                // Algorithm 3 step 3: route around the MCC clockwise.
+                let toward = if od.y > ou.y { Dir::PlusY } else { Dir::PlusX };
+                let mut det = Detour::around(o.apply_dir(toward));
+                match det.step(u, healthy, &visited) {
+                    Some(w) => {
+                        detour = Some(det);
+                        detour_hops += 1;
+                        detour_run += 1;
+                        w
+                    }
+                    None => break,
+                }
+            }
+            (Some(det), Decision::Blocked) => match det.step(u, healthy, &visited) {
+                Some(w) => {
+                    detour_hops += 1;
+                    detour_run += 1;
+                    w
+                }
+                None => break,
+            },
+        };
+        prev = Some(u);
+        u = next;
+        visited.insert(u);
+        path.push(u);
+        if detour.as_ref().is_some_and(|d| d.exhausted) {
+            detour = None;
+            detour_run = 0;
+        }
+    }
+    RouteResult { path, delivered: u == d, replans: 0, fallbacks: 0, detour_hops }
+}
+
+/// `RB2` — Algorithm 5: shortest-path routing over the B2 broadcast model.
+#[derive(Clone, Copy, Debug)]
+pub struct Rb2 {
+    /// Adaptive tie-break for the Manhattan phases.
+    pub policy: AdaptivePolicy,
+    /// Knowledge scope (Local reproduces the paper; Global for reference).
+    pub scope: KnowledgeScope,
+}
+
+impl Default for Rb2 {
+    fn default() -> Self {
+        Rb2 { policy: AdaptivePolicy::LongerFirst, scope: KnowledgeScope::Local }
+    }
+}
+
+impl Router for Rb2 {
+    fn name(&self) -> &'static str {
+        "RB2"
+    }
+
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
+        route_planned(net, s, d, ModelKind::B2, self.scope, self.policy)
+    }
+}
+
+/// `RB3` — Algorithm 7: the same multi-phase machinery over the B3
+/// boundary + relation-record model.
+#[derive(Clone, Copy, Debug)]
+pub struct Rb3 {
+    /// Adaptive tie-break for the Manhattan phases.
+    pub policy: AdaptivePolicy,
+    /// Knowledge scope.
+    pub scope: KnowledgeScope,
+}
+
+impl Default for Rb3 {
+    fn default() -> Self {
+        Rb3 { policy: AdaptivePolicy::LongerFirst, scope: KnowledgeScope::Local }
+    }
+}
+
+impl Router for Rb3 {
+    fn name(&self) -> &'static str {
+        "RB3"
+    }
+
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
+        route_planned(net, s, d, ModelKind::B3, self.scope, self.policy)
+    }
+}
+
+/// Shared multi-phase driver for RB2/RB3 (Algorithms 5 and 7).
+fn route_planned(
+    net: &Network,
+    s: Coord,
+    d: Coord,
+    kind: ModelKind,
+    scope: KnowledgeScope,
+    policy: AdaptivePolicy,
+) -> RouteResult {
+    let mesh = *net.mesh();
+    let planner = Planner::new(net, kind, scope);
+    let mut path = vec![s];
+    let mut u = s;
+    let mut prev: Option<Coord> = None;
+    let mut visited = Visited::new(s);
+    let mut learned: FxHashSet<Coord> = FxHashSet::default();
+    let mut waypoints: Vec<Coord> = Vec::new(); // stack, next target last
+    let mut forced: Option<(Vec<Coord>, usize)> = None;
+    let mut planned = false;
+    let mut detour: Option<Detour> = None;
+    let mut replans = 0u32;
+    let mut fallbacks = 0u32;
+    let mut detour_hops = 0u32;
+    let mut detour_run = 0u32;
+    let detour_patience = 4 * (mesh.width() + mesh.height());
+    let healthy = |c: Coord| net.faults().is_healthy(c);
+
+    for _ in 0..hop_budget(net) {
+        if u == d {
+            return RouteResult { path, delivered: true, replans, fallbacks, detour_hops };
+        }
+        // Thrash guard (see the RB1 driver).
+        if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+            match least_visited_step(u, healthy, visited.counts()) {
+                Some(w) => {
+                    detour_hops += 1;
+                    prev = Some(u);
+                    u = w;
+                    visited.insert(u);
+                    path.push(u);
+                    forced = None;
+                    planned = false;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Follow a forced (BFS fallback) path when active.
+        if let Some((ref fpath, ref mut idx)) = forced {
+            let next = fpath[*idx + 1];
+            if healthy(next) {
+                *idx += 1;
+                prev = Some(u);
+                u = next;
+                visited.insert(u);
+                path.push(u);
+                if *idx + 1 >= fpath.len() {
+                    forced = None;
+                    planned = false;
+                }
+                continue;
+            }
+            // The plan crossed an unknown fault: learn and re-plan.
+            learned.insert(next);
+            forced = None;
+            planned = false;
+            replans += 1;
+            continue;
+        }
+
+        // Reached the current intermediate destination: re-plan there
+        // (Algorithm 5 step 5 "from that intermediate destination, the
+        // routing will continue").
+        while waypoints.last() == Some(&u) {
+            waypoints.pop();
+            planned = false;
+        }
+
+        if !planned {
+            let (plan, stats) = planner.plan(u, d, &learned);
+            planned = true;
+            match plan {
+                Plan::Direct => waypoints.clear(),
+                Plan::Waypoints(w) => {
+                    // Keep in visiting order; the stack pops from the back.
+                    waypoints = w;
+                    waypoints.reverse();
+                }
+                Plan::Forced(p) => {
+                    forced = Some((p, 0));
+                    fallbacks += stats.used_fallback as u32;
+                    continue;
+                }
+            }
+            if stats.used_fallback {
+                fallbacks += 1;
+            }
+        }
+
+        let target = waypoints.last().copied().unwrap_or(d);
+        let o = Orientation::normalizing(u, target);
+        let ctx = PhaseCtx { set: net.mccs(o), model: net.model(o, kind), scope };
+        let (ou, ot) = (o.apply(&mesh, u), o.apply(&mesh, target));
+        let oprev = prev.map(|p| o.apply(&mesh, p));
+        if std::env::var_os("MESHPATH_TRACE").is_some() {
+            eprintln!(
+                "at {u:?} target {target:?} waypoints {waypoints:?} detour {}",
+                detour.is_some()
+            );
+        }
+
+        let next = match (&mut detour, decide(&ctx, ou, ot, policy, oprev)) {
+            (_, Decision::Arrived) => {
+                // u == target handled above for waypoints; target == d
+                // handled at the loop head.
+                unreachable!("arrival is handled before deciding")
+            }
+            (None, Decision::Step(dir)) => {
+                detour_run = 0;
+                o.apply(&mesh, ou.step(dir))
+            }
+            (Some(det), Decision::Step(dir)) => {
+                let v = o.apply(&mesh, ou.step(dir));
+                if visited.contains(v) && detour_run < detour_patience {
+                    match det.step(u, healthy, &visited) {
+                        Some(w) => {
+                            detour_hops += 1;
+                            detour_run += 1;
+                            w
+                        }
+                        None => break,
+                    }
+                } else {
+                    detour = None;
+                    detour_run = 0;
+                    v
+                }
+            }
+            (None, Decision::Blocked) => {
+                // The phase is blocked: re-plan once; if the planner has
+                // nothing new, fall back to a BFS plan; as a last resort
+                // wall-follow.
+                replans += 1;
+                let o_d = Orientation::normalizing(u, d);
+                let (plan, stats) = planner.fallback(u, d, o_d, &learned);
+                if stats.used_fallback {
+                    fallbacks += 1;
+                }
+                if let Plan::Forced(p) = plan {
+                    if p.len() > 1 {
+                        forced = Some((p, 0));
+                        continue;
+                    }
+                }
+                let toward = if ot.y > ou.y { Dir::PlusY } else { Dir::PlusX };
+                let mut det = Detour::around(o.apply_dir(toward));
+                match det.step(u, healthy, &visited) {
+                    Some(w) => {
+                        detour = Some(det);
+                        detour_hops += 1;
+                        detour_run += 1;
+                        w
+                    }
+                    None => break,
+                }
+            }
+            (Some(det), Decision::Blocked) => match det.step(u, healthy, &visited) {
+                Some(w) => {
+                    detour_hops += 1;
+                    detour_run += 1;
+                    w
+                }
+                None => break,
+            },
+        };
+        prev = Some(u);
+        u = next;
+        visited.insert(u);
+        path.push(u);
+        if detour.as_ref().is_some_and(|d| d.exhausted) {
+            detour = None;
+            detour_run = 0;
+        }
+    }
+    RouteResult { path, delivered: u == d, replans, fallbacks, detour_hops }
+}
+
+/// `E-cube` — fault-tolerant dimension-order routing over rectangular
+/// fault blocks (Boppana & Chalasani, the paper's reference [2]): route
+/// `X` first, then `Y`; on meeting a fault block, traverse its f-ring
+/// until dimension progress resumes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ECube;
+
+impl Router for ECube {
+    fn name(&self) -> &'static str {
+        "E-cube"
+    }
+
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
+        let mesh = *net.mesh();
+        let blocks = net.blocks();
+        // Walk on healthy nodes, but treat block-disabled nodes as
+        // obstacles (except the endpoints, which the experiment harness
+        // guarantees to be healthy but which the coarser block model may
+        // have deactivated).
+        // Once wall-following over enabled nodes exhausts its orbits
+        // repeatedly, the enabled region around the walker is a closed
+        // pocket: drop the block constraint and walk healthy nodes (the
+        // deactivated ones are physical hardware; the error metric pays
+        // for the extra hops).
+        let healthy_mode = std::cell::Cell::new(false);
+        let passable = |c: Coord| {
+            mesh.contains(c)
+                && net.faults().is_healthy(c)
+                && (!blocks.is_disabled(c) || c == d || c == s || healthy_mode.get())
+        };
+        let healthy = |c: Coord| net.faults().is_healthy(c);
+        let desired = |u: Coord| -> Dir {
+            if u.x != d.x {
+                if d.x > u.x {
+                    Dir::PlusX
+                } else {
+                    Dir::MinusX
+                }
+            } else if d.y > u.y {
+                Dir::PlusY
+            } else {
+                Dir::MinusY
+            }
+        };
+
+        let mut path = vec![s];
+        let mut u = s;
+        let mut visited = Visited::new(s);
+        let mut detour: Option<Detour> = None;
+        let mut detour_hops = 0u32;
+        let mut detour_run = 0u32;
+        let detour_patience = 4 * (mesh.width() + mesh.height());
+
+        for _ in 0..hop_budget(net) {
+            if u == d {
+                return RouteResult { path, delivered: true, replans: 0, fallbacks: 0, detour_hops };
+            }
+            // Thrash guard: revisiting any node this often means the
+            // dimension-ordered decision cycles; degrade to a pure
+            // least-visited exploration walk, which covers the connected
+            // component and therefore terminates.
+            if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+                healthy_mode.set(true);
+                match least_visited_step(u, healthy, visited.counts()) {
+                    Some(w) => {
+                        detour_hops += 1;
+                        u = w;
+                        visited.insert(u);
+                        path.push(u);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let dir = desired(u);
+            let straight = u.step(dir);
+            let next = match &mut detour {
+                None => {
+                    if passable(straight) {
+                        detour_run = 0;
+                        straight
+                    } else {
+                        let mut det = Detour::around(dir);
+                        match det.step(u, passable, &visited) {
+                            Some(w) => {
+                                detour = Some(det);
+                                detour_hops += 1;
+                                detour_run += 1;
+                                w
+                            }
+                            // Enabled nodes exhausted: escape over healthy
+                            // nodes (block-disabled ones are physically
+                            // traversable; the error metric pays for it).
+                            None => match least_visited_step(u, healthy, visited.counts()) {
+                                Some(w) => {
+                                    detour_hops += 1;
+                                    w
+                                }
+                                None => break,
+                            },
+                        }
+                    }
+                }
+                Some(det) => {
+                    if passable(straight)
+                        && (!visited.contains(straight) || detour_run >= detour_patience)
+                    {
+                        detour = None;
+                        detour_run = 0;
+                        straight
+                    } else {
+                        match det.step(u, passable, &visited) {
+                            Some(w) => {
+                                detour_hops += 1;
+                                detour_run += 1;
+                                w
+                            }
+                            None => match least_visited_step(u, healthy, visited.counts()) {
+                                Some(w) => {
+                                    detour_hops += 1;
+                                    w
+                                }
+                                None => break,
+                            },
+                        }
+                    }
+                }
+            };
+            u = next;
+            visited.insert(u);
+            path.push(u);
+            if detour.as_ref().is_some_and(|d| d.exhausted) {
+                detour = None;
+                detour_run = 0;
+                healthy_mode.set(true);
+            }
+        }
+        RouteResult { path, delivered: u == d, replans: 0, fallbacks: 0, detour_hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::validate_path;
+    use crate::oracle::DistanceField;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    fn net(mesh: Mesh, faults: &[(i32, i32)]) -> Network {
+        Network::build(FaultSet::from_coords(
+            mesh,
+            faults.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
+    }
+
+    fn check_optimal(router: &dyn Router, n: &Network, s: Coord, d: Coord) {
+        let res = router.route(n, s, d);
+        assert!(res.delivered, "{} failed {s:?}->{d:?}: {:?}", router.name(), res.path);
+        validate_path(n, s, d, &res).expect("valid path");
+        let field = DistanceField::healthy(n.faults(), d);
+        assert_eq!(
+            res.hops(),
+            field.dist(s),
+            "{} suboptimal {s:?}->{d:?}: {:?}",
+            router.name(),
+            res.path
+        );
+    }
+
+    #[test]
+    fn all_routers_deliver_on_fault_free_mesh() {
+        let n = net(Mesh::square(8), &[]);
+        let (s, d) = (Coord::new(1, 1), Coord::new(6, 5));
+        for router in [&Rb1::default() as &dyn Router, &Rb2::default(), &Rb3::default(), &ECube] {
+            check_optimal(router, &n, s, d);
+        }
+    }
+
+    #[test]
+    fn rb2_takes_the_shortest_detour_around_a_single_fault() {
+        let n = net(Mesh::square(10), &[(5, 5)]);
+        // Blocked column case: optimal adds exactly 2 hops.
+        check_optimal(&Rb2::default(), &n, Coord::new(5, 1), Coord::new(5, 8));
+        // Feasible cases stay Manhattan.
+        check_optimal(&Rb2::default(), &n, Coord::new(0, 0), Coord::new(9, 9));
+        check_optimal(&Rb2::default(), &n, Coord::new(9, 9), Coord::new(0, 0));
+        check_optimal(&Rb2::default(), &n, Coord::new(0, 9), Coord::new(9, 0));
+    }
+
+    #[test]
+    fn rb2_threads_a_two_mcc_chain() {
+        let f1: Vec<(i32, i32)> = (0..=5).map(|x| (x, 4)).collect();
+        let f2: Vec<(i32, i32)> = (4..=9).map(|x| (x, 7)).collect();
+        let all: Vec<(i32, i32)> = f1.into_iter().chain(f2).collect();
+        let n = net(Mesh::square(10), &all);
+        check_optimal(&Rb2::default(), &n, Coord::new(2, 0), Coord::new(7, 9));
+    }
+
+    #[test]
+    fn rb1_delivers_with_detours_when_no_manhattan_path() {
+        let n = net(Mesh::square(10), &[(5, 5)]);
+        let (s, d) = (Coord::new(5, 1), Coord::new(5, 8));
+        let res = Rb1::default().route(&n, s, d);
+        assert!(res.delivered);
+        validate_path(&n, s, d, &res).expect("valid");
+        // RB1 is allowed to be suboptimal, but must deliver.
+        assert!(res.hops() >= s.manhattan(d));
+    }
+
+    #[test]
+    fn rb3_matches_rb2_from_boundary_sources() {
+        // Theorem 2: from a boundary node the RB3 path is as short as
+        // RB2's. (4,1) lies on the -X boundary of the fault at (5,5)...
+        // actually on the boundary of column 4 descending from (4,4).
+        let n = net(Mesh::square(10), &[(5, 5)]);
+        let (s, d) = (Coord::new(4, 1), Coord::new(5, 8));
+        let rb2 = Rb2::default().route(&n, s, d);
+        let rb3 = Rb3::default().route(&n, s, d);
+        assert!(rb2.delivered && rb3.delivered);
+        assert_eq!(rb2.hops(), rb3.hops());
+    }
+
+    #[test]
+    fn ecube_routes_around_blocks() {
+        let n = net(Mesh::square(10), &[(4, 4), (4, 5), (5, 4), (5, 5)]);
+        let (s, d) = (Coord::new(1, 4), Coord::new(8, 5));
+        let res = ECube.route(&n, s, d);
+        assert!(res.delivered, "path: {:?}", res.path);
+        validate_path(&n, s, d, &res).expect("valid");
+        assert!(res.detour_hops > 0, "must have detoured around the block");
+    }
+
+    #[test]
+    fn routers_survive_dense_random_faults() {
+        use meshpath_mesh::FaultInjection;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mesh = Mesh::square(16);
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..6 {
+            let faults = FaultSet::random(mesh, 30, FaultInjection::Uniform, &mut rng);
+            if !meshpath_mesh::is_connected(&faults) {
+                continue;
+            }
+            let n = Network::build(faults);
+            let field_ok = |c: Coord| n.faults().is_healthy(c) && n.is_safe_all_orientations(c);
+            // Draw safe endpoint pairs.
+            let mut pairs = Vec::new();
+            while pairs.len() < 8 {
+                let s = Coord::new(rng.gen_range(0..16), rng.gen_range(0..16));
+                let d = Coord::new(rng.gen_range(0..16), rng.gen_range(0..16));
+                if s != d && field_ok(s) && field_ok(d) {
+                    pairs.push((s, d));
+                }
+            }
+            for (s, d) in pairs {
+                for router in
+                    [&Rb1::default() as &dyn Router, &Rb2::default(), &Rb3::default(), &ECube]
+                {
+                    let res = router.route(&n, s, d);
+                    assert!(
+                        res.delivered,
+                        "{} undelivered {s:?}->{d:?} (trial {trial})",
+                        router.name()
+                    );
+                    validate_path(&n, s, d, &res).expect("valid path");
+                }
+            }
+        }
+    }
+}

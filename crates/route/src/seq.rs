@@ -1,0 +1,590 @@
+//! Blocking sequences and the recursive shortest-path distance.
+//!
+//! When no Manhattan path exists, Algorithm 5 identifies the *closest
+//! blocking sequence* `F1, ..., Fn` (Eq. 1): a staircase chain of MCCs
+//! that together bar every monotone path from the current node to the
+//! destination. The routing then detours around the sequence through one
+//! of `n+1` pivots (Eq. 3) —
+//!
+//! * `P0`: through `c1`, the initialization corner of the first MCC,
+//! * `Pi`: between two consecutive MCCs, via `c'_i` then `c_{i+1}`,
+//! * `Pn`: through `c'_n`, the opposite corner of the last MCC —
+//!
+//! picking the option minimizing the recursively-defined distance `D`
+//! (Eq. 2). This module implements the chain search (both the type-I/+Y
+//! and type-II/+X variants), the memoized recursion, and a BFS-over-known-
+//! obstacles fallback used when the paper's enumeration comes up empty
+//! (counted and reported by the experiment harness; expected rare).
+
+use meshpath_fault::{Mcc, MccId, MccSet};
+use meshpath_info::ModelKind;
+use meshpath_mesh::{Coord, FxHashMap, FxHashSet, Orientation};
+
+use crate::env::Network;
+
+/// Whether routing decisions may use triples not stored at the deciding
+/// node (idealized reference runs) or only local knowledge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KnowledgeScope {
+    /// Only triples the information model stored at the deciding node.
+    #[default]
+    Local,
+    /// All triples (idealized global knowledge; reference/testing).
+    Global,
+}
+
+/// Axis of a blocking sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeqAxis {
+    /// Type-I: blocks `+Y` progress.
+    TypeI,
+    /// Type-II: blocks `+X` progress.
+    TypeII,
+}
+
+/// The plan produced at a decision point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// No blocking sequence: Manhattan-route straight to the target.
+    Direct,
+    /// Detour through these intermediate destinations (real coordinates),
+    /// re-planning at the last one.
+    Waypoints(Vec<Coord>),
+    /// Follow this explicit path (BFS-over-known-obstacles fallback).
+    Forced(Vec<Coord>),
+}
+
+/// Outcome statistics of one planning call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// The Eq.-3 enumeration failed and the BFS fallback was used.
+    pub used_fallback: bool,
+    /// Estimated remaining length (`D(u, d)`), when computable.
+    pub estimate: Option<u64>,
+}
+
+/// Distance value for infeasible options.
+const INF: u64 = u64::MAX / 4;
+
+/// The sequence/distance planner bound to one network and model.
+pub struct Planner<'a> {
+    net: &'a Network,
+    kind: ModelKind,
+    scope: KnowledgeScope,
+    strict: bool,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over `net` using the `kind` information model.
+    pub fn new(net: &'a Network, kind: ModelKind, scope: KnowledgeScope) -> Self {
+        Planner { net, kind, scope, strict: false }
+    }
+
+    /// A planner restricted to the paper's literal Eq.-3 pivot options
+    /// (no hybrid fallback refinement) — the ablation configuration.
+    pub fn new_strict(net: &'a Network, kind: ModelKind, scope: KnowledgeScope) -> Self {
+        Planner { net, kind, scope, strict: true }
+    }
+
+    /// True when `anchor` (real coordinates) holds `f`'s triple in the
+    /// orientation-`o` model.
+    fn knows(&self, anchor: Coord, o: Orientation, f: MccId) -> bool {
+        match self.scope {
+            KnowledgeScope::Global => true,
+            KnowledgeScope::Local => {
+                let oa = o.apply(self.net.mesh(), anchor);
+                self.net.model(o, self.kind).knows(oa, f)
+            }
+        }
+    }
+
+    /// True when a Manhattan path from `u` to `d` exists as far as the
+    /// knowledge stored at `anchor` can tell (monotone DP over the cells
+    /// of known MCCs). This is the exact feasibility test: the Eq.-1
+    /// chain conditions alone over-approximate blockage in marginal
+    /// geometries (two chained MCCs with `xc_{i+1} = xc'_i` leave a
+    /// one-column gap a monotone path can thread; see DESIGN.md §3).
+    pub fn manhattan_feasible(&self, anchor: Coord, u: Coord, d: Coord) -> bool {
+        let o = Orientation::normalizing(u, d);
+        let mesh = self.net.mesh();
+        let (ou, od) = (o.apply(mesh, u), o.apply(mesh, d));
+        let set = self.net.mccs(o);
+        let blocked = |oc: Coord| match set.mcc_at(oc) {
+            Some(id) => self.knows(anchor, o, id),
+            None => false,
+        };
+        crate::monotone::monotone_feasible(ou, od, blocked)
+    }
+
+    /// Finds the closest blocking sequence from `u` toward `d` (real
+    /// coordinates), using the knowledge stored at `anchor`.
+    ///
+    /// Returns `None` when a Manhattan path exists (no blocking). When
+    /// blocked, returns the Eq.-1 chain when one can be enumerated; a
+    /// blocked pair with no enumerable chain returns an empty chain
+    /// (callers fall back to BFS planning).
+    pub fn closest_sequence(
+        &self,
+        anchor: Coord,
+        u: Coord,
+        d: Coord,
+    ) -> Option<(SeqAxis, Vec<MccId>, Orientation)> {
+        if self.manhattan_feasible(anchor, u, d) {
+            return None;
+        }
+        let o = Orientation::normalizing(u, d);
+        let mesh = self.net.mesh();
+        let (ou, od) = (o.apply(mesh, u), o.apply(mesh, d));
+        let set = self.net.mccs(o);
+
+        let type_i = self.chain(anchor, o, set, ou, od, SeqAxis::TypeI);
+        let type_ii = self.chain(anchor, o, set, ou, od, SeqAxis::TypeII);
+        match (type_i, type_ii) {
+            (Some(a), None) => Some((SeqAxis::TypeI, a, o)),
+            (None, Some(b)) => Some((SeqAxis::TypeII, b, o)),
+            // The paper proves safe endpoints cannot see both kinds; if
+            // local knowledge disagrees, prefer the shorter chain.
+            (Some(a), Some(b)) => {
+                if a.len() <= b.len() {
+                    Some((SeqAxis::TypeI, a, o))
+                } else {
+                    Some((SeqAxis::TypeII, b, o))
+                }
+            }
+            // Blocked, but the greedy chain enumeration found nothing:
+            // signal with an empty chain.
+            (None, None) => Some((SeqAxis::TypeI, Vec::new(), o)),
+        }
+    }
+
+    /// Greedy Eq.-1 chain construction for one axis.
+    fn chain(
+        &self,
+        anchor: Coord,
+        o: Orientation,
+        set: &MccSet,
+        ou: Coord,
+        od: Coord,
+        axis: SeqAxis,
+    ) -> Option<Vec<MccId>> {
+        let model = self.net.model(o, self.kind);
+        let known = |f: &Mcc| self.knows(anchor, o, f.id());
+
+        // F1: the closest MCC whose shadow contains u.
+        let start = set
+            .iter()
+            .filter(|f| known(f))
+            .filter(|f| match axis {
+                SeqAxis::TypeI => f.shadow_y(ou),
+                SeqAxis::TypeII => f.shadow_x(ou),
+            })
+            .min_by_key(|f| match axis {
+                SeqAxis::TypeI => f.col(ou.x).map(|s| s.lo).unwrap_or(i32::MAX),
+                SeqAxis::TypeII => f.row_range(ou.y).map(|(w, _)| w).unwrap_or(i32::MAX),
+            })?;
+
+        let terminal = |f: &Mcc| match axis {
+            SeqAxis::TypeI => f.critical_y(od),
+            SeqAxis::TypeII => f.critical_x(od),
+        };
+        // Eq.-1 pairwise chain condition (corner coordinates).
+        let chainable = |f: &Mcc, g: &Mcc| match axis {
+            SeqAxis::TypeI => {
+                f.corner().x <= g.corner().x
+                    && g.corner().x <= f.opposite().x
+                    && f.opposite().y < g.opposite().y
+            }
+            SeqAxis::TypeII => {
+                f.corner().y <= g.corner().y
+                    && g.corner().y <= f.opposite().y
+                    && f.opposite().x < g.opposite().x
+            }
+        };
+        let closeness = |g: &Mcc| match axis {
+            SeqAxis::TypeI => g.opposite().y,
+            SeqAxis::TypeII => g.opposite().x,
+        };
+
+        let mut chain = vec![start.id()];
+        let mut cur = start;
+        let mut guard = set.len() + 1;
+        while !terminal(cur) {
+            guard = guard.checked_sub(1)?;
+            // Eq. 4 (B3): the recorded relation resolves the successor;
+            // otherwise scan the known set.
+            let by_relation = model
+                .succ_y(cur.id())
+                .filter(|_| axis == SeqAxis::TypeI)
+                .or_else(|| model.succ_x(cur.id()).filter(|_| axis == SeqAxis::TypeII))
+                .map(|id| set.get(id))
+                .filter(|g| chainable(cur, g));
+            let next = by_relation.or_else(|| {
+                set.iter()
+                    .filter(|g| known(g) && !chain.contains(&g.id()))
+                    .filter(|g| chainable(cur, g))
+                    .min_by_key(|g| closeness(g))
+            })?;
+            chain.push(next.id());
+            cur = next;
+        }
+        Some(chain)
+    }
+
+    /// The recursive shortest-path distance `D(u, d)` of Eq. 2, using the
+    /// knowledge stored at `anchor`. Returns `None` when every option is
+    /// infeasible within the known information.
+    pub fn distance(&self, anchor: Coord, u: Coord, d: Coord) -> Option<u64> {
+        let mut memo = FxHashMap::default();
+        let mut in_progress = FxHashSet::default();
+        let v = self.dist_rec(anchor, u, d, &mut memo, &mut in_progress, 0);
+        (v < INF).then_some(v)
+    }
+
+    fn dist_rec(
+        &self,
+        anchor: Coord,
+        u: Coord,
+        d: Coord,
+        memo: &mut FxHashMap<Coord, u64>,
+        in_progress: &mut FxHashSet<Coord>,
+        depth: usize,
+    ) -> u64 {
+        if u == d {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&u) {
+            return v;
+        }
+        if depth > 4 * self.net.mccs(Orientation::IDENTITY).len() + 16 {
+            return INF;
+        }
+        if !in_progress.insert(u) {
+            return INF; // cycle in the pivot graph
+        }
+        let value = match self.closest_sequence(anchor, u, d) {
+            None => u64::from(u.manhattan(d)),
+            Some((_, chain, _)) if chain.is_empty() => {
+                // Blocked with no enumerable chain: price the leg with a
+                // BFS over the known obstacles (model-consistent).
+                self.known_bfs_distance(anchor, u, d).unwrap_or(INF)
+            }
+            Some((_, chain, o)) => {
+                let set = self.net.mccs(o);
+                let mesh = self.net.mesh();
+                let usable = |oc: Coord| set.labeling().is_safe_node(oc);
+                let real = |oc: Coord| o.apply(mesh, oc);
+                // A leg is priced at Manhattan distance only when it is
+                // actually Manhattan-feasible within the knowledge; the
+                // paper assumes this (Eq. 1 property 5), the greedy chain
+                // does not guarantee it.
+                let leg = |a: Coord, b: Coord| {
+                    if self.manhattan_feasible(anchor, a, b) {
+                        u64::from(a.manhattan(b))
+                    } else {
+                        INF
+                    }
+                };
+                let mut best = INF;
+                let n = chain.len();
+                // P0: through c1.
+                let c1 = set.get(chain[0]).corner();
+                if usable(c1) {
+                    let c1r = real(c1);
+                    let tail = self.dist_rec(anchor, c1r, d, memo, in_progress, depth + 1);
+                    best = best.min(leg(u, c1r).saturating_add(tail));
+                }
+                // Pi: between consecutive MCCs.
+                for i in 0..n.saturating_sub(1) {
+                    let ci_op = set.get(chain[i]).opposite();
+                    let cn = set.get(chain[i + 1]).corner();
+                    if usable(ci_op) && usable(cn) {
+                        let (a, b) = (real(ci_op), real(cn));
+                        let tail = self.dist_rec(anchor, b, d, memo, in_progress, depth + 1);
+                        let cost = leg(u, a).saturating_add(leg(a, b)).saturating_add(tail);
+                        best = best.min(cost);
+                    }
+                }
+                // Pn: through c'_n.
+                let cn_op = set.get(chain[n - 1]).opposite();
+                if usable(cn_op) {
+                    let cr = real(cn_op);
+                    let tail = self.dist_rec(anchor, cr, d, memo, in_progress, depth + 1);
+                    best = best.min(leg(u, cr).saturating_add(tail));
+                }
+                best
+            }
+        };
+        in_progress.remove(&u);
+        memo.insert(u, value);
+        value
+    }
+
+    /// Passability used by the BFS fallback: a node is an obstacle when it
+    /// is a *faulty* cell of an MCC known at `anchor` (or in `learned`).
+    ///
+    /// Healthy-but-unsafe cells stay passable: the triples describe region
+    /// shapes, and the true shortest path may legitimately thread useless
+    /// or can't-reach nodes when the blocking geometry degenerates (e.g.
+    /// an MCC whose initialization corner is itself faulty) — a case
+    /// Theorem 1's safe-nodes-suffice argument overlooks near corners and
+    /// borders; see DESIGN.md §3. Unknown faults remain passable too: the
+    /// route re-plans when local fault detection meets them.
+    fn fallback_passable(
+        &self,
+        anchor: Coord,
+        o: Orientation,
+        learned: &FxHashSet<Coord>,
+    ) -> impl Fn(Coord) -> bool + '_ {
+        let mesh = *self.net.mesh();
+        let set = self.net.mccs(o);
+        let kind = self.kind;
+        let scope = self.scope;
+        let learned = learned.clone();
+        move |c: Coord| {
+            if learned.contains(&c) {
+                return false;
+            }
+            if !self.net.faults().is_faulty(c) {
+                return true;
+            }
+            let oc = o.apply(&mesh, c);
+            match set.mcc_at(oc) {
+                Some(id) => match scope {
+                    KnowledgeScope::Global => false,
+                    KnowledgeScope::Local => {
+                        !self.net.model(o, kind).knows(o.apply(&mesh, anchor), id)
+                    }
+                },
+                None => true,
+            }
+        }
+    }
+
+    /// Model-consistent BFS distance over the fallback obstacle set.
+    fn known_bfs_distance(&self, anchor: Coord, u: Coord, d: Coord) -> Option<u64> {
+        let mesh = *self.net.mesh();
+        let o = Orientation::normalizing(u, d);
+        let passable = self.fallback_passable(anchor, o, &FxHashSet::default());
+        if !passable(d) || !passable(u) {
+            return None;
+        }
+        let field = crate::oracle::DistanceField::with_predicate(mesh, d, passable);
+        let dist = field.dist(u);
+        (dist != crate::oracle::UNREACHABLE).then_some(u64::from(dist))
+    }
+
+    /// Produces the routing plan at `u` toward `d` (Algorithm 5 steps
+    /// 2-5). `learned` holds nodes the route has locally observed to be
+    /// unsafe (excluded from the fallback BFS).
+    pub fn plan(&self, u: Coord, d: Coord, learned: &FxHashSet<Coord>) -> (Plan, PlanStats) {
+        match self.closest_sequence(u, u, d) {
+            None => (Plan::Direct, PlanStats { used_fallback: false, estimate: None }),
+            Some((_, chain, o)) if chain.is_empty() => self.fallback(u, d, o, learned),
+            Some((_, chain, o)) => {
+                let set = self.net.mccs(o);
+                let mesh = self.net.mesh();
+                let usable = |oc: Coord| set.labeling().is_safe_node(oc);
+                let real = |oc: Coord| o.apply(mesh, oc);
+                let n = chain.len();
+
+                let mut best: Option<(u64, Vec<Coord>)> = None;
+                let mut consider = |cost: u64, wp: Vec<Coord>| {
+                    if cost < INF && best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                        best = Some((cost, wp));
+                    }
+                };
+
+                let leg = |a: Coord, b: Coord| {
+                    if self.manhattan_feasible(u, a, b) {
+                        u64::from(a.manhattan(b))
+                    } else {
+                        INF
+                    }
+                };
+                let mut memo = FxHashMap::default();
+                let mut ip = FxHashSet::default();
+                let c1 = set.get(chain[0]).corner();
+                if usable(c1) {
+                    let c1r = real(c1);
+                    let tail = self.dist_rec(u, c1r, d, &mut memo, &mut ip, 1);
+                    consider(leg(u, c1r).saturating_add(tail), vec![c1r]);
+                }
+                for i in 0..n.saturating_sub(1) {
+                    let a = set.get(chain[i]).opposite();
+                    let b = set.get(chain[i + 1]).corner();
+                    if usable(a) && usable(b) {
+                        let (ar, br) = (real(a), real(b));
+                        let tail = self.dist_rec(u, br, d, &mut memo, &mut ip, 1);
+                        let cost = leg(u, ar).saturating_add(leg(ar, br)).saturating_add(tail);
+                        consider(cost, vec![ar, br]);
+                    }
+                }
+                let cn = set.get(chain[n - 1]).opposite();
+                if usable(cn) {
+                    let cr = real(cn);
+                    let tail = self.dist_rec(u, cr, d, &mut memo, &mut ip, 1);
+                    consider(leg(u, cr).saturating_add(tail), vec![cr]);
+                }
+
+                match best {
+                    Some((cost, wp)) => {
+                        // Hybrid refinement: the Eq.-3 pivots only visit
+                        // safe nodes of the current frame, but degenerate
+                        // geometries (faulty corners, border-pressed
+                        // clusters) can make the true shortest path thread
+                        // healthy-but-unsafe cells. When the fallback BFS
+                        // over known faults beats every pivot option, take
+                        // it (disabled under `strict` for the ablation
+                        // study; see DESIGN.md §3).
+                        if !self.strict {
+                            if let (Plan::Forced(p), stats) = self.fallback(u, d, o, learned) {
+                                if stats.estimate.is_some_and(|e| e < cost) {
+                                    return (Plan::Forced(p), stats);
+                                }
+                            }
+                        }
+                        (Plan::Waypoints(wp), PlanStats { used_fallback: false, estimate: Some(cost) })
+                    }
+                    None => self.fallback(u, d, o, learned),
+                }
+            }
+        }
+    }
+
+    /// BFS over known obstacles: the model-consistent last resort.
+    pub fn fallback(
+        &self,
+        u: Coord,
+        d: Coord,
+        o: Orientation,
+        learned: &FxHashSet<Coord>,
+    ) -> (Plan, PlanStats) {
+        let mesh = *self.net.mesh();
+        let passable = self.fallback_passable(u, o, learned);
+        if !passable(d) || !passable(u) {
+            return (Plan::Direct, PlanStats { used_fallback: true, estimate: None });
+        }
+        let field = crate::oracle::DistanceField::with_predicate(mesh, d, passable);
+        match field.shortest_path(u) {
+            Some(path) => {
+                let est = Some((path.len() - 1) as u64);
+                (Plan::Forced(path), PlanStats { used_fallback: true, estimate: est })
+            }
+            None => (Plan::Direct, PlanStats { used_fallback: true, estimate: None }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    fn net(mesh: Mesh, faults: &[(i32, i32)]) -> Network {
+        Network::build(FaultSet::from_coords(
+            mesh,
+            faults.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
+    }
+
+    #[test]
+    fn no_faults_means_direct_plans() {
+        let n = net(Mesh::square(10), &[]);
+        let p = Planner::new(&n, ModelKind::B2, KnowledgeScope::Global);
+        let (plan, stats) = p.plan(Coord::new(0, 0), Coord::new(7, 7), &FxHashSet::default());
+        assert_eq!(plan, Plan::Direct);
+        assert!(!stats.used_fallback);
+        assert_eq!(p.distance(Coord::new(0, 0), Coord::new(0, 0), Coord::new(7, 7)), Some(14));
+    }
+
+    #[test]
+    fn single_blocker_on_column_yields_sequence() {
+        // Fault at (5,5), s below at (5,1), d above at (5,8): blocked in
+        // +Y by a one-element sequence; the detour options are the two
+        // corners (4,4) and (6,6), both costing +2 over Manhattan.
+        let n = net(Mesh::square(10), &[(5, 5)]);
+        let p = Planner::new(&n, ModelKind::B2, KnowledgeScope::Global);
+        let (s, d) = (Coord::new(5, 1), Coord::new(5, 8));
+        let seq = p.closest_sequence(s, s, d).expect("blocked");
+        assert_eq!(seq.0, SeqAxis::TypeI);
+        assert_eq!(seq.1.len(), 1);
+        assert_eq!(p.distance(s, s, d), Some(u64::from(s.manhattan(d)) + 2));
+        let (plan, stats) = p.plan(s, d, &FxHashSet::default());
+        assert!(matches!(plan, Plan::Waypoints(ref w) if w.len() == 1));
+        assert_eq!(stats.estimate, Some(9));
+    }
+
+    #[test]
+    fn row_blocker_is_a_type_ii_sequence() {
+        let n = net(Mesh::square(10), &[(5, 5)]);
+        let p = Planner::new(&n, ModelKind::B2, KnowledgeScope::Global);
+        let (s, d) = (Coord::new(1, 5), Coord::new(8, 5));
+        let seq = p.closest_sequence(s, s, d).expect("blocked");
+        assert_eq!(seq.0, SeqAxis::TypeII);
+        assert_eq!(p.distance(s, s, d), Some(u64::from(s.manhattan(d)) + 2));
+    }
+
+    #[test]
+    fn two_mcc_chain_offers_the_gap() {
+        // Two staircase-chained blockers spanning the corridor: F1 covers
+        // columns 0..=5 on row 4 (via cells), F2 covers columns 4..=9 on
+        // row 7. A route from (2,0) to (7,9) must either slip between
+        // them (via F1's opposite corner then F2's corner) or go around.
+        let f1: Vec<(i32, i32)> = (0..=5).map(|x| (x, 4)).collect();
+        let f2: Vec<(i32, i32)> = (4..=9).map(|x| (x, 7)).collect();
+        let all: Vec<(i32, i32)> = f1.iter().chain(f2.iter()).copied().collect();
+        let n = net(Mesh::square(10), &all);
+        let p = Planner::new(&n, ModelKind::B2, KnowledgeScope::Global);
+        let (s, d) = (Coord::new(2, 0), Coord::new(7, 9));
+        let seq = p.closest_sequence(s, s, d).expect("blocked");
+        assert_eq!(seq.0, SeqAxis::TypeI);
+        assert_eq!(seq.1.len(), 2, "chain must contain both MCCs");
+        // The optimum: BFS ground truth.
+        let field = crate::oracle::DistanceField::healthy(n.faults(), d);
+        assert_eq!(p.distance(s, s, d), Some(u64::from(field.dist(s))));
+    }
+
+    #[test]
+    fn fallback_fires_when_corners_are_unusable() {
+        // A blocker pressed against the west mesh edge: its corner is out
+        // of mesh, and a destination due north forces P0 to be skipped.
+        let cells: Vec<(i32, i32)> = (0..=6).map(|x| (x, 5)).collect();
+        let n = net(Mesh::square(10), &cells);
+        let p = Planner::new(&n, ModelKind::B2, KnowledgeScope::Global);
+        let (s, d) = (Coord::new(0, 1), Coord::new(0, 9));
+        let (plan, _) = p.plan(s, d, &FxHashSet::default());
+        // P0 unusable (corner at (-1,4)); Pn via the opposite corner
+        // (7,6) remains and must be chosen -- no fallback needed.
+        match plan {
+            Plan::Waypoints(w) => assert_eq!(w, vec![Coord::new(7, 6)]),
+            other => panic!("expected waypoint plan, got {other:?}"),
+        }
+        // Fully walled-in destination triggers the BFS fallback: block
+        // both ends with the mesh edge.
+        let wall: Vec<(i32, i32)> = (0..10).map(|x| (x, 5)).collect();
+        let n2 = net(Mesh::square(10), &wall);
+        let p2 = Planner::new(&n2, ModelKind::B2, KnowledgeScope::Global);
+        let (plan2, stats2) = p2.plan(s, d, &FxHashSet::default());
+        // The mesh is split: no plan can exist; fallback reports Direct
+        // with no estimate.
+        assert!(stats2.used_fallback);
+        assert_eq!(plan2, Plan::Direct);
+    }
+
+    #[test]
+    fn local_scope_restricts_knowledge() {
+        // Under B1 + Local, a node far from any boundary knows nothing
+        // and plans Direct even though it is blocked.
+        let n = net(Mesh::square(12), &[(5, 5)]);
+        let p = Planner::new(&n, ModelKind::B1, KnowledgeScope::Local);
+        let s = Coord::new(5, 1); // in the shadow; B1 stores nothing there
+        let d = Coord::new(5, 9);
+        assert!(p.closest_sequence(s, s, d).is_none());
+        // The same node under Global sees the sequence.
+        let pg = Planner::new(&n, ModelKind::B1, KnowledgeScope::Global);
+        assert!(pg.closest_sequence(s, s, d).is_some());
+        // And under B2 + Local the shadow interior holds the triple.
+        let pb2 = Planner::new(&n, ModelKind::B2, KnowledgeScope::Local);
+        assert!(pb2.closest_sequence(s, s, d).is_some());
+    }
+}

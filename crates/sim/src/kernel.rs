@@ -1,0 +1,308 @@
+//! The discrete-event kernel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use meshpath_mesh::{BitGrid, Coord, Grid, Mesh};
+
+/// Virtual time in hops: every neighbor link has unit latency.
+pub type VirtualTime = u64;
+
+/// The per-node behaviour of a distributed protocol.
+///
+/// A process reacts to a start signal and to incoming messages, and may
+/// send messages to mesh neighbors through [`Outbox`]. Processes never see
+/// global state: everything they learn arrives in messages, exactly like
+/// the paper's "information exchanges among neighbors".
+pub trait Process {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called once at time zero for every node.
+    fn on_start(&mut self, at: Coord, out: &mut Outbox<'_, Self::Msg>);
+
+    /// Called when a message from neighbor `from` arrives at `at`.
+    fn on_message(
+        &mut self,
+        at: Coord,
+        from: Coord,
+        msg: &Self::Msg,
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+}
+
+/// Send handle passed to process callbacks.
+pub struct Outbox<'a, M> {
+    from: Coord,
+    now: VirtualTime,
+    mesh: Mesh,
+    queue: &'a mut BinaryHeap<Reverse<PendingKey>>,
+    payloads: &'a mut Vec<Option<Pending<M>>>,
+    sent: &'a mut u64,
+}
+
+impl<M> Outbox<'_, M> {
+    /// Sends `msg` to the neighbor at `to` with unit latency.
+    ///
+    /// # Panics
+    /// Panics if `to` is not an in-mesh neighbor of the sending node
+    /// (the mesh has no other links).
+    pub fn send(&mut self, to: Coord, msg: M) {
+        assert!(
+            self.mesh.contains(to) && self.from.is_neighbor(to),
+            "{:?} cannot send to non-neighbor {:?}",
+            self.from,
+            to
+        );
+        let seq = self.payloads.len() as u64;
+        self.payloads.push(Some(Pending { to, from: self.from, msg }));
+        self.queue.push(Reverse(PendingKey { at: self.now + 1, seq }));
+        *self.sent += 1;
+    }
+
+    /// The sending node's coordinate.
+    pub fn this(&self) -> Coord {
+        self.from
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// The mesh (for bounds checks when choosing neighbors).
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct PendingKey {
+    at: VirtualTime,
+    seq: u64,
+}
+
+struct Pending<M> {
+    to: Coord,
+    from: Coord,
+    msg: M,
+}
+
+/// Statistics of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Virtual time of the last delivery.
+    pub finish_time: VirtualTime,
+    /// Number of distinct nodes that sent or received at least one
+    /// message — the paper's "nodes involved in the information
+    /// propagation".
+    pub nodes_involved: usize,
+}
+
+/// The simulator: owns one process instance per node.
+pub struct Simulator<P: Process> {
+    mesh: Mesh,
+    nodes: Grid<P>,
+    involved: BitGrid,
+    queue: BinaryHeap<Reverse<PendingKey>>,
+    payloads: Vec<Option<Pending<P::Msg>>>,
+    now: VirtualTime,
+    sent: u64,
+    delivered: u64,
+    budget: u64,
+}
+
+impl<P: Process> Simulator<P> {
+    /// Builds a simulator with one process per node, produced by `init`.
+    pub fn new(mesh: Mesh, init: impl FnMut(Coord) -> P) -> Self {
+        Simulator {
+            mesh,
+            nodes: Grid::from_fn(mesh, init),
+            involved: BitGrid::new(mesh),
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            now: 0,
+            sent: 0,
+            delivered: 0,
+            // Generous default: protocols here terminate in O(n^2) messages.
+            budget: (mesh.len() as u64).saturating_mul(64).max(1 << 20),
+        }
+    }
+
+    /// Overrides the delivery budget (guard against non-terminating
+    /// protocols in tests).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs `on_start` everywhere, then delivers messages until the queue
+    /// drains (or the budget trips, which panics: a protocol bug).
+    pub fn run(&mut self) -> SimStats {
+        // Start phase at t = 0.
+        for c in self.mesh.iter() {
+            let mut out = Outbox {
+                from: c,
+                now: self.now,
+                mesh: self.mesh,
+                queue: &mut self.queue,
+                payloads: &mut self.payloads,
+                sent: &mut self.sent,
+            };
+            Self::dispatch_start(&mut self.nodes, c, &mut out);
+        }
+        let mut finish = 0;
+        while let Some(Reverse(PendingKey { at, seq })) = self.queue.pop() {
+            let Pending { to, from, msg } =
+                self.payloads[seq as usize].take().expect("message delivered twice");
+            self.now = at;
+            finish = at;
+            self.delivered += 1;
+            assert!(
+                self.delivered <= self.budget,
+                "simulation exceeded its delivery budget ({}): protocol not terminating?",
+                self.budget
+            );
+            self.involved.insert(to);
+            self.involved.insert(from);
+            let mut out = Outbox {
+                from: to,
+                now: self.now,
+                mesh: self.mesh,
+                queue: &mut self.queue,
+                payloads: &mut self.payloads,
+                sent: &mut self.sent,
+            };
+            Self::dispatch_message(&mut self.nodes, to, from, &msg, &mut out);
+        }
+        SimStats {
+            messages: self.delivered,
+            finish_time: finish,
+            nodes_involved: self.involved.count(),
+        }
+    }
+
+    fn dispatch_start(nodes: &mut Grid<P>, c: Coord, out: &mut Outbox<'_, P::Msg>) {
+        nodes[c].on_start(c, out);
+    }
+
+    fn dispatch_message(
+        nodes: &mut Grid<P>,
+        to: Coord,
+        from: Coord,
+        msg: &P::Msg,
+        out: &mut Outbox<'_, P::Msg>,
+    ) {
+        nodes[to].on_message(to, from, msg, out);
+    }
+
+    /// Immutable access to a node's process (post-run inspection).
+    pub fn node(&self, c: Coord) -> &P {
+        &self.nodes[c]
+    }
+
+    /// The set of nodes that touched a message.
+    pub fn involved(&self) -> &BitGrid {
+        &self.involved
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::Dir;
+
+    /// Flood protocol: one seed broadcasts a token; everyone forwards once.
+    struct Flood {
+        seed: bool,
+        seen: bool,
+    }
+
+    impl Process for Flood {
+        type Msg = ();
+
+        fn on_start(&mut self, at: Coord, out: &mut Outbox<'_, ()>) {
+            if self.seed {
+                self.seen = true;
+                for d in Dir::ALL {
+                    let n = at.step(d);
+                    if out.mesh().contains(n) {
+                        out.send(n, ());
+                    }
+                }
+            }
+        }
+
+        fn on_message(&mut self, at: Coord, _from: Coord, _msg: &(), out: &mut Outbox<'_, ()>) {
+            if !self.seen {
+                self.seen = true;
+                for d in Dir::ALL {
+                    let n = at.step(d);
+                    if out.mesh().contains(n) {
+                        out.send(n, ());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_every_node_in_manhattan_time() {
+        let mesh = Mesh::square(9);
+        let seed = Coord::new(0, 0);
+        let mut sim = Simulator::new(mesh, |c| Flood { seed: c == seed, seen: false });
+        let stats = sim.run();
+        assert_eq!(stats.nodes_involved, mesh.len());
+        // Farthest node is at Manhattan distance 16 and forwards once more
+        // (a redundant echo delivered at t = 17, the last delivery).
+        assert_eq!(stats.finish_time, 17);
+        for c in mesh.iter() {
+            assert!(sim.node(c).seen, "{c:?} not reached");
+        }
+    }
+
+    #[test]
+    fn no_seed_means_no_traffic() {
+        let mesh = Mesh::square(4);
+        let mut sim = Simulator::new(mesh, |_| Flood { seed: false, seen: false });
+        let stats = sim.run();
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.nodes_involved, 0);
+        assert_eq!(stats.finish_time, 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mesh = Mesh::square(7);
+        let run = || {
+            let mut sim =
+                Simulator::new(mesh, |c| Flood { seed: c == Coord::new(3, 3), seen: false });
+            sim.run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        struct Bad;
+        impl Process for Bad {
+            type Msg = ();
+            fn on_start(&mut self, at: Coord, out: &mut Outbox<'_, ()>) {
+                if at == Coord::new(0, 0) {
+                    out.send(Coord::new(2, 2), ());
+                }
+            }
+            fn on_message(&mut self, _: Coord, _: Coord, _: &(), _: &mut Outbox<'_, ()>) {}
+        }
+        let mut sim = Simulator::new(Mesh::square(3), |_| Bad);
+        sim.run();
+    }
+}

@@ -1,0 +1,26 @@
+//! # meshpath-sim
+//!
+//! A deterministic discrete-event, message-passing simulator for
+//! *distributed* mesh protocols.
+//!
+//! The paper's information models are "fully distributed process[es]":
+//! nodes exchange messages with their four mesh neighbors, and the cost
+//! metric of Fig. 5(c) is the number of nodes that participate. This crate
+//! provides the substrate those protocols execute on:
+//!
+//! * [`Simulator`] — an event queue with unit-latency neighbor links,
+//!   virtual time, and deterministic FIFO tie-breaking;
+//! * [`Process`] — the per-node state machine trait;
+//! * [`SimStats`] — messages sent, distinct nodes involved, rounds.
+//!
+//! The kernel is intentionally small: protocols are pure functions of
+//! `(local state, incoming message)` and the simulator owns scheduling.
+//! Determinism is a hard requirement (experiments must be reproducible
+//! bit-for-bit), so ties are broken by `(time, sequence number)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+
+pub use kernel::{Outbox, Process, SimStats, Simulator, VirtualTime};

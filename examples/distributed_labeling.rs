@@ -1,0 +1,38 @@
+//! The labeling procedure as a running distributed protocol.
+//!
+//! Every node knows only whether its four neighbors answer; label
+//! announcements propagate hop by hop on the discrete-event simulator.
+//! The run must converge to exactly the global fixpoint — and does, with
+//! message counts proportional to the region growth, not the mesh size.
+//!
+//! ```text
+//! cargo run -p meshpath --release --example distributed_labeling
+//! ```
+
+use meshpath::fault::distributed::run_distributed;
+use meshpath::fault::{BorderPolicy, Labeling};
+use meshpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mesh = Mesh::square(48);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("faults  unsafe  filled  messages  rounds  agrees");
+    for fault_count in [0usize, 50, 150, 300, 500, 700] {
+        let faults = FaultSet::random(mesh, fault_count, FaultInjection::Uniform, &mut rng);
+        let global = Labeling::compute(&faults, Orientation::IDENTITY, BorderPolicy::Open);
+        let dist = run_distributed(&faults, Orientation::IDENTITY, BorderPolicy::Open);
+        println!(
+            "{fault_count:6}  {:6}  {:6}  {:8}  {:6}  {}",
+            global.unsafe_count(),
+            global.healthy_unsafe_count(),
+            dist.stats.messages,
+            dist.stats.finish_time,
+            dist.agrees_with(&global),
+        );
+    }
+    println!("\n'filled' = healthy nodes the MCC closure swallowed;");
+    println!("'rounds' = virtual time to convergence (unit-latency hops).");
+}

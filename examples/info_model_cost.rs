@@ -1,0 +1,68 @@
+//! Information-model cost: who must store a fault region's triple?
+//!
+//! Renders, for one fault cluster, the carrier sets of the three models
+//! (B1 boundary lines, B2 forbidden-region broadcast, B3 boundaries plus
+//! relation records) — the trade-off behind the paper's Fig. 5(c).
+//!
+//! ```text
+//! cargo run -p meshpath --release --example info_model_cost
+//! ```
+
+use meshpath::fault::{BorderPolicy, MccSet};
+use meshpath::info::{InfoModel, ModelKind};
+use meshpath::prelude::*;
+
+fn main() {
+    let mesh = Mesh::square(24);
+    // A staircase cluster mid-mesh plus a second blocker below-left, so
+    // the boundary walks have something to merge around.
+    let faults = FaultSet::from_coords(
+        mesh,
+        [
+            Coord::new(12, 14),
+            Coord::new(13, 14),
+            Coord::new(13, 15),
+            Coord::new(14, 15),
+            Coord::new(11, 7),
+            Coord::new(12, 7),
+        ],
+    );
+    let set = MccSet::build(&faults, Orientation::IDENTITY, BorderPolicy::Open);
+    let main_mcc = set
+        .iter()
+        .max_by_key(|m| m.cell_count())
+        .expect("clusters exist")
+        .id();
+
+    for kind in ModelKind::ALL {
+        let model = InfoModel::build(&set, kind);
+        let stats = model.stats();
+        println!(
+            "{}: {} of {} safe nodes involved ({:.1}%), ~{} messages",
+            kind.name(),
+            stats.involved_nodes,
+            stats.safe_nodes,
+            stats.involved_pct(),
+            stats.messages
+        );
+        println!("carriers of the large cluster's triple ('k'), faults '#':");
+        for y in (0..24).rev() {
+            let mut row = String::new();
+            for x in 0..24 {
+                let c = Coord::new(x, y);
+                row.push(if faults.is_faulty(c) {
+                    '#'
+                } else if set.labeling().status(c).is_unsafe() {
+                    'u'
+                } else if model.knows(c, main_mcc) {
+                    'k'
+                } else {
+                    '.'
+                });
+            }
+            println!("  {row}");
+        }
+        println!();
+    }
+    println!("B1: two boundary lines. B3: four lines + splits. B2: the whole region.");
+}

@@ -1,0 +1,197 @@
+//! Randomized checks of the paper's two theorems (and the reproduction's
+//! measured refinements of them).
+//!
+//! * **Theorem 1**: RB2 finds a path whenever one exists, and no path is
+//!   shorter. Holds exactly in our implementation under global knowledge;
+//!   under the materialized B2 broadcast it holds in > 99% of pairs (the
+//!   gap is local-knowledge replanning, reported in EXPERIMENTS.md).
+//! * **Theorem 2**: from a boundary node, RB3's path is no longer than
+//!   RB2's (checked on sampled boundary sources).
+
+use meshpath::info::ModelKind;
+use meshpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_pairs(
+    net: &Network,
+    n: i32,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<(Coord, Coord, u32)> {
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    while out.len() < count && attempts < 20_000 {
+        attempts += 1;
+        let s = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+        let d = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+        let o = Orientation::normalizing(s, d);
+        let lab = net.mccs(o).labeling();
+        if s == d || lab.status_real(s).is_unsafe() || lab.status_real(d).is_unsafe() {
+            continue;
+        }
+        let oracle = DistanceField::healthy(net.faults(), d);
+        if !oracle.reachable(s) {
+            continue;
+        }
+        out.push((s, d, oracle.dist(s)));
+    }
+    out
+}
+
+#[test]
+fn theorem1_rb2_global_is_exactly_optimal() {
+    let n = 20;
+    let mesh = Mesh::square(n as u32);
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for trial in 0..10 {
+        let faults =
+            FaultSet::random(mesh, 15 + trial * 8, FaultInjection::Uniform, &mut rng);
+        let net = Network::build(faults);
+        let rb2 = Rb2 { scope: KnowledgeScope::Global, ..Default::default() };
+        for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
+            let res = rb2.route(&net, s, d);
+            assert!(res.delivered, "RB2 must deliver {s:?}->{d:?} (trial {trial})");
+            validate_path(&net, s, d, &res).expect("valid walk");
+            assert_eq!(
+                res.hops(),
+                opt,
+                "RB2(global) not optimal for {s:?}->{d:?} (trial {trial})"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_rb2_local_is_near_optimal() {
+    let n = 24;
+    let mesh = Mesh::square(n as u32);
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut total = 0u32;
+    let mut optimal = 0u32;
+    for trial in 0..10 {
+        let faults =
+            FaultSet::random(mesh, 20 + trial * 10, FaultInjection::Uniform, &mut rng);
+        let net = Network::build(faults);
+        for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
+            let res = Rb2::default().route(&net, s, d);
+            assert!(res.delivered, "RB2 must deliver {s:?}->{d:?} (trial {trial})");
+            total += 1;
+            if res.hops() == opt {
+                optimal += 1;
+            }
+        }
+    }
+    assert!(total >= 150, "sampling failed: {total}");
+    let pct = 100.0 * f64::from(optimal) / f64::from(total);
+    assert!(pct >= 98.0, "local RB2 success {pct:.1}% below the reproduction floor");
+}
+
+#[test]
+fn theorem2_rb3_matches_rb2_from_boundary_sources() {
+    let n = 20;
+    let mesh = Mesh::square(n as u32);
+    let mut rng = StdRng::seed_from_u64(0x7E02);
+    let mut checked = 0u32;
+    let mut as_good = 0u32;
+    for trial in 0..12 {
+        let faults =
+            FaultSet::random(mesh, 15 + trial * 6, FaultInjection::Uniform, &mut rng);
+        let net = Network::build(faults);
+        // Boundary sources: nodes that hold at least one B3 triple.
+        for (s, d, _opt) in sample_pairs(&net, n, 30, &mut rng) {
+            let o = Orientation::normalizing(s, d);
+            let os = o.apply(&mesh, s);
+            if net.model(o, ModelKind::B3).known_at(os).is_empty() {
+                continue;
+            }
+            checked += 1;
+            let rb2 = Rb2::default().route(&net, s, d);
+            let rb3 = Rb3::default().route(&net, s, d);
+            assert!(rb2.delivered && rb3.delivered, "trial {trial} {s:?}->{d:?}");
+            if rb3.hops() <= rb2.hops() {
+                as_good += 1;
+            }
+            // Never catastrophically worse: the detour machinery bounds
+            // the damage even when relation chains mislead.
+            assert!(
+                rb3.hops() <= rb2.hops() + 2 * n as u32,
+                "RB3 ({}) runaway vs RB2 ({}) from {s:?} (trial {trial})",
+                rb3.hops(),
+                rb2.hops()
+            );
+        }
+    }
+    assert!(checked >= 40, "too few boundary sources sampled: {checked}");
+    // Theorem 2 in measured form: from boundary sources RB3 matches RB2
+    // in the vast majority of cases (the deficit is B3's lack of interior
+    // broadcast, quantified in EXPERIMENTS.md).
+    let pct = 100.0 * f64::from(as_good) / f64::from(checked);
+    assert!(pct >= 85.0, "RB3 matched RB2 in only {pct:.1}% of boundary cases");
+}
+
+#[test]
+fn routers_never_beat_bfs() {
+    let n = 18;
+    let mesh = Mesh::square(n as u32);
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    for trial in 0..6 {
+        let faults =
+            FaultSet::random(mesh, 10 + trial * 10, FaultInjection::Uniform, &mut rng);
+        let net = Network::build(faults);
+        let routers: [&dyn Router; 4] =
+            [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
+        for (s, d, opt) in sample_pairs(&net, n, 10, &mut rng) {
+            for router in routers {
+                let res = router.route(&net, s, d);
+                if res.delivered {
+                    assert!(
+                        res.hops() >= opt,
+                        "{} beat BFS?! {s:?}->{d:?}",
+                        router.name()
+                    );
+                    assert_eq!(
+                        (res.hops() - opt) % 2,
+                        0,
+                        "{}: path-length parity must match the optimum",
+                        router.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn success_ordering_matches_the_paper() {
+    // Fig. 5(d): RB2 >= RB3 >= RB1 in shortest-path success (allowing
+    // small-sample noise of a few pairs).
+    let n = 24;
+    let mesh = Mesh::square(n as u32);
+    let mut rng = StdRng::seed_from_u64(0x0D0E);
+    let mut hits = [0u32; 3]; // rb1, rb2, rb3
+    let mut total = 0u32;
+    for trial in 0..8 {
+        let faults =
+            FaultSet::random(mesh, 30 + trial * 12, FaultInjection::Uniform, &mut rng);
+        let net = Network::build(faults);
+        for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
+            total += 1;
+            for (i, res) in [
+                Rb1::default().route(&net, s, d),
+                Rb2::default().route(&net, s, d),
+                Rb3::default().route(&net, s, d),
+            ]
+            .iter()
+            .enumerate()
+            {
+                if res.delivered && res.hops() == opt {
+                    hits[i] += 1;
+                }
+            }
+        }
+    }
+    assert!(total >= 120);
+    assert!(hits[1] + 4 >= hits[2], "RB2 ({}) must not trail RB3 ({})", hits[1], hits[2]);
+    assert!(hits[2] + 8 >= hits[0], "RB3 ({}) must not trail RB1 ({})", hits[2], hits[0]);
+}
