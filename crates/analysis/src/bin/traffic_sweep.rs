@@ -1,0 +1,72 @@
+//! Traffic load sweep: latency-vs-injection-rate curves per router and
+//! fault density.
+//!
+//! Usage: `traffic_sweep [--quick] [--mesh N] [--seed N] [--threads N]
+//! [--out DIR]`.
+
+use meshpath_analysis::cli::emit;
+use meshpath_analysis::traffic::{run_load_sweep, LoadSweepConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `--quick` selects the base configuration; every other flag is an
+    // override applied afterwards, so argument order never matters.
+    let mut cfg = if argv.iter().any(|a| a == "--quick") {
+        LoadSweepConfig::smoke()
+    } else {
+        LoadSweepConfig::default()
+    };
+    let mut out: Option<String> = None;
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            "--mesh" => {
+                cfg.mesh = take("--mesh").parse().unwrap_or(0);
+                if cfg.mesh == 0 {
+                    eprintln!("--mesh must be a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => cfg.seed = take("--seed").parse().expect("--seed: integer"),
+            "--threads" => cfg.threads = take("--threads").parse().expect("--threads: integer"),
+            "--out" => out = Some(take("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: traffic_sweep [--quick] [--mesh N] [--seed N] [--threads N] [--out DIR]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let nodes = u64::from(cfg.mesh) * u64::from(cfg.mesh);
+    if let Some(&worst) = cfg.fault_counts.iter().max() {
+        if worst as u64 >= nodes {
+            eprintln!(
+                "--mesh {} gives {nodes} nodes, fewer than the sweep's {worst} faults; \
+                 use a larger mesh",
+                cfg.mesh
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let res = run_load_sweep(&cfg);
+    for (i, t) in res.latency_tables().iter().enumerate() {
+        emit(t, &out, &format!("traffic_latency_{}", res.config.fault_counts[i]));
+    }
+    for (i, t) in res.throughput_tables().iter().enumerate() {
+        emit(t, &out, &format!("traffic_throughput_{}", res.config.fault_counts[i]));
+    }
+}

@@ -7,7 +7,9 @@ use crate::sweep::SweepConfig;
 ///
 /// Supported keys: `--mesh`, `--configs`, `--pairs`, `--seed`,
 /// `--max-faults`, `--step`, `--threads`, `--out`, `--quick`.
-pub fn parse_args(args: impl Iterator<Item = String>) -> Result<(SweepConfig, Option<String>), String> {
+pub fn parse_args(
+    args: impl Iterator<Item = String>,
+) -> Result<(SweepConfig, Option<String>), String> {
     let mut cfg = SweepConfig::default();
     let mut out = None;
     let mut max_faults = 3000usize;
@@ -29,7 +31,8 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<(SweepConfig, Op
             }
             "--seed" => cfg.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--max-faults" => {
-                max_faults = take("--max-faults")?.parse().map_err(|e| format!("--max-faults: {e}"))?
+                max_faults =
+                    take("--max-faults")?.parse().map_err(|e| format!("--max-faults: {e}"))?
             }
             "--step" => step = take("--step")?.parse().map_err(|e| format!("--step: {e}"))?,
             "--threads" => {
@@ -90,8 +93,18 @@ mod tests {
     #[test]
     fn custom_parse() {
         let (cfg, out) = parse_args(strs(&[
-            "--mesh", "40", "--configs", "5", "--pairs", "7", "--max-faults", "100", "--step",
-            "50", "--out", "/tmp/x",
+            "--mesh",
+            "40",
+            "--configs",
+            "5",
+            "--pairs",
+            "7",
+            "--max-faults",
+            "100",
+            "--step",
+            "50",
+            "--out",
+            "/tmp/x",
         ]))
         .expect("ok");
         assert_eq!(cfg.mesh, 40);

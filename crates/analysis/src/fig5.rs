@@ -22,13 +22,7 @@ pub struct Fig5Data {
 impl Fig5Data {
     /// Builds every figure from a sweep result.
     pub fn from_sweep(res: &SweepResult) -> Self {
-        Fig5Data {
-            a: fig5a(res),
-            b: fig5b(res),
-            c: fig5c(res),
-            d: fig5d(res),
-            e: fig5e(res),
-        }
+        Fig5Data { a: fig5a(res), b: fig5b(res), c: fig5c(res), d: fig5d(res), e: fig5e(res) }
     }
 }
 
@@ -83,8 +77,16 @@ pub fn fig5c(res: &SweepResult) -> Table {
     let mut t = Table::new(
         "Fig 5(c) - percentage of nodes involved in information propagation",
         &[
-            "faults", "union_B1", "union_B2", "union_B3", "max1mcc_B1", "avg1mcc_B1",
-            "max1mcc_B2", "avg1mcc_B2", "max1mcc_B3", "avg1mcc_B3",
+            "faults",
+            "union_B1",
+            "union_B2",
+            "union_B3",
+            "max1mcc_B1",
+            "avg1mcc_B1",
+            "max1mcc_B2",
+            "avg1mcc_B2",
+            "max1mcc_B3",
+            "avg1mcc_B3",
         ],
     );
     for (fc, recs) in res.by_count() {

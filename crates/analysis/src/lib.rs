@@ -18,6 +18,12 @@
 //! configuration per task, crossbeam scoped threads) and the `fig5*`
 //! binaries render each figure as an aligned table plus CSV.
 //!
+//! Beyond the paper, [`traffic::run_load_sweep`] drives the wormhole
+//! traffic simulator (`meshpath-traffic`) over a
+//! `(router, fault density, injection rate)` grid, producing the
+//! latency-vs-load and accepted-throughput curves the NoC literature
+//! evaluates routing functions with (`traffic_sweep` binary).
+//!
 //! Methodology notes (also in DESIGN.md): endpoints are drawn uniformly
 //! among nodes that are healthy *and* safe for the pair's orientation,
 //! and a pair is kept when the source can reach the destination (the
@@ -31,7 +37,9 @@ pub mod cli;
 pub mod fig5;
 pub mod sweep;
 pub mod table;
+pub mod traffic;
 
 pub use fig5::{fig5a, fig5b, fig5c, fig5d, fig5e, Fig5Data};
 pub use sweep::{run_sweep, ConfigRecord, RouterAgg, SweepConfig, SweepResult};
 pub use table::Table;
+pub use traffic::{run_load_sweep, LoadPoint, LoadSweepConfig, LoadSweepResult};

@@ -140,21 +140,13 @@ pub struct SweepResult {
 impl SweepResult {
     /// Iterator over `(fault_count, records-at-that-count)`.
     pub fn by_count(&self) -> impl Iterator<Item = (usize, &[ConfigRecord])> {
-        self.config
-            .fault_counts
-            .iter()
-            .copied()
-            .zip(self.records.iter().map(|v| v.as_slice()))
+        self.config.fault_counts.iter().copied().zip(self.records.iter().map(|v| v.as_slice()))
     }
 }
 
-/// SplitMix64: derives independent per-task seeds from the base seed.
-fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
-    let mut z = base ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.rotate_left(32);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 per-task seed derivation (the workspace-wide canonical
+/// mixer lives in `meshpath_mesh::derive_seed`).
+pub(crate) use meshpath_mesh::derive_seed;
 
 /// Runs one configuration: builds the network, measures fault and
 /// propagation statistics, and routes `pairs` random pairs per router.

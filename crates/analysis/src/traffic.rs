@@ -1,0 +1,304 @@
+//! Traffic load sweeps: latency-vs-injection-rate curves per routing
+//! function and fault density.
+//!
+//! This is the macro-level benchmark of the workspace: where the Fig. 5
+//! harness measures per-packet routing quality, the load sweep measures
+//! what those routing decisions cost a *network under contention* —
+//! mean/p95 latency, accepted throughput and saturation onset, per
+//! router, per fault density, per injection rate.
+
+use crossbeam::channel;
+use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
+use meshpath_route::Network;
+use meshpath_traffic::{run_traffic_reusing, PathTable, RoutingKind, SimConfig, TrafficStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
+
+use crate::sweep::derive_seed;
+use crate::table::{f1, f3, Table};
+
+/// Parameters of one load sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadSweepConfig {
+    /// Mesh side length.
+    pub mesh: u32,
+    /// Fault counts to evaluate (each gets one seeded configuration).
+    pub fault_counts: Vec<usize>,
+    /// Injection rates (packets/node/cycle) to evaluate.
+    pub rates: Vec<f64>,
+    /// Routing functions to drive.
+    pub routers: Vec<RoutingKind>,
+    /// Simulator template; `rate` and `seed` are overridden per point.
+    pub sim: SimConfig,
+    /// Base seed for fault placement and traffic streams.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Fault placement model.
+    pub injection: FaultInjection,
+}
+
+impl Default for LoadSweepConfig {
+    fn default() -> Self {
+        LoadSweepConfig {
+            mesh: 16,
+            fault_counts: vec![0, 8, 25],
+            rates: vec![0.002, 0.005, 0.01, 0.02, 0.05],
+            routers: RoutingKind::ALL.to_vec(),
+            sim: SimConfig::default(),
+            seed: 0x6e6f_6321, // "noc!"
+            threads: 0,
+            injection: FaultInjection::Uniform,
+        }
+    }
+}
+
+impl LoadSweepConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        LoadSweepConfig {
+            mesh: 8,
+            fault_counts: vec![0, 3],
+            rates: vec![0.005, 0.02],
+            routers: vec![RoutingKind::Xy, RoutingKind::Rb2],
+            sim: SimConfig::smoke(),
+            ..Default::default()
+        }
+    }
+}
+
+/// One measured `(router, fault count, rate)` grid point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// The routing function driven.
+    pub router: RoutingKind,
+    /// Faults injected into the configuration.
+    pub faults: usize,
+    /// Offered injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Full simulator statistics.
+    pub stats: TrafficStats,
+}
+
+/// The full sweep outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadSweepResult {
+    /// The configuration that produced this result.
+    pub config: LoadSweepConfig,
+    /// Grid points in `(fault, rate, router)` lexicographic order.
+    pub points: Vec<LoadPoint>,
+}
+
+impl LoadSweepResult {
+    /// The point for `(router, faults, rate)`, if it was swept. The
+    /// rate is matched with a small relative tolerance so that
+    /// programmatically constructed rates (e.g. `3.0 * 0.01`) resolve
+    /// to the grid point they produced despite f64 rounding.
+    pub fn point(&self, router: RoutingKind, faults: usize, rate: f64) -> Option<&LoadPoint> {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        self.points.iter().find(|p| p.router == router && p.faults == faults && close(p.rate, rate))
+    }
+
+    /// One latency table per fault density: rows = injection rates,
+    /// columns = routers (mean latency in cycles, `sat`/`dead` markers
+    /// past the saturation point).
+    pub fn latency_tables(&self) -> Vec<Table> {
+        self.config
+            .fault_counts
+            .iter()
+            .map(|&fc| {
+                let mut headers = vec!["rate".to_string()];
+                headers.extend(self.config.routers.iter().map(|r| r.name().to_string()));
+                let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+                let mut t = Table::new(
+                    format!(
+                        "mean latency (cycles) vs injection rate — {}x{} mesh, {} faults",
+                        self.config.mesh, self.config.mesh, fc
+                    ),
+                    &header_refs,
+                );
+                for &rate in &self.config.rates {
+                    let mut row = vec![f3(rate)];
+                    for &r in &self.config.routers {
+                        row.push(match self.point(r, fc, rate) {
+                            Some(p) if p.stats.deadlocked => "dead".to_string(),
+                            Some(p) if p.stats.saturated => "sat".to_string(),
+                            Some(p) => f1(p.stats.mean_latency()),
+                            None => "-".to_string(),
+                        });
+                    }
+                    t.push_row(row);
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// Accepted-throughput table (flits/node/cycle) per fault density.
+    pub fn throughput_tables(&self) -> Vec<Table> {
+        self.config
+            .fault_counts
+            .iter()
+            .map(|&fc| {
+                let mut headers = vec!["rate".to_string()];
+                headers.extend(self.config.routers.iter().map(|r| r.name().to_string()));
+                let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+                let mut t = Table::new(
+                    format!(
+                        "accepted throughput (flits/node/cycle) — {}x{} mesh, {} faults",
+                        self.config.mesh, self.config.mesh, fc
+                    ),
+                    &header_refs,
+                );
+                for &rate in &self.config.rates {
+                    let mut row = vec![f3(rate)];
+                    for &r in &self.config.routers {
+                        row.push(match self.point(r, fc, rate) {
+                            Some(p) => f3(p.stats.accepted_flits_per_node_cycle()),
+                            None => "-".to_string(),
+                        });
+                    }
+                    t.push_row(row);
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+/// Executes the sweep on a worker pool. The fault configuration for a
+/// given fault count derives from the seed alone, so every router and
+/// rate sees the *same* faults — the comparison is paired. The
+/// expensive per-fault-count network analysis (MCC labeling + info
+/// models across four orientations) runs once up front; `Network` is
+/// `Send + Sync`, so the workers share the results by reference (each
+/// task still builds its own router and path table, which are not
+/// `Send`).
+pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
+    let mesh = Mesh::square(config.mesh);
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    // One analyzed network per fault count, shared across workers.
+    let nets: Vec<Network> = config
+        .fault_counts
+        .iter()
+        .enumerate()
+        .map(|(fi, &faults)| {
+            let mut frng = StdRng::seed_from_u64(derive_seed(config.seed, fi as u64, 0));
+            Network::build(FaultSet::random(mesh, faults, config.injection, &mut frng))
+        })
+        .collect();
+
+    // One task per (fault, router): a task sweeps every injection rate
+    // through a single path table, so route compilation happens once
+    // per (network, routing function) instead of once per rate.
+    let (tx_task, rx_task) = channel::unbounded::<(usize, usize)>();
+    for fi in 0..config.fault_counts.len() {
+        for ki in 0..config.routers.len() {
+            tx_task.send((fi, ki)).expect("queue open");
+        }
+    }
+    drop(tx_task);
+
+    let (n_rates, n_routers) = (config.rates.len(), config.routers.len());
+    let (tx_res, rx_res) = channel::unbounded::<(usize, LoadPoint)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx_task = rx_task.clone();
+            let tx_res = tx_res.clone();
+            let cfg = config.clone();
+            let nets = &nets;
+            scope.spawn(move |_| {
+                while let Ok((fi, ki)) = rx_task.recv() {
+                    let faults = cfg.fault_counts[fi];
+                    let router = cfg.routers[ki];
+                    let mut paths = PathTable::new(&nets[fi], router);
+                    for (ri, &rate) in cfg.rates.iter().enumerate() {
+                        let sim = SimConfig {
+                            rate,
+                            seed: derive_seed(cfg.seed, fi as u64, ri as u64 + 1),
+                            ..cfg.sim.clone()
+                        };
+                        let stats = run_traffic_reusing(&mut paths, &sim);
+                        let point = LoadPoint { router, faults, rate, stats };
+                        let idx = (fi * n_rates + ri) * n_routers + ki;
+                        tx_res.send((idx, point)).expect("result channel open");
+                    }
+                }
+            });
+        }
+        drop(tx_res);
+    })
+    .expect("worker panicked");
+
+    let total = config.fault_counts.len() * n_rates * n_routers;
+    let mut slots: Vec<Option<LoadPoint>> = (0..total).map(|_| None).collect();
+    while let Ok((idx, p)) = rx_res.recv() {
+        slots[idx] = Some(p);
+    }
+    let points = slots.into_iter().map(|p| p.expect("all tasks completed")).collect();
+    LoadSweepResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_completes_and_is_deterministic() {
+        let cfg = LoadSweepConfig { threads: 2, ..LoadSweepConfig::smoke() };
+        let a = run_load_sweep(&cfg);
+        let b = run_load_sweep(&cfg);
+        assert_eq!(a.points.len(), cfg.fault_counts.len() * cfg.rates.len() * cfg.routers.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.stats, pb.stats, "parallel scheduling must not change results");
+            assert_eq!(pa.router, pb.router);
+        }
+    }
+
+    #[test]
+    fn tables_render_every_grid_point() {
+        let cfg = LoadSweepConfig { threads: 2, ..LoadSweepConfig::smoke() };
+        let res = run_load_sweep(&cfg);
+        let lat = res.latency_tables();
+        assert_eq!(lat.len(), cfg.fault_counts.len());
+        for t in &lat {
+            assert_eq!(t.len(), cfg.rates.len());
+            let text = t.to_text();
+            assert!(text.contains("XY") && text.contains("RB2"), "{text}");
+        }
+        let thr = res.throughput_tables();
+        assert_eq!(thr.len(), cfg.fault_counts.len());
+    }
+
+    #[test]
+    fn low_load_latency_orders_sanely_under_faults() {
+        // At low load with faults, RB2 (shortest paths) must not be
+        // slower on average than the block-detouring E-cube.
+        let cfg = LoadSweepConfig {
+            mesh: 16,
+            fault_counts: vec![12],
+            rates: vec![0.005],
+            routers: vec![RoutingKind::ECube, RoutingKind::Rb2],
+            sim: SimConfig::smoke(),
+            threads: 2,
+            ..Default::default()
+        };
+        let res = run_load_sweep(&cfg);
+        let ecube = res.point(RoutingKind::ECube, 12, 0.005).unwrap();
+        let rb2 = res.point(RoutingKind::Rb2, 12, 0.005).unwrap();
+        assert!(!rb2.stats.saturated && !ecube.stats.saturated);
+        assert!(
+            rb2.stats.mean_latency() <= ecube.stats.mean_latency() + 1e-9,
+            "RB2 {} vs E-cube {}",
+            rb2.stats.mean_latency(),
+            ecube.stats.mean_latency()
+        );
+    }
+}

@@ -11,10 +11,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     let net = fixture_network(240, 4);
     let pairs = fixture_pairs(&net, 16, 5);
-    let routers: [(&str, &dyn Router); 3] =
-        [("RB1", &Rb1 { policy: Default::default(), scope: KnowledgeScope::Local }),
-         ("RB2", &Rb2 { policy: Default::default(), scope: KnowledgeScope::Local }),
-         ("RB3", &Rb3 { policy: Default::default(), scope: KnowledgeScope::Local })];
+    let routers: [(&str, &dyn Router); 3] = [
+        ("RB1", &Rb1 { policy: Default::default(), scope: KnowledgeScope::Local }),
+        ("RB2", &Rb2 { policy: Default::default(), scope: KnowledgeScope::Local }),
+        ("RB3", &Rb3 { policy: Default::default(), scope: KnowledgeScope::Local }),
+    ];
     for (name, router) in routers {
         g.bench_with_input(BenchmarkId::from_parameter(name), &pairs, |b, pairs| {
             b.iter(|| {

@@ -11,8 +11,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     let net = fixture_network(240, 6);
     let pairs = fixture_pairs(&net, 16, 7);
-    let routers: [&dyn Router; 4] =
-        [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
+    let routers: [&dyn Router; 4] = [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
     for router in routers {
         g.bench_with_input(BenchmarkId::from_parameter(router.name()), &pairs, |b, pairs| {
             b.iter(|| {

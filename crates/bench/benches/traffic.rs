@@ -1,0 +1,59 @@
+//! Traffic-simulator hot loop: cycles of wormhole switching under load,
+//! per routing function, plus the path-compilation cost in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::prelude::*;
+use meshpath::traffic::{run_traffic, PathTable, RoutingKind, SimConfig};
+use meshpath_bench::fixture_network;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // A 16x16 mesh at ~3% faults: the example's operating point.
+    let net = fixture_network_16(8, 21);
+
+    let cfg =
+        SimConfig { rate: 0.02, warmup: 50, measure: 300, drain: 600, ..SimConfig::default() };
+
+    let mut g = c.benchmark_group("traffic_sim");
+    g.sample_size(10);
+    for kind in [RoutingKind::Xy, RoutingKind::Rb2] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let stats = run_traffic(black_box(&net), kind, &cfg);
+                black_box(stats.measured_delivered)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("path_compile");
+    g.sample_size(10);
+    let big = fixture_network(240, 9);
+    for kind in [RoutingKind::ECube, RoutingKind::Rb2, RoutingKind::Rb3] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut t = PathTable::new(black_box(&big), kind);
+                let mut delivered = 0u32;
+                for x in 0..8 {
+                    let s = Coord::new(x, 0);
+                    let d = Coord::new(39 - x, 39);
+                    delivered += u32::from(t.path(s, d).is_some());
+                }
+                black_box(delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A 16x16 network (the standard fixtures are 40x40).
+fn fixture_network_16(faults: usize, seed: u64) -> Network {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mesh = Mesh::square(16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

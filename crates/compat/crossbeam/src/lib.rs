@@ -1,0 +1,222 @@
+//! Offline std-backed subset of the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the two pieces it uses:
+//!
+//! * [`channel::unbounded`] — a multi-producer **multi-consumer** FIFO
+//!   (std's `mpsc` receiver is single-consumer, so this is a small
+//!   `Mutex<VecDeque>` + `Condvar` queue);
+//! * [`thread::scope`] — scoped spawning, forwarded to
+//!   `std::thread::scope` (stable since Rust 1.63), with crossbeam's
+//!   `Result`-returning signature.
+//!
+//! Semantics relied upon by the workspace: `recv` blocks until a value
+//! is available and errors once every sender is dropped *and* the queue
+//! drained; worker panics surface as an `Err` from `scope`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Unbounded MPMC FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        /// Queue plus the number of live senders.
+        state: Mutex<(VecDeque<T>, usize)>,
+        ready: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (consumers compete for values).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel has no live receivers (never reported by this stub's
+    /// `send`, which cannot observe receiver counts without weakening
+    /// the queue; kept for signature compatibility).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders dropped and the queue is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a [`Receiver::try_recv`] returned no value (crossbeam's
+    /// shape, kept so the real crate can be swapped back in).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty but senders remain.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared =
+            Arc::new(Shared { state: Mutex::new((VecDeque::new(), 1)), ready: Condvar::new() });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; wakes one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.0.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").1 += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.1 -= 1;
+            let disconnected = state.1 == 0;
+            drop(state);
+            if disconnected {
+                // Wake every blocked receiver so it can observe the
+                // disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = state.0.pop_front() {
+                    return Ok(v);
+                }
+                if state.1 == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking pop.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            match state.0.pop_front() {
+                Some(v) => Ok(v),
+                None if state.1 == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning `scope`.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked child thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so
+        /// workers can spawn siblings), exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; joins all spawned threads before
+    /// returning. A child panic is reported as `Err` (crossbeam
+    /// semantics) rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::thread;
+
+    #[test]
+    fn mpmc_fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn multi_consumer_work_queue() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (tx_res, rx_res) = channel::unbounded::<usize>();
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let tx_res = tx_res.clone();
+                scope.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        tx_res.send(v).unwrap();
+                    }
+                });
+            }
+            drop(tx_res);
+        })
+        .expect("no worker panicked");
+        let mut got: Vec<usize> = std::iter::from_fn(|| rx_res.try_recv().ok()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline minimal subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the interface its property tests use: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, integer-range and tuple strategies,
+//! [`Just`], [`collection::hash_set`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the seed-derived values
+//!   via the assertion message only;
+//! * **fixed seeding** — cases derive deterministically from the test
+//!   function's name, so failures reproduce exactly and CI is stable;
+//! * assertions map to `assert!`/`assert_eq!` (panic, not `Err`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Run-count configuration (`with_cases` subset).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy producing a fixed (cloned) value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `HashSet`s with a size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` whose size is drawn from `size` and whose elements
+    /// come from `element`. When the element domain is too small to
+    /// reach the drawn size, the set stays smaller (bounded attempts) —
+    /// same contract as proptest, which treats the size as a target.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 16 + 16 {
+                attempts += 1;
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// The common imports, proptest-style.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Declares property tests: each `fn name(pat in strategy) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated values.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($pat:pat in $strat:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::__SeedableRng as _;
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strat = $strat;
+                let mut rng =
+                    $crate::__StdRng::seed_from_u64($crate::seed_for(stringify!($name)));
+                for case in 0..cfg.cases {
+                    let $pat = $crate::Strategy::generate(&strat, &mut rng);
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($pat:pat in $strat:expr) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($pat in $strat) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::seed_for;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_for("a"), seed_for("b"));
+        assert_eq!(seed_for("a"), seed_for("a"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0i32..10, 5u32..9)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..9).contains(&b));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1usize..5).prop_flat_map(|n| {
+            collection::hash_set(0usize..n * 10, 0..n).prop_map(move |s| (n, s))
+        })) {
+            let (n, set) = v;
+            prop_assert!(set.len() < n, "|set| = {} must stay below {n}", set.len());
+        }
+
+        #[test]
+        fn just_is_constant(x in (Just(7u8), 0u8..3)) {
+            prop_assert_eq!(x.0, 7);
+        }
+    }
+}

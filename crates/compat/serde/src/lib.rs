@@ -1,0 +1,25 @@
+//! Offline no-op subset of the [`serde`](https://serde.rs) derive
+//! interface.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *interface* the code uses: `#[derive(Serialize,
+//! Deserialize)]` markers. The derives expand to nothing — no trait
+//! impls are generated and nothing in the workspace performs actual
+//! serde serialization (the analysis binaries emit aligned text tables
+//! and CSV by hand). Keeping the derives in the type definitions keeps
+//! the source ready for the real `serde` the moment a registry is
+//! available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

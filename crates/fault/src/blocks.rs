@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn rect_at_lookup() {
         let b = build(Mesh::square(8), &[(2, 2), (3, 3)]);
-        assert_eq!(b.rect_at(Coord::new(3, 2)), Some(Rect::new(Coord::new(2, 2), Coord::new(3, 3))));
+        assert_eq!(
+            b.rect_at(Coord::new(3, 2)),
+            Some(Rect::new(Coord::new(2, 2), Coord::new(3, 3)))
+        );
         assert_eq!(b.rect_at(Coord::new(0, 0)), None);
     }
 }

@@ -55,9 +55,7 @@ impl LabelProcess {
         if self.mask & USELESS == 0 && self.blocked(0, USELESS) && self.blocked(2, USELESS) {
             gained |= USELESS;
         }
-        if self.mask & CANT_REACH == 0
-            && self.blocked(1, CANT_REACH)
-            && self.blocked(3, CANT_REACH)
+        if self.mask & CANT_REACH == 0 && self.blocked(1, CANT_REACH) && self.blocked(3, CANT_REACH)
         {
             gained |= CANT_REACH;
         }
@@ -169,14 +167,11 @@ pub fn run_distributed(
                 view[slot] = Some(if is_faulty_oriented(n) { FAULTY } else { 0 });
             }
         }
-        LabelProcess {
-            mask: if is_faulty_oriented(oc) { FAULTY } else { 0 },
-            view,
-            border,
-        }
+        LabelProcess { mask: if is_faulty_oriented(oc) { FAULTY } else { 0 }, view, border }
     });
     let stats = sim.run();
-    let statuses = meshpath_mesh::Grid::from_fn(mesh, |oc| NodeStatus::from_mask(sim.node(oc).mask));
+    let statuses =
+        meshpath_mesh::Grid::from_fn(mesh, |oc| NodeStatus::from_mask(sim.node(oc).mask));
     let masks = meshpath_mesh::Grid::from_fn(mesh, |oc| sim.node(oc).mask);
     DistributedLabeling { statuses, masks, stats, mesh }
 }
@@ -236,10 +231,8 @@ mod tests {
         // change status, each announcing to <= 4 neighbors; dual upgrades
         // can announce twice.
         let mesh = Mesh::square(10);
-        let fs = FaultSet::from_coords(
-            mesh,
-            [Coord::new(2, 4), Coord::new(3, 3), Coord::new(4, 2)],
-        );
+        let fs =
+            FaultSet::from_coords(mesh, [Coord::new(2, 4), Coord::new(3, 3), Coord::new(4, 2)]);
         let dist = run_distributed(&fs, Orientation::IDENTITY, BorderPolicy::Open);
         let global = Labeling::compute(&fs, Orientation::IDENTITY, BorderPolicy::Open);
         assert!(dist.agrees_with(&global));

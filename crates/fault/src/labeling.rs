@@ -164,14 +164,7 @@ impl Labeling {
             }
         }
 
-        Labeling {
-            mesh,
-            orientation,
-            border,
-            mask,
-            unsafe_count,
-            faulty_count: faults.count(),
-        }
+        Labeling { mesh, orientation, border, mask, unsafe_count, faulty_count: faults.count() }
     }
 
     /// The mesh being labeled.
@@ -344,10 +337,7 @@ mod tests {
         let l = label(Mesh::square(10), &[(2, 4), (3, 3), (4, 2)]);
         for x in 2..=4 {
             for y in 2..=4 {
-                assert!(
-                    l.status(Coord::new(x, y)).is_unsafe(),
-                    "({x},{y}) should be unsafe"
-                );
+                assert!(l.status(Coord::new(x, y)).is_unsafe(), "({x},{y}) should be unsafe");
             }
         }
         assert_eq!(l.unsafe_count(), 9);
@@ -392,11 +382,8 @@ mod tests {
         assert_eq!(id.unsafe_count(), 4);
         assert_eq!(id.status(Coord::new(6, 0)), NodeStatus::Useless);
         assert_eq!(id.status(Coord::new(7, 1)), NodeStatus::CantReach);
-        let flipped = Labeling::compute(
-            &fs,
-            Orientation { flip_x: true, flip_y: false },
-            BorderPolicy::Open,
-        );
+        let flipped =
+            Labeling::compute(&fs, Orientation { flip_x: true, flip_y: false }, BorderPolicy::Open);
         // In the flipped frame the faults sit at oriented (1,1) and (0,0):
         // a diagonal pair, which does not fill.
         assert_eq!(flipped.unsafe_count(), 2);
@@ -441,8 +428,7 @@ mod tests {
         for oc in l.mesh().iter() {
             if l.status(oc) == NodeStatus::Safe {
                 let plus_blocked = |c: Coord| {
-                    l.mesh().contains(c)
-                        && (l.status(c) == NodeStatus::Faulty || l.is_useless(c))
+                    l.mesh().contains(c) && (l.status(c) == NodeStatus::Faulty || l.is_useless(c))
                 };
                 let minus_blocked = |c: Coord| {
                     l.mesh().contains(c)

@@ -319,11 +319,7 @@ impl MccSet {
             "non-staircase MCC under Open border policy: cells {cells:?}"
         );
 
-        let cols = lo
-            .into_iter()
-            .zip(hi)
-            .map(|(lo, hi)| ColSpan { lo, hi })
-            .collect();
+        let cols = lo.into_iter().zip(hi).map(|(lo, hi)| ColSpan { lo, hi }).collect();
         Mcc { id, x0, cols, cell_count: cells.len(), faulty_count, staircase, bbox }
     }
 
@@ -495,7 +491,7 @@ mod tests {
         assert!(m.shadow_y(Coord::new(4, 2)));
         assert!(!m.shadow_y(Coord::new(1, 1))); // west of span
         assert!(!m.shadow_y(Coord::new(4, 3))); // a cell, not shadow
-        // Y-critical: above the upper staircase.
+                                                // Y-critical: above the upper staircase.
         assert!(m.critical_y(Coord::new(2, 3)));
         assert!(m.critical_y(Coord::new(4, 5)));
         assert!(!m.critical_y(Coord::new(5, 5)));

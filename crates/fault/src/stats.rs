@@ -62,7 +62,8 @@ mod tests {
     #[test]
     fn stats_of_simple_config() {
         let mesh = Mesh::square(10);
-        let fs = FaultSet::from_coords(mesh, [Coord::new(2, 3), Coord::new(3, 2), Coord::new(7, 7)]);
+        let fs =
+            FaultSet::from_coords(mesh, [Coord::new(2, 3), Coord::new(3, 2), Coord::new(7, 7)]);
         let s = config_stats(&fs, Orientation::IDENTITY);
         assert_eq!(s.total_nodes, 100);
         assert_eq!(s.faults, 3);

@@ -82,18 +82,10 @@ impl BoundarySet {
             // transitively and absorb the crossed components.
             let (west_start, absorbed_w) = resolve_start(set, mcc.corner(), false);
             let (east_start, absorbed_e) = resolve_start(set, mcc.opposite(), true);
-            let west_y = west_start
-                .map(|c| walk(set, c, WalkConfig::WEST_Y))
-                .unwrap_or_default();
-            let east_y = east_start
-                .map(|c| walk(set, c, WalkConfig::EAST_Y))
-                .unwrap_or_default();
-            let south_x = west_start
-                .map(|c| walk(set, c, WalkConfig::SOUTH_X))
-                .unwrap_or_default();
-            let north_x = east_start
-                .map(|c| walk(set, c, WalkConfig::NORTH_X))
-                .unwrap_or_default();
+            let west_y = west_start.map(|c| walk(set, c, WalkConfig::WEST_Y)).unwrap_or_default();
+            let east_y = east_start.map(|c| walk(set, c, WalkConfig::EAST_Y)).unwrap_or_default();
+            let south_x = west_start.map(|c| walk(set, c, WalkConfig::SOUTH_X)).unwrap_or_default();
+            let north_x = east_start.map(|c| walk(set, c, WalkConfig::NORTH_X)).unwrap_or_default();
 
             // Eq. 4 relation record: when the FIRST intersection of the
             // -X boundary of F(c) is with F(v) and F(c)'s corner sits
@@ -228,11 +220,8 @@ fn resolve_start(set: &MccSet, mut start: Coord, opposite: bool) -> (Option<Coor
 /// The identification contour: safe nodes adjacent to the MCC's cells.
 fn edge_nodes_of(set: &MccSet, mcc: &Mcc) -> Vec<Coord> {
     let labeling = set.labeling();
-    let mut nodes: Vec<Coord> = mcc
-        .cells()
-        .flat_map(|c| c.neighbors())
-        .filter(|&n| labeling.is_safe_node(n))
-        .collect();
+    let mut nodes: Vec<Coord> =
+        mcc.cells().flat_map(|c| c.neighbors()).filter(|&n| labeling.is_safe_node(n)).collect();
     nodes.sort_unstable();
     nodes.dedup();
     nodes

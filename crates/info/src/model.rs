@@ -292,10 +292,7 @@ impl InfoModel {
 
     /// The MCCs known at `oc` (O(#MCC) scan over bit-sets).
     pub fn known_at(&self, oc: Coord) -> Vec<MccId> {
-        (0..self.knowledge.len() as u32)
-            .map(MccId)
-            .filter(|&id| self.knows(oc, id))
-            .collect()
+        (0..self.knowledge.len() as u32).map(MccId).filter(|&id| self.knows(oc, id)).collect()
     }
 
     /// Eq.-4 successor of `v` in a type-I sequence (B3 only).
@@ -429,16 +426,9 @@ pub fn funnel_x(set: &MccSet, mcc: &Mcc, south: &Walk, north: &Walk) -> Vec<Coor
     }
     let mut out = Vec::new();
     for x in 0..=xct {
-        let south_limit = if x <= xc {
-            sby[x as usize]
-        } else {
-            staircase_south_limit(mcc, x)
-        };
-        let north_limit = if nby[x as usize] != i32::MIN {
-            nby[x as usize]
-        } else {
-            mcc.opposite().y
-        };
+        let south_limit = if x <= xc { sby[x as usize] } else { staircase_south_limit(mcc, x) };
+        let north_limit =
+            if nby[x as usize] != i32::MIN { nby[x as usize] } else { mcc.opposite().y };
         if south_limit == i32::MAX || south_limit > north_limit {
             continue;
         }
@@ -521,10 +511,7 @@ mod tests {
     #[test]
     fn cost_ordering_matches_the_paper() {
         // B2 involves the most nodes; B1 the fewest; B3 close to B1.
-        let s = set(
-            Mesh::square(20),
-            &[(5, 5), (12, 9), (9, 14), (15, 3), (3, 12), (7, 7)],
-        );
+        let s = set(Mesh::square(20), &[(5, 5), (12, 9), (9, 14), (15, 3), (3, 12), (7, 7)]);
         let b1 = InfoModel::build(&s, ModelKind::B1).stats();
         let b2 = InfoModel::build(&s, ModelKind::B2).stats();
         let b3 = InfoModel::build(&s, ModelKind::B3).stats();

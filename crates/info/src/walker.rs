@@ -161,12 +161,8 @@ pub fn walk_until(set: &MccSet, start: Coord, cfg: WalkConfig, max_disengage: us
             continue;
         }
         // Hand-on-wall preference: wall side, straight, away, back.
-        let prefs = [
-            cfg.turn.wall_side(heading),
-            heading,
-            cfg.turn.rotate(heading),
-            heading.opposite(),
-        ];
+        let prefs =
+            [cfg.turn.wall_side(heading), heading, cfg.turn.rotate(heading), heading.opposite()];
         let mut moved = false;
         for d in prefs {
             if free(pos.step(d)) {

@@ -44,7 +44,7 @@ pub use coord::Coord;
 pub use dir::{Axis, Dir};
 pub use faults::{FaultInjection, FaultSet};
 pub use grid::{BitGrid, Grid};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{derive_seed, FxBuildHasher, FxHashMap, FxHashSet};
 pub use mesh::{Mesh, NodeId};
 pub use orient::Orientation;
 pub use region::Rect;

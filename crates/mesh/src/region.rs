@@ -25,12 +25,7 @@ pub struct Rect {
 impl Rect {
     /// Creates a rectangle, normalizing the corner order.
     pub fn new(a: Coord, b: Coord) -> Self {
-        Rect {
-            x0: a.x.min(b.x),
-            x1: a.x.max(b.x),
-            y0: a.y.min(b.y),
-            y1: a.y.max(b.y),
-        }
+        Rect { x0: a.x.min(b.x), x1: a.x.max(b.x), y0: a.y.min(b.y), y1: a.y.max(b.y) }
     }
 
     /// The rectangle spanned by a single point.

@@ -21,7 +21,9 @@
 //!   baseline over rectangular fault blocks ([`route`]);
 //! * a deterministic message-passing simulator for the distributed
 //!   protocols ([`sim`]);
-//! * the full Fig. 5 experiment harness ([`analysis`]).
+//! * the full Fig. 5 experiment harness ([`analysis`]);
+//! * a flit-level wormhole traffic simulator evaluating the routers as
+//!   NoC routing functions under load ([`traffic`]).
 //!
 //! ## Quickstart
 //!
@@ -54,7 +56,8 @@
 //! | [`fault`] | `meshpath-fault` | MCC labeling, components, fault blocks |
 //! | [`info`] | `meshpath-info` | B1/B2/B3 information models |
 //! | [`route`] | `meshpath-route` | RB1/RB2/RB3, E-cube, oracles |
-//! | [`analysis`] | `meshpath-analysis` | Fig. 5 experiment harness |
+//! | [`traffic`] | `meshpath-traffic` | wormhole NoC traffic simulator |
+//! | [`analysis`] | `meshpath-analysis` | Fig. 5 harness + traffic load sweeps |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +68,7 @@ pub use meshpath_info as info;
 pub use meshpath_mesh as mesh;
 pub use meshpath_route as route;
 pub use meshpath_sim as sim;
+pub use meshpath_traffic as traffic;
 
 /// The items most programs need.
 pub mod prelude {
@@ -76,8 +80,11 @@ pub mod prelude {
     };
     pub use meshpath_route::oracle::DistanceField;
     pub use meshpath_route::{
-        validate_path, AdaptivePolicy, ECube, KnowledgeScope, Network, Rb1, Rb2, Rb3,
-        RouteResult, Router,
+        validate_path, AdaptivePolicy, ECube, KnowledgeScope, Network, Rb1, Rb2, Rb3, RouteResult,
+        Router,
+    };
+    pub use meshpath_traffic::{
+        run_traffic, RoutingKind, SimConfig, TrafficPattern, TrafficStats, PIPELINE_DEPTH,
     };
 }
 

@@ -60,8 +60,8 @@ fn main() {
                 if hy.delivered && u64::from(hy.hops()) == opt {
                     hybrid_opt += 1;
                 }
-                let gl = Rb2 { scope: KnowledgeScope::Global, ..Default::default() }
-                    .route(&net, s, d);
+                let gl =
+                    Rb2 { scope: KnowledgeScope::Global, ..Default::default() }.route(&net, s, d);
                 if gl.delivered && u64::from(gl.hops()) == opt {
                     global_opt += 1;
                 }

@@ -213,9 +213,7 @@ mod tests {
         // Obstacle nodes (3,3),(4,3); walker south of it at (3,2) wants
         // +Y: detour starts heading -X with the wall on the right.
         let blocked = [Coord::new(3, 3), Coord::new(4, 3)];
-        let free = |c: Coord| {
-            c.x >= 0 && c.y >= 0 && c.x < 8 && c.y < 8 && !blocked.contains(&c)
-        };
+        let free = |c: Coord| c.x >= 0 && c.y >= 0 && c.x < 8 && c.y < 8 && !blocked.contains(&c);
         let mut det = Detour::around(Dir::PlusY);
         let mut pos = Coord::new(3, 2);
         let visited = Visited::new(pos);

@@ -86,9 +86,7 @@ impl Network {
     /// True when `c` is safe under **every** orientation (the strictest
     /// endpoint filter).
     pub fn is_safe_all_orientations(&self, c: Coord) -> bool {
-        Orientation::ALL
-            .iter()
-            .all(|&o| self.mccs(o).labeling().status_real(c).is_safe())
+        Orientation::ALL.iter().all(|&o| self.mccs(o).labeling().status_real(c).is_safe())
     }
 }
 

@@ -438,7 +438,13 @@ impl Router for ECube {
 
         for _ in 0..hop_budget(net) {
             if u == d {
-                return RouteResult { path, delivered: true, replans: 0, fallbacks: 0, detour_hops };
+                return RouteResult {
+                    path,
+                    delivered: true,
+                    replans: 0,
+                    fallbacks: 0,
+                    detour_hops,
+                };
             }
             // Thrash guard: revisiting any node this often means the
             // dimension-ordered decision cycles; degrade to a pure
@@ -532,10 +538,7 @@ mod tests {
     use meshpath_mesh::{FaultSet, Mesh};
 
     fn net(mesh: Mesh, faults: &[(i32, i32)]) -> Network {
-        Network::build(FaultSet::from_coords(
-            mesh,
-            faults.iter().map(|&(x, y)| Coord::new(x, y)),
-        ))
+        Network::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
     }
 
     fn check_optimal(router: &dyn Router, n: &Network, s: Coord, d: Coord) {

@@ -443,7 +443,10 @@ impl<'a> Planner<'a> {
                                 }
                             }
                         }
-                        (Plan::Waypoints(wp), PlanStats { used_fallback: false, estimate: Some(cost) })
+                        (
+                            Plan::Waypoints(wp),
+                            PlanStats { used_fallback: false, estimate: Some(cost) },
+                        )
                     }
                     None => self.fallback(u, d, o, learned),
                 }
@@ -481,10 +484,7 @@ mod tests {
     use meshpath_mesh::{FaultSet, Mesh};
 
     fn net(mesh: Mesh, faults: &[(i32, i32)]) -> Network {
-        Network::build(FaultSet::from_coords(
-            mesh,
-            faults.iter().map(|&(x, y)| Coord::new(x, y)),
-        ))
+        Network::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
     }
 
     #[test]

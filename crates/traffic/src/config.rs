@@ -1,0 +1,102 @@
+//! Simulation parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::TrafficPattern;
+
+/// Cycles a flit spends outside the router pipeline proper: one on the
+/// injection link (source NI -> source router) and one on the ejection
+/// link (destination router -> destination NI).
+///
+/// At zero load a single-flit packet therefore has latency
+/// `hops + PIPELINE_DEPTH`, and an `L`-flit packet
+/// `hops + PIPELINE_DEPTH + (L - 1)` (tail serialization).
+pub const PIPELINE_DEPTH: u64 = 2;
+
+/// Parameters of one traffic simulation run.
+///
+/// Defaults model a small input-buffered wormhole router: 2 virtual
+/// channels of 4 flits per input port, 4-flit packets, and a
+/// warmup / measure / drain measurement protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Virtual channels per directional input port (the injection port
+    /// has a single channel).
+    pub vcs: usize,
+    /// Flit buffer depth of each virtual channel. Depths below 2 cannot
+    /// stream at link rate (credit round-trip is 2 cycles).
+    pub vc_depth: usize,
+    /// Flits per packet (head + body + tail; 1 = head-only packet).
+    pub packet_len: u32,
+    /// Injection rate in packets per node per cycle (Bernoulli process,
+    /// independent per node).
+    pub rate: f64,
+    /// Warmup cycles: packets generated before this point are routed but
+    /// excluded from the latency statistics.
+    pub warmup: u64,
+    /// Measurement window in cycles; the latency histogram covers
+    /// packets *generated* inside the window (so source queueing time is
+    /// included, which is where saturation shows up).
+    pub measure: u64,
+    /// Extra cycles allowed after the window for measured packets to
+    /// complete before the run is declared saturated.
+    pub drain: u64,
+    /// Base RNG seed; per-node injection streams derive from it.
+    pub seed: u64,
+    /// Destination selection pattern.
+    pub pattern: TrafficPattern,
+    /// Route hop budget at the network interface: packets whose compiled
+    /// source route exceeds this many hops are dropped at generation and
+    /// counted (`ttl_dropped`), like an IP TTL. Rationale: the E-cube
+    /// baseline's last-resort escape walk can emit paths of hundreds of
+    /// hops on unlucky pairs, and a single such worm congests a mesh
+    /// that is otherwise far from saturation. `None` selects the
+    /// automatic budget `4 * (width + height)`; use
+    /// `Some(u32::MAX)` to disable the cap.
+    pub route_ttl: Option<u32>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            vcs: 4,
+            vc_depth: 4,
+            packet_len: 4,
+            rate: 0.01,
+            warmup: 300,
+            measure: 1500,
+            drain: 3000,
+            seed: 0x2007_0325,
+            pattern: TrafficPattern::UniformRandom,
+            route_ttl: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        SimConfig { warmup: 100, measure: 400, drain: 1000, ..Default::default() }
+    }
+
+    /// This config with a different injection rate (sweep helper).
+    pub fn with_rate(&self, rate: f64) -> Self {
+        SimConfig { rate, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.vc_depth >= 2, "depth < 2 cannot stream at link rate");
+        assert!(c.packet_len >= 1);
+        assert!((0.0..=1.0).contains(&c.rate));
+        let f = c.with_rate(0.25);
+        assert_eq!(f.rate, 0.25);
+        assert_eq!(f.vcs, c.vcs);
+    }
+}

@@ -1,0 +1,577 @@
+//! The wormhole-switched router fabric: input-buffered virtual
+//! channels, credit-based flow control, and a per-cycle switch
+//! allocator.
+//!
+//! ## Microarchitecture
+//!
+//! Every node is a router with five input ports — one per incoming mesh
+//! direction plus a local injection port — and five output ports — one
+//! per outgoing direction plus ejection. Directional input ports carry
+//! `vcs` virtual channels of `vc_depth` flits each; the injection port
+//! has a single channel (one network interface per core).
+//!
+//! Each cycle the switch allocator walks the output ports in fixed
+//! order and grants at most one flit per output port and one per input
+//! port (the crossbar constraint), round-robin over the requesting
+//! `(input port, VC)` pairs for fairness. A head flit additionally
+//! acquires a free downstream virtual channel on its output port
+//! (VC allocation: lowest free index) and the whole packet then holds
+//! that channel until its tail passes — wormhole switching. Credits
+//! mirror downstream buffer slots: a flit consumes one on link
+//! traversal and the credit returns when the downstream router drains
+//! the slot (a 2-cycle round trip, so `vc_depth >= 2` is needed to
+//! stream at link rate).
+//!
+//! ## Timing contract
+//!
+//! Flits injected at cycle `t` become visible to allocation at `t + 1`
+//! (injection link); each router hop costs one cycle; ejection costs
+//! one more (ejection link). Zero-load head latency is therefore
+//! `hops + PIPELINE_DEPTH` ([`crate::PIPELINE_DEPTH`] = 2), and a
+//! packet of `L` flits finishes `L - 1` cycles after its head.
+//!
+//! ## Determinism
+//!
+//! All state lives in dense vectors indexed by `(node, port, vc)`;
+//! iteration order is fixed; arrivals and credit returns are staged and
+//! committed at the cycle boundary. Two runs with identical inputs are
+//! bit-identical.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use meshpath_mesh::{Coord, Dir, Mesh, NodeId};
+
+/// Directional ports (index = `Dir as usize`: `+X, -X, +Y, -Y`).
+const DIRS: usize = 4;
+/// Input-port index of the local injection port.
+const LOCAL_PORT: usize = 4;
+/// Input ports per router.
+const IN_PORTS: usize = 5;
+/// Output-port index of the ejection port.
+const EJECT_PORT: usize = 4;
+/// Output ports per router.
+const OUT_PORTS: usize = 5;
+
+/// One flit on the wire. Packets are identified by the index returned
+/// from [`Fabric::register_packet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: u32,
+    /// First flit of the packet (makes routing + VC allocation).
+    pub is_head: bool,
+    /// Last flit (releases channels as it passes).
+    pub is_tail: bool,
+}
+
+/// Per-packet routing state the fabric needs.
+#[derive(Clone, Debug)]
+pub struct PacketState {
+    /// Source route: one direction per hop, produced by a
+    /// [`crate::routing::PathTable`].
+    pub path: Rc<[Dir]>,
+    /// Links the head flit has crossed so far.
+    pub head_hop: u32,
+    /// Generation cycle (latency reference point).
+    pub generated_at: u64,
+    /// Flits in the packet.
+    pub len: u32,
+}
+
+/// An input virtual channel: flit FIFO plus the output allocation held
+/// by the packet currently draining through it.
+#[derive(Clone, Debug, Default)]
+struct InVc {
+    queue: VecDeque<Flit>,
+    /// `(output port, output vc)` held from head grant to tail grant.
+    route: Option<(u8, u8)>,
+}
+
+/// The upstream mirror of a downstream input VC: ownership (wormhole
+/// allocation) and credit count (free buffer slots).
+#[derive(Clone, Debug)]
+struct OutVc {
+    owner: Option<u32>,
+    credits: u32,
+}
+
+/// One occupied input-VC head in a [`Fabric::frontier`] snapshot: which
+/// packet is parked where, and whether it already holds an output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierEntry {
+    /// Packet whose flit heads the VC queue.
+    pub packet: u32,
+    /// Router holding the flit.
+    pub node: Coord,
+    /// Input port index (`Dir as usize`, or 4 for the injection port).
+    pub in_port: usize,
+    /// Virtual channel index within the port.
+    pub vc: usize,
+    /// `(out_port, out_vc)` held by the draining packet, if allocated.
+    pub route: Option<(u8, u8)>,
+}
+
+/// What one [`Fabric::step`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Flits that traversed the switch (progress indicator).
+    pub moved: u64,
+    /// Flits consumed by ejection ports this cycle.
+    pub flits_ejected: u64,
+}
+
+/// The whole network: every router's buffers, credits and allocator
+/// state, plus the packet table.
+pub struct Fabric {
+    mesh: Mesh,
+    vcs: usize,
+    vc_depth: usize,
+    /// `[node][in_port][vc]` flattened.
+    in_vcs: Vec<InVc>,
+    /// `[node][out_dir][vc]` flattened.
+    out_vcs: Vec<OutVc>,
+    /// Round-robin grant pointers, `[node][out_port]` flattened.
+    rr: Vec<u32>,
+    packets: Vec<PacketState>,
+    /// Staged link/injection arrivals `(in_vc index, flit)`, applied at
+    /// the cycle boundary.
+    arrivals: Vec<(usize, Flit)>,
+    /// Staged credit returns (out_vc indices), applied at the boundary.
+    credit_returns: Vec<usize>,
+    /// Flits currently inside the fabric (buffers + staged arrivals).
+    in_flight: u64,
+}
+
+impl Fabric {
+    /// An empty fabric over `mesh` with `vcs` virtual channels of
+    /// `vc_depth` flits per directional input port.
+    ///
+    /// # Panics
+    /// Panics when `vcs` or `vc_depth` is zero.
+    pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        assert!(vc_depth > 0, "need at least one buffer slot per VC");
+        let nodes = mesh.len();
+        Fabric {
+            mesh,
+            vcs,
+            vc_depth,
+            in_vcs: vec![InVc::default(); nodes * IN_PORTS * vcs],
+            out_vcs: vec![OutVc { owner: None, credits: vc_depth as u32 }; nodes * DIRS * vcs],
+            rr: vec![0; nodes * OUT_PORTS],
+            packets: Vec::new(),
+            arrivals: Vec::new(),
+            credit_returns: Vec::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// The mesh this fabric spans.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Flits currently inside the fabric.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Registers a packet and returns its id.
+    pub fn register_packet(&mut self, p: PacketState) -> u32 {
+        let id = self.packets.len() as u32;
+        self.packets.push(p);
+        id
+    }
+
+    /// Read access to a registered packet.
+    pub fn packet(&self, id: u32) -> &PacketState {
+        &self.packets[id as usize]
+    }
+
+    /// Occupancy of the node's injection channel (applied flits only;
+    /// the per-node injector stages at most one flit per cycle, so
+    /// `local_occupancy(n) < vc_depth` keeps the buffer within bounds).
+    pub fn local_occupancy(&self, node: NodeId) -> usize {
+        self.in_vcs[self.in_idx(node.index(), LOCAL_PORT, 0)].queue.len()
+    }
+
+    /// Stages one flit onto the node's injection channel; it becomes
+    /// visible to allocation next cycle. The caller must respect
+    /// [`Fabric::local_occupancy`] and wormhole ordering (all flits of a
+    /// packet before any flit of the next).
+    pub fn inject_flit(&mut self, node: NodeId, flit: Flit) {
+        let idx = self.in_idx(node.index(), LOCAL_PORT, 0);
+        self.arrivals.push((idx, flit));
+        self.in_flight += 1;
+    }
+
+    #[inline]
+    fn in_idx(&self, node: usize, port: usize, vc: usize) -> usize {
+        (node * IN_PORTS + port) * self.vcs + vc
+    }
+
+    #[inline]
+    fn out_idx(&self, node: usize, dir: usize, vc: usize) -> usize {
+        (node * DIRS + dir) * self.vcs + vc
+    }
+
+    /// Snapshot of every occupied input VC head. Diagnostic aid for
+    /// analyzing saturation and deadlock reports.
+    pub fn frontier(&self) -> Vec<FrontierEntry> {
+        let mut out = Vec::new();
+        for node in 0..self.mesh.len() {
+            let here = self.mesh.coord(NodeId(node as u32));
+            for port in 0..IN_PORTS {
+                for vc in 0..self.vcs {
+                    let v = &self.in_vcs[self.in_idx(node, port, vc)];
+                    if let Some(f) = v.queue.front() {
+                        out.push(FrontierEntry {
+                            packet: f.packet,
+                            node: here,
+                            in_port: port,
+                            vc,
+                            route: v.route,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs one cycle of switch allocation + link traversal over every
+    /// router. Tail flits that reach their destination's ejection port
+    /// are appended to `ejected_tails` (the delivery completes one cycle
+    /// later — the ejection link; the driver adds that cycle).
+    pub fn step(&mut self, ejected_tails: &mut Vec<u32>) -> StepReport {
+        let mut report = StepReport::default();
+        let nodes = self.mesh.len();
+        for node in 0..nodes {
+            let here = self.mesh.coord(NodeId(node as u32));
+            let mut in_port_used = [false; IN_PORTS];
+            for out_port in 0..OUT_PORTS {
+                self.allocate_output(
+                    node,
+                    here,
+                    out_port,
+                    &mut in_port_used,
+                    &mut report,
+                    ejected_tails,
+                );
+            }
+        }
+        // Cycle boundary: arrivals land, credits return.
+        for (idx, flit) in self.arrivals.drain(..) {
+            let q = &mut self.in_vcs[idx].queue;
+            q.push_back(flit);
+            debug_assert!(
+                q.len() <= self.vc_depth,
+                "buffer overflow at in_vc {idx}: credit accounting broken"
+            );
+        }
+        for idx in self.credit_returns.drain(..) {
+            self.out_vcs[idx].credits += 1;
+            debug_assert!(
+                self.out_vcs[idx].credits <= self.vc_depth as u32,
+                "credit overflow at out_vc {idx}"
+            );
+        }
+        report
+    }
+
+    /// Grants at most one flit to `out_port` of `node`, round-robin over
+    /// the requesting input VCs.
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_output(
+        &mut self,
+        node: usize,
+        here: Coord,
+        out_port: usize,
+        in_port_used: &mut [bool; IN_PORTS],
+        report: &mut StepReport,
+        ejected_tails: &mut Vec<u32>,
+    ) {
+        let slots = IN_PORTS * self.vcs;
+        let rr_idx = node * OUT_PORTS + out_port;
+        let start = self.rr[rr_idx] as usize;
+        for k in 0..slots {
+            let slot = (start + k) % slots;
+            let (in_port, vc) = (slot / self.vcs, slot % self.vcs);
+            if in_port_used[in_port] {
+                continue;
+            }
+            if in_port == LOCAL_PORT && vc != 0 {
+                continue; // single injection channel
+            }
+            let in_idx = self.in_idx(node, in_port, vc);
+            let Some(&flit) = self.in_vcs[in_idx].queue.front() else {
+                continue;
+            };
+            // Desired output of the flit at the queue head.
+            let (desired, needs_vc_alloc) = match self.in_vcs[in_idx].route {
+                Some((p, _)) => (p as usize, false),
+                None => {
+                    debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
+                    let pk = &self.packets[flit.packet as usize];
+                    let hop = pk.head_hop as usize;
+                    if hop == pk.path.len() {
+                        (EJECT_PORT, false)
+                    } else {
+                        (pk.path[hop] as usize, true)
+                    }
+                }
+            };
+            if desired != out_port {
+                continue;
+            }
+
+            // Feasibility: ejection always accepts one flit per cycle;
+            // a link needs an allocated downstream VC with a credit.
+            let out_vc = if out_port == EJECT_PORT {
+                None
+            } else if needs_vc_alloc {
+                let Some(v) = (0..self.vcs).find(|&v| {
+                    let o = &self.out_vcs[self.out_idx(node, out_port, v)];
+                    o.owner.is_none() && o.credits > 0
+                }) else {
+                    continue;
+                };
+                Some(v)
+            } else {
+                let v = self.in_vcs[in_idx].route.expect("checked above").1 as usize;
+                if self.out_vcs[self.out_idx(node, out_port, v)].credits == 0 {
+                    continue;
+                }
+                Some(v)
+            };
+
+            // Grant.
+            let flit = self.in_vcs[in_idx].queue.pop_front().expect("front checked");
+            in_port_used[in_port] = true;
+            self.rr[rr_idx] = (slot + 1) as u32;
+            report.moved += 1;
+
+            // Credit back to the upstream router that feeds this input
+            // VC (none for the local injection port).
+            if in_port != LOCAL_PORT {
+                let to_upstream = Dir::ALL[in_port];
+                let upstream = here.step(to_upstream);
+                debug_assert!(self.mesh.contains(upstream), "link from outside the mesh");
+                let up_id = self.mesh.id(upstream).index();
+                let up_dir = to_upstream.opposite() as usize;
+                self.credit_returns.push(self.out_idx(up_id, up_dir, vc));
+            }
+
+            if out_port == EJECT_PORT {
+                self.in_flight -= 1;
+                report.flits_ejected += 1;
+                if flit.is_head {
+                    self.in_vcs[in_idx].route = Some((EJECT_PORT as u8, 0));
+                }
+                if flit.is_tail {
+                    self.in_vcs[in_idx].route = None;
+                    ejected_tails.push(flit.packet);
+                }
+            } else {
+                let v = out_vc.expect("links always have an out vc");
+                let out_idx = self.out_idx(node, out_port, v);
+                if needs_vc_alloc {
+                    self.out_vcs[out_idx].owner = Some(flit.packet);
+                }
+                self.in_vcs[in_idx].route = Some((out_port as u8, v as u8));
+                self.out_vcs[out_idx].credits -= 1;
+                if flit.is_head {
+                    self.packets[flit.packet as usize].head_hop += 1;
+                }
+                if flit.is_tail {
+                    self.out_vcs[out_idx].owner = None;
+                    self.in_vcs[in_idx].route = None;
+                }
+                let dir = Dir::ALL[out_port];
+                let next = here.step(dir);
+                debug_assert!(self.mesh.contains(next), "source route leaves the mesh");
+                let next_id = self.mesh.id(next).index();
+                let next_in = dir.opposite() as usize;
+                let next_idx = self.in_idx(next_id, next_in, v);
+                self.arrivals.push((next_idx, flit));
+            }
+            return; // one grant per output port per cycle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirs(seq: &[Dir]) -> Rc<[Dir]> {
+        seq.iter().copied().collect()
+    }
+
+    /// Drives one packet through an idle fabric and returns the cycle
+    /// at which its tail was ejected (plus the report trail).
+    const TEST_VCS: usize = 2;
+    const TEST_DEPTH: usize = 4;
+
+    fn run_single(mesh: Mesh, path: &[Dir], len: u32) -> u64 {
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
+        let src = mesh.id(Coord::new(0, 0));
+        let id =
+            f.register_packet(PacketState { path: dirs(path), head_hop: 0, generated_at: 0, len });
+        let mut ejected = Vec::new();
+        let mut sent = 0;
+        for cycle in 0.. {
+            if sent < len && f.local_occupancy(src) < TEST_DEPTH {
+                f.inject_flit(
+                    src,
+                    Flit { packet: id, is_head: sent == 0, is_tail: sent + 1 == len },
+                );
+                sent += 1;
+            }
+            f.step(&mut ejected);
+            if !ejected.is_empty() {
+                assert_eq!(ejected, vec![id]);
+                assert_eq!(f.in_flight(), 0);
+                return cycle + 1; // ejection link
+            }
+            assert!(cycle < 1000, "packet stuck");
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn single_flit_latency_is_hops_plus_pipeline() {
+        let mesh = Mesh::square(8);
+        // 0 hops is impossible (a packet to self is never generated);
+        // 1..=7 hops along +X.
+        for hops in 1..=7usize {
+            let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusX, hops).collect();
+            let done = run_single(mesh, &path, 1);
+            assert_eq!(done, hops as u64 + crate::PIPELINE_DEPTH, "hops = {hops}");
+        }
+    }
+
+    #[test]
+    fn multi_flit_latency_adds_serialization() {
+        let mesh = Mesh::square(8);
+        let path = [Dir::PlusX, Dir::PlusX, Dir::PlusY];
+        for len in [2u32, 4, 7] {
+            let done = run_single(mesh, &path, len);
+            assert_eq!(done, 3 + crate::PIPELINE_DEPTH + u64::from(len) - 1, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn turning_paths_arrive() {
+        let mesh = Mesh::square(6);
+        let path = [Dir::PlusX, Dir::PlusY, Dir::PlusX, Dir::MinusY, Dir::PlusX];
+        let done = run_single(mesh, &path, 4);
+        assert_eq!(done, 5 + crate::PIPELINE_DEPTH + 3);
+    }
+
+    #[test]
+    fn two_packets_share_a_link_fairly() {
+        // Packets from two different sources converge on the same link
+        // (1,0) -> (2,0): a runs (0,0) -> +X +X, b runs (1,1) -> -Y +X.
+        // The switch allocator must interleave them — both complete,
+        // and neither is starved while the other's worm drains.
+        let mesh = Mesh::square(4);
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
+        let len = 3u32;
+        let a = f.register_packet(PacketState {
+            path: dirs(&[Dir::PlusX, Dir::PlusX]),
+            head_hop: 0,
+            generated_at: 0,
+            len,
+        });
+        let b = f.register_packet(PacketState {
+            path: dirs(&[Dir::MinusY, Dir::PlusX]),
+            head_hop: 0,
+            generated_at: 0,
+            len,
+        });
+        let sources = [(mesh.id(Coord::new(0, 0)), a), (mesh.id(Coord::new(1, 1)), b)];
+        let mut sent = [0u32; 2];
+        let mut ejected = Vec::new();
+        let mut done = Vec::new();
+        for cycle in 0..100 {
+            for (i, &(src, pk)) in sources.iter().enumerate() {
+                if sent[i] < len && f.local_occupancy(src) < TEST_DEPTH {
+                    f.inject_flit(
+                        src,
+                        Flit { packet: pk, is_head: sent[i] == 0, is_tail: sent[i] + 1 == len },
+                    );
+                    sent[i] += 1;
+                }
+            }
+            f.step(&mut ejected);
+            done.extend(ejected.drain(..).map(|p| (p, cycle)));
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2, "both packets must complete: {done:?}");
+        assert_eq!(f.in_flight(), 0);
+        // Both worms cross the contended link, so at least one is
+        // delayed past its zero-load completion time — but only by a
+        // bounded amount (no starvation): zero-load tail arrival is
+        // hops + PIPELINE_DEPTH + (len - 1) = 6, and the loser waits at
+        // most one worm (len flits) behind the winner.
+        let zero_load = 2 + crate::PIPELINE_DEPTH + u64::from(len) - 1;
+        for &(pk, cycle) in &done {
+            let lat = cycle + 1;
+            assert!(lat >= zero_load, "packet {pk} beat the zero-load bound");
+            assert!(
+                lat <= zero_load + u64::from(len) + 2,
+                "packet {pk} starved: finished at {lat}, bound {}",
+                zero_load + u64::from(len) + 2
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_reports_parked_flits() {
+        // Park a worm behind a missing grant: inject a packet and stop
+        // stepping mid-flight, then snapshot. The frontier must name
+        // the packet, its router and (once the head was granted) the
+        // allocated route; after delivery the frontier is empty.
+        let mesh = Mesh::square(4);
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
+        let id = f.register_packet(PacketState {
+            path: dirs(&[Dir::PlusX, Dir::PlusX]),
+            head_hop: 0,
+            generated_at: 0,
+            len: 2,
+        });
+        let src = mesh.id(Coord::new(0, 0));
+        f.inject_flit(src, Flit { packet: id, is_head: true, is_tail: false });
+        let mut ejected = Vec::new();
+        f.step(&mut ejected); // head lands in the injection channel
+        let snap = f.frontier();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].packet, id);
+        assert_eq!(snap[0].node, Coord::new(0, 0));
+        assert_eq!(snap[0].in_port, 4, "injection port");
+        assert!(snap[0].route.is_none(), "head not granted yet");
+        // Finish the packet; the fabric must report an empty frontier.
+        f.inject_flit(src, Flit { packet: id, is_head: false, is_tail: true });
+        for _ in 0..20 {
+            f.step(&mut ejected);
+        }
+        assert!(!ejected.is_empty());
+        assert_eq!(f.in_flight(), 0);
+        assert!(f.frontier().is_empty());
+    }
+
+    #[test]
+    fn credits_bound_buffer_occupancy() {
+        // A packet longer than the buffer into a blocked... here: a long
+        // packet whose head makes progress; occupancy must never exceed
+        // vc_depth (debug_assert in step would fire otherwise).
+        let mesh = Mesh::square(8);
+        let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusX, 7).collect();
+        let done = run_single(mesh, &path, 12);
+        assert_eq!(done, 7 + crate::PIPELINE_DEPTH + 11);
+    }
+}

@@ -1,0 +1,73 @@
+//! # meshpath-traffic
+//!
+//! A deterministic, flit-level, wormhole-switched traffic simulator for
+//! 2-D meshes, layered on `meshpath-mesh` and `meshpath-route`.
+//!
+//! The paper evaluates RB1/RB2/RB3 as single-packet routing decisions;
+//! this crate evaluates them as *network-on-chip routing functions
+//! under load*: per-node routers with input-buffered virtual channels,
+//! credit-based flow control, a per-cycle switch allocator and
+//! unit-latency links ([`Fabric`]), driven by seeded injection
+//! processes over the standard NoC traffic patterns ([`TrafficPattern`])
+//! and measured with warmup/measure/drain methodology
+//! ([`TrafficStats`]).
+//!
+//! ## Layers
+//!
+//! * [`routing`] — adapters compiling the workspace's [`Router`]s
+//!   (RB1/RB2/RB3, fault-tolerant E-cube) plus a dimension-order
+//!   [`XyRouter`] baseline into memoized source routes.
+//! * [`fabric`] — the cycle-level wormhole router microarchitecture.
+//! * [`pattern`] — uniform random, transpose, bit-complement, hotspot
+//!   and permutation destination processes.
+//! * [`sim`] — the run loop: Bernoulli injection, measurement windows,
+//!   saturation and deadlock detection.
+//! * [`stats`] — latency histograms and accepted-throughput accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use meshpath_mesh::{Coord, FaultSet, Mesh};
+//! use meshpath_route::Network;
+//! use meshpath_traffic::{run_traffic, RoutingKind, SimConfig};
+//!
+//! let net = Network::build(FaultSet::from_coords(
+//!     Mesh::square(8),
+//!     [Coord::new(3, 3)],
+//! ));
+//! let cfg = SimConfig { rate: 0.01, ..SimConfig::smoke() };
+//! let stats = run_traffic(&net, RoutingKind::Rb2, &cfg);
+//! assert_eq!(stats.measured_delivered, stats.measured_generated);
+//! ```
+//!
+//! ## Honesty notes
+//!
+//! * Routing decisions are compiled to source routes once per
+//!   `(source, destination)` pair — valid because every router in this
+//!   workspace is deterministic per network; see [`routing`].
+//! * Wormhole switching with adaptive (detouring) routes is not
+//!   deadlock-free in general. The simulator *detects* cyclic waits
+//!   (`deadlocked` in [`TrafficStats`]) instead of pretending they
+//!   cannot happen; escape virtual channels are a tracked follow-up in
+//!   the ROADMAP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fabric;
+pub mod pattern;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+
+pub use config::{SimConfig, PIPELINE_DEPTH};
+pub use fabric::{Fabric, Flit, FrontierEntry, PacketState, StepReport};
+pub use pattern::{DestSampler, TrafficPattern};
+pub use routing::{PathTable, RoutingKind, XyRouter};
+pub use sim::{run_traffic, run_traffic_reusing, single_packet_latency, TrafficSim};
+pub use stats::{LatencyHistogram, TrafficStats};
+
+// Re-exported so downstream code can name the trait the adapters build
+// on without importing `meshpath-route` separately.
+pub use meshpath_route::Router;

@@ -1,0 +1,214 @@
+//! Traffic patterns: how packet destinations are chosen.
+
+use meshpath_mesh::{Coord, FaultSet, FxHashMap, FxHashSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Destination selection patterns, the standard NoC benchmark set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every healthy node other than the source, uniformly.
+    UniformRandom,
+    /// `(x, y) -> (y, x)` (square meshes; stresses the diagonal).
+    Transpose,
+    /// `(x, y) -> (W-1-x, H-1-y)` (all traffic crosses the center).
+    BitComplement,
+    /// With probability `fraction`, a uniformly chosen hotspot node;
+    /// otherwise uniform random.
+    Hotspot {
+        /// The hotspot destinations.
+        targets: Vec<Coord>,
+        /// Fraction of traffic aimed at the hotspots.
+        fraction: f64,
+    },
+    /// A fixed random permutation of the healthy nodes, drawn once per
+    /// simulation from the seed.
+    Permutation,
+}
+
+impl TrafficPattern {
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bit-complement",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Permutation => "permutation",
+        }
+    }
+}
+
+/// A compiled destination sampler for one fault configuration.
+///
+/// Construction resolves everything data-dependent (the healthy-node
+/// list, the permutation) so that per-packet sampling is cheap and
+/// deterministic under the caller's RNG.
+pub struct DestSampler {
+    pattern: TrafficPattern,
+    healthy: Vec<Coord>,
+    healthy_set: FxHashSet<Coord>,
+    /// `Permutation` only: source -> destination.
+    perm: FxHashMap<Coord, Coord>,
+    width: i32,
+    height: i32,
+}
+
+impl DestSampler {
+    /// Compiles `pattern` against the fault configuration.
+    ///
+    /// # Panics
+    /// Panics if a hotspot fraction is outside `[0, 1]`.
+    pub fn new(pattern: TrafficPattern, faults: &FaultSet, seed: u64) -> Self {
+        if let TrafficPattern::Hotspot { fraction, .. } = &pattern {
+            assert!((0.0..=1.0).contains(fraction), "hotspot fraction {fraction} outside [0, 1]");
+        }
+        let mesh = faults.mesh();
+        let healthy: Vec<Coord> = mesh.iter().filter(|&c| faults.is_healthy(c)).collect();
+        let mut perm = FxHashMap::default();
+        if matches!(pattern, TrafficPattern::Permutation) {
+            let mut shuffled = healthy.clone();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7065_726d); // "perm"
+            shuffled.shuffle(&mut rng);
+            perm.extend(healthy.iter().copied().zip(shuffled));
+        }
+        DestSampler {
+            pattern,
+            healthy_set: healthy.iter().copied().collect(),
+            healthy,
+            perm,
+            width: mesh.width() as i32,
+            height: mesh.height() as i32,
+        }
+    }
+
+    /// The pattern this sampler was compiled from.
+    pub fn pattern(&self) -> &TrafficPattern {
+        &self.pattern
+    }
+
+    /// Draws a destination for a packet sourced at `src`, or `None` when
+    /// the pattern maps `src` to itself or to a faulty node (the packet
+    /// is simply not generated, like a core with nothing to say).
+    pub fn dest(&self, src: Coord, rng: &mut StdRng) -> Option<Coord> {
+        let d = match &self.pattern {
+            TrafficPattern::UniformRandom => self.uniform(src, rng)?,
+            TrafficPattern::Transpose => Coord::new(src.y, src.x),
+            TrafficPattern::BitComplement => {
+                Coord::new(self.width - 1 - src.x, self.height - 1 - src.y)
+            }
+            TrafficPattern::Hotspot { targets, fraction } => {
+                if !targets.is_empty() && rng.gen_bool(*fraction) {
+                    targets[rng.gen_range(0..targets.len())]
+                } else {
+                    self.uniform(src, rng)?
+                }
+            }
+            TrafficPattern::Permutation => *self.perm.get(&src)?,
+        };
+        (d != src && self.is_healthy(d)).then_some(d)
+    }
+
+    fn uniform(&self, src: Coord, rng: &mut StdRng) -> Option<Coord> {
+        if self.healthy.len() < 2 {
+            return None;
+        }
+        // Rejection loop: terminates fast because at least half the
+        // draws differ from `src` whenever 2+ healthy nodes exist.
+        for _ in 0..64 {
+            let d = self.healthy[rng.gen_range(0..self.healthy.len())];
+            if d != src {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    fn is_healthy(&self, c: Coord) -> bool {
+        // Patterns can produce faulty or out-of-mesh coordinates
+        // (e.g. transpose on a rectangle); those packets are dropped at
+        // generation.
+        self.healthy_set.contains(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::Mesh;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn uniform_avoids_source_and_faults() {
+        let mesh = Mesh::square(6);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(2, 2)]);
+        let s = DestSampler::new(TrafficPattern::UniformRandom, &faults, 0);
+        let mut r = rng();
+        for _ in 0..500 {
+            let src = Coord::new(1, 1);
+            let d = s.dest(src, &mut r).expect("dest exists");
+            assert_ne!(d, src);
+            assert_ne!(d, Coord::new(2, 2));
+        }
+    }
+
+    #[test]
+    fn transpose_and_bit_complement() {
+        let mesh = Mesh::square(8);
+        let faults = FaultSet::none(mesh);
+        let t = DestSampler::new(TrafficPattern::Transpose, &faults, 0);
+        let b = DestSampler::new(TrafficPattern::BitComplement, &faults, 0);
+        let mut r = rng();
+        assert_eq!(t.dest(Coord::new(2, 5), &mut r), Some(Coord::new(5, 2)));
+        assert_eq!(t.dest(Coord::new(3, 3), &mut r), None, "diagonal maps to itself");
+        assert_eq!(b.dest(Coord::new(0, 0), &mut r), Some(Coord::new(7, 7)));
+        assert_eq!(b.dest(Coord::new(2, 5), &mut r), Some(Coord::new(5, 2)));
+    }
+
+    #[test]
+    fn transpose_filters_faulty_targets() {
+        let mesh = Mesh::square(8);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(5, 2)]);
+        let t = DestSampler::new(TrafficPattern::Transpose, &faults, 0);
+        let mut r = rng();
+        assert_eq!(t.dest(Coord::new(2, 5), &mut r), None);
+    }
+
+    #[test]
+    fn permutation_is_fixed_and_seeded() {
+        let mesh = Mesh::square(6);
+        let faults = FaultSet::none(mesh);
+        let p1 = DestSampler::new(TrafficPattern::Permutation, &faults, 9);
+        let p2 = DestSampler::new(TrafficPattern::Permutation, &faults, 9);
+        let p3 = DestSampler::new(TrafficPattern::Permutation, &faults, 10);
+        let mut r = rng();
+        let mut differs = false;
+        for c in mesh.iter() {
+            assert_eq!(p1.dest(c, &mut r), p2.dest(c, &mut r), "same seed, same map");
+            if p1.dest(c, &mut r) != p3.dest(c, &mut r) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different permutations");
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mesh = Mesh::square(8);
+        let faults = FaultSet::none(mesh);
+        let target = Coord::new(4, 4);
+        let h = DestSampler::new(
+            TrafficPattern::Hotspot { targets: vec![target], fraction: 0.8 },
+            &faults,
+            0,
+        );
+        let mut r = rng();
+        let hits = (0..1000).filter(|_| h.dest(Coord::new(0, 0), &mut r) == Some(target)).count();
+        assert!(hits > 600, "hotspot should draw ~80% of traffic, got {hits}/1000");
+    }
+}

@@ -1,0 +1,226 @@
+//! Routing-function adapters: the paper's routers plus dimension-order
+//! XY, compiled to source routes for the wormhole fabric.
+//!
+//! The paper's routers make per-hop local decisions, but re-running the
+//! full decision procedure at every router every cycle would swamp the
+//! flit-level simulation. Because every router in this workspace is
+//! *deterministic* for a given network, the hop sequence it would take
+//! is a pure function of `(source, destination)` — so the adapter runs
+//! the router once per distinct pair, converts the walk into a direction
+//! sequence, and memoizes it. The fabric then plays that sequence back
+//! flit by flit, which is exactly source routing of the path the
+//! distributed algorithm would have produced.
+
+use std::rc::Rc;
+
+use meshpath_mesh::{Coord, Dir, FxHashMap};
+use meshpath_route::{ECube, Network, Rb1, Rb2, Rb3, RouteResult, Router};
+use serde::{Deserialize, Serialize};
+
+/// The routing functions the traffic simulator can drive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-order XY: minimal and deadlock-free, but fault-oblivious
+    /// (packets whose row/column path hits a fault are unroutable). The
+    /// sanity baseline.
+    Xy,
+    /// Fault-tolerant E-cube over rectangular fault blocks
+    /// (Boppana & Chalasani).
+    ECube,
+    /// Algorithm 3 over the B1 information model.
+    Rb1,
+    /// Algorithm 5 over the B2 model (the paper's shortest-path routing).
+    Rb2,
+    /// Algorithm 7 over the B3 model.
+    Rb3,
+}
+
+impl RoutingKind {
+    /// All routing functions, in reporting order.
+    pub const ALL: [RoutingKind; 5] =
+        [RoutingKind::Xy, RoutingKind::ECube, RoutingKind::Rb1, RoutingKind::Rb2, RoutingKind::Rb3];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingKind::Xy => "XY",
+            RoutingKind::ECube => "E-cube",
+            RoutingKind::Rb1 => "RB1",
+            RoutingKind::Rb2 => "RB2",
+            RoutingKind::Rb3 => "RB3",
+        }
+    }
+
+    /// Instantiates the underlying router (default policies).
+    pub fn router(self) -> Box<dyn Router> {
+        match self {
+            RoutingKind::Xy => Box::new(XyRouter),
+            RoutingKind::ECube => Box::new(ECube),
+            RoutingKind::Rb1 => Box::new(Rb1::default()),
+            RoutingKind::Rb2 => Box::new(Rb2::default()),
+            RoutingKind::Rb3 => Box::new(Rb3::default()),
+        }
+    }
+}
+
+/// Deterministic dimension-order routing: correct X first, then Y.
+///
+/// Fault-oblivious: the walk stops (undelivered) at the first faulty
+/// node on the dimension-ordered path. In a fault-free mesh this is the
+/// textbook minimal deadlock-free routing, which is why it serves as
+/// the simulator's sanity baseline.
+pub struct XyRouter;
+
+impl Router for XyRouter {
+    fn name(&self) -> &'static str {
+        "XY"
+    }
+
+    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
+        let mut path = vec![s];
+        let mut cur = s;
+        let mut blocked = false;
+        while cur != d {
+            let dir = if cur.x != d.x {
+                if d.x > cur.x {
+                    Dir::PlusX
+                } else {
+                    Dir::MinusX
+                }
+            } else if d.y > cur.y {
+                Dir::PlusY
+            } else {
+                Dir::MinusY
+            };
+            let next = cur.step(dir);
+            if !net.faults().is_healthy(next) {
+                blocked = true;
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        RouteResult { path, delivered: !blocked, replans: 0, fallbacks: 0, detour_hops: 0 }
+    }
+}
+
+/// A memoizing source-route table for one `(network, routing function)`
+/// pair.
+pub struct PathTable<'a> {
+    net: &'a Network,
+    kind: RoutingKind,
+    router: Box<dyn Router>,
+    cache: FxHashMap<(Coord, Coord), Option<Rc<[Dir]>>>,
+    misses: u64,
+    hits: u64,
+}
+
+impl<'a> PathTable<'a> {
+    /// Creates an empty table for `kind` over `net`.
+    pub fn new(net: &'a Network, kind: RoutingKind) -> Self {
+        PathTable {
+            net,
+            kind,
+            router: kind.router(),
+            cache: FxHashMap::default(),
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// The routing function this table compiles.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// The network the routes are compiled against.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// The direction sequence from `s` to `d`, or `None` when the router
+    /// does not deliver this pair (XY hitting a fault, disconnected
+    /// endpoints, hop-budget exhaustion).
+    pub fn path(&mut self, s: Coord, d: Coord) -> Option<Rc<[Dir]>> {
+        if let Some(p) = self.cache.get(&(s, d)) {
+            self.hits += 1;
+            return p.clone();
+        }
+        self.misses += 1;
+        let res = self.router.route(self.net, s, d);
+        let dirs = res.delivered.then(|| {
+            res.path
+                .windows(2)
+                .map(|w| w[0].dir_to(w[1]).expect("router paths move between neighbors"))
+                .collect::<Rc<[Dir]>>()
+        });
+        self.cache.insert((s, d), dirs.clone());
+        dirs
+    }
+
+    /// `(cache hits, cache misses)` — the miss count is the number of
+    /// full routing-algorithm executions performed.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    #[test]
+    fn xy_routes_dimension_ordered() {
+        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(4, 6));
+        assert!(res.delivered);
+        assert_eq!(res.hops(), 3 + 5);
+        // X corrections strictly precede Y corrections.
+        let dirs: Vec<Dir> = res.path.windows(2).map(|w| w[0].dir_to(w[1]).unwrap()).collect();
+        let first_y = dirs.iter().position(|d| d.axis() == meshpath_mesh::Axis::Y).unwrap();
+        assert!(dirs[..first_y].iter().all(|d| d.axis() == meshpath_mesh::Axis::X));
+        assert!(dirs[first_y..].iter().all(|d| d.axis() == meshpath_mesh::Axis::Y));
+    }
+
+    #[test]
+    fn xy_blocks_on_faults() {
+        let mesh = Mesh::square(8);
+        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(3, 1)]));
+        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(6, 1));
+        assert!(!res.delivered);
+        // RB2 routes the same pair around the fault.
+        let res2 = Rb2::default().route(&net, Coord::new(1, 1), Coord::new(6, 1));
+        assert!(res2.delivered);
+    }
+
+    #[test]
+    fn path_table_memoizes() {
+        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let mut t = PathTable::new(&net, RoutingKind::Rb2);
+        let a = t.path(Coord::new(0, 0), Coord::new(5, 5)).expect("delivered");
+        let b = t.path(Coord::new(0, 0), Coord::new(5, 5)).expect("delivered");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(t.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn all_kinds_instantiate_and_route() {
+        let mesh = Mesh::square(10);
+        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(4, 4)]));
+        for kind in RoutingKind::ALL {
+            let mut t = PathTable::new(&net, kind);
+            let p = t.path(Coord::new(0, 0), Coord::new(9, 9));
+            let p = p.unwrap_or_else(|| panic!("{} must route around one fault", kind.name()));
+            // Replay the dirs: must land on the destination through
+            // healthy nodes.
+            let mut cur = Coord::new(0, 0);
+            for &d in p.iter() {
+                cur = cur.step(d);
+                assert!(net.faults().is_healthy(cur));
+            }
+            assert_eq!(cur, Coord::new(9, 9), "{}", kind.name());
+        }
+    }
+}

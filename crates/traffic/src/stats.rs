@@ -1,0 +1,210 @@
+//! Latency histograms and run-level statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A latency histogram with 1-cycle-wide buckets and an overflow tail.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// A histogram resolving latencies up to `cap` cycles exactly;
+    /// larger samples land in the overflow tail (still counted in the
+    /// mean and max).
+    pub fn new(cap: usize) -> Self {
+        LatencyHistogram { buckets: vec![0; cap], overflow: 0, count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one packet latency.
+    pub fn record(&mut self, latency: u64) {
+        match self.buckets.get_mut(latency as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile (e.g. `0.95`), resolved to bucket granularity.
+    /// Samples in the overflow tail report the maximum.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (lat, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return lat as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram (same cap) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram caps differ");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Everything measured over one traffic simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Cycles simulated in total (warmup + window + drain actually used).
+    pub cycles: u64,
+    /// Healthy (injecting/ejecting) nodes — the denominator of per-node
+    /// rates, so throughput is comparable across fault densities
+    /// (faulty routers neither offer nor accept traffic).
+    pub nodes: usize,
+    /// Length of the measurement window in cycles.
+    pub measure_window: u64,
+    /// Packets generated over the whole run.
+    pub generated: u64,
+    /// Packets generated during the measurement window.
+    pub measured_generated: u64,
+    /// Measured packets that completed delivery.
+    pub measured_delivered: u64,
+    /// Generation attempts whose routing function produced no path
+    /// (counted, not queued — e.g. XY across a fault).
+    pub unroutable: u64,
+    /// Generation attempts dropped because the compiled route exceeded
+    /// the configured hop budget ([`route_ttl`](crate::SimConfig)).
+    pub ttl_dropped: u64,
+    /// Flits ejected during the measurement window (accepted traffic).
+    pub measured_flits_ejected: u64,
+    /// Latency histogram over measured, delivered packets. Latency runs
+    /// from *generation* (so it includes source queueing) to tail
+    /// ejection.
+    pub latency: LatencyHistogram,
+    /// True when measured packets were still undelivered after the drain
+    /// budget — the offered load exceeds what the network accepts.
+    pub saturated: bool,
+    /// True when the fabric stopped moving flits entirely while packets
+    /// were in flight (wormhole cyclic dependency; see the crate docs on
+    /// escape channels).
+    pub deadlocked: bool,
+}
+
+impl TrafficStats {
+    /// Accepted throughput in flits per healthy node per cycle over the
+    /// measurement window.
+    pub fn accepted_flits_per_node_cycle(&self) -> f64 {
+        if self.measure_window == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.measured_flits_ejected as f64 / (self.nodes as f64 * self.measure_window as f64)
+        }
+    }
+
+    /// Fraction of measured packets delivered, in percent.
+    pub fn delivered_pct(&self) -> f64 {
+        if self.measured_generated == 0 {
+            100.0
+        } else {
+            100.0 * self.measured_delivered as f64 / self.measured_generated as f64
+        }
+    }
+
+    /// Mean measured latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_percentile_max() {
+        let mut h = LatencyHistogram::new(64);
+        for lat in [10u64, 10, 20, 30] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 17.5);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.percentile(0.5), 10);
+        assert_eq!(h.percentile(0.75), 20);
+        assert_eq!(h.percentile(1.0), 30);
+    }
+
+    #[test]
+    fn histogram_overflow_counts_in_mean() {
+        let mut h = LatencyHistogram::new(8);
+        h.record(100);
+        h.record(4);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 52.0);
+        assert_eq!(h.percentile(1.0), 100, "overflow resolves to max");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new(16);
+        let mut b = LatencyHistogram::new(16);
+        a.record(3);
+        b.record(5);
+        b.record(40);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 40);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let s = TrafficStats {
+            cycles: 100,
+            nodes: 10,
+            measure_window: 50,
+            generated: 30,
+            measured_generated: 20,
+            measured_delivered: 18,
+            unroutable: 1,
+            ttl_dropped: 0,
+            measured_flits_ejected: 200,
+            latency: LatencyHistogram::new(8),
+            saturated: false,
+            deadlocked: false,
+        };
+        assert_eq!(s.accepted_flits_per_node_cycle(), 0.4);
+        assert_eq!(s.delivered_pct(), 90.0);
+    }
+}

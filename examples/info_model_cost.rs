@@ -28,11 +28,7 @@ fn main() {
         ],
     );
     let set = MccSet::build(&faults, Orientation::IDENTITY, BorderPolicy::Open);
-    let main_mcc = set
-        .iter()
-        .max_by_key(|m| m.cell_count())
-        .expect("clusters exist")
-        .id();
+    let main_mcc = set.iter().max_by_key(|m| m.cell_count()).expect("clusters exist").id();
 
     for kind in ModelKind::ALL {
         let model = InfoModel::build(&set, kind);

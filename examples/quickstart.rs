@@ -29,8 +29,7 @@ fn main() {
     println!("true shortest path : {} hops (BFS)", oracle.dist(s));
     println!();
 
-    let routers: [&dyn Router; 4] =
-        [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
+    let routers: [&dyn Router; 4] = [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
     let mut best: Option<(&str, RouteResult)> = None;
     for router in routers {
         let res = router.route(&net, s, d);

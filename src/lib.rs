@@ -1,0 +1,9 @@
+//! Workspace-root crate: re-exports the [`meshpath`] facade so the
+//! top-level `examples/` and `tests/` have a package to live in.
+//!
+//! Use the [`meshpath`] crate directly from library code; this crate
+//! exists only to anchor the repository-level integration suite.
+
+#![forbid(unsafe_code)]
+
+pub use meshpath::*;

@@ -5,19 +5,11 @@ use meshpath::prelude::*;
 
 fn net(side: u32, faults: &[(i32, i32)]) -> Network {
     let mesh = Mesh::square(side);
-    Network::build(FaultSet::from_coords(
-        mesh,
-        faults.iter().map(|&(x, y)| Coord::new(x, y)),
-    ))
+    Network::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
 }
 
 fn all_routers() -> [Box<dyn Router>; 4] {
-    [
-        Box::new(ECube),
-        Box::new(Rb1::default()),
-        Box::new(Rb2::default()),
-        Box::new(Rb3::default()),
-    ]
+    [Box::new(ECube), Box::new(Rb1::default()), Box::new(Rb2::default()), Box::new(Rb3::default())]
 }
 
 #[test]
@@ -64,8 +56,7 @@ fn due_north_with_column_blocker() {
 fn corner_to_corner_with_center_block() {
     // A 3x3 block dead center: corner-to-corner traffic stays Manhattan
     // (it can hug either side).
-    let faults: Vec<(i32, i32)> =
-        (5..8).flat_map(|x| (5..8).map(move |y| (x, y))).collect();
+    let faults: Vec<(i32, i32)> = (5..8).flat_map(|x| (5..8).map(move |y| (x, y))).collect();
     let n = net(13, &faults);
     let (s, d) = (Coord::new(0, 0), Coord::new(12, 12));
     for router in all_routers() {
@@ -110,10 +101,7 @@ fn destination_in_a_pocket() {
 #[test]
 fn mcc_touching_every_border() {
     // Border-hugging clusters: corners off-mesh on all four sides.
-    let n = net(
-        10,
-        &[(0, 5), (5, 0), (9, 4), (4, 9), (0, 0), (9, 9)],
-    );
+    let n = net(10, &[(0, 5), (5, 0), (9, 4), (4, 9), (0, 0), (9, 9)]);
     let (s, d) = (Coord::new(2, 2), Coord::new(7, 7));
     for router in all_routers() {
         let res = router.route(&n, s, d);
@@ -126,10 +114,7 @@ fn mcc_touching_every_border() {
 fn dense_diagonal_stripe() {
     // A dense anti-diagonal stripe with one opening forces long detours
     // but never traps anyone.
-    let faults: Vec<(i32, i32)> = (0..14)
-        .filter(|&i| i != 9)
-        .map(|i| (i, 13 - i))
-        .collect();
+    let faults: Vec<(i32, i32)> = (0..14).filter(|&i| i != 9).map(|i| (i, 13 - i)).collect();
     let n = net(14, &faults);
     let (s, d) = (Coord::new(1, 1), Coord::new(12, 12));
     let oracle = DistanceField::healthy(n.faults(), d);

@@ -4,8 +4,8 @@
 
 use meshpath::analysis::{run_sweep, Fig5Data, SweepConfig};
 use meshpath::fault::distributed::run_distributed;
-use meshpath::fault::{BorderPolicy, Labeling, MccSet};
-use meshpath::info::{InfoModel, ModelKind};
+use meshpath::fault::{BorderPolicy, Labeling};
+use meshpath::info::ModelKind;
 use meshpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

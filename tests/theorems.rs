@@ -13,12 +13,7 @@ use meshpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn sample_pairs(
-    net: &Network,
-    n: i32,
-    count: usize,
-    rng: &mut StdRng,
-) -> Vec<(Coord, Coord, u32)> {
+fn sample_pairs(net: &Network, n: i32, count: usize, rng: &mut StdRng) -> Vec<(Coord, Coord, u32)> {
     let mut out = Vec::new();
     let mut attempts = 0;
     while out.len() < count && attempts < 20_000 {
@@ -45,19 +40,14 @@ fn theorem1_rb2_global_is_exactly_optimal() {
     let mesh = Mesh::square(n as u32);
     let mut rng = StdRng::seed_from_u64(0xA11CE);
     for trial in 0..10 {
-        let faults =
-            FaultSet::random(mesh, 15 + trial * 8, FaultInjection::Uniform, &mut rng);
+        let faults = FaultSet::random(mesh, 15 + trial * 8, FaultInjection::Uniform, &mut rng);
         let net = Network::build(faults);
         let rb2 = Rb2 { scope: KnowledgeScope::Global, ..Default::default() };
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             let res = rb2.route(&net, s, d);
             assert!(res.delivered, "RB2 must deliver {s:?}->{d:?} (trial {trial})");
             validate_path(&net, s, d, &res).expect("valid walk");
-            assert_eq!(
-                res.hops(),
-                opt,
-                "RB2(global) not optimal for {s:?}->{d:?} (trial {trial})"
-            );
+            assert_eq!(res.hops(), opt, "RB2(global) not optimal for {s:?}->{d:?} (trial {trial})");
         }
     }
 }
@@ -70,8 +60,7 @@ fn theorem1_rb2_local_is_near_optimal() {
     let mut total = 0u32;
     let mut optimal = 0u32;
     for trial in 0..10 {
-        let faults =
-            FaultSet::random(mesh, 20 + trial * 10, FaultInjection::Uniform, &mut rng);
+        let faults = FaultSet::random(mesh, 20 + trial * 10, FaultInjection::Uniform, &mut rng);
         let net = Network::build(faults);
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             let res = Rb2::default().route(&net, s, d);
@@ -95,8 +84,7 @@ fn theorem2_rb3_matches_rb2_from_boundary_sources() {
     let mut checked = 0u32;
     let mut as_good = 0u32;
     for trial in 0..12 {
-        let faults =
-            FaultSet::random(mesh, 15 + trial * 6, FaultInjection::Uniform, &mut rng);
+        let faults = FaultSet::random(mesh, 15 + trial * 6, FaultInjection::Uniform, &mut rng);
         let net = Network::build(faults);
         // Boundary sources: nodes that hold at least one B3 triple.
         for (s, d, _opt) in sample_pairs(&net, n, 30, &mut rng) {
@@ -136,20 +124,14 @@ fn routers_never_beat_bfs() {
     let mesh = Mesh::square(n as u32);
     let mut rng = StdRng::seed_from_u64(0xFEED);
     for trial in 0..6 {
-        let faults =
-            FaultSet::random(mesh, 10 + trial * 10, FaultInjection::Uniform, &mut rng);
+        let faults = FaultSet::random(mesh, 10 + trial * 10, FaultInjection::Uniform, &mut rng);
         let net = Network::build(faults);
-        let routers: [&dyn Router; 4] =
-            [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
+        let routers: [&dyn Router; 4] = [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
         for (s, d, opt) in sample_pairs(&net, n, 10, &mut rng) {
             for router in routers {
                 let res = router.route(&net, s, d);
                 if res.delivered {
-                    assert!(
-                        res.hops() >= opt,
-                        "{} beat BFS?! {s:?}->{d:?}",
-                        router.name()
-                    );
+                    assert!(res.hops() >= opt, "{} beat BFS?! {s:?}->{d:?}", router.name());
                     assert_eq!(
                         (res.hops() - opt) % 2,
                         0,
@@ -172,8 +154,7 @@ fn success_ordering_matches_the_paper() {
     let mut hits = [0u32; 3]; // rb1, rb2, rb3
     let mut total = 0u32;
     for trial in 0..8 {
-        let faults =
-            FaultSet::random(mesh, 30 + trial * 12, FaultInjection::Uniform, &mut rng);
+        let faults = FaultSet::random(mesh, 30 + trial * 12, FaultInjection::Uniform, &mut rng);
         let net = Network::build(faults);
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             total += 1;
