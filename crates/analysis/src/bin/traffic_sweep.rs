@@ -1,8 +1,14 @@
 //! Traffic load sweep: latency-vs-injection-rate curves per router and
 //! fault density.
 //!
-//! Usage: `traffic_sweep [--quick] [--mesh N] [--seed N] [--threads N]
-//! [--out DIR]`.
+//! Usage: `traffic_sweep [--quick] [--json] [--mesh N] [--seed N]
+//! [--threads N] [--out DIR]`.
+//!
+//! By default the sweep prints aligned text tables (and CSV next to
+//! `--out`). With `--json` it instead emits one machine-readable JSON
+//! document of flat sweep rows on stdout — the format meant for
+//! recording `BENCH_*.json` trajectories across commits — and, when
+//! `--out DIR` is given, also writes it to `DIR/traffic_sweep.json`.
 
 use meshpath_analysis::cli::emit;
 use meshpath_analysis::traffic::{run_load_sweep, LoadSweepConfig};
@@ -17,6 +23,7 @@ fn main() {
         LoadSweepConfig::default()
     };
     let mut out: Option<String> = None;
+    let mut json = false;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -27,6 +34,7 @@ fn main() {
         };
         match arg.as_str() {
             "--quick" => {}
+            "--json" => json = true,
             "--mesh" => {
                 cfg.mesh = take("--mesh").parse().unwrap_or(0);
                 if cfg.mesh == 0 {
@@ -39,7 +47,8 @@ fn main() {
             "--out" => out = Some(take("--out")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traffic_sweep [--quick] [--mesh N] [--seed N] [--threads N] [--out DIR]"
+                    "usage: traffic_sweep [--quick] [--json] [--mesh N] [--seed N] [--threads N] \
+                     [--out DIR]"
                 );
                 return;
             }
@@ -63,6 +72,20 @@ fn main() {
     }
 
     let res = run_load_sweep(&cfg);
+    if json {
+        let doc = res.to_json();
+        print!("{doc}");
+        if let Some(dir) = &out {
+            let path = std::path::Path::new(dir).join("traffic_sweep.json");
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &doc))
+            {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        return;
+    }
     for (i, t) in res.latency_tables().iter().enumerate() {
         emit(t, &out, &format!("traffic_latency_{}", res.config.fault_counts[i]));
     }

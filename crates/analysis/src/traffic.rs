@@ -136,6 +136,68 @@ impl LoadSweepResult {
             .collect()
     }
 
+    /// Serializes the sweep as a JSON document: a `config` summary plus
+    /// one flat `rows` object per grid point, suitable for recording
+    /// `BENCH_*.json` trajectories across commits.
+    ///
+    /// The JSON is emitted by hand: the workspace's `serde` is an
+    /// offline no-op derive stub (see `crates/compat/serde`), so the
+    /// derives mark intent but cannot serialize. Every emitted value is
+    /// a number, boolean or plain `[A-Za-z0-9_-]` string, so no string
+    /// escaping is required.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut s = String::with_capacity(256 + 256 * self.points.len());
+        s.push_str("{\n  \"config\": {");
+        s.push_str(&format!(
+            "\"mesh\": {}, \"seed\": {}, \"pattern\": \"{}\", \"vcs\": {}, \
+             \"escape_vcs\": {}, \"vc_depth\": {}, \"packet_len\": {}, \
+             \"warmup\": {}, \"measure\": {}, \"drain\": {}",
+            c.mesh,
+            c.seed,
+            c.sim.pattern.name(),
+            c.sim.vcs,
+            c.sim.escape_vcs,
+            c.sim.vc_depth,
+            c.sim.packet_len,
+            c.sim.warmup,
+            c.sim.measure,
+            c.sim.drain,
+        ));
+        s.push_str("},\n  \"rows\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let st = &p.stats;
+            s.push_str(&format!(
+                "    {{\"router\": \"{}\", \"faults\": {}, \"rate\": {}, \
+                 \"mean_latency\": {:.3}, \"p95_latency\": {}, \"max_latency\": {}, \
+                 \"accepted_flits_per_node_cycle\": {:.6}, \"delivered_pct\": {:.3}, \
+                 \"generated\": {}, \"measured_generated\": {}, \"measured_delivered\": {}, \
+                 \"unroutable\": {}, \"ttl_dropped\": {}, \"escape_packets\": {}, \
+                 \"cycles\": {}, \"saturated\": {}, \"deadlocked\": {}}}{}\n",
+                p.router.name(),
+                p.faults,
+                p.rate,
+                st.mean_latency(),
+                st.latency.percentile(0.95),
+                st.latency.max(),
+                st.accepted_flits_per_node_cycle(),
+                st.delivered_pct(),
+                st.generated,
+                st.measured_generated,
+                st.measured_delivered,
+                st.unroutable,
+                st.ttl_dropped,
+                st.escape_packets,
+                st.cycles,
+                st.saturated,
+                st.deadlocked,
+                if i + 1 == self.points.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
     /// Accepted-throughput table (flits/node/cycle) per fault density.
     pub fn throughput_tables(&self) -> Vec<Table> {
         self.config
@@ -275,6 +337,23 @@ mod tests {
         }
         let thr = res.throughput_tables();
         assert_eq!(thr.len(), cfg.fault_counts.len());
+    }
+
+    #[test]
+    fn json_rows_cover_every_grid_point() {
+        let cfg = LoadSweepConfig { threads: 2, ..LoadSweepConfig::smoke() };
+        let res = run_load_sweep(&cfg);
+        let json = res.to_json();
+        // Structural sanity without a JSON parser: balanced braces and
+        // brackets, one row object per grid point, key fields present.
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
+        assert_eq!(json.matches("\"router\"").count(), res.points.len());
+        for key in ["\"mean_latency\"", "\"escape_packets\"", "\"deadlocked\"", "\"escape_vcs\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Traffic-simulator hot loop: cycles of wormhole switching under load,
-//! per routing function, plus the path-compilation cost in isolation.
+//! per routing function; the per-hop decision path (route-table lookup
+//! + VC-class choice) in isolation; and the path-compilation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshpath::prelude::*;
-use meshpath::traffic::{run_traffic, PathTable, RoutingKind, SimConfig};
+use meshpath::traffic::{
+    run_traffic, EscapeHop, HopRouter, PacketState, PathTable, ReplayHop, RoutingKind, SimConfig,
+};
 use meshpath_bench::fixture_network;
 use std::hint::black_box;
 
@@ -21,6 +24,72 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let stats = run_traffic(black_box(&net), kind, &cfg);
                 black_box(stats.measured_delivered)
+            })
+        });
+    }
+    g.finish();
+
+    // The per-hop decision path: what the fabric pays per parked head
+    // per cycle since routing moved from source-route playback to
+    // router consultation. Three variants: deterministic replay
+    // (table lookup + index), escape-adaptive with a fresh head
+    // (adaptive candidate only), and escape-adaptive with a stalled
+    // head (adds the memoized XY-clearance check and the tree next-hop
+    // derivation).
+    let mut g = c.benchmark_group("hop_decision");
+    let pairs: Vec<(Coord, Coord)> =
+        (0..16).map(|i| (Coord::new(i % 4, i % 16), Coord::new(15 - i % 3, 15 - i % 5))).collect();
+    let mk_packets = |router: &mut dyn HopRouter| -> Vec<PacketState> {
+        let faults = net.faults();
+        pairs
+            .iter()
+            .filter(|&&(s, d)| {
+                s != d
+                    && faults.is_healthy(s)
+                    && faults.is_healthy(d)
+                    && router.admit(s, d).is_some()
+            })
+            .map(|&(s, d)| {
+                let mut pk = PacketState::new(s, d, 0, 4);
+                pk.head_hop = 1; // mid-route, as the allocator sees it
+                pk
+            })
+            .collect()
+    };
+    g.bench_function("replay", |b| {
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let mut hop = ReplayHop::new(&mut paths);
+        let packets = mk_packets(&mut hop);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for pk in &packets {
+                let here = pk.src; // head parked one hop in; src still routes
+                acc ^= match hop.decide(black_box(here), black_box(pk)) {
+                    meshpath::traffic::HopDecision::Route(c) => c.len() as u32,
+                    meshpath::traffic::HopDecision::Eject => 0,
+                };
+            }
+            black_box(acc)
+        })
+    });
+    for (name, stalled) in [("escape_fresh", 0u32), ("escape_stalled", 100)] {
+        g.bench_function(name, |b| {
+            let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+            let mut hop = EscapeHop::new(&mut paths, 4, true);
+            let mut packets = mk_packets(&mut hop);
+            for pk in &mut packets {
+                pk.stalled = stalled;
+            }
+            b.iter(|| {
+                let mut acc = 0u32;
+                for pk in &packets {
+                    let here = pk.src;
+                    acc ^= match hop.decide(black_box(here), black_box(pk)) {
+                        meshpath::traffic::HopDecision::Route(c) => c.len() as u32,
+                        meshpath::traffic::HopDecision::Eject => 0,
+                    };
+                }
+                black_box(acc)
             })
         });
     }

@@ -1,7 +1,7 @@
 //! The classic rectangular fault block model.
 //!
 //! Used by the fault-tolerant E-cube baseline (Boppana & Chalasani, paper
-//! reference [2]). A healthy node is *deactivated* when it has a
+//! reference \[2\]). A healthy node is *deactivated* when it has a
 //! faulty-or-deactivated neighbor in each dimension; iterating to fixpoint
 //! grows every fault cluster into its minimal bounding set of disjoint
 //! rectangles. Compared with the MCC model this disables strictly more

@@ -1,7 +1,7 @@
 //! Minimal connected components: extraction, shape and corners.
 //!
 //! At the labeling fixpoint, 4-connected groups of unsafe nodes form the
-//! MCCs. Under [`BorderPolicy::Open`](crate::BorderPolicy::Open) every MCC
+//! MCCs. Under [`BorderPolicy::Open`] every MCC
 //! is a **rising staircase**: its cells occupy, per column
 //! `x ∈ [x0..x1]`, one contiguous interval `[lo(x), hi(x)]` with both `lo`
 //! and `hi` non-decreasing in `x` and consecutive columns overlapping.

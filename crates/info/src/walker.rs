@@ -1,8 +1,8 @@
 //! The wall-following boundary walker.
 //!
 //! The paper's boundary construction descends a straight line until it
-//! "intersects with another MCC", then "make[s] a right/left turn" and
-//! "go[es] along the edges" of the obstacle to its initialization or
+//! "intersects with another MCC", then "make\[s\] a right/left turn" and
+//! "go\[es\] along the edges" of the obstacle to its initialization or
 //! opposite corner, where it rejoins the straight descent. This module
 //! implements that as a wall follower over the safe-node grid: descend in
 //! a main direction; on hitting an unsafe cell, rotate (engage), hug the

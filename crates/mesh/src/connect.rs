@@ -1,7 +1,7 @@
 //! Connectivity of the healthy sub-mesh.
 //!
 //! The paper assumes "(a) the entire network is connected" and its
-//! simulator "only conduct[s] the test in the cases when the entire mesh is
+//! simulator "only conduct\[s\] the test in the cases when the entire mesh is
 //! not disconnected by faults". These helpers implement that filter and the
 //! component statistics used by the experiment harness.
 

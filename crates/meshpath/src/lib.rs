@@ -84,7 +84,8 @@ pub mod prelude {
         Router,
     };
     pub use meshpath_traffic::{
-        run_traffic, RoutingKind, SimConfig, TrafficPattern, TrafficStats, PIPELINE_DEPTH,
+        run_traffic, HopRouter, RoutePolicy, RoutingKind, SimConfig, TrafficPattern, TrafficStats,
+        VcClass, PIPELINE_DEPTH,
     };
 }
 

@@ -5,22 +5,22 @@
 //! * [`Alg2`](alg2) — *Manhattan routing*: minimal adaptive forwarding
 //!   whose candidate directions are pruned by the boundary triples
 //!   (enter-forbidden-region exclusion).
-//! * [`Rb1`](routers::Rb1) — Algorithm 3: Manhattan routing over the B1
+//! * [`Rb1`] — Algorithm 3: Manhattan routing over the B1
 //!   model with E-cube style clockwise detours when blocked.
-//! * [`Rb2`](routers::Rb2) — Algorithm 5: multi-phase shortest-path
+//! * [`Rb2`] — Algorithm 5: multi-phase shortest-path
 //!   routing over the B2 model; identifies the closest blocking sequence
 //!   (Eq. 1), computes the detour distance recursively (Eqs. 2–3), and
 //!   forwards through intermediate destinations at MCC corners.
-//! * [`Rb3`](routers::Rb3) — Algorithm 7: the same machinery over the B3
+//! * [`Rb3`] — Algorithm 7: the same machinery over the B3
 //!   model (boundary knowledge + Eq. 4/5 relation chains).
-//! * [`ECube`](routers::ECube) — the fault-tolerant dimension-order
+//! * [`ECube`] — the fault-tolerant dimension-order
 //!   baseline of Boppana & Chalasani over rectangular fault blocks.
 //! * [`oracle`] — BFS ground truth (the optimum the paper's Fig. 5(d)/(e)
 //!   normalize against) and a monotone-path feasibility DP.
 //!
 //! All routers make **per-hop local decisions**: a node sees its own and
 //! its neighbors' labeling status plus whatever the information model
-//! stored at it, nothing else (a [`KnowledgeScope`](seq::KnowledgeScope)
+//! stored at it, nothing else (a [`KnowledgeScope`]
 //! switch enables idealized global knowledge for reference runs).
 
 #![forbid(unsafe_code)]

@@ -384,7 +384,7 @@ fn route_planned(
 }
 
 /// `E-cube` — fault-tolerant dimension-order routing over rectangular
-/// fault blocks (Boppana & Chalasani, the paper's reference [2]): route
+/// fault blocks (Boppana & Chalasani, the paper's reference \[2\]): route
 /// `X` first, then `Y`; on meeting a fault block, traverse its f-ring
 /// until dimension progress resumes.
 #[derive(Clone, Copy, Debug, Default)]

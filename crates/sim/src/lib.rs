@@ -3,7 +3,7 @@
 //! A deterministic discrete-event, message-passing simulator for
 //! *distributed* mesh protocols.
 //!
-//! The paper's information models are "fully distributed process[es]":
+//! The paper's information models are "fully distributed process\[es\]":
 //! nodes exchange messages with their four mesh neighbors, and the cost
 //! metric of Fig. 5(c) is the number of nodes that participate. This crate
 //! provides the substrate those protocols execute on:

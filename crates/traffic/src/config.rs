@@ -13,11 +13,34 @@ use crate::pattern::TrafficPattern;
 /// `hops + PIPELINE_DEPTH + (L - 1)` (tail serialization).
 pub const PIPELINE_DEPTH: u64 = 2;
 
+/// How the per-hop router treats a blocked head flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Follow the compiled route unconditionally on the adaptive VC
+    /// class (the original source-routed behavior). Wormhole cyclic
+    /// waits are possible and only *detected*; pair with
+    /// `escape_vcs = 0` so no channel is wasted on an unused class.
+    Deterministic,
+    /// Duato-style escape adaptivity: follow the compiled route on the
+    /// adaptive class, and once the head has been parked `patience`
+    /// consecutive cycles, let it re-route onto a reserved escape class
+    /// — dimension-order XY when the XY run to its destination is
+    /// fault-free, the up*/down* spanning-tree route otherwise — where
+    /// it stays until delivery. Requires `escape_vcs >= 1`.
+    EscapeAdaptive {
+        /// Blocked cycles before the escape class is offered. Small
+        /// values drain congestion faster but divert more traffic off
+        /// the compiled (fault-aware, shortest-path) routes.
+        patience: u32,
+    },
+}
+
 /// Parameters of one traffic simulation run.
 ///
-/// Defaults model a small input-buffered wormhole router: 2 virtual
-/// channels of 4 flits per input port, 4-flit packets, and a
-/// warmup / measure / drain measurement protocol.
+/// Defaults model a small input-buffered wormhole router: 4 virtual
+/// channels of 4 flits per input port — two reserved as the
+/// Duato-style escape classes (one XY, one spanning-tree) — 4-flit
+/// packets, and a warmup / measure / drain measurement protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Virtual channels per directional input port (the injection port
@@ -26,6 +49,16 @@ pub struct SimConfig {
     /// Flit buffer depth of each virtual channel. Depths below 2 cannot
     /// stream at link rate (credit round-trip is 2 cycles).
     pub vc_depth: usize,
+    /// Channels (of `vcs`, top indices) reserved for the deadlock-free
+    /// escape classes: the topmost reserved channel carries up*/down*
+    /// spanning-tree traffic (always available), the rest carry strict
+    /// dimension-order XY traffic (minimal, but only entered past a
+    /// fault-free XY run). Must leave at least one adaptive channel;
+    /// `0` disables escape routing entirely, `1` reserves only the
+    /// tree class.
+    pub escape_vcs: usize,
+    /// Per-hop routing policy (see [`RoutePolicy`]).
+    pub policy: RoutePolicy,
     /// Flits per packet (head + body + tail; 1 = head-only packet).
     pub packet_len: u32,
     /// Injection rate in packets per node per cycle (Bernoulli process,
@@ -46,13 +79,16 @@ pub struct SimConfig {
     /// Destination selection pattern.
     pub pattern: TrafficPattern,
     /// Route hop budget at the network interface: packets whose compiled
-    /// source route exceeds this many hops are dropped at generation and
-    /// counted (`ttl_dropped`), like an IP TTL. Rationale: the E-cube
-    /// baseline's last-resort escape walk can emit paths of hundreds of
-    /// hops on unlucky pairs, and a single such worm congests a mesh
-    /// that is otherwise far from saturation. `None` selects the
-    /// automatic budget `4 * (width + height)`; use
-    /// `Some(u32::MAX)` to disable the cap.
+    /// route exceeds this many hops are dropped at generation and
+    /// counted (`ttl_dropped`), like an IP TTL.
+    ///
+    /// `None` selects the per-router default: **no budget** for every
+    /// router except E-cube, which keeps the automatic budget
+    /// `4 * (width + height)` because its last-resort escape walk can
+    /// emit paths of hundreds of hops on unlucky pairs (see ROADMAP;
+    /// the TTL retires once the detour bound is fixed). Now that escape
+    /// VCs bound blocking, the other routers no longer need the cap.
+    /// `Some(u32::MAX)` disables the cap for every router.
     pub route_ttl: Option<u32>,
 }
 
@@ -61,6 +97,8 @@ impl Default for SimConfig {
         SimConfig {
             vcs: 4,
             vc_depth: 4,
+            escape_vcs: 2,
+            policy: RoutePolicy::EscapeAdaptive { patience: 4 },
             packet_len: 4,
             rate: 0.01,
             warmup: 300,
@@ -83,6 +121,13 @@ impl SimConfig {
     pub fn with_rate(&self, rate: f64) -> Self {
         SimConfig { rate, ..self.clone() }
     }
+
+    /// This config with per-hop escape routing disabled: the original
+    /// source-routed behavior (deterministic replay over all `vcs`
+    /// channels, deadlock detected rather than avoided).
+    pub fn without_escape(&self) -> Self {
+        SimConfig { escape_vcs: 0, policy: RoutePolicy::Deterministic, ..self.clone() }
+    }
 }
 
 #[cfg(test)]
@@ -95,8 +140,21 @@ mod tests {
         assert!(c.vc_depth >= 2, "depth < 2 cannot stream at link rate");
         assert!(c.packet_len >= 1);
         assert!((0.0..=1.0).contains(&c.rate));
+        assert!(c.escape_vcs < c.vcs, "escape class must leave adaptive channels");
+        assert!(
+            matches!(c.policy, RoutePolicy::EscapeAdaptive { .. }) && c.escape_vcs >= 1,
+            "default policy must be escape-adaptive with a reserved channel"
+        );
         let f = c.with_rate(0.25);
         assert_eq!(f.rate, 0.25);
         assert_eq!(f.vcs, c.vcs);
+    }
+
+    #[test]
+    fn without_escape_restores_the_deterministic_fabric() {
+        let c = SimConfig::default().without_escape();
+        assert_eq!(c.escape_vcs, 0);
+        assert_eq!(c.policy, RoutePolicy::Deterministic);
+        assert_eq!(c.vcs, SimConfig::default().vcs, "channel count unchanged");
     }
 }

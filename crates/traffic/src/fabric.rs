@@ -1,6 +1,7 @@
 //! The wormhole-switched router fabric: input-buffered virtual
 //! channels, credit-based flow control, and a per-cycle switch
-//! allocator.
+//! allocator, with head-flit routing decided *per hop* by a
+//! [`HopRouter`].
 //!
 //! ## Microarchitecture
 //!
@@ -10,14 +11,24 @@
 //! `vcs` virtual channels of `vc_depth` flits each; the injection port
 //! has a single channel (one network interface per core).
 //!
+//! The `vcs` channels of every output port are partitioned into
+//! [`VcClass`]es: the low `vcs - escape_vcs` indices are *adaptive*
+//! (usable by any compiled route), the topmost index is the *tree
+//! escape* class (up*/down* spanning-forest traffic only), and any
+//! remaining reserved indices form the *XY escape* class (strict
+//! dimension-order traffic only); see [`crate::routing`] for why this
+//! keeps the escape networks deadlock-free.
+//!
 //! Each cycle the switch allocator walks the output ports in fixed
 //! order and grants at most one flit per output port and one per input
 //! port (the crossbar constraint), round-robin over the requesting
-//! `(input port, VC)` pairs for fairness. A head flit additionally
-//! acquires a free downstream virtual channel on its output port
-//! (VC allocation: lowest free index) and the whole packet then holds
-//! that channel until its tail passes — wormhole switching. Credits
-//! mirror downstream buffer slots: a flit consumes one on link
+//! `(input port, VC)` pairs for fairness. A head flit with no output
+//! allocated yet asks the hop router for a decision — `(direction, VC
+//! class)` candidates in preference order — and additionally acquires a
+//! free downstream virtual channel *of the decided class* on its output
+//! port (lowest free index within the class); the whole packet then
+//! holds that channel until its tail passes — wormhole switching.
+//! Credits mirror downstream buffer slots: a flit consumes one on link
 //! traversal and the credit returns when the downstream router drains
 //! the slot (a 2-cycle round trip, so `vc_depth >= 2` is needed to
 //! stream at link rate).
@@ -34,13 +45,15 @@
 //!
 //! All state lives in dense vectors indexed by `(node, port, vc)`;
 //! iteration order is fixed; arrivals and credit returns are staged and
-//! committed at the cycle boundary. Two runs with identical inputs are
-//! bit-identical.
+//! committed at the cycle boundary. Hop routers are consulted in that
+//! same fixed order and their decisions depend only on packet and
+//! network state, so two runs with identical inputs are bit-identical.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use meshpath_mesh::{Coord, Dir, Mesh, NodeId};
+
+use crate::routing::{HopDecision, HopRouter, VcClass};
 
 /// Directional ports (index = `Dir as usize`: `+X, -X, +Y, -Y`).
 const DIRS: usize = 4;
@@ -65,18 +78,48 @@ pub struct Flit {
     pub is_tail: bool,
 }
 
-/// Per-packet routing state the fabric needs.
-#[derive(Clone, Debug)]
+/// Per-packet state the fabric and the hop routers share. The fabric no
+/// longer carries a source route: the endpoints plus the head's
+/// progress are what a [`HopRouter`] needs to re-derive (or override)
+/// the next hop locally.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PacketState {
-    /// Source route: one direction per hop, produced by a
-    /// [`crate::routing::PathTable`].
-    pub path: Rc<[Dir]>,
-    /// Links the head flit has crossed so far.
+    /// Source node (compiled-route table key).
+    pub src: Coord,
+    /// Destination node (ejection test + escape XY target).
+    pub dst: Coord,
+    /// Links the head flit has crossed so far (compiled-route index
+    /// while on the adaptive class).
     pub head_hop: u32,
     /// Generation cycle (latency reference point).
     pub generated_at: u64,
     /// Flits in the packet.
     pub len: u32,
+    /// The VC class the packet is committed to. Starts [`Adaptive`]
+    /// (follow the compiled route); set to an escape class by the
+    /// fabric when an escape VC is granted, after which the packet
+    /// rides that class until delivery.
+    ///
+    /// [`Adaptive`]: VcClass::Adaptive
+    pub mode: VcClass,
+    /// Consecutive cycles the head has been parked without an output
+    /// grant (escape-patience clock; reset on every grant).
+    pub stalled: u32,
+}
+
+impl PacketState {
+    /// A fresh packet of `len` flits from `src` to `dst`.
+    pub fn new(src: Coord, dst: Coord, generated_at: u64, len: u32) -> Self {
+        PacketState {
+            src,
+            dst,
+            head_hop: 0,
+            generated_at,
+            len,
+            mode: VcClass::Adaptive,
+            stalled: 0,
+        }
+    }
 }
 
 /// An input virtual channel: flit FIFO plus the output allocation held
@@ -127,6 +170,8 @@ pub struct Fabric {
     mesh: Mesh,
     vcs: usize,
     vc_depth: usize,
+    /// VCs per output port reserved as the escape class (top indices).
+    escape_vcs: usize,
     /// `[node][in_port][vc]` flattened.
     in_vcs: Vec<InVc>,
     /// `[node][out_dir][vc]` flattened.
@@ -141,22 +186,28 @@ pub struct Fabric {
     credit_returns: Vec<usize>,
     /// Flits currently inside the fabric (buffers + staged arrivals).
     in_flight: u64,
+    /// Packets that have committed to the escape class so far.
+    escape_entries: u64,
 }
 
 impl Fabric {
     /// An empty fabric over `mesh` with `vcs` virtual channels of
-    /// `vc_depth` flits per directional input port.
+    /// `vc_depth` flits per directional input port, the top
+    /// `escape_vcs` of which form the reserved escape class.
     ///
     /// # Panics
-    /// Panics when `vcs` or `vc_depth` is zero.
-    pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize) -> Self {
+    /// Panics when `vcs` or `vc_depth` is zero, or when `escape_vcs`
+    /// leaves no adaptive channel (`escape_vcs >= vcs`).
+    pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize, escape_vcs: usize) -> Self {
         assert!(vcs > 0, "need at least one virtual channel");
         assert!(vc_depth > 0, "need at least one buffer slot per VC");
+        assert!(escape_vcs < vcs, "escape class must leave at least one adaptive VC");
         let nodes = mesh.len();
         Fabric {
             mesh,
             vcs,
             vc_depth,
+            escape_vcs,
             in_vcs: vec![InVc::default(); nodes * IN_PORTS * vcs],
             out_vcs: vec![OutVc { owner: None, credits: vc_depth as u32 }; nodes * DIRS * vcs],
             rr: vec![0; nodes * OUT_PORTS],
@@ -164,6 +215,7 @@ impl Fabric {
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
             in_flight: 0,
+            escape_entries: 0,
         }
     }
 
@@ -175,6 +227,11 @@ impl Fabric {
     /// Flits currently inside the fabric.
     pub fn in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Packets that have committed to the escape class so far.
+    pub fn escape_entries(&self) -> u64 {
+        self.escape_entries
     }
 
     /// Registers a packet and returns its id.
@@ -216,6 +273,30 @@ impl Fabric {
         (node * DIRS + dir) * self.vcs + vc
     }
 
+    /// VC index range of a class on an output port. The topmost escape
+    /// channel is the tree class; remaining escape channels (if any)
+    /// are the XY class. With `escape_vcs == 1` the XY range is empty
+    /// and every escape allocation lands on the tree class.
+    #[inline]
+    fn class_range(&self, class: VcClass) -> std::ops::Range<usize> {
+        let adaptive = self.vcs - self.escape_vcs;
+        let tree = self.vcs - usize::from(self.escape_vcs > 0);
+        match class {
+            VcClass::Adaptive => 0..adaptive,
+            VcClass::EscapeXy => adaptive..tree,
+            VcClass::EscapeTree => tree..self.vcs,
+        }
+    }
+
+    /// Lowest free (unowned, credited) VC of `class` on `(node, dir)`.
+    #[inline]
+    fn free_vc(&self, node: usize, dir: usize, class: VcClass) -> Option<usize> {
+        self.class_range(class).find(|&v| {
+            let o = &self.out_vcs[self.out_idx(node, dir, v)];
+            o.owner.is_none() && o.credits > 0
+        })
+    }
+
     /// Snapshot of every occupied input VC head. Diagnostic aid for
     /// analyzing saturation and deadlock reports.
     pub fn frontier(&self) -> Vec<FrontierEntry> {
@@ -241,10 +322,11 @@ impl Fabric {
     }
 
     /// Runs one cycle of switch allocation + link traversal over every
-    /// router. Tail flits that reach their destination's ejection port
-    /// are appended to `ejected_tails` (the delivery completes one cycle
-    /// later — the ejection link; the driver adds that cycle).
-    pub fn step(&mut self, ejected_tails: &mut Vec<u32>) -> StepReport {
+    /// router, consulting `router` for every parked head flit. Tail
+    /// flits that reach their destination's ejection port are appended
+    /// to `ejected_tails` (the delivery completes one cycle later — the
+    /// ejection link; the driver adds that cycle).
+    pub fn step(&mut self, router: &mut dyn HopRouter, ejected_tails: &mut Vec<u32>) -> StepReport {
         let mut report = StepReport::default();
         let nodes = self.mesh.len();
         for node in 0..nodes {
@@ -255,10 +337,26 @@ impl Fabric {
                     node,
                     here,
                     out_port,
+                    router,
                     &mut in_port_used,
                     &mut report,
                     ejected_tails,
                 );
+            }
+        }
+        // Escape-patience clock: heads still parked without an output
+        // after this cycle's allocation age by one. Gated on the escape
+        // class existing — with no escape VCs the counter is unused.
+        if self.escape_vcs > 0 {
+            for idx in 0..self.in_vcs.len() {
+                let v = &self.in_vcs[idx];
+                if v.route.is_none() {
+                    if let Some(f) = v.queue.front() {
+                        if f.is_head {
+                            self.packets[f.packet as usize].stalled += 1;
+                        }
+                    }
+                }
             }
         }
         // Cycle boundary: arrivals land, credits return.
@@ -288,6 +386,7 @@ impl Fabric {
         node: usize,
         here: Coord,
         out_port: usize,
+        router: &mut dyn HopRouter,
         in_port_used: &mut [bool; IN_PORTS],
         report: &mut StepReport,
         ejected_tails: &mut Vec<u32>,
@@ -308,45 +407,50 @@ impl Fabric {
             let Some(&flit) = self.in_vcs[in_idx].queue.front() else {
                 continue;
             };
-            // Desired output of the flit at the queue head.
-            let (desired, needs_vc_alloc) = match self.in_vcs[in_idx].route {
-                Some((p, _)) => (p as usize, false),
-                None => {
-                    debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                    let pk = &self.packets[flit.packet as usize];
-                    let hop = pk.head_hop as usize;
-                    if hop == pk.path.len() {
-                        (EJECT_PORT, false)
-                    } else {
-                        (pk.path[hop] as usize, true)
+            // Desired output of the flit at the queue head, plus the VC
+            // to take on it: `Some((vc, newly_allocated_class))` for
+            // links, `None` for ejection.
+            let (desired, out_vc): (usize, Option<(usize, Option<VcClass>)>) =
+                match self.in_vcs[in_idx].route {
+                    // Body/tail of a routed worm: follow the held VC,
+                    // gated on a credit.
+                    Some((p, v)) if (p as usize) != EJECT_PORT => {
+                        if p as usize != out_port {
+                            continue;
+                        }
+                        if self.out_vcs[self.out_idx(node, p as usize, v as usize)].credits == 0 {
+                            continue;
+                        }
+                        (p as usize, Some((v as usize, None)))
                     }
-                }
-            };
+                    Some(_) => (EJECT_PORT, None),
+                    // Unrouted head: ask the hop router.
+                    None => {
+                        debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
+                        let pk = &self.packets[flit.packet as usize];
+                        match router.decide(here, pk) {
+                            HopDecision::Eject => (EJECT_PORT, None),
+                            HopDecision::Route(candidates) => {
+                                // First candidate with an allocatable VC
+                                // this cycle wins; none => the head waits.
+                                let pick = candidates.iter().find_map(|c| {
+                                    self.free_vc(node, c.dir as usize, c.class)
+                                        .map(|v| (c.dir as usize, v, c.class))
+                                });
+                                let Some((port, v, class)) = pick else {
+                                    continue;
+                                };
+                                (port, Some((v, Some(class))))
+                            }
+                        }
+                    }
+                };
             if desired != out_port {
                 continue;
             }
 
-            // Feasibility: ejection always accepts one flit per cycle;
-            // a link needs an allocated downstream VC with a credit.
-            let out_vc = if out_port == EJECT_PORT {
-                None
-            } else if needs_vc_alloc {
-                let Some(v) = (0..self.vcs).find(|&v| {
-                    let o = &self.out_vcs[self.out_idx(node, out_port, v)];
-                    o.owner.is_none() && o.credits > 0
-                }) else {
-                    continue;
-                };
-                Some(v)
-            } else {
-                let v = self.in_vcs[in_idx].route.expect("checked above").1 as usize;
-                if self.out_vcs[self.out_idx(node, out_port, v)].credits == 0 {
-                    continue;
-                }
-                Some(v)
-            };
-
-            // Grant.
+            // Grant. (Ejection always accepts one flit per cycle; link
+            // feasibility was folded into the VC pick above.)
             let flit = self.in_vcs[in_idx].queue.pop_front().expect("front checked");
             in_port_used[in_port] = true;
             self.rr[rr_idx] = (slot + 1) as u32;
@@ -368,21 +472,29 @@ impl Fabric {
                 report.flits_ejected += 1;
                 if flit.is_head {
                     self.in_vcs[in_idx].route = Some((EJECT_PORT as u8, 0));
+                    self.packets[flit.packet as usize].stalled = 0;
                 }
                 if flit.is_tail {
                     self.in_vcs[in_idx].route = None;
                     ejected_tails.push(flit.packet);
                 }
             } else {
-                let v = out_vc.expect("links always have an out vc");
+                let (v, new_class) = out_vc.expect("links always carry a VC pick");
                 let out_idx = self.out_idx(node, out_port, v);
-                if needs_vc_alloc {
+                if let Some(class) = new_class {
                     self.out_vcs[out_idx].owner = Some(flit.packet);
+                    let pk = &mut self.packets[flit.packet as usize];
+                    if class != VcClass::Adaptive && pk.mode == VcClass::Adaptive {
+                        pk.mode = class;
+                        self.escape_entries += 1;
+                    }
                 }
                 self.in_vcs[in_idx].route = Some((out_port as u8, v as u8));
                 self.out_vcs[out_idx].credits -= 1;
                 if flit.is_head {
-                    self.packets[flit.packet as usize].head_hop += 1;
+                    let pk = &mut self.packets[flit.packet as usize];
+                    pk.head_hop += 1;
+                    pk.stalled = 0;
                 }
                 if flit.is_tail {
                     self.out_vcs[out_idx].owner = None;
@@ -390,7 +502,7 @@ impl Fabric {
                 }
                 let dir = Dir::ALL[out_port];
                 let next = here.step(dir);
-                debug_assert!(self.mesh.contains(next), "source route leaves the mesh");
+                debug_assert!(self.mesh.contains(next), "hop decision leaves the mesh");
                 let next_id = self.mesh.id(next).index();
                 let next_in = dir.opposite() as usize;
                 let next_idx = self.in_idx(next_id, next_in, v);
@@ -404,32 +516,71 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::HopChoice;
+    use meshpath_mesh::FxHashMap;
 
-    fn dirs(seq: &[Dir]) -> Rc<[Dir]> {
-        seq.iter().copied().collect()
+    const TEST_VCS: usize = 2;
+    const TEST_DEPTH: usize = 4;
+
+    /// A scripted hop router for fabric unit tests: replays explicit
+    /// direction sequences keyed by `(src, dst)`, adaptive class only.
+    struct ScriptedHop {
+        scripts: FxHashMap<(Coord, Coord), Vec<Dir>>,
+    }
+
+    impl ScriptedHop {
+        fn new() -> Self {
+            ScriptedHop { scripts: FxHashMap::default() }
+        }
+
+        /// Registers a script and returns `(src, dst)` for the packet.
+        fn script(&mut self, src: Coord, dirs: &[Dir]) -> (Coord, Coord) {
+            let mut dst = src;
+            for &d in dirs {
+                dst = dst.step(d);
+            }
+            self.scripts.insert((src, dst), dirs.to_vec());
+            (src, dst)
+        }
+    }
+
+    impl HopRouter for ScriptedHop {
+        fn admit(&mut self, s: Coord, d: Coord) -> Option<u32> {
+            self.scripts.get(&(s, d)).map(|p| p.len() as u32)
+        }
+
+        fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+            if here == pk.dst {
+                return HopDecision::Eject;
+            }
+            let path = &self.scripts[&(pk.src, pk.dst)];
+            HopDecision::route1(HopChoice {
+                dir: path[pk.head_hop as usize],
+                class: VcClass::Adaptive,
+            })
+        }
     }
 
     /// Drives one packet through an idle fabric and returns the cycle
     /// at which its tail was ejected (plus the report trail).
-    const TEST_VCS: usize = 2;
-    const TEST_DEPTH: usize = 4;
-
     fn run_single(mesh: Mesh, path: &[Dir], len: u32) -> u64 {
-        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
-        let src = mesh.id(Coord::new(0, 0));
-        let id =
-            f.register_packet(PacketState { path: dirs(path), head_hop: 0, generated_at: 0, len });
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+        let mut hop = ScriptedHop::new();
+        let src = Coord::new(0, 0);
+        let (s, d) = hop.script(src, path);
+        let src_id = mesh.id(src);
+        let id = f.register_packet(PacketState::new(s, d, 0, len));
         let mut ejected = Vec::new();
         let mut sent = 0;
         for cycle in 0.. {
-            if sent < len && f.local_occupancy(src) < TEST_DEPTH {
+            if sent < len && f.local_occupancy(src_id) < TEST_DEPTH {
                 f.inject_flit(
-                    src,
+                    src_id,
                     Flit { packet: id, is_head: sent == 0, is_tail: sent + 1 == len },
                 );
                 sent += 1;
             }
-            f.step(&mut ejected);
+            f.step(&mut hop, &mut ejected);
             if !ejected.is_empty() {
                 assert_eq!(ejected, vec![id]);
                 assert_eq!(f.in_flight(), 0);
@@ -477,21 +628,14 @@ mod tests {
         // The switch allocator must interleave them — both complete,
         // and neither is starved while the other's worm drains.
         let mesh = Mesh::square(4);
-        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+        let mut hop = ScriptedHop::new();
         let len = 3u32;
-        let a = f.register_packet(PacketState {
-            path: dirs(&[Dir::PlusX, Dir::PlusX]),
-            head_hop: 0,
-            generated_at: 0,
-            len,
-        });
-        let b = f.register_packet(PacketState {
-            path: dirs(&[Dir::MinusY, Dir::PlusX]),
-            head_hop: 0,
-            generated_at: 0,
-            len,
-        });
-        let sources = [(mesh.id(Coord::new(0, 0)), a), (mesh.id(Coord::new(1, 1)), b)];
+        let (sa, da) = hop.script(Coord::new(0, 0), &[Dir::PlusX, Dir::PlusX]);
+        let (sb, db) = hop.script(Coord::new(1, 1), &[Dir::MinusY, Dir::PlusX]);
+        let a = f.register_packet(PacketState::new(sa, da, 0, len));
+        let b = f.register_packet(PacketState::new(sb, db, 0, len));
+        let sources = [(mesh.id(sa), a), (mesh.id(sb), b)];
         let mut sent = [0u32; 2];
         let mut ejected = Vec::new();
         let mut done = Vec::new();
@@ -505,7 +649,7 @@ mod tests {
                     sent[i] += 1;
                 }
             }
-            f.step(&mut ejected);
+            f.step(&mut hop, &mut ejected);
             done.extend(ejected.drain(..).map(|p| (p, cycle)));
             if done.len() == 2 {
                 break;
@@ -537,17 +681,14 @@ mod tests {
         // the packet, its router and (once the head was granted) the
         // allocated route; after delivery the frontier is empty.
         let mesh = Mesh::square(4);
-        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH);
-        let id = f.register_packet(PacketState {
-            path: dirs(&[Dir::PlusX, Dir::PlusX]),
-            head_hop: 0,
-            generated_at: 0,
-            len: 2,
-        });
-        let src = mesh.id(Coord::new(0, 0));
+        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+        let mut hop = ScriptedHop::new();
+        let (s, d) = hop.script(Coord::new(0, 0), &[Dir::PlusX, Dir::PlusX]);
+        let id = f.register_packet(PacketState::new(s, d, 0, 2));
+        let src = mesh.id(s);
         f.inject_flit(src, Flit { packet: id, is_head: true, is_tail: false });
         let mut ejected = Vec::new();
-        f.step(&mut ejected); // head lands in the injection channel
+        f.step(&mut hop, &mut ejected); // head lands in the injection channel
         let snap = f.frontier();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].packet, id);
@@ -557,7 +698,7 @@ mod tests {
         // Finish the packet; the fabric must report an empty frontier.
         f.inject_flit(src, Flit { packet: id, is_head: false, is_tail: true });
         for _ in 0..20 {
-            f.step(&mut ejected);
+            f.step(&mut hop, &mut ejected);
         }
         assert!(!ejected.is_empty());
         assert_eq!(f.in_flight(), 0);
@@ -566,12 +707,138 @@ mod tests {
 
     #[test]
     fn credits_bound_buffer_occupancy() {
-        // A packet longer than the buffer into a blocked... here: a long
-        // packet whose head makes progress; occupancy must never exceed
-        // vc_depth (debug_assert in step would fire otherwise).
+        // A long packet whose head makes progress; occupancy must never
+        // exceed vc_depth (debug_assert in step would fire otherwise).
         let mesh = Mesh::square(8);
         let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusX, 7).collect();
         let done = run_single(mesh, &path, 12);
         assert_eq!(done, 7 + crate::PIPELINE_DEPTH + 11);
+    }
+
+    /// A hop router that always offers both escape fallbacks; used to
+    /// pin the class partition and the escape commitment.
+    struct EscapeEager;
+
+    impl HopRouter for EscapeEager {
+        fn admit(&mut self, _s: Coord, _d: Coord) -> Option<u32> {
+            Some(1)
+        }
+
+        fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+            if here == pk.dst {
+                return HopDecision::Eject;
+            }
+            HopDecision::Route(
+                [
+                    HopChoice { dir: Dir::PlusX, class: VcClass::Adaptive },
+                    HopChoice { dir: Dir::PlusX, class: VcClass::EscapeXy },
+                    HopChoice { dir: Dir::PlusX, class: VcClass::EscapeTree },
+                ]
+                .into_iter()
+                .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn class_partition_reserves_the_top_indices() {
+        // 4 VCs, 2 escape: adaptive = {0, 1}, XY = {2}, tree = {3}.
+        let mesh = Mesh::square(4);
+        let f = Fabric::new(mesh, 4, TEST_DEPTH, 2);
+        assert_eq!(f.class_range(VcClass::Adaptive), 0..2);
+        assert_eq!(f.class_range(VcClass::EscapeXy), 2..3);
+        assert_eq!(f.class_range(VcClass::EscapeTree), 3..4);
+        // 1 escape VC: no XY class, the reserved channel is the tree.
+        let f1 = Fabric::new(mesh, 2, TEST_DEPTH, 1);
+        assert_eq!(f1.class_range(VcClass::Adaptive), 0..1);
+        assert!(f1.class_range(VcClass::EscapeXy).is_empty());
+        assert_eq!(f1.class_range(VcClass::EscapeTree), 1..2);
+        // No escape VCs: everything is adaptive, both escape ranges
+        // empty (escape candidates can never allocate).
+        let f0 = Fabric::new(mesh, 2, TEST_DEPTH, 0);
+        assert_eq!(f0.class_range(VcClass::Adaptive), 0..2);
+        assert!(f0.class_range(VcClass::EscapeXy).is_empty());
+        assert!(f0.class_range(VcClass::EscapeTree).is_empty());
+    }
+
+    #[test]
+    fn escape_class_is_reserved_and_commitment_sticks() {
+        // 3 VCs, 2 escape: adaptive = {0}, XY = {1}, tree = {2}. Park a
+        // fake owner on the adaptive VC of the packet's output: the
+        // head must take the XY escape VC (the first feasible
+        // fallback), flip its mode, and count as an escape entry.
+        let mesh = Mesh::square(4);
+        let mut f = Fabric::new(mesh, 3, TEST_DEPTH, 2);
+        let mut hop = EscapeEager;
+        let src = Coord::new(0, 1);
+        let dst = Coord::new(2, 1);
+        let b = f.register_packet(PacketState::new(src, dst, 0, 1));
+        let mut ejected = Vec::new();
+        let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, 0);
+        f.out_vcs[out_idx].owner = Some(999);
+        f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
+        f.step(&mut hop, &mut ejected); // arrival lands
+        f.step(&mut hop, &mut ejected); // head granted -> XY escape VC
+        assert_eq!(f.packet(b).mode, VcClass::EscapeXy, "adaptive held; B must take XY escape");
+        assert_eq!(f.escape_entries(), 1);
+        // The escape commitment sticks across later hops.
+        for _ in 0..10 {
+            f.step(&mut hop, &mut ejected);
+        }
+        assert!(ejected.contains(&b), "escaped packet must still deliver");
+        assert_eq!(f.packet(b).mode, VcClass::EscapeXy);
+    }
+
+    #[test]
+    fn tree_class_is_the_last_resort() {
+        // Same setup, but the XY escape VC is also held: the head must
+        // land on the tree class.
+        let mesh = Mesh::square(4);
+        let mut f = Fabric::new(mesh, 3, TEST_DEPTH, 2);
+        let mut hop = EscapeEager;
+        let src = Coord::new(0, 1);
+        let dst = Coord::new(2, 1);
+        let b = f.register_packet(PacketState::new(src, dst, 0, 1));
+        let mut ejected = Vec::new();
+        for v in [0, 1] {
+            let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, v);
+            f.out_vcs[out_idx].owner = Some(999);
+        }
+        f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
+        f.step(&mut hop, &mut ejected);
+        f.step(&mut hop, &mut ejected);
+        assert_eq!(f.packet(b).mode, VcClass::EscapeTree);
+        assert_eq!(f.escape_entries(), 1);
+    }
+
+    #[test]
+    fn stall_clock_ticks_only_for_parked_unrouted_heads() {
+        // With escape VCs enabled, a head that cannot get a grant ages;
+        // a granted head resets to zero.
+        let mesh = Mesh::square(4);
+        let mut f = Fabric::new(mesh, 2, TEST_DEPTH, 1);
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(2, 0);
+        let mut hop = EscapeEager;
+        let id = f.register_packet(PacketState::new(src, dst, 0, 2));
+        // Park fake owners on BOTH classes of the +X output so the head
+        // cannot move.
+        for v in 0..2 {
+            let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, v);
+            f.out_vcs[out_idx].owner = Some(999);
+        }
+        f.inject_flit(mesh.id(src), Flit { packet: id, is_head: true, is_tail: false });
+        let mut ejected = Vec::new();
+        f.step(&mut hop, &mut ejected); // arrival lands
+        assert_eq!(f.packet(id).stalled, 0);
+        for want in 1..=3 {
+            f.step(&mut hop, &mut ejected);
+            assert_eq!(f.packet(id).stalled, want, "parked head must age");
+        }
+        // Free the tree escape VC: the head moves and the clock resets.
+        let esc_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, 1);
+        f.out_vcs[esc_idx].owner = None;
+        f.step(&mut hop, &mut ejected);
+        assert_eq!(f.packet(id).stalled, 0, "grant must reset the clock");
     }
 }

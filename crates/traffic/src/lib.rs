@@ -12,17 +12,50 @@
 //! and measured with warmup/measure/drain methodology
 //! ([`TrafficStats`]).
 //!
+//! ## Per-hop routing architecture
+//!
+//! The crate started life source-routed: the network interface compiled
+//! a full route per packet and the fabric replayed it flit by flit.
+//! That made the paper's distributed algorithms fast to simulate but
+//! froze every routing decision at injection time — the fabric could
+//! *detect* wormhole deadlock (cyclic channel waits wedged RB1/RB2/RB3
+//! at ~2% injection under 10% faults on 16x16) but never avoid it,
+//! because avoidance needs a packet to change course *after* it has
+//! blocked.
+//!
+//! The fabric is now routed per hop: every parked head flit asks a
+//! [`HopRouter`] for a fresh `(output port, VC class)` decision. The
+//! paper's deterministic routers stay fast because their decisions are
+//! still backed by a per-pair compiled route table ([`PathTable`] — one
+//! full algorithm execution per distinct `(source, destination)` pair,
+//! then a lookup per hop), and the per-hop indirection is what enables
+//! Duato-style escape routing ([`EscapeHop`]): each output port
+//! reserves `escape_vcs` virtual channels as *escape classes* whose
+//! channel-dependency graphs are acyclic by construction — strict
+//! dimension-order XY (entered only past a fault-free XY run) and
+//! up*/down* routing on a spanning forest of the healthy nodes
+//! ([`EscapeForest`], available from *every* node). A head blocked past
+//! the policy's patience re-routes onto an escape class, escape traffic
+//! is guaranteed to drain, and so — per Duato's argument — the fabric
+//! cannot interlock: RB1/RB2/RB3 stay live at injection rates several
+//! times past the old onset.
+//!
 //! ## Layers
 //!
-//! * [`routing`] — adapters compiling the workspace's [`Router`]s
-//!   (RB1/RB2/RB3, fault-tolerant E-cube) plus a dimension-order
-//!   [`XyRouter`] baseline into memoized source routes.
-//! * [`fabric`] — the cycle-level wormhole router microarchitecture.
+//! * [`routing`] — the [`HopRouter`] trait and its implementations:
+//!   [`ReplayHop`] (compiled-route replay, the original semantics) and
+//!   [`EscapeHop`] (adaptive + XY escape class); the [`PathTable`]
+//!   compiling the workspace's [`Router`]s (RB1/RB2/RB3, fault-tolerant
+//!   E-cube) and the dimension-order [`XyRouter`] baseline.
+//! * [`fabric`] — the cycle-level wormhole router microarchitecture
+//!   with class-aware virtual-channel allocation.
 //! * [`pattern`] — uniform random, transpose, bit-complement, hotspot
 //!   and permutation destination processes.
 //! * [`sim`] — the run loop: Bernoulli injection, measurement windows,
-//!   saturation and deadlock detection.
+//!   saturation detection and the deadlock liveness assertion.
 //! * [`stats`] — latency histograms and accepted-throughput accounting.
+//! * [`config`] — [`SimConfig`] including the `escape_vcs` partition
+//!   and the [`RoutePolicy`] adaptivity knob.
 //!
 //! ## Example
 //!
@@ -42,14 +75,24 @@
 //!
 //! ## Honesty notes
 //!
-//! * Routing decisions are compiled to source routes once per
+//! * Routing decisions are compiled to per-pair routes once per
 //!   `(source, destination)` pair — valid because every router in this
-//!   workspace is deterministic per network; see [`routing`].
-//! * Wormhole switching with adaptive (detouring) routes is not
-//!   deadlock-free in general. The simulator *detects* cyclic waits
-//!   (`deadlocked` in [`TrafficStats`]) instead of pretending they
-//!   cannot happen; escape virtual channels are a tracked follow-up in
-//!   the ROADMAP.
+//!   workspace is deterministic per network — but they are consulted
+//!   per hop, not replayed from the packet header; see [`routing`].
+//! * The XY escape class alone would not suffice on a faulty mesh: a
+//!   head parked where the XY walk to its destination crosses a fault
+//!   cannot use it, and cyclic waits among such heads deadlocked the
+//!   fabric in testing (at ~2x the source-routed onset). The up*/down*
+//!   tree class closes that hole — it reaches every destination a
+//!   routable packet can have — at the cost of non-minimal escape
+//!   paths. The deadlock detector is retained as a *liveness
+//!   assertion* (`deadlocked` in [`TrafficStats`]): with escape
+//!   enabled it firing would indicate a fabric bug, not an expected
+//!   outcome.
+//! * Escape traffic abandons the compiled (fault-aware, shortest-path)
+//!   route, so heavy escape use shifts measured latency toward the XY
+//!   baseline (or worse, tree detours); `escape_packets` in
+//!   [`TrafficStats`] reports how much traffic did.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,10 +104,13 @@ pub mod routing;
 pub mod sim;
 pub mod stats;
 
-pub use config::{SimConfig, PIPELINE_DEPTH};
+pub use config::{RoutePolicy, SimConfig, PIPELINE_DEPTH};
 pub use fabric::{Fabric, Flit, FrontierEntry, PacketState, StepReport};
 pub use pattern::{DestSampler, TrafficPattern};
-pub use routing::{PathTable, RoutingKind, XyRouter};
+pub use routing::{
+    xy_next, xy_path_clear, EscapeForest, EscapeHop, HopCandidates, HopChoice, HopDecision,
+    HopRouter, PathTable, ReplayHop, RoutingKind, VcClass, XyRouter,
+};
 pub use sim::{run_traffic, run_traffic_reusing, single_packet_latency, TrafficSim};
 pub use stats::{LatencyHistogram, TrafficStats};
 

@@ -1,21 +1,60 @@
-//! Routing-function adapters: the paper's routers plus dimension-order
-//! XY, compiled to source routes for the wormhole fabric.
+//! Per-hop routing functions for the wormhole fabric: the [`HopRouter`]
+//! trait, the compiled-route replay adapter, and the Duato-style
+//! adaptive wrapper with a dimension-order XY escape class.
 //!
-//! The paper's routers make per-hop local decisions, but re-running the
+//! ## Architecture
+//!
+//! The paper's routers make per-hop local decisions. Re-running the
 //! full decision procedure at every router every cycle would swamp the
-//! flit-level simulation. Because every router in this workspace is
-//! *deterministic* for a given network, the hop sequence it would take
-//! is a pure function of `(source, destination)` — so the adapter runs
-//! the router once per distinct pair, converts the walk into a direction
-//! sequence, and memoizes it. The fabric then plays that sequence back
-//! flit by flit, which is exactly source routing of the path the
-//! distributed algorithm would have produced.
+//! flit-level simulation, so the adapters compile the hop sequence once
+//! per distinct `(source, destination)` pair into a [`PathTable`]
+//! (every router in this workspace is *deterministic* per network, so
+//! the walk is a pure function of the pair). Unlike the source-routed
+//! design this crate started with, the compiled route is **not**
+//! attached to the packet and replayed blindly by the fabric: the
+//! fabric asks a [`HopRouter`] for a fresh `(output port, VC class)`
+//! decision whenever a head flit is parked at a router, and the router
+//! consults the table — which means the decision can *change* based on
+//! local state, which is what makes escape routing possible.
+//!
+//! Two hop routers are provided:
+//!
+//! * [`ReplayHop`] — always follows the compiled route on the adaptive
+//!   VC class. Functionally identical to the old source-routed fabric.
+//! * [`EscapeHop`] — follows the compiled route on the adaptive class;
+//!   when the head has been blocked for `patience` cycles it re-routes
+//!   the packet onto a reserved escape class and finishes the trip
+//!   there. Two escape classes exist, tried in order:
+//!
+//!   1. the **XY escape class** ([`VcClass::EscapeXy`]): strict
+//!      dimension-order XY, entered only when the XY walk from the
+//!      current node to the destination crosses no faulty node. Every
+//!      XY hop strictly decreases the dimension-order distance, so the
+//!      class's channel-dependency graph is acyclic (the classic DOR
+//!      argument) and it drains under any load.
+//!   2. the **tree escape class** ([`VcClass::EscapeTree`]): up*/down*
+//!      routing on a BFS spanning forest of the healthy nodes
+//!      ([`EscapeForest`]). Tree routes go child-to-root ("up") then
+//!      root-to-child ("down"); forbidding down-to-up transitions
+//!      totally orders the tree channels, so this class is acyclic
+//!      *regardless of the fault pattern* — and a tree route exists for
+//!      every connected pair, so unlike XY it is available from every
+//!      node a routable packet can be parked at.
+//!
+//!   Per Duato's methodology, a blocked head that always has an
+//!   eventual path onto a draining escape network cannot participate in
+//!   a wormhole interlock: the XY class serves the common case with
+//!   minimal paths, and the tree class closes the faulty-mesh hole
+//!   (XY runs blocked by faults) with a guaranteed — if possibly long —
+//!   last resort.
 
 use std::rc::Rc;
 
-use meshpath_mesh::{Coord, Dir, FxHashMap};
+use meshpath_mesh::{Coord, Dir, FaultSet, FxHashMap};
 use meshpath_route::{ECube, Network, Rb1, Rb2, Rb3, RouteResult, Router};
 use serde::{Deserialize, Serialize};
+
+use crate::fabric::PacketState;
 
 /// The routing functions the traffic simulator can drive.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -81,18 +120,7 @@ impl Router for XyRouter {
         let mut cur = s;
         let mut blocked = false;
         while cur != d {
-            let dir = if cur.x != d.x {
-                if d.x > cur.x {
-                    Dir::PlusX
-                } else {
-                    Dir::MinusX
-                }
-            } else if d.y > cur.y {
-                Dir::PlusY
-            } else {
-                Dir::MinusY
-            };
-            let next = cur.step(dir);
+            let next = cur.step(xy_next(cur, d));
             if !net.faults().is_healthy(next) {
                 blocked = true;
                 break;
@@ -104,8 +132,168 @@ impl Router for XyRouter {
     }
 }
 
-/// A memoizing source-route table for one `(network, routing function)`
-/// pair.
+/// The dimension-order next hop from `here` towards `dst`: correct X
+/// first, then Y. The escape class routes exclusively with this
+/// function, so every escape hop strictly decreases the lexicographic
+/// potential `(|dx|, |dy|)` — the invariant the escape property tests
+/// pin.
+///
+/// # Panics
+/// Panics when `here == dst` (a delivered packet has no next hop).
+#[inline]
+pub fn xy_next(here: Coord, dst: Coord) -> Dir {
+    if here.x != dst.x {
+        if dst.x > here.x {
+            Dir::PlusX
+        } else {
+            Dir::MinusX
+        }
+    } else if dst.y > here.y {
+        Dir::PlusY
+    } else {
+        assert!(dst.y < here.y, "xy_next called at the destination");
+        Dir::MinusY
+    }
+}
+
+/// Whether the dimension-order XY walk from `here` to `dst` crosses
+/// only healthy nodes — the escape-entry precondition. `here == dst`
+/// is trivially clear.
+pub fn xy_path_clear(faults: &FaultSet, here: Coord, dst: Coord) -> bool {
+    let mut cur = here;
+    while cur != dst {
+        cur = cur.step(xy_next(cur, dst));
+        if !faults.is_healthy(cur) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The virtual-channel classes of the fabric.
+///
+/// The fabric partitions each output port's `vcs` virtual channels into
+/// `vcs - escape_vcs` *adaptive* channels (the low indices, usable by
+/// any compiled route) and `escape_vcs` reserved *escape* channels (the
+/// top indices). The topmost escape channel is the tree class; any
+/// remaining escape channels form the XY class. Restricting each escape
+/// class to one acyclic routing function (strict dimension-order XY,
+/// up*/down* tree order) keeps its channel-dependency graph
+/// cycle-free, which is what lets escape traffic drain under any load;
+/// keeping the two classes on disjoint channels keeps their dependency
+/// graphs from composing into a cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VcClass {
+    /// The unrestricted class: compiled (possibly detouring) routes.
+    Adaptive,
+    /// The reserved XY escape class: strict dimension-order XY only,
+    /// entered only past a fault-free XY run.
+    EscapeXy,
+    /// The reserved tree escape class: up*/down* spanning-forest routes
+    /// only — the always-available last resort.
+    EscapeTree,
+}
+
+/// One output option for a parked head flit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HopChoice {
+    /// The output direction to request.
+    pub dir: Dir,
+    /// The VC class to allocate on that output.
+    pub class: VcClass,
+}
+
+/// An ordered, fixed-capacity candidate list for one head flit: the
+/// fabric tries the choices front to back and the first one with an
+/// allocatable VC this cycle wins (committing the packet — wormhole).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HopCandidates {
+    len: u8,
+    arr: [Option<HopChoice>; 3],
+}
+
+impl HopCandidates {
+    /// An empty candidate list (the head waits this cycle).
+    pub fn new() -> Self {
+        HopCandidates::default()
+    }
+
+    /// Appends a candidate (capacity 3: adaptive, XY escape, tree
+    /// escape).
+    ///
+    /// # Panics
+    /// Panics when the list is full.
+    pub fn push(&mut self, c: HopChoice) {
+        assert!((self.len as usize) < self.arr.len(), "candidate list full");
+        self.arr[self.len as usize] = Some(c);
+        self.len += 1;
+    }
+
+    /// The candidates in preference order.
+    pub fn iter(&self) -> impl Iterator<Item = HopChoice> + '_ {
+        self.arr[..self.len as usize].iter().map(|c| c.expect("filled up to len"))
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no candidate was offered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<HopChoice> for HopCandidates {
+    fn from_iter<T: IntoIterator<Item = HopChoice>>(iter: T) -> Self {
+        let mut c = HopCandidates::new();
+        for x in iter {
+            c.push(x);
+        }
+        c
+    }
+}
+
+/// A per-hop routing decision for one head flit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopDecision {
+    /// The packet is at its destination: take the ejection port.
+    Eject,
+    /// Request an output link: candidates in preference order.
+    Route(HopCandidates),
+}
+
+impl HopDecision {
+    /// A single-candidate route decision.
+    pub fn route1(c: HopChoice) -> Self {
+        HopDecision::Route([c].into_iter().collect())
+    }
+}
+
+/// A per-hop routing function: the object the fabric consults for every
+/// parked head flit, every cycle, instead of replaying a source route.
+///
+/// Implementations decide from *local* state — the packet's endpoints
+/// and progress ([`PacketState`]) plus whatever the router itself knows
+/// about the network — mirroring how the paper's distributed algorithms
+/// run on real NoC hardware.
+pub trait HopRouter {
+    /// Network-interface admission: the hop count of the compiled route
+    /// for `(s, d)`, or `None` when the routing function does not
+    /// deliver the pair (XY across a fault, disconnected endpoints).
+    /// Called once per generated packet; the result backs the TTL check.
+    fn admit(&mut self, s: Coord, d: Coord) -> Option<u32>;
+
+    /// The decision for the head flit of `pk` parked at `here`. Called
+    /// every cycle the head is unrouted (possibly several times, once
+    /// per output port scanned), so it must be cheap: a table lookup
+    /// plus a VC-class choice.
+    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision;
+}
+
+/// A memoizing compiled-route table for one `(network, routing
+/// function)` pair: the per-pair backing store of the hop routers.
 pub struct PathTable<'a> {
     net: &'a Network,
     kind: RoutingKind,
@@ -165,6 +353,220 @@ impl<'a> PathTable<'a> {
     }
 }
 
+/// Deterministic per-hop replay of the compiled route, adaptive class
+/// only — the paper's routers exactly as the source-routed fabric ran
+/// them, now phrased as per-hop decisions.
+pub struct ReplayHop<'net, 'p> {
+    paths: &'p mut PathTable<'net>,
+}
+
+impl<'net, 'p> ReplayHop<'net, 'p> {
+    /// A replay router over `paths`' compiled routes.
+    pub fn new(paths: &'p mut PathTable<'net>) -> Self {
+        ReplayHop { paths }
+    }
+}
+
+impl HopRouter for ReplayHop<'_, '_> {
+    fn admit(&mut self, s: Coord, d: Coord) -> Option<u32> {
+        self.paths.path(s, d).map(|p| p.len() as u32)
+    }
+
+    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+        if here == pk.dst {
+            return HopDecision::Eject;
+        }
+        let path = self.paths.path(pk.src, pk.dst).expect("admitted packets have compiled routes");
+        let dir = path[pk.head_hop as usize];
+        HopDecision::route1(HopChoice { dir, class: VcClass::Adaptive })
+    }
+}
+
+/// A BFS spanning forest over the healthy nodes: the substrate of the
+/// tree escape class.
+///
+/// Roots are the lowest-id healthy node of each connected component;
+/// BFS expands neighbors in [`Dir::ALL`] order, so the forest is a pure
+/// function of the fault configuration (determinism). An up*/down*
+/// route climbs from the source to the lowest common ancestor and
+/// descends to the destination; since every route takes all its "up"
+/// (child-to-parent) hops before any "down" hop, and depth is strictly
+/// monotone within each phase, the tree channels admit a total order
+/// that every route respects — no cyclic channel dependency, for any
+/// fault pattern.
+pub struct EscapeForest {
+    /// `(parent direction, depth)` per node id; `None` for faulty nodes
+    /// and roots (roots have depth 0).
+    parent: Vec<Option<Dir>>,
+    depth: Vec<u32>,
+}
+
+impl EscapeForest {
+    /// Builds the forest for a fault configuration.
+    pub fn new(faults: &FaultSet) -> Self {
+        let mesh = faults.mesh();
+        let n = mesh.len();
+        let mut parent: Vec<Option<Dir>> = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n {
+            let rc = mesh.coord(meshpath_mesh::NodeId(root as u32));
+            if seen[root] || !faults.is_healthy(rc) {
+                continue;
+            }
+            seen[root] = true;
+            queue.push_back(rc);
+            while let Some(c) = queue.pop_front() {
+                let ci = mesh.id(c).index();
+                for dir in Dir::ALL {
+                    let nb = c.step(dir);
+                    if !mesh.contains(nb) || !faults.is_healthy(nb) {
+                        continue;
+                    }
+                    let ni = mesh.id(nb).index();
+                    if seen[ni] {
+                        continue;
+                    }
+                    seen[ni] = true;
+                    parent[ni] = Some(dir.opposite());
+                    depth[ni] = depth[ci] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        EscapeForest { parent, depth }
+    }
+
+    /// Tree depth of a node (0 for roots and faulty nodes).
+    pub fn depth(&self, mesh: &meshpath_mesh::Mesh, c: Coord) -> u32 {
+        self.depth[mesh.id(c).index()]
+    }
+
+    /// The next hop of the up*/down* route from `here` to `dst`, or
+    /// `None` when the two are in different components (an unroutable
+    /// pair — never admitted into the fabric).
+    ///
+    /// # Panics
+    /// Panics when `here == dst`.
+    pub fn next_hop(&self, mesh: &meshpath_mesh::Mesh, here: Coord, dst: Coord) -> Option<Dir> {
+        assert!(here != dst, "tree next hop queried at the destination");
+        // Climb dst's ancestor chain to here's depth, remembering the
+        // hop below; if the chain passes through `here`, descend.
+        let hi = mesh.id(here).index();
+        let mut c = dst;
+        let mut below: Option<Coord> = None;
+        while self.depth[mesh.id(c).index()] > self.depth[hi] {
+            below = Some(c);
+            c = c.step(self.parent[mesh.id(c).index()]?);
+        }
+        if c == here {
+            let child = below.expect("depth(dst) > depth(here) when here is a proper ancestor");
+            return here.dir_to(child);
+        }
+        // Not an ancestor of dst: go up. A root with no parent means
+        // dst sits in a different component.
+        self.parent[hi]
+    }
+}
+
+/// The Duato-style adaptive wrapper: compiled routes on the adaptive
+/// class; once a head has been blocked `patience` consecutive cycles it
+/// is offered the reserved escape classes — dimension-order XY when the
+/// XY walk to the destination is fault-free, and the up*/down* tree
+/// route as the always-available last resort.
+///
+/// A packet that takes an escape channel is committed: it stays on that
+/// escape class until delivery, so escape packets only ever wait on
+/// channels of their own (acyclic) class and are guaranteed to drain.
+pub struct EscapeHop<'net, 'p> {
+    paths: &'p mut PathTable<'net>,
+    patience: u32,
+    /// Whether the fabric has a non-empty XY escape class
+    /// (`escape_vcs >= 2`): with only the tree channel reserved, XY
+    /// candidates could never allocate, so offering them (and paying
+    /// the clearance walks) would be pure waste.
+    xy_class: bool,
+    forest: EscapeForest,
+    /// Memoized [`xy_path_clear`] per `(node, destination)`.
+    clear: FxHashMap<(Coord, Coord), bool>,
+    /// Memoized tree next hop per `(node, destination)` — the
+    /// ancestor climb is O(tree depth) and `decide` runs on the
+    /// congested path, up to once per output-port scan per cycle.
+    tree_next: FxHashMap<(Coord, Coord), Dir>,
+}
+
+impl<'net, 'p> EscapeHop<'net, 'p> {
+    /// An escape-adaptive router over `paths`' compiled routes.
+    /// `xy_class` says whether the fabric reserves XY escape channels
+    /// in addition to the tree channel (`escape_vcs >= 2`).
+    pub fn new(paths: &'p mut PathTable<'net>, patience: u32, xy_class: bool) -> Self {
+        let forest = EscapeForest::new(paths.network().faults());
+        EscapeHop {
+            paths,
+            patience,
+            xy_class,
+            forest,
+            clear: FxHashMap::default(),
+            tree_next: FxHashMap::default(),
+        }
+    }
+
+    /// The spanning forest backing the tree escape class.
+    pub fn forest(&self) -> &EscapeForest {
+        &self.forest
+    }
+
+    fn xy_clear(&mut self, here: Coord, dst: Coord) -> bool {
+        let faults = self.paths.network().faults();
+        *self.clear.entry((here, dst)).or_insert_with(|| xy_path_clear(faults, here, dst))
+    }
+
+    fn tree_choice(&mut self, here: Coord, dst: Coord) -> HopChoice {
+        let forest = &self.forest;
+        let mesh = self.paths.network().mesh();
+        let dir = *self.tree_next.entry((here, dst)).or_insert_with(|| {
+            forest
+                .next_hop(mesh, here, dst)
+                .expect("admitted packets connect; tree escape must cover them")
+        });
+        HopChoice { dir, class: VcClass::EscapeTree }
+    }
+}
+
+impl HopRouter for EscapeHop<'_, '_> {
+    fn admit(&mut self, s: Coord, d: Coord) -> Option<u32> {
+        self.paths.path(s, d).map(|p| p.len() as u32)
+    }
+
+    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+        if here == pk.dst {
+            return HopDecision::Eject;
+        }
+        match pk.mode {
+            // Committed to an escape network: ride it to the end.
+            VcClass::EscapeXy => HopDecision::route1(HopChoice {
+                dir: xy_next(here, pk.dst),
+                class: VcClass::EscapeXy,
+            }),
+            VcClass::EscapeTree => HopDecision::route1(self.tree_choice(here, pk.dst)),
+            VcClass::Adaptive => {
+                let path =
+                    self.paths.path(pk.src, pk.dst).expect("admitted packets have compiled routes");
+                let mut c = HopCandidates::new();
+                c.push(HopChoice { dir: path[pk.head_hop as usize], class: VcClass::Adaptive });
+                if pk.stalled >= self.patience {
+                    if self.xy_class && self.xy_clear(here, pk.dst) {
+                        c.push(HopChoice { dir: xy_next(here, pk.dst), class: VcClass::EscapeXy });
+                    }
+                    c.push(self.tree_choice(here, pk.dst));
+                }
+                HopDecision::Route(c)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +623,178 @@ mod tests {
                 assert!(net.faults().is_healthy(cur));
             }
             assert_eq!(cur, Coord::new(9, 9), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn xy_next_decreases_dimension_order_distance() {
+        let (s, d) = (Coord::new(7, 2), Coord::new(1, 6));
+        let mut cur = s;
+        while cur != d {
+            let dir = xy_next(cur, d);
+            let next = cur.step(dir);
+            // X is corrected to completion before any Y move.
+            if cur.x != d.x {
+                assert_eq!(dir.axis(), meshpath_mesh::Axis::X);
+                assert!((next.x - d.x).abs() < (cur.x - d.x).abs());
+            } else {
+                assert_eq!(dir.axis(), meshpath_mesh::Axis::Y);
+                assert!((next.y - d.y).abs() < (cur.y - d.y).abs());
+            }
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn xy_clear_matches_the_xy_router() {
+        let mesh = Mesh::square(8);
+        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(3, 1), Coord::new(5, 5)]));
+        for (s, d) in [
+            (Coord::new(1, 1), Coord::new(6, 1)), // crosses (3,1)
+            (Coord::new(1, 1), Coord::new(1, 6)), // clear column
+            (Coord::new(0, 5), Coord::new(7, 5)), // crosses (5,5)
+            (Coord::new(2, 0), Coord::new(6, 7)), // clear L
+        ] {
+            let walked = XyRouter.route(&net, s, d).delivered;
+            assert_eq!(xy_path_clear(net.faults(), s, d), walked, "{s:?}->{d:?}");
+        }
+    }
+
+    #[test]
+    fn replay_hop_follows_the_compiled_route() {
+        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let mut t = PathTable::new(&net, RoutingKind::Rb2);
+        let (s, d) = (Coord::new(0, 0), Coord::new(3, 2));
+        let mut hop = ReplayHop::new(&mut t);
+        let hops = hop.admit(s, d).expect("routable");
+        assert_eq!(hops, 5);
+        let mut pk = PacketState::new(s, d, 0, 1);
+        let mut here = s;
+        for _ in 0..hops {
+            match hop.decide(here, &pk) {
+                HopDecision::Route(c) => {
+                    assert_eq!(c.len(), 1);
+                    let first = c.iter().next().unwrap();
+                    assert_eq!(first.class, VcClass::Adaptive);
+                    here = here.step(first.dir);
+                    pk.head_hop += 1;
+                }
+                HopDecision::Eject => panic!("ejected before the destination"),
+            }
+        }
+        assert_eq!(here, d);
+        assert_eq!(hop.decide(here, &pk), HopDecision::Eject);
+    }
+
+    /// The candidate classes of a `Route` decision, in order.
+    fn classes(d: HopDecision) -> Vec<VcClass> {
+        match d {
+            HopDecision::Route(c) => c.iter().map(|x| x.class).collect(),
+            HopDecision::Eject => panic!("expected a route decision"),
+        }
+    }
+
+    #[test]
+    fn escape_hop_offers_classes_by_patience_and_clearance() {
+        let mesh = Mesh::square(8);
+        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(5, 3)]));
+        let mut t = PathTable::new(&net, RoutingKind::Rb2);
+        let mut hop = EscapeHop::new(&mut t, 4, true);
+        // XY from (2,3) to (7,3) crosses the fault at (5,3).
+        let (s, d) = (Coord::new(2, 3), Coord::new(7, 3));
+        hop.admit(s, d).expect("RB2 routes around the fault");
+        let fresh = PacketState::new(s, d, 0, 1);
+        // Below patience: adaptive only.
+        assert_eq!(classes(hop.decide(s, &fresh)), vec![VcClass::Adaptive]);
+        // Past patience but XY blocked by (5,3): adaptive + tree, no XY.
+        let mut stalled = fresh.clone();
+        stalled.stalled = 10;
+        assert_eq!(
+            classes(hop.decide(s, &stalled)),
+            vec![VcClass::Adaptive, VcClass::EscapeTree],
+            "blocked XY run must not be offered"
+        );
+        // Past patience with a clear XY run: all three, XY before tree.
+        let (s2, d2) = (Coord::new(2, 0), Coord::new(2, 6));
+        hop.admit(s2, d2).expect("clear pair");
+        let mut stalled2 = PacketState::new(s2, d2, 0, 1);
+        stalled2.stalled = 10;
+        match hop.decide(s2, &stalled2) {
+            HopDecision::Route(c) => {
+                let v: Vec<_> = c.iter().collect();
+                assert_eq!(
+                    v.iter().map(|x| x.class).collect::<Vec<_>>(),
+                    vec![VcClass::Adaptive, VcClass::EscapeXy, VcClass::EscapeTree]
+                );
+                assert_eq!(v[1].dir, Dir::PlusY, "XY escape corrects Y on a clear column");
+            }
+            HopDecision::Eject => panic!("not at destination"),
+        }
+        // Once committed to XY escape: that class only, strict XY.
+        let mut escaped = stalled2.clone();
+        escaped.mode = VcClass::EscapeXy;
+        assert_eq!(classes(hop.decide(s2, &escaped)), vec![VcClass::EscapeXy]);
+        // Once committed to the tree: that class only.
+        let mut treed = stalled2.clone();
+        treed.mode = VcClass::EscapeTree;
+        assert_eq!(classes(hop.decide(s2, &treed)), vec![VcClass::EscapeTree]);
+    }
+
+    #[test]
+    fn escape_hop_without_xy_class_never_offers_xy() {
+        // escape_vcs == 1 fabric: only the tree channel is reserved, so
+        // the router must not offer (or evaluate clearance for) XY.
+        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let mut t = PathTable::new(&net, RoutingKind::Rb2);
+        let mut hop = EscapeHop::new(&mut t, 4, false);
+        let (s, d) = (Coord::new(1, 1), Coord::new(6, 6));
+        hop.admit(s, d).expect("clear pair");
+        let mut stalled = PacketState::new(s, d, 0, 1);
+        stalled.stalled = 10;
+        assert_eq!(
+            classes(hop.decide(s, &stalled)),
+            vec![VcClass::Adaptive, VcClass::EscapeTree],
+            "XY candidate requires a reserved XY channel"
+        );
+    }
+
+    #[test]
+    fn escape_forest_routes_every_connected_pair_up_then_down() {
+        let mesh = Mesh::square(8);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [Coord::new(3, 3), Coord::new(4, 3), Coord::new(3, 4), Coord::new(6, 1)],
+        );
+        let forest = EscapeForest::new(&faults);
+        let healthy: Vec<Coord> = mesh.iter().filter(|&c| faults.is_healthy(c)).collect();
+        for &s in &healthy {
+            for &d in &healthy {
+                if s == d {
+                    continue;
+                }
+                // Walk the tree route; it must reach d with all "up"
+                // (depth-decreasing) hops before any "down" hop.
+                let mut cur = s;
+                let mut went_down = false;
+                let mut hops = 0;
+                while cur != d {
+                    let dir = forest
+                        .next_hop(&mesh, cur, d)
+                        .unwrap_or_else(|| panic!("{s:?}->{d:?}: connected pair must route"));
+                    let next = cur.step(dir);
+                    assert!(faults.is_healthy(next), "{s:?}->{d:?} steps onto a fault");
+                    let (dc, dn) = (forest.depth(&mesh, cur), forest.depth(&mesh, next));
+                    assert_eq!(dc.abs_diff(dn), 1, "tree hops move between tree levels");
+                    if dn > dc {
+                        went_down = true;
+                    } else {
+                        assert!(!went_down, "{s:?}->{d:?}: up hop after a down hop");
+                    }
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= 2 * mesh.len(), "{s:?}->{d:?}: tree walk too long");
+                }
+            }
         }
     }
 }

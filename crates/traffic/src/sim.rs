@@ -2,17 +2,16 @@
 //! protocol, and the run loop.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 
-use meshpath_mesh::{derive_seed, Coord, Dir, NodeId};
+use meshpath_mesh::{derive_seed, Coord, NodeId};
 use meshpath_route::Network;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::SimConfig;
+use crate::config::{RoutePolicy, SimConfig};
 use crate::fabric::{Fabric, Flit, PacketState};
 use crate::pattern::DestSampler;
-use crate::routing::{PathTable, RoutingKind};
+use crate::routing::{EscapeHop, HopRouter, PathTable, ReplayHop, RoutingKind};
 use crate::stats::{LatencyHistogram, TrafficStats};
 
 /// Latencies above this resolve to the histogram overflow bucket.
@@ -20,6 +19,13 @@ const HISTOGRAM_CAP: usize = 4096;
 
 /// Cycles of zero fabric movement (with flits in flight and nothing
 /// injectable) before the run is declared deadlocked.
+///
+/// With escape VCs enabled this is a *liveness assertion*: Duato-style
+/// escape routing is expected to keep the fabric moving, so a firing
+/// detector indicates either an escape-starved fault pattern (every
+/// member of a cyclic wait parked where its XY run crosses a fault) or
+/// a fabric bug. Without escape VCs it is the expected failure mode of
+/// adaptive wormhole routing under load.
 const DEADLOCK_WINDOW: u64 = 1000;
 
 /// A generated packet waiting at its source network interface.
@@ -38,17 +44,18 @@ struct SourceNode {
 }
 
 /// One traffic simulation: a fabric over a fault configuration, driven
-/// by a seeded injection process, routed by one routing function.
+/// by a seeded injection process, routed per hop by the policy's
+/// [`HopRouter`] over one compiled routing function.
 ///
 /// The path table is borrowed so sweeps can reuse compiled routes
 /// across runs over the same network (route compilation dominates the
 /// low-load setup cost; see [`run_traffic_reusing`]).
-pub struct TrafficSim<'net, 'p> {
+pub struct TrafficSim<'p> {
     cfg: SimConfig,
     /// Effective route hop budget (see `SimConfig::route_ttl`).
     ttl: u32,
     fabric: Fabric,
-    paths: &'p mut PathTable<'net>,
+    router: Box<dyn HopRouter + 'p>,
     sampler: DestSampler,
     sources: Vec<SourceNode>,
     /// `generated_at` of every registered packet is in the fabric's
@@ -57,21 +64,47 @@ pub struct TrafficSim<'net, 'p> {
     stats: TrafficStats,
 }
 
-impl<'net, 'p> TrafficSim<'net, 'p> {
+impl<'p> TrafficSim<'p> {
     /// Builds a simulation driving `paths`' routing function over
-    /// `paths`' network.
+    /// `paths`' network, per-hop, under `cfg.policy`.
     ///
     /// # Panics
     /// Panics when `cfg.packet_len` is zero (a packet has at least a
-    /// head flit) or `cfg.rate` is outside `[0, 1]`.
-    pub fn new(paths: &'p mut PathTable<'net>, cfg: SimConfig) -> Self {
+    /// head flit), `cfg.rate` is outside `[0, 1]`, `cfg.escape_vcs`
+    /// leaves no adaptive channel, or policy and `escape_vcs`
+    /// disagree (escape-adaptive needs a reserved channel;
+    /// deterministic would strand any).
+    pub fn new<'net>(paths: &'p mut PathTable<'net>, cfg: SimConfig) -> Self {
         assert!(cfg.packet_len >= 1, "packets need at least one flit");
         assert!(
             (0.0..=1.0).contains(&cfg.rate),
             "injection rate {} is not a per-cycle probability",
             cfg.rate
         );
+        assert!(
+            cfg.escape_vcs < cfg.vcs,
+            "escape_vcs = {} must leave at least one adaptive channel of vcs = {}",
+            cfg.escape_vcs,
+            cfg.vcs
+        );
+        match cfg.policy {
+            RoutePolicy::EscapeAdaptive { .. } => assert!(
+                cfg.escape_vcs >= 1,
+                "EscapeAdaptive policy needs a reserved escape channel (escape_vcs >= 1)"
+            ),
+            // ReplayHop never requests an escape class, so reserved
+            // channels would be silently unallocatable — fail loudly
+            // instead of biasing policy A/B comparisons with stranded
+            // buffering (`SimConfig::without_escape` sets both knobs).
+            RoutePolicy::Deterministic => assert!(
+                cfg.escape_vcs == 0,
+                "Deterministic policy would strand the {} reserved escape channel(s); \
+                 set escape_vcs = 0 (see SimConfig::without_escape)",
+                cfg.escape_vcs
+            ),
+        }
         let net = paths.network();
+        let kind = paths.kind();
         let mesh = *net.mesh();
         let sampler = DestSampler::new(cfg.pattern.clone(), net.faults(), cfg.seed);
         let sources: Vec<SourceNode> = mesh
@@ -87,7 +120,15 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
                 }
             })
             .collect();
-        let fabric = Fabric::new(mesh, cfg.vcs, cfg.vc_depth);
+        let fabric = Fabric::new(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs);
+        let router: Box<dyn HopRouter + 'p> = match cfg.policy {
+            RoutePolicy::Deterministic => Box::new(ReplayHop::new(paths)),
+            RoutePolicy::EscapeAdaptive { patience } => {
+                // escape_vcs == 1 reserves only the tree channel; the
+                // XY class needs a second reserved channel.
+                Box::new(EscapeHop::new(paths, patience, cfg.escape_vcs >= 2))
+            }
+        };
         let stats = TrafficStats {
             cycles: 0,
             nodes: sources.len(),
@@ -97,13 +138,22 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
             measured_delivered: 0,
             unroutable: 0,
             ttl_dropped: 0,
+            escape_packets: 0,
             measured_flits_ejected: 0,
             latency: LatencyHistogram::new(HISTOGRAM_CAP),
             saturated: false,
             deadlocked: false,
         };
-        let ttl = cfg.route_ttl.unwrap_or_else(|| 4 * (mesh.width() + mesh.height()));
-        TrafficSim { cfg, ttl, fabric, paths, sampler, sources, measured_outstanding: 0, stats }
+        // TTL default: E-cube's escape walk is the only route source
+        // whose length is effectively unbounded; every other router is
+        // within a small factor of shortest, and escape VCs now bound
+        // blocking, so no budget is imposed on them.
+        let ttl = cfg.route_ttl.unwrap_or(if kind == RoutingKind::ECube {
+            4 * (mesh.width() + mesh.height())
+        } else {
+            u32::MAX
+        });
+        TrafficSim { cfg, ttl, fabric, router, sampler, sources, measured_outstanding: 0, stats }
     }
 
     /// Runs the full warmup / measure / drain protocol and returns the
@@ -122,7 +172,7 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
             }
             injected_any |= self.feed_injection_channels();
 
-            let report = self.fabric.step(&mut ejected);
+            let report = self.fabric.step(&mut *self.router, &mut ejected);
             for pk in ejected.drain(..) {
                 // +1: the ejection link (see the fabric timing contract).
                 let delivered_at = cycle + 1;
@@ -173,6 +223,7 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
             }
         }
         self.stats.cycles = cycle;
+        self.stats.escape_packets = self.fabric.escape_entries();
         self.stats
     }
 
@@ -180,7 +231,10 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
         t >= self.cfg.warmup && t < self.cfg.warmup + self.cfg.measure
     }
 
-    /// Bernoulli generation at every healthy node.
+    /// Bernoulli generation at every healthy node. The NI attaches no
+    /// route — it only asks the hop router to *admit* the pair (is it
+    /// routable, and how long is the compiled route, for the TTL
+    /// check); all forwarding decisions happen per hop in the fabric.
     fn generate(&mut self, cycle: u64) {
         let rate = self.cfg.rate;
         let len = self.cfg.packet_len;
@@ -193,20 +247,15 @@ impl<'net, 'p> TrafficSim<'net, 'p> {
             let Some(dst) = self.sampler.dest(src, &mut self.sources[i].rng) else {
                 continue;
             };
-            let Some(path) = self.paths.path(src, dst) else {
+            let Some(hops) = self.router.admit(src, dst) else {
                 self.stats.unroutable += 1;
                 continue;
             };
-            if path.len() > self.ttl as usize {
+            if hops > self.ttl {
                 self.stats.ttl_dropped += 1;
                 continue;
             }
-            let id = self.fabric.register_packet(PacketState {
-                path,
-                head_hop: 0,
-                generated_at: cycle,
-                len,
-            });
+            let id = self.fabric.register_packet(PacketState::new(src, dst, cycle, len));
             self.stats.generated += 1;
             if measured {
                 self.stats.measured_generated += 1;
@@ -264,7 +313,9 @@ pub fn run_traffic_reusing(paths: &mut PathTable<'_>, cfg: &SimConfig) -> Traffi
 ///
 /// At zero load this is exactly
 /// `route_hops + PIPELINE_DEPTH + (len - 1)`, which the integration
-/// tests pin against the BFS oracle.
+/// tests pin against the BFS oracle. (An idle fabric never blocks a
+/// head, so the escape class is irrelevant here and the probe runs the
+/// deterministic replay router.)
 pub fn single_packet_latency(
     net: &Network,
     kind: RoutingKind,
@@ -275,13 +326,14 @@ pub fn single_packet_latency(
     assert!(len >= 1, "a packet has at least one flit");
     let mesh = *net.mesh();
     let mut paths = PathTable::new(net, kind);
-    let path: Rc<[Dir]> = paths.path(s, d)?;
+    let mut probe = ReplayHop::new(&mut paths);
+    probe.admit(s, d)?;
     // Probe fabric: the VC/depth pair is shared with the injection
     // check below — the injector must not stage past the buffer depth.
     const PROBE_VCS: usize = 2;
     const PROBE_DEPTH: usize = 4;
-    let mut fabric = Fabric::new(mesh, PROBE_VCS, PROBE_DEPTH);
-    let id = fabric.register_packet(PacketState { path, head_hop: 0, generated_at: 0, len });
+    let mut fabric = Fabric::new(mesh, PROBE_VCS, PROBE_DEPTH, 0);
+    let id = fabric.register_packet(PacketState::new(s, d, 0, len));
     let src = mesh.id(s);
     let mut sent = 0u32;
     let mut ejected = Vec::new();
@@ -294,7 +346,7 @@ pub fn single_packet_latency(
             );
             sent += 1;
         }
-        fabric.step(&mut ejected);
+        fabric.step(&mut probe, &mut ejected);
         if !ejected.is_empty() {
             return Some(cycle + 1);
         }
@@ -389,5 +441,34 @@ mod tests {
                 cfg.pattern
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "EscapeAdaptive policy needs a reserved escape channel")]
+    fn escape_policy_requires_a_reserved_channel() {
+        let net = fault_free(4);
+        let cfg = SimConfig {
+            escape_vcs: 0,
+            policy: RoutePolicy::EscapeAdaptive { patience: 4 },
+            ..SimConfig::smoke()
+        };
+        let mut paths = PathTable::new(&net, RoutingKind::Xy);
+        let _ = TrafficSim::new(&mut paths, cfg);
+    }
+
+    #[test]
+    fn ttl_default_is_per_router() {
+        // E-cube on a faulty 16x16 can emit very long escape walks; the
+        // automatic TTL keeps dropping those. RB2 has no TTL by default
+        // any more: nothing is dropped even on unlucky pairs.
+        let mesh = Mesh::square(16);
+        let net = Network::build(FaultSet::from_coords(
+            mesh,
+            (4..12).map(|x| Coord::new(x, 8)).collect::<Vec<_>>(),
+        ));
+        let cfg = SimConfig { rate: 0.01, ..SimConfig::smoke() };
+        let rb2 = run_traffic(&net, RoutingKind::Rb2, &cfg);
+        assert_eq!(rb2.ttl_dropped, 0, "non-E-cube routers default to no TTL");
+        assert_eq!(rb2.measured_delivered, rb2.measured_generated);
     }
 }
