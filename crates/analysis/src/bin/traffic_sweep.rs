@@ -2,7 +2,11 @@
 //! fault density.
 //!
 //! Usage: `traffic_sweep [--quick] [--json] [--mesh N] [--seed N]
-//! [--threads N] [--out DIR]`.
+//! [--threads N] [--out DIR] [--no-early-exit]`.
+//!
+//! `--no-early-exit` disables the rate-ladder early exit (post-
+//! saturation rates marked `sat` without simulating, wedged drains cut
+//! short) when the full post-saturation curves are wanted.
 //!
 //! By default the sweep prints aligned text tables (and CSV next to
 //! `--out`). With `--json` it instead emits one machine-readable JSON
@@ -35,6 +39,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => {}
             "--json" => json = true,
+            "--no-early-exit" => cfg.early_exit = false,
             "--mesh" => {
                 cfg.mesh = take("--mesh").parse().unwrap_or(0);
                 if cfg.mesh == 0 {
@@ -48,7 +53,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: traffic_sweep [--quick] [--json] [--mesh N] [--seed N] [--threads N] \
-                     [--out DIR]"
+                     [--out DIR] [--no-early-exit]"
                 );
                 return;
             }

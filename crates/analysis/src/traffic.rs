@@ -10,11 +10,15 @@
 use crossbeam::channel;
 use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
 use meshpath_route::Network;
-use meshpath_traffic::{run_traffic_reusing, PathTable, RoutingKind, SimConfig, TrafficStats};
+use meshpath_traffic::{
+    run_traffic_reusing_with, DrainStallObserver, LatencyHistogram, PathTable, RoutingKind,
+    SimConfig, TrafficStats,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
+use std::time::Instant;
 
 use crate::sweep::derive_seed;
 use crate::table::{f1, f3, Table};
@@ -38,6 +42,17 @@ pub struct LoadSweepConfig {
     pub threads: usize,
     /// Fault placement model.
     pub injection: FaultInjection,
+    /// Rate-ladder early exit: once a `(router, faults)` ladder
+    /// saturates or deadlocks at some rate, every *higher* rate is
+    /// marked `saturated` without simulating (offered load only grows,
+    /// so the verdict is monotone), and a saturated run's drain is cut
+    /// short once it has visibly wedged (see
+    /// [`DrainStallObserver`]). Post-saturation points then carry the
+    /// verdict but not full statistics (`simulated = false`, or a
+    /// truncated drain) — disable when the exact shape of the
+    /// post-saturation curve matters, as `examples/traffic_saturation`
+    /// does.
+    pub early_exit: bool,
 }
 
 impl Default for LoadSweepConfig {
@@ -51,6 +66,7 @@ impl Default for LoadSweepConfig {
             seed: 0x6e6f_6321, // "noc!"
             threads: 0,
             injection: FaultInjection::Uniform,
+            early_exit: true,
         }
     }
 }
@@ -80,6 +96,28 @@ pub struct LoadPoint {
     pub rate: f64,
     /// Full simulator statistics.
     pub stats: TrafficStats,
+    /// Whether this point was actually simulated. `false` for
+    /// rate-ladder early exits: a lower rate on the same `(router,
+    /// faults)` ladder already saturated or deadlocked, so this point
+    /// carries a synthesized `saturated` verdict and zeroed counters.
+    pub simulated: bool,
+    /// Wall-clock spent simulating this point, in milliseconds (0 for
+    /// early-exited points) — the per-point perf trajectory recorded
+    /// in `BENCH_traffic.json`.
+    pub sim_wall_ms: f64,
+}
+
+impl LoadPoint {
+    /// Simulated flit-hops per wall second, in millions (0 when not
+    /// simulated) — the simulator-throughput figure of the BENCH
+    /// trajectory.
+    pub fn mflits_per_sec(&self) -> f64 {
+        if self.sim_wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.stats.flits_moved as f64 / (self.sim_wall_ms * 1e-3) / 1e6
+        }
+    }
 }
 
 /// The full sweep outcome.
@@ -91,24 +129,88 @@ pub struct LoadSweepResult {
     pub points: Vec<LoadPoint>,
 }
 
+/// An O(1) grid view over a [`LoadSweepResult`], built once per table
+/// render (the fix for the old O(points²) rendering: one linear `find`
+/// per cell). Points are produced in `(fault, rate, router)`
+/// lexicographic order, so the index is pure arithmetic over the
+/// config axes; each lookup verifies the identity of the indexed point
+/// and falls back to a linear scan for hand-assembled results whose
+/// `points` ordering differs.
+struct GridIndex<'a> {
+    result: &'a LoadSweepResult,
+    n_rates: usize,
+    n_routers: usize,
+}
+
+impl<'a> GridIndex<'a> {
+    fn new(result: &'a LoadSweepResult) -> Self {
+        GridIndex {
+            result,
+            n_rates: result.config.rates.len(),
+            n_routers: result.config.routers.len(),
+        }
+    }
+
+    /// The point at grid position `(fault index, rate index, router
+    /// index)`, if present.
+    fn at(&self, fi: usize, ri: usize, ki: usize) -> Option<&'a LoadPoint> {
+        let cfg = &self.result.config;
+        let (&faults, &rate, &router) =
+            (cfg.fault_counts.get(fi)?, cfg.rates.get(ri)?, cfg.routers.get(ki)?);
+        let idx = (fi * self.n_rates + ri) * self.n_routers + ki;
+        match self.result.points.get(idx) {
+            Some(p) if p.router == router && p.faults == faults && rate_close(p.rate, rate) => {
+                Some(p)
+            }
+            _ => self
+                .result
+                .points
+                .iter()
+                .find(|p| p.router == router && p.faults == faults && rate_close(p.rate, rate)),
+        }
+    }
+}
+
+/// Rates match with a small relative tolerance so programmatically
+/// constructed rates (e.g. `3.0 * 0.01`) resolve to the grid point
+/// they produced despite f64 rounding.
+fn rate_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
 impl LoadSweepResult {
-    /// The point for `(router, faults, rate)`, if it was swept. The
-    /// rate is matched with a small relative tolerance so that
-    /// programmatically constructed rates (e.g. `3.0 * 0.01`) resolve
-    /// to the grid point they produced despite f64 rounding.
+    /// The point for `(router, faults, rate)`, if it was swept (O(1)
+    /// position lookup over the config axes plus an arithmetic grid
+    /// index; see `GridIndex`).
     pub fn point(&self, router: RoutingKind, faults: usize, rate: f64) -> Option<&LoadPoint> {
-        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
-        self.points.iter().find(|p| p.router == router && p.faults == faults && close(p.rate, rate))
+        let cfg = &self.config;
+        let pos = (
+            cfg.fault_counts.iter().position(|&f| f == faults),
+            cfg.rates.iter().position(|&r| rate_close(r, rate)),
+            cfg.routers.iter().position(|&k| k == router),
+        );
+        match pos {
+            (Some(fi), Some(ri), Some(ki)) => GridIndex::new(self).at(fi, ri, ki),
+            // Key off the config axes: a hand-assembled result may
+            // hold points the axes don't name — keep the original
+            // exhaustive search for those.
+            _ => self
+                .points
+                .iter()
+                .find(|p| p.router == router && p.faults == faults && rate_close(p.rate, rate)),
+        }
     }
 
     /// One latency table per fault density: rows = injection rates,
     /// columns = routers (mean latency in cycles, `sat`/`dead` markers
     /// past the saturation point).
     pub fn latency_tables(&self) -> Vec<Table> {
+        let grid = GridIndex::new(self);
         self.config
             .fault_counts
             .iter()
-            .map(|&fc| {
+            .enumerate()
+            .map(|(fi, &fc)| {
                 let mut headers = vec!["rate".to_string()];
                 headers.extend(self.config.routers.iter().map(|r| r.name().to_string()));
                 let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -119,10 +221,10 @@ impl LoadSweepResult {
                     ),
                     &header_refs,
                 );
-                for &rate in &self.config.rates {
+                for (ri, &rate) in self.config.rates.iter().enumerate() {
                     let mut row = vec![f3(rate)];
-                    for &r in &self.config.routers {
-                        row.push(match self.point(r, fc, rate) {
+                    for ki in 0..self.config.routers.len() {
+                        row.push(match grid.at(fi, ri, ki) {
                             Some(p) if p.stats.deadlocked => "dead".to_string(),
                             Some(p) if p.stats.saturated => "sat".to_string(),
                             Some(p) => f1(p.stats.mean_latency()),
@@ -173,7 +275,9 @@ impl LoadSweepResult {
                  \"accepted_flits_per_node_cycle\": {:.6}, \"delivered_pct\": {:.3}, \
                  \"generated\": {}, \"measured_generated\": {}, \"measured_delivered\": {}, \
                  \"unroutable\": {}, \"ttl_dropped\": {}, \"escape_packets\": {}, \
-                 \"cycles\": {}, \"saturated\": {}, \"deadlocked\": {}}}{}\n",
+                 \"cycles\": {}, \"saturated\": {}, \"deadlocked\": {}, \
+                 \"simulated\": {}, \"flits_moved\": {}, \"sim_wall_ms\": {:.3}, \
+                 \"mflits_per_sec\": {:.3}}}{}\n",
                 p.router.name(),
                 p.faults,
                 p.rate,
@@ -191,6 +295,10 @@ impl LoadSweepResult {
                 st.cycles,
                 st.saturated,
                 st.deadlocked,
+                p.simulated,
+                st.flits_moved,
+                p.sim_wall_ms,
+                p.mflits_per_sec(),
                 if i + 1 == self.points.len() { "" } else { "," },
             ));
         }
@@ -200,10 +308,12 @@ impl LoadSweepResult {
 
     /// Accepted-throughput table (flits/node/cycle) per fault density.
     pub fn throughput_tables(&self) -> Vec<Table> {
+        let grid = GridIndex::new(self);
         self.config
             .fault_counts
             .iter()
-            .map(|&fc| {
+            .enumerate()
+            .map(|(fi, &fc)| {
                 let mut headers = vec!["rate".to_string()];
                 headers.extend(self.config.routers.iter().map(|r| r.name().to_string()));
                 let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -214,10 +324,13 @@ impl LoadSweepResult {
                     ),
                     &header_refs,
                 );
-                for &rate in &self.config.rates {
+                for (ri, &rate) in self.config.rates.iter().enumerate() {
                     let mut row = vec![f3(rate)];
-                    for &r in &self.config.routers {
-                        row.push(match self.point(r, fc, rate) {
+                    for ki in 0..self.config.routers.len() {
+                        row.push(match grid.at(fi, ri, ki) {
+                            // Early-exited points have no measured
+                            // throughput — mark, don't print 0.000.
+                            Some(p) if !p.simulated => "sat".to_string(),
                             Some(p) => f3(p.stats.accepted_flits_per_node_cycle()),
                             None => "-".to_string(),
                         });
@@ -227,6 +340,30 @@ impl LoadSweepResult {
                 t
             })
             .collect()
+    }
+}
+
+/// The synthesized statistics of a rate-ladder early exit: the
+/// `saturated` verdict inherited from a lower rate, zeroed counters (no
+/// cycles were simulated), and the real healthy-node count so the point
+/// stays comparable in per-node denominators.
+fn saturated_placeholder(net: &Network, sim: &SimConfig) -> TrafficStats {
+    let faults = net.faults();
+    TrafficStats {
+        cycles: 0,
+        nodes: net.mesh().iter().filter(|&c| faults.is_healthy(c)).count(),
+        measure_window: sim.measure,
+        generated: 0,
+        measured_generated: 0,
+        measured_delivered: 0,
+        unroutable: 0,
+        ttl_dropped: 0,
+        escape_packets: 0,
+        measured_flits_ejected: 0,
+        flits_moved: 0,
+        latency: LatencyHistogram::new(1),
+        saturated: true,
+        deadlocked: false,
     }
 }
 
@@ -280,15 +417,47 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
                 while let Ok((fi, ki)) = rx_task.recv() {
                     let faults = cfg.fault_counts[fi];
                     let router = cfg.routers[ki];
-                    let mut paths = PathTable::new(&nets[fi], router);
+                    let net = &nets[fi];
+                    let mut paths = PathTable::new(net, router);
+                    // Lowest rate at which this (router, faults) ladder
+                    // saturated or deadlocked: offered load only grows
+                    // with the rate, so every higher rate inherits the
+                    // verdict without simulating (early exit).
+                    let mut sat_from: Option<f64> = None;
                     for (ri, &rate) in cfg.rates.iter().enumerate() {
-                        let sim = SimConfig {
-                            rate,
-                            seed: derive_seed(cfg.seed, fi as u64, ri as u64 + 1),
-                            ..cfg.sim.clone()
+                        let point = if cfg.early_exit && sat_from.is_some_and(|s| rate >= s) {
+                            LoadPoint {
+                                router,
+                                faults,
+                                rate,
+                                stats: saturated_placeholder(net, &cfg.sim),
+                                simulated: false,
+                                sim_wall_ms: 0.0,
+                            }
+                        } else {
+                            let sim = SimConfig {
+                                rate,
+                                seed: derive_seed(cfg.seed, fi as u64, ri as u64 + 1),
+                                ..cfg.sim.clone()
+                            };
+                            // The stall observer only ever cuts a
+                            // *wedged* drain short (4 consecutive
+                            // delivery-free windows), so live runs —
+                            // including honestly-saturated ones that
+                            // keep draining — are untouched.
+                            let mut obs = DrainStallObserver::new(4);
+                            let started = Instant::now();
+                            let stats = if cfg.early_exit {
+                                run_traffic_reusing_with(&mut paths, &sim, &mut obs)
+                            } else {
+                                run_traffic_reusing_with(&mut paths, &sim, &mut ())
+                            };
+                            let sim_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                            if stats.saturated || stats.deadlocked {
+                                sat_from = Some(sat_from.map_or(rate, |s: f64| s.min(rate)));
+                            }
+                            LoadPoint { router, faults, rate, stats, simulated: true, sim_wall_ms }
                         };
-                        let stats = run_traffic_reusing(&mut paths, &sim);
-                        let point = LoadPoint { router, faults, rate, stats };
                         let idx = (fi * n_rates + ri) * n_routers + ki;
                         tx_res.send((idx, point)).expect("result channel open");
                     }
@@ -349,11 +518,82 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
         assert_eq!(json.matches("\"router\"").count(), res.points.len());
-        for key in ["\"mean_latency\"", "\"escape_packets\"", "\"deadlocked\"", "\"escape_vcs\""] {
+        for key in [
+            "\"mean_latency\"",
+            "\"escape_packets\"",
+            "\"deadlocked\"",
+            "\"escape_vcs\"",
+            "\"sim_wall_ms\"",
+            "\"mflits_per_sec\"",
+            "\"flits_moved\"",
+            "\"simulated\"",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Every smoke point is low-load, hence actually simulated, with
+        // a recorded wall clock and work total.
+        for p in &res.points {
+            assert!(p.simulated, "no smoke point saturates, none may be skipped");
+            assert!(p.sim_wall_ms > 0.0, "simulated points must record wall time");
+            assert!(p.stats.flits_moved > 0, "simulated points must record flit-hops");
         }
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
+    }
+
+    #[test]
+    fn point_still_finds_entries_off_the_config_axes() {
+        // A hand-assembled result may hold points the config axes
+        // don't name; the grid index must fall back to the exhaustive
+        // search for those rather than returning None.
+        let cfg = LoadSweepConfig { threads: 1, ..LoadSweepConfig::smoke() };
+        let mut res = run_load_sweep(&cfg);
+        let mut stray = res.points[0].clone();
+        stray.faults = 7; // not in cfg.fault_counts
+        res.points.push(stray.clone());
+        let found = res.point(stray.router, 7, stray.rate).expect("off-axis point reachable");
+        assert_eq!(found.faults, 7);
+        // On-axis lookups still resolve through the arithmetic index.
+        let p = &res.points[0];
+        assert!(res.point(p.router, p.faults, p.rate).is_some());
+    }
+
+    #[test]
+    fn early_exit_marks_higher_rates_saturated_without_simulating() {
+        // 0.3 packets/node/cycle on a 6x6 mesh is several times past
+        // capacity: the ladder saturates at its first rate, so the
+        // higher rates must be synthesized, not resimulated.
+        let cfg = LoadSweepConfig {
+            mesh: 6,
+            fault_counts: vec![0],
+            rates: vec![0.3, 0.6, 0.9],
+            routers: vec![RoutingKind::Xy],
+            sim: SimConfig { warmup: 50, measure: 300, drain: 150, ..SimConfig::default() },
+            threads: 1,
+            ..Default::default()
+        };
+        assert!(cfg.early_exit, "early exit is the default");
+        let res = run_load_sweep(&cfg);
+        let first = res.point(RoutingKind::Xy, 0, 0.3).expect("swept");
+        assert!(first.simulated, "the saturation onset itself is simulated");
+        assert!(first.stats.saturated || first.stats.deadlocked);
+        assert!(first.sim_wall_ms > 0.0);
+        for &rate in &[0.6, 0.9] {
+            let p = res.point(RoutingKind::Xy, 0, rate).expect("swept");
+            assert!(!p.simulated, "rate {rate} must be early-exited");
+            assert!(p.stats.saturated && !p.stats.deadlocked);
+            assert_eq!(p.stats.cycles, 0, "never resimulated");
+            assert_eq!(p.sim_wall_ms, 0.0);
+            assert_eq!(p.stats.nodes, 36, "healthy-node denominator still real");
+        }
+        // Tables render the synthesized points as `sat`, not as
+        // misleading zeros.
+        let lat = res.latency_tables();
+        assert!(lat[0].to_text().matches("sat").count() >= 2, "{}", lat[0].to_text());
+        // With early exit disabled, every point is simulated.
+        let full = run_load_sweep(&LoadSweepConfig { early_exit: false, ..cfg });
+        assert!(full.points.iter().all(|p| p.simulated));
+        assert!(full.points.iter().all(|p| p.stats.saturated || p.stats.deadlocked));
     }
 
     #[test]

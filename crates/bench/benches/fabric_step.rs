@@ -1,0 +1,57 @@
+//! The fabric stepping hot loop in isolation: cycles/second of
+//! `Fabric::step` on a 16x16 mesh at three occupancy regimes —
+//! near-idle (the paper-relevant ~2% injection, where the event-driven
+//! worklist pays off most), mid-load, and saturated (worst case: every
+//! router stays active, so the bitmask allocator carries the load).
+//!
+//! Each iteration is one full warmup/measure/drain run over a shared
+//! pre-compiled path table, so the timing is stepping + injection, not
+//! route compilation. A per-regime header line reports the cycle and
+//! flit-hop count of one run; divide by the reported time per
+//! iteration for cycles/sec and flit-hops/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshpath::prelude::*;
+use meshpath::traffic::{run_traffic_reusing, PathTable, RoutingKind, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // A 16x16 mesh at ~3% faults: the load sweep's operating point.
+    let net = fixture_network_16(8, 21);
+
+    let mut g = c.benchmark_group("fabric_step");
+    g.sample_size(10);
+    // Injection rates spanning the occupancy regimes. 0.02 is the top
+    // of the default low-load sweep; 0.30 is far past saturation, so
+    // the fabric runs with every VC contended until the drain deadline.
+    for (name, rate) in [("low_2pct", 0.02), ("mid_4pct", 0.04), ("saturated_30pct", 0.30)] {
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let cfg = SimConfig { rate, warmup: 100, measure: 400, drain: 500, ..SimConfig::default() };
+        let probe = run_traffic_reusing(&mut paths, &cfg);
+        println!(
+            "fabric_step/{name}: {} cycles, {} flit-hops per run{}",
+            probe.cycles,
+            probe.flits_moved,
+            if probe.saturated || probe.deadlocked { " (saturated)" } else { "" },
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let stats = run_traffic_reusing(&mut paths, black_box(&cfg));
+                black_box(stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A 16x16 network (the standard fixtures are 40x40).
+fn fixture_network_16(faults: usize, seed: u64) -> Network {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mesh = Mesh::square(16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -31,11 +31,15 @@ const DEFAULT_SAMPLES: usize = 12;
 /// The benchmark driver.
 pub struct Criterion {
     samples: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { samples: DEFAULT_SAMPLES }
+        // `cargo bench ... -- --test` runs every benchmark once without
+        // timing — real criterion's smoke mode, used by CI to keep the
+        // benches from rotting without paying for measurements.
+        Criterion { samples: DEFAULT_SAMPLES, test_mode: std::env::args().any(|a| a == "--test") }
     }
 }
 
@@ -45,18 +49,30 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.samples, &mut f);
+        run_one(name, self.samples, self.test_mode, &mut f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), samples: self.samples, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
     }
 
     /// Sets the sample count for subsequently registered benchmarks.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.samples = n.max(2);
+        self
+    }
+
+    /// Forces smoke mode (each routine runs once, untimed) on or off —
+    /// what `--test` on the command line sets.
+    pub fn test_mode(&mut self, on: bool) -> &mut Self {
+        self.test_mode = on;
         self
     }
 }
@@ -65,6 +81,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -82,7 +99,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
-        run_one(&label, self.samples, &mut f);
+        run_one(&label, self.samples, self.test_mode, &mut f);
         self
     }
 
@@ -94,7 +111,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &T),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
-        run_one(&label, self.samples, &mut |b: &mut Bencher| f(b, input));
+        run_one(&label, self.samples, self.test_mode, &mut |b: &mut Bencher| f(b, input));
         self
     }
 
@@ -163,10 +180,16 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(name: &str, samples: usize, f: &mut F)
+fn run_one<F>(name: &str, samples: usize, test_mode: bool, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode {
+        let mut b = Bencher { batch: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{name:<50} ok (test mode: 1 iteration, untimed)");
+        return;
+    }
     // Warm-up + batch sizing: grow the batch until one sample costs at
     // least ~1 ms so short routines are measured above timer noise.
     let mut batch = 1u64;
@@ -232,10 +255,24 @@ mod tests {
     #[test]
     fn bench_function_runs_routine() {
         let mut c = Criterion::default();
-        c.sample_size(2);
+        c.sample_size(2).test_mode(false);
         let mut runs = 0u64;
         c.bench_function("smoke", |b| b.iter(|| runs += 1));
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion::default();
+        c.test_mode(true);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode is a single untimed iteration");
+        let mut g = c.benchmark_group("g");
+        let mut grp_runs = 0u64;
+        g.bench_function("one", |b| b.iter(|| grp_runs += 1));
+        g.finish();
+        assert_eq!(grp_runs, 1, "groups inherit test mode");
     }
 
     #[test]

@@ -90,6 +90,19 @@ pub struct SimConfig {
     /// VCs bound blocking, the other routers no longer need the cap.
     /// `Some(u32::MAX)` disables the cap for every router.
     pub route_ttl: Option<u32>,
+    /// Streaming-statistics window length in cycles: every
+    /// `stats_window` cycles, [`TrafficSim::run_with`] hands a
+    /// [`WindowSample`] (window mean latency, accepted flits, in-flight
+    /// and backlog) to its [`WindowObserver`]; `0` disables windowing.
+    /// Plain [`TrafficSim::run`] attaches the null observer, so the
+    /// window length never changes simulation results — observers can
+    /// only *end* a run early, never steer it.
+    ///
+    /// [`TrafficSim::run`]: crate::TrafficSim::run
+    /// [`TrafficSim::run_with`]: crate::TrafficSim::run_with
+    /// [`WindowSample`]: crate::WindowSample
+    /// [`WindowObserver`]: crate::WindowObserver
+    pub stats_window: u64,
 }
 
 impl Default for SimConfig {
@@ -107,6 +120,7 @@ impl Default for SimConfig {
             seed: 0x2007_0325,
             pattern: TrafficPattern::UniformRandom,
             route_ttl: None,
+            stats_window: 250,
         }
     }
 }
@@ -145,6 +159,7 @@ mod tests {
             matches!(c.policy, RoutePolicy::EscapeAdaptive { .. }) && c.escape_vcs >= 1,
             "default policy must be escape-adaptive with a reserved channel"
         );
+        assert!(c.stats_window > 0, "streaming windows should be on by default");
         let f = c.with_rate(0.25);
         assert_eq!(f.rate, 0.25);
         assert_eq!(f.vcs, c.vcs);

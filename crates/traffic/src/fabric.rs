@@ -41,19 +41,56 @@
 //! `hops + PIPELINE_DEPTH` ([`crate::PIPELINE_DEPTH`] = 2), and a
 //! packet of `L` flits finishes `L - 1` cycles after its head.
 //!
+//! ## Event-driven stepping
+//!
+//! A router with no occupied input VC can grant nothing, so
+//! [`Fabric::step`] visits only *active* routers: a worklist tracks
+//! every node with at least one non-empty input-VC queue (membership
+//! maintained at flit arrival and queue drain), and idle routers cost
+//! zero. At the paper-relevant injection rates (0.2%–5%) the fabric is
+//! over 95% idle, which makes this the difference between `O(nodes)`
+//! and `O(flits in flight)` per cycle.
+//!
+//! Within an active router the per-cycle work is bitmask-driven:
+//!
+//! * an *occupancy mask* (one bit per `(input port, VC)` slot) feeds
+//!   the switch allocator, so only occupied slots are examined;
+//! * per output port, a *request mask* of the slots whose queue-head
+//!   flit wants that port this cycle replaces the original linear
+//!   round-robin scan — the grant is `first set bit at or after the
+//!   round-robin pointer`, two instructions instead of a 25-slot walk;
+//! * per `(output direction, VC class)`, a *free-VC mask* (bit set
+//!   while `owner == None && credits > 0`) turns the lowest-free-VC
+//!   probe in VC allocation into `trailing_zeros`.
+//!
+//! Request masks are planned once per router per cycle (one
+//! [`HopRouter::decide`] call per parked head instead of one per
+//! output-port pass) and *replanned* for the still-pending unrouted
+//! heads whenever a grant changes an output port's free-VC mask —
+//! exactly the state a per-pass re-evaluation would have seen, so the
+//! grant sequence is bit-identical to the original scan order (pinned
+//! by the golden-equivalence suite in `crate::golden` against
+//! `Fabric::step_reference`, the retained test-only reference
+//! stepper).
+//! Likewise the escape-patience aging pass walks the occupied slots of
+//! active routers — the parked heads — instead of every input VC in the
+//! mesh.
+//!
 //! ## Determinism
 //!
 //! All state lives in dense vectors indexed by `(node, port, vc)`;
-//! iteration order is fixed; arrivals and credit returns are staged and
-//! committed at the cycle boundary. Hop routers are consulted in that
-//! same fixed order and their decisions depend only on packet and
-//! network state, so two runs with identical inputs are bit-identical.
+//! arrivals and credit returns are staged and committed at the cycle
+//! boundary, so allocation at one router never observes another
+//! router's same-cycle grants — which is also why the worklist's visit
+//! order cannot influence results. Hop-router decisions depend only on
+//! packet and network state, so two runs with identical inputs are
+//! bit-identical.
 
 use std::collections::VecDeque;
 
 use meshpath_mesh::{Coord, Dir, Mesh, NodeId};
 
-use crate::routing::{HopDecision, HopRouter, VcClass};
+use crate::routing::{HopCandidates, HopDecision, HopRouter, VcClass};
 
 /// Directional ports (index = `Dir as usize`: `+X, -X, +Y, -Y`).
 const DIRS: usize = 4;
@@ -65,6 +102,12 @@ const IN_PORTS: usize = 5;
 const EJECT_PORT: usize = 4;
 /// Output ports per router.
 const OUT_PORTS: usize = 5;
+/// Upper bound on `(input port, VC)` slots per router — the occupancy
+/// and request bitmasks pack one bit per slot into a `u64`.
+const MAX_SLOTS: usize = 64;
+/// Upper bound on VCs per port implied by `MAX_SLOTS` (and by the
+/// per-direction free-VC masks being `u32`).
+const MAX_VCS: usize = MAX_SLOTS / IN_PORTS;
 
 /// One flit on the wire. Packets are identified by the index returned
 /// from [`Fabric::register_packet`].
@@ -188,6 +231,21 @@ pub struct Fabric {
     in_flight: u64,
     /// Packets that have committed to the escape class so far.
     escape_entries: u64,
+    /// Per-node occupancy bitmask: bit `in_port * vcs + vc` is set while
+    /// that input VC's queue is non-empty.
+    occ_mask: Vec<u64>,
+    /// Per-`(node, dir)` free-VC bitmask: bit `vc` is set while the
+    /// output VC is allocatable (`owner == None && credits > 0`).
+    free_mask: Vec<u32>,
+    /// VC-index masks of the three [`VcClass`]es (same partition as
+    /// [`Fabric::class_range`]).
+    class_masks: [u32; 3],
+    /// Active routers: every node with `occ_mask != 0` is present
+    /// (plus, transiently, nodes drained this cycle — removed lazily at
+    /// their next visit).
+    worklist: Vec<u32>,
+    /// Worklist membership flag per node.
+    in_worklist: Vec<bool>,
 }
 
 impl Fabric {
@@ -196,14 +254,18 @@ impl Fabric {
     /// `escape_vcs` of which form the reserved escape class.
     ///
     /// # Panics
-    /// Panics when `vcs` or `vc_depth` is zero, or when `escape_vcs`
-    /// leaves no adaptive channel (`escape_vcs >= vcs`).
+    /// Panics when `vcs` or `vc_depth` is zero, when `escape_vcs`
+    /// leaves no adaptive channel (`escape_vcs >= vcs`), or when `vcs`
+    /// exceeds `MAX_VCS` = 12 (the occupancy/request bitmasks pack
+    /// `IN_PORTS * vcs` slots into a `u64`).
     pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize, escape_vcs: usize) -> Self {
         assert!(vcs > 0, "need at least one virtual channel");
+        assert!(vcs <= MAX_VCS, "at most {MAX_VCS} VCs per port (bitmask width)");
         assert!(vc_depth > 0, "need at least one buffer slot per VC");
         assert!(escape_vcs < vcs, "escape class must leave at least one adaptive VC");
         let nodes = mesh.len();
-        Fabric {
+        let bits = |r: std::ops::Range<usize>| ((1u32 << r.end) - 1) & !((1u32 << r.start) - 1);
+        let mut fabric = Fabric {
             mesh,
             vcs,
             vc_depth,
@@ -216,7 +278,16 @@ impl Fabric {
             credit_returns: Vec::new(),
             in_flight: 0,
             escape_entries: 0,
+            occ_mask: vec![0; nodes],
+            free_mask: vec![bits(0..vcs); nodes * DIRS],
+            class_masks: [0; 3],
+            worklist: Vec::new(),
+            in_worklist: vec![false; nodes],
+        };
+        for class in [VcClass::Adaptive, VcClass::EscapeXy, VcClass::EscapeTree] {
+            fabric.class_masks[class as usize] = bits(fabric.class_range(class));
         }
+        fabric
     }
 
     /// The mesh this fabric spans.
@@ -288,13 +359,43 @@ impl Fabric {
         }
     }
 
-    /// Lowest free (unowned, credited) VC of `class` on `(node, dir)`.
+    /// Lowest free (unowned, credited) VC of `class` on `(node, dir)`,
+    /// resolved from the free-VC bitmask in two instructions.
     #[inline]
     fn free_vc(&self, node: usize, dir: usize, class: VcClass) -> Option<usize> {
-        self.class_range(class).find(|&v| {
-            let o = &self.out_vcs[self.out_idx(node, dir, v)];
-            o.owner.is_none() && o.credits > 0
+        let m = self.free_mask[node * DIRS + dir] & self.class_masks[class as usize];
+        (m != 0).then(|| m.trailing_zeros() as usize)
+    }
+
+    /// The first candidate with an allocatable VC this cycle:
+    /// `(out port, out vc, class)`, or `None` (the head waits).
+    #[inline]
+    fn pick_candidate(
+        &self,
+        node: usize,
+        cands: &HopCandidates,
+    ) -> Option<(usize, usize, VcClass)> {
+        cands.iter().find_map(|c| {
+            self.free_vc(node, c.dir as usize, c.class).map(|v| (c.dir as usize, v, c.class))
         })
+    }
+
+    /// Recomputes the free bit of out VC `(node, out_port, v)` from its
+    /// owner/credit state; returns whether the bit flipped (the signal
+    /// that pending heads must re-pick their candidates).
+    #[inline]
+    fn refresh_free_bit(&mut self, node: usize, out_port: usize, v: usize) -> bool {
+        let o = &self.out_vcs[self.out_idx(node, out_port, v)];
+        let now_free = o.owner.is_none() && o.credits > 0;
+        let fm = &mut self.free_mask[node * DIRS + out_port];
+        let bit = 1u32 << v;
+        let was_free = *fm & bit != 0;
+        if now_free {
+            *fm |= bit;
+        } else {
+            *fm &= !bit;
+        }
+        now_free != was_free
     }
 
     /// Snapshot of every occupied input VC head. Diagnostic aid for
@@ -322,18 +423,309 @@ impl Fabric {
     }
 
     /// Runs one cycle of switch allocation + link traversal over every
-    /// router, consulting `router` for every parked head flit. Tail
-    /// flits that reach their destination's ejection port are appended
-    /// to `ejected_tails` (the delivery completes one cycle later — the
+    /// *active* router (see the module docs on event-driven stepping),
+    /// consulting `router` for every parked head flit. Tail flits that
+    /// reach their destination's ejection port are appended to
+    /// `ejected_tails` (the delivery completes one cycle later — the
     /// ejection link; the driver adds that cycle).
     pub fn step(&mut self, router: &mut dyn HopRouter, ejected_tails: &mut Vec<u32>) -> StepReport {
+        let mut report = StepReport::default();
+        // Allocation over the active-router worklist; nodes drained
+        // since their last visit are removed lazily. Visit order cannot
+        // affect results: same-cycle grants at different routers touch
+        // disjoint state (arrivals and credits are staged).
+        let mut i = 0;
+        while i < self.worklist.len() {
+            let node = self.worklist[i] as usize;
+            if self.occ_mask[node] == 0 {
+                self.in_worklist[node] = false;
+                self.worklist.swap_remove(i);
+                continue;
+            }
+            self.allocate_node(node, router, &mut report, ejected_tails);
+            i += 1;
+        }
+        self.age_parked_heads();
+        self.commit_boundary();
+        report
+    }
+
+    /// Switch allocation for one active router: plan what every
+    /// occupied input VC requests this cycle, then grant each output
+    /// port round-robin from its request mask.
+    fn allocate_node(
+        &mut self,
+        node: usize,
+        router: &mut dyn HopRouter,
+        report: &mut StepReport,
+        ejected_tails: &mut Vec<u32>,
+    ) {
+        let here = self.mesh.coord(NodeId(node as u32));
+        let vcs = self.vcs;
+        let slots = IN_PORTS * vcs;
+
+        // Phase 1 — plan. For every occupied slot, which output port
+        // does its queue-head flit want (request masks), and — for
+        // unrouted heads — which (VC, class) would it allocate
+        // (`head_pick`). Heads keep their full candidate list
+        // (`head_cands`) so they can re-pick after a grant changes VC
+        // availability.
+        let mut requests = [0u64; OUT_PORTS];
+        let mut head_mask = 0u64;
+        let mut head_cands = [HopCandidates::default(); MAX_SLOTS];
+        let mut head_pick = [(0u8, VcClass::Adaptive); MAX_SLOTS];
+        let mut m = self.occ_mask[node];
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let in_idx = node * slots + slot;
+            match self.in_vcs[in_idx].route {
+                // Body/tail of a routed worm: follow the held VC, gated
+                // on a credit.
+                Some((p, v)) if (p as usize) != EJECT_PORT => {
+                    if self.out_vcs[self.out_idx(node, p as usize, v as usize)].credits > 0 {
+                        requests[p as usize] |= 1 << slot;
+                    }
+                }
+                Some(_) => requests[EJECT_PORT] |= 1 << slot,
+                // Unrouted head: ask the hop router (once per cycle).
+                None => {
+                    let flit = self.in_vcs[in_idx].queue.front().expect("occupied slot");
+                    debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
+                    let pk = &self.packets[flit.packet as usize];
+                    match router.decide(here, pk) {
+                        HopDecision::Eject => requests[EJECT_PORT] |= 1 << slot,
+                        HopDecision::Route(candidates) => {
+                            head_mask |= 1 << slot;
+                            head_cands[slot] = candidates;
+                            // First candidate with an allocatable VC
+                            // this cycle wins; none => the head waits.
+                            if let Some((port, v, class)) = self.pick_candidate(node, &candidates) {
+                                requests[port] |= 1 << slot;
+                                head_pick[slot] = (v as u8, class);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — grant. One flit per output port, one per input port
+        // (the crossbar constraint, enforced through `usable`),
+        // round-robin from each port's request mask.
+        let mut usable = !0u64;
+        for out_port in 0..OUT_PORTS {
+            let cand = requests[out_port] & usable;
+            if cand == 0 {
+                continue;
+            }
+            let start = (self.rr[node * OUT_PORTS + out_port] as usize) % slots;
+            let hi = cand & (!0u64 << start);
+            let slot = if hi != 0 { hi.trailing_zeros() } else { cand.trailing_zeros() } as usize;
+            let link = match self.in_vcs[node * slots + slot].route {
+                Some((p, v)) if (p as usize) != EJECT_PORT => {
+                    debug_assert_eq!(p as usize, out_port);
+                    Some((v as usize, None))
+                }
+                Some(_) => None,
+                None => {
+                    let (v, class) = head_pick[slot];
+                    if out_port == EJECT_PORT {
+                        None
+                    } else {
+                        Some((v as usize, Some(class)))
+                    }
+                }
+            };
+            let freed = self.commit_grant(node, here, slot, out_port, link, report, ejected_tails);
+            usable &= !(((1u64 << vcs) - 1) << (slot / vcs * vcs));
+            if freed {
+                // A VC on `out_port` was allocated or released:
+                // still-pending unrouted heads re-pick their first
+                // allocatable candidate — exactly the state a per-pass
+                // re-evaluation (the reference stepper) would see.
+                let mut hm = head_mask & usable;
+                while hm != 0 {
+                    let s = hm.trailing_zeros() as usize;
+                    hm &= hm - 1;
+                    for r in requests.iter_mut() {
+                        *r &= !(1u64 << s);
+                    }
+                    if let Some((port, v, class)) = self.pick_candidate(node, &head_cands[s]) {
+                        requests[port] |= 1 << s;
+                        head_pick[s] = (v as u8, class);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one grant: pops the flit, maintains the occupancy mask,
+    /// advances the round-robin pointer, stages the upstream credit and
+    /// either consumes the flit at the ejection port or forwards it
+    /// across the link. `link` is `None` for ejection and
+    /// `Some((out_vc, newly_allocated_class))` for a link grant.
+    /// Returns whether the grant flipped a free-VC bit on `out_port`.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_grant(
+        &mut self,
+        node: usize,
+        here: Coord,
+        slot: usize,
+        out_port: usize,
+        link: Option<(usize, Option<VcClass>)>,
+        report: &mut StepReport,
+        ejected_tails: &mut Vec<u32>,
+    ) -> bool {
+        let vcs = self.vcs;
+        let (in_port, vc) = (slot / vcs, slot % vcs);
+        let in_idx = node * IN_PORTS * vcs + slot;
+        let flit = self.in_vcs[in_idx].queue.pop_front().expect("granted slots are occupied");
+        if self.in_vcs[in_idx].queue.is_empty() {
+            self.occ_mask[node] &= !(1u64 << slot);
+        }
+        self.rr[node * OUT_PORTS + out_port] = (slot + 1) as u32;
+        report.moved += 1;
+
+        // Credit back to the upstream router that feeds this input VC
+        // (none for the local injection port).
+        if in_port != LOCAL_PORT {
+            let to_upstream = Dir::ALL[in_port];
+            let upstream = here.step(to_upstream);
+            debug_assert!(self.mesh.contains(upstream), "link from outside the mesh");
+            let up_id = self.mesh.id(upstream).index();
+            let up_dir = to_upstream.opposite() as usize;
+            self.credit_returns.push(self.out_idx(up_id, up_dir, vc));
+        }
+
+        if out_port == EJECT_PORT {
+            self.in_flight -= 1;
+            report.flits_ejected += 1;
+            if flit.is_head {
+                self.in_vcs[in_idx].route = Some((EJECT_PORT as u8, 0));
+                self.packets[flit.packet as usize].stalled = 0;
+            }
+            if flit.is_tail {
+                self.in_vcs[in_idx].route = None;
+                ejected_tails.push(flit.packet);
+            }
+            false
+        } else {
+            let (v, new_class) = link.expect("links always carry a VC pick");
+            let out_idx = self.out_idx(node, out_port, v);
+            if let Some(class) = new_class {
+                self.out_vcs[out_idx].owner = Some(flit.packet);
+                let pk = &mut self.packets[flit.packet as usize];
+                if class != VcClass::Adaptive && pk.mode == VcClass::Adaptive {
+                    pk.mode = class;
+                    self.escape_entries += 1;
+                }
+            }
+            self.in_vcs[in_idx].route = Some((out_port as u8, v as u8));
+            self.out_vcs[out_idx].credits -= 1;
+            if flit.is_head {
+                let pk = &mut self.packets[flit.packet as usize];
+                pk.head_hop += 1;
+                pk.stalled = 0;
+            }
+            if flit.is_tail {
+                self.out_vcs[out_idx].owner = None;
+                self.in_vcs[in_idx].route = None;
+            }
+            let freed = self.refresh_free_bit(node, out_port, v);
+            let dir = Dir::ALL[out_port];
+            let next = here.step(dir);
+            debug_assert!(self.mesh.contains(next), "hop decision leaves the mesh");
+            let next_id = self.mesh.id(next).index();
+            let next_in = dir.opposite() as usize;
+            let next_idx = self.in_idx(next_id, next_in, v);
+            self.arrivals.push((next_idx, flit));
+            freed
+        }
+    }
+
+    /// Escape-patience clock: heads still parked without an output
+    /// after this cycle's allocation age by one. Only occupied slots of
+    /// active routers can hold a parked head, so only those are
+    /// walked. Gated on the escape class existing — with no escape VCs
+    /// the counter is unused.
+    fn age_parked_heads(&mut self) {
+        if self.escape_vcs == 0 {
+            return;
+        }
+        let slots = IN_PORTS * self.vcs;
+        for i in 0..self.worklist.len() {
+            let node = self.worklist[i] as usize;
+            let mut m = self.occ_mask[node];
+            while m != 0 {
+                let slot = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let v = &self.in_vcs[node * slots + slot];
+                if v.route.is_none() {
+                    if let Some(f) = v.queue.front() {
+                        if f.is_head {
+                            self.packets[f.packet as usize].stalled += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cycle boundary: arrivals land (activating their routers),
+    /// credits return (refreshing free-VC bits).
+    fn commit_boundary(&mut self) {
+        let slots = IN_PORTS * self.vcs;
+        let vcs = self.vcs;
+        let depth = self.vc_depth;
+        for (idx, flit) in self.arrivals.drain(..) {
+            let q = &mut self.in_vcs[idx].queue;
+            let was_empty = q.is_empty();
+            q.push_back(flit);
+            debug_assert!(
+                q.len() <= depth,
+                "buffer overflow at in_vc {idx}: credit accounting broken"
+            );
+            if was_empty {
+                let node = idx / slots;
+                self.occ_mask[node] |= 1u64 << (idx % slots);
+                if !self.in_worklist[node] {
+                    self.in_worklist[node] = true;
+                    self.worklist.push(node as u32);
+                }
+            }
+        }
+        for idx in self.credit_returns.drain(..) {
+            let o = &mut self.out_vcs[idx];
+            o.credits += 1;
+            debug_assert!(o.credits <= depth as u32, "credit overflow at out_vc {idx}");
+            if o.owner.is_none() {
+                self.free_mask[idx / vcs] |= 1 << (idx % vcs);
+            }
+        }
+    }
+
+    /// The original scan-order stepper, retained verbatim as the golden
+    /// reference: every router, every output port, a linear round-robin
+    /// walk over all `(input port, VC)` slots, and a linear free-VC
+    /// probe straight off the owner/credit state (it never reads the
+    /// bitmasks, so it cannot inherit a bookkeeping bug from them). It
+    /// shares [`Fabric::commit_grant`] and [`Fabric::commit_boundary`]
+    /// with the event-driven stepper, which keep the masks and worklist
+    /// maintained — the two steppers can be interleaved mid-run.
+    #[cfg(test)]
+    pub(crate) fn step_reference(
+        &mut self,
+        router: &mut dyn HopRouter,
+        ejected_tails: &mut Vec<u32>,
+    ) -> StepReport {
         let mut report = StepReport::default();
         let nodes = self.mesh.len();
         for node in 0..nodes {
             let here = self.mesh.coord(NodeId(node as u32));
             let mut in_port_used = [false; IN_PORTS];
             for out_port in 0..OUT_PORTS {
-                self.allocate_output(
+                self.allocate_output_reference(
                     node,
                     here,
                     out_port,
@@ -344,9 +736,6 @@ impl Fabric {
                 );
             }
         }
-        // Escape-patience clock: heads still parked without an output
-        // after this cycle's allocation age by one. Gated on the escape
-        // class existing — with no escape VCs the counter is unused.
         if self.escape_vcs > 0 {
             for idx in 0..self.in_vcs.len() {
                 let v = &self.in_vcs[idx];
@@ -359,29 +748,15 @@ impl Fabric {
                 }
             }
         }
-        // Cycle boundary: arrivals land, credits return.
-        for (idx, flit) in self.arrivals.drain(..) {
-            let q = &mut self.in_vcs[idx].queue;
-            q.push_back(flit);
-            debug_assert!(
-                q.len() <= self.vc_depth,
-                "buffer overflow at in_vc {idx}: credit accounting broken"
-            );
-        }
-        for idx in self.credit_returns.drain(..) {
-            self.out_vcs[idx].credits += 1;
-            debug_assert!(
-                self.out_vcs[idx].credits <= self.vc_depth as u32,
-                "credit overflow at out_vc {idx}"
-            );
-        }
+        self.commit_boundary();
         report
     }
 
-    /// Grants at most one flit to `out_port` of `node`, round-robin over
-    /// the requesting input VCs.
+    /// Reference-stepper grant pass for one output port (the original
+    /// linear scan; see [`Fabric::step_reference`]).
+    #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
-    fn allocate_output(
+    fn allocate_output_reference(
         &mut self,
         node: usize,
         here: Coord,
@@ -392,8 +767,7 @@ impl Fabric {
         ejected_tails: &mut Vec<u32>,
     ) {
         let slots = IN_PORTS * self.vcs;
-        let rr_idx = node * OUT_PORTS + out_port;
-        let start = self.rr[rr_idx] as usize;
+        let start = self.rr[node * OUT_PORTS + out_port] as usize;
         for k in 0..slots {
             let slot = (start + k) % slots;
             let (in_port, vc) = (slot / self.vcs, slot % self.vcs);
@@ -410,10 +784,8 @@ impl Fabric {
             // Desired output of the flit at the queue head, plus the VC
             // to take on it: `Some((vc, newly_allocated_class))` for
             // links, `None` for ejection.
-            let (desired, out_vc): (usize, Option<(usize, Option<VcClass>)>) =
+            let (desired, link): (usize, Option<(usize, Option<VcClass>)>) =
                 match self.in_vcs[in_idx].route {
-                    // Body/tail of a routed worm: follow the held VC,
-                    // gated on a credit.
                     Some((p, v)) if (p as usize) != EJECT_PORT => {
                         if p as usize != out_port {
                             continue;
@@ -424,17 +796,21 @@ impl Fabric {
                         (p as usize, Some((v as usize, None)))
                     }
                     Some(_) => (EJECT_PORT, None),
-                    // Unrouted head: ask the hop router.
                     None => {
                         debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
                         let pk = &self.packets[flit.packet as usize];
                         match router.decide(here, pk) {
                             HopDecision::Eject => (EJECT_PORT, None),
                             HopDecision::Route(candidates) => {
-                                // First candidate with an allocatable VC
-                                // this cycle wins; none => the head waits.
+                                // Linear free-VC probe, independent of
+                                // the free-mask bookkeeping.
                                 let pick = candidates.iter().find_map(|c| {
-                                    self.free_vc(node, c.dir as usize, c.class)
+                                    self.class_range(c.class)
+                                        .find(|&v| {
+                                            let o = &self.out_vcs
+                                                [self.out_idx(node, c.dir as usize, v)];
+                                            o.owner.is_none() && o.credits > 0
+                                        })
                                         .map(|v| (c.dir as usize, v, c.class))
                                 });
                                 let Some((port, v, class)) = pick else {
@@ -448,68 +824,50 @@ impl Fabric {
             if desired != out_port {
                 continue;
             }
-
-            // Grant. (Ejection always accepts one flit per cycle; link
-            // feasibility was folded into the VC pick above.)
-            let flit = self.in_vcs[in_idx].queue.pop_front().expect("front checked");
             in_port_used[in_port] = true;
-            self.rr[rr_idx] = (slot + 1) as u32;
-            report.moved += 1;
-
-            // Credit back to the upstream router that feeds this input
-            // VC (none for the local injection port).
-            if in_port != LOCAL_PORT {
-                let to_upstream = Dir::ALL[in_port];
-                let upstream = here.step(to_upstream);
-                debug_assert!(self.mesh.contains(upstream), "link from outside the mesh");
-                let up_id = self.mesh.id(upstream).index();
-                let up_dir = to_upstream.opposite() as usize;
-                self.credit_returns.push(self.out_idx(up_id, up_dir, vc));
-            }
-
-            if out_port == EJECT_PORT {
-                self.in_flight -= 1;
-                report.flits_ejected += 1;
-                if flit.is_head {
-                    self.in_vcs[in_idx].route = Some((EJECT_PORT as u8, 0));
-                    self.packets[flit.packet as usize].stalled = 0;
-                }
-                if flit.is_tail {
-                    self.in_vcs[in_idx].route = None;
-                    ejected_tails.push(flit.packet);
-                }
-            } else {
-                let (v, new_class) = out_vc.expect("links always carry a VC pick");
-                let out_idx = self.out_idx(node, out_port, v);
-                if let Some(class) = new_class {
-                    self.out_vcs[out_idx].owner = Some(flit.packet);
-                    let pk = &mut self.packets[flit.packet as usize];
-                    if class != VcClass::Adaptive && pk.mode == VcClass::Adaptive {
-                        pk.mode = class;
-                        self.escape_entries += 1;
-                    }
-                }
-                self.in_vcs[in_idx].route = Some((out_port as u8, v as u8));
-                self.out_vcs[out_idx].credits -= 1;
-                if flit.is_head {
-                    let pk = &mut self.packets[flit.packet as usize];
-                    pk.head_hop += 1;
-                    pk.stalled = 0;
-                }
-                if flit.is_tail {
-                    self.out_vcs[out_idx].owner = None;
-                    self.in_vcs[in_idx].route = None;
-                }
-                let dir = Dir::ALL[out_port];
-                let next = here.step(dir);
-                debug_assert!(self.mesh.contains(next), "hop decision leaves the mesh");
-                let next_id = self.mesh.id(next).index();
-                let next_in = dir.opposite() as usize;
-                let next_idx = self.in_idx(next_id, next_in, v);
-                self.arrivals.push((next_idx, flit));
-            }
+            self.commit_grant(node, here, slot, out_port, link, report, ejected_tails);
             return; // one grant per output port per cycle
         }
+    }
+
+    /// Asserts the occupancy and free-VC bitmasks agree with the ground
+    /// truth (queue emptiness, owner/credit state) — the invariant both
+    /// steppers maintain.
+    #[cfg(test)]
+    pub(crate) fn assert_masks_consistent(&self) {
+        let slots = IN_PORTS * self.vcs;
+        for node in 0..self.mesh.len() {
+            for slot in 0..slots {
+                let occupied = !self.in_vcs[node * slots + slot].queue.is_empty();
+                assert_eq!(
+                    self.occ_mask[node] & (1 << slot) != 0,
+                    occupied,
+                    "occ_mask stale at node {node} slot {slot}"
+                );
+                if occupied {
+                    assert!(self.in_worklist[node], "occupied node {node} not on the worklist");
+                }
+            }
+            for dir in 0..DIRS {
+                for v in 0..self.vcs {
+                    let o = &self.out_vcs[self.out_idx(node, dir, v)];
+                    assert_eq!(
+                        self.free_mask[node * DIRS + dir] & (1 << v) != 0,
+                        o.owner.is_none() && o.credits > 0,
+                        "free_mask stale at node {node} dir {dir} vc {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Test hook: seizes or releases an output VC directly while
+    /// keeping the free-VC mask consistent.
+    #[cfg(test)]
+    fn set_test_owner(&mut self, node: usize, dir: usize, vc: usize, owner: Option<u32>) {
+        let idx = self.out_idx(node, dir, vc);
+        self.out_vcs[idx].owner = owner;
+        self.refresh_free_bit(node, dir, vc);
     }
 }
 
@@ -774,8 +1132,7 @@ mod tests {
         let dst = Coord::new(2, 1);
         let b = f.register_packet(PacketState::new(src, dst, 0, 1));
         let mut ejected = Vec::new();
-        let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, 0);
-        f.out_vcs[out_idx].owner = Some(999);
+        f.set_test_owner(mesh.id(src).index(), Dir::PlusX as usize, 0, Some(999));
         f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
         f.step(&mut hop, &mut ejected); // arrival lands
         f.step(&mut hop, &mut ejected); // head granted -> XY escape VC
@@ -801,8 +1158,7 @@ mod tests {
         let b = f.register_packet(PacketState::new(src, dst, 0, 1));
         let mut ejected = Vec::new();
         for v in [0, 1] {
-            let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, v);
-            f.out_vcs[out_idx].owner = Some(999);
+            f.set_test_owner(mesh.id(src).index(), Dir::PlusX as usize, v, Some(999));
         }
         f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
         f.step(&mut hop, &mut ejected);
@@ -824,21 +1180,71 @@ mod tests {
         // Park fake owners on BOTH classes of the +X output so the head
         // cannot move.
         for v in 0..2 {
-            let out_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, v);
-            f.out_vcs[out_idx].owner = Some(999);
+            f.set_test_owner(mesh.id(src).index(), Dir::PlusX as usize, v, Some(999));
         }
         f.inject_flit(mesh.id(src), Flit { packet: id, is_head: true, is_tail: false });
         let mut ejected = Vec::new();
         f.step(&mut hop, &mut ejected); // arrival lands
+        f.assert_masks_consistent();
         assert_eq!(f.packet(id).stalled, 0);
         for want in 1..=3 {
             f.step(&mut hop, &mut ejected);
             assert_eq!(f.packet(id).stalled, want, "parked head must age");
         }
         // Free the tree escape VC: the head moves and the clock resets.
-        let esc_idx = f.out_idx(mesh.id(src).index(), Dir::PlusX as usize, 1);
-        f.out_vcs[esc_idx].owner = None;
+        f.set_test_owner(mesh.id(src).index(), Dir::PlusX as usize, 1, None);
         f.step(&mut hop, &mut ejected);
         assert_eq!(f.packet(id).stalled, 0, "grant must reset the clock");
+        f.assert_masks_consistent();
+    }
+
+    #[test]
+    fn steppers_interleave_and_masks_stay_consistent() {
+        // The event-driven and reference steppers share all grant and
+        // boundary bookkeeping, so a run may alternate between them at
+        // any cycle: two converging worms must complete exactly as
+        // under either pure stepper, with the masks valid throughout.
+        let run_mixed = |pick: fn(u64) -> bool| -> Vec<(u32, u64)> {
+            let mesh = Mesh::square(4);
+            let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+            let mut hop = ScriptedHop::new();
+            let len = 3u32;
+            let (sa, da) = hop.script(Coord::new(0, 0), &[Dir::PlusX, Dir::PlusX]);
+            let (sb, db) = hop.script(Coord::new(1, 1), &[Dir::MinusY, Dir::PlusX]);
+            let a = f.register_packet(PacketState::new(sa, da, 0, len));
+            let b = f.register_packet(PacketState::new(sb, db, 0, len));
+            let sources = [(mesh.id(sa), a), (mesh.id(sb), b)];
+            let mut sent = [0u32; 2];
+            let mut ejected = Vec::new();
+            let mut done = Vec::new();
+            for cycle in 0..100u64 {
+                for (i, &(src, pk)) in sources.iter().enumerate() {
+                    if sent[i] < len && f.local_occupancy(src) < TEST_DEPTH {
+                        f.inject_flit(
+                            src,
+                            Flit { packet: pk, is_head: sent[i] == 0, is_tail: sent[i] + 1 == len },
+                        );
+                        sent[i] += 1;
+                    }
+                }
+                if pick(cycle) {
+                    f.step(&mut hop, &mut ejected);
+                } else {
+                    f.step_reference(&mut hop, &mut ejected);
+                }
+                f.assert_masks_consistent();
+                done.extend(ejected.drain(..).map(|p| (p, cycle)));
+                if done.len() == 2 {
+                    break;
+                }
+            }
+            assert_eq!(f.in_flight(), 0);
+            done
+        };
+        let optimized = run_mixed(|_| true);
+        let reference = run_mixed(|_| false);
+        let alternating = run_mixed(|c| c % 2 == 0);
+        assert_eq!(optimized, reference, "steppers must grant identically");
+        assert_eq!(optimized, alternating, "steppers must interleave freely");
     }
 }

@@ -48,7 +48,10 @@
 //!   compiling the workspace's [`Router`]s (RB1/RB2/RB3, fault-tolerant
 //!   E-cube) and the dimension-order [`XyRouter`] baseline.
 //! * [`fabric`] — the cycle-level wormhole router microarchitecture
-//!   with class-aware virtual-channel allocation.
+//!   with class-aware virtual-channel allocation; stepping is
+//!   event-driven (active-router worklist, occupancy/request/free-VC
+//!   bitmasks) but bit-identical to a full scan — see the module docs
+//!   and the golden-equivalence suite.
 //! * [`pattern`] — uniform random, transpose, bit-complement, hotspot
 //!   and permutation destination processes.
 //! * [`sim`] — the run loop: Bernoulli injection, measurement windows,
@@ -99,6 +102,8 @@
 
 pub mod config;
 pub mod fabric;
+#[cfg(test)]
+mod golden;
 pub mod pattern;
 pub mod routing;
 pub mod sim;
@@ -111,8 +116,12 @@ pub use routing::{
     xy_next, xy_path_clear, EscapeForest, EscapeHop, HopCandidates, HopChoice, HopDecision,
     HopRouter, PathTable, ReplayHop, RoutingKind, VcClass, XyRouter,
 };
-pub use sim::{run_traffic, run_traffic_reusing, single_packet_latency, TrafficSim};
-pub use stats::{LatencyHistogram, TrafficStats};
+pub use sim::{
+    run_traffic, run_traffic_reusing, run_traffic_reusing_with, single_packet_latency, TrafficSim,
+};
+pub use stats::{
+    DrainStallObserver, LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample,
+};
 
 // Re-exported so downstream code can name the trait the adapters build
 // on without importing `meshpath-route` separately.

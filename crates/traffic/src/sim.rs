@@ -12,7 +12,7 @@ use crate::config::{RoutePolicy, SimConfig};
 use crate::fabric::{Fabric, Flit, PacketState};
 use crate::pattern::DestSampler;
 use crate::routing::{EscapeHop, HopRouter, PathTable, ReplayHop, RoutingKind};
-use crate::stats::{LatencyHistogram, TrafficStats};
+use crate::stats::{LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample};
 
 /// Latencies above this resolve to the histogram overflow bucket.
 const HISTOGRAM_CAP: usize = 4096;
@@ -62,6 +62,10 @@ pub struct TrafficSim<'p> {
     /// packet table; this tracks which are measured and undelivered.
     measured_outstanding: u64,
     stats: TrafficStats,
+    /// Golden-equivalence hook: run on the retained scan-order
+    /// reference stepper instead of the event-driven one.
+    #[cfg(test)]
+    use_reference: bool,
 }
 
 impl<'p> TrafficSim<'p> {
@@ -140,6 +144,7 @@ impl<'p> TrafficSim<'p> {
             ttl_dropped: 0,
             escape_packets: 0,
             measured_flits_ejected: 0,
+            flits_moved: 0,
             latency: LatencyHistogram::new(HISTOGRAM_CAP),
             saturated: false,
             deadlocked: false,
@@ -153,16 +158,48 @@ impl<'p> TrafficSim<'p> {
         } else {
             u32::MAX
         });
-        TrafficSim { cfg, ttl, fabric, router, sampler, sources, measured_outstanding: 0, stats }
+        TrafficSim {
+            cfg,
+            ttl,
+            fabric,
+            router,
+            sampler,
+            sources,
+            measured_outstanding: 0,
+            stats,
+            #[cfg(test)]
+            use_reference: false,
+        }
+    }
+
+    /// Golden-equivalence hook: step the fabric with the retained
+    /// scan-order reference stepper instead of the event-driven one.
+    #[cfg(test)]
+    pub(crate) fn set_reference_stepper(&mut self) {
+        self.use_reference = true;
     }
 
     /// Runs the full warmup / measure / drain protocol and returns the
     /// collected statistics.
-    pub fn run(mut self) -> TrafficStats {
+    pub fn run(self) -> TrafficStats {
+        self.run_with(&mut ())
+    }
+
+    /// Like [`TrafficSim::run`], but streaming a [`WindowSample`] to
+    /// `obs` every [`stats_window`](SimConfig::stats_window) cycles.
+    /// The observer is read-only over the simulation except for one
+    /// power: returning [`WindowControl::Stop`] ends the run at that
+    /// window boundary, classified exactly as at the drain deadline
+    /// (`saturated` when measured packets are outstanding).
+    pub fn run_with(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
         let gen_until = self.cfg.warmup + self.cfg.measure;
         let deadline = gen_until + self.cfg.drain;
+        let window = self.cfg.stats_window;
         let mut ejected: Vec<u32> = Vec::new();
         let mut idle_streak = 0u64;
+        // Per-window accumulators: (delivered, latency sum, ejected
+        // flits, moved flit-hops), reset at each window boundary.
+        let (mut w_delivered, mut w_lat_sum, mut w_ejected, mut w_moved) = (0u64, 0u64, 0u64, 0u64);
 
         let mut cycle = 0u64;
         loop {
@@ -172,12 +209,23 @@ impl<'p> TrafficSim<'p> {
             }
             injected_any |= self.feed_injection_channels();
 
+            #[cfg(test)]
+            let report = if self.use_reference {
+                self.fabric.step_reference(&mut *self.router, &mut ejected)
+            } else {
+                self.fabric.step(&mut *self.router, &mut ejected)
+            };
+            #[cfg(not(test))]
             let report = self.fabric.step(&mut *self.router, &mut ejected);
+
+            self.stats.flits_moved += report.moved;
             for pk in ejected.drain(..) {
                 // +1: the ejection link (see the fabric timing contract).
                 let delivered_at = cycle + 1;
                 let p = self.fabric.packet(pk);
                 let gen_at = p.generated_at;
+                w_delivered += 1;
+                w_lat_sum += delivered_at - gen_at;
                 if self.measured_window_contains(gen_at) {
                     self.stats.measured_delivered += 1;
                     self.measured_outstanding -= 1;
@@ -187,6 +235,8 @@ impl<'p> TrafficSim<'p> {
             if self.measured_window_contains(cycle) {
                 self.stats.measured_flits_ejected += report.flits_ejected;
             }
+            w_ejected += report.flits_ejected;
+            w_moved += report.moved;
 
             // Progress & termination accounting.
             if report.moved == 0 && !injected_any {
@@ -195,6 +245,30 @@ impl<'p> TrafficSim<'p> {
                 idle_streak = 0;
             }
             cycle += 1;
+
+            if window > 0 && cycle.is_multiple_of(window) {
+                let sample = WindowSample {
+                    start: cycle - window,
+                    end: cycle,
+                    delivered: w_delivered,
+                    mean_latency: if w_delivered == 0 {
+                        0.0
+                    } else {
+                        w_lat_sum as f64 / w_delivered as f64
+                    },
+                    ejected_flits: w_ejected,
+                    moved: w_moved,
+                    in_flight: self.fabric.in_flight(),
+                    backlog: self.sources.iter().map(|s| s.queue.len() as u64).sum(),
+                    measured_outstanding: self.measured_outstanding,
+                    draining: cycle >= gen_until,
+                };
+                (w_delivered, w_lat_sum, w_ejected, w_moved) = (0, 0, 0, 0);
+                if obs.on_window(&sample) == WindowControl::Stop {
+                    self.stats.saturated = self.measured_outstanding > 0;
+                    break;
+                }
+            }
 
             let work_left =
                 self.fabric.in_flight() > 0 || self.sources.iter().any(|s| !s.queue.is_empty());
@@ -305,6 +379,16 @@ pub fn run_traffic(net: &Network, kind: RoutingKind, cfg: &SimConfig) -> Traffic
 /// the same network and routing function).
 pub fn run_traffic_reusing(paths: &mut PathTable<'_>, cfg: &SimConfig) -> TrafficStats {
     TrafficSim::new(paths, cfg.clone()).run()
+}
+
+/// [`run_traffic_reusing`] with a streaming [`WindowObserver`] attached
+/// (see [`TrafficSim::run_with`]).
+pub fn run_traffic_reusing_with(
+    paths: &mut PathTable<'_>,
+    cfg: &SimConfig,
+    obs: &mut dyn WindowObserver,
+) -> TrafficStats {
+    TrafficSim::new(paths, cfg.clone()).run_with(obs)
 }
 
 /// Routes a single packet of `len` flits from `s` to `d` through an
@@ -441,6 +525,69 @@ mod tests {
                 cfg.pattern
             );
         }
+    }
+
+    #[test]
+    fn window_samples_stream_and_cover_the_run() {
+        struct Collect(Vec<crate::WindowSample>);
+        impl crate::WindowObserver for Collect {
+            fn on_window(&mut self, s: &crate::WindowSample) -> crate::WindowControl {
+                self.0.push(*s);
+                crate::WindowControl::Continue
+            }
+        }
+        let net = fault_free(8);
+        let cfg = SimConfig { rate: 0.02, stats_window: 100, ..SimConfig::smoke() };
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let mut obs = Collect(Vec::new());
+        let stats = run_traffic_reusing_with(&mut paths, &cfg, &mut obs);
+        assert!(!obs.0.is_empty(), "windows must stream");
+        // Windows tile the run contiguously and their totals reconcile
+        // with the end-of-run statistics (the final partial window is
+        // never emitted, hence >=).
+        for (i, s) in obs.0.iter().enumerate() {
+            assert_eq!(s.start, 100 * i as u64);
+            assert_eq!(s.end, s.start + 100);
+        }
+        let windowed_moved: u64 = obs.0.iter().map(|s| s.moved).sum();
+        assert!(windowed_moved <= stats.flits_moved);
+        assert!(stats.flits_moved > 0);
+        let delivered: u64 = obs.0.iter().map(|s| s.delivered).sum();
+        assert!(delivered >= stats.measured_delivered);
+        assert!(obs.0.iter().any(|s| s.draining), "the drain phase must be flagged");
+        // Attaching an observer must not change the simulation.
+        let plain = run_traffic_reusing(&mut paths, &cfg);
+        assert_eq!(plain, stats, "observers are read-only");
+    }
+
+    #[test]
+    fn window_stop_ends_the_run_with_the_deadline_classification() {
+        struct StopAfter(u32);
+        impl crate::WindowObserver for StopAfter {
+            fn on_window(&mut self, _s: &crate::WindowSample) -> crate::WindowControl {
+                self.0 -= 1;
+                if self.0 == 0 {
+                    crate::WindowControl::Stop
+                } else {
+                    crate::WindowControl::Continue
+                }
+            }
+        }
+        // Absurd load, stopped mid-measure: measured packets are
+        // certainly outstanding, so the run must classify saturated.
+        let net = fault_free(6);
+        let cfg = SimConfig {
+            rate: 0.9,
+            warmup: 50,
+            measure: 300,
+            drain: 150,
+            stats_window: 100,
+            ..SimConfig::default()
+        };
+        let mut paths = PathTable::new(&net, RoutingKind::Xy);
+        let stats = run_traffic_reusing_with(&mut paths, &cfg, &mut StopAfter(2));
+        assert_eq!(stats.cycles, 200, "stopped at the second window boundary");
+        assert!(stats.saturated);
     }
 
     #[test]

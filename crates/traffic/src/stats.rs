@@ -115,6 +115,10 @@ pub struct TrafficStats {
     pub escape_packets: u64,
     /// Flits ejected during the measurement window (accepted traffic).
     pub measured_flits_ejected: u64,
+    /// Flit-hops simulated over the whole run (switch traversals, the
+    /// simulator's unit of work — `flits_moved / wall seconds` is the
+    /// throughput figure the BENCH trajectory records).
+    pub flits_moved: u64,
     /// Latency histogram over measured, delivered packets. Latency runs
     /// from *generation* (so it includes source queueing) to tail
     /// ejection.
@@ -151,6 +155,103 @@ impl TrafficStats {
     /// Mean measured latency in cycles.
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean()
+    }
+}
+
+/// One streaming statistics window emitted by
+/// [`TrafficSim::run_with`](crate::TrafficSim::run_with): what the
+/// fabric did over the last `stats_window` cycles
+/// ([`SimConfig::stats_window`](crate::SimConfig)). Unlike
+/// [`TrafficStats`], which is one summary at the end of the run, these
+/// samples stream *during* it — the hook long sweeps use to watch
+/// saturation develop (and, via [`WindowControl::Stop`], to cut a run
+/// short once its verdict is certain).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSample {
+    /// First cycle of the window (inclusive).
+    pub start: u64,
+    /// One past the last cycle of the window.
+    pub end: u64,
+    /// Packets delivered (tail ejected) during the window — warmup and
+    /// measured traffic alike.
+    pub delivered: u64,
+    /// Mean generation-to-delivery latency of those packets (0 when
+    /// none delivered).
+    pub mean_latency: f64,
+    /// Flits consumed by ejection ports during the window (accepted
+    /// throughput; divide by `nodes * (end - start)` for the per-node
+    /// rate).
+    pub ejected_flits: u64,
+    /// Flit-hops simulated during the window.
+    pub moved: u64,
+    /// Flits inside the fabric at the window boundary.
+    pub in_flight: u64,
+    /// Packets queued at source network interfaces at the boundary
+    /// (the backlog that grows without bound past saturation).
+    pub backlog: u64,
+    /// Measured packets generated but not yet delivered.
+    pub measured_outstanding: u64,
+    /// Whether generation has stopped (the run is past
+    /// `warmup + measure` and draining).
+    pub draining: bool,
+}
+
+/// What the run loop should do after a window sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowControl {
+    /// Keep simulating.
+    Continue,
+    /// End the run now. The run is classified exactly as at the drain
+    /// deadline: `saturated` when measured packets are outstanding.
+    Stop,
+}
+
+/// A streaming-statistics consumer for
+/// [`TrafficSim::run_with`](crate::TrafficSim::run_with).
+pub trait WindowObserver {
+    /// Called at every `stats_window` boundary.
+    fn on_window(&mut self, sample: &WindowSample) -> WindowControl;
+}
+
+/// The null observer: every run is [`WindowControl::Continue`].
+impl WindowObserver for () {
+    fn on_window(&mut self, _sample: &WindowSample) -> WindowControl {
+        WindowControl::Continue
+    }
+}
+
+/// Stops a run whose drain phase has visibly wedged: `limit`
+/// consecutive windows with measured packets outstanding and **zero**
+/// deliveries. The full drain budget could only change the verdict if
+/// a fabric that delivered nothing for `limit * stats_window` cycles
+/// (with injection long stopped) suddenly recovered — the same wager
+/// the deadlock detector makes — so the saved cycles are effectively
+/// free. Used by the load sweep's early-exit path; conservative by
+/// construction (a single delivery resets the streak).
+#[derive(Clone, Copy, Debug)]
+pub struct DrainStallObserver {
+    limit: u32,
+    streak: u32,
+}
+
+impl DrainStallObserver {
+    /// Stops after `limit` consecutive delivery-free drain windows.
+    pub fn new(limit: u32) -> Self {
+        DrainStallObserver { limit: limit.max(1), streak: 0 }
+    }
+}
+
+impl WindowObserver for DrainStallObserver {
+    fn on_window(&mut self, s: &WindowSample) -> WindowControl {
+        if s.draining && s.measured_outstanding > 0 && s.delivered == 0 {
+            self.streak += 1;
+            if self.streak >= self.limit {
+                return WindowControl::Stop;
+            }
+        } else {
+            self.streak = 0;
+        }
+        WindowControl::Continue
     }
 }
 
@@ -207,11 +308,42 @@ mod tests {
             ttl_dropped: 0,
             escape_packets: 0,
             measured_flits_ejected: 200,
+            flits_moved: 1200,
             latency: LatencyHistogram::new(8),
             saturated: false,
             deadlocked: false,
         };
         assert_eq!(s.accepted_flits_per_node_cycle(), 0.4);
         assert_eq!(s.delivered_pct(), 90.0);
+    }
+
+    #[test]
+    fn drain_stall_observer_needs_a_full_quiet_streak() {
+        let mut obs = DrainStallObserver::new(3);
+        let quiet = WindowSample {
+            start: 0,
+            end: 250,
+            delivered: 0,
+            mean_latency: 0.0,
+            ejected_flits: 0,
+            moved: 12, // may still be moving (circulating worms)
+            in_flight: 40,
+            backlog: 9,
+            measured_outstanding: 10,
+            draining: true,
+        };
+        assert_eq!(obs.on_window(&quiet), WindowControl::Continue);
+        assert_eq!(obs.on_window(&quiet), WindowControl::Continue);
+        // One delivery resets the streak...
+        assert_eq!(obs.on_window(&WindowSample { delivered: 1, ..quiet }), WindowControl::Continue);
+        assert_eq!(obs.on_window(&quiet), WindowControl::Continue);
+        // ...and quiet windows before the drain never count.
+        assert_eq!(
+            obs.on_window(&WindowSample { draining: false, ..quiet }),
+            WindowControl::Continue
+        );
+        assert_eq!(obs.on_window(&quiet), WindowControl::Continue);
+        assert_eq!(obs.on_window(&quiet), WindowControl::Continue);
+        assert_eq!(obs.on_window(&quiet), WindowControl::Stop);
     }
 }

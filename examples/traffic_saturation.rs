@@ -39,6 +39,10 @@ fn main() {
             rates: vec![0.005, 0.02, 0.04],
             routers: RoutingKind::ALL.to_vec(),
             sim: SimConfig::smoke(),
+            // This example *is* the honest-saturation exhibit: the
+            // post-saturation rows must be measured, not inferred from
+            // the ladder, so the sweep's early exit stays off.
+            early_exit: false,
             ..Default::default()
         }
     } else {
@@ -51,6 +55,7 @@ fn main() {
             rates: vec![0.002, 0.005, 0.01, 0.02, 0.04, 0.05],
             routers: RoutingKind::ALL.to_vec(),
             sim: SimConfig { warmup: 300, measure: 1500, drain: 4000, ..SimConfig::default() },
+            early_exit: false,
             ..Default::default()
         }
     };
