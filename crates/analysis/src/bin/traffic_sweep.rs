@@ -2,7 +2,14 @@
 //! fault density.
 //!
 //! Usage: `traffic_sweep [--quick] [--json] [--mesh N] [--seed N]
-//! [--threads N] [--out DIR] [--no-early-exit]`.
+//! [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]`.
+//!
+//! `--threads` sizes the sweep-level pool (simulations run in
+//! parallel, one per point); `--sim-threads` shards each *single*
+//! simulation across worker threads with bit-identical results — the
+//! right knob for large meshes (64x64+), where one run should use all
+//! cores. The two multiply, so set `--threads 1` when forcing
+//! `--sim-threads` past 1.
 //!
 //! `--no-early-exit` disables the rate-ladder early exit (post-
 //! saturation rates marked `sat` without simulating, wedged drains cut
@@ -49,11 +56,14 @@ fn main() {
             }
             "--seed" => cfg.seed = take("--seed").parse().expect("--seed: integer"),
             "--threads" => cfg.threads = take("--threads").parse().expect("--threads: integer"),
+            "--sim-threads" => {
+                cfg.sim.threads = take("--sim-threads").parse().expect("--sim-threads: integer");
+            }
             "--out" => out = Some(take("--out")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: traffic_sweep [--quick] [--json] [--mesh N] [--seed N] [--threads N] \
-                     [--out DIR] [--no-early-exit]"
+                     [--sim-threads N] [--out DIR] [--no-early-exit]"
                 );
                 return;
             }

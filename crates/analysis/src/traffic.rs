@@ -35,10 +35,18 @@ pub struct LoadSweepConfig {
     /// Routing functions to drive.
     pub routers: Vec<RoutingKind>,
     /// Simulator template; `rate` and `seed` are overridden per point.
+    /// Its [`threads`](SimConfig::threads) knob shards each *single*
+    /// simulation across worker threads (bit-identical results; the
+    /// right tool for a few large-mesh points) — distinct from the
+    /// sweep-level [`threads`](LoadSweepConfig::threads) pool below,
+    /// which parallelizes across *points*. Multiplying the two
+    /// oversubscribes the machine; prefer the pool for many small
+    /// points and `sim.threads` for few large ones.
     pub sim: SimConfig,
     /// Base seed for fault placement and traffic streams.
     pub seed: u64,
-    /// Worker threads (0 = all available cores).
+    /// Sweep-level worker threads, one simulation per task
+    /// (0 = all available cores).
     pub threads: usize,
     /// Fault placement model.
     pub injection: FaultInjection,
@@ -252,12 +260,16 @@ impl LoadSweepResult {
         let mut s = String::with_capacity(256 + 256 * self.points.len());
         s.push_str("{\n  \"config\": {");
         s.push_str(&format!(
-            "\"mesh\": {}, \"seed\": {}, \"pattern\": \"{}\", \"vcs\": {}, \
+            "\"mesh\": {}, \"seed\": {}, \"pattern\": \"{}\", \"injection\": \"{}\", \
+             \"length\": \"{}\", \"sim_threads\": {}, \"vcs\": {}, \
              \"escape_vcs\": {}, \"vc_depth\": {}, \"packet_len\": {}, \
              \"warmup\": {}, \"measure\": {}, \"drain\": {}",
             c.mesh,
             c.seed,
             c.sim.pattern.name(),
+            c.sim.injection.name(),
+            c.sim.length.name(),
+            c.sim.threads,
             c.sim.vcs,
             c.sim.escape_vcs,
             c.sim.vc_depth,
@@ -480,6 +492,7 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshpath_traffic::{InjectionProcess, LengthDist};
 
     #[test]
     fn smoke_sweep_completes_and_is_deterministic() {
@@ -539,6 +552,86 @@ mod tests {
         }
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
+    }
+
+    /// The `rows` array of a sweep JSON document with the wall-clock
+    /// fields (`sim_wall_ms`, `mflits_per_sec` — the only
+    /// non-deterministic values in a row) blanked out.
+    fn rows_without_wall_clock(json: &str) -> String {
+        let rows = json.split("\"rows\": [").nth(1).expect("rows array present");
+        rows.lines()
+            .map(|line| {
+                let mut out = String::new();
+                for field in line.split(", ") {
+                    if field.starts_with("\"sim_wall_ms\"")
+                        || field.starts_with("\"mflits_per_sec\"")
+                    {
+                        continue;
+                    }
+                    if !out.is_empty() {
+                        out.push_str(", ");
+                    }
+                    out.push_str(field);
+                }
+                out
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn sharded_sweep_rows_are_byte_identical_across_thread_counts() {
+        // The tentpole determinism claim at the artifact level: the
+        // same seeded 32x32 sweep emits byte-identical `--json` rows —
+        // not just equal aggregate stats — at sim threads 1, 2 and 4
+        // (only the wall-clock fields may differ).
+        let cfg = LoadSweepConfig {
+            mesh: 32,
+            fault_counts: vec![6],
+            rates: vec![0.01],
+            routers: vec![RoutingKind::Rb2],
+            sim: SimConfig { threads: 1, ..SimConfig::smoke() },
+            threads: 1,
+            ..Default::default()
+        };
+        let reference = rows_without_wall_clock(&run_load_sweep(&cfg).to_json());
+        assert!(reference.contains("\"router\""), "rows must survive normalization");
+        for sim_threads in [2usize, 4] {
+            let sharded = LoadSweepConfig {
+                sim: SimConfig { threads: sim_threads, ..cfg.sim.clone() },
+                ..cfg.clone()
+            };
+            let rows = rows_without_wall_clock(&run_load_sweep(&sharded).to_json());
+            assert_eq!(rows, reference, "rows diverged at sim threads {sim_threads}");
+        }
+    }
+
+    #[test]
+    fn scenario_axes_are_recorded_in_json() {
+        // The bursty injection process and the geometric length
+        // distribution both run through the sweep and are named in the
+        // emitted config.
+        let cfg = LoadSweepConfig {
+            sim: SimConfig {
+                injection: InjectionProcess::MarkovOnOff { on_to_off: 0.2, off_to_on: 0.05 },
+                length: LengthDist::Geometric { max: 16 },
+                ..SimConfig::smoke()
+            },
+            threads: 2,
+            ..LoadSweepConfig::smoke()
+        };
+        let res = run_load_sweep(&cfg);
+        let json = res.to_json();
+        assert!(json.contains("\"injection\": \"markov-on-off\""), "{json}");
+        assert!(json.contains("\"length\": \"geometric\""), "{json}");
+        assert!(json.contains("\"sim_threads\": "), "{json}");
+        for p in &res.points {
+            assert!(p.simulated && p.stats.measured_generated > 0, "bursty points must run");
+        }
+        // The default config names the baseline processes.
+        let base = run_load_sweep(&LoadSweepConfig::smoke()).to_json();
+        assert!(base.contains("\"injection\": \"bernoulli\""), "{base}");
+        assert!(base.contains("\"length\": \"fixed\""), "{base}");
     }
 
     #[test]

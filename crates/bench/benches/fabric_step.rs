@@ -2,7 +2,10 @@
 //! `Fabric::step` on a 16x16 mesh at three occupancy regimes —
 //! near-idle (the paper-relevant ~2% injection, where the event-driven
 //! worklist pays off most), mid-load, and saturated (worst case: every
-//! router stays active, so the bitmask allocator carries the load).
+//! router stays active, so the bitmask allocator carries the load) —
+//! plus a 64x64 group comparing sequential stepping against the
+//! sharded runner at 2 and 4 worker threads (`SimConfig::threads`),
+//! the single-run multi-core scaling path.
 //!
 //! Each iteration is one full warmup/measure/drain run over a shared
 //! pre-compiled path table, so the timing is stepping + injection, not
@@ -17,7 +20,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     // A 16x16 mesh at ~3% faults: the load sweep's operating point.
-    let net = fixture_network_16(8, 21);
+    let net = fixture_network(16, 8, 21);
 
     let mut g = c.benchmark_group("fabric_step");
     g.sample_size(10);
@@ -42,13 +45,47 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // 64x64 sharded vs sequential: the same seeded run at 1, 2 and 4
+    // worker threads — bit-identical statistics (asserted below). The
+    // time delta is stepping parallelism + per-cycle barrier overhead
+    // + per-run construction of the extra shards' route tables (only
+    // shard 0 reuses `paths` across iterations; workers compile their
+    // own tables each run, so the threads > 1 bars include that setup
+    // — unlike the 16x16 group above, this is not pure stepping).
+    let net64 = fixture_network(64, 32, 21);
+    let mut g = c.benchmark_group("fabric_step_64");
+    g.sample_size(10);
+    let base =
+        SimConfig { rate: 0.02, warmup: 100, measure: 300, drain: 400, ..SimConfig::default() };
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let mut paths = PathTable::new(&net64, RoutingKind::Rb2);
+        let cfg = SimConfig { threads, ..base.clone() };
+        let probe = run_traffic_reusing(&mut paths, &cfg);
+        println!(
+            "fabric_step_64/threads_{threads}: {} cycles, {} flit-hops per run",
+            probe.cycles, probe.flits_moved,
+        );
+        match &reference {
+            None => reference = Some(probe),
+            Some(r) => assert_eq!(r, &probe, "sharded stepping must be bit-identical"),
+        }
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let stats = run_traffic_reusing(&mut paths, black_box(&cfg));
+                black_box(stats.cycles)
+            })
+        });
+    }
+    g.finish();
 }
 
-/// A 16x16 network (the standard fixtures are 40x40).
-fn fixture_network_16(faults: usize, seed: u64) -> Network {
+/// An `n`x`n` network (the standard fixtures are 40x40).
+fn fixture_network(n: u32, faults: usize, seed: u64) -> Network {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let mesh = Mesh::square(16);
+    let mesh = Mesh::square(n);
     let mut rng = StdRng::seed_from_u64(seed);
     Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
 }

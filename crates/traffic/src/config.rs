@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::pattern::TrafficPattern;
+use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
 
 /// Cycles a flit spends outside the router pipeline proper: one on the
 /// injection link (source NI -> source router) and one on the ejection
@@ -90,6 +90,25 @@ pub struct SimConfig {
     /// VCs bound blocking, the other routers no longer need the cap.
     /// `Some(u32::MAX)` disables the cap for every router.
     pub route_ttl: Option<u32>,
+    /// When each source node fires a generation attempt (Bernoulli
+    /// baseline or a bursty Markov-modulated on/off process); the mean
+    /// offered load is [`rate`](SimConfig::rate) under every process.
+    pub injection: InjectionProcess,
+    /// How many flits each generated packet carries:
+    /// exactly [`packet_len`](SimConfig::packet_len), or geometric with
+    /// that mean.
+    pub length: LengthDist,
+    /// Worker threads (= row-band fabric shards) stepping a single
+    /// simulation concurrently. Results are **bit-identical at every
+    /// thread count** (see the sharding docs in [`crate::fabric`]).
+    ///
+    /// `0` selects the automatic default: the `MESHPATH_THREADS`
+    /// environment variable when set, otherwise all available cores
+    /// (capped at 8) for meshes of 64x64 nodes and up, and a single
+    /// thread for smaller meshes (where per-cycle work is too small to
+    /// amortize the cycle barrier). The count is always clamped to the
+    /// mesh height — each shard owns at least one row.
+    pub threads: usize,
     /// Streaming-statistics window length in cycles: every
     /// `stats_window` cycles, [`TrafficSim::run_with`] hands a
     /// [`WindowSample`] (window mean latency, accepted flits, in-flight
@@ -120,6 +139,9 @@ impl Default for SimConfig {
             seed: 0x2007_0325,
             pattern: TrafficPattern::UniformRandom,
             route_ttl: None,
+            injection: InjectionProcess::Bernoulli,
+            length: LengthDist::Fixed,
+            threads: 0,
             stats_window: 250,
         }
     }
@@ -134,6 +156,29 @@ impl SimConfig {
     /// This config with a different injection rate (sweep helper).
     pub fn with_rate(&self, rate: f64) -> Self {
         SimConfig { rate, ..self.clone() }
+    }
+
+    /// The effective shard/worker count for a mesh of `nodes` nodes
+    /// (see [`SimConfig::threads`]): the explicit knob, else the
+    /// `MESHPATH_THREADS` environment override, else the size-gated
+    /// automatic default. The mesh-height clamp is applied later, at
+    /// fabric construction.
+    pub fn resolved_threads(&self, nodes: usize) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Some(n) =
+            std::env::var("MESHPATH_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        if nodes >= 64 * 64 {
+            std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+        } else {
+            1
+        }
     }
 
     /// This config with per-hop escape routing disabled: the original
@@ -160,9 +205,23 @@ mod tests {
             "default policy must be escape-adaptive with a reserved channel"
         );
         assert!(c.stats_window > 0, "streaming windows should be on by default");
+        assert_eq!(c.injection, InjectionProcess::Bernoulli);
+        assert_eq!(c.length, LengthDist::Fixed);
+        assert_eq!(c.threads, 0, "thread count should default to auto");
         let f = c.with_rate(0.25);
         assert_eq!(f.rate, 0.25);
         assert_eq!(f.vcs, c.vcs);
+    }
+
+    #[test]
+    fn threads_resolve_explicit_over_auto() {
+        let c = SimConfig { threads: 3, ..SimConfig::default() };
+        assert_eq!(c.resolved_threads(16 * 16), 3);
+        // The auto default keeps small meshes sequential (the env-var
+        // override path is exercised by CI's forced-shard test run).
+        if std::env::var_os("MESHPATH_THREADS").is_none() {
+            assert_eq!(SimConfig::default().resolved_threads(16 * 16), 1);
+        }
     }
 
     #[test]

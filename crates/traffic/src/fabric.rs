@@ -43,13 +43,13 @@
 //!
 //! ## Event-driven stepping
 //!
-//! A router with no occupied input VC can grant nothing, so
-//! [`Fabric::step`] visits only *active* routers: a worklist tracks
-//! every node with at least one non-empty input-VC queue (membership
-//! maintained at flit arrival and queue drain), and idle routers cost
-//! zero. At the paper-relevant injection rates (0.2%–5%) the fabric is
-//! over 95% idle, which makes this the difference between `O(nodes)`
-//! and `O(flits in flight)` per cycle.
+//! A router with no occupied input VC can grant nothing, so stepping
+//! visits only *active* routers: a worklist tracks every node with at
+//! least one non-empty input-VC queue (membership maintained at flit
+//! arrival and queue drain), and idle routers cost zero. At the
+//! paper-relevant injection rates (0.2%–5%) the fabric is over 95%
+//! idle, which makes this the difference between `O(nodes)` and
+//! `O(flits in flight)` per cycle.
 //!
 //! Within an active router the per-cycle work is bitmask-driven:
 //!
@@ -76,19 +76,71 @@
 //! active routers — the parked heads — instead of every input VC in the
 //! mesh.
 //!
+//! ## Sharded stepping and the boundary-exchange protocol
+//!
+//! The mesh is spatially partitioned into **row-band shards**
+//! ([`Fabric::new_sharded`]): shard `s` owns the contiguous row band
+//! `rows[s*H/N .. (s+1)*H/N)`, and with row-major node ids that is a
+//! contiguous node range. Each shard owns *all* state of its nodes —
+//! input-VC queues, output-VC owner/credit mirrors, round-robin
+//! pointers, occupancy/request/free-VC bitmasks, and its own
+//! active-router worklist — so two shards share **no** mutable state
+//! and can step concurrently on worker threads (`crate::sim` does
+//! exactly that when [`SimConfig::threads`](crate::SimConfig) > 1).
+//!
+//! The one thing that used to be global was the packet table. It no
+//! longer exists: a packet's mutable state ([`PacketState`] —
+//! `head_hop`, escape `mode`, `stalled` clock) **travels with its head
+//! flit**. While the head is parked, the state sits in the input VC
+//! holding it (`InVc::heads`); when the head is granted a link, the
+//! state is popped, updated, and shipped inside the arrival; when the
+//! tail is ejected, the state is returned to the driver in a
+//! [`Delivery`]. Body and tail flits carry nothing. Since exactly one
+//! router holds a packet's head at any time, packet state has exactly
+//! one owner at any time — by construction, not by locking.
+//!
+//! A cycle then runs in two phases with one synchronization point,
+//! which is the *same* staged-commit boundary the sequential stepper
+//! always had:
+//!
+//! 1. **Plan/grant** (parallel): every shard allocates its active
+//!    routers and ages its parked heads. Grants whose link or credit
+//!    return stays inside the shard are staged locally, exactly as
+//!    before. Grants that cross the band edge — a `±Y` hop out of the
+//!    shard's first or last row, or a credit owed to an upstream router
+//!    in the adjacent band — are appended to a per-neighbor **outbox**
+//!    as [`BoundaryMsg`]s (`Arrival` carries the flit plus, for heads,
+//!    the traveling [`PacketState`]; `Credit` names the upstream
+//!    output VC).
+//! 2. **Exchange + commit**: each shard hands its outboxes to its `±1`
+//!    neighbors (adjacent bands only — a single hop crosses at most one
+//!    band edge) and merges the inboxes into its staged arrival/credit
+//!    lists, then commits the cycle boundary: arrivals land (activating
+//!    their routers), credits return (refreshing free-VC bits).
+//!
+//! No shard ever observes another shard's mid-cycle state: everything a
+//! neighbor did this cycle arrives as staged messages applied at the
+//! boundary, which is precisely how same-cycle grants at *different
+//! routers* were already isolated in the sequential stepper. Stepping
+//! is therefore **bit-identical at every shard count** — `Fabric::step`
+//! runs the shards sequentially in-process and the golden-equivalence
+//! suite (`crate::golden`) pins shard counts 1/2/4 against the
+//! scan-order reference stepper.
+//!
 //! ## Determinism
 //!
-//! All state lives in dense vectors indexed by `(node, port, vc)`;
-//! arrivals and credit returns are staged and committed at the cycle
-//! boundary, so allocation at one router never observes another
-//! router's same-cycle grants — which is also why the worklist's visit
-//! order cannot influence results. Hop-router decisions depend only on
-//! packet and network state, so two runs with identical inputs are
-//! bit-identical.
+//! All state lives in dense vectors indexed by `(node, port, vc)`,
+//! partitioned by shard; arrivals and credit returns are staged and
+//! committed at the cycle boundary, so allocation at one router never
+//! observes another router's same-cycle grants — which is also why
+//! neither the worklist's visit order nor the shard count can influence
+//! results. Hop-router decisions depend only on packet and network
+//! state, so two runs with identical inputs are bit-identical.
 
 use std::collections::VecDeque;
+use std::ops::Range;
 
-use meshpath_mesh::{Coord, Dir, Mesh, NodeId};
+use meshpath_mesh::{Coord, Dir, FxHashMap, Mesh, NodeId};
 
 use crate::routing::{HopCandidates, HopDecision, HopRouter, VcClass};
 
@@ -110,7 +162,7 @@ const MAX_SLOTS: usize = 64;
 const MAX_VCS: usize = MAX_SLOTS / IN_PORTS;
 
 /// One flit on the wire. Packets are identified by the index returned
-/// from [`Fabric::register_packet`].
+/// from [`Fabric::register_packet`] (or chosen by the sharded driver).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Flit {
     /// Owning packet.
@@ -121,11 +173,14 @@ pub struct Flit {
     pub is_tail: bool,
 }
 
-/// Per-packet state the fabric and the hop routers share. The fabric no
-/// longer carries a source route: the endpoints plus the head's
+/// Per-packet state the fabric and the hop routers share. There is no
+/// global packet table: this state **travels with the head flit** —
+/// parked in the input VC holding the head, shipped inside cross-hop
+/// (and cross-shard) arrivals, and returned to the driver in a
+/// [`Delivery`] when the tail ejects. The endpoints plus the head's
 /// progress are what a [`HopRouter`] needs to re-derive (or override)
 /// the next hop locally.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PacketState {
     /// Source node (compiled-route table key).
     pub src: Coord,
@@ -165,13 +220,63 @@ impl PacketState {
     }
 }
 
-/// An input virtual channel: flit FIFO plus the output allocation held
-/// by the packet currently draining through it.
+/// A completed packet: its id plus the final traveling state (latency
+/// reference `generated_at`, final escape `mode`, …), reported by
+/// [`Fabric::step`] when the tail clears the ejection port. The
+/// delivery completes one cycle later — the ejection link; the driver
+/// adds that cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub packet: u32,
+    /// Its traveling state at ejection.
+    pub state: PacketState,
+}
+
+/// One cross-shard effect of a grant, exchanged between the plan/grant
+/// phase and the commit phase (see the module docs on the
+/// boundary-exchange protocol). All coordinates are global node ids.
+#[derive(Clone, Debug)]
+pub enum BoundaryMsg {
+    /// A flit crossing a band edge into `node`'s input port `in_port`,
+    /// downstream VC `vc`. Head flits carry their traveling state.
+    Arrival {
+        /// Destination router (global node id, owned by the receiver).
+        node: u32,
+        /// Input port at the destination (`Dir as usize`).
+        in_port: u8,
+        /// Virtual channel within that port.
+        vc: u8,
+        /// The flit itself.
+        flit: Flit,
+        /// The traveling packet state (heads only).
+        state: Option<PacketState>,
+    },
+    /// A credit returning to the upstream router `node`, output
+    /// direction `dir`, VC `vc` (all owned by the receiver).
+    Credit {
+        /// Upstream router (global node id).
+        node: u32,
+        /// Output direction at the upstream router.
+        dir: u8,
+        /// Virtual channel within that output.
+        vc: u8,
+    },
+}
+
+/// An input virtual channel: flit FIFO, the output allocation held by
+/// the packet currently draining through it, and the traveling states
+/// of the head flits queued here (front = oldest; an eject-committed
+/// packet's state stays at the front until its tail pops it).
 #[derive(Clone, Debug, Default)]
 struct InVc {
     queue: VecDeque<Flit>,
     /// `(output port, output vc)` held from head grant to tail grant.
     route: Option<(u8, u8)>,
+    /// Traveling [`PacketState`]s of the head flits in `queue` (plus,
+    /// at the front, the state of an eject-draining packet whose head
+    /// flit has already been consumed).
+    heads: VecDeque<PacketState>,
 }
 
 /// The upstream mirror of a downstream input VC: ownership (wormhole
@@ -207,75 +312,81 @@ pub struct StepReport {
     pub flits_ejected: u64,
 }
 
-/// The whole network: every router's buffers, credits and allocator
-/// state, plus the packet table.
-pub struct Fabric {
+/// One row-band shard of the fabric: every router in a contiguous node
+/// range, with all of its buffers, credits, allocator state and
+/// worklist — plus staged arrivals/credits and the outboxes of
+/// [`BoundaryMsg`]s for the two adjacent bands. `Send`, so the sharded
+/// driver can move shards onto worker threads.
+pub(crate) struct Shard {
     mesh: Mesh,
     vcs: usize,
     vc_depth: usize,
     /// VCs per output port reserved as the escape class (top indices).
     escape_vcs: usize,
-    /// `[node][in_port][vc]` flattened.
+    /// Global node range `[start, end)` this shard owns.
+    start: usize,
+    end: usize,
+    /// `[local node][in_port][vc]` flattened.
     in_vcs: Vec<InVc>,
-    /// `[node][out_dir][vc]` flattened.
+    /// `[local node][out_dir][vc]` flattened.
     out_vcs: Vec<OutVc>,
-    /// Round-robin grant pointers, `[node][out_port]` flattened.
+    /// Round-robin grant pointers, `[local node][out_port]` flattened.
     rr: Vec<u32>,
-    packets: Vec<PacketState>,
-    /// Staged link/injection arrivals `(in_vc index, flit)`, applied at
-    /// the cycle boundary.
-    arrivals: Vec<(usize, Flit)>,
-    /// Staged credit returns (out_vc indices), applied at the boundary.
+    /// Staged link/injection arrivals `(local in_vc index, flit,
+    /// traveling state for heads)`, applied at the cycle boundary.
+    arrivals: Vec<(usize, Flit, Option<PacketState>)>,
+    /// Staged credit returns (local out_vc indices), applied at the
+    /// boundary.
     credit_returns: Vec<usize>,
-    /// Flits currently inside the fabric (buffers + staged arrivals).
-    in_flight: u64,
-    /// Packets that have committed to the escape class so far.
-    escape_entries: u64,
-    /// Per-node occupancy bitmask: bit `in_port * vcs + vc` is set while
-    /// that input VC's queue is non-empty.
+    /// Boundary messages for the shard owning lower node ids.
+    out_prev: Vec<BoundaryMsg>,
+    /// Boundary messages for the shard owning higher node ids.
+    out_next: Vec<BoundaryMsg>,
+    /// Flits currently inside this shard (buffers + staged arrivals).
+    pub(crate) in_flight: u64,
+    /// Packets that committed to the escape class in this shard.
+    pub(crate) escape_entries: u64,
+    /// Per-local-node occupancy bitmask: bit `in_port * vcs + vc` is
+    /// set while that input VC's queue is non-empty.
     occ_mask: Vec<u64>,
-    /// Per-`(node, dir)` free-VC bitmask: bit `vc` is set while the
-    /// output VC is allocatable (`owner == None && credits > 0`).
+    /// Per-`(local node, dir)` free-VC bitmask: bit `vc` is set while
+    /// the output VC is allocatable (`owner == None && credits > 0`).
     free_mask: Vec<u32>,
-    /// VC-index masks of the three [`VcClass`]es (same partition as
-    /// [`Fabric::class_range`]).
+    /// VC-index masks of the three [`VcClass`]es.
     class_masks: [u32; 3],
-    /// Active routers: every node with `occ_mask != 0` is present
-    /// (plus, transiently, nodes drained this cycle — removed lazily at
-    /// their next visit).
+    /// Active routers (global node ids): every node with
+    /// `occ_mask != 0` is present (plus, transiently, nodes drained
+    /// this cycle — removed lazily at their next visit).
     worklist: Vec<u32>,
-    /// Worklist membership flag per node.
+    /// Worklist membership flag per local node.
     in_worklist: Vec<bool>,
 }
 
-impl Fabric {
-    /// An empty fabric over `mesh` with `vcs` virtual channels of
-    /// `vc_depth` flits per directional input port, the top
-    /// `escape_vcs` of which form the reserved escape class.
-    ///
-    /// # Panics
-    /// Panics when `vcs` or `vc_depth` is zero, when `escape_vcs`
-    /// leaves no adaptive channel (`escape_vcs >= vcs`), or when `vcs`
-    /// exceeds `MAX_VCS` = 12 (the occupancy/request bitmasks pack
-    /// `IN_PORTS * vcs` slots into a `u64`).
-    pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize, escape_vcs: usize) -> Self {
-        assert!(vcs > 0, "need at least one virtual channel");
-        assert!(vcs <= MAX_VCS, "at most {MAX_VCS} VCs per port (bitmask width)");
-        assert!(vc_depth > 0, "need at least one buffer slot per VC");
-        assert!(escape_vcs < vcs, "escape class must leave at least one adaptive VC");
-        let nodes = mesh.len();
-        let bits = |r: std::ops::Range<usize>| ((1u32 << r.end) - 1) & !((1u32 << r.start) - 1);
-        let mut fabric = Fabric {
+impl Shard {
+    fn new(
+        mesh: Mesh,
+        vcs: usize,
+        vc_depth: usize,
+        escape_vcs: usize,
+        start: usize,
+        end: usize,
+    ) -> Self {
+        let nodes = end - start;
+        let bits = |r: Range<usize>| ((1u32 << r.end) - 1) & !((1u32 << r.start) - 1);
+        let mut shard = Shard {
             mesh,
             vcs,
             vc_depth,
             escape_vcs,
+            start,
+            end,
             in_vcs: vec![InVc::default(); nodes * IN_PORTS * vcs],
             out_vcs: vec![OutVc { owner: None, credits: vc_depth as u32 }; nodes * DIRS * vcs],
             rr: vec![0; nodes * OUT_PORTS],
-            packets: Vec::new(),
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
+            out_prev: Vec::new(),
+            out_next: Vec::new(),
             in_flight: 0,
             escape_entries: 0,
             occ_mask: vec![0; nodes],
@@ -285,63 +396,29 @@ impl Fabric {
             in_worklist: vec![false; nodes],
         };
         for class in [VcClass::Adaptive, VcClass::EscapeXy, VcClass::EscapeTree] {
-            fabric.class_masks[class as usize] = bits(fabric.class_range(class));
+            shard.class_masks[class as usize] = bits(shard.class_range(class));
         }
-        fabric
+        shard
     }
 
-    /// The mesh this fabric spans.
-    pub fn mesh(&self) -> &Mesh {
-        &self.mesh
-    }
-
-    /// Flits currently inside the fabric.
-    pub fn in_flight(&self) -> u64 {
-        self.in_flight
-    }
-
-    /// Packets that have committed to the escape class so far.
-    pub fn escape_entries(&self) -> u64 {
-        self.escape_entries
-    }
-
-    /// Registers a packet and returns its id.
-    pub fn register_packet(&mut self, p: PacketState) -> u32 {
-        let id = self.packets.len() as u32;
-        self.packets.push(p);
-        id
-    }
-
-    /// Read access to a registered packet.
-    pub fn packet(&self, id: u32) -> &PacketState {
-        &self.packets[id as usize]
-    }
-
-    /// Occupancy of the node's injection channel (applied flits only;
-    /// the per-node injector stages at most one flit per cycle, so
-    /// `local_occupancy(n) < vc_depth` keeps the buffer within bounds).
-    pub fn local_occupancy(&self, node: NodeId) -> usize {
-        self.in_vcs[self.in_idx(node.index(), LOCAL_PORT, 0)].queue.len()
-    }
-
-    /// Stages one flit onto the node's injection channel; it becomes
-    /// visible to allocation next cycle. The caller must respect
-    /// [`Fabric::local_occupancy`] and wormhole ordering (all flits of a
-    /// packet before any flit of the next).
-    pub fn inject_flit(&mut self, node: NodeId, flit: Flit) {
-        let idx = self.in_idx(node.index(), LOCAL_PORT, 0);
-        self.arrivals.push((idx, flit));
-        self.in_flight += 1;
+    /// Global node range `[start, end)` this shard owns.
+    pub(crate) fn node_range(&self) -> Range<usize> {
+        self.start..self.end
     }
 
     #[inline]
-    fn in_idx(&self, node: usize, port: usize, vc: usize) -> usize {
-        (node * IN_PORTS + port) * self.vcs + vc
+    fn contains_node(&self, node: usize) -> bool {
+        (self.start..self.end).contains(&node)
     }
 
     #[inline]
-    fn out_idx(&self, node: usize, dir: usize, vc: usize) -> usize {
-        (node * DIRS + dir) * self.vcs + vc
+    fn in_idx(&self, lnode: usize, port: usize, vc: usize) -> usize {
+        (lnode * IN_PORTS + port) * self.vcs + vc
+    }
+
+    #[inline]
+    fn out_idx(&self, lnode: usize, dir: usize, vc: usize) -> usize {
+        (lnode * DIRS + dir) * self.vcs + vc
     }
 
     /// VC index range of a class on an output port. The topmost escape
@@ -349,7 +426,7 @@ impl Fabric {
     /// are the XY class. With `escape_vcs == 1` the XY range is empty
     /// and every escape allocation lands on the tree class.
     #[inline]
-    fn class_range(&self, class: VcClass) -> std::ops::Range<usize> {
+    fn class_range(&self, class: VcClass) -> Range<usize> {
         let adaptive = self.vcs - self.escape_vcs;
         let tree = self.vcs - usize::from(self.escape_vcs > 0);
         match class {
@@ -359,11 +436,11 @@ impl Fabric {
         }
     }
 
-    /// Lowest free (unowned, credited) VC of `class` on `(node, dir)`,
+    /// Lowest free (unowned, credited) VC of `class` on `(lnode, dir)`,
     /// resolved from the free-VC bitmask in two instructions.
     #[inline]
-    fn free_vc(&self, node: usize, dir: usize, class: VcClass) -> Option<usize> {
-        let m = self.free_mask[node * DIRS + dir] & self.class_masks[class as usize];
+    fn free_vc(&self, lnode: usize, dir: usize, class: VcClass) -> Option<usize> {
+        let m = self.free_mask[lnode * DIRS + dir] & self.class_masks[class as usize];
         (m != 0).then(|| m.trailing_zeros() as usize)
     }
 
@@ -372,22 +449,22 @@ impl Fabric {
     #[inline]
     fn pick_candidate(
         &self,
-        node: usize,
+        lnode: usize,
         cands: &HopCandidates,
     ) -> Option<(usize, usize, VcClass)> {
         cands.iter().find_map(|c| {
-            self.free_vc(node, c.dir as usize, c.class).map(|v| (c.dir as usize, v, c.class))
+            self.free_vc(lnode, c.dir as usize, c.class).map(|v| (c.dir as usize, v, c.class))
         })
     }
 
-    /// Recomputes the free bit of out VC `(node, out_port, v)` from its
-    /// owner/credit state; returns whether the bit flipped (the signal
-    /// that pending heads must re-pick their candidates).
+    /// Recomputes the free bit of out VC `(lnode, out_port, v)` from
+    /// its owner/credit state; returns whether the bit flipped (the
+    /// signal that pending heads must re-pick their candidates).
     #[inline]
-    fn refresh_free_bit(&mut self, node: usize, out_port: usize, v: usize) -> bool {
-        let o = &self.out_vcs[self.out_idx(node, out_port, v)];
+    fn refresh_free_bit(&mut self, lnode: usize, out_port: usize, v: usize) -> bool {
+        let o = &self.out_vcs[self.out_idx(lnode, out_port, v)];
         let now_free = o.owner.is_none() && o.credits > 0;
-        let fm = &mut self.free_mask[node * DIRS + out_port];
+        let fm = &mut self.free_mask[lnode * DIRS + out_port];
         let bit = 1u32 << v;
         let was_free = *fm & bit != 0;
         if now_free {
@@ -398,56 +475,83 @@ impl Fabric {
         now_free != was_free
     }
 
-    /// Snapshot of every occupied input VC head. Diagnostic aid for
-    /// analyzing saturation and deadlock reports.
-    pub fn frontier(&self) -> Vec<FrontierEntry> {
-        let mut out = Vec::new();
-        for node in 0..self.mesh.len() {
-            let here = self.mesh.coord(NodeId(node as u32));
-            for port in 0..IN_PORTS {
-                for vc in 0..self.vcs {
-                    let v = &self.in_vcs[self.in_idx(node, port, vc)];
-                    if let Some(f) = v.queue.front() {
-                        out.push(FrontierEntry {
-                            packet: f.packet,
-                            node: here,
-                            in_port: port,
-                            vc,
-                            route: v.route,
-                        });
-                    }
+    /// The outbox owning boundary messages addressed to `node` (which
+    /// lies outside this shard's range; adjacent bands only).
+    #[inline]
+    fn outbox_for(&mut self, node: usize) -> &mut Vec<BoundaryMsg> {
+        if node < self.start {
+            &mut self.out_prev
+        } else {
+            debug_assert!(node >= self.end, "outbox for an owned node");
+            &mut self.out_next
+        }
+    }
+
+    /// Stages one flit onto `node`'s injection channel (head flits
+    /// carry their traveling state); it becomes visible to allocation
+    /// next cycle.
+    pub(crate) fn inject(&mut self, node: NodeId, flit: Flit, state: Option<PacketState>) {
+        debug_assert_eq!(flit.is_head, state.is_some(), "heads travel with their state");
+        let lnode = node.index() - self.start;
+        let idx = self.in_idx(lnode, LOCAL_PORT, 0);
+        self.arrivals.push((idx, flit, state));
+        self.in_flight += 1;
+    }
+
+    /// Occupancy of the node's injection channel (applied flits only).
+    pub(crate) fn local_occupancy(&self, node: NodeId) -> usize {
+        self.in_vcs[self.in_idx(node.index() - self.start, LOCAL_PORT, 0)].queue.len()
+    }
+
+    /// Drains the two neighbor outboxes (called between the plan/grant
+    /// phase and commit).
+    pub(crate) fn take_outboxes(&mut self) -> (Vec<BoundaryMsg>, Vec<BoundaryMsg>) {
+        (std::mem::take(&mut self.out_prev), std::mem::take(&mut self.out_next))
+    }
+
+    /// Merges a neighbor's boundary messages into this shard's staged
+    /// arrival/credit lists (before commit).
+    pub(crate) fn apply_boundary(&mut self, msgs: Vec<BoundaryMsg>) {
+        for m in msgs {
+            match m {
+                BoundaryMsg::Arrival { node, in_port, vc, flit, state } => {
+                    let lnode = node as usize - self.start;
+                    debug_assert!(self.contains_node(node as usize), "misrouted boundary arrival");
+                    self.in_flight += 1;
+                    self.arrivals.push((
+                        self.in_idx(lnode, in_port as usize, vc as usize),
+                        flit,
+                        state,
+                    ));
+                }
+                BoundaryMsg::Credit { node, dir, vc } => {
+                    let lnode = node as usize - self.start;
+                    debug_assert!(self.contains_node(node as usize), "misrouted boundary credit");
+                    self.credit_returns.push(self.out_idx(lnode, dir as usize, vc as usize));
                 }
             }
         }
-        out
     }
 
-    /// Runs one cycle of switch allocation + link traversal over every
-    /// *active* router (see the module docs on event-driven stepping),
-    /// consulting `router` for every parked head flit. Tail flits that
-    /// reach their destination's ejection port are appended to
-    /// `ejected_tails` (the delivery completes one cycle later — the
-    /// ejection link; the driver adds that cycle).
-    pub fn step(&mut self, router: &mut dyn HopRouter, ejected_tails: &mut Vec<u32>) -> StepReport {
-        let mut report = StepReport::default();
-        // Allocation over the active-router worklist; nodes drained
-        // since their last visit are removed lazily. Visit order cannot
-        // affect results: same-cycle grants at different routers touch
-        // disjoint state (arrivals and credits are staged).
+    /// Plan/grant phase over this shard's active routers (see the
+    /// module docs on event-driven stepping).
+    pub(crate) fn allocate_active(
+        &mut self,
+        router: &mut dyn HopRouter,
+        report: &mut StepReport,
+        deliveries: &mut Vec<Delivery>,
+    ) {
         let mut i = 0;
         while i < self.worklist.len() {
             let node = self.worklist[i] as usize;
-            if self.occ_mask[node] == 0 {
-                self.in_worklist[node] = false;
+            if self.occ_mask[node - self.start] == 0 {
+                self.in_worklist[node - self.start] = false;
                 self.worklist.swap_remove(i);
                 continue;
             }
-            self.allocate_node(node, router, &mut report, ejected_tails);
+            self.allocate_node(node, router, report, deliveries);
             i += 1;
         }
-        self.age_parked_heads();
-        self.commit_boundary();
-        report
     }
 
     /// Switch allocation for one active router: plan what every
@@ -458,9 +562,10 @@ impl Fabric {
         node: usize,
         router: &mut dyn HopRouter,
         report: &mut StepReport,
-        ejected_tails: &mut Vec<u32>,
+        deliveries: &mut Vec<Delivery>,
     ) {
         let here = self.mesh.coord(NodeId(node as u32));
+        let lnode = node - self.start;
         let vcs = self.vcs;
         let slots = IN_PORTS * vcs;
 
@@ -474,16 +579,16 @@ impl Fabric {
         let mut head_mask = 0u64;
         let mut head_cands = [HopCandidates::default(); MAX_SLOTS];
         let mut head_pick = [(0u8, VcClass::Adaptive); MAX_SLOTS];
-        let mut m = self.occ_mask[node];
+        let mut m = self.occ_mask[lnode];
         while m != 0 {
             let slot = m.trailing_zeros() as usize;
             m &= m - 1;
-            let in_idx = node * slots + slot;
+            let in_idx = lnode * slots + slot;
             match self.in_vcs[in_idx].route {
                 // Body/tail of a routed worm: follow the held VC, gated
                 // on a credit.
                 Some((p, v)) if (p as usize) != EJECT_PORT => {
-                    if self.out_vcs[self.out_idx(node, p as usize, v as usize)].credits > 0 {
+                    if self.out_vcs[self.out_idx(lnode, p as usize, v as usize)].credits > 0 {
                         requests[p as usize] |= 1 << slot;
                     }
                 }
@@ -492,7 +597,7 @@ impl Fabric {
                 None => {
                     let flit = self.in_vcs[in_idx].queue.front().expect("occupied slot");
                     debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                    let pk = &self.packets[flit.packet as usize];
+                    let pk = self.in_vcs[in_idx].heads.front().expect("parked head has state");
                     match router.decide(here, pk) {
                         HopDecision::Eject => requests[EJECT_PORT] |= 1 << slot,
                         HopDecision::Route(candidates) => {
@@ -500,7 +605,8 @@ impl Fabric {
                             head_cands[slot] = candidates;
                             // First candidate with an allocatable VC
                             // this cycle wins; none => the head waits.
-                            if let Some((port, v, class)) = self.pick_candidate(node, &candidates) {
+                            if let Some((port, v, class)) = self.pick_candidate(lnode, &candidates)
+                            {
                                 requests[port] |= 1 << slot;
                                 head_pick[slot] = (v as u8, class);
                             }
@@ -519,10 +625,10 @@ impl Fabric {
             if cand == 0 {
                 continue;
             }
-            let start = (self.rr[node * OUT_PORTS + out_port] as usize) % slots;
+            let start = (self.rr[lnode * OUT_PORTS + out_port] as usize) % slots;
             let hi = cand & (!0u64 << start);
             let slot = if hi != 0 { hi.trailing_zeros() } else { cand.trailing_zeros() } as usize;
-            let link = match self.in_vcs[node * slots + slot].route {
+            let link = match self.in_vcs[lnode * slots + slot].route {
                 Some((p, v)) if (p as usize) != EJECT_PORT => {
                     debug_assert_eq!(p as usize, out_port);
                     Some((v as usize, None))
@@ -537,7 +643,7 @@ impl Fabric {
                     }
                 }
             };
-            let freed = self.commit_grant(node, here, slot, out_port, link, report, ejected_tails);
+            let freed = self.commit_grant(node, here, slot, out_port, link, report, deliveries);
             usable &= !(((1u64 << vcs) - 1) << (slot / vcs * vcs));
             if freed {
                 // A VC on `out_port` was allocated or released:
@@ -551,7 +657,7 @@ impl Fabric {
                     for r in requests.iter_mut() {
                         *r &= !(1u64 << s);
                     }
-                    if let Some((port, v, class)) = self.pick_candidate(node, &head_cands[s]) {
+                    if let Some((port, v, class)) = self.pick_candidate(lnode, &head_cands[s]) {
                         requests[port] |= 1 << s;
                         head_pick[s] = (v as u8, class);
                     }
@@ -561,11 +667,12 @@ impl Fabric {
     }
 
     /// Executes one grant: pops the flit, maintains the occupancy mask,
-    /// advances the round-robin pointer, stages the upstream credit and
-    /// either consumes the flit at the ejection port or forwards it
-    /// across the link. `link` is `None` for ejection and
-    /// `Some((out_vc, newly_allocated_class))` for a link grant.
-    /// Returns whether the grant flipped a free-VC bit on `out_port`.
+    /// advances the round-robin pointer, stages the upstream credit
+    /// (locally or as a boundary message) and either consumes the flit
+    /// at the ejection port or forwards it across the link. `link` is
+    /// `None` for ejection and `Some((out_vc, newly_allocated_class))`
+    /// for a link grant. Returns whether the grant flipped a free-VC
+    /// bit on `out_port`.
     #[allow(clippy::too_many_arguments)]
     fn commit_grant(
         &mut self,
@@ -575,27 +682,38 @@ impl Fabric {
         out_port: usize,
         link: Option<(usize, Option<VcClass>)>,
         report: &mut StepReport,
-        ejected_tails: &mut Vec<u32>,
+        deliveries: &mut Vec<Delivery>,
     ) -> bool {
         let vcs = self.vcs;
+        let lnode = node - self.start;
         let (in_port, vc) = (slot / vcs, slot % vcs);
-        let in_idx = node * IN_PORTS * vcs + slot;
+        let in_idx = lnode * IN_PORTS * vcs + slot;
         let flit = self.in_vcs[in_idx].queue.pop_front().expect("granted slots are occupied");
         if self.in_vcs[in_idx].queue.is_empty() {
-            self.occ_mask[node] &= !(1u64 << slot);
+            self.occ_mask[lnode] &= !(1u64 << slot);
         }
-        self.rr[node * OUT_PORTS + out_port] = (slot + 1) as u32;
+        self.rr[lnode * OUT_PORTS + out_port] = (slot + 1) as u32;
         report.moved += 1;
 
         // Credit back to the upstream router that feeds this input VC
-        // (none for the local injection port).
+        // (none for the local injection port). Upstream routers in an
+        // adjacent band get theirs as a boundary message.
         if in_port != LOCAL_PORT {
             let to_upstream = Dir::ALL[in_port];
             let upstream = here.step(to_upstream);
             debug_assert!(self.mesh.contains(upstream), "link from outside the mesh");
             let up_id = self.mesh.id(upstream).index();
             let up_dir = to_upstream.opposite() as usize;
-            self.credit_returns.push(self.out_idx(up_id, up_dir, vc));
+            if self.contains_node(up_id) {
+                let idx = self.out_idx(up_id - self.start, up_dir, vc);
+                self.credit_returns.push(idx);
+            } else {
+                self.outbox_for(up_id).push(BoundaryMsg::Credit {
+                    node: up_id as u32,
+                    dir: up_dir as u8,
+                    vc: vc as u8,
+                });
+            }
         }
 
         if out_port == EJECT_PORT {
@@ -603,43 +721,63 @@ impl Fabric {
             report.flits_ejected += 1;
             if flit.is_head {
                 self.in_vcs[in_idx].route = Some((EJECT_PORT as u8, 0));
-                self.packets[flit.packet as usize].stalled = 0;
+                self.in_vcs[in_idx].heads.front_mut().expect("ejecting head has state").stalled = 0;
             }
             if flit.is_tail {
                 self.in_vcs[in_idx].route = None;
-                ejected_tails.push(flit.packet);
+                let state =
+                    self.in_vcs[in_idx].heads.pop_front().expect("ejected packet has state");
+                deliveries.push(Delivery { packet: flit.packet, state });
             }
             false
         } else {
             let (v, new_class) = link.expect("links always carry a VC pick");
-            let out_idx = self.out_idx(node, out_port, v);
-            if let Some(class) = new_class {
-                self.out_vcs[out_idx].owner = Some(flit.packet);
-                let pk = &mut self.packets[flit.packet as usize];
-                if class != VcClass::Adaptive && pk.mode == VcClass::Adaptive {
-                    pk.mode = class;
-                    self.escape_entries += 1;
+            let out_idx = self.out_idx(lnode, out_port, v);
+            // A granted head takes its traveling state along: bump the
+            // hop count, reset the patience clock, and record an escape
+            // commitment when the granted VC is an escape class.
+            let state = flit.is_head.then(|| {
+                let mut st = self.in_vcs[in_idx].heads.pop_front().expect("granted head has state");
+                st.head_hop += 1;
+                st.stalled = 0;
+                if let Some(class) = new_class {
+                    if class != VcClass::Adaptive && st.mode == VcClass::Adaptive {
+                        st.mode = class;
+                        self.escape_entries += 1;
+                    }
                 }
+                st
+            });
+            if new_class.is_some() {
+                self.out_vcs[out_idx].owner = Some(flit.packet);
             }
             self.in_vcs[in_idx].route = Some((out_port as u8, v as u8));
             self.out_vcs[out_idx].credits -= 1;
-            if flit.is_head {
-                let pk = &mut self.packets[flit.packet as usize];
-                pk.head_hop += 1;
-                pk.stalled = 0;
-            }
             if flit.is_tail {
                 self.out_vcs[out_idx].owner = None;
                 self.in_vcs[in_idx].route = None;
             }
-            let freed = self.refresh_free_bit(node, out_port, v);
+            let freed = self.refresh_free_bit(lnode, out_port, v);
             let dir = Dir::ALL[out_port];
             let next = here.step(dir);
             debug_assert!(self.mesh.contains(next), "hop decision leaves the mesh");
             let next_id = self.mesh.id(next).index();
             let next_in = dir.opposite() as usize;
-            let next_idx = self.in_idx(next_id, next_in, v);
-            self.arrivals.push((next_idx, flit));
+            if self.contains_node(next_id) {
+                let next_idx = self.in_idx(next_id - self.start, next_in, v);
+                self.arrivals.push((next_idx, flit, state));
+            } else {
+                // The flit leaves this shard: hand it (and, for heads,
+                // the traveling state) to the neighbor band.
+                self.in_flight -= 1;
+                self.outbox_for(next_id).push(BoundaryMsg::Arrival {
+                    node: next_id as u32,
+                    in_port: next_in as u8,
+                    vc: v as u8,
+                    flit,
+                    state,
+                });
+            }
             freed
         }
     }
@@ -649,22 +787,22 @@ impl Fabric {
     /// active routers can hold a parked head, so only those are
     /// walked. Gated on the escape class existing — with no escape VCs
     /// the counter is unused.
-    fn age_parked_heads(&mut self) {
+    pub(crate) fn age_parked_heads(&mut self) {
         if self.escape_vcs == 0 {
             return;
         }
         let slots = IN_PORTS * self.vcs;
         for i in 0..self.worklist.len() {
-            let node = self.worklist[i] as usize;
-            let mut m = self.occ_mask[node];
+            let lnode = self.worklist[i] as usize - self.start;
+            let mut m = self.occ_mask[lnode];
             while m != 0 {
                 let slot = m.trailing_zeros() as usize;
                 m &= m - 1;
-                let v = &self.in_vcs[node * slots + slot];
+                let v = &mut self.in_vcs[lnode * slots + slot];
                 if v.route.is_none() {
                     if let Some(f) = v.queue.front() {
                         if f.is_head {
-                            self.packets[f.packet as usize].stalled += 1;
+                            v.heads.front_mut().expect("parked head has state").stalled += 1;
                         }
                     }
                 }
@@ -674,24 +812,27 @@ impl Fabric {
 
     /// Cycle boundary: arrivals land (activating their routers),
     /// credits return (refreshing free-VC bits).
-    fn commit_boundary(&mut self) {
+    pub(crate) fn commit_boundary(&mut self) {
         let slots = IN_PORTS * self.vcs;
         let vcs = self.vcs;
         let depth = self.vc_depth;
-        for (idx, flit) in self.arrivals.drain(..) {
-            let q = &mut self.in_vcs[idx].queue;
-            let was_empty = q.is_empty();
-            q.push_back(flit);
+        for (idx, flit, state) in self.arrivals.drain(..) {
+            let v = &mut self.in_vcs[idx];
+            let was_empty = v.queue.is_empty();
+            v.queue.push_back(flit);
+            if flit.is_head {
+                v.heads.push_back(state.expect("head flit arrives with its packet state"));
+            }
             debug_assert!(
-                q.len() <= depth,
+                v.queue.len() <= depth,
                 "buffer overflow at in_vc {idx}: credit accounting broken"
             );
             if was_empty {
-                let node = idx / slots;
-                self.occ_mask[node] |= 1u64 << (idx % slots);
-                if !self.in_worklist[node] {
-                    self.in_worklist[node] = true;
-                    self.worklist.push(node as u32);
+                let lnode = idx / slots;
+                self.occ_mask[lnode] |= 1u64 << (idx % slots);
+                if !self.in_worklist[lnode] {
+                    self.in_worklist[lnode] = true;
+                    self.worklist.push((self.start + lnode) as u32);
                 }
             }
         }
@@ -705,55 +846,63 @@ impl Fabric {
         }
     }
 
-    /// The original scan-order stepper, retained verbatim as the golden
-    /// reference: every router, every output port, a linear round-robin
-    /// walk over all `(input port, VC)` slots, and a linear free-VC
-    /// probe straight off the owner/credit state (it never reads the
-    /// bitmasks, so it cannot inherit a bookkeeping bug from them). It
-    /// shares [`Fabric::commit_grant`] and [`Fabric::commit_boundary`]
-    /// with the event-driven stepper, which keep the masks and worklist
-    /// maintained — the two steppers can be interleaved mid-run.
-    #[cfg(test)]
-    pub(crate) fn step_reference(
-        &mut self,
-        router: &mut dyn HopRouter,
-        ejected_tails: &mut Vec<u32>,
-    ) -> StepReport {
-        let mut report = StepReport::default();
-        let nodes = self.mesh.len();
-        for node in 0..nodes {
-            let here = self.mesh.coord(NodeId(node as u32));
-            let mut in_port_used = [false; IN_PORTS];
-            for out_port in 0..OUT_PORTS {
-                self.allocate_output_reference(
-                    node,
-                    here,
-                    out_port,
-                    router,
-                    &mut in_port_used,
-                    &mut report,
-                    ejected_tails,
-                );
-            }
-        }
-        if self.escape_vcs > 0 {
-            for idx in 0..self.in_vcs.len() {
-                let v = &self.in_vcs[idx];
-                if v.route.is_none() {
+    /// Appends this shard's occupied input-VC heads to a frontier
+    /// snapshot.
+    fn frontier_into(&self, out: &mut Vec<FrontierEntry>) {
+        for lnode in 0..(self.end - self.start) {
+            let here = self.mesh.coord(NodeId((self.start + lnode) as u32));
+            for port in 0..IN_PORTS {
+                for vc in 0..self.vcs {
+                    let v = &self.in_vcs[self.in_idx(lnode, port, vc)];
                     if let Some(f) = v.queue.front() {
-                        if f.is_head {
-                            self.packets[f.packet as usize].stalled += 1;
-                        }
+                        out.push(FrontierEntry {
+                            packet: f.packet,
+                            node: here,
+                            in_port: port,
+                            vc,
+                            route: v.route,
+                        });
                     }
                 }
             }
         }
-        self.commit_boundary();
-        report
     }
 
-    /// Reference-stepper grant pass for one output port (the original
-    /// linear scan; see [`Fabric::step_reference`]).
+    /// Searches this shard for packet `id`'s traveling state: staged
+    /// arrivals first, then the parked/queued heads (diagnostic aid —
+    /// linear in shard state, not for hot paths).
+    fn find_packet(&self, id: u32) -> Option<PacketState> {
+        for (_, flit, state) in &self.arrivals {
+            if flit.packet == id {
+                if let Some(st) = state {
+                    return Some(*st);
+                }
+            }
+        }
+        for v in &self.in_vcs {
+            // An eject-draining packet's head flit is gone but its
+            // state is retained at the front of `heads`.
+            let mut hi = 0;
+            if matches!(v.route, Some((p, _)) if (p as usize) == EJECT_PORT) {
+                if v.queue.front().is_some_and(|f| f.packet == id) {
+                    return v.heads.front().copied();
+                }
+                hi = 1;
+            }
+            for f in &v.queue {
+                if f.is_head {
+                    if f.packet == id {
+                        return v.heads.get(hi).copied();
+                    }
+                    hi += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Reference-stepper grant pass for one output port of one node
+    /// (the original linear scan; see [`Fabric::step_reference`]).
     #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
     fn allocate_output_reference(
@@ -764,10 +913,11 @@ impl Fabric {
         router: &mut dyn HopRouter,
         in_port_used: &mut [bool; IN_PORTS],
         report: &mut StepReport,
-        ejected_tails: &mut Vec<u32>,
+        deliveries: &mut Vec<Delivery>,
     ) {
+        let lnode = node - self.start;
         let slots = IN_PORTS * self.vcs;
-        let start = self.rr[node * OUT_PORTS + out_port] as usize;
+        let start = self.rr[lnode * OUT_PORTS + out_port] as usize;
         for k in 0..slots {
             let slot = (start + k) % slots;
             let (in_port, vc) = (slot / self.vcs, slot % self.vcs);
@@ -777,7 +927,7 @@ impl Fabric {
             if in_port == LOCAL_PORT && vc != 0 {
                 continue; // single injection channel
             }
-            let in_idx = self.in_idx(node, in_port, vc);
+            let in_idx = self.in_idx(lnode, in_port, vc);
             let Some(&flit) = self.in_vcs[in_idx].queue.front() else {
                 continue;
             };
@@ -790,7 +940,7 @@ impl Fabric {
                         if p as usize != out_port {
                             continue;
                         }
-                        if self.out_vcs[self.out_idx(node, p as usize, v as usize)].credits == 0 {
+                        if self.out_vcs[self.out_idx(lnode, p as usize, v as usize)].credits == 0 {
                             continue;
                         }
                         (p as usize, Some((v as usize, None)))
@@ -798,7 +948,7 @@ impl Fabric {
                     Some(_) => (EJECT_PORT, None),
                     None => {
                         debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                        let pk = &self.packets[flit.packet as usize];
+                        let pk = self.in_vcs[in_idx].heads.front().expect("parked head has state");
                         match router.decide(here, pk) {
                             HopDecision::Eject => (EJECT_PORT, None),
                             HopDecision::Route(candidates) => {
@@ -808,7 +958,7 @@ impl Fabric {
                                     self.class_range(c.class)
                                         .find(|&v| {
                                             let o = &self.out_vcs
-                                                [self.out_idx(node, c.dir as usize, v)];
+                                                [self.out_idx(lnode, c.dir as usize, v)];
                                             o.owner.is_none() && o.credits > 0
                                         })
                                         .map(|v| (c.dir as usize, v, c.class))
@@ -825,39 +975,319 @@ impl Fabric {
                 continue;
             }
             in_port_used[in_port] = true;
-            self.commit_grant(node, here, slot, out_port, link, report, ejected_tails);
+            self.commit_grant(node, here, slot, out_port, link, report, deliveries);
             return; // one grant per output port per cycle
+        }
+    }
+
+    /// The original scan-order allocation pass over every node of this
+    /// shard, in global node order (see [`Fabric::step_reference`]).
+    #[cfg(test)]
+    pub(crate) fn allocate_reference(
+        &mut self,
+        router: &mut dyn HopRouter,
+        report: &mut StepReport,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        for node in self.start..self.end {
+            let here = self.mesh.coord(NodeId(node as u32));
+            let mut in_port_used = [false; IN_PORTS];
+            for out_port in 0..OUT_PORTS {
+                self.allocate_output_reference(
+                    node,
+                    here,
+                    out_port,
+                    router,
+                    &mut in_port_used,
+                    report,
+                    deliveries,
+                );
+            }
+        }
+    }
+
+    /// The original aging pass: every input VC of this shard, in index
+    /// order (see [`Fabric::step_reference`]).
+    #[cfg(test)]
+    pub(crate) fn age_reference(&mut self) {
+        if self.escape_vcs == 0 {
+            return;
+        }
+        for v in &mut self.in_vcs {
+            if v.route.is_none() {
+                if let Some(f) = v.queue.front() {
+                    if f.is_head {
+                        v.heads.front_mut().expect("parked head has state").stalled += 1;
+                    }
+                }
+            }
         }
     }
 
     /// Asserts the occupancy and free-VC bitmasks agree with the ground
     /// truth (queue emptiness, owner/credit state) — the invariant both
-    /// steppers maintain.
+    /// steppers maintain — and that every queued head flit has exactly
+    /// one traveling state.
     #[cfg(test)]
-    pub(crate) fn assert_masks_consistent(&self) {
+    fn assert_masks_consistent(&self) {
         let slots = IN_PORTS * self.vcs;
-        for node in 0..self.mesh.len() {
+        for lnode in 0..(self.end - self.start) {
             for slot in 0..slots {
-                let occupied = !self.in_vcs[node * slots + slot].queue.is_empty();
+                let v = &self.in_vcs[lnode * slots + slot];
+                let occupied = !v.queue.is_empty();
                 assert_eq!(
-                    self.occ_mask[node] & (1 << slot) != 0,
+                    self.occ_mask[lnode] & (1 << slot) != 0,
                     occupied,
-                    "occ_mask stale at node {node} slot {slot}"
+                    "occ_mask stale at local node {lnode} slot {slot}"
                 );
                 if occupied {
-                    assert!(self.in_worklist[node], "occupied node {node} not on the worklist");
+                    assert!(
+                        self.in_worklist[lnode],
+                        "occupied local node {lnode} not on the worklist"
+                    );
                 }
+                let head_flits = v.queue.iter().filter(|f| f.is_head).count();
+                let ejecting =
+                    usize::from(matches!(v.route, Some((p, _)) if (p as usize) == EJECT_PORT));
+                assert_eq!(
+                    v.heads.len(),
+                    head_flits + ejecting,
+                    "traveling-state count mismatch at local node {lnode} slot {slot}"
+                );
             }
             for dir in 0..DIRS {
                 for v in 0..self.vcs {
-                    let o = &self.out_vcs[self.out_idx(node, dir, v)];
+                    let o = &self.out_vcs[self.out_idx(lnode, dir, v)];
                     assert_eq!(
-                        self.free_mask[node * DIRS + dir] & (1 << v) != 0,
+                        self.free_mask[lnode * DIRS + dir] & (1 << v) != 0,
                         o.owner.is_none() && o.credits > 0,
-                        "free_mask stale at node {node} dir {dir} vc {v}"
+                        "free_mask stale at local node {lnode} dir {dir} vc {v}"
                     );
                 }
             }
+        }
+    }
+}
+
+/// The whole network: every router's buffers, credits and allocator
+/// state, spatially partitioned into row-band shards (one by
+/// default — see [`Fabric::new_sharded`] and the module docs on the
+/// boundary-exchange protocol).
+pub struct Fabric {
+    mesh: Mesh,
+    shards: Vec<Shard>,
+    /// Packets registered through the public API whose head flit has
+    /// not been injected yet (the traveling state is attached to the
+    /// head at injection).
+    pending: FxHashMap<u32, PacketState>,
+    next_packet: u32,
+}
+
+impl Fabric {
+    /// An empty single-shard fabric over `mesh` with `vcs` virtual
+    /// channels of `vc_depth` flits per directional input port, the top
+    /// `escape_vcs` of which form the reserved escape class.
+    ///
+    /// # Panics
+    /// Panics when `vcs` or `vc_depth` is zero, when `escape_vcs`
+    /// leaves no adaptive channel (`escape_vcs >= vcs`), or when `vcs`
+    /// exceeds `MAX_VCS` = 12 (the occupancy/request bitmasks pack
+    /// `IN_PORTS * vcs` slots into a `u64`).
+    pub fn new(mesh: Mesh, vcs: usize, vc_depth: usize, escape_vcs: usize) -> Self {
+        Fabric::new_sharded(mesh, vcs, vc_depth, escape_vcs, 1)
+    }
+
+    /// Like [`Fabric::new`], but spatially partitioned into
+    /// `num_shards` row-band shards (clamped to the mesh height;
+    /// results are bit-identical at every shard count).
+    pub fn new_sharded(
+        mesh: Mesh,
+        vcs: usize,
+        vc_depth: usize,
+        escape_vcs: usize,
+        num_shards: usize,
+    ) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        assert!(vcs <= MAX_VCS, "at most {MAX_VCS} VCs per port (bitmask width)");
+        assert!(vc_depth > 0, "need at least one buffer slot per VC");
+        assert!(escape_vcs < vcs, "escape class must leave at least one adaptive VC");
+        let height = mesh.height() as usize;
+        let width = mesh.width() as usize;
+        let n = num_shards.clamp(1, height);
+        let shards = (0..n)
+            .map(|s| {
+                let row0 = s * height / n;
+                let row1 = (s + 1) * height / n;
+                Shard::new(mesh, vcs, vc_depth, escape_vcs, row0 * width, row1 * width)
+            })
+            .collect();
+        Fabric { mesh, shards, pending: FxHashMap::default(), next_packet: 0 }
+    }
+
+    /// The mesh this fabric spans.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of row-band shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Flits currently inside the fabric (buffers + staged arrivals).
+    pub fn in_flight(&self) -> u64 {
+        self.shards.iter().map(|s| s.in_flight).sum()
+    }
+
+    /// Packets that have committed to the escape class so far.
+    pub fn escape_entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.escape_entries).sum()
+    }
+
+    /// The shard owning global node id `node`.
+    fn shard_of(&self, node: usize) -> usize {
+        self.shards.iter().position(|s| s.contains_node(node)).expect("node inside the mesh")
+    }
+
+    /// Moves the shards out of the fabric (the sharded driver hands
+    /// them to worker threads and keeps them for the rest of the run).
+    pub(crate) fn take_shards(&mut self) -> Vec<Shard> {
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Registers a packet and returns its id; the traveling state is
+    /// attached to the head flit when it is injected.
+    pub fn register_packet(&mut self, p: PacketState) -> u32 {
+        let id = self.next_packet;
+        self.next_packet += 1;
+        self.pending.insert(id, p);
+        id
+    }
+
+    /// A registered packet's traveling state, looked up by id:
+    /// registered-but-uninjected packets first, then a linear search of
+    /// every shard's staged arrivals and queued heads. Diagnostic aid
+    /// (tests, debugging) — `None` once the packet has been delivered
+    /// (the final state is in its [`Delivery`]), and transiently for a
+    /// multi-flit packet whose head has already been consumed at the
+    /// ejection port while its remaining flits are stalled upstream
+    /// (the retained state is only identifiable while a flit of the
+    /// packet is queued at the ejecting VC).
+    pub fn packet_state(&self, id: u32) -> Option<PacketState> {
+        if let Some(p) = self.pending.get(&id) {
+            return Some(*p);
+        }
+        self.shards.iter().find_map(|s| s.find_packet(id))
+    }
+
+    /// Occupancy of the node's injection channel (applied flits only;
+    /// the per-node injector stages at most one flit per cycle, so
+    /// `local_occupancy(n) < vc_depth` keeps the buffer within bounds).
+    pub fn local_occupancy(&self, node: NodeId) -> usize {
+        self.shards[self.shard_of(node.index())].local_occupancy(node)
+    }
+
+    /// Stages one flit onto the node's injection channel; it becomes
+    /// visible to allocation next cycle. The caller must respect
+    /// [`Fabric::local_occupancy`] and wormhole ordering (all flits of
+    /// a packet before any flit of the next).
+    ///
+    /// # Panics
+    /// Panics when a head flit's packet was not registered through
+    /// [`Fabric::register_packet`] (its traveling state is attached
+    /// here).
+    pub fn inject_flit(&mut self, node: NodeId, flit: Flit) {
+        let state = flit
+            .is_head
+            .then(|| self.pending.remove(&flit.packet).expect("head flit of a registered packet"));
+        let shard = self.shard_of(node.index());
+        self.shards[shard].inject(node, flit, state);
+    }
+
+    /// Snapshot of every occupied input VC head. Diagnostic aid for
+    /// analyzing saturation and deadlock reports.
+    pub fn frontier(&self) -> Vec<FrontierEntry> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            s.frontier_into(&mut out);
+        }
+        out
+    }
+
+    /// Routes every shard's boundary outboxes to the adjacent shards
+    /// (the in-process equivalent of the worker threads' channel
+    /// exchange).
+    fn exchange_boundary(&mut self) {
+        for i in 0..self.shards.len() {
+            let (prev, next) = self.shards[i].take_outboxes();
+            if !prev.is_empty() {
+                debug_assert!(i > 0, "shard 0 has no previous neighbor");
+                self.shards[i - 1].apply_boundary(prev);
+            }
+            if !next.is_empty() {
+                debug_assert!(i + 1 < self.shards.len(), "last shard has no next neighbor");
+                self.shards[i + 1].apply_boundary(next);
+            }
+        }
+    }
+
+    /// Runs one cycle of switch allocation + link traversal over every
+    /// *active* router of every shard (see the module docs on
+    /// event-driven and sharded stepping), consulting `router` for
+    /// every parked head flit. Packets whose tail reached their
+    /// destination's ejection port are appended to `deliveries` (the
+    /// delivery completes one cycle later — the ejection link; the
+    /// driver adds that cycle).
+    pub fn step(
+        &mut self,
+        router: &mut dyn HopRouter,
+        deliveries: &mut Vec<Delivery>,
+    ) -> StepReport {
+        let mut report = StepReport::default();
+        for s in &mut self.shards {
+            s.allocate_active(router, &mut report, deliveries);
+            s.age_parked_heads();
+        }
+        self.exchange_boundary();
+        for s in &mut self.shards {
+            s.commit_boundary();
+        }
+        report
+    }
+
+    /// The original scan-order stepper, retained as the golden
+    /// reference: every node in global order, every output port, a
+    /// linear round-robin walk over all `(input port, VC)` slots, and a
+    /// linear free-VC probe straight off the owner/credit state (it
+    /// never reads the bitmasks, so it cannot inherit a bookkeeping bug
+    /// from them). It shares `Shard::commit_grant` and
+    /// `Shard::commit_boundary` with the event-driven stepper, which
+    /// keep the masks and worklist maintained — the two steppers can be
+    /// interleaved mid-run, at any shard count.
+    #[cfg(test)]
+    pub(crate) fn step_reference(
+        &mut self,
+        router: &mut dyn HopRouter,
+        deliveries: &mut Vec<Delivery>,
+    ) -> StepReport {
+        let mut report = StepReport::default();
+        for s in &mut self.shards {
+            s.allocate_reference(router, &mut report, deliveries);
+            s.age_reference();
+        }
+        self.exchange_boundary();
+        for s in &mut self.shards {
+            s.commit_boundary();
+        }
+        report
+    }
+
+    /// Asserts the occupancy and free-VC bitmasks of every shard agree
+    /// with the ground truth — the invariant both steppers maintain.
+    #[cfg(test)]
+    pub(crate) fn assert_masks_consistent(&self) {
+        for s in &self.shards {
+            s.assert_masks_consistent();
         }
     }
 
@@ -865,9 +1295,12 @@ impl Fabric {
     /// keeping the free-VC mask consistent.
     #[cfg(test)]
     fn set_test_owner(&mut self, node: usize, dir: usize, vc: usize, owner: Option<u32>) {
-        let idx = self.out_idx(node, dir, vc);
-        self.out_vcs[idx].owner = owner;
-        self.refresh_free_bit(node, dir, vc);
+        let s = self.shard_of(node);
+        let shard = &mut self.shards[s];
+        let lnode = node - shard.start;
+        let idx = shard.out_idx(lnode, dir, vc);
+        shard.out_vcs[idx].owner = owner;
+        shard.refresh_free_bit(lnode, dir, vc);
     }
 }
 
@@ -875,7 +1308,6 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::routing::HopChoice;
-    use meshpath_mesh::FxHashMap;
 
     const TEST_VCS: usize = 2;
     const TEST_DEPTH: usize = 4;
@@ -919,10 +1351,15 @@ mod tests {
         }
     }
 
-    /// Drives one packet through an idle fabric and returns the cycle
-    /// at which its tail was ejected (plus the report trail).
-    fn run_single(mesh: Mesh, path: &[Dir], len: u32) -> u64 {
-        let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+    /// The delivered packet ids of a delivery list.
+    fn ids(deliveries: &[Delivery]) -> Vec<u32> {
+        deliveries.iter().map(|d| d.packet).collect()
+    }
+
+    /// Drives one packet through an idle fabric (optionally sharded)
+    /// and returns the cycle at which its tail was ejected.
+    fn run_single_sharded(mesh: Mesh, path: &[Dir], len: u32, shards: usize) -> u64 {
+        let mut f = Fabric::new_sharded(mesh, TEST_VCS, TEST_DEPTH, 0, shards);
         let mut hop = ScriptedHop::new();
         let src = Coord::new(0, 0);
         let (s, d) = hop.script(src, path);
@@ -940,13 +1377,17 @@ mod tests {
             }
             f.step(&mut hop, &mut ejected);
             if !ejected.is_empty() {
-                assert_eq!(ejected, vec![id]);
+                assert_eq!(ids(&ejected), vec![id]);
                 assert_eq!(f.in_flight(), 0);
                 return cycle + 1; // ejection link
             }
             assert!(cycle < 1000, "packet stuck");
         }
         unreachable!()
+    }
+
+    fn run_single(mesh: Mesh, path: &[Dir], len: u32) -> u64 {
+        run_single_sharded(mesh, path, len, 1)
     }
 
     #[test]
@@ -980,6 +1421,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_fabric_matches_single_shard_timing() {
+        // A worm that crosses every band edge (+Y the whole way), at
+        // every shard count: latency must equal the 1-shard run exactly
+        // — the boundary exchange adds no cycles and loses no state.
+        let mesh = Mesh::square(8);
+        let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusY, 7).collect();
+        let reference = run_single(mesh, &path, 5);
+        for shards in [2, 3, 4, 8] {
+            assert_eq!(
+                run_single_sharded(mesh, &path, 5, shards),
+                reference,
+                "{shards} shards diverged"
+            );
+        }
+        assert_eq!(reference, 7 + crate::PIPELINE_DEPTH + 4);
+    }
+
+    #[test]
     fn two_packets_share_a_link_fairly() {
         // Packets from two different sources converge on the same link
         // (1,0) -> (2,0): a runs (0,0) -> +X +X, b runs (1,1) -> -Y +X.
@@ -1008,7 +1467,7 @@ mod tests {
                 }
             }
             f.step(&mut hop, &mut ejected);
-            done.extend(ejected.drain(..).map(|p| (p, cycle)));
+            done.extend(ejected.drain(..).map(|d| (d.packet, cycle)));
             if done.len() == 2 {
                 break;
             }
@@ -1053,6 +1512,8 @@ mod tests {
         assert_eq!(snap[0].node, Coord::new(0, 0));
         assert_eq!(snap[0].in_port, 4, "injection port");
         assert!(snap[0].route.is_none(), "head not granted yet");
+        // The traveling state is findable mid-flight.
+        assert_eq!(f.packet_state(id).expect("in flight").head_hop, 0);
         // Finish the packet; the fabric must report an empty frontier.
         f.inject_flit(src, Flit { packet: id, is_head: false, is_tail: true });
         for _ in 0..20 {
@@ -1061,6 +1522,7 @@ mod tests {
         assert!(!ejected.is_empty());
         assert_eq!(f.in_flight(), 0);
         assert!(f.frontier().is_empty());
+        assert!(f.packet_state(id).is_none(), "delivered packets leave the fabric");
     }
 
     #[test]
@@ -1071,6 +1533,19 @@ mod tests {
         let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusX, 7).collect();
         let done = run_single(mesh, &path, 12);
         assert_eq!(done, 7 + crate::PIPELINE_DEPTH + 11);
+    }
+
+    #[test]
+    fn cross_band_credits_flow_back() {
+        // A long worm along +Y with 2 shards: every credit for the
+        // band-edge link is a boundary message. If those were lost the
+        // upstream VC would run out of credits and the worm would
+        // wedge; completion at the exact zero-load time proves the
+        // credit path.
+        let mesh = Mesh::square(6);
+        let path: Vec<Dir> = std::iter::repeat_n(Dir::PlusY, 5).collect();
+        let done = run_single_sharded(mesh, &path, 12, 2);
+        assert_eq!(done, 5 + crate::PIPELINE_DEPTH + 11);
     }
 
     /// A hop router that always offers both escape fallbacks; used to
@@ -1103,20 +1578,20 @@ mod tests {
         // 4 VCs, 2 escape: adaptive = {0, 1}, XY = {2}, tree = {3}.
         let mesh = Mesh::square(4);
         let f = Fabric::new(mesh, 4, TEST_DEPTH, 2);
-        assert_eq!(f.class_range(VcClass::Adaptive), 0..2);
-        assert_eq!(f.class_range(VcClass::EscapeXy), 2..3);
-        assert_eq!(f.class_range(VcClass::EscapeTree), 3..4);
+        assert_eq!(f.shards[0].class_range(VcClass::Adaptive), 0..2);
+        assert_eq!(f.shards[0].class_range(VcClass::EscapeXy), 2..3);
+        assert_eq!(f.shards[0].class_range(VcClass::EscapeTree), 3..4);
         // 1 escape VC: no XY class, the reserved channel is the tree.
         let f1 = Fabric::new(mesh, 2, TEST_DEPTH, 1);
-        assert_eq!(f1.class_range(VcClass::Adaptive), 0..1);
-        assert!(f1.class_range(VcClass::EscapeXy).is_empty());
-        assert_eq!(f1.class_range(VcClass::EscapeTree), 1..2);
+        assert_eq!(f1.shards[0].class_range(VcClass::Adaptive), 0..1);
+        assert!(f1.shards[0].class_range(VcClass::EscapeXy).is_empty());
+        assert_eq!(f1.shards[0].class_range(VcClass::EscapeTree), 1..2);
         // No escape VCs: everything is adaptive, both escape ranges
         // empty (escape candidates can never allocate).
         let f0 = Fabric::new(mesh, 2, TEST_DEPTH, 0);
-        assert_eq!(f0.class_range(VcClass::Adaptive), 0..2);
-        assert!(f0.class_range(VcClass::EscapeXy).is_empty());
-        assert!(f0.class_range(VcClass::EscapeTree).is_empty());
+        assert_eq!(f0.shards[0].class_range(VcClass::Adaptive), 0..2);
+        assert!(f0.shards[0].class_range(VcClass::EscapeXy).is_empty());
+        assert!(f0.shards[0].class_range(VcClass::EscapeTree).is_empty());
     }
 
     #[test]
@@ -1136,14 +1611,18 @@ mod tests {
         f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
         f.step(&mut hop, &mut ejected); // arrival lands
         f.step(&mut hop, &mut ejected); // head granted -> XY escape VC
-        assert_eq!(f.packet(b).mode, VcClass::EscapeXy, "adaptive held; B must take XY escape");
+        assert_eq!(
+            f.packet_state(b).expect("in flight").mode,
+            VcClass::EscapeXy,
+            "adaptive held; B must take XY escape"
+        );
         assert_eq!(f.escape_entries(), 1);
         // The escape commitment sticks across later hops.
         for _ in 0..10 {
             f.step(&mut hop, &mut ejected);
         }
-        assert!(ejected.contains(&b), "escaped packet must still deliver");
-        assert_eq!(f.packet(b).mode, VcClass::EscapeXy);
+        let done = ejected.iter().find(|d| d.packet == b).expect("escaped packet must deliver");
+        assert_eq!(done.state.mode, VcClass::EscapeXy);
     }
 
     #[test]
@@ -1163,7 +1642,7 @@ mod tests {
         f.inject_flit(mesh.id(src), Flit { packet: b, is_head: true, is_tail: true });
         f.step(&mut hop, &mut ejected);
         f.step(&mut hop, &mut ejected);
-        assert_eq!(f.packet(b).mode, VcClass::EscapeTree);
+        assert_eq!(f.packet_state(b).expect("in flight").mode, VcClass::EscapeTree);
         assert_eq!(f.escape_entries(), 1);
     }
 
@@ -1186,15 +1665,15 @@ mod tests {
         let mut ejected = Vec::new();
         f.step(&mut hop, &mut ejected); // arrival lands
         f.assert_masks_consistent();
-        assert_eq!(f.packet(id).stalled, 0);
+        assert_eq!(f.packet_state(id).unwrap().stalled, 0);
         for want in 1..=3 {
             f.step(&mut hop, &mut ejected);
-            assert_eq!(f.packet(id).stalled, want, "parked head must age");
+            assert_eq!(f.packet_state(id).unwrap().stalled, want, "parked head must age");
         }
         // Free the tree escape VC: the head moves and the clock resets.
         f.set_test_owner(mesh.id(src).index(), Dir::PlusX as usize, 1, None);
         f.step(&mut hop, &mut ejected);
-        assert_eq!(f.packet(id).stalled, 0, "grant must reset the clock");
+        assert_eq!(f.packet_state(id).unwrap().stalled, 0, "grant must reset the clock");
         f.assert_masks_consistent();
     }
 
@@ -1202,11 +1681,12 @@ mod tests {
     fn steppers_interleave_and_masks_stay_consistent() {
         // The event-driven and reference steppers share all grant and
         // boundary bookkeeping, so a run may alternate between them at
-        // any cycle: two converging worms must complete exactly as
-        // under either pure stepper, with the masks valid throughout.
-        let run_mixed = |pick: fn(u64) -> bool| -> Vec<(u32, u64)> {
+        // any cycle — and shard counts must not matter either: two
+        // converging worms must complete exactly as under either pure
+        // stepper, with the masks valid throughout.
+        let run_mixed = |pick: fn(u64) -> bool, shards: usize| -> Vec<(u32, u64)> {
             let mesh = Mesh::square(4);
-            let mut f = Fabric::new(mesh, TEST_VCS, TEST_DEPTH, 0);
+            let mut f = Fabric::new_sharded(mesh, TEST_VCS, TEST_DEPTH, 0, shards);
             let mut hop = ScriptedHop::new();
             let len = 3u32;
             let (sa, da) = hop.script(Coord::new(0, 0), &[Dir::PlusX, Dir::PlusX]);
@@ -1233,7 +1713,7 @@ mod tests {
                     f.step_reference(&mut hop, &mut ejected);
                 }
                 f.assert_masks_consistent();
-                done.extend(ejected.drain(..).map(|p| (p, cycle)));
+                done.extend(ejected.drain(..).map(|d| (d.packet, cycle)));
                 if done.len() == 2 {
                     break;
                 }
@@ -1241,10 +1721,15 @@ mod tests {
             assert_eq!(f.in_flight(), 0);
             done
         };
-        let optimized = run_mixed(|_| true);
-        let reference = run_mixed(|_| false);
-        let alternating = run_mixed(|c| c % 2 == 0);
+        let optimized = run_mixed(|_| true, 1);
+        let reference = run_mixed(|_| false, 1);
+        let alternating = run_mixed(|c| c % 2 == 0, 1);
         assert_eq!(optimized, reference, "steppers must grant identically");
         assert_eq!(optimized, alternating, "steppers must interleave freely");
+        for shards in [2, 4] {
+            assert_eq!(run_mixed(|_| true, shards), optimized, "{shards}-shard event-driven");
+            assert_eq!(run_mixed(|_| false, shards), optimized, "{shards}-shard reference");
+            assert_eq!(run_mixed(|c| c % 3 == 0, shards), optimized, "{shards}-shard interleaved");
+        }
     }
 }

@@ -1,14 +1,17 @@
 //! Golden-equivalence suite: the event-driven stepper
-//! ([`Fabric::step`](crate::Fabric::step)) must produce **bit-identical**
-//! [`TrafficStats`] to the retained scan-order reference stepper
-//! (`Fabric::step_reference`) on random draws of simulator
-//! configuration, fault pattern, routing function and traffic pattern.
+//! ([`Fabric::step`](crate::Fabric::step)) — at **every shard/thread
+//! count** — must produce **bit-identical** [`TrafficStats`] to the
+//! retained scan-order reference stepper (`Fabric::step_reference`) on
+//! random draws of simulator configuration, fault pattern, routing
+//! function, traffic pattern, injection process and packet-length
+//! distribution.
 //!
 //! The equality is over the *entire* statistics struct — cycle count,
 //! per-cycle flit-hop totals, the full latency histogram, saturation
 //! and deadlock verdicts — so any divergence in grant order,
-//! round-robin fairness, VC selection or escape-patience aging shows up
-//! as a failure, not as a plausible-looking but different summary.
+//! round-robin fairness, VC selection, escape-patience aging or the
+//! shard boundary-exchange protocol shows up as a failure, not as a
+//! plausible-looking but different summary.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -17,7 +20,7 @@ use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
 use meshpath_route::Network;
 
 use crate::config::{RoutePolicy, SimConfig};
-use crate::pattern::TrafficPattern;
+use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
 use crate::routing::{PathTable, RoutingKind};
 use crate::sim::TrafficSim;
 use crate::stats::TrafficStats;
@@ -36,17 +39,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn event_driven_stepping_is_bit_identical_to_scan_order(
+    fn event_driven_sharded_stepping_is_bit_identical_to_scan_order(
         draw in (
             (4u32..9, 0usize..5, 0usize..5, 0u64..0xffff_ffff),
             (2usize..5, 0usize..3, 1u32..7, 0usize..5),
-            (0usize..4, 1u32..5),
+            (0usize..4, 1u32..5, 0usize..2, 0usize..2),
         )
     ) {
         let (
             (mesh_n, faults, kind_ix, seed),
             (vcs, escape_raw, patience, rate_ix),
-            (pattern_ix, packet_len),
+            (pattern_ix, packet_len, injection_ix, length_ix),
         ) = draw;
         let mesh = Mesh::square(mesh_n);
         let mut frng = StdRng::seed_from_u64(seed);
@@ -66,6 +69,11 @@ proptest! {
             TrafficPattern::BitComplement,
             TrafficPattern::Permutation,
         ][pattern_ix].clone();
+        let injection = [
+            InjectionProcess::Bernoulli,
+            InjectionProcess::MarkovOnOff { on_to_off: 0.25, off_to_on: 0.1 },
+        ][injection_ix];
+        let length = [LengthDist::Fixed, LengthDist::Geometric { max: 12 }][length_ix];
         // Rates from near-idle through past saturation: the equivalence
         // must hold when the fabric is empty, contended and wedged.
         let rate = [0.02, 0.05, 0.1, 0.2, 0.35][rate_ix];
@@ -82,16 +90,28 @@ proptest! {
             seed,
             pattern,
             route_ttl: None,
+            injection,
+            length,
+            threads: 1,
             stats_window: 100,
         };
-        let optimized = run(&net, kind, &cfg, false);
         let reference = run(&net, kind, &cfg, true);
-        prop_assert_eq!(
-            optimized,
-            reference,
-            "steppers diverged: {:?} {} faults={faults} seed={seed:#x}",
-            cfg,
-            kind.name()
-        );
+        // Shard counts 1, 2 and 4: the event-driven stepper must match
+        // the scan-order reference bit for bit at every partitioning
+        // (threads > 1 also exercises the worker-thread transport and
+        // the channel-based boundary exchange).
+        for threads in [1usize, 2, 4] {
+            let sharded = run(&net, kind, &SimConfig { threads, ..cfg.clone() }, false);
+            prop_assert_eq!(
+                &sharded,
+                &reference,
+                "stepper diverged at {} threads: {:?} {} faults={} seed={:#x}",
+                threads,
+                cfg,
+                kind.name(),
+                faults,
+                seed
+            );
+        }
     }
 }

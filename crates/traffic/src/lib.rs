@@ -50,12 +50,19 @@
 //! * [`fabric`] — the cycle-level wormhole router microarchitecture
 //!   with class-aware virtual-channel allocation; stepping is
 //!   event-driven (active-router worklist, occupancy/request/free-VC
-//!   bitmasks) but bit-identical to a full scan — see the module docs
-//!   and the golden-equivalence suite.
+//!   bitmasks) and spatially partitioned into row-band shards that
+//!   exchange boundary messages at the staged cycle commit, yet
+//!   bit-identical to a full sequential scan at every shard count —
+//!   see the module docs and the golden-equivalence suite.
 //! * [`pattern`] — uniform random, transpose, bit-complement, hotspot
-//!   and permutation destination processes.
-//! * [`sim`] — the run loop: Bernoulli injection, measurement windows,
-//!   saturation detection and the deadlock liveness assertion.
+//!   and permutation destination processes, plus the injection-time
+//!   axes: Bernoulli or Markov-modulated on/off generation
+//!   ([`InjectionProcess`]) and fixed or geometric packet lengths
+//!   ([`LengthDist`]).
+//! * [`sim`] — the run loop: seeded injection, measurement windows,
+//!   saturation detection, the deadlock liveness assertion, and the
+//!   sharded multi-threaded runner ([`SimConfig::threads`]) with
+//!   bit-identical results at every thread count.
 //! * [`stats`] — latency histograms and accepted-throughput accounting.
 //! * [`config`] — [`SimConfig`] including the `escape_vcs` partition
 //!   and the [`RoutePolicy`] adaptivity knob.
@@ -110,8 +117,8 @@ pub mod sim;
 pub mod stats;
 
 pub use config::{RoutePolicy, SimConfig, PIPELINE_DEPTH};
-pub use fabric::{Fabric, Flit, FrontierEntry, PacketState, StepReport};
-pub use pattern::{DestSampler, TrafficPattern};
+pub use fabric::{BoundaryMsg, Delivery, Fabric, Flit, FrontierEntry, PacketState, StepReport};
+pub use pattern::{DestSampler, InjectionProcess, LengthDist, TrafficPattern};
 pub use routing::{
     xy_next, xy_path_clear, EscapeForest, EscapeHop, HopCandidates, HopChoice, HopDecision,
     HopRouter, PathTable, ReplayHop, RoutingKind, VcClass, XyRouter,

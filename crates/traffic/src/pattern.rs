@@ -41,6 +41,116 @@ impl TrafficPattern {
     }
 }
 
+/// How packet *generation times* are drawn at each source node (the
+/// destination is a separate axis — [`TrafficPattern`]).
+///
+/// Every process is normalized to the same mean offered load: a node
+/// with [`SimConfig::rate`](crate::SimConfig) `r` generates `r` packets
+/// per cycle on average under either process, so latency curves stay
+/// comparable across processes and only the *burstiness* differs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum InjectionProcess {
+    /// Independent Bernoulli trials: one generation attempt per cycle
+    /// with probability `rate` (the memoryless baseline).
+    Bernoulli,
+    /// A Markov-modulated on/off process (bursty traffic): each node
+    /// carries a two-state Markov chain stepped once per cycle, and
+    /// generation attempts happen only in the *on* state, with
+    /// probability `rate / duty` (capped at 1), where
+    /// `duty = off_to_on / (on_to_off + off_to_on)` is the stationary
+    /// on-fraction. Mean offered load is `rate` whenever
+    /// `rate <= duty`; bursts average `1 / on_to_off` cycles.
+    MarkovOnOff {
+        /// Per-cycle probability of leaving the *on* state. Smaller
+        /// values mean longer bursts.
+        on_to_off: f64,
+        /// Per-cycle probability of leaving the *off* state. Smaller
+        /// values mean longer silences.
+        off_to_on: f64,
+    },
+}
+
+impl InjectionProcess {
+    /// Short display name for tables and `--json` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InjectionProcess::Bernoulli => "bernoulli",
+            InjectionProcess::MarkovOnOff { .. } => "markov-on-off",
+        }
+    }
+
+    /// The stationary probability of the *on* state (1 for Bernoulli).
+    ///
+    /// # Panics
+    /// Panics when a Markov transition probability is outside `(0, 1]`
+    /// (a chain that can never leave a state has no on/off behavior).
+    pub fn duty_cycle(&self) -> f64 {
+        match *self {
+            InjectionProcess::Bernoulli => 1.0,
+            InjectionProcess::MarkovOnOff { on_to_off, off_to_on } => {
+                assert!(
+                    (0.0..=1.0).contains(&on_to_off) && on_to_off > 0.0,
+                    "on_to_off {on_to_off} outside (0, 1]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&off_to_on) && off_to_on > 0.0,
+                    "off_to_on {off_to_on} outside (0, 1]"
+                );
+                off_to_on / (on_to_off + off_to_on)
+            }
+        }
+    }
+}
+
+/// How the flit count of a generated packet is drawn.
+/// [`SimConfig::packet_len`](crate::SimConfig) is the *mean* under
+/// every distribution, so offered load in flits stays comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LengthDist {
+    /// Every packet is exactly `packet_len` flits (the baseline).
+    Fixed,
+    /// Geometric lengths with mean `packet_len` (success probability
+    /// `1 / packet_len`), truncated at `max` flits — short control-like
+    /// packets mixed with long data-like worms, the standard NoC
+    /// multi-flit model.
+    Geometric {
+        /// Truncation bound (inclusive); lengths are capped here so a
+        /// single unlucky draw cannot occupy a path for thousands of
+        /// cycles. Must be at least 1.
+        max: u32,
+    },
+}
+
+impl LengthDist {
+    /// Short display name for tables and `--json` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LengthDist::Fixed => "fixed",
+            LengthDist::Geometric { .. } => "geometric",
+        }
+    }
+
+    /// Draws one packet length with mean `mean_len` from `rng`.
+    ///
+    /// # Panics
+    /// Panics when `mean_len` is zero or a geometric `max` is zero.
+    pub fn sample(&self, mean_len: u32, rng: &mut StdRng) -> u32 {
+        assert!(mean_len >= 1, "packets need at least one flit");
+        match *self {
+            LengthDist::Fixed => mean_len,
+            LengthDist::Geometric { max } => {
+                assert!(max >= 1, "geometric length cap must be at least 1");
+                let p = 1.0 / f64::from(mean_len);
+                let mut len = 1;
+                while len < max && !rng.gen_bool(p) {
+                    len += 1;
+                }
+                len
+            }
+        }
+    }
+}
+
 /// A compiled destination sampler for one fault configuration.
 ///
 /// Construction resolves everything data-dependent (the healthy-node
@@ -195,6 +305,36 @@ mod tests {
             }
         }
         assert!(differs, "different seeds should give different permutations");
+    }
+
+    #[test]
+    fn markov_on_off_duty_cycle() {
+        assert_eq!(InjectionProcess::Bernoulli.duty_cycle(), 1.0);
+        let mmp = InjectionProcess::MarkovOnOff { on_to_off: 0.1, off_to_on: 0.1 };
+        assert!((mmp.duty_cycle() - 0.5).abs() < 1e-12);
+        let bursty = InjectionProcess::MarkovOnOff { on_to_off: 0.3, off_to_on: 0.1 };
+        assert!((bursty.duty_cycle() - 0.25).abs() < 1e-12);
+        assert_eq!(bursty.name(), "markov-on-off");
+    }
+
+    #[test]
+    fn geometric_lengths_have_the_right_mean_and_cap() {
+        let dist = LengthDist::Geometric { max: 64 };
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let len = dist.sample(4, &mut r);
+            assert!((1..=64).contains(&len));
+            sum += u64::from(len);
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((3.7..4.3).contains(&mean), "geometric mean drifted: {mean}");
+        // Fixed is degenerate, and a tight cap truncates.
+        assert_eq!(LengthDist::Fixed.sample(4, &mut r), 4);
+        for _ in 0..100 {
+            assert!(LengthDist::Geometric { max: 2 }.sample(4, &mut r) <= 2);
+        }
     }
 
     #[test]

@@ -382,18 +382,115 @@ impl HopRouter for ReplayHop<'_, '_> {
     }
 }
 
+/// One BFS over the healthy nodes from `start`: distance per node id,
+/// `u32::MAX` when unreached (faulty, or another component).
+/// Deterministic: neighbors expand in [`Dir::ALL`] order.
+fn healthy_bfs(faults: &FaultSet, start: Coord) -> Vec<u32> {
+    let mesh = faults.mesh();
+    let mut dist = vec![u32::MAX; mesh.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[mesh.id(start).index()] = 0;
+    queue.push_back(start);
+    while let Some(c) = queue.pop_front() {
+        let dc = dist[mesh.id(c).index()];
+        for dir in Dir::ALL {
+            let nb = c.step(dir);
+            if !mesh.contains(nb) || !faults.is_healthy(nb) {
+                continue;
+            }
+            let ni = mesh.id(nb).index();
+            if dist[ni] == u32::MAX {
+                dist[ni] = dc + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    dist
+}
+
+/// The farthest reached node of a BFS distance field (maximum
+/// distance, lowest id on ties — determinism) and its distance.
+fn farthest(mesh: &meshpath_mesh::Mesh, dist: &[u32]) -> (Coord, u32) {
+    let mut best: Option<(u32, usize)> = None;
+    for (i, &d) in dist.iter().enumerate() {
+        if d != u32::MAX && best.is_none_or(|(bd, _)| d > bd) {
+            best = Some((d, i));
+        }
+    }
+    let (d, i) = best.expect("BFS reaches at least its start");
+    (mesh.coord(meshpath_mesh::NodeId(i as u32)), d)
+}
+
+/// The reached node minimizing the maximum distance over several BFS
+/// witness fields (lowest id on ties).
+fn argmin_witness(mesh: &meshpath_mesh::Mesh, witnesses: &[&[u32]]) -> Coord {
+    let mut best: Option<(u32, usize)> = None;
+    for i in 0..mesh.len() {
+        let Some(score) = witnesses
+            .iter()
+            .map(|w| w[i])
+            .try_fold(0u32, |m, d| (d != u32::MAX).then_some(m.max(d)))
+        else {
+            continue;
+        };
+        if best.is_none_or(|(bs, _)| score < bs) {
+            best = Some((score, i));
+        }
+    }
+    let (_, i) = best.expect("non-empty component");
+    mesh.coord(meshpath_mesh::NodeId(i as u32))
+}
+
+/// A (near-)center of `start`'s connected component: the classic
+/// double sweep (farthest node `u` from `start`, farthest node `v`
+/// from `u`) plus one witness-refinement round — grids have many
+/// diameter pairs, so minimizing over the `u`/`v` fields alone can
+/// land on a boundary node; adding the first candidate's own farthest
+/// point as a third witness pins the interior. Every candidate's true
+/// eccentricity is then measured with a real BFS and the best (lowest
+/// eccentricity, lowest id on ties) wins. O(component) — seven BFS
+/// passes — and a pure function of the fault configuration.
+fn component_center(faults: &FaultSet, start: Coord) -> Coord {
+    let mesh = faults.mesh();
+    let d0 = healthy_bfs(faults, start);
+    let (u, ecc0) = farthest(mesh, &d0);
+    let du = healthy_bfs(faults, u);
+    let (v, _) = farthest(mesh, &du);
+    let dv = healthy_bfs(faults, v);
+    let c1 = argmin_witness(mesh, &[&du, &dv]);
+    let dc1 = healthy_bfs(faults, c1);
+    let (w, ecc1) = farthest(mesh, &dc1);
+    let dw = healthy_bfs(faults, w);
+    let c2 = argmin_witness(mesh, &[&du, &dv, &dw]);
+    let dc2 = healthy_bfs(faults, c2);
+    let (_, ecc2) = farthest(mesh, &dc2);
+    let id = |c: Coord| mesh.id(c).index();
+    [(ecc0, id(start), start), (ecc1, id(c1), c1), (ecc2, id(c2), c2)]
+        .into_iter()
+        .min_by_key(|&(ecc, i, _)| (ecc, i))
+        .expect("three candidates")
+        .2
+}
+
 /// A BFS spanning forest over the healthy nodes: the substrate of the
 /// tree escape class.
 ///
-/// Roots are the lowest-id healthy node of each connected component;
-/// BFS expands neighbors in [`Dir::ALL`] order, so the forest is a pure
-/// function of the fault configuration (determinism). An up*/down*
-/// route climbs from the source to the lowest common ancestor and
-/// descends to the destination; since every route takes all its "up"
-/// (child-to-parent) hops before any "down" hop, and depth is strictly
-/// monotone within each phase, the tree channels admit a total order
-/// that every route respects — no cyclic channel dependency, for any
-/// fault pattern.
+/// Each connected component is rooted at (an approximation of) its
+/// **BFS center** — the healthy node of minimum eccentricity within
+/// the component, found by double sweep + witness refinement — rather
+/// than at its lowest id: up*/down*
+/// routes detour through the root's neighborhood, so a central root
+/// halves the worst-case tree depth (radius instead of diameter — 16
+/// instead of 30 on a fault-free 16x16) and spreads escape hot-spots
+/// away from the mesh corner. BFS expands neighbors in [`Dir::ALL`]
+/// order and all tie-breaks are lowest-id, so the forest remains a
+/// pure function of the fault configuration (determinism). An
+/// up*/down* route climbs from the source to the lowest common
+/// ancestor and descends to the destination; since every route takes
+/// all its "up" (child-to-parent) hops before any "down" hop, and
+/// depth is strictly monotone within each phase, the tree channels
+/// admit a total order that every route respects — no cyclic channel
+/// dependency, for any fault pattern.
 pub struct EscapeForest {
     /// `(parent direction, depth)` per node id; `None` for faulty nodes
     /// and roots (roots have depth 0).
@@ -410,13 +507,16 @@ impl EscapeForest {
         let mut depth = vec![0u32; n];
         let mut seen = vec![false; n];
         let mut queue = std::collections::VecDeque::new();
-        for root in 0..n {
-            let rc = mesh.coord(meshpath_mesh::NodeId(root as u32));
-            if seen[root] || !faults.is_healthy(rc) {
+        for first in 0..n {
+            let fc = mesh.coord(meshpath_mesh::NodeId(first as u32));
+            if seen[first] || !faults.is_healthy(fc) {
                 continue;
             }
-            seen[root] = true;
-            queue.push_back(rc);
+            // `first` is the lowest unvisited id of a fresh component;
+            // root the component's tree at its BFS center instead.
+            let root = component_center(faults, fc);
+            seen[mesh.id(root).index()] = true;
+            queue.push_back(root);
             while let Some(c) = queue.pop_front() {
                 let ci = mesh.id(c).index();
                 for dir in Dir::ALL {
@@ -434,6 +534,7 @@ impl EscapeForest {
                     queue.push_back(nb);
                 }
             }
+            debug_assert!(seen[first], "center BFS must cover the discovering node");
         }
         EscapeForest { parent, depth }
     }
@@ -707,7 +808,7 @@ mod tests {
         // Below patience: adaptive only.
         assert_eq!(classes(hop.decide(s, &fresh)), vec![VcClass::Adaptive]);
         // Past patience but XY blocked by (5,3): adaptive + tree, no XY.
-        let mut stalled = fresh.clone();
+        let mut stalled = fresh;
         stalled.stalled = 10;
         assert_eq!(
             classes(hop.decide(s, &stalled)),
@@ -731,11 +832,11 @@ mod tests {
             HopDecision::Eject => panic!("not at destination"),
         }
         // Once committed to XY escape: that class only, strict XY.
-        let mut escaped = stalled2.clone();
+        let mut escaped = stalled2;
         escaped.mode = VcClass::EscapeXy;
         assert_eq!(classes(hop.decide(s2, &escaped)), vec![VcClass::EscapeXy]);
         // Once committed to the tree: that class only.
-        let mut treed = stalled2.clone();
+        let mut treed = stalled2;
         treed.mode = VcClass::EscapeTree;
         assert_eq!(classes(hop.decide(s2, &treed)), vec![VcClass::EscapeTree]);
     }
@@ -756,6 +857,33 @@ mod tests {
             vec![VcClass::Adaptive, VcClass::EscapeTree],
             "XY candidate requires a reserved XY channel"
         );
+    }
+
+    #[test]
+    fn escape_forest_roots_at_component_centers() {
+        // Fault-free 16x16: the old lowest-id rule rooted the tree at
+        // the corner (0,0), giving depth = diameter = 30; a BFS-center
+        // root drops the worst-case depth to the grid radius, 16.
+        let mesh = Mesh::square(16);
+        let faults = FaultSet::none(mesh);
+        let forest = EscapeForest::new(&faults);
+        let max_depth = mesh.iter().map(|c| forest.depth(&mesh, c)).max().unwrap();
+        assert_eq!(max_depth, 16, "tree depth must drop from the diameter to the radius");
+
+        // Two components split by a fault wall: each gets its own
+        // center — depth stays within the larger half's radius (the
+        // 16x8 half has radius 8 + 4 = 12, far below the 22-hop depth
+        // a corner root would give it).
+        let wall: Vec<Coord> = (0..16).map(|x| Coord::new(x, 7)).collect();
+        let split = FaultSet::from_coords(mesh, wall);
+        let split_forest = EscapeForest::new(&split);
+        let split_depth = mesh
+            .iter()
+            .filter(|&c| split.is_healthy(c))
+            .map(|c| split_forest.depth(&mesh, c))
+            .max()
+            .unwrap();
+        assert!(split_depth <= 12, "per-component centers, got depth {split_depth}");
     }
 
     #[test]

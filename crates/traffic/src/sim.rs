@@ -1,21 +1,48 @@
 //! The simulation driver: injection processes, the measurement
-//! protocol, and the run loop.
+//! protocol, and the run loop — sequential or sharded across worker
+//! threads with bit-identical results.
+//!
+//! ## Sharded execution
+//!
+//! When [`SimConfig::threads`] resolves to `N > 1`, the fabric is built
+//! as `N` row-band shards (see the boundary-exchange protocol in
+//! [`crate::fabric`]) and the run loop becomes one shard worker per
+//! shard: each worker owns its shard, the injection state of its rows
+//! (per-node RNG streams, source queues) and a private [`HopRouter`]
+//! over its own [`PathTable`] (hop decisions are pure functions of the
+//! network, so private route caches cannot diverge). Workers step
+//! concurrently; per cycle they exchange boundary messages with their
+//! band neighbors, then report aggregate deltas (moved flits,
+//! deliveries, generation counters) to the coordinator, which keeps the
+//! global statistics and makes the termination/observer decisions every
+//! worker obeys on the next cycle. Every per-node computation is
+//! identical to the sequential run — per-node RNGs are seeded by node
+//! id, grants commute within a cycle, and all cross-shard effects are
+//! staged — so `TrafficStats` is **bit-identical at every thread
+//! count** (pinned by `crate::golden`).
 
 use std::collections::VecDeque;
+use std::ops::Range;
 
+use crossbeam::channel::{self, Receiver, Sender};
 use meshpath_mesh::{derive_seed, Coord, NodeId};
 use meshpath_route::Network;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{RoutePolicy, SimConfig};
-use crate::fabric::{Fabric, Flit, PacketState};
-use crate::pattern::DestSampler;
+use crate::fabric::{BoundaryMsg, Delivery, Fabric, Flit, PacketState, Shard, StepReport};
+use crate::pattern::{DestSampler, InjectionProcess};
 use crate::routing::{EscapeHop, HopRouter, PathTable, ReplayHop, RoutingKind};
 use crate::stats::{LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample};
 
 /// Latencies above this resolve to the histogram overflow bucket.
 const HISTOGRAM_CAP: usize = 4096;
+
+/// Per-shard packet-id namespace: shard `s` allocates ids
+/// `s << ID_SHARD_SHIFT ..`. Ids are opaque tokens (never ordered or
+/// persisted), so the namespace only has to be collision-free.
+const ID_SHARD_SHIFT: u32 = 24;
 
 /// Cycles of zero fabric movement (with flits in flight and nothing
 /// injectable) before the run is declared deadlocked.
@@ -28,9 +55,12 @@ const HISTOGRAM_CAP: usize = 4096;
 /// adaptive wormhole routing under load.
 const DEADLOCK_WINDOW: u64 = 1000;
 
-/// A generated packet waiting at its source network interface.
+/// A generated packet waiting at its source network interface. The
+/// traveling [`PacketState`] is handed to the fabric with the head
+/// flit.
 struct QueuedPacket {
     id: u32,
+    state: PacketState,
     /// Flits not yet fed into the injection channel.
     remaining: u32,
 }
@@ -41,44 +71,422 @@ struct SourceNode {
     coord: Coord,
     rng: StdRng,
     queue: VecDeque<QueuedPacket>,
+    /// Markov-modulated on/off chain state (always `true` under
+    /// Bernoulli injection).
+    on: bool,
 }
 
-/// One traffic simulation: a fabric over a fault configuration, driven
-/// by a seeded injection process, routed per hop by the policy's
-/// [`HopRouter`] over one compiled routing function.
-///
-/// The path table is borrowed so sweeps can reuse compiled routes
-/// across runs over the same network (route compilation dominates the
-/// low-load setup cost; see [`run_traffic_reusing`]).
-pub struct TrafficSim<'p> {
-    cfg: SimConfig,
-    /// Effective route hop budget (see `SimConfig::route_ttl`).
-    ttl: u32,
-    fabric: Fabric,
-    router: Box<dyn HopRouter + 'p>,
-    sampler: DestSampler,
+/// Generation-side statistics deltas of one shard over one cycle.
+#[derive(Clone, Copy, Debug, Default)]
+struct GenDelta {
+    generated: u64,
+    measured_generated: u64,
+    unroutable: u64,
+    ttl_dropped: u64,
+}
+
+/// Everything one shard contributes to one cycle, merged (commutative
+/// sums) by the coordinator.
+#[derive(Default)]
+struct CycleDone {
+    moved: u64,
+    flits_ejected: u64,
+    injected_any: bool,
+    in_flight: u64,
+    backlog: u64,
+    gen: GenDelta,
+    deliveries: Vec<Delivery>,
+}
+
+impl CycleDone {
+    fn merge(&mut self, mut other: CycleDone) {
+        self.moved += other.moved;
+        self.flits_ejected += other.flits_ejected;
+        self.injected_any |= other.injected_any;
+        self.in_flight += other.in_flight;
+        self.backlog += other.backlog;
+        self.gen.generated += other.gen.generated;
+        self.gen.measured_generated += other.gen.measured_generated;
+        self.gen.unroutable += other.gen.unroutable;
+        self.gen.ttl_dropped += other.gen.ttl_dropped;
+        self.deliveries.append(&mut other.deliveries);
+    }
+}
+
+/// Coordinator → worker control message.
+enum Go {
+    /// Run one cycle (the cycle number, for generation windows).
+    Cycle(u64),
+    /// The run is over; return the shard.
+    Finish,
+}
+
+/// One shard of the running simulation: the fabric band plus the
+/// injection state and hop router of its rows. The unit both run-loop
+/// transports (in-process and worker-thread) drive.
+struct ShardWorker<'a> {
+    shard: Shard,
     sources: Vec<SourceNode>,
-    /// `generated_at` of every registered packet is in the fabric's
-    /// packet table; this tracks which are measured and undelivered.
-    measured_outstanding: u64,
-    stats: TrafficStats,
-    /// Golden-equivalence hook: run on the retained scan-order
-    /// reference stepper instead of the event-driven one.
+    router: Box<dyn HopRouter + 'a>,
+    sampler: &'a DestSampler,
+    cfg: &'a SimConfig,
+    ttl: u32,
+    gen_until: u64,
+    /// Per-cycle injection probability while a source is *on*
+    /// (`rate / duty`, capped at 1; equals `rate` under Bernoulli).
+    burst_rate: f64,
+    /// Packet ids allocated by this shard are `id_base + k`.
+    id_base: u32,
+    next_local: u32,
+    /// Golden-equivalence hook: use the retained scan-order reference
+    /// stepper instead of the event-driven one.
     #[cfg(test)]
     use_reference: bool,
 }
 
+impl<'a> ShardWorker<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        shard: Shard,
+        sources: Vec<SourceNode>,
+        router: Box<dyn HopRouter + 'a>,
+        sampler: &'a DestSampler,
+        cfg: &'a SimConfig,
+        ttl: u32,
+        shard_index: usize,
+    ) -> Self {
+        let duty = cfg.injection.duty_cycle();
+        ShardWorker {
+            shard,
+            sources,
+            router,
+            sampler,
+            cfg,
+            ttl,
+            gen_until: cfg.warmup + cfg.measure,
+            burst_rate: (cfg.rate / duty).min(1.0),
+            id_base: (shard_index as u32) << ID_SHARD_SHIFT,
+            next_local: 0,
+            #[cfg(test)]
+            use_reference: false,
+        }
+    }
+
+    /// The plan/grant half of one cycle: generation, injection-channel
+    /// feeding and switch allocation + aging over this shard's active
+    /// routers. Cross-shard effects land in the shard's outboxes;
+    /// everything else accumulates into `done`.
+    fn plan_and_grant(&mut self, cycle: u64, done: &mut CycleDone) {
+        if cycle < self.gen_until {
+            self.generate(cycle, &mut done.gen);
+        }
+        done.injected_any |= self.feed_injection_channels();
+        let mut report = StepReport::default();
+        #[cfg(test)]
+        if self.use_reference {
+            self.shard.allocate_reference(&mut *self.router, &mut report, &mut done.deliveries);
+            self.shard.age_reference();
+        } else {
+            self.shard.allocate_active(&mut *self.router, &mut report, &mut done.deliveries);
+            self.shard.age_parked_heads();
+        }
+        #[cfg(not(test))]
+        {
+            self.shard.allocate_active(&mut *self.router, &mut report, &mut done.deliveries);
+            self.shard.age_parked_heads();
+        }
+        done.moved += report.moved;
+        done.flits_ejected += report.flits_ejected;
+    }
+
+    /// The commit half of one cycle (after the boundary exchange):
+    /// land arrivals and credits, then snapshot the occupancy figures
+    /// the coordinator's termination logic needs.
+    fn finish_cycle(&mut self, done: &mut CycleDone) {
+        self.shard.commit_boundary();
+        done.in_flight += self.shard.in_flight;
+        done.backlog += self.sources.iter().map(|s| s.queue.len() as u64).sum::<u64>();
+    }
+
+    /// Generation at every healthy node of this shard, under the
+    /// configured injection process and length distribution. The NI
+    /// attaches no route — it only asks the hop router to *admit* the
+    /// pair (is it routable, and how long is the compiled route, for
+    /// the TTL check); all forwarding decisions happen per hop in the
+    /// fabric.
+    fn generate(&mut self, cycle: u64, gen: &mut GenDelta) {
+        let mean_len = self.cfg.packet_len;
+        let measured = cycle >= self.cfg.warmup && cycle < self.gen_until;
+        for i in 0..self.sources.len() {
+            let fire = {
+                let s = &mut self.sources[i];
+                match self.cfg.injection {
+                    InjectionProcess::Bernoulli => s.rng.gen_bool(self.burst_rate),
+                    InjectionProcess::MarkovOnOff { on_to_off, off_to_on } => {
+                        if s.rng.gen_bool(if s.on { on_to_off } else { off_to_on }) {
+                            s.on = !s.on;
+                        }
+                        s.on && s.rng.gen_bool(self.burst_rate)
+                    }
+                }
+            };
+            if !fire {
+                continue;
+            }
+            let src = self.sources[i].coord;
+            let Some(dst) = self.sampler.dest(src, &mut self.sources[i].rng) else {
+                continue;
+            };
+            let Some(hops) = self.router.admit(src, dst) else {
+                gen.unroutable += 1;
+                continue;
+            };
+            if hops > self.ttl {
+                gen.ttl_dropped += 1;
+                continue;
+            }
+            let len = self.cfg.length.sample(mean_len, &mut self.sources[i].rng);
+            // Hard assert (one branch per generated packet, off the
+            // hot path): wrapping would alias ids across shards and
+            // silently corrupt ownership bookkeeping.
+            assert!(self.next_local < 1 << ID_SHARD_SHIFT, "packet-id namespace exhausted");
+            let id = self.id_base + self.next_local;
+            self.next_local += 1;
+            gen.generated += 1;
+            if measured {
+                gen.measured_generated += 1;
+            }
+            self.sources[i].queue.push_back(QueuedPacket {
+                id,
+                state: PacketState::new(src, dst, cycle, len),
+                remaining: len,
+            });
+        }
+    }
+
+    /// Feeds at most one flit per node per cycle from the head-of-line
+    /// queued packet into the injection channel; the head flit carries
+    /// the traveling packet state.
+    fn feed_injection_channels(&mut self) -> bool {
+        let depth = self.cfg.vc_depth;
+        let mut any = false;
+        for s in &mut self.sources {
+            let Some(front) = s.queue.front_mut() else {
+                continue;
+            };
+            if self.shard.local_occupancy(s.id) >= depth {
+                continue;
+            }
+            let is_head = front.remaining == front.state.len;
+            let flit = Flit { packet: front.id, is_head, is_tail: front.remaining == 1 };
+            self.shard.inject(s.id, flit, is_head.then_some(front.state));
+            front.remaining -= 1;
+            if front.remaining == 0 {
+                s.queue.pop_front();
+            }
+            any = true;
+        }
+        any
+    }
+}
+
+/// The coordinator's side of the run: global statistics, the
+/// measurement windows, and the termination decisions every shard
+/// obeys. One instance regardless of transport.
+struct RunState {
+    warmup: u64,
+    measure: u64,
+    gen_until: u64,
+    deadline: u64,
+    window: u64,
+    stats: TrafficStats,
+    measured_outstanding: u64,
+    idle_streak: u64,
+    w_delivered: u64,
+    w_lat_sum: u64,
+    w_ejected: u64,
+    w_moved: u64,
+}
+
+impl RunState {
+    fn new(cfg: &SimConfig, stats: TrafficStats) -> Self {
+        RunState {
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            gen_until: cfg.warmup + cfg.measure,
+            deadline: cfg.warmup + cfg.measure + cfg.drain,
+            window: cfg.stats_window,
+            stats,
+            measured_outstanding: 0,
+            idle_streak: 0,
+            w_delivered: 0,
+            w_lat_sum: 0,
+            w_ejected: 0,
+            w_moved: 0,
+        }
+    }
+
+    fn measured_window_contains(&self, t: u64) -> bool {
+        t >= self.warmup && t < self.warmup + self.measure
+    }
+
+    /// Absorbs one cycle's merged shard reports and decides whether the
+    /// run ends. `cycle` is the cycle just simulated (0-based).
+    fn end_of_cycle(
+        &mut self,
+        cycle: u64,
+        mut agg: CycleDone,
+        obs: &mut dyn WindowObserver,
+    ) -> bool {
+        self.stats.flits_moved += agg.moved;
+        self.stats.generated += agg.gen.generated;
+        self.stats.measured_generated += agg.gen.measured_generated;
+        self.stats.unroutable += agg.gen.unroutable;
+        self.stats.ttl_dropped += agg.gen.ttl_dropped;
+        self.measured_outstanding += agg.gen.measured_generated;
+        for d in agg.deliveries.drain(..) {
+            // +1: the ejection link (see the fabric timing contract).
+            let delivered_at = cycle + 1;
+            let gen_at = d.state.generated_at;
+            self.w_delivered += 1;
+            self.w_lat_sum += delivered_at - gen_at;
+            if self.measured_window_contains(gen_at) {
+                self.stats.measured_delivered += 1;
+                self.measured_outstanding -= 1;
+                self.stats.latency.record(delivered_at - gen_at);
+            }
+        }
+        if self.measured_window_contains(cycle) {
+            self.stats.measured_flits_ejected += agg.flits_ejected;
+        }
+        self.w_ejected += agg.flits_ejected;
+        self.w_moved += agg.moved;
+
+        // Progress & termination accounting.
+        if agg.moved == 0 && !agg.injected_any {
+            self.idle_streak += 1;
+        } else {
+            self.idle_streak = 0;
+        }
+        let cycle = cycle + 1;
+        self.stats.cycles = cycle;
+
+        if self.window > 0 && cycle.is_multiple_of(self.window) {
+            let sample = WindowSample {
+                start: cycle - self.window,
+                end: cycle,
+                delivered: self.w_delivered,
+                mean_latency: if self.w_delivered == 0 {
+                    0.0
+                } else {
+                    self.w_lat_sum as f64 / self.w_delivered as f64
+                },
+                ejected_flits: self.w_ejected,
+                moved: self.w_moved,
+                in_flight: agg.in_flight,
+                backlog: agg.backlog,
+                measured_outstanding: self.measured_outstanding,
+                draining: cycle >= self.gen_until,
+            };
+            (self.w_delivered, self.w_lat_sum, self.w_ejected, self.w_moved) = (0, 0, 0, 0);
+            if obs.on_window(&sample) == WindowControl::Stop {
+                self.stats.saturated = self.measured_outstanding > 0;
+                return true;
+            }
+        }
+
+        let work_left = agg.in_flight > 0 || agg.backlog > 0;
+        // Successful end of run. `idle_streak == 0` matters even once
+        // every measured packet is home: leftover warmup-era worms may
+        // be wedged in a cyclic wait, and breaking here would report a
+        // clean run — let the deadlock detector below classify them
+        // first.
+        if cycle >= self.gen_until
+            && (!work_left || (self.measured_outstanding == 0 && self.idle_streak == 0))
+        {
+            return true;
+        }
+        // Classification: a cyclic wait is a deadlock even when it
+        // forms late in the drain window, so the deadline only declares
+        // saturation while flits are still moving; an in-progress idle
+        // streak is allowed to resolve (bounded by DEADLOCK_WINDOW
+        // extra cycles).
+        if self.idle_streak >= DEADLOCK_WINDOW && agg.in_flight > 0 {
+            self.stats.deadlocked = true;
+            return true;
+        }
+        if cycle >= self.deadline && (self.idle_streak == 0 || agg.in_flight == 0) {
+            self.stats.saturated = self.measured_outstanding > 0;
+            return true;
+        }
+        false
+    }
+
+    /// Seals the statistics once every shard has stopped.
+    fn finish(mut self, escape_entries: u64) -> TrafficStats {
+        self.stats.escape_packets = escape_entries;
+        self.stats
+    }
+}
+
+/// One traffic simulation: a sharded fabric over a fault configuration,
+/// driven by seeded injection processes, routed per hop by the policy's
+/// [`HopRouter`] over one compiled routing function.
+///
+/// The path table is borrowed so sweeps can reuse compiled routes
+/// across runs over the same network (route compilation dominates the
+/// low-load setup cost; see [`run_traffic_reusing`]). Additional worker
+/// shards compile their own tables.
+pub struct TrafficSim<'p> {
+    cfg: SimConfig,
+    /// Effective route hop budget (see `SimConfig::route_ttl`).
+    ttl: u32,
+    net: &'p Network,
+    kind: RoutingKind,
+    fabric: Fabric,
+    router: Box<dyn HopRouter + 'p>,
+    sampler: DestSampler,
+    sources: Vec<SourceNode>,
+    stats: TrafficStats,
+    /// Golden-equivalence hook: run on the retained scan-order
+    /// reference stepper instead of the event-driven one (forces the
+    /// in-process transport).
+    #[cfg(test)]
+    use_reference: bool,
+}
+
+/// Builds the policy's hop router over a path table (shared between the
+/// driver's table and each worker shard's private table).
+fn build_hop_router<'net, 'p>(
+    paths: &'p mut PathTable<'net>,
+    cfg: &SimConfig,
+) -> Box<dyn HopRouter + 'p> {
+    match cfg.policy {
+        RoutePolicy::Deterministic => Box::new(ReplayHop::new(paths)),
+        RoutePolicy::EscapeAdaptive { patience } => {
+            // escape_vcs == 1 reserves only the tree channel; the XY
+            // class needs a second reserved channel.
+            Box::new(EscapeHop::new(paths, patience, cfg.escape_vcs >= 2))
+        }
+    }
+}
+
 impl<'p> TrafficSim<'p> {
     /// Builds a simulation driving `paths`' routing function over
-    /// `paths`' network, per-hop, under `cfg.policy`.
+    /// `paths`' network, per-hop, under `cfg.policy`, sharded into
+    /// `cfg.threads` row bands (see [`SimConfig::threads`]).
     ///
     /// # Panics
     /// Panics when `cfg.packet_len` is zero (a packet has at least a
     /// head flit), `cfg.rate` is outside `[0, 1]`, `cfg.escape_vcs`
-    /// leaves no adaptive channel, or policy and `escape_vcs`
-    /// disagree (escape-adaptive needs a reserved channel;
-    /// deterministic would strand any).
-    pub fn new<'net>(paths: &'p mut PathTable<'net>, cfg: SimConfig) -> Self {
+    /// leaves no adaptive channel, policy and `escape_vcs` disagree
+    /// (escape-adaptive needs a reserved channel; deterministic would
+    /// strand any), or a Markov injection probability is outside
+    /// `(0, 1]`.
+    pub fn new<'net>(paths: &'p mut PathTable<'net>, cfg: SimConfig) -> Self
+    where
+        'net: 'p,
+    {
         assert!(cfg.packet_len >= 1, "packets need at least one flit");
         assert!(
             (0.0..=1.0).contains(&cfg.rate),
@@ -107,32 +515,32 @@ impl<'p> TrafficSim<'p> {
                 cfg.escape_vcs
             ),
         }
+        // Validates the Markov parameters (duty_cycle panics on a chain
+        // that cannot leave a state).
+        let duty = cfg.injection.duty_cycle();
+        debug_assert!(duty > 0.0);
         let net = paths.network();
         let kind = paths.kind();
         let mesh = *net.mesh();
+        let threads = cfg.resolved_threads(mesh.len());
         let sampler = DestSampler::new(cfg.pattern.clone(), net.faults(), cfg.seed);
+        let mmp = matches!(cfg.injection, InjectionProcess::MarkovOnOff { .. });
         let sources: Vec<SourceNode> = mesh
             .iter()
             .filter(|&c| net.faults().is_healthy(c))
             .map(|c| {
                 let id = mesh.id(c);
-                SourceNode {
-                    id,
-                    coord: c,
-                    rng: StdRng::seed_from_u64(derive_seed(cfg.seed, u64::from(id.0), 0)),
-                    queue: VecDeque::new(),
-                }
+                let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, u64::from(id.0), 0));
+                // The on/off chain starts in its stationary
+                // distribution (drawn per node, so the decision is
+                // independent of the shard count). Bernoulli sources
+                // draw nothing here, keeping their streams unchanged.
+                let on = !mmp || rng.gen_bool(duty);
+                SourceNode { id, coord: c, rng, queue: VecDeque::new(), on }
             })
             .collect();
-        let fabric = Fabric::new(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs);
-        let router: Box<dyn HopRouter + 'p> = match cfg.policy {
-            RoutePolicy::Deterministic => Box::new(ReplayHop::new(paths)),
-            RoutePolicy::EscapeAdaptive { patience } => {
-                // escape_vcs == 1 reserves only the tree channel; the
-                // XY class needs a second reserved channel.
-                Box::new(EscapeHop::new(paths, patience, cfg.escape_vcs >= 2))
-            }
-        };
+        let fabric = Fabric::new_sharded(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs, threads);
+        let router = build_hop_router(paths, &cfg);
         let stats = TrafficStats {
             cycles: 0,
             nodes: sources.len(),
@@ -161,11 +569,12 @@ impl<'p> TrafficSim<'p> {
         TrafficSim {
             cfg,
             ttl,
+            net,
+            kind,
             fabric,
             router,
             sampler,
             sources,
-            measured_outstanding: 0,
             stats,
             #[cfg(test)]
             use_reference: false,
@@ -191,180 +600,238 @@ impl<'p> TrafficSim<'p> {
     /// power: returning [`WindowControl::Stop`] ends the run at that
     /// window boundary, classified exactly as at the drain deadline
     /// (`saturated` when measured packets are outstanding).
-    pub fn run_with(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
-        let gen_until = self.cfg.warmup + self.cfg.measure;
-        let deadline = gen_until + self.cfg.drain;
-        let window = self.cfg.stats_window;
-        let mut ejected: Vec<u32> = Vec::new();
-        let mut idle_streak = 0u64;
-        // Per-window accumulators: (delivered, latency sum, ejected
-        // flits, moved flit-hops), reset at each window boundary.
-        let (mut w_delivered, mut w_lat_sum, mut w_ejected, mut w_moved) = (0u64, 0u64, 0u64, 0u64);
+    pub fn run_with(self, obs: &mut dyn WindowObserver) -> TrafficStats {
+        let shards = self.fabric.num_shards();
+        #[cfg(test)]
+        let in_process = shards <= 1 || self.use_reference;
+        #[cfg(not(test))]
+        let in_process = shards <= 1;
+        if in_process {
+            self.run_in_process(obs)
+        } else {
+            self.run_threaded(obs)
+        }
+    }
 
+    /// Splits the row-major source list into one bucket per shard node
+    /// range.
+    fn partition_sources(
+        sources: Vec<SourceNode>,
+        ranges: &[Range<usize>],
+    ) -> Vec<Vec<SourceNode>> {
+        let mut iter = sources.into_iter().peekable();
+        ranges
+            .iter()
+            .map(|r| {
+                let mut bucket = Vec::new();
+                while iter.peek().is_some_and(|s| r.contains(&s.id.index())) {
+                    bucket.push(iter.next().expect("peeked"));
+                }
+                bucket
+            })
+            .collect()
+    }
+
+    /// The in-process transport: every shard stepped on this thread
+    /// (the sequential path, and the reference-stepper path in tests).
+    fn run_in_process(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
+        let shards = self.fabric.take_shards();
+        let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
+        let mut buckets = Self::partition_sources(self.sources, &ranges).into_iter();
+        let mut tables: Vec<PathTable> =
+            (1..shards.len()).map(|_| PathTable::new(self.net, self.kind)).collect();
+        let mut workers: Vec<ShardWorker> = Vec::with_capacity(shards.len());
+        let mut shard_iter = shards.into_iter();
+        workers.push(ShardWorker::new(
+            shard_iter.next().expect("at least one shard"),
+            buckets.next().expect("one bucket per shard"),
+            self.router,
+            &self.sampler,
+            &self.cfg,
+            self.ttl,
+            0,
+        ));
+        for (i, (shard, table)) in shard_iter.zip(tables.iter_mut()).enumerate() {
+            workers.push(ShardWorker::new(
+                shard,
+                buckets.next().expect("one bucket per shard"),
+                build_hop_router(table, &self.cfg),
+                &self.sampler,
+                &self.cfg,
+                self.ttl,
+                i + 1,
+            ));
+        }
+        #[cfg(test)]
+        for w in &mut workers {
+            w.use_reference = self.use_reference;
+        }
+
+        let mut run = RunState::new(&self.cfg, self.stats);
         let mut cycle = 0u64;
         loop {
-            let mut injected_any = false;
-            if cycle < gen_until {
-                self.generate(cycle);
+            let mut agg = CycleDone::default();
+            for w in &mut workers {
+                w.plan_and_grant(cycle, &mut agg);
             }
-            injected_any |= self.feed_injection_channels();
-
-            #[cfg(test)]
-            let report = if self.use_reference {
-                self.fabric.step_reference(&mut *self.router, &mut ejected)
-            } else {
-                self.fabric.step(&mut *self.router, &mut ejected)
-            };
-            #[cfg(not(test))]
-            let report = self.fabric.step(&mut *self.router, &mut ejected);
-
-            self.stats.flits_moved += report.moved;
-            for pk in ejected.drain(..) {
-                // +1: the ejection link (see the fabric timing contract).
-                let delivered_at = cycle + 1;
-                let p = self.fabric.packet(pk);
-                let gen_at = p.generated_at;
-                w_delivered += 1;
-                w_lat_sum += delivered_at - gen_at;
-                if self.measured_window_contains(gen_at) {
-                    self.stats.measured_delivered += 1;
-                    self.measured_outstanding -= 1;
-                    self.stats.latency.record(delivered_at - gen_at);
+            // Boundary exchange (in-process: direct hand-off between
+            // adjacent bands).
+            for i in 0..workers.len() {
+                let (prev, next) = workers[i].shard.take_outboxes();
+                if !prev.is_empty() {
+                    workers[i - 1].shard.apply_boundary(prev);
+                }
+                if !next.is_empty() {
+                    workers[i + 1].shard.apply_boundary(next);
                 }
             }
-            if self.measured_window_contains(cycle) {
-                self.stats.measured_flits_ejected += report.flits_ejected;
+            for w in &mut workers {
+                w.finish_cycle(&mut agg);
             }
-            w_ejected += report.flits_ejected;
-            w_moved += report.moved;
-
-            // Progress & termination accounting.
-            if report.moved == 0 && !injected_any {
-                idle_streak += 1;
-            } else {
-                idle_streak = 0;
-            }
+            let stop = run.end_of_cycle(cycle, agg, obs);
             cycle += 1;
+            if stop {
+                break;
+            }
+        }
+        run.finish(workers.iter().map(|w| w.shard.escape_entries).sum())
+    }
 
-            if window > 0 && cycle.is_multiple_of(window) {
-                let sample = WindowSample {
-                    start: cycle - window,
-                    end: cycle,
-                    delivered: w_delivered,
-                    mean_latency: if w_delivered == 0 {
-                        0.0
-                    } else {
-                        w_lat_sum as f64 / w_delivered as f64
-                    },
-                    ejected_flits: w_ejected,
-                    moved: w_moved,
-                    in_flight: self.fabric.in_flight(),
-                    backlog: self.sources.iter().map(|s| s.queue.len() as u64).sum(),
-                    measured_outstanding: self.measured_outstanding,
-                    draining: cycle >= gen_until,
-                };
-                (w_delivered, w_lat_sum, w_ejected, w_moved) = (0, 0, 0, 0);
-                if obs.on_window(&sample) == WindowControl::Stop {
-                    self.stats.saturated = self.measured_outstanding > 0;
+    /// The worker-thread transport: one scoped thread per shard beyond
+    /// the first (which runs on this thread, interleaved with
+    /// coordination). Workers exchange boundary messages directly with
+    /// their band neighbors over channels; the coordinator gates each
+    /// cycle, so no worker ever runs ahead of a termination or
+    /// observer decision.
+    fn run_threaded(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
+        let mut shards = self.fabric.take_shards();
+        let n = shards.len();
+        assert!(n < (1 << (32 - ID_SHARD_SHIFT)), "shard count exceeds the packet-id namespace");
+        let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
+        let mut buckets = Self::partition_sources(self.sources, &ranges);
+        let cfg = self.cfg.clone();
+        let ttl = self.ttl;
+        let net = self.net;
+        let kind = self.kind;
+        let sampler = &self.sampler;
+
+        // Control channels: one `Go` lane per spawned worker, one
+        // shared `CycleDone` lane back. Boundary lanes: `down[i]`
+        // carries shard i -> i+1, `up[i]` carries i+1 -> i. Every lane
+        // end is *moved* to its unique user — the coordinator keeps
+        // only the ends it reads/writes itself and drops its `done`
+        // sender after spawning — so a worker panic disconnects its
+        // lanes: the neighbors' blocking recvs error out instead of
+        // waiting forever, their panics cascade, and the scope
+        // surfaces the failure rather than deadlocking the run.
+        let mut go_tx: Vec<Sender<Go>> = Vec::with_capacity(n - 1);
+        let mut go_rx: Vec<Option<Receiver<Go>>> = Vec::with_capacity(n - 1);
+        let mut down_tx: Vec<Option<Sender<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
+        let mut down_rx: Vec<Option<Receiver<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
+        let mut up_tx: Vec<Option<Sender<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
+        let mut up_rx: Vec<Option<Receiver<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
+        for _ in 1..n {
+            let (t, r) = channel::unbounded();
+            go_tx.push(t);
+            go_rx.push(Some(r));
+            let (t, r) = channel::unbounded();
+            down_tx.push(Some(t));
+            down_rx.push(Some(r));
+            let (t, r) = channel::unbounded();
+            up_tx.push(Some(t));
+            up_rx.push(Some(r));
+        }
+        let (done_tx, done_rx) = channel::unbounded::<CycleDone>();
+        let mut done_tx = Some(done_tx);
+
+        let shard0 = shards.remove(0);
+        let bucket0 = buckets.remove(0);
+        let run = RunState::new(&cfg, self.stats);
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n - 1);
+            for (w, shard) in shards.into_iter().enumerate().map(|(i, s)| (i + 1, s)) {
+                let sources = std::mem::take(&mut buckets[w - 1]);
+                let go_rx = go_rx[w - 1].take().expect("one worker per lane");
+                let done_tx = done_tx.as_ref().expect("dropped only after spawning").clone();
+                let send_up = up_tx[w - 1].take().expect("one worker per lane");
+                let send_down = (w < n - 1).then(|| down_tx[w].take().expect("one worker"));
+                let recv_above = down_rx[w - 1].take().expect("one worker per lane");
+                let recv_below = (w < n - 1).then(|| up_rx[w].take().expect("one worker"));
+                let cfg = &cfg;
+                handles.push(scope.spawn(move |_| {
+                    let mut paths = PathTable::new(net, kind);
+                    let router = build_hop_router(&mut paths, cfg);
+                    let mut worker = ShardWorker::new(shard, sources, router, sampler, cfg, ttl, w);
+                    loop {
+                        match go_rx.recv() {
+                            Ok(Go::Cycle(cycle)) => {
+                                let mut done = CycleDone::default();
+                                worker.plan_and_grant(cycle, &mut done);
+                                let (prev, next) = worker.shard.take_outboxes();
+                                let _ = send_up.send(prev);
+                                if let Some(tx) = &send_down {
+                                    let _ = tx.send(next);
+                                } else {
+                                    debug_assert!(next.is_empty(), "last shard has no neighbor");
+                                }
+                                worker.shard.apply_boundary(
+                                    recv_above.recv().expect("coordinator shard died mid-cycle"),
+                                );
+                                if let Some(rx) = &recv_below {
+                                    worker.shard.apply_boundary(
+                                        rx.recv().expect("neighbor shard died mid-cycle"),
+                                    );
+                                }
+                                worker.finish_cycle(&mut done);
+                                let _ = done_tx.send(done);
+                            }
+                            Ok(Go::Finish) | Err(_) => return worker.shard,
+                        }
+                    }
+                }));
+            }
+
+            // The coordinator's own lane ends; its unused `done`
+            // sender is dropped so only live workers hold one.
+            let down0_tx = down_tx[0].take().expect("worker 1 takes no coordinator lane");
+            let up0_rx = up_rx[0].take().expect("worker 1 takes no coordinator lane");
+            done_tx = None;
+
+            // Shard 0 runs here, interleaved with coordination.
+            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, sampler, &cfg, ttl, 0);
+            let mut run = run;
+            let mut cycle = 0u64;
+            loop {
+                for tx in &go_tx {
+                    let _ = tx.send(Go::Cycle(cycle));
+                }
+                let mut agg = CycleDone::default();
+                w0.plan_and_grant(cycle, &mut agg);
+                let (prev, next) = w0.shard.take_outboxes();
+                debug_assert!(prev.is_empty(), "shard 0 has no previous neighbor");
+                let _ = down0_tx.send(next);
+                w0.shard.apply_boundary(up0_rx.recv().expect("worker shard died mid-cycle"));
+                w0.finish_cycle(&mut agg);
+                for _ in 1..n {
+                    agg.merge(done_rx.recv().expect("worker shard died mid-cycle"));
+                }
+                let stop = run.end_of_cycle(cycle, agg, obs);
+                cycle += 1;
+                if stop {
                     break;
                 }
             }
-
-            let work_left =
-                self.fabric.in_flight() > 0 || self.sources.iter().any(|s| !s.queue.is_empty());
-            // Successful end of run. `idle_streak == 0` matters even
-            // once every measured packet is home: leftover warmup-era
-            // worms may be wedged in a cyclic wait, and breaking here
-            // would report a clean run — let the deadlock detector
-            // below classify them first.
-            if cycle >= gen_until
-                && (!work_left || (self.measured_outstanding == 0 && idle_streak == 0))
-            {
-                break;
+            for tx in &go_tx {
+                let _ = tx.send(Go::Finish);
             }
-            // Classification: a cyclic wait is a deadlock even when it
-            // forms late in the drain window, so the deadline only
-            // declares saturation while flits are still moving; an
-            // in-progress idle streak is allowed to resolve (bounded by
-            // DEADLOCK_WINDOW extra cycles).
-            if idle_streak >= DEADLOCK_WINDOW && self.fabric.in_flight() > 0 {
-                self.stats.deadlocked = true;
-                break;
+            let mut escape = w0.shard.escape_entries;
+            for h in handles {
+                escape += h.join().expect("sharded simulation worker panicked").escape_entries;
             }
-            if cycle >= deadline && (idle_streak == 0 || self.fabric.in_flight() == 0) {
-                self.stats.saturated = self.measured_outstanding > 0;
-                break;
-            }
-        }
-        self.stats.cycles = cycle;
-        self.stats.escape_packets = self.fabric.escape_entries();
-        self.stats
-    }
-
-    fn measured_window_contains(&self, t: u64) -> bool {
-        t >= self.cfg.warmup && t < self.cfg.warmup + self.cfg.measure
-    }
-
-    /// Bernoulli generation at every healthy node. The NI attaches no
-    /// route — it only asks the hop router to *admit* the pair (is it
-    /// routable, and how long is the compiled route, for the TTL
-    /// check); all forwarding decisions happen per hop in the fabric.
-    fn generate(&mut self, cycle: u64) {
-        let rate = self.cfg.rate;
-        let len = self.cfg.packet_len;
-        let measured = self.measured_window_contains(cycle);
-        for i in 0..self.sources.len() {
-            let src = self.sources[i].coord;
-            if !self.sources[i].rng.gen_bool(rate) {
-                continue;
-            }
-            let Some(dst) = self.sampler.dest(src, &mut self.sources[i].rng) else {
-                continue;
-            };
-            let Some(hops) = self.router.admit(src, dst) else {
-                self.stats.unroutable += 1;
-                continue;
-            };
-            if hops > self.ttl {
-                self.stats.ttl_dropped += 1;
-                continue;
-            }
-            let id = self.fabric.register_packet(PacketState::new(src, dst, cycle, len));
-            self.stats.generated += 1;
-            if measured {
-                self.stats.measured_generated += 1;
-                self.measured_outstanding += 1;
-            }
-            self.sources[i].queue.push_back(QueuedPacket { id, remaining: len });
-        }
-    }
-
-    /// Feeds at most one flit per node per cycle from the head-of-line
-    /// queued packet into the injection channel.
-    fn feed_injection_channels(&mut self) -> bool {
-        let depth = self.cfg.vc_depth;
-        let mut any = false;
-        for s in &mut self.sources {
-            let Some(front) = s.queue.front_mut() else {
-                continue;
-            };
-            if self.fabric.local_occupancy(s.id) >= depth {
-                continue;
-            }
-            let total = self.fabric.packet(front.id).len;
-            let flit = Flit {
-                packet: front.id,
-                is_head: front.remaining == total,
-                is_tail: front.remaining == 1,
-            };
-            self.fabric.inject_flit(s.id, flit);
-            front.remaining -= 1;
-            if front.remaining == 0 {
-                s.queue.pop_front();
-            }
-            any = true;
-        }
-        any
+            run.finish(escape)
+        })
+        .expect("sharded simulation worker panicked")
     }
 }
 
@@ -442,7 +909,7 @@ pub fn single_packet_latency(
 mod tests {
     use super::*;
     use crate::config::PIPELINE_DEPTH;
-    use crate::pattern::TrafficPattern;
+    use crate::pattern::{LengthDist, TrafficPattern};
     use meshpath_mesh::{FaultSet, Mesh};
 
     fn fault_free(n: u32) -> Network {
@@ -486,6 +953,44 @@ mod tests {
         assert_eq!(a, b, "same seed must reproduce bit-identically");
         let c = run_traffic(&net, RoutingKind::Rb2, &SimConfig { seed: 7, ..cfg });
         assert_ne!(a.generated, c.generated, "different seeds, different workload");
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential() {
+        // The tentpole claim at the driver level: the same seeded
+        // config produces the same statistics at every thread count,
+        // across load regimes (the golden suite covers random draws).
+        let mesh = Mesh::square(12);
+        let net = Network::build(FaultSet::from_coords(
+            mesh,
+            [Coord::new(4, 4), Coord::new(7, 2), Coord::new(2, 9)],
+        ));
+        for rate in [0.01, 0.08] {
+            let base = SimConfig { rate, threads: 1, ..SimConfig::smoke() };
+            let sequential = run_traffic(&net, RoutingKind::Rb2, &base);
+            for threads in [2, 3, 4] {
+                let sharded =
+                    run_traffic(&net, RoutingKind::Rb2, &SimConfig { threads, ..base.clone() });
+                assert_eq!(sequential, sharded, "threads = {threads}, rate = {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_and_geometric_scenarios_run_and_shard_deterministically() {
+        let net = fault_free(8);
+        let cfg = SimConfig {
+            rate: 0.01,
+            injection: InjectionProcess::MarkovOnOff { on_to_off: 0.2, off_to_on: 0.05 },
+            length: LengthDist::Geometric { max: 16 },
+            ..SimConfig::smoke()
+        };
+        let a = run_traffic(&net, RoutingKind::Rb2, &cfg);
+        assert!(a.measured_generated > 0, "the on/off process must generate");
+        assert_eq!(a.measured_delivered, a.measured_generated, "low load must drain");
+        assert_eq!(a, run_traffic(&net, RoutingKind::Rb2, &cfg), "must be deterministic");
+        let sharded = run_traffic(&net, RoutingKind::Rb2, &SimConfig { threads: 2, ..cfg });
+        assert_eq!(a, sharded, "bursty scenarios must shard bit-identically");
     }
 
     #[test]
