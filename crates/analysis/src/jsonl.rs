@@ -1,0 +1,144 @@
+//! The one hand-rolled JSON emitter behind every machine-readable
+//! output path (`traffic_sweep --json`, the `route_bench` rows, the
+//! fault-churn example): a tiny object/document builder so the format
+//! lives in exactly one place.
+//!
+//! The workspace's `serde` is an offline no-op derive stub (see
+//! `crates/compat/serde`), so the derives mark intent but cannot
+//! serialize; when a crates.io mirror is reachable and the real serde
+//! lands (ROADMAP "real registry deps"), this module is the single
+//! swap-over point. Until then the emitter enforces the invariant the
+//! hand-rolled format relies on: every emitted string is plain
+//! `[A-Za-z0-9_.-]`, so no escaping is ever required.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// A flat JSON object under construction (one row, or one config
+/// header). Keys are emitted in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        debug_assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "JSON keys stay snake_case: {key:?}"
+        );
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+        let _ = write!(self.buf, "\"{key}\": ");
+    }
+
+    /// A raw (unquoted) value: integers, booleans, or floats whose
+    /// `Display` form is already the wanted JSON.
+    pub fn field(&mut self, key: &str, value: impl Display) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// A float rendered with a fixed number of decimals.
+    pub fn float(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value:.decimals$}");
+        self
+    }
+
+    /// A quoted string value. Only plain `[A-Za-z0-9_.-]` strings are
+    /// accepted (panics otherwise) — the emitter has no escaping on
+    /// purpose; see the module docs.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        assert!(
+            value.chars().all(|c| c.is_ascii_alphanumeric() || "_-.".contains(c)),
+            "JSON string needs escaping, which this emitter refuses: {value:?}"
+        );
+        self.key(key);
+        let _ = write!(self.buf, "\"{value}\"");
+        self
+    }
+
+    /// An array of unsigned integers.
+    pub fn array_u64(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// The object as `{...}`.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// The standard two-part document every `BENCH_*.json` artifact uses:
+/// a `config` summary object plus one flat `rows` object per record.
+/// Renders as
+///
+/// ```json
+/// {
+///   "config": {...},
+///   "rows": [
+///     {...},
+///     {...}
+///   ]
+/// }
+/// ```
+pub fn document(config: &JsonObject, rows: &[JsonObject]) -> String {
+    let mut s = String::with_capacity(64 + 256 * rows.len());
+    s.push_str("{\n  \"config\": ");
+    s.push_str(&config.render());
+    s.push_str(",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&row.render());
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_flat_and_ordered() {
+        let mut o = JsonObject::new();
+        o.field("a", 1).string("b", "x-y.z").float("c", 1.5, 3).array_u64("d", &[3, 4]);
+        assert_eq!(o.render(), r#"{"a": 1, "b": "x-y.z", "c": 1.500, "d": [3, 4]}"#);
+    }
+
+    #[test]
+    fn documents_have_no_trailing_comma() {
+        let mut c = JsonObject::new();
+        c.field("mesh", 8);
+        let mut r = JsonObject::new();
+        r.field("v", true);
+        let doc = document(&c, &[r.clone(), r]);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(!doc.contains(",\n  ]"), "{doc}");
+        assert!(doc.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs escaping")]
+    fn strings_requiring_escapes_are_refused() {
+        JsonObject::new().string("k", "a\"b");
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod cli;
 pub mod fig5;
+pub mod jsonl;
 pub mod sweep;
 pub mod table;
 pub mod traffic;

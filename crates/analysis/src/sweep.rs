@@ -7,7 +7,7 @@ use meshpath_fault::stats::{stats_of, FaultConfigStats};
 use meshpath_info::{ModelKind, PropagationStats};
 use meshpath_mesh::{Coord, FaultInjection, FaultSet, Mesh, Orientation};
 use meshpath_route::oracle::DistanceField;
-use meshpath_route::{ECube, Network, Rb1, Rb2, Rb3, Router};
+use meshpath_route::{ECube, NetView, Rb1, Rb2, Rb3, Router};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -152,7 +152,7 @@ pub(crate) use meshpath_mesh::derive_seed;
 /// propagation statistics, and routes `pairs` random pairs per router.
 pub fn run_config(mesh: Mesh, faults: FaultSet, pairs: usize, seed: u64) -> ConfigRecord {
     let fault_count = faults.count();
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let fault_stats = stats_of(net.faults(), net.mccs(Orientation::IDENTITY));
 
     // Propagation cost per model, averaged over orientations.

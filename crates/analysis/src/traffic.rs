@@ -9,11 +9,13 @@
 
 use crossbeam::channel;
 use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
-use meshpath_route::Network;
+use meshpath_route::NetView;
 use meshpath_traffic::{
     run_traffic_reusing_with, DrainStallObserver, LatencyHistogram, PathTable, RoutingKind,
     SimConfig, TrafficStats,
 };
+
+use crate::jsonl::{document, JsonObject};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -248,74 +250,61 @@ impl LoadSweepResult {
 
     /// Serializes the sweep as a JSON document: a `config` summary plus
     /// one flat `rows` object per grid point, suitable for recording
-    /// `BENCH_*.json` trajectories across commits.
-    ///
-    /// The JSON is emitted by hand: the workspace's `serde` is an
-    /// offline no-op derive stub (see `crates/compat/serde`), so the
-    /// derives mark intent but cannot serialize. Every emitted value is
-    /// a number, boolean or plain `[A-Za-z0-9_-]` string, so no string
-    /// escaping is required.
+    /// `BENCH_*.json` trajectories across commits. Emitted through
+    /// [`crate::jsonl`] (the single hand-rolled JSON path; see its
+    /// module docs on the planned serde swap-over).
     pub fn to_json(&self) -> String {
         let c = &self.config;
-        let mut s = String::with_capacity(256 + 256 * self.points.len());
-        s.push_str("{\n  \"config\": {");
-        s.push_str(&format!(
-            "\"mesh\": {}, \"seed\": {}, \"pattern\": \"{}\", \"injection\": \"{}\", \
-             \"length\": \"{}\", \"sim_threads\": {}, \"vcs\": {}, \
-             \"escape_vcs\": {}, \"vc_depth\": {}, \"packet_len\": {}, \
-             \"warmup\": {}, \"measure\": {}, \"drain\": {}",
-            c.mesh,
-            c.seed,
-            c.sim.pattern.name(),
-            c.sim.injection.name(),
-            c.sim.length.name(),
-            c.sim.threads,
-            c.sim.vcs,
-            c.sim.escape_vcs,
-            c.sim.vc_depth,
-            c.sim.packet_len,
-            c.sim.warmup,
-            c.sim.measure,
-            c.sim.drain,
-        ));
-        s.push_str("},\n  \"rows\": [\n");
-        for (i, p) in self.points.iter().enumerate() {
-            let st = &p.stats;
-            s.push_str(&format!(
-                "    {{\"router\": \"{}\", \"faults\": {}, \"rate\": {}, \
-                 \"mean_latency\": {:.3}, \"p95_latency\": {}, \"max_latency\": {}, \
-                 \"accepted_flits_per_node_cycle\": {:.6}, \"delivered_pct\": {:.3}, \
-                 \"generated\": {}, \"measured_generated\": {}, \"measured_delivered\": {}, \
-                 \"unroutable\": {}, \"ttl_dropped\": {}, \"escape_packets\": {}, \
-                 \"cycles\": {}, \"saturated\": {}, \"deadlocked\": {}, \
-                 \"simulated\": {}, \"flits_moved\": {}, \"sim_wall_ms\": {:.3}, \
-                 \"mflits_per_sec\": {:.3}}}{}\n",
-                p.router.name(),
-                p.faults,
-                p.rate,
-                st.mean_latency(),
-                st.latency.percentile(0.95),
-                st.latency.max(),
-                st.accepted_flits_per_node_cycle(),
-                st.delivered_pct(),
-                st.generated,
-                st.measured_generated,
-                st.measured_delivered,
-                st.unroutable,
-                st.ttl_dropped,
-                st.escape_packets,
-                st.cycles,
-                st.saturated,
-                st.deadlocked,
-                p.simulated,
-                st.flits_moved,
-                p.sim_wall_ms,
-                p.mflits_per_sec(),
-                if i + 1 == self.points.len() { "" } else { "," },
-            ));
-        }
-        s.push_str("  ]\n}\n");
-        s
+        let mut config = JsonObject::new();
+        config
+            .field("mesh", c.mesh)
+            .field("seed", c.seed)
+            .string("pattern", c.sim.pattern.name())
+            .string("injection", c.sim.injection.name())
+            .string("length", c.sim.length.name())
+            .field("sim_threads", c.sim.threads)
+            .field("vcs", c.sim.vcs)
+            .field("escape_vcs", c.sim.escape_vcs)
+            .field("vc_depth", c.sim.vc_depth)
+            .field("packet_len", c.sim.packet_len)
+            .field("warmup", c.sim.warmup)
+            .field("measure", c.sim.measure)
+            .field("drain", c.sim.drain)
+            .field("churn_events", c.sim.fault_churn.len());
+        let rows: Vec<JsonObject> = self
+            .points
+            .iter()
+            .map(|p| {
+                let st = &p.stats;
+                let mut row = JsonObject::new();
+                row.string("router", p.router.name())
+                    .field("faults", p.faults)
+                    .field("rate", p.rate)
+                    .float("mean_latency", st.mean_latency(), 3)
+                    .field("p95_latency", st.latency.percentile(0.95))
+                    .field("max_latency", st.latency.max())
+                    .float("accepted_flits_per_node_cycle", st.accepted_flits_per_node_cycle(), 6)
+                    .float("delivered_pct", st.delivered_pct(), 3)
+                    .field("generated", st.generated)
+                    .field("measured_generated", st.measured_generated)
+                    .field("measured_delivered", st.measured_delivered)
+                    .field("unroutable", st.unroutable)
+                    .field("ttl_dropped", st.ttl_dropped)
+                    .field("escape_packets", st.escape_packets)
+                    .field("cycles", st.cycles)
+                    .field("saturated", st.saturated)
+                    .field("deadlocked", st.deadlocked)
+                    .field("simulated", p.simulated)
+                    .field("flits_moved", st.flits_moved)
+                    .field("epochs", st.epoch_delivered.len().max(1))
+                    .array_u64("epoch_delivered", &st.epoch_delivered)
+                    .field("churn_dropped", st.churn_dropped)
+                    .float("sim_wall_ms", p.sim_wall_ms, 3)
+                    .float("mflits_per_sec", p.mflits_per_sec(), 3);
+                row
+            })
+            .collect();
+        document(&config, &rows)
     }
 
     /// Accepted-throughput table (flits/node/cycle) per fault density.
@@ -359,7 +348,7 @@ impl LoadSweepResult {
 /// `saturated` verdict inherited from a lower rate, zeroed counters (no
 /// cycles were simulated), and the real healthy-node count so the point
 /// stays comparable in per-node denominators.
-fn saturated_placeholder(net: &Network, sim: &SimConfig) -> TrafficStats {
+fn saturated_placeholder(net: &NetView, sim: &SimConfig) -> TrafficStats {
     let faults = net.faults();
     TrafficStats {
         cycles: 0,
@@ -376,6 +365,8 @@ fn saturated_placeholder(net: &Network, sim: &SimConfig) -> TrafficStats {
         latency: LatencyHistogram::new(1),
         saturated: true,
         deadlocked: false,
+        epoch_delivered: vec![0; sim.fault_churn.len() + 1],
+        churn_dropped: 0,
     }
 }
 
@@ -396,13 +387,13 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
     };
 
     // One analyzed network per fault count, shared across workers.
-    let nets: Vec<Network> = config
+    let nets: Vec<NetView> = config
         .fault_counts
         .iter()
         .enumerate()
         .map(|(fi, &faults)| {
             let mut frng = StdRng::seed_from_u64(derive_seed(config.seed, fi as u64, 0));
-            Network::build(FaultSet::random(mesh, faults, config.injection, &mut frng))
+            NetView::build(FaultSet::random(mesh, faults, config.injection, &mut frng))
         })
         .collect();
 

@@ -82,12 +82,12 @@ fn bench(c: &mut Criterion) {
 }
 
 /// An `n`x`n` network (the standard fixtures are 40x40).
-fn fixture_network(n: u32, faults: usize, seed: u64) -> Network {
+fn fixture_network(n: u32, faults: usize, seed: u64) -> NetView {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mesh = Mesh::square(n);
     let mut rng = StdRng::seed_from_u64(seed);
-    Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
+    NetView::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
 }
 
 criterion_group!(benches, bench);

@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("network_build_40x40_240f", |b| {
         b.iter(|| {
-            let net = Network::build(black_box(fs.clone()));
+            let net = NetView::build(black_box(fs.clone()));
             black_box(net.mccs(Orientation::IDENTITY).len())
         })
     });

@@ -1,0 +1,66 @@
+//! `RouteService` query throughput at 1, 2 and 4 threads: the
+//! micro-level counterpart of the `route_bench` binary (which records
+//! the committed `BENCH_route.json` trajectory). CI runs this bench in
+//! `--test` smoke mode so it cannot rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshpath::prelude::*;
+use meshpath_bench::{fixture_faults, fixture_pairs};
+
+fn bench_route_query(c: &mut Criterion) {
+    let service = RouteService::new(fixture_faults(36, 7));
+    let net = service.view();
+    let pairs = fixture_pairs(&net, 64, 11);
+    assert!(pairs.len() >= 32, "fixture must yield routable pairs");
+
+    let mut group = c.benchmark_group("route_query");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let total: usize = std::thread::scope(|scope| {
+                    (0..threads)
+                        .map(|t| {
+                            let service = &service;
+                            let pairs = &pairs;
+                            scope.spawn(move || {
+                                let mut hops = 0usize;
+                                for (s, d) in pairs.iter().skip(t).step_by(threads) {
+                                    hops += service
+                                        .route(*s, *d)
+                                        .expect("fixture pairs are routable")
+                                        .hops()
+                                        as usize;
+                                }
+                                hops
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .map(|h| h.join().expect("bench thread"))
+                        .sum()
+                });
+                criterion::black_box(total)
+            });
+        });
+    }
+    group.finish();
+
+    // The epoch-mutation path (incremental add + remove).
+    c.bench_function("route_query/epoch_update", |b| {
+        let service = RouteService::new(fixture_faults(36, 7));
+        let view = service.view();
+        let spot = view
+            .mesh()
+            .iter()
+            .find(|&c| view.faults().is_healthy(c))
+            .expect("a healthy node exists");
+        b.iter(|| {
+            service.add_fault(spot).expect("healthy spot");
+            service.remove_fault(spot).expect("repair");
+        });
+    });
+}
+
+criterion_group!(benches, bench_route_query);
+criterion_main!(benches);

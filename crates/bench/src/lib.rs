@@ -20,13 +20,13 @@ pub fn fixture_faults(count: usize, seed: u64) -> FaultSet {
     FaultSet::random(mesh, count, FaultInjection::Uniform, &mut rng)
 }
 
-/// A fully analyzed network over [`fixture_faults`].
-pub fn fixture_network(count: usize, seed: u64) -> Network {
-    Network::build(fixture_faults(count, seed))
+/// A fully analyzed network snapshot over [`fixture_faults`].
+pub fn fixture_network(count: usize, seed: u64) -> NetView {
+    NetView::build(fixture_faults(count, seed))
 }
 
 /// Deterministic routable pairs (safe endpoints, connected).
-pub fn fixture_pairs(net: &Network, count: usize, seed: u64) -> Vec<(Coord, Coord)> {
+pub fn fixture_pairs(net: &NetView, count: usize, seed: u64) -> Vec<(Coord, Coord)> {
     let n = SIDE as i32;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();

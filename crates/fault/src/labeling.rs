@@ -110,61 +110,100 @@ impl Labeling {
             }
         });
 
-        let blocked = |mask: &Grid<u8>, c: Coord, bit: u8| -> bool {
-            match mask.get(c) {
-                Some(&m) => m & (FAULTY | bit) != 0,
-                None => border == BorderPolicy::Blocking,
-            }
-        };
-
         // Independent least fixpoints for the two predicates, driven by a
         // shared worklist. Flags only ever get added, so the iteration
         // terminates after at most 2n insertions.
-        let mut work: Vec<Coord> = mesh.iter().filter(|&oc| mask[oc] & FAULTY == 0).collect();
+        let work: Vec<Coord> = mesh.iter().filter(|&oc| mask[oc] & FAULTY == 0).collect();
         let mut unsafe_count = faults.count();
-        while let Some(u) = work.pop() {
-            let m = mask[u];
-            if m & FAULTY != 0 {
-                continue;
-            }
-            let mut gained = 0u8;
-            if m & USELESS == 0
-                && blocked(&mask, u.step(Dir::PlusX), USELESS)
-                && blocked(&mask, u.step(Dir::PlusY), USELESS)
-            {
-                gained |= USELESS;
-            }
-            if m & CANT_REACH == 0
-                && blocked(&mask, u.step(Dir::MinusX), CANT_REACH)
-                && blocked(&mask, u.step(Dir::MinusY), CANT_REACH)
-            {
-                gained |= CANT_REACH;
-            }
-            if gained != 0 {
-                if m == 0 {
-                    unsafe_count += 1;
-                }
-                mask[u] = m | gained;
-                if gained & USELESS != 0 {
-                    for d in [Dir::MinusX, Dir::MinusY] {
-                        let v = u.step(d);
-                        if mesh.contains(v) {
-                            work.push(v);
-                        }
-                    }
-                }
-                if gained & CANT_REACH != 0 {
-                    for d in [Dir::PlusX, Dir::PlusY] {
-                        let v = u.step(d);
-                        if mesh.contains(v) {
-                            work.push(v);
-                        }
-                    }
-                }
-            }
-        }
+        run_fixpoint(&mesh, border, &mut mask, work, &mut unsafe_count, None);
 
         Labeling { mesh, orientation, border, mask, unsafe_count, faulty_count: faults.count() }
+    }
+
+    /// Incrementally relabels after one fault is **injected** at real
+    /// coordinate `c` (`faults` is the *new* fault set, already
+    /// containing `c`). Returns the new labeling plus the oriented
+    /// coordinates whose predicate mask changed (the fault cell first).
+    ///
+    /// The labeling rules are monotone in the fault set, so the old
+    /// fixpoint remains consistent everywhere except where propagation
+    /// newly starts at `c`: re-running the worklist seeded with `c`'s
+    /// neighbors converges to exactly the from-scratch least fixpoint
+    /// (uniqueness), touching only the delta.
+    pub fn with_fault_added(&self, faults: &FaultSet, c: Coord) -> (Labeling, Vec<Coord>) {
+        debug_assert!(faults.is_faulty(c), "with_fault_added wants the new fault set");
+        let mesh = self.mesh;
+        let oc = self.orientation.apply(&mesh, c);
+        let mut mask = self.mask.clone();
+        let old = mask[oc];
+        debug_assert_eq!(old & FAULTY, 0, "node {oc:?} was already faulty");
+        let mut unsafe_count = self.unsafe_count + usize::from(old == 0);
+        mask[oc] = FAULTY;
+        let mut changed = vec![oc];
+        let work: Vec<Coord> =
+            Dir::ALL.into_iter().map(|d| oc.step(d)).filter(|&v| mesh.contains(v)).collect();
+        run_fixpoint(&mesh, self.border, &mut mask, work, &mut unsafe_count, Some(&mut changed));
+        let labeling = Labeling {
+            mesh,
+            orientation: self.orientation,
+            border: self.border,
+            mask,
+            unsafe_count,
+            faulty_count: faults.count(),
+        };
+        (labeling, changed)
+    }
+
+    /// Incrementally relabels after the fault at real coordinate `c` is
+    /// **repaired** (`faults` is the new fault set, without `c`).
+    /// `component` must list the oriented cells of the MCC that
+    /// contained `c` under the old labeling: repairs can only change
+    /// labels inside that component (flag derivations never cross
+    /// between 4-connected unsafe components), so the fixpoint is
+    /// re-run over those cells alone. Returns the new labeling plus the
+    /// oriented coordinates whose mask changed.
+    pub fn with_fault_removed(
+        &self,
+        faults: &FaultSet,
+        c: Coord,
+        component: &[Coord],
+    ) -> (Labeling, Vec<Coord>) {
+        debug_assert!(!faults.is_faulty(c), "with_fault_removed wants the new fault set");
+        let mesh = self.mesh;
+        let oc = self.orientation.apply(&mesh, c);
+        debug_assert!(component.contains(&oc), "component must contain the repaired cell");
+        let mut mask = self.mask.clone();
+        let mut unsafe_count = self.unsafe_count;
+        // Reset the component to its fault skeleton (the repaired cell
+        // becomes plain healthy) and re-derive the healthy flags from
+        // scratch within it.
+        for &cc in component {
+            debug_assert_ne!(self.mask[cc], 0, "component cells are unsafe");
+            let keep = if cc == oc { 0 } else { mask[cc] & FAULTY };
+            mask[cc] = keep;
+            if keep == 0 {
+                unsafe_count -= 1;
+            }
+        }
+        run_fixpoint(&mesh, self.border, &mut mask, component.to_vec(), &mut unsafe_count, None);
+        let changed: Vec<Coord> =
+            component.iter().copied().filter(|&cc| mask[cc] != self.mask[cc]).collect();
+        let labeling = Labeling {
+            mesh,
+            orientation: self.orientation,
+            border: self.border,
+            mask,
+            unsafe_count,
+            faulty_count: faults.count(),
+        };
+        (labeling, changed)
+    }
+
+    /// The raw predicate mask at an oriented coordinate (testing hook
+    /// for the incremental-equality assertions).
+    #[doc(hidden)]
+    pub fn raw_mask(&self, oc: Coord) -> u8 {
+        self.mask_at(oc)
     }
 
     /// The mesh being labeled.
@@ -256,6 +295,70 @@ impl Labeling {
     /// Iterator over oriented coordinates of all unsafe nodes.
     pub fn unsafe_nodes(&self) -> impl Iterator<Item = Coord> + '_ {
         self.mesh.iter().filter(move |&oc| self.status(oc).is_unsafe())
+    }
+}
+
+/// The shared worklist fixpoint: applies the two labeling rules until
+/// stable, starting from `work`. `unsafe_count` is kept current;
+/// `changed`, when given, records every cell that gained a flag (cells
+/// may appear once per distinct gain).
+fn run_fixpoint(
+    mesh: &Mesh,
+    border: BorderPolicy,
+    mask: &mut Grid<u8>,
+    mut work: Vec<Coord>,
+    unsafe_count: &mut usize,
+    mut changed: Option<&mut Vec<Coord>>,
+) {
+    let blocked = |mask: &Grid<u8>, c: Coord, bit: u8| -> bool {
+        match mask.get(c) {
+            Some(&m) => m & (FAULTY | bit) != 0,
+            None => border == BorderPolicy::Blocking,
+        }
+    };
+    while let Some(u) = work.pop() {
+        let m = mask[u];
+        if m & FAULTY != 0 {
+            continue;
+        }
+        let mut gained = 0u8;
+        if m & USELESS == 0
+            && blocked(mask, u.step(Dir::PlusX), USELESS)
+            && blocked(mask, u.step(Dir::PlusY), USELESS)
+        {
+            gained |= USELESS;
+        }
+        if m & CANT_REACH == 0
+            && blocked(mask, u.step(Dir::MinusX), CANT_REACH)
+            && blocked(mask, u.step(Dir::MinusY), CANT_REACH)
+        {
+            gained |= CANT_REACH;
+        }
+        if gained != 0 {
+            if m == 0 {
+                *unsafe_count += 1;
+            }
+            mask[u] = m | gained;
+            if let Some(changed) = changed.as_deref_mut() {
+                changed.push(u);
+            }
+            if gained & USELESS != 0 {
+                for d in [Dir::MinusX, Dir::MinusY] {
+                    let v = u.step(d);
+                    if mesh.contains(v) {
+                        work.push(v);
+                    }
+                }
+            }
+            if gained & CANT_REACH != 0 {
+                for d in [Dir::PlusX, Dir::PlusY] {
+                    let v = u.step(d);
+                    if mesh.contains(v) {
+                        work.push(v);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -417,6 +520,67 @@ mod tests {
                     }
                 }
                 assert!(found, "useless node {oc:?} lacks a fault due north");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_add_matches_full_compute() {
+        let mesh = Mesh::square(12);
+        let base: Vec<Coord> =
+            [(2, 4), (3, 3), (4, 2), (8, 8)].iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        for o in meshpath_mesh::Orientation::ALL {
+            let mut faults = FaultSet::from_coords(mesh, base.clone());
+            let mut lab = Labeling::compute(&faults, o, BorderPolicy::Open);
+            for add in [Coord::new(3, 4), Coord::new(9, 7), Coord::new(0, 0)] {
+                faults.inject(add);
+                let (inc, changed) = lab.with_fault_added(&faults, add);
+                let full = Labeling::compute(&faults, o, BorderPolicy::Open);
+                for oc in mesh.iter() {
+                    assert_eq!(inc.raw_mask(oc), full.raw_mask(oc), "mask mismatch at {oc:?}");
+                }
+                assert_eq!(inc.unsafe_count(), full.unsafe_count());
+                assert_eq!(inc.faulty_count(), full.faulty_count());
+                assert!(changed.contains(&o.apply(&mesh, add)));
+                lab = inc;
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_remove_matches_full_compute() {
+        let mesh = Mesh::square(12);
+        let coords: Vec<Coord> = [(2, 4), (3, 3), (4, 2), (8, 8), (3, 4)]
+            .iter()
+            .map(|&(x, y)| Coord::new(x, y))
+            .collect();
+        for o in meshpath_mesh::Orientation::ALL {
+            for &rm in &coords {
+                let faults = FaultSet::from_coords(mesh, coords.clone());
+                let lab = Labeling::compute(&faults, o, BorderPolicy::Open);
+                // The old component containing rm, via a direct flood fill
+                // over unsafe cells (what MccSet::cells() reports).
+                let orm = o.apply(&mesh, rm);
+                let mut comp = vec![orm];
+                let mut seen = std::collections::HashSet::from([orm]);
+                let mut stack = vec![orm];
+                while let Some(u) = stack.pop() {
+                    for v in mesh.neighbors(u) {
+                        if lab.status(v).is_unsafe() && seen.insert(v) {
+                            comp.push(v);
+                            stack.push(v);
+                        }
+                    }
+                }
+                let mut repaired = faults.clone();
+                repaired.repair(rm);
+                let (inc, changed) = lab.with_fault_removed(&repaired, rm, &comp);
+                let full = Labeling::compute(&repaired, o, BorderPolicy::Open);
+                for oc in mesh.iter() {
+                    assert_eq!(inc.raw_mask(oc), full.raw_mask(oc), "mask mismatch at {oc:?}");
+                }
+                assert_eq!(inc.unsafe_count(), full.unsafe_count());
+                assert!(changed.contains(&orm));
             }
         }
     }

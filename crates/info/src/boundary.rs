@@ -65,27 +65,143 @@ pub struct BoundarySet {
     succ_candidates_x: Vec<Vec<MccId>>,
 }
 
+impl MccBoundaries {
+    /// Every coordinate this boundary record stores (walk nodes, split
+    /// nodes, hit points, contour nodes) — the footprint used by the
+    /// incremental layer's dirty test: a record whose footprint stays
+    /// clear of all relabeled cells was derived from unchanged reads
+    /// and can be reused verbatim.
+    pub fn footprint(&self) -> impl Iterator<Item = Coord> + '_ {
+        let walks = [&self.west_y, &self.east_y, &self.south_x, &self.north_x];
+        walks
+            .into_iter()
+            .chain(self.splits_y.iter())
+            .chain(self.splits_x.iter())
+            .flat_map(|w| w.nodes.iter().copied().chain(w.hits.iter().map(|&(_, h)| h)))
+            .chain(self.edge_nodes.iter().copied())
+    }
+
+    /// Clone with every stored [`MccId`] remapped through `map` (used
+    /// when a snapshot's components were re-extracted and re-numbered).
+    /// Returns `None` when any referenced component no longer exists —
+    /// the record is then stale and must be rebuilt.
+    pub fn remapped(&self, new_id: MccId, map: impl Fn(MccId) -> Option<MccId>) -> Option<Self> {
+        let map = &map;
+        let remap_walk = |w: &Walk| -> Option<Walk> {
+            let hits = w.hits.iter().map(|&(v, h)| Some((map(v)?, h))).collect::<Option<_>>()?;
+            Some(Walk { nodes: w.nodes.clone(), hits, reached_edge: w.reached_edge })
+        };
+        let remap_walks =
+            |ws: &[Walk]| -> Option<Vec<Walk>> { ws.iter().map(remap_walk).collect() };
+        let remap_ids =
+            |ids: &[MccId]| -> Option<Vec<MccId>> { ids.iter().map(|&v| map(v)).collect() };
+        let mut merged_y = remap_ids(&self.merged_y)?;
+        let mut merged_x = remap_ids(&self.merged_x)?;
+        merged_y.sort_unstable();
+        merged_y.dedup();
+        merged_x.sort_unstable();
+        merged_x.dedup();
+        Some(MccBoundaries {
+            id: new_id,
+            west_y: remap_walk(&self.west_y)?,
+            east_y: remap_walk(&self.east_y)?,
+            south_x: remap_walk(&self.south_x)?,
+            north_x: remap_walk(&self.north_x)?,
+            splits_y: remap_walks(&self.splits_y)?,
+            splits_x: remap_walks(&self.splits_x)?,
+            edge_nodes: self.edge_nodes.clone(),
+            merged_y,
+            merged_x,
+        })
+    }
+}
+
+/// All boundary structures of one MCC (walks, splits, contour, merge
+/// lists) — everything except the Eq.-4 relation records, which are
+/// derived from the finished walks in a second pass.
+fn boundaries_of(set: &MccSet, mcc: &Mcc) -> MccBoundaries {
+    // A corner that is itself a cell of another MCC (diagonally
+    // touching components) cannot start a walk; per the merge
+    // semantics the boundary *joins* that component's boundary,
+    // so redirect the start to its corner (resp. opposite corner)
+    // transitively and absorb the crossed components.
+    let (west_start, absorbed_w) = resolve_start(set, mcc.corner(), false);
+    let (east_start, absorbed_e) = resolve_start(set, mcc.opposite(), true);
+    let west_y = west_start.map(|c| walk(set, c, WalkConfig::WEST_Y)).unwrap_or_default();
+    let east_y = east_start.map(|c| walk(set, c, WalkConfig::EAST_Y)).unwrap_or_default();
+    let south_x = west_start.map(|c| walk(set, c, WalkConfig::SOUTH_X)).unwrap_or_default();
+    let north_x = east_start.map(|c| walk(set, c, WalkConfig::NORTH_X)).unwrap_or_default();
+
+    // B3 split propagations: at every Y-walk hit, the shape
+    // information also rounds the obstacle the other way and
+    // merges into its +X boundary (one disengagement).
+    let splits_y =
+        west_y.hits.iter().map(|&(_, hit)| walk_until(set, hit, WalkConfig::EAST_Y, 1)).collect();
+    let splits_x =
+        south_x.hits.iter().map(|&(_, hit)| walk_until(set, hit, WalkConfig::NORTH_X, 1)).collect();
+
+    // Merge lists: self, every MCC absorbed while resolving the
+    // corner starts, plus every MCC the Y-walks (X-walks) hit.
+    let mut merged_y = vec![mcc.id()];
+    merged_y.extend(absorbed_w.iter().copied());
+    merged_y.extend(absorbed_e.iter().copied());
+    merged_y.extend(west_y.hits.iter().map(|&(v, _)| v));
+    merged_y.extend(east_y.hits.iter().map(|&(v, _)| v));
+    merged_y.sort_unstable();
+    merged_y.dedup();
+    let mut merged_x = vec![mcc.id()];
+    merged_x.extend(absorbed_w.iter().copied());
+    merged_x.extend(absorbed_e.iter().copied());
+    merged_x.extend(south_x.hits.iter().map(|&(v, _)| v));
+    merged_x.extend(north_x.hits.iter().map(|&(v, _)| v));
+    merged_x.sort_unstable();
+    merged_x.dedup();
+
+    MccBoundaries {
+        id: mcc.id(),
+        west_y,
+        east_y,
+        south_x,
+        north_x,
+        splits_y,
+        splits_x,
+        edge_nodes: edge_nodes_of(set, mcc),
+        merged_y,
+        merged_x,
+    }
+}
+
 impl BoundarySet {
     /// Builds all four boundary walks (plus splits and relations) for
     /// every MCC in `set`.
     pub fn build(set: &MccSet) -> Self {
+        Self::build_reusing(set, |_| None)
+    }
+
+    /// Like [`BoundarySet::build`], but asking `reuse` for an
+    /// already-valid (remapped) record per component first — the
+    /// incremental-update path: components whose boundary footprint and
+    /// interacting components are untouched by a fault delta keep their
+    /// walks, everything else is recomputed. The Eq.-4 relation records
+    /// are always re-derived from the final walks (they are cheap and
+    /// global).
+    pub fn build_reusing(
+        set: &MccSet,
+        mut reuse: impl FnMut(MccId) -> Option<MccBoundaries>,
+    ) -> Self {
         let n = set.len();
         let mut boundaries = Vec::with_capacity(n);
         let mut succ_candidates_y = vec![Vec::new(); n];
         let mut succ_candidates_x = vec![Vec::new(); n];
 
         for mcc in set.iter() {
-            // A corner that is itself a cell of another MCC (diagonally
-            // touching components) cannot start a walk; per the merge
-            // semantics the boundary *joins* that component's boundary,
-            // so redirect the start to its corner (resp. opposite corner)
-            // transitively and absorb the crossed components.
-            let (west_start, absorbed_w) = resolve_start(set, mcc.corner(), false);
-            let (east_start, absorbed_e) = resolve_start(set, mcc.opposite(), true);
-            let west_y = west_start.map(|c| walk(set, c, WalkConfig::WEST_Y)).unwrap_or_default();
-            let east_y = east_start.map(|c| walk(set, c, WalkConfig::EAST_Y)).unwrap_or_default();
-            let south_x = west_start.map(|c| walk(set, c, WalkConfig::SOUTH_X)).unwrap_or_default();
-            let north_x = east_start.map(|c| walk(set, c, WalkConfig::NORTH_X)).unwrap_or_default();
+            let b = match reuse(mcc.id()) {
+                Some(b) => {
+                    debug_assert_eq!(b.id, mcc.id());
+                    b
+                }
+                None => boundaries_of(set, mcc),
+            };
 
             // Eq. 4 relation record: when the FIRST intersection of the
             // -X boundary of F(c) is with F(v) and F(c)'s corner sits
@@ -96,61 +212,19 @@ impl BoundarySet {
             // overlap — so we read it as the corner comparison
             // `x_c > x_v`; the chain builder re-validates the full Eq. 1
             // conditions at routing time. See DESIGN.md §3.)
-            if let Some(&(v, _)) = west_y.hits.first() {
+            if let Some(&(v, _)) = b.west_y.hits.first() {
                 if mcc.corner().x > set.get(v).corner().x {
                     succ_candidates_y[v.index()].push(mcc.id());
                 }
             }
             // Symmetric type-II record from the -Y boundary.
-            if let Some(&(v, _)) = south_x.hits.first() {
+            if let Some(&(v, _)) = b.south_x.hits.first() {
                 if mcc.corner().y > set.get(v).corner().y {
                     succ_candidates_x[v.index()].push(mcc.id());
                 }
             }
 
-            // B3 split propagations: at every Y-walk hit, the shape
-            // information also rounds the obstacle the other way and
-            // merges into its +X boundary (one disengagement).
-            let splits_y = west_y
-                .hits
-                .iter()
-                .map(|&(_, hit)| walk_until(set, hit, WalkConfig::EAST_Y, 1))
-                .collect();
-            let splits_x = south_x
-                .hits
-                .iter()
-                .map(|&(_, hit)| walk_until(set, hit, WalkConfig::NORTH_X, 1))
-                .collect();
-
-            // Merge lists: self, every MCC absorbed while resolving the
-            // corner starts, plus every MCC the Y-walks (X-walks) hit.
-            let mut merged_y = vec![mcc.id()];
-            merged_y.extend(absorbed_w.iter().copied());
-            merged_y.extend(absorbed_e.iter().copied());
-            merged_y.extend(west_y.hits.iter().map(|&(v, _)| v));
-            merged_y.extend(east_y.hits.iter().map(|&(v, _)| v));
-            merged_y.sort_unstable();
-            merged_y.dedup();
-            let mut merged_x = vec![mcc.id()];
-            merged_x.extend(absorbed_w.iter().copied());
-            merged_x.extend(absorbed_e.iter().copied());
-            merged_x.extend(south_x.hits.iter().map(|&(v, _)| v));
-            merged_x.extend(north_x.hits.iter().map(|&(v, _)| v));
-            merged_x.sort_unstable();
-            merged_x.dedup();
-
-            boundaries.push(MccBoundaries {
-                id: mcc.id(),
-                west_y,
-                east_y,
-                south_x,
-                north_x,
-                splits_y,
-                splits_x,
-                edge_nodes: edge_nodes_of(set, mcc),
-                merged_y,
-                merged_x,
-            });
+            boundaries.push(b);
         }
 
         BoundarySet { boundaries, succ_candidates_y, succ_candidates_x }

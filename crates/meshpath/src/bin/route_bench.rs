@@ -1,0 +1,165 @@
+//! `RouteService` concurrent-query throughput: the `BENCH_route.json`
+//! trajectory.
+//!
+//! Usage: `route_bench [--quick] [--json] [--mesh N] [--queries N]
+//! [--seed N]`.
+//!
+//! Drives one shared [`RouteService`] (RB2 over a seeded fault
+//! configuration) from 1, 2 and 4 query threads — every thread grabs
+//! the current epoch snapshot per query, exactly like a production
+//! caller — and then measures the incremental-mutation path
+//! (`add_fault`/`remove_fault` alternating on one coordinate). Rows
+//! report wall clock and queries/second; the CI gate compares total
+//! wall against the committed `BENCH_route.json` baseline with the
+//! standard 3x cross-machine headroom.
+
+use std::time::Instant;
+
+use meshpath::analysis::jsonl::{document, JsonObject};
+use meshpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let json = argv.iter().any(|a| a == "--json");
+    let mut mesh_n: u32 = if quick { 16 } else { 32 };
+    let mut queries: usize = if quick { 2_000 } else { 20_000 };
+    let mut seed: u64 = 0x5eed_0007;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" | "--json" => {}
+            "--mesh" => mesh_n = take("--mesh").parse().expect("--mesh: integer"),
+            "--queries" => queries = take("--queries").parse().expect("--queries: integer"),
+            "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: route_bench [--quick] [--json] [--mesh N] [--queries N] [--seed N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mesh = Mesh::square(mesh_n);
+    let fault_count = (mesh.len() / 40).max(4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let faults = FaultSet::random(mesh, fault_count, FaultInjection::Uniform, &mut rng);
+    let service = RouteService::new(faults);
+
+    // A deterministic query set over healthy pairs.
+    let view = service.view();
+    let healthy: Vec<Coord> = view.mesh().iter().filter(|&c| view.faults().is_healthy(c)).collect();
+    let pairs: Vec<(Coord, Coord)> = (0..queries)
+        .map(|_| loop {
+            let s = healthy[rng.gen_range(0..healthy.len())];
+            let d = healthy[rng.gen_range(0..healthy.len())];
+            if s != d {
+                return (s, d);
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<JsonObject> = Vec::new();
+    let mut total_wall_ms = 0.0;
+    for threads in [1usize, 2, 4] {
+        let started = Instant::now();
+        let routed: usize = std::thread::scope(|scope| {
+            (0..threads)
+                .map(|t| {
+                    let service = &service;
+                    let pairs = &pairs;
+                    scope.spawn(move || {
+                        let mut routed = 0;
+                        for (s, d) in pairs.iter().skip(t).step_by(threads) {
+                            // Unreachable pairs are legal outcomes of a
+                            // random fault draw; anything else is a bug.
+                            match service.route(*s, *d) {
+                                Ok(_) => routed += 1,
+                                Err(RouteError::Unreachable { .. }) => {}
+                                Err(e) => panic!("route bench query failed: {e}"),
+                            }
+                        }
+                        routed
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .sum()
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        total_wall_ms += wall_ms;
+        let qps = queries as f64 / (wall_ms * 1e-3);
+        let mut row = JsonObject::new();
+        row.string("phase", "query")
+            .field("threads", threads)
+            .field("queries", queries)
+            .field("routed", routed)
+            .float("wall_ms", wall_ms, 3)
+            .float("qps", qps, 1);
+        rows.push(row);
+        if !json {
+            println!(
+                "query  threads {threads}: {queries} queries in {wall_ms:8.1} ms  ({qps:9.0}/s, {routed} routed)"
+            );
+        }
+    }
+
+    // The mutation path: alternating incremental add/remove on healthy
+    // coordinates (each publishes a new epoch).
+    let mutations = if quick { 40 } else { 200 };
+    let started = Instant::now();
+    for i in 0..mutations {
+        let c = healthy[(i * 97) % healthy.len()];
+        // Every add is immediately repaired, so `c` is healthy at the
+        // start of each iteration and both mutations must succeed.
+        match service.add_fault(c) {
+            Ok(_) => {
+                service.remove_fault(c).expect("repairing the fault just added");
+            }
+            Err(e) => panic!("mutation bench add failed: {e}"),
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    total_wall_ms += wall_ms;
+    let mut row = JsonObject::new();
+    row.string("phase", "update")
+        .field("threads", 1)
+        .field("queries", 2 * mutations)
+        .field("routed", 0)
+        .float("wall_ms", wall_ms, 3)
+        .float("qps", 2.0 * mutations as f64 / (wall_ms * 1e-3), 1);
+    rows.push(row);
+    if !json {
+        println!(
+            "update threads 1: {} epochs in {wall_ms:8.1} ms  ({:.0}/s)",
+            2 * mutations,
+            2.0 * mutations as f64 / (wall_ms * 1e-3)
+        );
+    }
+
+    if json {
+        let mut config = JsonObject::new();
+        config
+            .field("mesh", mesh_n)
+            .field("faults", fault_count)
+            .field("queries", queries)
+            .field("seed", seed)
+            .string("router", service.router_name())
+            .float("total_wall_ms", total_wall_ms, 3);
+        print!("{}", document(&config, &rows));
+    }
+}

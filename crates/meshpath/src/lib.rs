@@ -2,8 +2,10 @@
 //!
 //! Shortest-path fault-tolerant routing in 2-D meshes — a complete Rust
 //! implementation of Jiang & Wu, *On Achieving the Shortest-Path Routing
-//! in 2-D Meshes* (IPDPS 2007), including every substrate the paper
-//! depends on.
+//! in 2-D Meshes* (IPDPS 2007), grown into a routing *service*: the
+//! paper's B1/B2/B3 fault-information machinery behind an
+//! epoch-versioned snapshot API that serves concurrent route queries
+//! while the fault set changes underneath.
 //!
 //! ## What this is
 //!
@@ -14,38 +16,70 @@
 //! shortest paths:
 //!
 //! * the MCC labeling (`useless` / `can't-reach` fixpoint) and the
-//!   rising-staircase component geometry ([`fault`]);
+//!   rising-staircase component geometry ([`fault`]), with
+//!   **incremental** per-fault updates;
 //! * the three fault-information models — B1 boundary lines, B2 forbidden
 //!   region broadcast, B3 boundaries + relation records ([`info`]);
 //! * the routings RB1 / RB2 / RB3 plus the classic fault-tolerant E-cube
-//!   baseline over rectangular fault blocks ([`route`]);
+//!   baseline, all phrased as one per-hop
+//!   [`Router`](prelude::Router) trait over immutable
+//!   [`NetView`](prelude::NetView) snapshots ([`route`]);
 //! * a deterministic message-passing simulator for the distributed
 //!   protocols ([`sim`]);
 //! * the full Fig. 5 experiment harness ([`analysis`]);
 //! * a flit-level wormhole traffic simulator evaluating the routers as
-//!   NoC routing functions under load ([`traffic`]).
+//!   NoC routing functions under load — including mid-run fault
+//!   injection (`fault_churn`) over the same epoch snapshots
+//!   ([`traffic`]).
 //!
-//! ## Quickstart
+//! ## Quickstart: the query service
+//!
+//! [`RouteService`] is the front door: build it once, route from as
+//! many threads as you like, and mutate the fault set incrementally —
+//! every mutation publishes a new epoch without disturbing queries in
+//! flight.
 //!
 //! ```
 //! use meshpath::prelude::*;
 //!
-//! // A 16x16 mesh with a few faults.
+//! // A 16x16 mesh with a few faults, served by RB2 (the paper's
+//! // shortest-path routing).
 //! let mesh = Mesh::square(16);
 //! let faults = FaultSet::from_coords(
 //!     mesh,
 //!     [Coord::new(8, 8), Coord::new(7, 9), Coord::new(8, 9)],
 //! );
-//! let net = Network::build(faults);
+//! let service = RouteService::new(faults);
 //!
-//! // Route with RB2 (the paper's shortest-path routing).
-//! let res = Rb2::default().route(&net, Coord::new(2, 2), Coord::new(13, 13));
-//! assert!(res.delivered);
+//! // Route queries return the path plus the epoch that answered them.
+//! let reply = service.route(Coord::new(2, 2), Coord::new(13, 13)).unwrap();
+//! assert_eq!(reply.epoch, 0);
 //!
-//! // Compare against the BFS ground truth.
-//! let oracle = DistanceField::healthy(net.faults(), Coord::new(13, 13));
-//! assert_eq!(res.hops(), oracle.dist(Coord::new(2, 2)));
+//! // RB2 is shortest-path: compare against the BFS ground truth.
+//! let view = service.view();
+//! let oracle = DistanceField::healthy(view.faults(), Coord::new(13, 13));
+//! assert_eq!(reply.hops(), oracle.dist(Coord::new(2, 2)));
+//!
+//! // Failures are typed, not stringly.
+//! assert_eq!(
+//!     service.route(Coord::new(8, 8), Coord::new(0, 0)).err(),
+//!     Some(RouteError::SourceFaulty(Coord::new(8, 8))),
+//! );
+//!
+//! // Fault updates are incremental and epoch-versioned: the old view
+//! // still answers at its epoch, new queries see the new epoch.
+//! assert_eq!(service.add_fault(Coord::new(2, 7)).unwrap(), 1);
+//! assert_eq!(service.route(Coord::new(2, 2), Coord::new(13, 13)).unwrap().epoch, 1);
+//! assert_eq!(view.epoch(), 0);
 //! ```
+//!
+//! For direct, service-free use the same pieces compose by hand:
+//! [`NetState`](prelude::NetState) owns the mutable state,
+//! [`NetView`](prelude::NetView) is the cheap `Arc` snapshot every
+//! consumer (offline engine, traffic fabric, analysis sweeps) routes
+//! against, and any [`Router`](prelude::Router) answers per-hop
+//! [`decide`](prelude::Router::decide) calls or whole
+//! [`route`](prelude::Router::route) queries on it.
 //!
 //! ## Crate map
 //!
@@ -53,11 +87,12 @@
 //! |--------|--------------|----------|
 //! | [`mesh`] | `meshpath-mesh` | coordinates, grids, fault sets, connectivity |
 //! | [`sim`] | `meshpath-sim` | discrete-event message-passing kernel |
-//! | [`fault`] | `meshpath-fault` | MCC labeling, components, fault blocks |
-//! | [`info`] | `meshpath-info` | B1/B2/B3 information models |
-//! | [`route`] | `meshpath-route` | RB1/RB2/RB3, E-cube, oracles |
-//! | [`traffic`] | `meshpath-traffic` | wormhole NoC traffic simulator |
+//! | [`fault`] | `meshpath-fault` | MCC labeling (incremental), components, fault blocks |
+//! | [`info`] | `meshpath-info` | B1/B2/B3 information models, boundary walks |
+//! | [`route`] | `meshpath-route` | `NetView`/`NetState` snapshots, the per-hop `Router` trait, RB1/RB2/RB3, E-cube, XY, oracles |
+//! | [`traffic`] | `meshpath-traffic` | wormhole NoC traffic simulator, `fault_churn` |
 //! | [`analysis`] | `meshpath-analysis` | Fig. 5 harness + traffic load sweeps |
+//! | (this crate) | — | [`RouteService`], [`RouteError`], [`RouteReply`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +105,10 @@ pub use meshpath_route as route;
 pub use meshpath_sim as sim;
 pub use meshpath_traffic as traffic;
 
+mod service;
+
+pub use service::{RouteError, RouteReply, RouteService};
+
 /// The items most programs need.
 pub mod prelude {
     pub use meshpath_fault::{BorderPolicy, Labeling, Mcc, MccId, MccSet, NodeStatus};
@@ -80,13 +119,15 @@ pub mod prelude {
     };
     pub use meshpath_route::oracle::DistanceField;
     pub use meshpath_route::{
-        validate_path, AdaptivePolicy, ECube, KnowledgeScope, Network, Rb1, Rb2, Rb3, RouteResult,
-        Router,
+        validate_path, AdaptivePolicy, Decision, ECube, HopCtx, HopState, KnowledgeScope, NetState,
+        NetView, Network, Rb1, Rb2, Rb3, RouteResult, Router, RoutingKind, UpdateError, XyRouter,
     };
     pub use meshpath_traffic::{
-        run_traffic, HopRouter, RoutePolicy, RoutingKind, SimConfig, TrafficPattern, TrafficStats,
-        VcClass, PIPELINE_DEPTH,
+        run_traffic, ChurnEvent, ChurnOp, HopRouter, RoutePolicy, SimConfig, TrafficPattern,
+        TrafficStats, VcClass, PIPELINE_DEPTH,
     };
+
+    pub use crate::service::{RouteError, RouteReply, RouteService};
 }
 
 #[cfg(test)]
@@ -97,7 +138,7 @@ mod tests {
     fn facade_quickstart_compiles_and_routes() {
         let mesh = Mesh::square(12);
         let faults = FaultSet::from_coords(mesh, [Coord::new(5, 5)]);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         for router in [&Rb1::default() as &dyn Router, &Rb2::default(), &Rb3::default(), &ECube] {
             let res = router.route(&net, Coord::new(0, 0), Coord::new(11, 11));
             assert!(res.delivered, "{}", router.name());

@@ -1,0 +1,297 @@
+//! [`RouteService`]: the concurrent query facade over the
+//! epoch-versioned network state.
+//!
+//! One service owns a [`NetState`] (behind an `RwLock` touched only by
+//! mutations and snapshot grabs — never held across a routing
+//! computation) and a stateless [`Router`]. Any number of threads can
+//! call [`RouteService::route`] concurrently: each query clones the
+//! current [`NetView`] (one atomic increment) and runs the per-hop
+//! engine against that immutable snapshot, so queries never block each
+//! other and a concurrent [`add_fault`](RouteService::add_fault) /
+//! [`remove_fault`](RouteService::remove_fault) never invalidates a
+//! query in flight — it publishes the next epoch for *subsequent*
+//! queries.
+
+use std::fmt;
+use std::sync::RwLock;
+
+use meshpath_mesh::Coord;
+use meshpath_route::oracle::DistanceField;
+use meshpath_route::{NetState, NetView, RouteResult, Router, RoutingKind, UpdateError};
+
+/// Why a route query failed. Every variant names the offending
+/// coordinates, so callers can log or retry without re-deriving
+/// context.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// An endpoint lies outside the mesh.
+    OffMesh(Coord),
+    /// The source node is faulty (a faulty node cannot inject).
+    SourceFaulty(Coord),
+    /// The destination node is faulty (a faulty node cannot eject).
+    DestinationFaulty(Coord),
+    /// No healthy path connects the pair (the fault set cuts the mesh).
+    Unreachable {
+        /// The query's source.
+        src: Coord,
+        /// The query's destination.
+        dst: Coord,
+    },
+    /// The routing function gave up on a connected pair (exhausted its
+    /// hop budget). Not expected for the paper's routers; surfaced as
+    /// an error rather than a silent truncated path.
+    Undelivered {
+        /// The query's source.
+        src: Coord,
+        /// The query's destination.
+        dst: Coord,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::OffMesh(c) => write!(f, "endpoint {c:?} lies outside the mesh"),
+            RouteError::SourceFaulty(c) => write!(f, "source {c:?} is faulty"),
+            RouteError::DestinationFaulty(c) => write!(f, "destination {c:?} is faulty"),
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no healthy path connects {src:?} to {dst:?}")
+            }
+            RouteError::Undelivered { src, dst } => {
+                write!(f, "router gave up routing {src:?} to {dst:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A successful route query: the engine's full [`RouteResult`] plus the
+/// epoch of the snapshot it was answered against.
+#[derive(Clone, Debug)]
+pub struct RouteReply {
+    /// The epoch of the snapshot that answered this query.
+    pub epoch: u64,
+    /// The route (path, hop count, re-planning statistics).
+    pub result: RouteResult,
+}
+
+impl RouteReply {
+    /// Path length in hops.
+    pub fn hops(&self) -> u32 {
+        self.result.hops()
+    }
+}
+
+/// The query facade: answers concurrent route queries against the
+/// current snapshot and applies incremental fault updates.
+pub struct RouteService {
+    state: RwLock<NetState>,
+    router: Box<dyn Router + Send + Sync>,
+}
+
+impl RouteService {
+    /// A service over `faults`, routing with RB2 (the paper's
+    /// shortest-path routing).
+    pub fn new(faults: meshpath_mesh::FaultSet) -> Self {
+        RouteService::with_kind(faults, RoutingKind::Rb2)
+    }
+
+    /// A service over `faults`, routing with the given function.
+    pub fn with_kind(faults: meshpath_mesh::FaultSet, kind: RoutingKind) -> Self {
+        RouteService { state: RwLock::new(NetState::new(faults)), router: kind.router() }
+    }
+
+    /// A service adopting an existing snapshot (keeps its epoch).
+    pub fn adopt(view: NetView, kind: RoutingKind) -> Self {
+        RouteService { state: RwLock::new(NetState::adopt(view)), router: kind.router() }
+    }
+
+    /// The current snapshot (cheap clone — the lock is held only for
+    /// the `Arc` bump, never across analysis or routing).
+    pub fn view(&self) -> NetView {
+        self.state.read().expect("route service lock poisoned").view()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.view().epoch()
+    }
+
+    /// The routing function's display name.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// Routes one message on the current snapshot. Concurrent-safe:
+    /// the query runs entirely against its own snapshot clone.
+    pub fn route(&self, src: Coord, dst: Coord) -> Result<RouteReply, RouteError> {
+        self.route_on(&self.view(), src, dst)
+    }
+
+    /// Routes one message on a caller-held snapshot (e.g. to answer a
+    /// batch against one consistent epoch while mutations proceed).
+    pub fn route_on(
+        &self,
+        view: &NetView,
+        src: Coord,
+        dst: Coord,
+    ) -> Result<RouteReply, RouteError> {
+        let mesh = view.mesh();
+        for c in [src, dst] {
+            if !mesh.contains(c) {
+                return Err(RouteError::OffMesh(c));
+            }
+        }
+        if view.faults().is_faulty(src) {
+            return Err(RouteError::SourceFaulty(src));
+        }
+        if view.faults().is_faulty(dst) {
+            return Err(RouteError::DestinationFaulty(dst));
+        }
+        let result = self.router.route(view, src, dst);
+        if result.delivered {
+            return Ok(RouteReply { epoch: view.epoch(), result });
+        }
+        // Classify the failure: disconnection is the expected cause; a
+        // connected pair the router gave up on is reported distinctly.
+        if !DistanceField::healthy(view.faults(), dst).reachable(src) {
+            Err(RouteError::Unreachable { src, dst })
+        } else {
+            Err(RouteError::Undelivered { src, dst })
+        }
+    }
+
+    /// Marks `c` faulty (incremental update; see
+    /// [`NetState::add_fault`]) and returns the new epoch.
+    pub fn add_fault(&self, c: Coord) -> Result<u64, UpdateError> {
+        let mut state = self.state.write().expect("route service lock poisoned");
+        state.add_fault(c).map(|v| v.epoch())
+    }
+
+    /// Repairs the fault at `c` and returns the new epoch.
+    pub fn remove_fault(&self, c: Coord) -> Result<u64, UpdateError> {
+        let mut state = self.state.write().expect("route service lock poisoned");
+        state.remove_fault(c).map(|v| v.epoch())
+    }
+}
+
+impl fmt::Debug for RouteService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RouteService")
+            .field("router", &self.router.name())
+            .field("view", &self.view())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{Coord, FaultSet, Mesh};
+
+    fn service() -> RouteService {
+        let mesh = Mesh::square(12);
+        RouteService::new(FaultSet::from_coords(mesh, [Coord::new(5, 5), Coord::new(6, 5)]))
+    }
+
+    #[test]
+    fn routes_and_reports_epochs() {
+        let svc = service();
+        let reply = svc.route(Coord::new(5, 1), Coord::new(5, 9)).expect("routable");
+        assert_eq!(reply.epoch, 0);
+        let oracle = DistanceField::healthy(svc.view().faults(), Coord::new(5, 9));
+        assert_eq!(reply.hops(), oracle.dist(Coord::new(5, 1)), "RB2 stays shortest-path");
+        // Mutate: the next query sees the new epoch and detours further.
+        assert_eq!(svc.add_fault(Coord::new(4, 5)).expect("valid"), 1);
+        let after = svc.route(Coord::new(5, 1), Coord::new(5, 9)).expect("still routable");
+        assert_eq!(after.epoch, 1);
+        assert!(after.hops() >= reply.hops());
+        // Repair returns to the original cost.
+        assert_eq!(svc.remove_fault(Coord::new(4, 5)).expect("valid"), 2);
+        let back = svc.route(Coord::new(5, 1), Coord::new(5, 9)).expect("routable");
+        assert_eq!(back.hops(), reply.hops());
+    }
+
+    #[test]
+    fn typed_errors_cover_every_failure() {
+        let svc = service();
+        assert_eq!(
+            svc.route(Coord::new(-1, 0), Coord::new(1, 1)).err(),
+            Some(RouteError::OffMesh(Coord::new(-1, 0)))
+        );
+        assert_eq!(
+            svc.route(Coord::new(5, 5), Coord::new(1, 1)).err(),
+            Some(RouteError::SourceFaulty(Coord::new(5, 5)))
+        );
+        assert_eq!(
+            svc.route(Coord::new(1, 1), Coord::new(6, 5)).err(),
+            Some(RouteError::DestinationFaulty(Coord::new(6, 5)))
+        );
+        // A fault wall cuts the mesh: unreachable pairs are classified.
+        let mesh = Mesh::square(8);
+        let wall = RouteService::new(FaultSet::from_coords(mesh, (0..8).map(|x| Coord::new(x, 4))));
+        assert_eq!(
+            wall.route(Coord::new(0, 0), Coord::new(0, 7)).err(),
+            Some(RouteError::Unreachable { src: Coord::new(0, 0), dst: Coord::new(0, 7) })
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_service() {
+        let svc = service();
+        let view = svc.view();
+        let healthy: Vec<Coord> =
+            view.mesh().iter().filter(|&c| view.faults().is_healthy(c)).collect();
+        let total: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|t| {
+                    let svc = &svc;
+                    let healthy = &healthy;
+                    scope.spawn(move || {
+                        let mut routed = 0;
+                        for (i, &s) in healthy.iter().enumerate().skip(t).step_by(4) {
+                            let d = healthy[(i * 7 + 3) % healthy.len()];
+                            if s == d {
+                                continue;
+                            }
+                            let reply = svc.route(s, d).expect("healthy pairs route");
+                            assert!(reply.result.delivered);
+                            routed += 1;
+                        }
+                        routed
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .sum()
+        });
+        assert!(total > 100, "the fan-out must actually route ({total})");
+    }
+
+    #[test]
+    fn mutations_race_queries_safely() {
+        // Queries keep their snapshot while faults churn underneath.
+        let svc = service();
+        std::thread::scope(|scope| {
+            let q = scope.spawn(|| {
+                for _ in 0..200 {
+                    match svc.route(Coord::new(0, 0), Coord::new(11, 11)) {
+                        Ok(reply) => assert!(reply.result.delivered),
+                        Err(e) => panic!("corner pair must stay routable: {e}"),
+                    }
+                }
+            });
+            let m = scope.spawn(|| {
+                for _ in 0..20 {
+                    svc.add_fault(Coord::new(2, 7)).expect("valid add");
+                    svc.remove_fault(Coord::new(2, 7)).expect("valid remove");
+                }
+            });
+            q.join().expect("query thread");
+            m.join().expect("mutation thread");
+        });
+        assert_eq!(svc.epoch(), 40);
+    }
+}

@@ -11,7 +11,7 @@ use meshpath_info::ModelKind;
 use meshpath_mesh::{Coord, FaultInjection, FaultSet, FxHashSet, Mesh, Orientation};
 use meshpath_route::oracle::DistanceField;
 use meshpath_route::seq::{Plan, Planner};
-use meshpath_route::{KnowledgeScope, Network, Rb2, Router};
+use meshpath_route::{KnowledgeScope, NetView, Rb2, Router};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,7 +27,7 @@ fn main() {
         for seed in 0..6u64 {
             let mut rng = StdRng::seed_from_u64(seed + faults as u64 * 31);
             let fs = FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng);
-            let net = Network::build(fs);
+            let net = NetView::build(fs);
             let strict = Planner::new_strict(&net, ModelKind::B2, KnowledgeScope::Global);
             let mut routed = 0;
             let mut attempts = 0;

@@ -3,7 +3,7 @@
 //! smallest found grid for debugging.
 
 use meshpath_mesh::{Coord, FaultInjection, FaultSet, Mesh, Orientation};
-use meshpath_route::{oracle::DistanceField, KnowledgeScope, Network, Rb1, Rb2, Router};
+use meshpath_route::{oracle::DistanceField, KnowledgeScope, NetView, Rb1, Rb2, Router};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -13,7 +13,7 @@ fn main() {
     'outer: for seed in 0..3000u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let faults = FaultSet::random(mesh, 36, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         let safe_for = |c: Coord, s: Coord, d: Coord| {
             let o = Orientation::normalizing(s, d);
             net.mccs(o).labeling().status_real(c).is_safe()

@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md.
 
 use meshpath_mesh::{Coord, FaultInjection, FaultSet, Mesh, Orientation};
-use meshpath_route::{oracle::DistanceField, KnowledgeScope, Network, Rb2, Router};
+use meshpath_route::{oracle::DistanceField, KnowledgeScope, NetView, Rb2, Router};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,7 +18,7 @@ fn main() {
         for seed in 0..4u64 {
             let mut rng = StdRng::seed_from_u64(seed * 7919 + faults as u64);
             let fs = FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng);
-            let net = Network::build(fs);
+            let net = NetView::build(fs);
             let router = Rb2 { scope: KnowledgeScope::Global, ..Default::default() };
             let mut routed = 0;
             let mut attempts = 0;

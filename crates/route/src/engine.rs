@@ -1,4 +1,6 @@
-//! Route execution: hop loops, detour wall-following, result validation.
+//! Route execution support: results, detour wall-following, validation.
+//! The per-hop decision interface itself lives in [`crate::hop`]; this
+//! module keeps the shared walk machinery the deciders build on.
 
 use meshpath_mesh::{Coord, Dir, FxHashMap, FxHashSet};
 
@@ -24,15 +26,6 @@ impl RouteResult {
     pub fn hops(&self) -> u32 {
         (self.path.len().saturating_sub(1)) as u32
     }
-}
-
-/// A routing algorithm making per-hop local decisions.
-pub trait Router {
-    /// Display name used in tables (matches the paper's labels).
-    fn name(&self) -> &'static str;
-
-    /// Routes one message from `s` to `d` (real coordinates).
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult;
 }
 
 /// Hop budget: generous, but finite (protects the harness from livelock).
@@ -179,6 +172,7 @@ pub(crate) fn least_visited_step(
 /// Tracks how often each node was visited: used to decide when leaving a
 /// detour is safe (re-entering a previously visited node invites a
 /// livelock) and to drive the least-visited escape walk.
+#[derive(Debug)]
 pub(crate) struct Visited {
     counts: FxHashMap<Coord, u32>,
 }

@@ -1,24 +1,41 @@
-//! The routing environment: one fault configuration, fully analyzed.
+//! The routing environment: one fault configuration, fully analyzed,
+//! plus the incremental per-fault update machinery behind
+//! [`NetState`](crate::NetState).
 
-use meshpath_fault::{BlockSet, BorderPolicy, MccSet};
+use meshpath_fault::{BlockSet, BorderPolicy, MccId, MccSet};
 use meshpath_info::{BoundarySet, InfoModel, ModelKind};
-use meshpath_mesh::{Coord, FaultSet, Mesh, Orientation};
+use meshpath_mesh::{Coord, FaultSet, FxHashSet, Mesh, Orientation};
 
 /// Everything the routers need about one fault configuration:
 ///
 /// * the fault set itself (local fault detection),
 /// * the MCC labeling and components for all four orientations,
-/// * the B1/B2/B3 information models for all four orientations,
+/// * the B1/B2/B3 information models for all four orientations
+///   (with their boundary walks retained for incremental updates),
 /// * the rectangular fault blocks (E-cube baseline).
 ///
 /// Building a `Network` is the per-configuration setup cost; routing any
-/// number of source/destination pairs afterwards reuses it.
+/// number of source/destination pairs afterwards reuses it. Programs
+/// normally hold a `Network` through an epoch-versioned
+/// [`NetView`](crate::NetView) snapshot.
 pub struct Network {
     faults: FaultSet,
     mccs: Vec<MccSet>,
     /// `models[orientation_index][model_kind_index]`.
     models: Vec<[InfoModel; 3]>,
+    /// Boundary walks per orientation (the substrate of `models`,
+    /// retained so incremental updates can reuse untouched walks).
+    bounds: Vec<BoundarySet>,
     blocks: BlockSet,
+}
+
+/// One single-fault delta applied by the incremental update path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FaultChange {
+    /// The coordinate was injected (newly faulty).
+    Added(Coord),
+    /// The coordinate was repaired (newly healthy).
+    Removed(Coord),
 }
 
 impl Network {
@@ -26,18 +43,158 @@ impl Network {
     pub fn build(faults: FaultSet) -> Self {
         let mut mccs = Vec::with_capacity(4);
         let mut models = Vec::with_capacity(4);
+        let mut bounds = Vec::with_capacity(4);
         for o in Orientation::ALL {
             let set = MccSet::build(&faults, o, BorderPolicy::Open);
-            let bounds = BoundarySet::build(&set);
+            let b = BoundarySet::build(&set);
             models.push([
-                InfoModel::build_with(&set, &bounds, ModelKind::B1),
-                InfoModel::build_with(&set, &bounds, ModelKind::B2),
-                InfoModel::build_with(&set, &bounds, ModelKind::B3),
+                InfoModel::build_with(&set, &b, ModelKind::B1),
+                InfoModel::build_with(&set, &b, ModelKind::B2),
+                InfoModel::build_with(&set, &b, ModelKind::B3),
             ]);
+            bounds.push(b);
             mccs.push(set);
         }
         let blocks = BlockSet::build(&faults);
-        Network { faults, mccs, models, blocks }
+        Network { faults, mccs, models, bounds, blocks }
+    }
+
+    /// The incremental single-fault update: relabels only the delta
+    /// (seeded fixpoint for injections, component-scoped recompute for
+    /// repairs), re-extracts components, and rebuilds boundary walks
+    /// only for components whose footprint or interaction set the delta
+    /// touched. Returns `None` when the delta **merges** existing
+    /// components (injection) or **splits** one (repair) in any
+    /// orientation — the caller then falls back to a full
+    /// [`Network::build`]. The result is bit-identical to a
+    /// from-scratch build (pinned by the equivalence proptest).
+    pub(crate) fn incrementally_updated(
+        &self,
+        new_faults: &FaultSet,
+        change: FaultChange,
+    ) -> Option<Network> {
+        let mesh = *self.mesh();
+        let mut mccs = Vec::with_capacity(4);
+        let mut models = Vec::with_capacity(4);
+        let mut bounds = Vec::with_capacity(4);
+        for o in Orientation::ALL {
+            let old_set = self.mccs(o);
+            let old_bounds = &self.bounds[o.index()];
+
+            // 1. Patch the labeling and collect the relabeled cells
+            //    (oriented frame) plus the old components they touch.
+            let (new_lab, changed, affected_old) = match change {
+                FaultChange::Added(c) => {
+                    let (lab, changed) = old_set.labeling().with_fault_added(new_faults, c);
+                    let mut affected: Vec<MccId> = Vec::new();
+                    let mut note = |id: Option<MccId>| {
+                        if let Some(id) = id {
+                            if !affected.contains(&id) {
+                                affected.push(id);
+                            }
+                        }
+                    };
+                    for &cc in &changed {
+                        note(old_set.mcc_at(cc));
+                        for nb in cc.neighbors() {
+                            note(old_set.mcc_at(nb));
+                        }
+                    }
+                    if affected.len() >= 2 {
+                        return None; // components merged: full rebuild
+                    }
+                    (lab, changed, affected)
+                }
+                FaultChange::Removed(c) => {
+                    let oc = o.apply(&mesh, c);
+                    let id = old_set.mcc_at(oc).expect("a faulty cell is always in an MCC");
+                    let comp: Vec<Coord> = old_set.get(id).cells().collect();
+                    let (lab, changed) =
+                        old_set.labeling().with_fault_removed(new_faults, c, &comp);
+                    (lab, changed, vec![id])
+                }
+            };
+
+            // 2. Re-extract components (cheap scan; identical ids and
+            //    shapes to a from-scratch build by construction).
+            let new_set = MccSet::from_labeling(new_lab, new_faults);
+
+            // 3. Map surviving old components to their new ids via a
+            //    representative cell; detect repair-induced splits.
+            let mut remap: Vec<Option<MccId>> = vec![None; old_set.len()];
+            for old in old_set.iter() {
+                if let FaultChange::Removed(_) = change {
+                    if old.id() == affected_old[0] {
+                        let mut survivors: Vec<MccId> = Vec::new();
+                        for cc in old.cells() {
+                            if let Some(nid) = new_set.mcc_at(cc) {
+                                if !survivors.contains(&nid) {
+                                    survivors.push(nid);
+                                }
+                            }
+                        }
+                        if survivors.len() > 1 {
+                            return None; // component split: full rebuild
+                        }
+                        remap[old.id().index()] = survivors.first().copied();
+                        continue;
+                    }
+                }
+                let rep = old.cells().next().expect("components are non-empty");
+                let nid = new_set.mcc_at(rep).expect("untouched cells stay unsafe");
+                remap[old.id().index()] = Some(nid);
+            }
+            let mut inverse: Vec<Option<MccId>> = vec![None; new_set.len()];
+            for (oi, nid) in remap.iter().enumerate() {
+                if let Some(nid) = nid {
+                    inverse[nid.index()] = Some(MccId(oi as u32));
+                }
+            }
+
+            // 4. Dirty test: a component's boundary record is reusable
+            //    only when its stored footprint stays clear of every
+            //    relabeled cell (walks re-read those labels) and no
+            //    component it interacted with (merge lists cover walk
+            //    hits and corner absorptions) is the affected one
+            //    (their shapes feed the walk geometry).
+            let mut poison: FxHashSet<Coord> = FxHashSet::default();
+            for &cc in &changed {
+                for dx in -2..=2 {
+                    for dy in -2..=2 {
+                        poison.insert(Coord::new(cc.x + dx, cc.y + dy));
+                    }
+                }
+            }
+            let dirty_new: Option<MccId> = match change {
+                FaultChange::Added(c) => new_set.mcc_at(o.apply(&mesh, c)),
+                FaultChange::Removed(_) => remap[affected_old[0].index()],
+            };
+            let dirty = |old_id: MccId| -> bool {
+                let b = old_bounds.get(old_id);
+                affected_old.iter().any(|a| b.merged_y.contains(a) || b.merged_x.contains(a))
+                    || b.footprint().any(|n| poison.contains(&n))
+            };
+            let new_bounds = BoundarySet::build_reusing(&new_set, |new_id| {
+                if Some(new_id) == dirty_new {
+                    return None;
+                }
+                let old_id = inverse[new_id.index()]?;
+                if affected_old.contains(&old_id) || dirty(old_id) {
+                    return None;
+                }
+                old_bounds.get(old_id).remapped(new_id, |v| remap[v.index()])
+            });
+
+            models.push([
+                InfoModel::build_with(&new_set, &new_bounds, ModelKind::B1),
+                InfoModel::build_with(&new_set, &new_bounds, ModelKind::B2),
+                InfoModel::build_with(&new_set, &new_bounds, ModelKind::B3),
+            ]);
+            bounds.push(new_bounds);
+            mccs.push(new_set);
+        }
+        let blocks = BlockSet::build(new_faults);
+        Some(Network { faults: new_faults.clone(), mccs, models, bounds, blocks })
     }
 
     /// The mesh.

@@ -1,0 +1,402 @@
+//! The unified per-hop routing interface: one [`Router`] trait —
+//! `fn decide(&self, view, ctx) -> Decision` — implemented by
+//! RB1/RB2/RB3, fault-tolerant E-cube and the XY baseline, and consumed
+//! by *both* the offline engine (which derives a [`RouteResult`] by
+//! iterating hops — see [`drive`]) and the wormhole traffic fabric
+//! (whose route tables compile paths by driving the same decisions).
+//!
+//! ## Why per-hop
+//!
+//! The paper's algorithms are distributed: every node makes a local
+//! forwarding decision from its own labeling status and stored triples.
+//! The workspace used to encode that as whole-path `route()` calls
+//! (route crate) *plus* an incompatible per-hop replay trait (traffic
+//! crate). This module is the single seam: a [`Decision`] is one local
+//! step; per-packet algorithm scratch (detour walls, visited counts,
+//! waypoint stacks — state the paper carries in the message header)
+//! travels in the [`HopState`] inside [`HopCtx`], so `decide` itself is
+//! `&self` and one router instance can serve any number of concurrent
+//! queries over a shared [`NetView`] snapshot.
+
+use meshpath_mesh::{Coord, Dir, FaultSet, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{hop_budget, Detour, RouteResult, Visited};
+use crate::view::NetView;
+
+/// One per-hop routing decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// The message is at its destination: eject.
+    Deliver,
+    /// Forward one hop in this direction.
+    Hop(Dir),
+    /// An internal zero-hop transition (plan refresh, learned obstacle):
+    /// decide again from the same node. Consumes hop budget, so cyclic
+    /// replanning cannot livelock the engine.
+    Replan,
+    /// No legal move exists within the router's knowledge: the message
+    /// is undeliverable from here.
+    Blocked,
+}
+
+/// Everything a [`Router`] sees for one decision: the message's
+/// endpoints, its position and progress, and its mutable per-message
+/// scratch state.
+#[derive(Debug)]
+pub struct HopCtx<'a> {
+    /// Source node (real coordinates).
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// The node currently holding the message.
+    pub here: Coord,
+    /// Hops taken so far.
+    pub hops: u32,
+    /// Per-message routing scratch (travels with the message).
+    pub state: &'a mut HopState,
+}
+
+/// Per-message routing scratch: the state the paper's algorithms carry
+/// in the message header — detour walls, visit counts, the multi-phase
+/// waypoint stack, locally learned obstacles. Opaque to callers; create
+/// one per message with [`HopState::new`] and hand it to every
+/// [`Router::decide`] call for that message.
+#[derive(Debug)]
+pub struct HopState {
+    pub(crate) prev: Option<Coord>,
+    pub(crate) visited: Visited,
+    pub(crate) detour: Option<Detour>,
+    pub(crate) detour_run: u32,
+    pub(crate) detour_hops: u32,
+    pub(crate) replans: u32,
+    pub(crate) fallbacks: u32,
+    pub(crate) learned: FxHashSet<Coord>,
+    pub(crate) waypoints: Vec<Coord>,
+    pub(crate) forced: Option<(Vec<Coord>, usize)>,
+    pub(crate) planned: bool,
+    pub(crate) healthy_mode: bool,
+}
+
+impl HopState {
+    /// Fresh scratch for a message injected at `src`.
+    pub fn new(src: Coord) -> Self {
+        HopState {
+            prev: None,
+            visited: Visited::new(src),
+            detour: None,
+            detour_run: 0,
+            detour_hops: 0,
+            replans: 0,
+            fallbacks: 0,
+            learned: FxHashSet::default(),
+            waypoints: Vec::new(),
+            forced: None,
+            planned: false,
+            healthy_mode: false,
+        }
+    }
+
+    /// Hops spent in wall-following detours so far.
+    pub fn detour_hops(&self) -> u32 {
+        self.detour_hops
+    }
+
+    /// Re-planning events so far.
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+
+    /// BFS-fallback plans so far.
+    pub fn fallbacks(&self) -> u32 {
+        self.fallbacks
+    }
+
+    /// Drops an exhausted wall-following detour (owner bookkeeping
+    /// shared by every detouring router).
+    pub(crate) fn clear_exhausted_detour(&mut self) -> bool {
+        if self.detour.as_ref().is_some_and(|d| d.exhausted) {
+            self.detour = None;
+            self.detour_run = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A routing algorithm making per-hop local decisions against an
+/// epoch-versioned network snapshot.
+///
+/// `decide` is `&self`: router instances are stateless per call (all
+/// per-message state lives in [`HopCtx::state`]), so one instance can
+/// serve concurrent queries from many threads over shared [`NetView`]s.
+pub trait Router {
+    /// Display name used in tables (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// The decision for the message described by `ctx`, parked at
+    /// `ctx.here`, against the `view` snapshot.
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision;
+
+    /// Routes one message from `s` to `d` by iterating [`decide`]
+    /// (see [`drive`]): the offline engine.
+    ///
+    /// [`decide`]: Router::decide
+    fn route(&self, view: &NetView, s: Coord, d: Coord) -> RouteResult {
+        let mut state = HopState::new(s);
+        drive(view, s, d, &mut state, |view, ctx| self.decide(view, ctx))
+    }
+}
+
+/// The offline engine: iterates a decision function from `s` until it
+/// delivers, blocks, or exhausts the hop budget, assembling the visited
+/// path and the per-message statistics into a [`RouteResult`].
+pub fn drive(
+    view: &NetView,
+    s: Coord,
+    d: Coord,
+    state: &mut HopState,
+    mut decide: impl FnMut(&NetView, HopCtx<'_>) -> Decision,
+) -> RouteResult {
+    let mut path = vec![s];
+    let mut u = s;
+    let mut delivered = false;
+    for _ in 0..hop_budget(view) {
+        let ctx =
+            HopCtx { src: s, dst: d, here: u, hops: (path.len() - 1) as u32, state: &mut *state };
+        match decide(view, ctx) {
+            Decision::Deliver => {
+                delivered = true;
+                break;
+            }
+            Decision::Hop(dir) => {
+                let v = u.step(dir);
+                debug_assert!(view.mesh().contains(v), "hop {dir:?} from {u:?} leaves the mesh");
+                state.prev = Some(u);
+                u = v;
+                state.visited.insert(u);
+                path.push(u);
+            }
+            Decision::Replan => {}
+            Decision::Blocked => break,
+        }
+    }
+    RouteResult {
+        path,
+        delivered: delivered || u == d,
+        replans: state.replans,
+        fallbacks: state.fallbacks,
+        detour_hops: state.detour_hops,
+    }
+}
+
+/// The routing functions the workspace evaluates (offline engine,
+/// traffic simulator, route service).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-order XY: minimal and deadlock-free, but fault-oblivious
+    /// (packets whose row/column path hits a fault are unroutable). The
+    /// sanity baseline.
+    Xy,
+    /// Fault-tolerant E-cube over rectangular fault blocks
+    /// (Boppana & Chalasani).
+    ECube,
+    /// Algorithm 3 over the B1 information model.
+    Rb1,
+    /// Algorithm 5 over the B2 model (the paper's shortest-path routing).
+    Rb2,
+    /// Algorithm 7 over the B3 model.
+    Rb3,
+}
+
+impl RoutingKind {
+    /// All routing functions, in reporting order.
+    pub const ALL: [RoutingKind; 5] =
+        [RoutingKind::Xy, RoutingKind::ECube, RoutingKind::Rb1, RoutingKind::Rb2, RoutingKind::Rb3];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingKind::Xy => "XY",
+            RoutingKind::ECube => "E-cube",
+            RoutingKind::Rb1 => "RB1",
+            RoutingKind::Rb2 => "RB2",
+            RoutingKind::Rb3 => "RB3",
+        }
+    }
+
+    /// Instantiates the underlying router (default policies). The box
+    /// is `Send + Sync`: every router is a stateless value type, so the
+    /// same instance serves concurrent queries.
+    pub fn router(self) -> Box<dyn Router + Send + Sync> {
+        match self {
+            RoutingKind::Xy => Box::new(XyRouter),
+            RoutingKind::ECube => Box::new(crate::routers::ECube),
+            RoutingKind::Rb1 => Box::new(crate::routers::Rb1::default()),
+            RoutingKind::Rb2 => Box::new(crate::routers::Rb2::default()),
+            RoutingKind::Rb3 => Box::new(crate::routers::Rb3::default()),
+        }
+    }
+}
+
+/// Deterministic dimension-order routing: correct X first, then Y.
+///
+/// Fault-oblivious: the walk stops (undeliverable) at the first faulty
+/// node on the dimension-ordered path. In a fault-free mesh this is the
+/// textbook minimal deadlock-free routing, which is why it serves as
+/// the simulator's sanity baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct XyRouter;
+
+impl Router for XyRouter {
+    fn name(&self) -> &'static str {
+        "XY"
+    }
+
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision {
+        if ctx.here == ctx.dst {
+            return Decision::Deliver;
+        }
+        let dir = xy_next(ctx.here, ctx.dst);
+        if view.faults().is_healthy(ctx.here.step(dir)) {
+            Decision::Hop(dir)
+        } else {
+            Decision::Blocked
+        }
+    }
+}
+
+/// The dimension-order next hop from `here` towards `dst`: correct X
+/// first, then Y. The traffic fabric's XY escape class routes
+/// exclusively with this function, so every escape hop strictly
+/// decreases the lexicographic potential `(|dx|, |dy|)` — the invariant
+/// the escape property tests pin.
+///
+/// # Panics
+/// Panics when `here == dst` (a delivered packet has no next hop).
+#[inline]
+pub fn xy_next(here: Coord, dst: Coord) -> Dir {
+    if here.x != dst.x {
+        if dst.x > here.x {
+            Dir::PlusX
+        } else {
+            Dir::MinusX
+        }
+    } else if dst.y > here.y {
+        Dir::PlusY
+    } else {
+        assert!(dst.y < here.y, "xy_next called at the destination");
+        Dir::MinusY
+    }
+}
+
+/// Whether the dimension-order XY walk from `here` to `dst` crosses
+/// only healthy nodes — the escape-entry precondition of the traffic
+/// fabric. `here == dst` is trivially clear.
+pub fn xy_path_clear(faults: &FaultSet, here: Coord, dst: Coord) -> bool {
+    let mut cur = here;
+    while cur != dst {
+        cur = cur.step(xy_next(cur, dst));
+        if !faults.is_healthy(cur) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    #[test]
+    fn xy_routes_dimension_ordered() {
+        let net = NetView::build(FaultSet::none(Mesh::square(8)));
+        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(4, 6));
+        assert!(res.delivered);
+        assert_eq!(res.hops(), 3 + 5);
+        // X corrections strictly precede Y corrections.
+        let dirs: Vec<Dir> = res.path.windows(2).map(|w| w[0].dir_to(w[1]).unwrap()).collect();
+        let first_y = dirs.iter().position(|d| d.axis() == meshpath_mesh::Axis::Y).unwrap();
+        assert!(dirs[..first_y].iter().all(|d| d.axis() == meshpath_mesh::Axis::X));
+        assert!(dirs[first_y..].iter().all(|d| d.axis() == meshpath_mesh::Axis::Y));
+    }
+
+    #[test]
+    fn xy_blocks_on_faults() {
+        let mesh = Mesh::square(8);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(3, 1)]));
+        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(6, 1));
+        assert!(!res.delivered);
+        // RB2 routes the same pair around the fault.
+        let res2 = crate::routers::Rb2::default().route(&net, Coord::new(1, 1), Coord::new(6, 1));
+        assert!(res2.delivered);
+    }
+
+    #[test]
+    fn xy_next_decreases_dimension_order_distance() {
+        let (s, d) = (Coord::new(7, 2), Coord::new(1, 6));
+        let mut cur = s;
+        while cur != d {
+            let dir = xy_next(cur, d);
+            let next = cur.step(dir);
+            // X is corrected to completion before any Y move.
+            if cur.x != d.x {
+                assert_eq!(dir.axis(), meshpath_mesh::Axis::X);
+                assert!((next.x - d.x).abs() < (cur.x - d.x).abs());
+            } else {
+                assert_eq!(dir.axis(), meshpath_mesh::Axis::Y);
+                assert!((next.y - d.y).abs() < (cur.y - d.y).abs());
+            }
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn xy_clear_matches_the_xy_router() {
+        let mesh = Mesh::square(8);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(3, 1), Coord::new(5, 5)]));
+        for (s, d) in [
+            (Coord::new(1, 1), Coord::new(6, 1)), // crosses (3,1)
+            (Coord::new(1, 1), Coord::new(1, 6)), // clear column
+            (Coord::new(0, 5), Coord::new(7, 5)), // crosses (5,5)
+            (Coord::new(2, 0), Coord::new(6, 7)), // clear L
+        ] {
+            let walked = XyRouter.route(&net, s, d).delivered;
+            assert_eq!(xy_path_clear(net.faults(), s, d), walked, "{s:?}->{d:?}");
+        }
+    }
+
+    #[test]
+    fn decide_is_callable_through_a_shared_dyn_router() {
+        // The concurrency contract: &self decide over a shared view,
+        // per-message state outside the router.
+        let net = NetView::build(FaultSet::none(Mesh::square(6)));
+        let router: Box<dyn Router + Send + Sync> = RoutingKind::Rb2.router();
+        let (s, d) = (Coord::new(0, 0), Coord::new(5, 5));
+        let mut st = HopState::new(s);
+        let mut here = s;
+        for _ in 0..10 {
+            match router.decide(&net, HopCtx { src: s, dst: d, here, hops: 0, state: &mut st }) {
+                Decision::Hop(dir) => here = here.step(dir),
+                Decision::Deliver => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(here, d);
+    }
+
+    #[test]
+    fn all_kinds_instantiate_and_deliver() {
+        let mesh = Mesh::square(10);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(4, 4)]));
+        for kind in RoutingKind::ALL {
+            let router = kind.router();
+            let res = router.route(&net, Coord::new(0, 0), Coord::new(9, 9));
+            assert!(res.delivered, "{} must route around one fault", kind.name());
+            crate::engine::validate_path(&net, Coord::new(0, 0), Coord::new(9, 9), &res)
+                .expect("valid path");
+        }
+    }
+}

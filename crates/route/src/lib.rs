@@ -29,13 +29,19 @@
 pub mod alg2;
 pub mod engine;
 pub mod env;
+pub mod hop;
 pub mod monotone;
 pub mod oracle;
 pub mod routers;
 pub mod seq;
+pub mod view;
 
 pub use alg2::AdaptivePolicy;
-pub use engine::{validate_path, RouteResult, Router};
+pub use engine::{validate_path, RouteResult};
 pub use env::Network;
+pub use hop::{
+    drive, xy_next, xy_path_clear, Decision, HopCtx, HopState, Router, RoutingKind, XyRouter,
+};
 pub use routers::{ECube, Rb1, Rb2, Rb3};
 pub use seq::KnowledgeScope;
+pub use view::{NetState, NetView, UpdateError};

@@ -1,12 +1,19 @@
-//! The four routers evaluated in the paper's Fig. 5(d)/(e).
+//! The four routers evaluated in the paper's Fig. 5(d)/(e), phrased as
+//! per-hop [`Router::decide`] implementations over [`NetView`]
+//! snapshots. Each decide call replays exactly one iteration of the
+//! former whole-path loop: the per-message scratch (detours, visit
+//! counts, waypoint stacks, learned obstacles) lives in the
+//! [`HopState`](crate::HopState) carried by [`HopCtx`], so a single
+//! router value serves concurrent queries.
 
 use meshpath_info::ModelKind;
-use meshpath_mesh::{Coord, Dir, FxHashSet, Orientation};
+use meshpath_mesh::{Coord, Dir, Orientation};
 
-use crate::alg2::{decide, AdaptivePolicy, Decision, PhaseCtx};
-use crate::engine::{hop_budget, least_visited_step, Detour, RouteResult, Router, Visited};
-use crate::env::Network;
+use crate::alg2::{decide as alg2_decide, AdaptivePolicy, Decision as PhaseDecision, PhaseCtx};
+use crate::engine::{least_visited_step, Detour};
+use crate::hop::{Decision, HopCtx, Router};
 use crate::seq::{KnowledgeScope, Plan, Planner};
+use crate::view::NetView;
 
 /// `RB1` — Algorithm 3: Manhattan routing over the B1 boundary model,
 /// with clockwise wall-following detours when blocked (no feasibility
@@ -30,118 +37,108 @@ impl Router for Rb1 {
         "RB1"
     }
 
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
-        route_rb1_like(net, s, d, ModelKind::B1, self.scope, self.policy)
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision {
+        decide_rb1_like(view, ctx, ModelKind::B1, self.scope, self.policy)
     }
 }
 
-/// Shared driver for boundary-model routing with detours (RB1, and the
-/// no-info last resort of RB2/RB3).
-fn route_rb1_like(
-    net: &Network,
-    s: Coord,
-    d: Coord,
+/// Shared per-hop decider for boundary-model routing with detours (RB1).
+fn decide_rb1_like(
+    view: &NetView,
+    ctx: HopCtx<'_>,
     kind: ModelKind,
     scope: KnowledgeScope,
     policy: AdaptivePolicy,
-) -> RouteResult {
-    let mesh = *net.mesh();
-    let mut path = vec![s];
-    let mut u = s;
-    let mut prev: Option<Coord> = None;
-    let mut visited = Visited::new(s);
-    let mut detour: Option<Detour> = None;
-    let mut detour_hops = 0u32;
-    let mut detour_run = 0u32;
+) -> Decision {
+    let HopCtx { dst: d, here: u, state, .. } = ctx;
+    if u == d {
+        return Decision::Deliver;
+    }
+    state.clear_exhausted_detour();
+    let mesh = *view.mesh();
     // After a full orbit's worth of wall-following, allow stepping onto
     // visited nodes again (breaks rare starvation around big clusters).
     let detour_patience = 4 * (mesh.width() + mesh.height());
-    let healthy = |c: Coord| net.faults().is_healthy(c);
+    let healthy = |c: Coord| view.faults().is_healthy(c);
 
-    for _ in 0..hop_budget(net) {
-        if u == d {
-            return RouteResult { path, delivered: true, replans: 0, fallbacks: 0, detour_hops };
-        }
-        // Thrash guard: heavy revisiting means the local decisions cycle;
-        // degrade to the least-visited exploration walk, which covers the
-        // connected component and therefore terminates.
-        if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
-            match least_visited_step(u, healthy, visited.counts()) {
-                Some(w) => {
-                    detour_hops += 1;
-                    prev = Some(u);
-                    u = w;
-                    visited.insert(u);
-                    path.push(u);
-                    continue;
-                }
-                None => break,
+    // Thrash guard: heavy revisiting means the local decisions cycle;
+    // degrade to the least-visited exploration walk, which covers the
+    // connected component and therefore terminates.
+    if state.visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+        return match least_visited_step(u, healthy, state.visited.counts()) {
+            Some(w) => {
+                state.detour_hops += 1;
+                Decision::Hop(u.dir_to(w).expect("exploration steps to a neighbor"))
             }
-        }
-        let o = Orientation::normalizing(u, d);
-        let ctx = PhaseCtx { set: net.mccs(o), model: net.model(o, kind), scope };
-        let (ou, od) = (o.apply(&mesh, u), o.apply(&mesh, d));
-        let oprev = prev.map(|p| o.apply(&mesh, p));
+            None => Decision::Blocked,
+        };
+    }
 
-        let decision = decide(&ctx, ou, od, policy, oprev);
-        let next = match (&mut detour, decision) {
-            (_, Decision::Arrived) => unreachable!("u != d was checked"),
-            (None, Decision::Step(dir)) => {
-                detour_run = 0;
+    let o = Orientation::normalizing(u, d);
+    let pctx = PhaseCtx { set: view.mccs(o), model: view.model(o, kind), scope };
+    let (ou, od) = (o.apply(&mesh, u), o.apply(&mesh, d));
+    let oprev = state.prev.map(|p| o.apply(&mesh, p));
+
+    let phase = alg2_decide(&pctx, ou, od, policy, oprev);
+    let next = if state.detour.is_none() {
+        match phase {
+            PhaseDecision::Arrived => unreachable!("u != d was checked"),
+            PhaseDecision::Step(dir) => {
+                state.detour_run = 0;
                 o.apply(&mesh, ou.step(dir))
             }
-            (Some(det), Decision::Step(dir)) => {
-                let v = o.apply(&mesh, ou.step(dir));
-                if visited.contains(v) && detour_run < detour_patience {
-                    // Keep wall-following; leaving the detour into a
-                    // visited node invites a livelock.
-                    match det.step(u, healthy, &visited) {
-                        Some(w) => {
-                            detour_hops += 1;
-                            detour_run += 1;
-                            w
-                        }
-                        None => break,
-                    }
-                } else {
-                    detour = None;
-                    detour_run = 0;
-                    v
-                }
-            }
-            (None, Decision::Blocked) => {
+            PhaseDecision::Blocked => {
                 // Algorithm 3 step 3: route around the MCC clockwise.
                 let toward = if od.y > ou.y { Dir::PlusY } else { Dir::PlusX };
                 let mut det = Detour::around(o.apply_dir(toward));
-                match det.step(u, healthy, &visited) {
+                match det.step(u, healthy, &state.visited) {
                     Some(w) => {
-                        detour = Some(det);
-                        detour_hops += 1;
-                        detour_run += 1;
+                        state.detour = Some(det);
+                        state.detour_hops += 1;
+                        state.detour_run += 1;
                         w
                     }
-                    None => break,
+                    None => return Decision::Blocked,
                 }
             }
-            (Some(det), Decision::Blocked) => match det.step(u, healthy, &visited) {
-                Some(w) => {
-                    detour_hops += 1;
-                    detour_run += 1;
-                    w
-                }
-                None => break,
-            },
-        };
-        prev = Some(u);
-        u = next;
-        visited.insert(u);
-        path.push(u);
-        if detour.as_ref().is_some_and(|d| d.exhausted) {
-            detour = None;
-            detour_run = 0;
         }
-    }
-    RouteResult { path, delivered: u == d, replans: 0, fallbacks: 0, detour_hops }
+    } else {
+        match phase {
+            PhaseDecision::Arrived => unreachable!("u != d was checked"),
+            PhaseDecision::Step(dir) => {
+                let v = o.apply(&mesh, ou.step(dir));
+                if state.visited.contains(v) && state.detour_run < detour_patience {
+                    // Keep wall-following; leaving the detour into a
+                    // visited node invites a livelock.
+                    let det = state.detour.as_mut().expect("checked is_some");
+                    match det.step(u, healthy, &state.visited) {
+                        Some(w) => {
+                            state.detour_hops += 1;
+                            state.detour_run += 1;
+                            w
+                        }
+                        None => return Decision::Blocked,
+                    }
+                } else {
+                    state.detour = None;
+                    state.detour_run = 0;
+                    v
+                }
+            }
+            PhaseDecision::Blocked => {
+                let det = state.detour.as_mut().expect("checked is_some");
+                match det.step(u, healthy, &state.visited) {
+                    Some(w) => {
+                        state.detour_hops += 1;
+                        state.detour_run += 1;
+                        w
+                    }
+                    None => return Decision::Blocked,
+                }
+            }
+        }
+    };
+    Decision::Hop(u.dir_to(next).expect("deciders step to a neighbor"))
 }
 
 /// `RB2` — Algorithm 5: shortest-path routing over the B2 broadcast model.
@@ -164,8 +161,8 @@ impl Router for Rb2 {
         "RB2"
     }
 
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
-        route_planned(net, s, d, ModelKind::B2, self.scope, self.policy)
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision {
+        decide_planned(view, ctx, ModelKind::B2, self.scope, self.policy)
     }
 }
 
@@ -190,197 +187,180 @@ impl Router for Rb3 {
         "RB3"
     }
 
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
-        route_planned(net, s, d, ModelKind::B3, self.scope, self.policy)
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision {
+        decide_planned(view, ctx, ModelKind::B3, self.scope, self.policy)
     }
 }
 
-/// Shared multi-phase driver for RB2/RB3 (Algorithms 5 and 7).
-fn route_planned(
-    net: &Network,
-    s: Coord,
-    d: Coord,
+/// Shared per-hop decider for the multi-phase drivers (RB2/RB3,
+/// Algorithms 5 and 7).
+fn decide_planned(
+    view: &NetView,
+    ctx: HopCtx<'_>,
     kind: ModelKind,
     scope: KnowledgeScope,
     policy: AdaptivePolicy,
-) -> RouteResult {
-    let mesh = *net.mesh();
-    let planner = Planner::new(net, kind, scope);
-    let mut path = vec![s];
-    let mut u = s;
-    let mut prev: Option<Coord> = None;
-    let mut visited = Visited::new(s);
-    let mut learned: FxHashSet<Coord> = FxHashSet::default();
-    let mut waypoints: Vec<Coord> = Vec::new(); // stack, next target last
-    let mut forced: Option<(Vec<Coord>, usize)> = None;
-    let mut planned = false;
-    let mut detour: Option<Detour> = None;
-    let mut replans = 0u32;
-    let mut fallbacks = 0u32;
-    let mut detour_hops = 0u32;
-    let mut detour_run = 0u32;
+) -> Decision {
+    let HopCtx { dst: d, here: u, state, .. } = ctx;
+    if u == d {
+        return Decision::Deliver;
+    }
+    state.clear_exhausted_detour();
+    let mesh = *view.mesh();
+    let planner = Planner::new(view, kind, scope);
     let detour_patience = 4 * (mesh.width() + mesh.height());
-    let healthy = |c: Coord| net.faults().is_healthy(c);
+    let healthy = |c: Coord| view.faults().is_healthy(c);
 
-    for _ in 0..hop_budget(net) {
-        if u == d {
-            return RouteResult { path, delivered: true, replans, fallbacks, detour_hops };
+    // Thrash guard (see the RB1 decider).
+    if state.visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+        return match least_visited_step(u, healthy, state.visited.counts()) {
+            Some(w) => {
+                state.detour_hops += 1;
+                state.forced = None;
+                state.planned = false;
+                Decision::Hop(u.dir_to(w).expect("exploration steps to a neighbor"))
+            }
+            None => Decision::Blocked,
+        };
+    }
+
+    // Follow a forced (BFS fallback) path when active.
+    if let Some((fpath, idx)) = &mut state.forced {
+        let next = fpath[*idx + 1];
+        if healthy(next) {
+            *idx += 1;
+            if *idx + 1 >= fpath.len() {
+                state.forced = None;
+                state.planned = false;
+            }
+            return Decision::Hop(u.dir_to(next).expect("forced paths are walks"));
         }
-        // Thrash guard (see the RB1 driver).
-        if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
-            match least_visited_step(u, healthy, visited.counts()) {
-                Some(w) => {
-                    detour_hops += 1;
-                    prev = Some(u);
-                    u = w;
-                    visited.insert(u);
-                    path.push(u);
-                    forced = None;
-                    planned = false;
-                    continue;
-                }
-                None => break,
+        // The plan crossed an unknown fault: learn and re-plan.
+        state.learned.insert(next);
+        state.forced = None;
+        state.planned = false;
+        state.replans += 1;
+        return Decision::Replan;
+    }
+
+    // Reached the current intermediate destination: re-plan there
+    // (Algorithm 5 step 5 "from that intermediate destination, the
+    // routing will continue").
+    while state.waypoints.last() == Some(&u) {
+        state.waypoints.pop();
+        state.planned = false;
+    }
+
+    if !state.planned {
+        let (plan, stats) = planner.plan(u, d, &state.learned);
+        state.planned = true;
+        match plan {
+            Plan::Direct => state.waypoints.clear(),
+            Plan::Waypoints(w) => {
+                // Keep in visiting order; the stack pops from the back.
+                state.waypoints = w;
+                state.waypoints.reverse();
+            }
+            Plan::Forced(p) => {
+                state.forced = Some((p, 0));
+                state.fallbacks += stats.used_fallback as u32;
+                return Decision::Replan;
             }
         }
-
-        // Follow a forced (BFS fallback) path when active.
-        if let Some((ref fpath, ref mut idx)) = forced {
-            let next = fpath[*idx + 1];
-            if healthy(next) {
-                *idx += 1;
-                prev = Some(u);
-                u = next;
-                visited.insert(u);
-                path.push(u);
-                if *idx + 1 >= fpath.len() {
-                    forced = None;
-                    planned = false;
-                }
-                continue;
-            }
-            // The plan crossed an unknown fault: learn and re-plan.
-            learned.insert(next);
-            forced = None;
-            planned = false;
-            replans += 1;
-            continue;
+        if stats.used_fallback {
+            state.fallbacks += 1;
         }
+    }
 
-        // Reached the current intermediate destination: re-plan there
-        // (Algorithm 5 step 5 "from that intermediate destination, the
-        // routing will continue").
-        while waypoints.last() == Some(&u) {
-            waypoints.pop();
-            planned = false;
-        }
+    let target = state.waypoints.last().copied().unwrap_or(d);
+    let o = Orientation::normalizing(u, target);
+    let pctx = PhaseCtx { set: view.mccs(o), model: view.model(o, kind), scope };
+    let (ou, ot) = (o.apply(&mesh, u), o.apply(&mesh, target));
+    let oprev = state.prev.map(|p| o.apply(&mesh, p));
+    if std::env::var_os("MESHPATH_TRACE").is_some() {
+        eprintln!(
+            "at {u:?} target {target:?} waypoints {:?} detour {}",
+            state.waypoints,
+            state.detour.is_some()
+        );
+    }
 
-        if !planned {
-            let (plan, stats) = planner.plan(u, d, &learned);
-            planned = true;
-            match plan {
-                Plan::Direct => waypoints.clear(),
-                Plan::Waypoints(w) => {
-                    // Keep in visiting order; the stack pops from the back.
-                    waypoints = w;
-                    waypoints.reverse();
-                }
-                Plan::Forced(p) => {
-                    forced = Some((p, 0));
-                    fallbacks += stats.used_fallback as u32;
-                    continue;
-                }
-            }
-            if stats.used_fallback {
-                fallbacks += 1;
-            }
-        }
-
-        let target = waypoints.last().copied().unwrap_or(d);
-        let o = Orientation::normalizing(u, target);
-        let ctx = PhaseCtx { set: net.mccs(o), model: net.model(o, kind), scope };
-        let (ou, ot) = (o.apply(&mesh, u), o.apply(&mesh, target));
-        let oprev = prev.map(|p| o.apply(&mesh, p));
-        if std::env::var_os("MESHPATH_TRACE").is_some() {
-            eprintln!(
-                "at {u:?} target {target:?} waypoints {waypoints:?} detour {}",
-                detour.is_some()
-            );
-        }
-
-        let next = match (&mut detour, decide(&ctx, ou, ot, policy, oprev)) {
-            (_, Decision::Arrived) => {
+    let phase = alg2_decide(&pctx, ou, ot, policy, oprev);
+    let next = if state.detour.is_none() {
+        match phase {
+            PhaseDecision::Arrived => {
                 // u == target handled above for waypoints; target == d
-                // handled at the loop head.
+                // handled at the decider head.
                 unreachable!("arrival is handled before deciding")
             }
-            (None, Decision::Step(dir)) => {
-                detour_run = 0;
+            PhaseDecision::Step(dir) => {
+                state.detour_run = 0;
                 o.apply(&mesh, ou.step(dir))
             }
-            (Some(det), Decision::Step(dir)) => {
-                let v = o.apply(&mesh, ou.step(dir));
-                if visited.contains(v) && detour_run < detour_patience {
-                    match det.step(u, healthy, &visited) {
-                        Some(w) => {
-                            detour_hops += 1;
-                            detour_run += 1;
-                            w
-                        }
-                        None => break,
-                    }
-                } else {
-                    detour = None;
-                    detour_run = 0;
-                    v
-                }
-            }
-            (None, Decision::Blocked) => {
+            PhaseDecision::Blocked => {
                 // The phase is blocked: re-plan once; if the planner has
                 // nothing new, fall back to a BFS plan; as a last resort
                 // wall-follow.
-                replans += 1;
+                state.replans += 1;
                 let o_d = Orientation::normalizing(u, d);
-                let (plan, stats) = planner.fallback(u, d, o_d, &learned);
+                let (plan, stats) = planner.fallback(u, d, o_d, &state.learned);
                 if stats.used_fallback {
-                    fallbacks += 1;
+                    state.fallbacks += 1;
                 }
                 if let Plan::Forced(p) = plan {
                     if p.len() > 1 {
-                        forced = Some((p, 0));
-                        continue;
+                        state.forced = Some((p, 0));
+                        return Decision::Replan;
                     }
                 }
                 let toward = if ot.y > ou.y { Dir::PlusY } else { Dir::PlusX };
                 let mut det = Detour::around(o.apply_dir(toward));
-                match det.step(u, healthy, &visited) {
+                match det.step(u, healthy, &state.visited) {
                     Some(w) => {
-                        detour = Some(det);
-                        detour_hops += 1;
-                        detour_run += 1;
+                        state.detour = Some(det);
+                        state.detour_hops += 1;
+                        state.detour_run += 1;
                         w
                     }
-                    None => break,
+                    None => return Decision::Blocked,
                 }
             }
-            (Some(det), Decision::Blocked) => match det.step(u, healthy, &visited) {
-                Some(w) => {
-                    detour_hops += 1;
-                    detour_run += 1;
-                    w
-                }
-                None => break,
-            },
-        };
-        prev = Some(u);
-        u = next;
-        visited.insert(u);
-        path.push(u);
-        if detour.as_ref().is_some_and(|d| d.exhausted) {
-            detour = None;
-            detour_run = 0;
         }
-    }
-    RouteResult { path, delivered: u == d, replans, fallbacks, detour_hops }
+    } else {
+        match phase {
+            PhaseDecision::Arrived => unreachable!("arrival is handled before deciding"),
+            PhaseDecision::Step(dir) => {
+                let v = o.apply(&mesh, ou.step(dir));
+                if state.visited.contains(v) && state.detour_run < detour_patience {
+                    let det = state.detour.as_mut().expect("checked is_some");
+                    match det.step(u, healthy, &state.visited) {
+                        Some(w) => {
+                            state.detour_hops += 1;
+                            state.detour_run += 1;
+                            w
+                        }
+                        None => return Decision::Blocked,
+                    }
+                } else {
+                    state.detour = None;
+                    state.detour_run = 0;
+                    v
+                }
+            }
+            PhaseDecision::Blocked => {
+                let det = state.detour.as_mut().expect("checked is_some");
+                match det.step(u, healthy, &state.visited) {
+                    Some(w) => {
+                        state.detour_hops += 1;
+                        state.detour_run += 1;
+                        w
+                    }
+                    None => return Decision::Blocked,
+                }
+            }
+        }
+    };
+    Decision::Hop(u.dir_to(next).expect("deciders step to a neighbor"))
 }
 
 /// `E-cube` — fault-tolerant dimension-order routing over rectangular
@@ -395,138 +375,110 @@ impl Router for ECube {
         "E-cube"
     }
 
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
-        let mesh = *net.mesh();
-        let blocks = net.blocks();
+    fn decide(&self, view: &NetView, ctx: HopCtx<'_>) -> Decision {
+        let HopCtx { dst: d, src: s, here: u, state, .. } = ctx;
+        if u == d {
+            return Decision::Deliver;
+        }
+        // Once wall-following over enabled nodes exhausts its orbits,
+        // the enabled region around the walker is a closed pocket: drop
+        // the block constraint and walk healthy nodes (the deactivated
+        // ones are physical hardware; the error metric pays for the
+        // extra hops).
+        if state.clear_exhausted_detour() {
+            state.healthy_mode = true;
+        }
+        let mesh = *view.mesh();
+        let blocks = view.blocks();
+        let detour_patience = 4 * (mesh.width() + mesh.height());
         // Walk on healthy nodes, but treat block-disabled nodes as
         // obstacles (except the endpoints, which the experiment harness
         // guarantees to be healthy but which the coarser block model may
         // have deactivated).
-        // Once wall-following over enabled nodes exhausts its orbits
-        // repeatedly, the enabled region around the walker is a closed
-        // pocket: drop the block constraint and walk healthy nodes (the
-        // deactivated ones are physical hardware; the error metric pays
-        // for the extra hops).
-        let healthy_mode = std::cell::Cell::new(false);
+        let healthy_mode = state.healthy_mode;
         let passable = |c: Coord| {
             mesh.contains(c)
-                && net.faults().is_healthy(c)
-                && (!blocks.is_disabled(c) || c == d || c == s || healthy_mode.get())
+                && view.faults().is_healthy(c)
+                && (!blocks.is_disabled(c) || c == d || c == s || healthy_mode)
         };
-        let healthy = |c: Coord| net.faults().is_healthy(c);
-        let desired = |u: Coord| -> Dir {
-            if u.x != d.x {
-                if d.x > u.x {
-                    Dir::PlusX
-                } else {
-                    Dir::MinusX
-                }
-            } else if d.y > u.y {
-                Dir::PlusY
-            } else {
-                Dir::MinusY
-            }
-        };
+        let healthy = |c: Coord| view.faults().is_healthy(c);
 
-        let mut path = vec![s];
-        let mut u = s;
-        let mut visited = Visited::new(s);
-        let mut detour: Option<Detour> = None;
-        let mut detour_hops = 0u32;
-        let mut detour_run = 0u32;
-        let detour_patience = 4 * (mesh.width() + mesh.height());
-
-        for _ in 0..hop_budget(net) {
-            if u == d {
-                return RouteResult {
-                    path,
-                    delivered: true,
-                    replans: 0,
-                    fallbacks: 0,
-                    detour_hops,
-                };
-            }
-            // Thrash guard: revisiting any node this often means the
-            // dimension-ordered decision cycles; degrade to a pure
-            // least-visited exploration walk, which covers the connected
-            // component and therefore terminates.
-            if visited.counts().get(&u).copied().unwrap_or(0) > 8 {
-                healthy_mode.set(true);
-                match least_visited_step(u, healthy, visited.counts()) {
-                    Some(w) => {
-                        detour_hops += 1;
-                        u = w;
-                        visited.insert(u);
-                        path.push(u);
-                        continue;
-                    }
-                    None => break,
+        // Thrash guard: revisiting any node this often means the
+        // dimension-ordered decision cycles; degrade to a pure
+        // least-visited exploration walk, which covers the connected
+        // component and therefore terminates.
+        if state.visited.counts().get(&u).copied().unwrap_or(0) > 8 {
+            state.healthy_mode = true;
+            return match least_visited_step(u, healthy, state.visited.counts()) {
+                Some(w) => {
+                    state.detour_hops += 1;
+                    Decision::Hop(u.dir_to(w).expect("exploration steps to a neighbor"))
                 }
-            }
-            let dir = desired(u);
-            let straight = u.step(dir);
-            let next = match &mut detour {
-                None => {
-                    if passable(straight) {
-                        detour_run = 0;
-                        straight
-                    } else {
-                        let mut det = Detour::around(dir);
-                        match det.step(u, passable, &visited) {
-                            Some(w) => {
-                                detour = Some(det);
-                                detour_hops += 1;
-                                detour_run += 1;
-                                w
-                            }
-                            // Enabled nodes exhausted: escape over healthy
-                            // nodes (block-disabled ones are physically
-                            // traversable; the error metric pays for it).
-                            None => match least_visited_step(u, healthy, visited.counts()) {
-                                Some(w) => {
-                                    detour_hops += 1;
-                                    w
-                                }
-                                None => break,
-                            },
-                        }
-                    }
-                }
-                Some(det) => {
-                    if passable(straight)
-                        && (!visited.contains(straight) || detour_run >= detour_patience)
-                    {
-                        detour = None;
-                        detour_run = 0;
-                        straight
-                    } else {
-                        match det.step(u, passable, &visited) {
-                            Some(w) => {
-                                detour_hops += 1;
-                                detour_run += 1;
-                                w
-                            }
-                            None => match least_visited_step(u, healthy, visited.counts()) {
-                                Some(w) => {
-                                    detour_hops += 1;
-                                    w
-                                }
-                                None => break,
-                            },
-                        }
-                    }
-                }
+                None => Decision::Blocked,
             };
-            u = next;
-            visited.insert(u);
-            path.push(u);
-            if detour.as_ref().is_some_and(|d| d.exhausted) {
-                detour = None;
-                detour_run = 0;
-                healthy_mode.set(true);
-            }
         }
-        RouteResult { path, delivered: u == d, replans: 0, fallbacks: 0, detour_hops }
+
+        let dir = if u.x != d.x {
+            if d.x > u.x {
+                Dir::PlusX
+            } else {
+                Dir::MinusX
+            }
+        } else if d.y > u.y {
+            Dir::PlusY
+        } else {
+            Dir::MinusY
+        };
+        let straight = u.step(dir);
+        let next = if state.detour.is_none() {
+            if passable(straight) {
+                state.detour_run = 0;
+                straight
+            } else {
+                let mut det = Detour::around(dir);
+                match det.step(u, passable, &state.visited) {
+                    Some(w) => {
+                        state.detour = Some(det);
+                        state.detour_hops += 1;
+                        state.detour_run += 1;
+                        w
+                    }
+                    // Enabled nodes exhausted: escape over healthy
+                    // nodes (block-disabled ones are physically
+                    // traversable; the error metric pays for it).
+                    None => match least_visited_step(u, healthy, state.visited.counts()) {
+                        Some(w) => {
+                            state.detour_hops += 1;
+                            w
+                        }
+                        None => return Decision::Blocked,
+                    },
+                }
+            }
+        } else if passable(straight)
+            && (!state.visited.contains(straight) || state.detour_run >= detour_patience)
+        {
+            state.detour = None;
+            state.detour_run = 0;
+            straight
+        } else {
+            let det = state.detour.as_mut().expect("checked is_some");
+            match det.step(u, passable, &state.visited) {
+                Some(w) => {
+                    state.detour_hops += 1;
+                    state.detour_run += 1;
+                    w
+                }
+                None => match least_visited_step(u, healthy, state.visited.counts()) {
+                    Some(w) => {
+                        state.detour_hops += 1;
+                        w
+                    }
+                    None => return Decision::Blocked,
+                },
+            }
+        };
+        Decision::Hop(u.dir_to(next).expect("deciders step to a neighbor"))
     }
 }
 
@@ -537,11 +489,11 @@ mod tests {
     use crate::oracle::DistanceField;
     use meshpath_mesh::{FaultSet, Mesh};
 
-    fn net(mesh: Mesh, faults: &[(i32, i32)]) -> Network {
-        Network::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
+    fn net(mesh: Mesh, faults: &[(i32, i32)]) -> NetView {
+        NetView::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
     }
 
-    fn check_optimal(router: &dyn Router, n: &Network, s: Coord, d: Coord) {
+    fn check_optimal(router: &dyn Router, n: &NetView, s: Coord, d: Coord) {
         let res = router.route(n, s, d);
         assert!(res.delivered, "{} failed {s:?}->{d:?}: {:?}", router.name(), res.path);
         validate_path(n, s, d, &res).expect("valid path");
@@ -631,7 +583,7 @@ mod tests {
             if !meshpath_mesh::is_connected(&faults) {
                 continue;
             }
-            let n = Network::build(faults);
+            let n = NetView::build(faults);
             let field_ok = |c: Coord| n.faults().is_healthy(c) && n.is_safe_all_orientations(c);
             // Draw safe endpoint pairs.
             let mut pairs = Vec::new();

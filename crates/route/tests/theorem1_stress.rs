@@ -9,7 +9,7 @@
 //! non-empty.
 
 use meshpath_mesh::{Coord, FaultInjection, FaultSet, Mesh, Orientation};
-use meshpath_route::{oracle::DistanceField, KnowledgeScope, Network, Rb1, Rb2, Rb3, Router};
+use meshpath_route::{oracle::DistanceField, KnowledgeScope, NetView, Rb1, Rb2, Rb3, Router};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +30,7 @@ fn rb2_matches_bfs_on_random_meshes() {
         // Sweep up to ~25% faults, mirroring the paper's 0..3000 on 100x100.
         let fault_count = 10 + trial * 12;
         let faults = FaultSet::random(mesh, fault_count, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         let safe_for = |c: Coord, s: Coord, d: Coord| {
             let o = Orientation::normalizing(s, d);
             net.mccs(o).labeling().status_real(c).is_safe()

@@ -1,8 +1,52 @@
 //! Simulation parameters.
 
+use meshpath_mesh::Coord;
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
+
+/// One scheduled mid-run fault mutation (the `fault_churn` scenario
+/// axis): at the start of `cycle`, the network advances to the next
+/// epoch snapshot with `op` applied.
+///
+/// Semantics are **announced decommission / recommission**, matching
+/// dynamic NoC reconfiguration practice: from the event cycle on, the
+/// mutated node is excluded from admission (no new packets are
+/// generated at, destined to, or routed through a failed node — new
+/// routes compile against the new epoch), while packets admitted under
+/// earlier epochs finish on their compiled routes (the node powers off
+/// only once legacy traffic no longer needs it). Escape classes are
+/// provisioned against the union of every scheduled epoch's faults, so
+/// their deadlock-freedom argument is epoch-invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Cycle at which the mutation takes effect (applied before that
+    /// cycle's generation).
+    pub cycle: u64,
+    /// What happens to the network.
+    pub op: ChurnOp,
+}
+
+/// The mutation a [`ChurnEvent`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnOp {
+    /// The node at this coordinate fails (decommission).
+    Fail(Coord),
+    /// The node at this coordinate is repaired (recommission).
+    Repair(Coord),
+}
+
+impl ChurnEvent {
+    /// A failure event.
+    pub fn fail(cycle: u64, at: Coord) -> Self {
+        ChurnEvent { cycle, op: ChurnOp::Fail(at) }
+    }
+
+    /// A repair event.
+    pub fn repair(cycle: u64, at: Coord) -> Self {
+        ChurnEvent { cycle, op: ChurnOp::Repair(at) }
+    }
+}
 
 /// Cycles a flit spends outside the router pipeline proper: one on the
 /// injection link (source NI -> source router) and one on the ejection
@@ -122,6 +166,12 @@ pub struct SimConfig {
     /// [`WindowSample`]: crate::WindowSample
     /// [`WindowObserver`]: crate::WindowObserver
     pub stats_window: u64,
+    /// Scheduled mid-run fault mutations (see [`ChurnEvent`] for the
+    /// decommission semantics). Sorted by cycle at simulation start;
+    /// each event advances the run to the next epoch snapshot,
+    /// published by the incremental `NetState` update path. Empty =
+    /// the classic static-fault run (epoch 0 throughout).
+    pub fault_churn: Vec<ChurnEvent>,
 }
 
 impl Default for SimConfig {
@@ -143,6 +193,7 @@ impl Default for SimConfig {
             length: LengthDist::Fixed,
             threads: 0,
             stats_window: 250,
+            fault_churn: Vec::new(),
         }
     }
 }
@@ -153,9 +204,31 @@ impl SimConfig {
         SimConfig { warmup: 100, measure: 400, drain: 1000, ..Default::default() }
     }
 
-    /// This config with a different injection rate (sweep helper).
-    pub fn with_rate(&self, rate: f64) -> Self {
-        SimConfig { rate, ..self.clone() }
+    /// This config with a different injection rate (builder).
+    pub fn with_rate(self, rate: f64) -> Self {
+        SimConfig { rate, ..self }
+    }
+
+    /// This config with a different base seed (builder).
+    pub fn with_seed(self, seed: u64) -> Self {
+        SimConfig { seed, ..self }
+    }
+
+    /// This config with a different worker-thread count (builder; see
+    /// [`threads`](SimConfig::threads)).
+    pub fn with_threads(self, threads: usize) -> Self {
+        SimConfig { threads, ..self }
+    }
+
+    /// This config with a destination pattern (builder).
+    pub fn with_pattern(self, pattern: TrafficPattern) -> Self {
+        SimConfig { pattern, ..self }
+    }
+
+    /// This config with a mid-run fault-churn schedule (builder; see
+    /// [`ChurnEvent`]).
+    pub fn with_fault_churn(self, fault_churn: Vec<ChurnEvent>) -> Self {
+        SimConfig { fault_churn, ..self }
     }
 
     /// The effective shard/worker count for a mesh of `nodes` nodes
@@ -183,9 +256,10 @@ impl SimConfig {
 
     /// This config with per-hop escape routing disabled: the original
     /// source-routed behavior (deterministic replay over all `vcs`
-    /// channels, deadlock detected rather than avoided).
-    pub fn without_escape(&self) -> Self {
-        SimConfig { escape_vcs: 0, policy: RoutePolicy::Deterministic, ..self.clone() }
+    /// channels, deadlock detected rather than avoided). Builder, like
+    /// the rest of the `with_*` family.
+    pub fn without_escape(self) -> Self {
+        SimConfig { escape_vcs: 0, policy: RoutePolicy::Deterministic, ..self }
     }
 }
 
@@ -208,9 +282,28 @@ mod tests {
         assert_eq!(c.injection, InjectionProcess::Bernoulli);
         assert_eq!(c.length, LengthDist::Fixed);
         assert_eq!(c.threads, 0, "thread count should default to auto");
-        let f = c.with_rate(0.25);
+        assert!(c.fault_churn.is_empty(), "no churn by default");
+        let f = c.clone().with_rate(0.25);
         assert_eq!(f.rate, 0.25);
         assert_eq!(f.vcs, c.vcs);
+    }
+
+    #[test]
+    fn builders_are_uniformly_by_value() {
+        let c = SimConfig::smoke()
+            .with_rate(0.125)
+            .with_seed(99)
+            .with_threads(2)
+            .with_pattern(TrafficPattern::Transpose)
+            .with_fault_churn(vec![ChurnEvent::fail(50, Coord::new(1, 1))]);
+        assert_eq!(c.rate, 0.125);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.pattern, TrafficPattern::Transpose);
+        assert_eq!(c.fault_churn.len(), 1);
+        let d = c.without_escape();
+        assert_eq!(d.escape_vcs, 0);
+        assert_eq!(d.rate, 0.125, "builders chain without losing fields");
     }
 
     #[test]

@@ -203,10 +203,14 @@ pub struct PacketState {
     /// Consecutive cycles the head has been parked without an output
     /// grant (escape-patience clock; reset on every grant).
     pub stalled: u32,
+    /// The admission epoch: which network snapshot this packet's route
+    /// was compiled against (fault churn). Always 0 without churn.
+    pub epoch: u32,
 }
 
 impl PacketState {
-    /// A fresh packet of `len` flits from `src` to `dst`.
+    /// A fresh packet of `len` flits from `src` to `dst` (admission
+    /// epoch 0; the driver overrides `epoch` under fault churn).
     pub fn new(src: Coord, dst: Coord, generated_at: u64, len: u32) -> Self {
         PacketState {
             src,
@@ -216,6 +220,7 @@ impl PacketState {
             len,
             mode: VcClass::Adaptive,
             stalled: 0,
+            epoch: 0,
         }
     }
 }

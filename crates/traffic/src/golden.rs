@@ -17,7 +17,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 
 use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
-use meshpath_route::Network;
+use meshpath_route::NetView;
 
 use crate::config::{RoutePolicy, SimConfig};
 use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
@@ -26,7 +26,7 @@ use crate::sim::TrafficSim;
 use crate::stats::TrafficStats;
 
 /// Runs one full simulation on the chosen stepper.
-fn run(net: &Network, kind: RoutingKind, cfg: &SimConfig, reference: bool) -> TrafficStats {
+fn run(net: &NetView, kind: RoutingKind, cfg: &SimConfig, reference: bool) -> TrafficStats {
     let mut paths = PathTable::new(net, kind);
     let mut sim = TrafficSim::new(&mut paths, cfg.clone());
     if reference {
@@ -44,16 +44,31 @@ proptest! {
             (4u32..9, 0usize..5, 0usize..5, 0u64..0xffff_ffff),
             (2usize..5, 0usize..3, 1u32..7, 0usize..5),
             (0usize..4, 1u32..5, 0usize..2, 0usize..2),
+            0usize..3,
         )
     ) {
         let (
             (mesh_n, faults, kind_ix, seed),
             (vcs, escape_raw, patience, rate_ix),
             (pattern_ix, packet_len, injection_ix, length_ix),
+            churn_ix,
         ) = draw;
         let mesh = Mesh::square(mesh_n);
         let mut frng = StdRng::seed_from_u64(seed);
-        let net = Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut frng));
+        let net = NetView::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut frng));
+        // Optional mid-run churn (1 = one failure, 2 = failure + later
+        // repair of the same node), on a deterministically-chosen
+        // healthy coordinate: the equivalence must hold across epoch
+        // boundaries too.
+        let churn_node = mesh.iter().filter(|&c| net.faults().is_healthy(c)).nth(seed as usize % 7);
+        let fault_churn = match (churn_ix, churn_node) {
+            (1, Some(c)) => vec![crate::config::ChurnEvent::fail(60, c)],
+            (2, Some(c)) => vec![
+                crate::config::ChurnEvent::fail(60, c),
+                crate::config::ChurnEvent::repair(140, c),
+            ],
+            _ => Vec::new(),
+        };
         let kind = RoutingKind::ALL[kind_ix];
         // The policy/escape knobs must agree (TrafficSim asserts it):
         // no reserved channel means deterministic replay.
@@ -94,6 +109,7 @@ proptest! {
             length,
             threads: 1,
             stats_window: 100,
+            fault_churn,
         };
         let reference = run(&net, kind, &cfg, true);
         // Shard counts 1, 2 and 4: the event-driven stepper must match

@@ -71,10 +71,10 @@
 //!
 //! ```
 //! use meshpath_mesh::{Coord, FaultSet, Mesh};
-//! use meshpath_route::Network;
+//! use meshpath_route::NetView;
 //! use meshpath_traffic::{run_traffic, RoutingKind, SimConfig};
 //!
-//! let net = Network::build(FaultSet::from_coords(
+//! let net = NetView::build(FaultSet::from_coords(
 //!     Mesh::square(8),
 //!     [Coord::new(3, 3)],
 //! ));
@@ -116,7 +116,7 @@ pub mod routing;
 pub mod sim;
 pub mod stats;
 
-pub use config::{RoutePolicy, SimConfig, PIPELINE_DEPTH};
+pub use config::{ChurnEvent, ChurnOp, RoutePolicy, SimConfig, PIPELINE_DEPTH};
 pub use fabric::{BoundaryMsg, Delivery, Fabric, Flit, FrontierEntry, PacketState, StepReport};
 pub use pattern::{DestSampler, InjectionProcess, LengthDist, TrafficPattern};
 pub use routing::{
@@ -130,6 +130,6 @@ pub use stats::{
     DrainStallObserver, LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample,
 };
 
-// Re-exported so downstream code can name the trait the adapters build
-// on without importing `meshpath-route` separately.
-pub use meshpath_route::Router;
+// Re-exported so downstream code can name the substrate types the
+// adapters build on without importing `meshpath-route` separately.
+pub use meshpath_route::{NetState, NetView, Router};

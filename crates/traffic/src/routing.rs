@@ -4,20 +4,22 @@
 //!
 //! ## Architecture
 //!
-//! The paper's routers make per-hop local decisions. Re-running the
-//! full decision procedure at every router every cycle would swamp the
-//! flit-level simulation, so the adapters compile the hop sequence once
-//! per distinct `(source, destination)` pair into a [`PathTable`]
-//! (every router in this workspace is *deterministic* per network, so
-//! the walk is a pure function of the pair). Unlike the source-routed
-//! design this crate started with, the compiled route is **not**
-//! attached to the packet and replayed blindly by the fabric: the
-//! fabric asks a [`HopRouter`] for a fresh `(output port, VC class)`
-//! decision whenever a head flit is parked at a router, and the router
-//! consults the table — which means the decision can *change* based on
-//! local state, which is what makes escape routing possible.
+//! The paper's routers make per-hop local decisions (the unified
+//! [`Router`] trait in `meshpath-route`). Re-running the full decision
+//! procedure at every router every cycle would swamp the flit-level
+//! simulation, so the adapters compile the hop sequence once per
+//! distinct `(epoch, source, destination)` triple into a [`PathTable`]
+//! (every router in this workspace is *deterministic* per snapshot, so
+//! the walk is a pure function of the pair). The table is
+//! **snapshot-keyed**: it owns [`NetView`] epochs instead of borrowing
+//! one `&Network`, which is what lets a running simulation change its
+//! fault set mid-flight (the `fault_churn` scenario axis) — packets
+//! admitted at epoch `e` replay epoch-`e` routes while new packets
+//! compile against the current epoch.
 //!
-//! Two hop routers are provided:
+//! The fabric asks a [`HopRouter`] for a fresh `(output port, VC
+//! class)` decision whenever a head flit is parked at a router. Two hop
+//! routers are provided:
 //!
 //! * [`ReplayHop`] — always follows the compiled route on the adaptive
 //!   VC class. Functionally identical to the old source-routed fabric.
@@ -28,18 +30,20 @@
 //!
 //!   1. the **XY escape class** ([`VcClass::EscapeXy`]): strict
 //!      dimension-order XY, entered only when the XY walk from the
-//!      current node to the destination crosses no faulty node. Every
-//!      XY hop strictly decreases the dimension-order distance, so the
-//!      class's channel-dependency graph is acyclic (the classic DOR
-//!      argument) and it drains under any load.
+//!      current node to the destination crosses no faulty node (under
+//!      the packet's epoch). Every XY hop strictly decreases the
+//!      dimension-order distance, so the class's channel-dependency
+//!      graph is acyclic (the classic DOR argument) and it drains under
+//!      any load.
 //!   2. the **tree escape class** ([`VcClass::EscapeTree`]): up*/down*
-//!      routing on a BFS spanning forest of the healthy nodes
-//!      ([`EscapeForest`]). Tree routes go child-to-root ("up") then
-//!      root-to-child ("down"); forbidding down-to-up transitions
-//!      totally orders the tree channels, so this class is acyclic
-//!      *regardless of the fault pattern* — and a tree route exists for
-//!      every connected pair, so unlike XY it is available from every
-//!      node a routable packet can be parked at.
+//!      routing on a BFS spanning forest ([`EscapeForest`]). Tree
+//!      routes go child-to-root ("up") then root-to-child ("down");
+//!      forbidding down-to-up transitions totally orders the tree
+//!      channels, so this class is acyclic *regardless of the fault
+//!      pattern*. Under fault churn the forest is provisioned against
+//!      the **union of every scheduled epoch's faults**, so one
+//!      epoch-invariant acyclic substrate serves the whole run — the
+//!      deadlock-freedom argument survives reconfiguration.
 //!
 //!   Per Duato's methodology, a blocked head that always has an
 //!   eventual path onto a draining escape network cannot participate in
@@ -51,124 +55,15 @@
 use std::rc::Rc;
 
 use meshpath_mesh::{Coord, Dir, FaultSet, FxHashMap};
-use meshpath_route::{ECube, Network, Rb1, Rb2, Rb3, RouteResult, Router};
+use meshpath_route::{NetView, RouteResult, Router};
 use serde::{Deserialize, Serialize};
 
 use crate::fabric::PacketState;
 
-/// The routing functions the traffic simulator can drive.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub enum RoutingKind {
-    /// Dimension-order XY: minimal and deadlock-free, but fault-oblivious
-    /// (packets whose row/column path hits a fault are unroutable). The
-    /// sanity baseline.
-    Xy,
-    /// Fault-tolerant E-cube over rectangular fault blocks
-    /// (Boppana & Chalasani).
-    ECube,
-    /// Algorithm 3 over the B1 information model.
-    Rb1,
-    /// Algorithm 5 over the B2 model (the paper's shortest-path routing).
-    Rb2,
-    /// Algorithm 7 over the B3 model.
-    Rb3,
-}
-
-impl RoutingKind {
-    /// All routing functions, in reporting order.
-    pub const ALL: [RoutingKind; 5] =
-        [RoutingKind::Xy, RoutingKind::ECube, RoutingKind::Rb1, RoutingKind::Rb2, RoutingKind::Rb3];
-
-    /// Display name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            RoutingKind::Xy => "XY",
-            RoutingKind::ECube => "E-cube",
-            RoutingKind::Rb1 => "RB1",
-            RoutingKind::Rb2 => "RB2",
-            RoutingKind::Rb3 => "RB3",
-        }
-    }
-
-    /// Instantiates the underlying router (default policies).
-    pub fn router(self) -> Box<dyn Router> {
-        match self {
-            RoutingKind::Xy => Box::new(XyRouter),
-            RoutingKind::ECube => Box::new(ECube),
-            RoutingKind::Rb1 => Box::new(Rb1::default()),
-            RoutingKind::Rb2 => Box::new(Rb2::default()),
-            RoutingKind::Rb3 => Box::new(Rb3::default()),
-        }
-    }
-}
-
-/// Deterministic dimension-order routing: correct X first, then Y.
-///
-/// Fault-oblivious: the walk stops (undelivered) at the first faulty
-/// node on the dimension-ordered path. In a fault-free mesh this is the
-/// textbook minimal deadlock-free routing, which is why it serves as
-/// the simulator's sanity baseline.
-pub struct XyRouter;
-
-impl Router for XyRouter {
-    fn name(&self) -> &'static str {
-        "XY"
-    }
-
-    fn route(&self, net: &Network, s: Coord, d: Coord) -> RouteResult {
-        let mut path = vec![s];
-        let mut cur = s;
-        let mut blocked = false;
-        while cur != d {
-            let next = cur.step(xy_next(cur, d));
-            if !net.faults().is_healthy(next) {
-                blocked = true;
-                break;
-            }
-            path.push(next);
-            cur = next;
-        }
-        RouteResult { path, delivered: !blocked, replans: 0, fallbacks: 0, detour_hops: 0 }
-    }
-}
-
-/// The dimension-order next hop from `here` towards `dst`: correct X
-/// first, then Y. The escape class routes exclusively with this
-/// function, so every escape hop strictly decreases the lexicographic
-/// potential `(|dx|, |dy|)` — the invariant the escape property tests
-/// pin.
-///
-/// # Panics
-/// Panics when `here == dst` (a delivered packet has no next hop).
-#[inline]
-pub fn xy_next(here: Coord, dst: Coord) -> Dir {
-    if here.x != dst.x {
-        if dst.x > here.x {
-            Dir::PlusX
-        } else {
-            Dir::MinusX
-        }
-    } else if dst.y > here.y {
-        Dir::PlusY
-    } else {
-        assert!(dst.y < here.y, "xy_next called at the destination");
-        Dir::MinusY
-    }
-}
-
-/// Whether the dimension-order XY walk from `here` to `dst` crosses
-/// only healthy nodes — the escape-entry precondition. `here == dst`
-/// is trivially clear.
-pub fn xy_path_clear(faults: &FaultSet, here: Coord, dst: Coord) -> bool {
-    let mut cur = here;
-    while cur != dst {
-        cur = cur.step(xy_next(cur, dst));
-        if !faults.is_healthy(cur) {
-            return false;
-        }
-    }
-    true
-}
+// The per-hop substrate is defined once, in `meshpath-route`; re-export
+// the names this crate historically owned so downstream code keeps
+// compiling while the two layers share one implementation.
+pub use meshpath_route::{xy_next, xy_path_clear, RoutingKind, XyRouter};
 
 /// The virtual-channel classes of the fabric.
 ///
@@ -271,45 +166,64 @@ impl HopDecision {
     }
 }
 
-/// A per-hop routing function: the object the fabric consults for every
-/// parked head flit, every cycle, instead of replaying a source route.
-///
-/// Implementations decide from *local* state — the packet's endpoints
-/// and progress ([`PacketState`]) plus whatever the router itself knows
-/// about the network — mirroring how the paper's distributed algorithms
-/// run on real NoC hardware.
+/// The fabric-facing adapter over the unified [`Router`] trait: the
+/// object the fabric consults for every parked head flit, adding the
+/// VC-class dimension (adaptive vs escape) the offline engine does not
+/// have. Implementations decide from *local* state — the packet's
+/// endpoints and progress ([`PacketState`], including its admission
+/// epoch) plus whatever the adapter knows about the network — mirroring
+/// how the paper's distributed algorithms run on real NoC hardware.
 pub trait HopRouter {
     /// Network-interface admission: the hop count of the compiled route
-    /// for `(s, d)`, or `None` when the routing function does not
-    /// deliver the pair (XY across a fault, disconnected endpoints).
-    /// Called once per generated packet; the result backs the TTL check.
+    /// for `(s, d)` under the **current epoch**, or `None` when the
+    /// routing function does not deliver the pair (XY across a fault,
+    /// disconnected endpoints). Called once per generated packet; the
+    /// result backs the TTL check.
     fn admit(&mut self, s: Coord, d: Coord) -> Option<u32>;
 
     /// The decision for the head flit of `pk` parked at `here`. Called
     /// every cycle the head is unrouted (possibly several times, once
     /// per output port scanned), so it must be cheap: a table lookup
-    /// plus a VC-class choice.
+    /// plus a VC-class choice. Routes are resolved under the packet's
+    /// admission epoch (`pk.epoch`).
     fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision;
+
+    /// Advances the *admission* epoch (fault churn): subsequent
+    /// [`admit`](HopRouter::admit) calls compile against the next
+    /// scheduled snapshot. In-flight packets keep their epoch.
+    fn advance_epoch(&mut self) {}
 }
 
-/// A memoizing compiled-route table for one `(network, routing
-/// function)` pair: the per-pair backing store of the hop routers.
-pub struct PathTable<'a> {
-    net: &'a Network,
+/// A compiled route: the hop sequence, or `None` for an undeliverable
+/// pair, cached per `(epoch, source, destination)`.
+type CachedRoute = Option<Rc<[Dir]>>;
+
+/// A memoizing compiled-route table for one routing function over a
+/// **schedule of epoch snapshots**: the per-pair backing store of the
+/// hop routers. Routes are keyed `(epoch, source, destination)`, so a
+/// table serves mixed-epoch traffic during fault churn; without churn
+/// it degenerates to the classic per-pair cache at epoch 0.
+pub struct PathTable {
     kind: RoutingKind,
-    router: Box<dyn Router>,
-    cache: FxHashMap<(Coord, Coord), Option<Rc<[Dir]>>>,
+    router: Box<dyn Router + Send + Sync>,
+    /// The scheduled snapshots, admission-epoch order (index 0 = the
+    /// initial configuration).
+    views: Vec<NetView>,
+    /// The current admission epoch (index into `views`).
+    current: usize,
+    cache: FxHashMap<(u32, Coord, Coord), CachedRoute>,
     misses: u64,
     hits: u64,
 }
 
-impl<'a> PathTable<'a> {
-    /// Creates an empty table for `kind` over `net`.
-    pub fn new(net: &'a Network, kind: RoutingKind) -> Self {
+impl PathTable {
+    /// Creates an empty single-epoch table for `kind` over `view`.
+    pub fn new(view: &NetView, kind: RoutingKind) -> Self {
         PathTable {
-            net,
             kind,
             router: kind.router(),
+            views: vec![view.clone()],
+            current: 0,
             cache: FxHashMap::default(),
             misses: 0,
             hits: 0,
@@ -321,28 +235,79 @@ impl<'a> PathTable<'a> {
         self.kind
     }
 
-    /// The network the routes are compiled against.
-    pub fn network(&self) -> &'a Network {
-        self.net
+    /// The snapshot of the current admission epoch.
+    pub fn view(&self) -> &NetView {
+        &self.views[self.current]
     }
 
-    /// The direction sequence from `s` to `d`, or `None` when the router
-    /// does not deliver this pair (XY hitting a fault, disconnected
-    /// endpoints, hop-budget exhaustion).
+    /// The snapshot of a specific epoch.
+    ///
+    /// # Panics
+    /// Panics when `epoch` is beyond the schedule.
+    pub fn view_at(&self, epoch: u32) -> &NetView {
+        &self.views[epoch as usize]
+    }
+
+    /// Every scheduled snapshot, epoch order.
+    pub fn views(&self) -> &[NetView] {
+        &self.views
+    }
+
+    /// The current admission epoch (index into [`views`](PathTable::views)).
+    pub fn current_epoch(&self) -> u32 {
+        self.current as u32
+    }
+
+    /// Installs the post-initial epoch schedule (fault churn) and
+    /// rewinds to epoch 0. Cached routes of the initial epoch survive
+    /// (they stay valid across runs over the same network); later-epoch
+    /// entries are dropped, since the schedule may have changed.
+    pub fn set_schedule(&mut self, later: impl IntoIterator<Item = NetView>) {
+        self.views.truncate(1);
+        self.views.extend(later);
+        self.current = 0;
+        self.cache.retain(|&(epoch, _, _), _| epoch == 0);
+    }
+
+    /// Rewinds the admission epoch to 0 (run start).
+    pub fn rewind(&mut self) {
+        self.current = 0;
+    }
+
+    /// Advances the admission epoch; `false` when the schedule is
+    /// exhausted.
+    pub fn advance_epoch(&mut self) -> bool {
+        if self.current + 1 < self.views.len() {
+            self.current += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The direction sequence from `s` to `d` under the current
+    /// admission epoch, or `None` when the router does not deliver this
+    /// pair (XY hitting a fault, disconnected endpoints, hop-budget
+    /// exhaustion).
     pub fn path(&mut self, s: Coord, d: Coord) -> Option<Rc<[Dir]>> {
-        if let Some(p) = self.cache.get(&(s, d)) {
+        self.path_at(self.current as u32, s, d)
+    }
+
+    /// The direction sequence from `s` to `d` under a specific epoch.
+    pub fn path_at(&mut self, epoch: u32, s: Coord, d: Coord) -> Option<Rc<[Dir]>> {
+        if let Some(p) = self.cache.get(&(epoch, s, d)) {
             self.hits += 1;
             return p.clone();
         }
         self.misses += 1;
-        let res = self.router.route(self.net, s, d);
+        let res: RouteResult = self.router.route(&self.views[epoch as usize], s, d);
         let dirs = res.delivered.then(|| {
             res.path
                 .windows(2)
                 .map(|w| w[0].dir_to(w[1]).expect("router paths move between neighbors"))
                 .collect::<Rc<[Dir]>>()
         });
-        self.cache.insert((s, d), dirs.clone());
+        self.cache.insert((epoch, s, d), dirs.clone());
         dirs
     }
 
@@ -356,18 +321,18 @@ impl<'a> PathTable<'a> {
 /// Deterministic per-hop replay of the compiled route, adaptive class
 /// only — the paper's routers exactly as the source-routed fabric ran
 /// them, now phrased as per-hop decisions.
-pub struct ReplayHop<'net, 'p> {
-    paths: &'p mut PathTable<'net>,
+pub struct ReplayHop<'p> {
+    paths: &'p mut PathTable,
 }
 
-impl<'net, 'p> ReplayHop<'net, 'p> {
+impl<'p> ReplayHop<'p> {
     /// A replay router over `paths`' compiled routes.
-    pub fn new(paths: &'p mut PathTable<'net>) -> Self {
+    pub fn new(paths: &'p mut PathTable) -> Self {
         ReplayHop { paths }
     }
 }
 
-impl HopRouter for ReplayHop<'_, '_> {
+impl HopRouter for ReplayHop<'_> {
     fn admit(&mut self, s: Coord, d: Coord) -> Option<u32> {
         self.paths.path(s, d).map(|p| p.len() as u32)
     }
@@ -376,9 +341,16 @@ impl HopRouter for ReplayHop<'_, '_> {
         if here == pk.dst {
             return HopDecision::Eject;
         }
-        let path = self.paths.path(pk.src, pk.dst).expect("admitted packets have compiled routes");
+        let path = self
+            .paths
+            .path_at(pk.epoch, pk.src, pk.dst)
+            .expect("admitted packets have compiled routes");
         let dir = path[pk.head_hop as usize];
         HopDecision::route1(HopChoice { dir, class: VcClass::Adaptive })
+    }
+
+    fn advance_epoch(&mut self) {
+        self.paths.advance_epoch();
     }
 }
 
@@ -571,42 +543,65 @@ impl EscapeForest {
     }
 }
 
+/// The union of every scheduled epoch's faults: the substrate the
+/// escape classes are provisioned against under churn, so the escape
+/// networks never route through any node that is faulty at *any*
+/// scheduled epoch and stay epoch-invariant (acyclicity needs one
+/// fixed structure). Without churn this is just the current fault set.
+fn union_faults(views: &[NetView]) -> FaultSet {
+    let mut faults = views[0].faults().clone();
+    for v in &views[1..] {
+        for c in v.faults().iter() {
+            faults.inject(c);
+        }
+    }
+    faults
+}
+
 /// The Duato-style adaptive wrapper: compiled routes on the adaptive
 /// class; once a head has been blocked `patience` consecutive cycles it
 /// is offered the reserved escape classes — dimension-order XY when the
-/// XY walk to the destination is fault-free, and the up*/down* tree
-/// route as the always-available last resort.
+/// XY walk to the destination is fault-free under the packet's epoch,
+/// and the up*/down* tree route as the always-available last resort.
 ///
 /// A packet that takes an escape channel is committed: it stays on that
 /// escape class until delivery, so escape packets only ever wait on
 /// channels of their own (acyclic) class and are guaranteed to drain.
-pub struct EscapeHop<'net, 'p> {
-    paths: &'p mut PathTable<'net>,
+pub struct EscapeHop<'p> {
+    paths: &'p mut PathTable,
     patience: u32,
     /// Whether the fabric has a non-empty XY escape class
     /// (`escape_vcs >= 2`): with only the tree channel reserved, XY
     /// candidates could never allocate, so offering them (and paying
     /// the clearance walks) would be pure waste.
     xy_class: bool,
+    /// The union-provisioned substrate faults (see [`union_faults`]).
+    substrate: FaultSet,
     forest: EscapeForest,
-    /// Memoized [`xy_path_clear`] per `(node, destination)`.
-    clear: FxHashMap<(Coord, Coord), bool>,
+    /// Memoized [`xy_path_clear`] per `(epoch, node, destination)`.
+    clear: FxHashMap<(u32, Coord, Coord), bool>,
     /// Memoized tree next hop per `(node, destination)` — the
     /// ancestor climb is O(tree depth) and `decide` runs on the
     /// congested path, up to once per output-port scan per cycle.
-    tree_next: FxHashMap<(Coord, Coord), Dir>,
+    /// `None`: the pair is disconnected on the union substrate (only
+    /// possible under churn), so the tree class cannot serve it.
+    tree_next: FxHashMap<(Coord, Coord), Option<Dir>>,
 }
 
-impl<'net, 'p> EscapeHop<'net, 'p> {
+impl<'p> EscapeHop<'p> {
     /// An escape-adaptive router over `paths`' compiled routes.
     /// `xy_class` says whether the fabric reserves XY escape channels
-    /// in addition to the tree channel (`escape_vcs >= 2`).
-    pub fn new(paths: &'p mut PathTable<'net>, patience: u32, xy_class: bool) -> Self {
-        let forest = EscapeForest::new(paths.network().faults());
+    /// in addition to the tree channel (`escape_vcs >= 2`). The escape
+    /// forest is built over the union of every scheduled epoch's
+    /// faults, so it is valid (and acyclic) at every epoch.
+    pub fn new(paths: &'p mut PathTable, patience: u32, xy_class: bool) -> Self {
+        let substrate = union_faults(paths.views());
+        let forest = EscapeForest::new(&substrate);
         EscapeHop {
             paths,
             patience,
             xy_class,
+            substrate,
             forest,
             clear: FxHashMap::default(),
             tree_next: FxHashMap::default(),
@@ -618,24 +613,35 @@ impl<'net, 'p> EscapeHop<'net, 'p> {
         &self.forest
     }
 
-    fn xy_clear(&mut self, here: Coord, dst: Coord) -> bool {
-        let faults = self.paths.network().faults();
-        *self.clear.entry((here, dst)).or_insert_with(|| xy_path_clear(faults, here, dst))
+    fn xy_clear(&mut self, epoch: u32, here: Coord, dst: Coord) -> bool {
+        let faults = self.paths.view_at(epoch).faults();
+        *self.clear.entry((epoch, here, dst)).or_insert_with(|| xy_path_clear(faults, here, dst))
     }
 
-    fn tree_choice(&mut self, here: Coord, dst: Coord) -> HopChoice {
+    /// The tree-class candidate, or `None` when the union substrate
+    /// cannot serve the pair — possible only under churn: the packet
+    /// sits at or heads to a node that is faulty at *some* scheduled
+    /// epoch (e.g. repaired mid-run — the node carries traffic again
+    /// but stays decommissioned from the epoch-invariant escape
+    /// forest), or a scheduled fault cuts the pair's substrate
+    /// component. Such packets keep the adaptive route and, when
+    /// clear, the XY escape; the deadlock detector remains the
+    /// liveness assertion for this deliberately narrowed corner.
+    fn tree_choice(&mut self, here: Coord, dst: Coord) -> Option<HopChoice> {
+        if !self.substrate.is_healthy(here) || !self.substrate.is_healthy(dst) {
+            return None;
+        }
         let forest = &self.forest;
-        let mesh = self.paths.network().mesh();
-        let dir = *self.tree_next.entry((here, dst)).or_insert_with(|| {
-            forest
-                .next_hop(mesh, here, dst)
-                .expect("admitted packets connect; tree escape must cover them")
-        });
-        HopChoice { dir, class: VcClass::EscapeTree }
+        let substrate = &self.substrate;
+        let dir = *self
+            .tree_next
+            .entry((here, dst))
+            .or_insert_with(|| forest.next_hop(substrate.mesh(), here, dst));
+        dir.map(|dir| HopChoice { dir, class: VcClass::EscapeTree })
     }
 }
 
-impl HopRouter for EscapeHop<'_, '_> {
+impl HopRouter for EscapeHop<'_> {
     fn admit(&mut self, s: Coord, d: Coord) -> Option<u32> {
         self.paths.path(s, d).map(|p| p.len() as u32)
     }
@@ -650,21 +656,31 @@ impl HopRouter for EscapeHop<'_, '_> {
                 dir: xy_next(here, pk.dst),
                 class: VcClass::EscapeXy,
             }),
-            VcClass::EscapeTree => HopDecision::route1(self.tree_choice(here, pk.dst)),
+            VcClass::EscapeTree => HopDecision::route1(
+                self.tree_choice(here, pk.dst).expect("tree commitment implies a substrate route"),
+            ),
             VcClass::Adaptive => {
-                let path =
-                    self.paths.path(pk.src, pk.dst).expect("admitted packets have compiled routes");
+                let path = self
+                    .paths
+                    .path_at(pk.epoch, pk.src, pk.dst)
+                    .expect("admitted packets have compiled routes");
                 let mut c = HopCandidates::new();
                 c.push(HopChoice { dir: path[pk.head_hop as usize], class: VcClass::Adaptive });
                 if pk.stalled >= self.patience {
-                    if self.xy_class && self.xy_clear(here, pk.dst) {
+                    if self.xy_class && self.xy_clear(pk.epoch, here, pk.dst) {
                         c.push(HopChoice { dir: xy_next(here, pk.dst), class: VcClass::EscapeXy });
                     }
-                    c.push(self.tree_choice(here, pk.dst));
+                    if let Some(tree) = self.tree_choice(here, pk.dst) {
+                        c.push(tree);
+                    }
                 }
                 HopDecision::Route(c)
             }
         }
+    }
+
+    fn advance_epoch(&mut self) {
+        self.paths.advance_epoch();
     }
 }
 
@@ -672,34 +688,11 @@ impl HopRouter for EscapeHop<'_, '_> {
 mod tests {
     use super::*;
     use meshpath_mesh::{FaultSet, Mesh};
-
-    #[test]
-    fn xy_routes_dimension_ordered() {
-        let net = Network::build(FaultSet::none(Mesh::square(8)));
-        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(4, 6));
-        assert!(res.delivered);
-        assert_eq!(res.hops(), 3 + 5);
-        // X corrections strictly precede Y corrections.
-        let dirs: Vec<Dir> = res.path.windows(2).map(|w| w[0].dir_to(w[1]).unwrap()).collect();
-        let first_y = dirs.iter().position(|d| d.axis() == meshpath_mesh::Axis::Y).unwrap();
-        assert!(dirs[..first_y].iter().all(|d| d.axis() == meshpath_mesh::Axis::X));
-        assert!(dirs[first_y..].iter().all(|d| d.axis() == meshpath_mesh::Axis::Y));
-    }
-
-    #[test]
-    fn xy_blocks_on_faults() {
-        let mesh = Mesh::square(8);
-        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(3, 1)]));
-        let res = XyRouter.route(&net, Coord::new(1, 1), Coord::new(6, 1));
-        assert!(!res.delivered);
-        // RB2 routes the same pair around the fault.
-        let res2 = Rb2::default().route(&net, Coord::new(1, 1), Coord::new(6, 1));
-        assert!(res2.delivered);
-    }
+    use meshpath_route::Rb2;
 
     #[test]
     fn path_table_memoizes() {
-        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let net = NetView::build(FaultSet::none(Mesh::square(8)));
         let mut t = PathTable::new(&net, RoutingKind::Rb2);
         let a = t.path(Coord::new(0, 0), Coord::new(5, 5)).expect("delivered");
         let b = t.path(Coord::new(0, 0), Coord::new(5, 5)).expect("delivered");
@@ -711,7 +704,7 @@ mod tests {
     #[test]
     fn all_kinds_instantiate_and_route() {
         let mesh = Mesh::square(10);
-        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(4, 4)]));
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(4, 4)]));
         for kind in RoutingKind::ALL {
             let mut t = PathTable::new(&net, kind);
             let p = t.path(Coord::new(0, 0), Coord::new(9, 9));
@@ -728,42 +721,30 @@ mod tests {
     }
 
     #[test]
-    fn xy_next_decreases_dimension_order_distance() {
-        let (s, d) = (Coord::new(7, 2), Coord::new(1, 6));
-        let mut cur = s;
-        while cur != d {
-            let dir = xy_next(cur, d);
-            let next = cur.step(dir);
-            // X is corrected to completion before any Y move.
-            if cur.x != d.x {
-                assert_eq!(dir.axis(), meshpath_mesh::Axis::X);
-                assert!((next.x - d.x).abs() < (cur.x - d.x).abs());
-            } else {
-                assert_eq!(dir.axis(), meshpath_mesh::Axis::Y);
-                assert!((next.y - d.y).abs() < (cur.y - d.y).abs());
-            }
-            cur = next;
-        }
-    }
-
-    #[test]
-    fn xy_clear_matches_the_xy_router() {
+    fn path_table_keys_routes_by_epoch() {
+        // Epoch 0: clear row. Epoch 1: a fault on the row forces a
+        // detour. The same (s, d) pair must resolve differently per
+        // epoch, with old-epoch routes surviving the advance.
         let mesh = Mesh::square(8);
-        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(3, 1), Coord::new(5, 5)]));
-        for (s, d) in [
-            (Coord::new(1, 1), Coord::new(6, 1)), // crosses (3,1)
-            (Coord::new(1, 1), Coord::new(1, 6)), // clear column
-            (Coord::new(0, 5), Coord::new(7, 5)), // crosses (5,5)
-            (Coord::new(2, 0), Coord::new(6, 7)), // clear L
-        ] {
-            let walked = XyRouter.route(&net, s, d).delivered;
-            assert_eq!(xy_path_clear(net.faults(), s, d), walked, "{s:?}->{d:?}");
-        }
+        let mut state = meshpath_route::NetState::new(FaultSet::none(mesh));
+        let v0 = state.view();
+        let v1 = state.add_fault(Coord::new(3, 1)).expect("valid");
+        let mut t = PathTable::new(&v0, RoutingKind::Rb2);
+        t.set_schedule([v1]);
+        let (s, d) = (Coord::new(1, 1), Coord::new(6, 1));
+        let p0 = t.path(s, d).expect("clear row");
+        assert_eq!(p0.len(), 5, "epoch 0 routes straight");
+        assert!(t.advance_epoch());
+        assert!(!t.advance_epoch(), "schedule exhausted");
+        let p1 = t.path(s, d).expect("detour exists");
+        assert_eq!(p1.len(), 7, "epoch 1 routes around the fault");
+        // Old-epoch lookups still replay the old route.
+        assert_eq!(t.path_at(0, s, d).expect("cached").len(), 5);
     }
 
     #[test]
     fn replay_hop_follows_the_compiled_route() {
-        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let net = NetView::build(FaultSet::none(Mesh::square(8)));
         let mut t = PathTable::new(&net, RoutingKind::Rb2);
         let (s, d) = (Coord::new(0, 0), Coord::new(3, 2));
         let mut hop = ReplayHop::new(&mut t);
@@ -798,7 +779,7 @@ mod tests {
     #[test]
     fn escape_hop_offers_classes_by_patience_and_clearance() {
         let mesh = Mesh::square(8);
-        let net = Network::build(FaultSet::from_coords(mesh, [Coord::new(5, 3)]));
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(5, 3)]));
         let mut t = PathTable::new(&net, RoutingKind::Rb2);
         let mut hop = EscapeHop::new(&mut t, 4, true);
         // XY from (2,3) to (7,3) crosses the fault at (5,3).
@@ -845,7 +826,7 @@ mod tests {
     fn escape_hop_without_xy_class_never_offers_xy() {
         // escape_vcs == 1 fabric: only the tree channel is reserved, so
         // the router must not offer (or evaluate clearance for) XY.
-        let net = Network::build(FaultSet::none(Mesh::square(8)));
+        let net = NetView::build(FaultSet::none(Mesh::square(8)));
         let mut t = PathTable::new(&net, RoutingKind::Rb2);
         let mut hop = EscapeHop::new(&mut t, 4, false);
         let (s, d) = (Coord::new(1, 1), Coord::new(6, 6));
@@ -857,6 +838,43 @@ mod tests {
             vec![VcClass::Adaptive, VcClass::EscapeTree],
             "XY candidate requires a reserved XY channel"
         );
+    }
+
+    #[test]
+    fn escape_substrate_unions_scheduled_faults() {
+        // With a scheduled epoch-1 fault, the tree class must avoid
+        // that node from the very start (the substrate is
+        // epoch-invariant), while adaptive epoch-0 routes may still
+        // cross it.
+        let mesh = Mesh::square(8);
+        let mut state = meshpath_route::NetState::new(FaultSet::none(mesh));
+        let v0 = state.view();
+        let doomed = Coord::new(4, 4);
+        let v1 = state.add_fault(doomed).expect("valid");
+        let mut t = PathTable::new(&v0, RoutingKind::Rb2);
+        t.set_schedule([v1]);
+        let hop = EscapeHop::new(&mut t, 4, true);
+        let forest = hop.forest();
+        // Every healthy neighbor pair routes on the tree without ever
+        // stepping onto the doomed node.
+        for s in mesh.iter() {
+            if s == doomed {
+                continue;
+            }
+            let mut cur = s;
+            let dst = Coord::new(0, 0);
+            if cur == dst {
+                continue;
+            }
+            let mut hops = 0;
+            while cur != dst {
+                let dir = forest.next_hop(&mesh, cur, dst).expect("connected");
+                cur = cur.step(dir);
+                assert_ne!(cur, doomed, "tree route crosses a scheduled fault");
+                hops += 1;
+                assert!(hops <= 2 * mesh.len(), "tree walk too long");
+            }
+        }
     }
 
     #[test]
@@ -924,5 +942,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unified_router_and_path_table_agree() {
+        // The compiled route IS the offline engine's route: one
+        // decision substrate serving both consumers.
+        let mesh = Mesh::square(10);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(5, 5)]));
+        let mut t = PathTable::new(&net, RoutingKind::Rb2);
+        let (s, d) = (Coord::new(5, 1), Coord::new(5, 8));
+        let compiled = t.path(s, d).expect("delivered");
+        use meshpath_route::Router as _;
+        let offline = Rb2::default().route(&net, s, d);
+        let offline_dirs: Vec<Dir> =
+            offline.path.windows(2).map(|w| w[0].dir_to(w[1]).unwrap()).collect();
+        assert_eq!(compiled.as_ref(), offline_dirs.as_slice());
     }
 }

@@ -26,11 +26,11 @@ use std::ops::Range;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use meshpath_mesh::{derive_seed, Coord, NodeId};
-use meshpath_route::Network;
+use meshpath_route::{NetState, NetView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{RoutePolicy, SimConfig};
+use crate::config::{ChurnOp, RoutePolicy, SimConfig};
 use crate::fabric::{BoundaryMsg, Delivery, Fabric, Flit, PacketState, Shard, StepReport};
 use crate::pattern::{DestSampler, InjectionProcess};
 use crate::routing::{EscapeHop, HopRouter, PathTable, ReplayHop, RoutingKind};
@@ -74,6 +74,10 @@ struct SourceNode {
     /// Markov-modulated on/off chain state (always `true` under
     /// Bernoulli injection).
     on: bool,
+    /// Whether the node is healthy under the *current* epoch (fault
+    /// churn): a decommissioned node stops generating (its RNG stream
+    /// freezes) but keeps feeding a partially-injected worm.
+    active: bool,
 }
 
 /// Generation-side statistics deltas of one shard over one cycle.
@@ -83,6 +87,22 @@ struct GenDelta {
     measured_generated: u64,
     unroutable: u64,
     ttl_dropped: u64,
+    /// Packets discarded from source queues by a decommission event.
+    churn_dropped: u64,
+    /// The subset of `churn_dropped` generated inside the measurement
+    /// window (they release `measured_outstanding`).
+    measured_dropped: u64,
+}
+
+/// The epoch schedule of one run, shared by every shard worker: which
+/// cycle each post-initial epoch starts at, the snapshot per epoch, and
+/// the per-epoch destination samplers (destinations are drawn from the
+/// current epoch's healthy nodes).
+struct EpochEnv {
+    /// `starts[k]` = the cycle at which epoch `k + 1` takes effect.
+    starts: Vec<u64>,
+    views: Vec<NetView>,
+    samplers: Vec<DestSampler>,
 }
 
 /// Everything one shard contributes to one cycle, merged (commutative
@@ -109,6 +129,8 @@ impl CycleDone {
         self.gen.measured_generated += other.gen.measured_generated;
         self.gen.unroutable += other.gen.unroutable;
         self.gen.ttl_dropped += other.gen.ttl_dropped;
+        self.gen.churn_dropped += other.gen.churn_dropped;
+        self.gen.measured_dropped += other.gen.measured_dropped;
         self.deliveries.append(&mut other.deliveries);
     }
 }
@@ -128,7 +150,11 @@ struct ShardWorker<'a> {
     shard: Shard,
     sources: Vec<SourceNode>,
     router: Box<dyn HopRouter + 'a>,
-    sampler: &'a DestSampler,
+    env: &'a EpochEnv,
+    /// The current epoch index (advanced in lockstep by every worker at
+    /// the scheduled cycles — a pure function of the cycle number, so
+    /// sharding cannot skew it).
+    cur_epoch: usize,
     cfg: &'a SimConfig,
     ttl: u32,
     gen_until: u64,
@@ -150,7 +176,7 @@ impl<'a> ShardWorker<'a> {
         shard: Shard,
         sources: Vec<SourceNode>,
         router: Box<dyn HopRouter + 'a>,
-        sampler: &'a DestSampler,
+        env: &'a EpochEnv,
         cfg: &'a SimConfig,
         ttl: u32,
         shard_index: usize,
@@ -160,7 +186,8 @@ impl<'a> ShardWorker<'a> {
             shard,
             sources,
             router,
-            sampler,
+            env,
+            cur_epoch: 0,
             cfg,
             ttl,
             gen_until: cfg.warmup + cfg.measure,
@@ -172,11 +199,43 @@ impl<'a> ShardWorker<'a> {
         }
     }
 
+    /// Applies every churn event scheduled at or before `cycle`:
+    /// advances the admission epoch, refreshes source liveness, and
+    /// discards not-yet-injected packets queued at decommissioned nodes
+    /// (a partially injected worm keeps feeding — truncating it would
+    /// wedge its VCs forever).
+    fn advance_epochs(&mut self, cycle: u64, gen: &mut GenDelta) {
+        while self.cur_epoch < self.env.starts.len() && cycle >= self.env.starts[self.cur_epoch] {
+            self.cur_epoch += 1;
+            self.router.advance_epoch();
+            let faults = self.env.views[self.cur_epoch].faults();
+            for s in &mut self.sources {
+                let healthy = faults.is_healthy(s.coord);
+                if s.active && !healthy {
+                    // Decommission: the NI discards its backlog. The
+                    // head-of-line packet survives only when its worm is
+                    // already partially in the fabric.
+                    let keep =
+                        usize::from(s.queue.front().is_some_and(|p| p.remaining < p.state.len));
+                    for dropped in s.queue.drain(keep..) {
+                        gen.churn_dropped += 1;
+                        let t = dropped.state.generated_at;
+                        if t >= self.cfg.warmup && t < self.gen_until {
+                            gen.measured_dropped += 1;
+                        }
+                    }
+                }
+                s.active = healthy;
+            }
+        }
+    }
+
     /// The plan/grant half of one cycle: generation, injection-channel
     /// feeding and switch allocation + aging over this shard's active
     /// routers. Cross-shard effects land in the shard's outboxes;
     /// everything else accumulates into `done`.
     fn plan_and_grant(&mut self, cycle: u64, done: &mut CycleDone) {
+        self.advance_epochs(cycle, &mut done.gen);
         if cycle < self.gen_until {
             self.generate(cycle, &mut done.gen);
         }
@@ -218,6 +277,9 @@ impl<'a> ShardWorker<'a> {
         let mean_len = self.cfg.packet_len;
         let measured = cycle >= self.cfg.warmup && cycle < self.gen_until;
         for i in 0..self.sources.len() {
+            if !self.sources[i].active {
+                continue;
+            }
             let fire = {
                 let s = &mut self.sources[i];
                 match self.cfg.injection {
@@ -234,7 +296,8 @@ impl<'a> ShardWorker<'a> {
                 continue;
             }
             let src = self.sources[i].coord;
-            let Some(dst) = self.sampler.dest(src, &mut self.sources[i].rng) else {
+            let sampler = &self.env.samplers[self.cur_epoch];
+            let Some(dst) = sampler.dest(src, &mut self.sources[i].rng) else {
                 continue;
             };
             let Some(hops) = self.router.admit(src, dst) else {
@@ -256,11 +319,9 @@ impl<'a> ShardWorker<'a> {
             if measured {
                 gen.measured_generated += 1;
             }
-            self.sources[i].queue.push_back(QueuedPacket {
-                id,
-                state: PacketState::new(src, dst, cycle, len),
-                remaining: len,
-            });
+            let mut state = PacketState::new(src, dst, cycle, len);
+            state.epoch = self.cur_epoch as u32;
+            self.sources[i].queue.push_back(QueuedPacket { id, state, remaining: len });
         }
     }
 
@@ -343,11 +404,16 @@ impl RunState {
         self.stats.measured_generated += agg.gen.measured_generated;
         self.stats.unroutable += agg.gen.unroutable;
         self.stats.ttl_dropped += agg.gen.ttl_dropped;
+        self.stats.churn_dropped += agg.gen.churn_dropped;
         self.measured_outstanding += agg.gen.measured_generated;
+        // Packets a decommission event discarded at their NI will never
+        // deliver; release them so a churn run can still end cleanly.
+        self.measured_outstanding -= agg.gen.measured_dropped;
         for d in agg.deliveries.drain(..) {
             // +1: the ejection link (see the fabric timing contract).
             let delivered_at = cycle + 1;
             let gen_at = d.state.generated_at;
+            self.stats.epoch_delivered[d.state.epoch as usize] += 1;
             self.w_delivered += 1;
             self.w_lat_sum += delivered_at - gen_at;
             if self.measured_window_contains(gen_at) {
@@ -436,16 +502,18 @@ impl RunState {
 /// The path table is borrowed so sweeps can reuse compiled routes
 /// across runs over the same network (route compilation dominates the
 /// low-load setup cost; see [`run_traffic_reusing`]). Additional worker
-/// shards compile their own tables.
+/// shards compile their own tables. Under
+/// [`fault_churn`](SimConfig::fault_churn) the table is loaded with the
+/// full epoch schedule (each epoch published by the incremental
+/// `NetState` update path) before the run starts.
 pub struct TrafficSim<'p> {
     cfg: SimConfig,
     /// Effective route hop budget (see `SimConfig::route_ttl`).
     ttl: u32,
-    net: &'p Network,
     kind: RoutingKind,
     fabric: Fabric,
     router: Box<dyn HopRouter + 'p>,
-    sampler: DestSampler,
+    env: EpochEnv,
     sources: Vec<SourceNode>,
     stats: TrafficStats,
     /// Golden-equivalence hook: run on the retained scan-order
@@ -457,10 +525,7 @@ pub struct TrafficSim<'p> {
 
 /// Builds the policy's hop router over a path table (shared between the
 /// driver's table and each worker shard's private table).
-fn build_hop_router<'net, 'p>(
-    paths: &'p mut PathTable<'net>,
-    cfg: &SimConfig,
-) -> Box<dyn HopRouter + 'p> {
+fn build_hop_router<'p>(paths: &'p mut PathTable, cfg: &SimConfig) -> Box<dyn HopRouter + 'p> {
     match cfg.policy {
         RoutePolicy::Deterministic => Box::new(ReplayHop::new(paths)),
         RoutePolicy::EscapeAdaptive { patience } => {
@@ -471,22 +536,31 @@ fn build_hop_router<'net, 'p>(
     }
 }
 
+/// A worker shard's private path table: same initial snapshot, same
+/// epoch schedule.
+fn worker_table(views: &[NetView], kind: RoutingKind) -> PathTable {
+    let mut t = PathTable::new(&views[0], kind);
+    t.set_schedule(views[1..].iter().cloned());
+    t
+}
+
 impl<'p> TrafficSim<'p> {
     /// Builds a simulation driving `paths`' routing function over
     /// `paths`' network, per-hop, under `cfg.policy`, sharded into
-    /// `cfg.threads` row bands (see [`SimConfig::threads`]).
+    /// `cfg.threads` row bands (see [`SimConfig::threads`]). A
+    /// non-empty [`fault_churn`](SimConfig::fault_churn) schedule is
+    /// resolved into epoch snapshots here (incremental `NetState`
+    /// updates) and installed into `paths`.
     ///
     /// # Panics
     /// Panics when `cfg.packet_len` is zero (a packet has at least a
     /// head flit), `cfg.rate` is outside `[0, 1]`, `cfg.escape_vcs`
     /// leaves no adaptive channel, policy and `escape_vcs` disagree
     /// (escape-adaptive needs a reserved channel; deterministic would
-    /// strand any), or a Markov injection probability is outside
-    /// `(0, 1]`.
-    pub fn new<'net>(paths: &'p mut PathTable<'net>, cfg: SimConfig) -> Self
-    where
-        'net: 'p,
-    {
+    /// strand any), a Markov injection probability is outside
+    /// `(0, 1]`, or a churn event is invalid (failing an already-faulty
+    /// node, repairing a healthy one, off-mesh coordinates).
+    pub fn new(paths: &'p mut PathTable, cfg: SimConfig) -> Self {
         assert!(cfg.packet_len >= 1, "packets need at least one flit");
         assert!(
             (0.0..=1.0).contains(&cfg.rate),
@@ -519,15 +593,48 @@ impl<'p> TrafficSim<'p> {
         // that cannot leave a state).
         let duty = cfg.injection.duty_cycle();
         debug_assert!(duty > 0.0);
-        let net = paths.network();
         let kind = paths.kind();
-        let mesh = *net.mesh();
+
+        // Resolve the churn schedule into epoch snapshots (incremental
+        // NetState updates) and install it into the table. Same-cycle
+        // events keep their config order; each is its own epoch. The
+        // table is reset to its initial snapshot *first*: a table
+        // reused across runs (rate sweeps) still carries the previous
+        // run's schedule and advanced epoch cursor, and the new
+        // schedule must resolve from epoch 0, not from wherever the
+        // last run stopped.
+        let mut churn = cfg.fault_churn.clone();
+        churn.sort_by_key(|e| e.cycle);
+        paths.set_schedule([]);
+        let mut views: Vec<NetView> = vec![paths.view().clone()];
+        if !churn.is_empty() {
+            let mut state = NetState::adopt(views[0].clone());
+            for ev in &churn {
+                let v = match ev.op {
+                    ChurnOp::Fail(c) => state.add_fault(c),
+                    ChurnOp::Repair(c) => state.remove_fault(c),
+                };
+                views.push(v.unwrap_or_else(|e| panic!("invalid fault_churn event {ev:?}: {e}")));
+            }
+            paths.set_schedule(views[1..].iter().cloned());
+        }
+        let starts: Vec<u64> = churn.iter().map(|e| e.cycle).collect();
+
+        let mesh = *views[0].mesh();
         let threads = cfg.resolved_threads(mesh.len());
-        let sampler = DestSampler::new(cfg.pattern.clone(), net.faults(), cfg.seed);
+        let samplers: Vec<DestSampler> = views
+            .iter()
+            .map(|v| DestSampler::new(cfg.pattern.clone(), v.faults(), cfg.seed))
+            .collect();
         let mmp = matches!(cfg.injection, InjectionProcess::MarkovOnOff { .. });
+        // Source state exists for every node that is healthy at *any*
+        // epoch (repairs can bring nodes online mid-run); per-node RNG
+        // streams are seeded by node id, so the set's extent never
+        // changes any node's stream. Without churn this is exactly the
+        // classic healthy-node set.
         let sources: Vec<SourceNode> = mesh
             .iter()
-            .filter(|&c| net.faults().is_healthy(c))
+            .filter(|&c| views.iter().any(|v| v.faults().is_healthy(c)))
             .map(|c| {
                 let id = mesh.id(c);
                 let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, u64::from(id.0), 0));
@@ -536,14 +643,16 @@ impl<'p> TrafficSim<'p> {
                 // independent of the shard count). Bernoulli sources
                 // draw nothing here, keeping their streams unchanged.
                 let on = !mmp || rng.gen_bool(duty);
-                SourceNode { id, coord: c, rng, queue: VecDeque::new(), on }
+                let active = views[0].faults().is_healthy(c);
+                SourceNode { id, coord: c, rng, queue: VecDeque::new(), on, active }
             })
             .collect();
+        let nodes = sources.iter().filter(|s| s.active).count();
         let fabric = Fabric::new_sharded(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs, threads);
         let router = build_hop_router(paths, &cfg);
         let stats = TrafficStats {
             cycles: 0,
-            nodes: sources.len(),
+            nodes,
             measure_window: cfg.measure,
             generated: 0,
             measured_generated: 0,
@@ -556,6 +665,8 @@ impl<'p> TrafficSim<'p> {
             latency: LatencyHistogram::new(HISTOGRAM_CAP),
             saturated: false,
             deadlocked: false,
+            epoch_delivered: vec![0; views.len()],
+            churn_dropped: 0,
         };
         // TTL default: E-cube's escape walk is the only route source
         // whose length is effectively unbounded; every other router is
@@ -569,11 +680,10 @@ impl<'p> TrafficSim<'p> {
         TrafficSim {
             cfg,
             ttl,
-            net,
             kind,
             fabric,
             router,
-            sampler,
+            env: EpochEnv { starts, views, samplers },
             sources,
             stats,
             #[cfg(test)]
@@ -638,15 +748,16 @@ impl<'p> TrafficSim<'p> {
         let shards = self.fabric.take_shards();
         let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
         let mut buckets = Self::partition_sources(self.sources, &ranges).into_iter();
+        let env = &self.env;
         let mut tables: Vec<PathTable> =
-            (1..shards.len()).map(|_| PathTable::new(self.net, self.kind)).collect();
+            (1..shards.len()).map(|_| worker_table(&env.views, self.kind)).collect();
         let mut workers: Vec<ShardWorker> = Vec::with_capacity(shards.len());
         let mut shard_iter = shards.into_iter();
         workers.push(ShardWorker::new(
             shard_iter.next().expect("at least one shard"),
             buckets.next().expect("one bucket per shard"),
             self.router,
-            &self.sampler,
+            env,
             &self.cfg,
             self.ttl,
             0,
@@ -656,7 +767,7 @@ impl<'p> TrafficSim<'p> {
                 shard,
                 buckets.next().expect("one bucket per shard"),
                 build_hop_router(table, &self.cfg),
-                &self.sampler,
+                env,
                 &self.cfg,
                 self.ttl,
                 i + 1,
@@ -711,9 +822,8 @@ impl<'p> TrafficSim<'p> {
         let mut buckets = Self::partition_sources(self.sources, &ranges);
         let cfg = self.cfg.clone();
         let ttl = self.ttl;
-        let net = self.net;
         let kind = self.kind;
-        let sampler = &self.sampler;
+        let env = &self.env;
 
         // Control channels: one `Go` lane per spawned worker, one
         // shared `CycleDone` lane back. Boundary lanes: `down[i]`
@@ -760,9 +870,9 @@ impl<'p> TrafficSim<'p> {
                 let recv_below = (w < n - 1).then(|| up_rx[w].take().expect("one worker"));
                 let cfg = &cfg;
                 handles.push(scope.spawn(move |_| {
-                    let mut paths = PathTable::new(net, kind);
+                    let mut paths = worker_table(&env.views, kind);
                     let router = build_hop_router(&mut paths, cfg);
-                    let mut worker = ShardWorker::new(shard, sources, router, sampler, cfg, ttl, w);
+                    let mut worker = ShardWorker::new(shard, sources, router, env, cfg, ttl, w);
                     loop {
                         match go_rx.recv() {
                             Ok(Go::Cycle(cycle)) => {
@@ -799,7 +909,7 @@ impl<'p> TrafficSim<'p> {
             done_tx = None;
 
             // Shard 0 runs here, interleaved with coordination.
-            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, sampler, &cfg, ttl, 0);
+            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, env, &cfg, ttl, 0);
             let mut run = run;
             let mut cycle = 0u64;
             loop {
@@ -836,7 +946,7 @@ impl<'p> TrafficSim<'p> {
 }
 
 /// Convenience wrapper: build, run, collect.
-pub fn run_traffic(net: &Network, kind: RoutingKind, cfg: &SimConfig) -> TrafficStats {
+pub fn run_traffic(net: &NetView, kind: RoutingKind, cfg: &SimConfig) -> TrafficStats {
     let mut paths = PathTable::new(net, kind);
     TrafficSim::new(&mut paths, cfg.clone()).run()
 }
@@ -844,14 +954,14 @@ pub fn run_traffic(net: &Network, kind: RoutingKind, cfg: &SimConfig) -> Traffic
 /// Like [`run_traffic`], but reusing an existing path table so compiled
 /// routes carry over between runs (e.g. an injection-rate sweep over
 /// the same network and routing function).
-pub fn run_traffic_reusing(paths: &mut PathTable<'_>, cfg: &SimConfig) -> TrafficStats {
+pub fn run_traffic_reusing(paths: &mut PathTable, cfg: &SimConfig) -> TrafficStats {
     TrafficSim::new(paths, cfg.clone()).run()
 }
 
 /// [`run_traffic_reusing`] with a streaming [`WindowObserver`] attached
 /// (see [`TrafficSim::run_with`]).
 pub fn run_traffic_reusing_with(
-    paths: &mut PathTable<'_>,
+    paths: &mut PathTable,
     cfg: &SimConfig,
     obs: &mut dyn WindowObserver,
 ) -> TrafficStats {
@@ -868,7 +978,7 @@ pub fn run_traffic_reusing_with(
 /// head, so the escape class is irrelevant here and the probe runs the
 /// deterministic replay router.)
 pub fn single_packet_latency(
-    net: &Network,
+    net: &NetView,
     kind: RoutingKind,
     s: Coord,
     d: Coord,
@@ -912,8 +1022,8 @@ mod tests {
     use crate::pattern::{LengthDist, TrafficPattern};
     use meshpath_mesh::{FaultSet, Mesh};
 
-    fn fault_free(n: u32) -> Network {
-        Network::build(FaultSet::none(Mesh::square(n)))
+    fn fault_free(n: u32) -> NetView {
+        NetView::build(FaultSet::none(Mesh::square(n)))
     }
 
     #[test]
@@ -961,7 +1071,7 @@ mod tests {
         // config produces the same statistics at every thread count,
         // across load regimes (the golden suite covers random draws).
         let mesh = Mesh::square(12);
-        let net = Network::build(FaultSet::from_coords(
+        let net = NetView::build(FaultSet::from_coords(
             mesh,
             [Coord::new(4, 4), Coord::new(7, 2), Coord::new(2, 9)],
         ));
@@ -1006,7 +1116,7 @@ mod tests {
     fn faulty_nodes_neither_send_nor_receive() {
         let mesh = Mesh::square(6);
         let bad = Coord::new(2, 2);
-        let net = Network::build(FaultSet::from_coords(mesh, [bad]));
+        let net = NetView::build(FaultSet::from_coords(mesh, [bad]));
         let cfg = SimConfig { rate: 0.05, ..SimConfig::smoke() };
         let stats = run_traffic(&net, RoutingKind::Rb2, &cfg);
         assert!(stats.measured_generated > 0);
@@ -1114,7 +1224,7 @@ mod tests {
         // automatic TTL keeps dropping those. RB2 has no TTL by default
         // any more: nothing is dropped even on unlucky pairs.
         let mesh = Mesh::square(16);
-        let net = Network::build(FaultSet::from_coords(
+        let net = NetView::build(FaultSet::from_coords(
             mesh,
             (4..12).map(|x| Coord::new(x, 8)).collect::<Vec<_>>(),
         ));

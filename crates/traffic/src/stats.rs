@@ -130,6 +130,16 @@ pub struct TrafficStats {
     /// were in flight (wormhole cyclic dependency; see the crate docs on
     /// escape channels).
     pub deadlocked: bool,
+    /// Packets delivered per admission epoch (index = epoch). One entry
+    /// (every delivery) without fault churn; under churn this is the
+    /// per-epoch delivered series the `--json` rows report. Counts every
+    /// delivery, warmup-era and measured alike.
+    pub epoch_delivered: Vec<u64>,
+    /// Packets dropped from source queues by a mid-run node failure
+    /// (the decommissioned node's NI discards not-yet-injected packets;
+    /// a partially injected worm is always completed first). Always 0
+    /// without fault churn.
+    pub churn_dropped: u64,
 }
 
 impl TrafficStats {
@@ -312,6 +322,8 @@ mod tests {
             latency: LatencyHistogram::new(8),
             saturated: false,
             deadlocked: false,
+            epoch_delivered: vec![18],
+            churn_dropped: 0,
         };
         assert_eq!(s.accepted_flits_per_node_cycle(), 0.4);
         assert_eq!(s.delivered_pct(), 90.0);

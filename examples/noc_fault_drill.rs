@@ -41,7 +41,7 @@ fn main() {
             let c = Coord::new(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
             faults.inject(c);
         }
-        let net = Network::build(faults.clone());
+        let net = NetView::build(faults.clone());
         let stats = config_stats(net.faults(), Orientation::IDENTITY);
 
         let mut ok = 0usize;

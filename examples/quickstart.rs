@@ -20,7 +20,7 @@ fn main() {
             Coord::new(4, 15),
         ],
     );
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
 
     let (s, d) = (Coord::new(10, 2), Coord::new(10, 18));
     let oracle = DistanceField::healthy(net.faults(), d);

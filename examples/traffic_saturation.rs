@@ -162,7 +162,7 @@ fn main() {
     let low_rate = cfg.rates[0];
     for (fi, &fc) in cfg.fault_counts.iter().enumerate() {
         let mut frng = StdRng::seed_from_u64(derive_seed(cfg.seed, fi as u64, 0));
-        let net = Network::build(FaultSet::random(
+        let net = NetView::build(FaultSet::random(
             Mesh::square(cfg.mesh),
             fc,
             FaultInjection::Uniform,

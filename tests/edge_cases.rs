@@ -3,9 +3,9 @@
 
 use meshpath::prelude::*;
 
-fn net(side: u32, faults: &[(i32, i32)]) -> Network {
+fn net(side: u32, faults: &[(i32, i32)]) -> NetView {
     let mesh = Mesh::square(side);
-    Network::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
+    NetView::build(FaultSet::from_coords(mesh, faults.iter().map(|&(x, y)| Coord::new(x, y))))
 }
 
 fn all_routers() -> [Box<dyn Router>; 4] {
@@ -132,12 +132,12 @@ fn one_by_n_mesh_is_a_line() {
     // Degenerate topology: a 1-wide mesh routes along the line or fails
     // honestly when a fault cuts it.
     let mesh = Mesh::new(1, 10);
-    let clear = Network::build(FaultSet::none(mesh));
+    let clear = NetView::build(FaultSet::none(mesh));
     let res = Rb2::default().route(&clear, Coord::new(0, 0), Coord::new(0, 9));
     assert!(res.delivered);
     assert_eq!(res.hops(), 9);
 
-    let cut = Network::build(FaultSet::from_coords(mesh, [Coord::new(0, 5)]));
+    let cut = NetView::build(FaultSet::from_coords(mesh, [Coord::new(0, 5)]));
     let res = Rb2::default().route(&cut, Coord::new(0, 0), Coord::new(0, 4));
     assert!(res.delivered);
     let res = Rb2::default().route(&cut, Coord::new(0, 0), Coord::new(0, 9));
@@ -147,7 +147,7 @@ fn one_by_n_mesh_is_a_line() {
 #[test]
 fn two_by_two_mesh() {
     let mesh = Mesh::square(2);
-    let n = Network::build(FaultSet::none(mesh));
+    let n = NetView::build(FaultSet::none(mesh));
     for router in all_routers() {
         let res = router.route(&n, Coord::new(0, 0), Coord::new(1, 1));
         assert!(res.delivered, "{}", router.name());

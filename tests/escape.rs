@@ -211,7 +211,7 @@ fn escape_vcs_survive_twice_the_old_interlock_onset() {
     let mesh = Mesh::square(16);
     let mut rng = StdRng::seed_from_u64(2007);
     let faults = FaultSet::random(mesh, 26, FaultInjection::Uniform, &mut rng);
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     // 2x the old onset. Smaller windows than the default keep the test
     // quick; the deadlock detector needs 1000 idle cycles, which both
     // window sets allow.
@@ -251,7 +251,7 @@ fn old_interlock_onset_now_delivers_fully() {
     let mesh = Mesh::square(16);
     let mut rng = StdRng::seed_from_u64(2007);
     let faults = FaultSet::random(mesh, 26, FaultInjection::Uniform, &mut rng);
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let cfg =
         SimConfig { rate: 0.02, warmup: 150, measure: 500, drain: 1200, ..SimConfig::default() };
     for kind in [RoutingKind::Rb1, RoutingKind::Rb2, RoutingKind::Rb3] {

@@ -10,9 +10,9 @@ use meshpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn random_net(mesh: Mesh, faults: usize, seed: u64) -> Network {
+fn random_net(mesh: Mesh, faults: usize, seed: u64) -> NetView {
     let mut rng = StdRng::seed_from_u64(seed);
-    Network::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
+    NetView::build(FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng))
 }
 
 #[test]
@@ -145,7 +145,7 @@ fn repairing_all_faults_restores_manhattan_routing() {
     for c in [Coord::new(8, 8), Coord::new(7, 8)] {
         assert!(faults.repair(c));
     }
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let (s, d) = (Coord::new(1, 1), Coord::new(14, 12));
     let res = Rb2::default().route(&net, s, d);
     assert_eq!(res.hops(), s.manhattan(d));

@@ -13,7 +13,7 @@ use meshpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn sample_pairs(net: &Network, n: i32, count: usize, rng: &mut StdRng) -> Vec<(Coord, Coord, u32)> {
+fn sample_pairs(net: &NetView, n: i32, count: usize, rng: &mut StdRng) -> Vec<(Coord, Coord, u32)> {
     let mut out = Vec::new();
     let mut attempts = 0;
     while out.len() < count && attempts < 20_000 {
@@ -41,7 +41,7 @@ fn theorem1_rb2_global_is_exactly_optimal() {
     let mut rng = StdRng::seed_from_u64(0xA11CE);
     for trial in 0..10 {
         let faults = FaultSet::random(mesh, 15 + trial * 8, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         let rb2 = Rb2 { scope: KnowledgeScope::Global, ..Default::default() };
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             let res = rb2.route(&net, s, d);
@@ -61,7 +61,7 @@ fn theorem1_rb2_local_is_near_optimal() {
     let mut optimal = 0u32;
     for trial in 0..10 {
         let faults = FaultSet::random(mesh, 20 + trial * 10, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             let res = Rb2::default().route(&net, s, d);
             assert!(res.delivered, "RB2 must deliver {s:?}->{d:?} (trial {trial})");
@@ -85,7 +85,7 @@ fn theorem2_rb3_matches_rb2_from_boundary_sources() {
     let mut as_good = 0u32;
     for trial in 0..12 {
         let faults = FaultSet::random(mesh, 15 + trial * 6, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         // Boundary sources: nodes that hold at least one B3 triple.
         for (s, d, _opt) in sample_pairs(&net, n, 30, &mut rng) {
             let o = Orientation::normalizing(s, d);
@@ -125,7 +125,7 @@ fn routers_never_beat_bfs() {
     let mut rng = StdRng::seed_from_u64(0xFEED);
     for trial in 0..6 {
         let faults = FaultSet::random(mesh, 10 + trial * 10, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         let routers: [&dyn Router; 4] = [&ECube, &Rb1::default(), &Rb2::default(), &Rb3::default()];
         for (s, d, opt) in sample_pairs(&net, n, 10, &mut rng) {
             for router in routers {
@@ -155,7 +155,7 @@ fn success_ordering_matches_the_paper() {
     let mut total = 0u32;
     for trial in 0..8 {
         let faults = FaultSet::random(mesh, 30 + trial * 12, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         for (s, d, opt) in sample_pairs(&net, n, 20, &mut rng) {
             total += 1;
             for (i, res) in [

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 #[test]
 fn zero_load_zero_fault_latency_equals_hops_plus_pipeline() {
     let mesh = Mesh::square(12);
-    let net = Network::build(FaultSet::none(mesh));
+    let net = NetView::build(FaultSet::none(mesh));
     let mut rng = StdRng::seed_from_u64(0xA11CE);
     let len = 4u32;
     for _ in 0..20 {
@@ -47,7 +47,7 @@ fn faulty_zero_load_latency_is_bounded_by_the_route() {
         mesh,
         [Coord::new(5, 5), Coord::new(6, 5), Coord::new(5, 6), Coord::new(8, 3)],
     );
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let s = Coord::new(1, 1);
     let d = Coord::new(10, 10);
     let oracle = DistanceField::healthy(net.faults(), d);
@@ -72,7 +72,7 @@ fn seeded_runs_are_reproducible() {
     let mesh = Mesh::square(10);
     let mut rng = StdRng::seed_from_u64(3);
     let faults = FaultSet::random(mesh, 6, FaultInjection::Uniform, &mut rng);
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let cfg =
         SimConfig { rate: 0.02, warmup: 100, measure: 500, drain: 1500, ..SimConfig::default() };
     for kind in [RoutingKind::ECube, RoutingKind::Rb2] {
@@ -101,7 +101,7 @@ fn rb2_not_slower_than_ecube_at_low_load_under_faults() {
     let mesh = Mesh::square(16);
     let mut rng = StdRng::seed_from_u64(21);
     let faults = FaultSet::random(mesh, 12, FaultInjection::Uniform, &mut rng);
-    let net = Network::build(faults);
+    let net = NetView::build(faults);
     let cfg = SimConfig {
         rate: 0.002,
         warmup: 200,
@@ -133,7 +133,7 @@ fn rb2_not_slower_than_ecube_zero_load_paired() {
         let mesh = Mesh::square(16);
         let mut rng = StdRng::seed_from_u64(seed);
         let faults = FaultSet::random(mesh, 16, FaultInjection::Uniform, &mut rng);
-        let net = Network::build(faults);
+        let net = NetView::build(faults);
         let (mut sum_rb2, mut sum_ecube, mut n) = (0u64, 0u64, 0u32);
         for _ in 0..200 {
             let s = Coord::new(rng.gen_range(0..16), rng.gen_range(0..16));
@@ -162,7 +162,7 @@ fn rb2_not_slower_than_ecube_zero_load_paired() {
 /// The facade exposes the traffic subsystem through the prelude.
 #[test]
 fn facade_prelude_covers_traffic() {
-    let net = Network::build(FaultSet::none(Mesh::square(6)));
+    let net = NetView::build(FaultSet::none(Mesh::square(6)));
     let stats = run_traffic(
         &net,
         RoutingKind::Xy,
@@ -171,4 +171,69 @@ fn facade_prelude_covers_traffic() {
     let _: &TrafficStats = &stats;
     assert_eq!(stats.measured_delivered, stats.measured_generated);
     assert!(!stats.deadlocked);
+}
+
+/// Mid-run fault churn: epochs advance, deliveries are attributed per
+/// epoch, nothing deadlocks, and the result is bit-identical at every
+/// shard count (the snapshot-keyed `PathTable` keeps old-epoch routes
+/// replayable while new admissions compile against the new epoch).
+#[test]
+fn fault_churn_runs_deadlock_free_and_shards_deterministically() {
+    let mesh = Mesh::square(10);
+    let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(2, 7)]));
+    let cfg = SimConfig {
+        rate: 0.02,
+        ..SimConfig::smoke().with_fault_churn(vec![
+            ChurnEvent::fail(150, Coord::new(5, 5)),
+            ChurnEvent::fail(280, Coord::new(7, 2)),
+            ChurnEvent::repair(400, Coord::new(5, 5)),
+        ])
+    };
+    let stats = run_traffic(&net, RoutingKind::Rb2, &cfg);
+    assert!(!stats.deadlocked, "churn must not interlock the fabric");
+    assert!(!stats.saturated, "low load must drain across epochs");
+    assert_eq!(stats.epoch_delivered.len(), 4, "one bucket per epoch");
+    // Generation spans every epoch boundary, so each epoch delivers.
+    for (e, &n) in stats.epoch_delivered.iter().enumerate() {
+        assert!(n > 0, "epoch {e} delivered nothing: {:?}", stats.epoch_delivered);
+    }
+    // Every measured packet is accounted for: delivered, or discarded
+    // by the decommissioned node's NI (a clean, non-saturated churn run
+    // has no third outcome).
+    assert!(
+        stats.measured_generated - stats.measured_delivered <= stats.churn_dropped,
+        "undelivered measured packets must be churn drops: {stats:?}"
+    );
+    // Bit-identical under sharding, churn included.
+    for threads in [2usize, 3] {
+        let sharded = run_traffic(&net, RoutingKind::Rb2, &cfg.clone().with_threads(threads));
+        assert_eq!(stats, sharded, "churn run diverged at {threads} threads");
+    }
+    // And the run itself is reproducible.
+    assert_eq!(stats, run_traffic(&net, RoutingKind::Rb2, &cfg));
+}
+
+/// Regression: a `PathTable` reused across runs (the rate-sweep
+/// pattern) must reset to its initial snapshot before resolving a new
+/// churn schedule — the previous run advanced the shared table's epoch
+/// cursor, and resolving churn from that stale epoch double-applied
+/// the events (panic: "already faulty") or mixed two networks in one
+/// run.
+#[test]
+fn path_table_reuse_across_churn_runs_resolves_from_epoch_zero() {
+    use meshpath::traffic::{run_traffic_reusing, PathTable};
+    let net = NetView::build(FaultSet::none(Mesh::square(8)));
+    let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+    let churn_cfg = SimConfig::smoke()
+        .with_rate(0.02)
+        .with_fault_churn(vec![ChurnEvent::fail(60, Coord::new(4, 4))]);
+    let a = run_traffic_reusing(&mut paths, &churn_cfg);
+    let b = run_traffic_reusing(&mut paths, &churn_cfg);
+    assert_eq!(a, b, "reusing the table must not re-resolve churn from a stale epoch");
+    // And an empty-churn run after a churn run must not inherit the
+    // stale schedule (escape substrate, epoch-0 view).
+    let plain_cfg = SimConfig::smoke().with_rate(0.02);
+    let plain_reused = run_traffic_reusing(&mut paths, &plain_cfg);
+    let plain_fresh = run_traffic(&net, RoutingKind::Rb2, &plain_cfg);
+    assert_eq!(plain_reused, plain_fresh, "stale schedules must be cleared");
 }
