@@ -13,14 +13,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!(
-        "sweep: {}x{} mesh, {} fault levels x {} configs x {} pairs",
-        cfg.mesh,
-        cfg.mesh,
-        cfg.fault_counts.len(),
-        cfg.configs_per_point,
-        cfg.pairs_per_config
-    );
+    if meshpath_obs::enabled(meshpath_obs::LogLevel::Info) {
+        eprintln!(
+            "sweep: {}x{} mesh, {} fault levels x {} configs x {} pairs",
+            cfg.mesh,
+            cfg.mesh,
+            cfg.fault_counts.len(),
+            cfg.configs_per_point,
+            cfg.pairs_per_config
+        );
+    }
     let res = run_sweep(&cfg);
     let figs = Fig5Data::from_sweep(&res);
     emit(&figs.a, &out, "fig5a");

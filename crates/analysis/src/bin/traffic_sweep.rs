@@ -1,8 +1,16 @@
 //! Traffic load sweep: latency-vs-injection-rate curves per router and
 //! fault density.
 //!
-//! Usage: `traffic_sweep [--quick] [--json] [--mesh N] [--seed N]
-//! [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]`.
+//! Usage: `traffic_sweep [--quick] [--json] [--obs] [--trace]
+//! [--mesh N] [--seed N] [--threads N] [--sim-threads N] [--out DIR]
+//! [--no-early-exit]`.
+//!
+//! `--obs` instruments every simulated point with the `meshpath-obs`
+//! metrics probe (link counters, stall/occupancy histograms, phase
+//! timings) and adds an `obs_report` section to the `--json` document;
+//! `--trace` additionally records the packet-lifecycle flight recorder.
+//! Either level leaves the simulation statistics bit-identical (pinned
+//! by the golden suite).
 //!
 //! `--threads` sizes the sweep-level pool (simulations run in
 //! parallel, one per point); `--sim-threads` shards each *single*
@@ -23,6 +31,7 @@
 
 use meshpath_analysis::cli::emit;
 use meshpath_analysis::traffic::{run_load_sweep, LoadSweepConfig};
+use meshpath_traffic::ObsLevel;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +55,8 @@ fn main() {
         match arg.as_str() {
             "--quick" => {}
             "--json" => json = true,
+            "--obs" => cfg.sim.obs = ObsLevel::Metrics,
+            "--trace" => cfg.sim.obs = ObsLevel::Trace,
             "--no-early-exit" => cfg.early_exit = false,
             "--mesh" => {
                 cfg.mesh = take("--mesh").parse().unwrap_or(0);
@@ -62,8 +73,8 @@ fn main() {
             "--out" => out = Some(take("--out")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traffic_sweep [--quick] [--json] [--mesh N] [--seed N] [--threads N] \
-                     [--sim-threads N] [--out DIR] [--no-early-exit]"
+                    "usage: traffic_sweep [--quick] [--json] [--obs] [--trace] [--mesh N] \
+                     [--seed N] [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]"
                 );
                 return;
             }
@@ -95,7 +106,7 @@ fn main() {
             if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &doc))
             {
                 eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
+            } else if meshpath_obs::enabled(meshpath_obs::LogLevel::Info) {
                 eprintln!("wrote {}", path.display());
             }
         }

@@ -62,13 +62,15 @@ pub fn parse_args(
 }
 
 /// Prints a table and optionally writes its CSV next to `out`.
+/// The "wrote file" notice is `MESHPATH_LOG=info` chatter; write
+/// *failures* stay unconditional.
 pub fn emit(table: &crate::table::Table, out: &Option<String>, name: &str) {
     println!("{}", table.to_text());
     if let Some(dir) = out {
         let path = std::path::Path::new(dir).join(format!("{name}.csv"));
         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| table.write_csv(&path)) {
             eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
+        } else if meshpath_obs::enabled(meshpath_obs::LogLevel::Info) {
             eprintln!("wrote {}", path.display());
         }
     }

@@ -100,6 +100,18 @@ impl JsonObject {
 /// }
 /// ```
 pub fn document(config: &JsonObject, rows: &[JsonObject]) -> String {
+    document_with(config, rows, &[])
+}
+
+/// [`document`] plus named extra top-level sections, each an array of
+/// flat objects — how the observability report (`obs_report`) rides
+/// along in `traffic_sweep --json` and `route_bench --json` without
+/// disturbing the `rows` trajectory format.
+pub fn document_with(
+    config: &JsonObject,
+    rows: &[JsonObject],
+    sections: &[(&str, &[JsonObject])],
+) -> String {
     let mut s = String::with_capacity(64 + 256 * rows.len());
     s.push_str("{\n  \"config\": ");
     s.push_str(&config.render());
@@ -109,7 +121,21 @@ pub fn document(config: &JsonObject, rows: &[JsonObject]) -> String {
         s.push_str(&row.render());
         s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    for (name, objs) in sections {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "section names stay snake_case: {name:?}"
+        );
+        let _ = write!(s, ",\n  \"{name}\": [\n");
+        for (i, o) in objs.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&o.render());
+            s.push_str(if i + 1 == objs.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ]");
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -140,5 +166,26 @@ mod tests {
     #[should_panic(expected = "needs escaping")]
     fn strings_requiring_escapes_are_refused() {
         JsonObject::new().string("k", "a\"b");
+    }
+
+    #[test]
+    fn sections_append_after_rows() {
+        let mut c = JsonObject::new();
+        c.field("mesh", 8);
+        let mut r = JsonObject::new();
+        r.field("v", 1);
+        let mut s = JsonObject::new();
+        s.field("events", 7);
+        let doc = document_with(&c, &[r], &[("obs_report", &[s])]);
+        assert!(doc.contains("\"obs_report\": [\n    {\"events\": 7}\n  ]"), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(!doc.contains(",\n  ]"), "{doc}");
+        // The plain document is byte-identical to the sectionless call.
+        let mut c2 = JsonObject::new();
+        c2.field("mesh", 8);
+        let mut r2 = JsonObject::new();
+        r2.field("v", 1);
+        assert_eq!(document(&c2, &[r2.clone()]), document_with(&c2, &[r2], &[]));
     }
 }

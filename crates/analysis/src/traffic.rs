@@ -9,13 +9,14 @@
 
 use crossbeam::channel;
 use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
+use meshpath_obs::Phase;
 use meshpath_route::NetView;
 use meshpath_traffic::{
-    run_traffic_reusing_with, DrainStallObserver, LatencyHistogram, PathTable, RoutingKind,
-    SimConfig, TrafficStats,
+    run_traffic_observed, DrainStallObserver, LatencyHistogram, ObsReport, PathTable, RoutingKind,
+    SimConfig, TrafficStats, WindowObserver,
 };
 
-use crate::jsonl::{document, JsonObject};
+use crate::jsonl::{document_with, JsonObject};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,12 @@ pub struct LoadPoint {
     /// early-exited points) — the per-point perf trajectory recorded
     /// in `BENCH_traffic.json`.
     pub sim_wall_ms: f64,
+    /// The merged observability report, present when the sweep ran
+    /// with [`SimConfig::obs`] above `Off` and the point was actually
+    /// simulated. Summarized into the `obs_report` section of
+    /// [`LoadSweepResult::to_json`].
+    #[serde(skip)]
+    pub obs: Option<ObsReport>,
 }
 
 impl LoadPoint {
@@ -270,7 +277,8 @@ impl LoadSweepResult {
             .field("warmup", c.sim.warmup)
             .field("measure", c.sim.measure)
             .field("drain", c.sim.drain)
-            .field("churn_events", c.sim.fault_churn.len());
+            .field("churn_events", c.sim.fault_churn.len())
+            .string("obs", c.sim.obs.name());
         let rows: Vec<JsonObject> = self
             .points
             .iter()
@@ -281,7 +289,9 @@ impl LoadSweepResult {
                     .field("faults", p.faults)
                     .field("rate", p.rate)
                     .float("mean_latency", st.mean_latency(), 3)
-                    .field("p95_latency", st.latency.percentile(0.95))
+                    .field("p50_latency", st.p50_latency())
+                    .field("p95_latency", st.p95_latency())
+                    .field("p99_latency", st.p99_latency())
                     .field("max_latency", st.latency.max())
                     .float("accepted_flits_per_node_cycle", st.accepted_flits_per_node_cycle(), 6)
                     .float("delivered_pct", st.delivered_pct(), 3)
@@ -304,7 +314,62 @@ impl LoadSweepResult {
                 row
             })
             .collect();
-        document(&config, &rows)
+        let obs_rows = self.obs_rows();
+        if obs_rows.is_empty() {
+            document_with(&config, &rows, &[])
+        } else {
+            document_with(&config, &rows, &[("obs_report", &obs_rows)])
+        }
+    }
+
+    /// One flat summary object per point that carries an
+    /// [`ObsReport`] — the `obs_report` section of [`to_json`]. The
+    /// full report (heatmaps, event stream, post-mortem) stays in
+    /// memory; JSON gets the numeric digest only, because the
+    /// hand-rolled emitter is charset-restricted (see [`crate::jsonl`]).
+    ///
+    /// [`to_json`]: LoadSweepResult::to_json
+    pub fn obs_rows(&self) -> Vec<JsonObject> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                let r = p.obs.as_ref()?;
+                let phase_ns =
+                    |ph: Phase| -> u64 { r.shards.iter().map(|s| s.phases.get(ph)).sum() };
+                let mut o = JsonObject::new();
+                o.string("router", p.router.name())
+                    .field("faults", p.faults)
+                    .field("rate", p.rate)
+                    .string("level", r.level.name())
+                    .string("stop", r.stop.name())
+                    .field("stopped_at", r.stopped_at)
+                    .field("injected", r.injected)
+                    .field("delivered", r.delivered)
+                    .field("dropped", r.dropped)
+                    .field("shards", r.shards.len())
+                    .field("link_flits_total", r.link_flits.iter().sum::<u64>())
+                    .field("link_flits_max", r.link_flits.iter().copied().max().unwrap_or(0))
+                    .field("escape_entries", r.escape_entries.iter().sum::<u64>())
+                    .field("stall_events", r.stall_cycles.count())
+                    .field("stall_p95_cycles", r.stall_cycles.percentile(0.95))
+                    .field("stall_max_cycles", r.stall_cycles.max())
+                    .field("occupancy_p95", r.vc_occupancy.percentile(0.95))
+                    .field(
+                        "boundary_msgs",
+                        r.shards
+                            .iter()
+                            .map(|s| s.boundary_to_prev + s.boundary_to_next)
+                            .sum::<u64>(),
+                    )
+                    .field("plan_ns", phase_ns(Phase::Plan))
+                    .field("boundary_ns", phase_ns(Phase::Boundary))
+                    .field("commit_ns", phase_ns(Phase::Commit))
+                    .field("events_seen", r.shards.iter().map(|s| s.events_seen).sum::<u64>())
+                    .field("recent_events", r.recent_events.len())
+                    .field("postmortem", r.postmortem.is_some());
+                Some(o)
+            })
+            .collect()
     }
 
     /// Accepted-throughput table (flits/node/cycle) per fault density.
@@ -436,6 +501,7 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
                                 stats: saturated_placeholder(net, &cfg.sim),
                                 simulated: false,
                                 sim_wall_ms: 0.0,
+                                obs: None,
                             }
                         } else {
                             let sim = SimConfig {
@@ -448,18 +514,25 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
                             // delivery-free windows), so live runs —
                             // including honestly-saturated ones that
                             // keep draining — are untouched.
-                            let mut obs = DrainStallObserver::new(4);
+                            let mut stall = DrainStallObserver::new(4);
+                            let mut passive = ();
+                            let observer: &mut dyn WindowObserver =
+                                if cfg.early_exit { &mut stall } else { &mut passive };
                             let started = Instant::now();
-                            let stats = if cfg.early_exit {
-                                run_traffic_reusing_with(&mut paths, &sim, &mut obs)
-                            } else {
-                                run_traffic_reusing_with(&mut paths, &sim, &mut ())
-                            };
+                            let (stats, obs) = run_traffic_observed(&mut paths, &sim, observer);
                             let sim_wall_ms = started.elapsed().as_secs_f64() * 1e3;
                             if stats.saturated || stats.deadlocked {
                                 sat_from = Some(sat_from.map_or(rate, |s: f64| s.min(rate)));
                             }
-                            LoadPoint { router, faults, rate, stats, simulated: true, sim_wall_ms }
+                            LoadPoint {
+                                router,
+                                faults,
+                                rate,
+                                stats,
+                                simulated: true,
+                                sim_wall_ms,
+                                obs,
+                            }
                         };
                         let idx = (fi * n_rates + ri) * n_routers + ki;
                         tx_res.send((idx, point)).expect("result channel open");
@@ -483,7 +556,7 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use meshpath_traffic::{InjectionProcess, LengthDist};
+    use meshpath_traffic::{InjectionProcess, LengthDist, ObsLevel};
 
     #[test]
     fn smoke_sweep_completes_and_is_deterministic() {
@@ -594,6 +667,32 @@ mod tests {
             };
             let rows = rows_without_wall_clock(&run_load_sweep(&sharded).to_json());
             assert_eq!(rows, reference, "rows diverged at sim threads {sim_threads}");
+        }
+    }
+
+    #[test]
+    fn obs_sweep_records_reports_and_emits_the_json_section() {
+        let mut cfg = LoadSweepConfig { threads: 2, ..LoadSweepConfig::smoke() };
+        cfg.sim.obs = ObsLevel::Metrics;
+        let res = run_load_sweep(&cfg);
+        for p in &res.points {
+            let r = p.obs.as_ref().expect("every simulated smoke point carries a report");
+            assert_eq!(r.level, ObsLevel::Metrics);
+            assert!(r.link_flits.iter().sum::<u64>() > 0, "traffic moved, links counted");
+            assert!(r.delivered > 0);
+            assert!(r.postmortem.is_none(), "smoke points do not wedge");
+        }
+        let json = res.to_json();
+        assert!(json.contains("\"obs\": \"metrics\""), "{json}");
+        assert!(json.contains("\"obs_report\": ["), "{json}");
+        assert_eq!(json.matches("\"plan_ns\"").count(), res.points.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        // The instrumented sweep's statistics stay bit-identical to the
+        // bare sweep's (the sweep-level face of the golden guarantee).
+        let bare = run_load_sweep(&LoadSweepConfig { threads: 2, ..LoadSweepConfig::smoke() });
+        for (pa, pb) in res.points.iter().zip(&bare.points) {
+            assert_eq!(pa.stats, pb.stats, "metrics recording must not perturb the run");
+            assert!(pb.obs.is_none(), "obs off means no report");
         }
     }
 

@@ -1,8 +1,13 @@
 //! `RouteService` concurrent-query throughput: the `BENCH_route.json`
 //! trajectory.
 //!
-//! Usage: `route_bench [--quick] [--json] [--mesh N] [--queries N]
-//! [--seed N]`.
+//! Usage: `route_bench [--quick] [--json] [--obs] [--mesh N]
+//! [--queries N] [--seed N]`.
+//!
+//! `--obs` enables the service's `ServiceMetrics` recorder
+//! (per-query latency and per-epoch publication histograms) and
+//! reports the digest — as an `obs_report` section with `--json`, as a
+//! summary line otherwise.
 //!
 //! Drives one shared [`RouteService`] (RB2 over a seeded fault
 //! configuration) from 1, 2 and 4 query threads — every thread grabs
@@ -15,7 +20,7 @@
 
 use std::time::Instant;
 
-use meshpath::analysis::jsonl::{document, JsonObject};
+use meshpath::analysis::jsonl::{document_with, JsonObject};
 use meshpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +29,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let json = argv.iter().any(|a| a == "--json");
+    let obs = argv.iter().any(|a| a == "--obs");
     let mut mesh_n: u32 = if quick { 16 } else { 32 };
     let mut queries: usize = if quick { 2_000 } else { 20_000 };
     let mut seed: u64 = 0x5eed_0007;
@@ -36,13 +42,14 @@ fn main() {
             })
         };
         match arg.as_str() {
-            "--quick" | "--json" => {}
+            "--quick" | "--json" | "--obs" => {}
             "--mesh" => mesh_n = take("--mesh").parse().expect("--mesh: integer"),
             "--queries" => queries = take("--queries").parse().expect("--queries: integer"),
             "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: route_bench [--quick] [--json] [--mesh N] [--queries N] [--seed N]"
+                    "usage: route_bench [--quick] [--json] [--obs] [--mesh N] [--queries N] \
+                     [--seed N]"
                 );
                 return;
             }
@@ -58,6 +65,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     let faults = FaultSet::random(mesh, fault_count, FaultInjection::Uniform, &mut rng);
     let service = RouteService::new(faults);
+    let service = if obs { service.with_metrics() } else { service };
 
     // A deterministic query set over healthy pairs.
     let view = service.view();
@@ -151,6 +159,38 @@ fn main() {
         );
     }
 
+    // The service-side observability digest: per-query latency and
+    // per-epoch publication histograms from `ServiceMetrics`.
+    let obs_rows: Vec<JsonObject> = service
+        .metrics()
+        .map(|m| {
+            let (q, u) = (m.query_ns(), m.update_ns());
+            let mut o = JsonObject::new();
+            o.field("queries_ok", m.queries_ok())
+                .field("queries_err", m.queries_err())
+                .field("updates", m.updates())
+                .float("query_mean_ns", q.mean(), 1)
+                .field("query_p50_ns", q.percentile(0.50))
+                .field("query_p95_ns", q.percentile(0.95))
+                .field("query_p99_ns", q.percentile(0.99))
+                .float("update_mean_ns", u.mean(), 1)
+                .field("update_p95_ns", u.percentile(0.95))
+                .field("update_max_ns", u.max());
+            if !json {
+                println!(
+                    "obs    queries {}+{}err p50 {} ns p99 {} ns | updates {} p95 {} ns",
+                    m.queries_ok(),
+                    m.queries_err(),
+                    q.percentile(0.50),
+                    q.percentile(0.99),
+                    m.updates(),
+                    u.percentile(0.95),
+                );
+            }
+            vec![o]
+        })
+        .unwrap_or_default();
+
     if json {
         let mut config = JsonObject::new();
         config
@@ -160,6 +200,8 @@ fn main() {
             .field("seed", seed)
             .string("router", service.router_name())
             .float("total_wall_ms", total_wall_ms, 3);
-        print!("{}", document(&config, &rows));
+        let sections: Vec<(&str, &[JsonObject])> =
+            if obs_rows.is_empty() { Vec::new() } else { vec![("obs_report", &obs_rows)] };
+        print!("{}", document_with(&config, &rows, &sections));
     }
 }

@@ -91,8 +91,9 @@
 //! | [`info`] | `meshpath-info` | B1/B2/B3 information models, boundary walks |
 //! | [`route`] | `meshpath-route` | `NetView`/`NetState` snapshots, the per-hop `Router` trait, RB1/RB2/RB3, E-cube, XY, oracles |
 //! | [`traffic`] | `meshpath-traffic` | wormhole NoC traffic simulator, `fault_churn` |
+//! | [`obs`] | `meshpath-obs` | metrics registry, packet-lifecycle tracing, deadlock post-mortems |
 //! | [`analysis`] | `meshpath-analysis` | Fig. 5 harness + traffic load sweeps |
-//! | (this crate) | — | [`RouteService`], [`RouteError`], [`RouteReply`] |
+//! | (this crate) | — | [`RouteService`], [`RouteError`], [`RouteReply`], [`ServiceMetrics`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -101,13 +102,14 @@ pub use meshpath_analysis as analysis;
 pub use meshpath_fault as fault;
 pub use meshpath_info as info;
 pub use meshpath_mesh as mesh;
+pub use meshpath_obs as obs;
 pub use meshpath_route as route;
 pub use meshpath_sim as sim;
 pub use meshpath_traffic as traffic;
 
 mod service;
 
-pub use service::{RouteError, RouteReply, RouteService};
+pub use service::{RouteError, RouteReply, RouteService, ServiceMetrics};
 
 /// The items most programs need.
 pub mod prelude {
@@ -117,6 +119,7 @@ pub mod prelude {
     pub use meshpath_mesh::{
         Coord, Dir, FaultInjection, FaultSet, Mesh, NodeId, Orientation, Rect,
     };
+    pub use meshpath_obs::{ObsLevel, ObsReport, Postmortem, StopKind};
     pub use meshpath_route::oracle::DistanceField;
     pub use meshpath_route::{
         validate_path, AdaptivePolicy, Decision, ECube, HopCtx, HopState, KnowledgeScope, NetState,
@@ -127,7 +130,7 @@ pub mod prelude {
         TrafficStats, VcClass, PIPELINE_DEPTH,
     };
 
-    pub use crate::service::{RouteError, RouteReply, RouteService};
+    pub use crate::service::{RouteError, RouteReply, RouteService, ServiceMetrics};
 }
 
 #[cfg(test)]

@@ -13,9 +13,12 @@
 //! queries.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use std::time::Instant;
 
 use meshpath_mesh::Coord;
+use meshpath_obs::{AtomicLogHistogram, LogHistogram};
 use meshpath_route::oracle::DistanceField;
 use meshpath_route::{NetState, NetView, RouteResult, Router, RoutingKind, UpdateError};
 
@@ -83,11 +86,58 @@ impl RouteReply {
     }
 }
 
+/// Query and update metrics of one [`RouteService`], recorded with
+/// relaxed atomics so concurrent query threads never contend on them.
+///
+/// Opt-in: a service built with
+/// [`with_metrics`](RouteService::with_metrics) records; the plain
+/// constructors skip all instrumentation (no clock reads on the query
+/// path). Latency histograms are log-bucketed
+/// ([`meshpath_obs::LogHistogram`]), so recording is O(1) and
+/// percentiles are bounds, not exact order statistics.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    queries_ok: AtomicU64,
+    queries_err: AtomicU64,
+    query_ns: AtomicLogHistogram,
+    updates: AtomicU64,
+    update_ns: AtomicLogHistogram,
+}
+
+impl ServiceMetrics {
+    /// Route queries answered successfully.
+    pub fn queries_ok(&self) -> u64 {
+        self.queries_ok.load(Ordering::Relaxed)
+    }
+
+    /// Route queries that returned a typed error.
+    pub fn queries_err(&self) -> u64 {
+        self.queries_err.load(Ordering::Relaxed)
+    }
+
+    /// Fault mutations attempted (each success published an epoch).
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-query wall-time histogram (nanoseconds).
+    pub fn query_ns(&self) -> LogHistogram {
+        self.query_ns.snapshot()
+    }
+
+    /// Snapshot of the per-update (epoch publication) wall-time
+    /// histogram (nanoseconds).
+    pub fn update_ns(&self) -> LogHistogram {
+        self.update_ns.snapshot()
+    }
+}
+
 /// The query facade: answers concurrent route queries against the
 /// current snapshot and applies incremental fault updates.
 pub struct RouteService {
     state: RwLock<NetState>,
     router: Box<dyn Router + Send + Sync>,
+    metrics: Option<ServiceMetrics>,
 }
 
 impl RouteService {
@@ -99,12 +149,33 @@ impl RouteService {
 
     /// A service over `faults`, routing with the given function.
     pub fn with_kind(faults: meshpath_mesh::FaultSet, kind: RoutingKind) -> Self {
-        RouteService { state: RwLock::new(NetState::new(faults)), router: kind.router() }
+        RouteService {
+            state: RwLock::new(NetState::new(faults)),
+            router: kind.router(),
+            metrics: None,
+        }
     }
 
     /// A service adopting an existing snapshot (keeps its epoch).
     pub fn adopt(view: NetView, kind: RoutingKind) -> Self {
-        RouteService { state: RwLock::new(NetState::adopt(view)), router: kind.router() }
+        RouteService {
+            state: RwLock::new(NetState::adopt(view)),
+            router: kind.router(),
+            metrics: None,
+        }
+    }
+
+    /// This service with [`ServiceMetrics`] recording enabled
+    /// (builder): every query and fault update is counted and timed.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(ServiceMetrics::default());
+        self
+    }
+
+    /// The recorded metrics, when
+    /// [`with_metrics`](RouteService::with_metrics) enabled them.
+    pub fn metrics(&self) -> Option<&ServiceMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The current snapshot (cheap clone — the lock is held only for
@@ -132,6 +203,25 @@ impl RouteService {
     /// Routes one message on a caller-held snapshot (e.g. to answer a
     /// batch against one consistent epoch while mutations proceed).
     pub fn route_on(
+        &self,
+        view: &NetView,
+        src: Coord,
+        dst: Coord,
+    ) -> Result<RouteReply, RouteError> {
+        let Some(m) = &self.metrics else {
+            return self.route_inner(view, src, dst);
+        };
+        let t = Instant::now();
+        let reply = self.route_inner(view, src, dst);
+        m.query_ns.record(t.elapsed().as_nanos() as u64);
+        match &reply {
+            Ok(_) => m.queries_ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => m.queries_err.fetch_add(1, Ordering::Relaxed),
+        };
+        reply
+    }
+
+    fn route_inner(
         &self,
         view: &NetView,
         src: Coord,
@@ -165,14 +255,27 @@ impl RouteService {
     /// Marks `c` faulty (incremental update; see
     /// [`NetState::add_fault`]) and returns the new epoch.
     pub fn add_fault(&self, c: Coord) -> Result<u64, UpdateError> {
-        let mut state = self.state.write().expect("route service lock poisoned");
-        state.add_fault(c).map(|v| v.epoch())
+        self.timed_update(|state| state.add_fault(c).map(|v| v.epoch()))
     }
 
     /// Repairs the fault at `c` and returns the new epoch.
     pub fn remove_fault(&self, c: Coord) -> Result<u64, UpdateError> {
+        self.timed_update(|state| state.remove_fault(c).map(|v| v.epoch()))
+    }
+
+    fn timed_update(
+        &self,
+        f: impl FnOnce(&mut NetState) -> Result<u64, UpdateError>,
+    ) -> Result<u64, UpdateError> {
+        let t = self.metrics.as_ref().map(|_| Instant::now());
         let mut state = self.state.write().expect("route service lock poisoned");
-        state.remove_fault(c).map(|v| v.epoch())
+        let out = f(&mut state);
+        drop(state);
+        if let (Some(m), Some(t)) = (&self.metrics, t) {
+            m.update_ns.record(t.elapsed().as_nanos() as u64);
+            m.updates.fetch_add(1, Ordering::Relaxed);
+        }
+        out
     }
 }
 
@@ -211,6 +314,21 @@ mod tests {
         assert_eq!(svc.remove_fault(Coord::new(4, 5)).expect("valid"), 2);
         let back = svc.route(Coord::new(5, 1), Coord::new(5, 9)).expect("routable");
         assert_eq!(back.hops(), reply.hops());
+    }
+
+    #[test]
+    fn metrics_count_queries_and_updates() {
+        assert!(service().metrics().is_none(), "instrumentation is opt-in");
+        let svc = service().with_metrics();
+        svc.route(Coord::new(5, 1), Coord::new(5, 9)).expect("routable");
+        svc.route(Coord::new(5, 5), Coord::new(1, 1)).expect_err("faulty source");
+        svc.add_fault(Coord::new(4, 5)).expect("valid");
+        let m = svc.metrics().expect("enabled");
+        assert_eq!(m.queries_ok(), 1);
+        assert_eq!(m.queries_err(), 1);
+        assert_eq!(m.updates(), 1);
+        assert_eq!(m.query_ns().count(), 2);
+        assert_eq!(m.update_ns().count(), 1);
     }
 
     #[test]

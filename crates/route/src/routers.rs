@@ -277,7 +277,7 @@ fn decide_planned(
     let pctx = PhaseCtx { set: view.mccs(o), model: view.model(o, kind), scope };
     let (ou, ot) = (o.apply(&mesh, u), o.apply(&mesh, target));
     let oprev = state.prev.map(|p| o.apply(&mesh, p));
-    if std::env::var_os("MESHPATH_TRACE").is_some() {
+    if meshpath_obs::enabled(meshpath_obs::LogLevel::Trace) {
         eprintln!(
             "at {u:?} target {target:?} waypoints {:?} detour {}",
             state.waypoints,

@@ -1,6 +1,7 @@
 //! Simulation parameters.
 
 use meshpath_mesh::Coord;
+use meshpath_obs::ObsLevel;
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
@@ -172,6 +173,15 @@ pub struct SimConfig {
     /// published by the incremental `NetState` update path. Empty =
     /// the classic static-fault run (epoch 0 throughout).
     pub fault_churn: Vec<ChurnEvent>,
+    /// Observability level (see [`ObsLevel`]). At the default
+    /// [`ObsLevel::Off`] the run loop is monomorphized over the no-op
+    /// probe — zero instrumentation code on the hot path. `Metrics`
+    /// records per-link/per-node counters and histograms; `Trace` adds
+    /// the per-shard packet-lifecycle flight recorder. Recording never
+    /// perturbs results: an instrumented run is bit-identical to a bare
+    /// one (pinned by `crate::golden`). Retrieve the merged report with
+    /// [`TrafficSim::run_observed`](crate::TrafficSim::run_observed).
+    pub obs: ObsLevel,
 }
 
 impl Default for SimConfig {
@@ -194,6 +204,7 @@ impl Default for SimConfig {
             threads: 0,
             stats_window: 250,
             fault_churn: Vec::new(),
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -229,6 +240,12 @@ impl SimConfig {
     /// [`ChurnEvent`]).
     pub fn with_fault_churn(self, fault_churn: Vec<ChurnEvent>) -> Self {
         SimConfig { fault_churn, ..self }
+    }
+
+    /// This config with an observability level (builder; see
+    /// [`obs`](SimConfig::obs)).
+    pub fn with_obs(self, obs: ObsLevel) -> Self {
+        SimConfig { obs, ..self }
     }
 
     /// The effective shard/worker count for a mesh of `nodes` nodes
@@ -283,6 +300,7 @@ mod tests {
         assert_eq!(c.length, LengthDist::Fixed);
         assert_eq!(c.threads, 0, "thread count should default to auto");
         assert!(c.fault_churn.is_empty(), "no churn by default");
+        assert_eq!(c.obs, ObsLevel::Off, "instrumentation is opt-in");
         let f = c.clone().with_rate(0.25);
         assert_eq!(f.rate, 0.25);
         assert_eq!(f.vcs, c.vcs);
@@ -295,12 +313,14 @@ mod tests {
             .with_seed(99)
             .with_threads(2)
             .with_pattern(TrafficPattern::Transpose)
-            .with_fault_churn(vec![ChurnEvent::fail(50, Coord::new(1, 1))]);
+            .with_fault_churn(vec![ChurnEvent::fail(50, Coord::new(1, 1))])
+            .with_obs(ObsLevel::Metrics);
         assert_eq!(c.rate, 0.125);
         assert_eq!(c.seed, 99);
         assert_eq!(c.threads, 2);
         assert_eq!(c.pattern, TrafficPattern::Transpose);
         assert_eq!(c.fault_churn.len(), 1);
+        assert_eq!(c.obs, ObsLevel::Metrics);
         let d = c.without_escape();
         assert_eq!(d.escape_vcs, 0);
         assert_eq!(d.rate, 0.125, "builders chain without losing fields");

@@ -141,6 +141,9 @@ use std::collections::VecDeque;
 use std::ops::Range;
 
 use meshpath_mesh::{Coord, Dir, FxHashMap, Mesh, NodeId};
+use meshpath_obs::{
+    BlockedWait, FabricProbe, GrantInfo, NoProbe, StalledPacket, VcFront, WaitEdge,
+};
 
 use crate::routing::{HopCandidates, HopDecision, HopRouter, VcClass};
 
@@ -540,11 +543,12 @@ impl Shard {
 
     /// Plan/grant phase over this shard's active routers (see the
     /// module docs on event-driven stepping).
-    pub(crate) fn allocate_active(
+    pub(crate) fn allocate_active<P: FabricProbe>(
         &mut self,
         router: &mut dyn HopRouter,
         report: &mut StepReport,
         deliveries: &mut Vec<Delivery>,
+        probe: &mut P,
     ) {
         let mut i = 0;
         while i < self.worklist.len() {
@@ -554,7 +558,7 @@ impl Shard {
                 self.worklist.swap_remove(i);
                 continue;
             }
-            self.allocate_node(node, router, report, deliveries);
+            self.allocate_node(node, router, report, deliveries, probe);
             i += 1;
         }
     }
@@ -562,12 +566,13 @@ impl Shard {
     /// Switch allocation for one active router: plan what every
     /// occupied input VC requests this cycle, then grant each output
     /// port round-robin from its request mask.
-    fn allocate_node(
+    fn allocate_node<P: FabricProbe>(
         &mut self,
         node: usize,
         router: &mut dyn HopRouter,
         report: &mut StepReport,
         deliveries: &mut Vec<Delivery>,
+        probe: &mut P,
     ) {
         let here = self.mesh.coord(NodeId(node as u32));
         let lnode = node - self.start;
@@ -648,7 +653,8 @@ impl Shard {
                     }
                 }
             };
-            let freed = self.commit_grant(node, here, slot, out_port, link, report, deliveries);
+            let freed =
+                self.commit_grant(node, here, slot, out_port, link, report, deliveries, probe);
             usable &= !(((1u64 << vcs) - 1) << (slot / vcs * vcs));
             if freed {
                 // A VC on `out_port` was allocated or released:
@@ -679,7 +685,7 @@ impl Shard {
     /// for a link grant. Returns whether the grant flipped a free-VC
     /// bit on `out_port`.
     #[allow(clippy::too_many_arguments)]
-    fn commit_grant(
+    fn commit_grant<P: FabricProbe>(
         &mut self,
         node: usize,
         here: Coord,
@@ -688,6 +694,7 @@ impl Shard {
         link: Option<(usize, Option<VcClass>)>,
         report: &mut StepReport,
         deliveries: &mut Vec<Delivery>,
+        probe: &mut P,
     ) -> bool {
         let vcs = self.vcs;
         let lnode = node - self.start;
@@ -733,6 +740,7 @@ impl Shard {
                 let state =
                     self.in_vcs[in_idx].heads.pop_front().expect("ejected packet has state");
                 deliveries.push(Delivery { packet: flit.packet, state });
+                probe.delivered(node as u32, flit.packet);
             }
             false
         } else {
@@ -741,18 +749,39 @@ impl Shard {
             // A granted head takes its traveling state along: bump the
             // hop count, reset the patience clock, and record an escape
             // commitment when the granted VC is an escape class.
+            let mut grant_stalled = 0u32;
+            let mut entered_escape = None;
             let state = flit.is_head.then(|| {
                 let mut st = self.in_vcs[in_idx].heads.pop_front().expect("granted head has state");
+                grant_stalled = st.stalled;
                 st.head_hop += 1;
                 st.stalled = 0;
                 if let Some(class) = new_class {
                     if class != VcClass::Adaptive && st.mode == VcClass::Adaptive {
                         st.mode = class;
                         self.escape_entries += 1;
+                        entered_escape = Some(class);
                     }
                 }
                 st
             });
+            if P::ACTIVE {
+                probe.link_flit(node as u32, out_port as u8);
+                if flit.is_head {
+                    probe.head_grant(GrantInfo {
+                        node: node as u32,
+                        packet: flit.packet,
+                        dir: out_port as u8,
+                        vc: v as u8,
+                        class: new_class.map_or(0, |c| c as u8),
+                        fresh_vc: new_class.is_some(),
+                        stalled: grant_stalled,
+                    });
+                }
+                if let Some(class) = entered_escape {
+                    probe.escape_entered(node as u32, flit.packet, class as u8);
+                }
+            }
             if new_class.is_some() {
                 self.out_vcs[out_idx].owner = Some(flit.packet);
             }
@@ -792,13 +821,14 @@ impl Shard {
     /// active routers can hold a parked head, so only those are
     /// walked. Gated on the escape class existing — with no escape VCs
     /// the counter is unused.
-    pub(crate) fn age_parked_heads(&mut self) {
+    pub(crate) fn age_parked_heads<P: FabricProbe>(&mut self, probe: &mut P) {
         if self.escape_vcs == 0 {
             return;
         }
         let slots = IN_PORTS * self.vcs;
         for i in 0..self.worklist.len() {
-            let lnode = self.worklist[i] as usize - self.start;
+            let node = self.worklist[i];
+            let lnode = node as usize - self.start;
             let mut m = self.occ_mask[lnode];
             while m != 0 {
                 let slot = m.trailing_zeros() as usize;
@@ -807,7 +837,103 @@ impl Shard {
                 if v.route.is_none() {
                     if let Some(f) = v.queue.front() {
                         if f.is_head {
-                            v.heads.front_mut().expect("parked head has state").stalled += 1;
+                            let st = v.heads.front_mut().expect("parked head has state");
+                            st.stalled += 1;
+                            if P::ACTIVE {
+                                probe.head_stalled(node, f.packet, st.stalled);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a per-node VC-occupancy sample for every router with at
+    /// least one occupied input VC. Called at `stats_window` boundaries
+    /// when a probe is active; pure observation.
+    pub(crate) fn sample_occupancy<P: FabricProbe>(&self, probe: &mut P) {
+        for (lnode, m) in self.occ_mask.iter().enumerate() {
+            if *m != 0 {
+                probe.occupancy_sample((self.start + lnode) as u32, m.count_ones());
+            }
+        }
+    }
+
+    /// Post-mortem walk after a wedged stop. Two kinds of record come
+    /// out of it:
+    ///
+    /// * every parked head (an occupied input VC whose queue front is
+    ///   an unrouted head flit) re-asks the router for its candidates
+    ///   and reports what each candidate VC is blocked on — a direct
+    ///   wait-for edge `waiter -> holder` when the VC is owned by
+    ///   another worm, or a `BlockedWait` when the VC is unowned but
+    ///   credit-starved (the previous worm's tail passed; its flits
+    ///   still fill the downstream buffer);
+    /// * the packet at the front of every occupied directional input
+    ///   VC (`VcFront`), which is how report assembly resolves
+    ///   `BlockedWait`s — the downstream buffer may belong to another
+    ///   shard, so the join happens there, not here.
+    ///
+    /// A directed cycle among the resolved edges is the
+    /// wormhole-deadlock witness.
+    pub(crate) fn collect_wait_graph<P: FabricProbe>(
+        &self,
+        router: &mut dyn HopRouter,
+        probe: &mut P,
+    ) {
+        let slots = IN_PORTS * self.vcs;
+        for node in self.start..self.end {
+            let lnode = node - self.start;
+            let here = self.mesh.coord(NodeId(node as u32));
+            let mut m = self.occ_mask[lnode];
+            while m != 0 {
+                let slot = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let (port, in_vc) = (slot / self.vcs, slot % self.vcs);
+                let v = &self.in_vcs[lnode * slots + slot];
+                let Some(f) = v.queue.front() else { continue };
+                if port != LOCAL_PORT {
+                    probe.vc_front(VcFront {
+                        node: node as u32,
+                        port: port as u8,
+                        vc: in_vc as u8,
+                        packet: f.packet,
+                    });
+                }
+                if v.route.is_some() || !f.is_head {
+                    continue;
+                }
+                let pk = v.heads.front().expect("parked head has state");
+                probe.stalled_packet(StalledPacket {
+                    packet: f.packet,
+                    node: node as u32,
+                    src: (pk.src.x, pk.src.y),
+                    dst: (pk.dst.x, pk.dst.y),
+                    class: pk.mode as u8,
+                    stalled: pk.stalled,
+                    generated_at: pk.generated_at,
+                });
+                let HopDecision::Route(cands) = router.decide(here, pk) else { continue };
+                for c in cands.iter() {
+                    let dir = c.dir as usize;
+                    for vc in self.class_range(c.class) {
+                        let o = &self.out_vcs[self.out_idx(lnode, dir, vc)];
+                        if let Some(owner) = o.owner {
+                            probe.wait_edge(WaitEdge {
+                                waiter: f.packet,
+                                holder: owner,
+                                node: node as u32,
+                                dir: dir as u8,
+                                vc: vc as u8,
+                            });
+                        } else if o.credits == 0 {
+                            probe.wait_blocked(BlockedWait {
+                                waiter: f.packet,
+                                node: node as u32,
+                                dir: dir as u8,
+                                vc: vc as u8,
+                            });
                         }
                     }
                 }
@@ -980,7 +1106,7 @@ impl Shard {
                 continue;
             }
             in_port_used[in_port] = true;
-            self.commit_grant(node, here, slot, out_port, link, report, deliveries);
+            self.commit_grant(node, here, slot, out_port, link, report, deliveries, &mut NoProbe);
             return; // one grant per output port per cycle
         }
     }
@@ -1250,8 +1376,8 @@ impl Fabric {
     ) -> StepReport {
         let mut report = StepReport::default();
         for s in &mut self.shards {
-            s.allocate_active(router, &mut report, deliveries);
-            s.age_parked_heads();
+            s.allocate_active(router, &mut report, deliveries, &mut NoProbe);
+            s.age_parked_heads(&mut NoProbe);
         }
         self.exchange_boundary();
         for s in &mut self.shards {

@@ -13,6 +13,7 @@
 //! shard boundary-exchange protocol shows up as a failure, not as a
 //! plausible-looking but different summary.
 
+use meshpath_obs::ObsLevel;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 
@@ -110,6 +111,7 @@ proptest! {
             threads: 1,
             stats_window: 100,
             fault_churn,
+            obs: ObsLevel::Off,
         };
         let reference = run(&net, kind, &cfg, true);
         // Shard counts 1, 2 and 4: the event-driven stepper must match
@@ -122,6 +124,25 @@ proptest! {
                 &sharded,
                 &reference,
                 "stepper diverged at {} threads: {:?} {} faults={} seed={:#x}",
+                threads,
+                cfg,
+                kind.name(),
+                faults,
+                seed
+            );
+            // Observability must be provably non-perturbing: the fully
+            // instrumented run (metrics + flight recorder) must stay
+            // bit-identical to the bare reference at every shard count.
+            let observed = run(
+                &net,
+                kind,
+                &SimConfig { threads, obs: ObsLevel::Trace, ..cfg.clone() },
+                false,
+            );
+            prop_assert_eq!(
+                &observed,
+                &reference,
+                "tracing perturbed the run at {} threads: {:?} {} faults={} seed={:#x}",
                 threads,
                 cfg,
                 kind.name(),

@@ -67,6 +67,21 @@
 //! * [`config`] — [`SimConfig`] including the `escape_vcs` partition
 //!   and the [`RoutePolicy`] adaptivity knob.
 //!
+//! ## Observability
+//!
+//! Setting [`SimConfig::obs`] to [`ObsLevel::Metrics`] or
+//! [`ObsLevel::Trace`] instruments the run with the `meshpath-obs`
+//! probe: per-link flit counters, escape-entry and stall/occupancy
+//! histograms, per-shard phase timings, a packet-lifecycle flight
+//! recorder (`Trace`), and — whenever a run wedges — a deadlock
+//! post-mortem naming the cyclically-blocked packets from the VC
+//! wait-for graph. Retrieve the merged [`ObsReport`] with
+//! [`TrafficSim::run_observed`] or [`run_traffic_observed`]. The
+//! instrumentation is compile-time dispatched: at the default
+//! [`ObsLevel::Off`] the hot path monomorphizes over the no-op probe
+//! (zero added code), and at any level the recorded run is
+//! bit-identical to the bare one (pinned by the golden suite).
+//!
 //! ## Example
 //!
 //! ```
@@ -124,10 +139,18 @@ pub use routing::{
     HopRouter, PathTable, ReplayHop, RoutingKind, VcClass, XyRouter,
 };
 pub use sim::{
-    run_traffic, run_traffic_reusing, run_traffic_reusing_with, single_packet_latency, TrafficSim,
+    run_traffic, run_traffic_observed, run_traffic_reusing, run_traffic_reusing_with,
+    single_packet_latency, TrafficSim,
 };
 pub use stats::{
     DrainStallObserver, LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample,
+};
+
+// The observability surface downstream code needs to configure
+// recording and consume reports, re-exported from `meshpath-obs`.
+pub use meshpath_obs::{
+    BlockedWait, LogHistogram, ObsLevel, ObsReport, PhaseProfile, Postmortem, ShardReport,
+    StalledPacket, StopKind, TraceEvent, TraceEventKind, VcFront, WaitEdge,
 };
 
 // Re-exported so downstream code can name the substrate types the

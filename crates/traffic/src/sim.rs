@@ -23,9 +23,11 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use meshpath_mesh::{derive_seed, Coord, NodeId};
+use meshpath_obs::{FabricProbe, NoProbe, ObsLevel, ObsReport, Phase, ShardObs, StopKind};
 use meshpath_route::{NetState, NetView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,15 +141,20 @@ impl CycleDone {
 enum Go {
     /// Run one cycle (the cycle number, for generation windows).
     Cycle(u64),
-    /// The run is over; return the shard.
-    Finish,
+    /// The run is over (final cycle count and stop classification);
+    /// finalize the probe and return the shard with it.
+    Finish(u64, StopKind),
 }
 
 /// One shard of the running simulation: the fabric band plus the
-/// injection state and hop router of its rows. The unit both run-loop
-/// transports (in-process and worker-thread) drive.
-struct ShardWorker<'a> {
+/// injection state, hop router and instrumentation probe of its rows.
+/// The unit both run-loop transports (in-process and worker-thread)
+/// drive. Monomorphized over the probe: with [`NoProbe`] (the
+/// [`ObsLevel::Off`] default) no instrumentation code exists on the
+/// hot path at all.
+struct ShardWorker<'a, P: FabricProbe> {
     shard: Shard,
+    probe: P,
     sources: Vec<SourceNode>,
     router: Box<dyn HopRouter + 'a>,
     env: &'a EpochEnv,
@@ -170,7 +177,7 @@ struct ShardWorker<'a> {
     use_reference: bool,
 }
 
-impl<'a> ShardWorker<'a> {
+impl<'a, P: FabricProbe> ShardWorker<'a, P> {
     #[allow(clippy::too_many_arguments)]
     fn new(
         shard: Shard,
@@ -180,10 +187,12 @@ impl<'a> ShardWorker<'a> {
         cfg: &'a SimConfig,
         ttl: u32,
         shard_index: usize,
+        probe: P,
     ) -> Self {
         let duty = cfg.injection.duty_cycle();
         ShardWorker {
             shard,
+            probe,
             sources,
             router,
             env,
@@ -223,6 +232,9 @@ impl<'a> ShardWorker<'a> {
                         if t >= self.cfg.warmup && t < self.gen_until {
                             gen.measured_dropped += 1;
                         }
+                        if P::ACTIVE {
+                            self.probe.dropped(s.id.0, dropped.id);
+                        }
                     }
                 }
                 s.active = healthy;
@@ -235,6 +247,10 @@ impl<'a> ShardWorker<'a> {
     /// routers. Cross-shard effects land in the shard's outboxes;
     /// everything else accumulates into `done`.
     fn plan_and_grant(&mut self, cycle: u64, done: &mut CycleDone) {
+        if P::ACTIVE {
+            self.probe.cycle_start(cycle);
+        }
+        let t = P::ACTIVE.then(Instant::now);
         self.advance_epochs(cycle, &mut done.gen);
         if cycle < self.gen_until {
             self.generate(cycle, &mut done.gen);
@@ -246,25 +262,70 @@ impl<'a> ShardWorker<'a> {
             self.shard.allocate_reference(&mut *self.router, &mut report, &mut done.deliveries);
             self.shard.age_reference();
         } else {
-            self.shard.allocate_active(&mut *self.router, &mut report, &mut done.deliveries);
-            self.shard.age_parked_heads();
+            self.shard.allocate_active(
+                &mut *self.router,
+                &mut report,
+                &mut done.deliveries,
+                &mut self.probe,
+            );
+            self.shard.age_parked_heads(&mut self.probe);
         }
         #[cfg(not(test))]
         {
-            self.shard.allocate_active(&mut *self.router, &mut report, &mut done.deliveries);
-            self.shard.age_parked_heads();
+            self.shard.allocate_active(
+                &mut *self.router,
+                &mut report,
+                &mut done.deliveries,
+                &mut self.probe,
+            );
+            self.shard.age_parked_heads(&mut self.probe);
         }
         done.moved += report.moved;
         done.flits_ejected += report.flits_ejected;
+        if P::ACTIVE {
+            let window = self.cfg.stats_window;
+            if window > 0 && (cycle + 1).is_multiple_of(window) {
+                self.shard.sample_occupancy(&mut self.probe);
+            }
+            if let Some(t) = t {
+                self.probe.phase_ns(Phase::Plan, t.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// Drains the shard's boundary outboxes, counting the messages
+    /// into the probe on the way to the neighbor shards.
+    fn take_outboxes(&mut self) -> (Vec<BoundaryMsg>, Vec<BoundaryMsg>) {
+        let (prev, next) = self.shard.take_outboxes();
+        if P::ACTIVE {
+            self.probe.boundary_out(prev.len() as u64, next.len() as u64);
+        }
+        (prev, next)
     }
 
     /// The commit half of one cycle (after the boundary exchange):
     /// land arrivals and credits, then snapshot the occupancy figures
     /// the coordinator's termination logic needs.
     fn finish_cycle(&mut self, done: &mut CycleDone) {
+        let t = P::ACTIVE.then(Instant::now);
         self.shard.commit_boundary();
         done.in_flight += self.shard.in_flight;
         done.backlog += self.sources.iter().map(|s| s.queue.len() as u64).sum::<u64>();
+        if let Some(t) = t {
+            self.probe.phase_ns(Phase::Commit, t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Run-end hook: stamps the stop classification into the probe
+    /// and, when the run wedged, walks the shard for the parked-head
+    /// wait-for graph (the deadlock post-mortem's raw material).
+    fn finish_run(&mut self, cycle: u64, reason: StopKind) {
+        if P::ACTIVE {
+            self.probe.run_stopped(cycle, reason);
+            if reason.is_wedged() {
+                self.shard.collect_wait_graph(&mut *self.router, &mut self.probe);
+            }
+        }
     }
 
     /// Generation at every healthy node of this shard, under the
@@ -340,6 +401,9 @@ impl<'a> ShardWorker<'a> {
             }
             let is_head = front.remaining == front.state.len;
             let flit = Flit { packet: front.id, is_head, is_tail: front.remaining == 1 };
+            if P::ACTIVE && is_head {
+                self.probe.inject(s.id.0, front.id);
+            }
             self.shard.inject(s.id, flit, is_head.then_some(front.state));
             front.remaining -= 1;
             if front.remaining == 0 {
@@ -361,6 +425,9 @@ struct RunState {
     deadline: u64,
     window: u64,
     stats: TrafficStats,
+    /// Why the run ended (valid once `end_of_cycle` returns `true`);
+    /// the classification the observability post-mortem keys on.
+    stop: StopKind,
     measured_outstanding: u64,
     idle_streak: u64,
     w_delivered: u64,
@@ -378,6 +445,7 @@ impl RunState {
             deadline: cfg.warmup + cfg.measure + cfg.drain,
             window: cfg.stats_window,
             stats,
+            stop: StopKind::Clean,
             measured_outstanding: 0,
             idle_streak: 0,
             w_delivered: 0,
@@ -457,6 +525,18 @@ impl RunState {
             (self.w_delivered, self.w_lat_sum, self.w_ejected, self.w_moved) = (0, 0, 0, 0);
             if obs.on_window(&sample) == WindowControl::Stop {
                 self.stats.saturated = self.measured_outstanding > 0;
+                // A stop on a delivery-free drain window is the
+                // drain-stall signature (what DrainStallObserver
+                // fires on); any other observer stop is a plain
+                // early exit.
+                self.stop = if sample.draining
+                    && sample.delivered == 0
+                    && sample.measured_outstanding > 0
+                {
+                    StopKind::DrainStall
+                } else {
+                    StopKind::Observer
+                };
                 return true;
             }
         }
@@ -479,10 +559,12 @@ impl RunState {
         // extra cycles).
         if self.idle_streak >= DEADLOCK_WINDOW && agg.in_flight > 0 {
             self.stats.deadlocked = true;
+            self.stop = StopKind::Deadlock;
             return true;
         }
         if cycle >= self.deadline && (self.idle_streak == 0 || agg.in_flight == 0) {
             self.stats.saturated = self.measured_outstanding > 0;
+            self.stop = StopKind::Deadline;
             return true;
         }
         false
@@ -711,15 +793,44 @@ impl<'p> TrafficSim<'p> {
     /// window boundary, classified exactly as at the drain deadline
     /// (`saturated` when measured packets are outstanding).
     pub fn run_with(self, obs: &mut dyn WindowObserver) -> TrafficStats {
+        self.run_observed(obs).0
+    }
+
+    /// Like [`TrafficSim::run_with`], but also returning the merged
+    /// [`ObsReport`] when recording is enabled ([`SimConfig::obs`]);
+    /// `None` at [`ObsLevel::Off`]. Recording never changes the
+    /// statistics — the instrumented run is bit-identical to the bare
+    /// one (pinned by `crate::golden`).
+    pub fn run_observed(self, obs: &mut dyn WindowObserver) -> (TrafficStats, Option<ObsReport>) {
+        let level = self.cfg.obs;
+        if level == ObsLevel::Off {
+            return (self.dispatch(obs, |_, _| NoProbe).0, None);
+        }
+        let mesh = self.env.views[0].mesh();
+        let (width, height) = (mesh.width() as usize, mesh.height() as usize);
+        let (stats, probes) = self.dispatch(obs, move |i, s: &Shard| {
+            let r = s.node_range();
+            ShardObs::new(i, r.start as u32, r.end as u32, level)
+        });
+        (stats, Some(ObsReport::assemble(width, height, probes)))
+    }
+
+    /// Routes a monomorphized run to the in-process or worker-thread
+    /// transport; `mk` builds the probe of each shard.
+    fn dispatch<P, F>(self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    where
+        P: FabricProbe + Send,
+        F: Fn(usize, &Shard) -> P,
+    {
         let shards = self.fabric.num_shards();
         #[cfg(test)]
         let in_process = shards <= 1 || self.use_reference;
         #[cfg(not(test))]
         let in_process = shards <= 1;
         if in_process {
-            self.run_in_process(obs)
+            self.run_in_process(obs, mk)
         } else {
-            self.run_threaded(obs)
+            self.run_threaded(obs, mk)
         }
     }
 
@@ -744,25 +855,35 @@ impl<'p> TrafficSim<'p> {
 
     /// The in-process transport: every shard stepped on this thread
     /// (the sequential path, and the reference-stepper path in tests).
-    fn run_in_process(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
+    /// Boundary hand-off time is folded into the commit phase here —
+    /// only the threaded transport has a distinct boundary-sync wait.
+    fn run_in_process<P, F>(mut self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    where
+        P: FabricProbe,
+        F: Fn(usize, &Shard) -> P,
+    {
         let shards = self.fabric.take_shards();
         let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
         let mut buckets = Self::partition_sources(self.sources, &ranges).into_iter();
         let env = &self.env;
         let mut tables: Vec<PathTable> =
             (1..shards.len()).map(|_| worker_table(&env.views, self.kind)).collect();
-        let mut workers: Vec<ShardWorker> = Vec::with_capacity(shards.len());
+        let mut workers: Vec<ShardWorker<'_, P>> = Vec::with_capacity(shards.len());
         let mut shard_iter = shards.into_iter();
+        let shard0 = shard_iter.next().expect("at least one shard");
+        let probe0 = mk(0, &shard0);
         workers.push(ShardWorker::new(
-            shard_iter.next().expect("at least one shard"),
+            shard0,
             buckets.next().expect("one bucket per shard"),
             self.router,
             env,
             &self.cfg,
             self.ttl,
             0,
+            probe0,
         ));
         for (i, (shard, table)) in shard_iter.zip(tables.iter_mut()).enumerate() {
+            let probe = mk(i + 1, &shard);
             workers.push(ShardWorker::new(
                 shard,
                 buckets.next().expect("one bucket per shard"),
@@ -771,6 +892,7 @@ impl<'p> TrafficSim<'p> {
                 &self.cfg,
                 self.ttl,
                 i + 1,
+                probe,
             ));
         }
         #[cfg(test)]
@@ -788,7 +910,7 @@ impl<'p> TrafficSim<'p> {
             // Boundary exchange (in-process: direct hand-off between
             // adjacent bands).
             for i in 0..workers.len() {
-                let (prev, next) = workers[i].shard.take_outboxes();
+                let (prev, next) = workers[i].take_outboxes();
                 if !prev.is_empty() {
                     workers[i - 1].shard.apply_boundary(prev);
                 }
@@ -805,7 +927,12 @@ impl<'p> TrafficSim<'p> {
                 break;
             }
         }
-        run.finish(workers.iter().map(|w| w.shard.escape_entries).sum())
+        let reason = run.stop;
+        for w in &mut workers {
+            w.finish_run(cycle, reason);
+        }
+        let stats = run.finish(workers.iter().map(|w| w.shard.escape_entries).sum());
+        (stats, workers.into_iter().map(|w| w.probe).collect())
     }
 
     /// The worker-thread transport: one scoped thread per shard beyond
@@ -814,7 +941,11 @@ impl<'p> TrafficSim<'p> {
     /// their band neighbors over channels; the coordinator gates each
     /// cycle, so no worker ever runs ahead of a termination or
     /// observer decision.
-    fn run_threaded(mut self, obs: &mut dyn WindowObserver) -> TrafficStats {
+    fn run_threaded<P, F>(mut self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    where
+        P: FabricProbe + Send,
+        F: Fn(usize, &Shard) -> P,
+    {
         let mut shards = self.fabric.take_shards();
         let n = shards.len();
         assert!(n < (1 << (32 - ID_SHARD_SHIFT)), "shard count exceeds the packet-id namespace");
@@ -855,6 +986,7 @@ impl<'p> TrafficSim<'p> {
         let mut done_tx = Some(done_tx);
 
         let shard0 = shards.remove(0);
+        let probe0 = mk(0, &shard0);
         let bucket0 = buckets.remove(0);
         let run = RunState::new(&cfg, self.stats);
 
@@ -869,16 +1001,19 @@ impl<'p> TrafficSim<'p> {
                 let recv_above = down_rx[w - 1].take().expect("one worker per lane");
                 let recv_below = (w < n - 1).then(|| up_rx[w].take().expect("one worker"));
                 let cfg = &cfg;
+                let probe = mk(w, &shard);
                 handles.push(scope.spawn(move |_| {
                     let mut paths = worker_table(&env.views, kind);
                     let router = build_hop_router(&mut paths, cfg);
-                    let mut worker = ShardWorker::new(shard, sources, router, env, cfg, ttl, w);
+                    let mut worker =
+                        ShardWorker::new(shard, sources, router, env, cfg, ttl, w, probe);
                     loop {
                         match go_rx.recv() {
                             Ok(Go::Cycle(cycle)) => {
                                 let mut done = CycleDone::default();
                                 worker.plan_and_grant(cycle, &mut done);
-                                let (prev, next) = worker.shard.take_outboxes();
+                                let t = P::ACTIVE.then(Instant::now);
+                                let (prev, next) = worker.take_outboxes();
                                 let _ = send_up.send(prev);
                                 if let Some(tx) = &send_down {
                                     let _ = tx.send(next);
@@ -893,10 +1028,19 @@ impl<'p> TrafficSim<'p> {
                                         rx.recv().expect("neighbor shard died mid-cycle"),
                                     );
                                 }
+                                if let Some(t) = t {
+                                    worker
+                                        .probe
+                                        .phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
+                                }
                                 worker.finish_cycle(&mut done);
                                 let _ = done_tx.send(done);
                             }
-                            Ok(Go::Finish) | Err(_) => return worker.shard,
+                            Ok(Go::Finish(cycle, reason)) => {
+                                worker.finish_run(cycle, reason);
+                                return (worker.shard, worker.probe);
+                            }
+                            Err(_) => return (worker.shard, worker.probe),
                         }
                     }
                 }));
@@ -909,7 +1053,7 @@ impl<'p> TrafficSim<'p> {
             done_tx = None;
 
             // Shard 0 runs here, interleaved with coordination.
-            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, env, &cfg, ttl, 0);
+            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, env, &cfg, ttl, 0, probe0);
             let mut run = run;
             let mut cycle = 0u64;
             loop {
@@ -918,10 +1062,14 @@ impl<'p> TrafficSim<'p> {
                 }
                 let mut agg = CycleDone::default();
                 w0.plan_and_grant(cycle, &mut agg);
-                let (prev, next) = w0.shard.take_outboxes();
+                let t = P::ACTIVE.then(Instant::now);
+                let (prev, next) = w0.take_outboxes();
                 debug_assert!(prev.is_empty(), "shard 0 has no previous neighbor");
                 let _ = down0_tx.send(next);
                 w0.shard.apply_boundary(up0_rx.recv().expect("worker shard died mid-cycle"));
+                if let Some(t) = t {
+                    w0.probe.phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
+                }
                 w0.finish_cycle(&mut agg);
                 for _ in 1..n {
                     agg.merge(done_rx.recv().expect("worker shard died mid-cycle"));
@@ -932,14 +1080,20 @@ impl<'p> TrafficSim<'p> {
                     break;
                 }
             }
+            let reason = run.stop;
             for tx in &go_tx {
-                let _ = tx.send(Go::Finish);
+                let _ = tx.send(Go::Finish(cycle, reason));
             }
+            w0.finish_run(cycle, reason);
             let mut escape = w0.shard.escape_entries;
+            let mut probes = Vec::with_capacity(n);
+            probes.push(w0.probe);
             for h in handles {
-                escape += h.join().expect("sharded simulation worker panicked").escape_entries;
+                let (shard, probe) = h.join().expect("sharded simulation worker panicked");
+                escape += shard.escape_entries;
+                probes.push(probe);
             }
-            run.finish(escape)
+            (run.finish(escape), probes)
         })
         .expect("sharded simulation worker panicked")
     }
@@ -966,6 +1120,17 @@ pub fn run_traffic_reusing_with(
     obs: &mut dyn WindowObserver,
 ) -> TrafficStats {
     TrafficSim::new(paths, cfg.clone()).run_with(obs)
+}
+
+/// [`run_traffic_reusing_with`] returning the merged [`ObsReport`]
+/// alongside the statistics when `cfg.obs` enables recording (see
+/// [`TrafficSim::run_observed`]).
+pub fn run_traffic_observed(
+    paths: &mut PathTable,
+    cfg: &SimConfig,
+    obs: &mut dyn WindowObserver,
+) -> (TrafficStats, Option<ObsReport>) {
+    TrafficSim::new(paths, cfg.clone()).run_observed(obs)
 }
 
 /// Routes a single packet of `len` flits from `s` to `d` through an

@@ -166,6 +166,22 @@ impl TrafficStats {
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean()
     }
+
+    /// Median measured latency in cycles (exact: the histogram has
+    /// 1-cycle-wide buckets up to its cap).
+    pub fn p50_latency(&self) -> u64 {
+        self.latency.percentile(0.50)
+    }
+
+    /// 95th-percentile measured latency in cycles.
+    pub fn p95_latency(&self) -> u64 {
+        self.latency.percentile(0.95)
+    }
+
+    /// 99th-percentile measured latency in cycles.
+    pub fn p99_latency(&self) -> u64 {
+        self.latency.percentile(0.99)
+    }
 }
 
 /// One streaming statistics window emitted by
@@ -327,6 +343,35 @@ mod tests {
         };
         assert_eq!(s.accepted_flits_per_node_cycle(), 0.4);
         assert_eq!(s.delivered_pct(), 90.0);
+    }
+
+    #[test]
+    fn stats_percentiles_read_the_latency_histogram() {
+        let mut latency = LatencyHistogram::new(128);
+        for lat in 1..=100u64 {
+            latency.record(lat);
+        }
+        let s = TrafficStats {
+            cycles: 100,
+            nodes: 10,
+            measure_window: 50,
+            generated: 100,
+            measured_generated: 100,
+            measured_delivered: 100,
+            unroutable: 0,
+            ttl_dropped: 0,
+            escape_packets: 0,
+            measured_flits_ejected: 100,
+            flits_moved: 100,
+            latency,
+            saturated: false,
+            deadlocked: false,
+            epoch_delivered: vec![100],
+            churn_dropped: 0,
+        };
+        assert_eq!(s.p50_latency(), 50);
+        assert_eq!(s.p95_latency(), 95);
+        assert_eq!(s.p99_latency(), 99);
     }
 
     #[test]
