@@ -46,10 +46,17 @@ impl JsonObject {
         self
     }
 
-    /// A float rendered with a fixed number of decimals.
+    /// A float rendered with a fixed number of decimals. Non-finite
+    /// values (a zero-duration rate, an empty-histogram mean) emit
+    /// `null` — `NaN`/`inf` are not JSON and would corrupt the
+    /// document.
     pub fn float(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
         self.key(key);
-        let _ = write!(self.buf, "{value:.decimals$}");
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.decimals$}");
+        } else {
+            self.buf.push_str("null");
+        }
         self
     }
 
@@ -166,6 +173,13 @@ mod tests {
     #[should_panic(expected = "needs escaping")]
     fn strings_requiring_escapes_are_refused() {
         JsonObject::new().string("k", "a\"b");
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        let mut o = JsonObject::new();
+        o.float("nan", f64::NAN, 2).float("inf", f64::INFINITY, 2).float("ok", 2.0, 1);
+        assert_eq!(o.render(), r#"{"nan": null, "inf": null, "ok": 2.0}"#);
     }
 
     #[test]

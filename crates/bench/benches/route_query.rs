@@ -46,6 +46,28 @@ fn bench_route_query(c: &mut Criterion) {
     }
     group.finish();
 
+    // Batched serving: the whole fixture set through route_many — one
+    // snapshot resolution and one scratch allocation per iteration —
+    // against the same pairs routed one query at a time.
+    let mut group = c.benchmark_group("route_many");
+    group.sample_size(20);
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let replies = service.route_many(&pairs);
+            criterion::black_box(replies.len())
+        });
+    });
+    group.bench_function("per_query", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &(s, d) in &pairs {
+                n += usize::from(service.route(s, d).is_ok());
+            }
+            criterion::black_box(n)
+        });
+    });
+    group.finish();
+
     // The epoch-mutation path (incremental add + remove).
     c.bench_function("route_query/epoch_update", |b| {
         let service = RouteService::new(fixture_faults(36, 7));

@@ -1,0 +1,216 @@
+//! Offline stand-in for the
+//! [`arc-swap`](https://crates.io/crates/arc-swap) crate: an atomic
+//! `Arc<T>` publication slot plus a read-side [`cache::Cache`] that
+//! makes steady-state loads a **single atomic load** — the RCU
+//! primitive behind the workspace's lock-free route-service read path.
+//!
+//! The build environment has no access to crates.io, and a truly
+//! lock-free `load_full` needs hazard pointers or deferred reclamation
+//! (what the real crate's "debt" machinery does) — out of scope for a
+//! `forbid(unsafe_code)` stand-in. This subset gets the same *scaling*
+//! behavior with safe code by splitting the read path in two:
+//!
+//! * [`ArcSwap::load_full`] takes a `Mutex` for just the `Arc` clone —
+//!   correct from any thread, but each call is two contended RMWs
+//!   (lock word) plus one more (the `Arc` refcount);
+//! * [`cache::Cache::load`] keeps a thread-owned clone and revalidates
+//!   it against the slot's sequence counter: while the slot is
+//!   unchanged, a load is **one `Acquire` load of a read-mostly cache
+//!   line and zero shared-line writes**, so any number of reader
+//!   threads scale linearly. Only the load that observes a new
+//!   sequence number touches the mutex (once per published value per
+//!   thread).
+//!
+//! ## Memory-ordering contract
+//!
+//! [`store`](ArcSwap::store) replaces the slot and bumps the sequence
+//! counter (`Release`) *while holding the writer mutex*, so the counter
+//! and the slot always change together. A reader that `Acquire`-loads
+//! the counter and sees a new value takes the mutex to refresh, and the
+//! mutex acquisition orders the slot read after the slot write. A
+//! reader whose cached sequence still matches uses its own earlier
+//! clone — valid without synchronization because the thread owns that
+//! `Arc` reference. Staleness is bounded by the race window of a single
+//! load: the counter is re-checked on **every** `Cache::load`, so a
+//! cached value is used at most one publication behind a concurrent
+//! `store`, which is ordinary RCU semantics.
+//!
+//! Deliberate API divergences from the real crate (adapted at the one
+//! call site when the registry dependency lands): [`cache::Cache`] is a
+//! plain value that takes the [`ArcSwap`] as a `load` argument instead
+//! of owning a handle to it, and `load` returns `&Arc<T>` rather than a
+//! guard type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomic `Arc<T>` slot: writers [`store`](ArcSwap::store) new
+/// values without ever blocking readers that go through a
+/// [`cache::Cache`]; readers either clone the current value
+/// ([`load_full`](ArcSwap::load_full)) or revalidate a thread-owned
+/// clone against [`seq`](ArcSwap::seq).
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    /// Bumped (under the mutex, `Release`) once per `store`/`swap`.
+    seq: AtomicU64,
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// A slot holding `initial` (sequence number 0).
+    pub fn new(initial: Arc<T>) -> Self {
+        ArcSwap { seq: AtomicU64::new(0), slot: Mutex::new(initial) }
+    }
+
+    /// A slot holding `Arc::new(value)`.
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// The slot's sequence number (`Acquire`): changes exactly when the
+    /// stored value changes. [`cache::Cache`] compares against this to
+    /// skip the mutex on the hot path.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Clones the current value (brief mutex hold — the clone only).
+    pub fn load_full(&self) -> Arc<T> {
+        self.slot.lock().expect("arc-swap slot poisoned").clone()
+    }
+
+    /// Publishes `new`, dropping the previous value.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publishes `new` and returns the previous value.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let mut slot = self.slot.lock().expect("arc-swap slot poisoned");
+        let old = std::mem::replace(&mut *slot, new);
+        // Bumped before unlock so (seq, slot) can never be observed
+        // torn by a refresh, which reads both under this mutex.
+        self.seq.fetch_add(1, Ordering::Release);
+        old
+    }
+
+    /// The current value and sequence number, read consistently (used
+    /// by [`cache::Cache`] refreshes).
+    fn load_with_seq(&self) -> (Arc<T>, u64) {
+        let slot = self.slot.lock().expect("arc-swap slot poisoned");
+        let value = slot.clone();
+        let seq = self.seq.load(Ordering::Acquire);
+        (value, seq)
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        ArcSwap::from_pointee(T::default())
+    }
+}
+
+pub mod cache {
+    //! The read-side cache: one per reader thread (or per reader
+    //! struct), revalidated on every load.
+
+    use super::{Arc, ArcSwap};
+
+    /// A thread-owned clone of an [`ArcSwap`]'s value plus the sequence
+    /// number it was taken at. [`load`](Cache::load) returns the clone
+    /// without touching any shared mutable state while the slot is
+    /// unchanged.
+    #[derive(Debug, Default)]
+    pub struct Cache<T> {
+        cached: Option<(u64, Arc<T>)>,
+    }
+
+    impl<T> Cache<T> {
+        /// An empty cache (the first load refreshes).
+        pub fn new() -> Self {
+            Cache { cached: None }
+        }
+
+        /// The current value of `swap`: one `Acquire` sequence load
+        /// when the cache is fresh, a brief mutex refresh when `swap`
+        /// has published since the last load.
+        pub fn load<'a>(&'a mut self, swap: &ArcSwap<T>) -> &'a Arc<T> {
+            let seq = swap.seq();
+            let fresh = matches!(&self.cached, Some((cached_seq, _)) if *cached_seq == seq);
+            if !fresh {
+                let (value, seq) = swap.load_with_seq();
+                self.cached = Some((seq, value));
+            }
+            &self.cached.as_ref().expect("cache was just filled").1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cache::Cache;
+    use super::*;
+
+    #[test]
+    fn store_changes_what_loads_see() {
+        let slot = ArcSwap::from_pointee(1u32);
+        assert_eq!(*slot.load_full(), 1);
+        assert_eq!(slot.seq(), 0);
+        slot.store(Arc::new(2));
+        assert_eq!(*slot.load_full(), 2);
+        assert_eq!(slot.seq(), 1);
+        assert_eq!(*slot.swap(Arc::new(3)), 2, "swap returns the old value");
+        assert_eq!(*slot.load_full(), 3);
+    }
+
+    #[test]
+    fn cache_revalidates_on_every_load() {
+        let slot = ArcSwap::from_pointee(10u32);
+        let mut cache = Cache::new();
+        assert_eq!(**cache.load(&slot), 10);
+        // A fresh cache skips the refresh: the Arc address is stable.
+        let first = Arc::as_ptr(cache.load(&slot));
+        assert_eq!(Arc::as_ptr(cache.load(&slot)), first);
+        slot.store(Arc::new(11));
+        assert_eq!(**cache.load(&slot), 11, "a publish invalidates the cache");
+    }
+
+    #[test]
+    fn old_values_stay_alive_while_cached() {
+        let slot = ArcSwap::from_pointee(String::from("epoch-0"));
+        let mut cache = Cache::new();
+        let held = Arc::clone(cache.load(&slot));
+        slot.store(Arc::new(String::from("epoch-1")));
+        assert_eq!(*held, "epoch-0", "readers keep their snapshot");
+        assert_eq!(**cache.load(&slot), "epoch-1");
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_published_values() {
+        let slot = Arc::new(ArcSwap::from_pointee(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let slot = &slot;
+                scope.spawn(move || {
+                    let mut cache = Cache::new();
+                    let mut last = 0;
+                    for _ in 0..10_000 {
+                        let v = **cache.load(slot);
+                        assert!(v >= last, "published values are monotone: {v} < {last}");
+                        last = v;
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for v in 1..=100u64 {
+                    slot.store(Arc::new(v));
+                }
+            });
+        });
+        assert_eq!(**Cache::new().load(&slot), 100);
+    }
+}

@@ -1,0 +1,210 @@
+//! The per-epoch warm route cache: a striped memo of full query
+//! outcomes, keyed by `(source, destination)` node ids.
+//!
+//! One [`RouteCache`] belongs to exactly one published epoch (the
+//! service allocates a fresh, empty cache per publication), so entries
+//! can never go stale: a fault mutation publishes a new epoch with a
+//! new cache and readers that still hold the old snapshot keep the old
+//! cache. This is the precomputed all-pairs serving pattern — warmed
+//! lazily by real queries instead of an upfront Floyd–Warshall pass, so
+//! a publication costs nothing and only the queried region of the pair
+//! space is ever materialized.
+//!
+//! Entries store the **complete** service-level outcome — the delivered
+//! path compressed to its hop directions plus the engine statistics, or
+//! the typed routing error — so a cache hit reconstructs a reply
+//! bit-identical to re-running the router on the epoch's snapshot (the
+//! equivalence the service's stress tests pin).
+//!
+//! Interior mutability is striped: the pair key hashes to one of
+//! [`STRIPES`] independent `RwLock`ed maps, so concurrent readers
+//! filling disjoint slots contend only when their pairs collide on a
+//! stripe — there is no global lock, and at the service's default node
+//! budget the stripes stay tiny.
+
+use std::sync::RwLock;
+
+use meshpath_mesh::{Coord, Dir, FxHashMap, Mesh};
+use meshpath_route::RouteResult;
+
+use crate::service::RouteError;
+
+/// Number of independently locked cache stripes. A power of two so the
+/// stripe selector is a mask; 64 keeps reader collisions rare at any
+/// plausible thread count while costing only 64 empty maps per epoch.
+pub(crate) const STRIPES: usize = 64;
+
+/// One memoized query outcome (everything after endpoint validation,
+/// which is cheaper than the lookup and therefore never cached).
+#[derive(Clone, Debug)]
+enum CachedRoute {
+    /// A delivered route: the path as successive hop directions
+    /// (2 bits of information each, stored as one byte) plus the
+    /// engine's per-message statistics.
+    Delivered { dirs: Box<[Dir]>, replans: u32, fallbacks: u32, detour_hops: u32 },
+    /// The typed error the service classified for this pair.
+    Failed(RouteError),
+}
+
+/// A lazily filled, striped memo of query outcomes for one epoch.
+pub(crate) struct RouteCache {
+    stripes: Box<[RwLock<FxHashMap<u64, CachedRoute>>]>,
+}
+
+impl RouteCache {
+    /// An empty cache (allocates only the stripe array).
+    pub(crate) fn new() -> Self {
+        let stripes = (0..STRIPES).map(|_| RwLock::new(FxHashMap::default())).collect();
+        RouteCache { stripes }
+    }
+
+    #[inline]
+    fn key(mesh: &Mesh, s: Coord, d: Coord) -> u64 {
+        ((mesh.id(s).0 as u64) << 32) | mesh.id(d).0 as u64
+    }
+
+    #[inline]
+    fn stripe(key: u64) -> usize {
+        // Source and destination ids both contribute, so row-major query
+        // sweeps spread across stripes instead of marching through one.
+        ((key ^ (key >> 32)).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (STRIPES - 1)
+    }
+
+    /// The memoized outcome for `(s, d)`, reconstructed, or `None` on a
+    /// miss. Takes one stripe read lock.
+    pub(crate) fn lookup(
+        &self,
+        mesh: &Mesh,
+        s: Coord,
+        d: Coord,
+    ) -> Option<Result<RouteResult, RouteError>> {
+        let key = Self::key(mesh, s, d);
+        let stripe = self.stripes[Self::stripe(key)].read().expect("route cache stripe poisoned");
+        stripe.get(&key).map(|cached| Self::materialize(s, cached))
+    }
+
+    /// Memoizes a freshly computed outcome for `(s, d)`. Takes one
+    /// stripe write lock; concurrent fillers of the same pair insert
+    /// identical values (the router is deterministic), so last-write
+    /// ordering is immaterial.
+    pub(crate) fn fill(
+        &self,
+        mesh: &Mesh,
+        s: Coord,
+        d: Coord,
+        outcome: &Result<RouteResult, RouteError>,
+    ) {
+        let cached = match outcome {
+            Ok(res) => {
+                debug_assert!(res.delivered, "only delivered results are Ok at the service layer");
+                let dirs = res
+                    .path
+                    .windows(2)
+                    .map(|w| w[0].dir_to(w[1]).expect("cached path hops join neighbors"))
+                    .collect();
+                CachedRoute::Delivered {
+                    dirs,
+                    replans: res.replans,
+                    fallbacks: res.fallbacks,
+                    detour_hops: res.detour_hops,
+                }
+            }
+            // Routing-level failures are worth memoizing (they cost a
+            // full BFS classification); endpoint-validation errors never
+            // reach the cache — the checks are cheaper than a lookup.
+            Err(e @ (RouteError::Unreachable { .. } | RouteError::Undelivered { .. })) => {
+                CachedRoute::Failed(*e)
+            }
+            Err(_) => return,
+        };
+        let key = Self::key(mesh, s, d);
+        self.stripes[Self::stripe(key)]
+            .write()
+            .expect("route cache stripe poisoned")
+            .insert(key, cached);
+    }
+
+    /// Number of memoized pairs (test/diagnostic use; takes every
+    /// stripe read lock in turn).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().expect("route cache stripe poisoned").len()).sum()
+    }
+
+    fn materialize(s: Coord, cached: &CachedRoute) -> Result<RouteResult, RouteError> {
+        match cached {
+            CachedRoute::Delivered { dirs, replans, fallbacks, detour_hops } => {
+                let mut path = Vec::with_capacity(dirs.len() + 1);
+                path.push(s);
+                let mut cur = s;
+                for &dir in dirs.iter() {
+                    cur = cur.step(dir);
+                    path.push(cur);
+                }
+                Ok(RouteResult {
+                    path,
+                    delivered: true,
+                    replans: *replans,
+                    fallbacks: *fallbacks,
+                    detour_hops: *detour_hops,
+                })
+            }
+            CachedRoute::Failed(e) => Err(*e),
+        }
+    }
+}
+
+impl std::fmt::Debug for RouteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteCache").field("stripes", &STRIPES).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+    use meshpath_route::{NetView, RoutingKind};
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let mesh = Mesh::square(10);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(4, 4), Coord::new(5, 4)]));
+        let router = RoutingKind::Rb2.router();
+        let cache = RouteCache::new();
+        let pairs = [(Coord::new(0, 0), Coord::new(9, 9)), (Coord::new(4, 0), Coord::new(4, 9))];
+        for (s, d) in pairs {
+            let fresh = router.route(&net, s, d);
+            assert!(fresh.delivered);
+            cache.fill(net.mesh(), s, d, &Ok(fresh.clone()));
+            let hit = cache.lookup(net.mesh(), s, d).expect("just filled").expect("delivered");
+            assert_eq!(hit, fresh, "cache hits reconstruct the exact result");
+        }
+        assert_eq!(cache.len(), pairs.len());
+        assert!(cache.lookup(net.mesh(), Coord::new(1, 1), Coord::new(2, 2)).is_none());
+    }
+
+    #[test]
+    fn routing_errors_are_memoized_but_validation_errors_are_not() {
+        let mesh = Mesh::square(6);
+        let cache = RouteCache::new();
+        let (s, d) = (Coord::new(0, 0), Coord::new(5, 5));
+        let unreachable = RouteError::Unreachable { src: s, dst: d };
+        cache.fill(&mesh, s, d, &Err(unreachable));
+        assert_eq!(cache.lookup(&mesh, s, d), Some(Err(unreachable)));
+        let (s2, d2) = (Coord::new(1, 0), Coord::new(5, 5));
+        cache.fill(&mesh, s2, d2, &Err(RouteError::SourceFaulty(s2)));
+        assert!(cache.lookup(&mesh, s2, d2).is_none(), "validation errors skip the cache");
+    }
+
+    #[test]
+    fn stripes_spread_row_major_sweeps() {
+        let mesh = Mesh::square(16);
+        let mut used = std::collections::HashSet::new();
+        let d = Coord::new(15, 15);
+        for s in mesh.iter().take(STRIPES) {
+            used.insert(RouteCache::stripe(RouteCache::key(&mesh, s, d)));
+        }
+        assert!(used.len() > STRIPES / 4, "sweep collapsed onto {} stripes", used.len());
+    }
+}

@@ -60,6 +60,14 @@
 //! let oracle = DistanceField::healthy(view.faults(), Coord::new(13, 13));
 //! assert_eq!(reply.hops(), oracle.dist(Coord::new(2, 2)));
 //!
+//! // Batches resolve the snapshot once and reuse router scratch:
+//! // every reply is exactly what `route` would answer, in order.
+//! let replies = service.route_many(&[
+//!     (Coord::new(2, 2), Coord::new(13, 13)),
+//!     (Coord::new(0, 15), Coord::new(15, 0)),
+//! ]);
+//! assert_eq!(replies[0].as_ref().unwrap().epoch, 0);
+//!
 //! // Failures are typed, not stringly.
 //! assert_eq!(
 //!     service.route(Coord::new(8, 8), Coord::new(0, 0)).err(),
@@ -72,6 +80,38 @@
 //! assert_eq!(service.route(Coord::new(2, 2), Coord::new(13, 13)).unwrap().epoch, 1);
 //! assert_eq!(view.epoch(), 0);
 //! ```
+//!
+//! ## The lock-free read path
+//!
+//! Queries never take a lock. Mutations build the next epoch on a
+//! writer-side [`NetState`](prelude::NetState) (under a mutex only
+//! writers touch) and *publish* it RCU-style into an atomic slot; each
+//! reader thread keeps its own clone of the published snapshot and
+//! revalidates it with **one `Acquire` load** of the slot's sequence
+//! counter per query — in steady state the read path performs **zero
+//! shared-memory writes**, so throughput scales with query threads
+//! instead of inverting under read-lock contention.
+//!
+//! The memory-ordering contract: the writer bumps the sequence counter
+//! with `Release` ordering *after* installing the new snapshot, both
+//! under the writer mutex, so a reader that `Acquire`-observes the new
+//! counter also observes the complete snapshot (never torn), and
+//! epochs are observed in publication order. A reader between those
+//! two instants answers at the previous epoch — ordinary RCU
+//! staleness; every answered epoch is one the writer published
+//! (`tests/service_rcu.rs` races threads to pin exactly this).
+//!
+//! Three serving layers sit on that snapshot:
+//!
+//! * [`route`](RouteService::route) — one query, one epoch check;
+//! * [`route_many`](RouteService::route_many) — a batch against one
+//!   snapshot resolution, sharing router scratch across the batch;
+//! * the **per-epoch warm route cache** — meshes up to a configurable
+//!   node budget ([`RouteService::with_route_cache`], default
+//!   [`DEFAULT_CACHE_NODES`] nodes) lazily memoize full query outcomes
+//!   per epoch (striped, no global lock), so repeated pairs are
+//!   answered by path reconstruction, bit-identical to re-running the
+//!   router; larger meshes route on demand per hop.
 //!
 //! For direct, service-free use the same pieces compose by hand:
 //! [`NetState`](prelude::NetState) owns the mutable state,
@@ -107,9 +147,10 @@ pub use meshpath_route as route;
 pub use meshpath_sim as sim;
 pub use meshpath_traffic as traffic;
 
+mod cache;
 mod service;
 
-pub use service::{RouteError, RouteReply, RouteService, ServiceMetrics};
+pub use service::{RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES};
 
 /// The items most programs need.
 pub mod prelude {
@@ -130,7 +171,9 @@ pub mod prelude {
         TrafficStats, VcClass, PIPELINE_DEPTH,
     };
 
-    pub use crate::service::{RouteError, RouteReply, RouteService, ServiceMetrics};
+    pub use crate::service::{
+        RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
+    };
 }
 
 #[cfg(test)]

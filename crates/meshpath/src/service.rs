@@ -1,26 +1,68 @@
 //! [`RouteService`]: the concurrent query facade over the
-//! epoch-versioned network state.
+//! epoch-versioned network state, with a **lock-free read path**.
 //!
-//! One service owns a [`NetState`] (behind an `RwLock` touched only by
-//! mutations and snapshot grabs — never held across a routing
-//! computation) and a stateless [`Router`]. Any number of threads can
-//! call [`RouteService::route`] concurrently: each query clones the
-//! current [`NetView`] (one atomic increment) and runs the per-hop
-//! engine against that immutable snapshot, so queries never block each
-//! other and a concurrent [`add_fault`](RouteService::add_fault) /
-//! [`remove_fault`](RouteService::remove_fault) never invalidates a
-//! query in flight — it publishes the next epoch for *subsequent*
-//! queries.
+//! ## RCU epoch publication
+//!
+//! The service keeps its writer state (a [`NetState`]) behind a plain
+//! `Mutex` that only mutations touch. Every successful
+//! [`add_fault`](RouteService::add_fault) /
+//! [`remove_fault`](RouteService::remove_fault) publishes the new
+//! epoch's [`NetView`] (plus a fresh per-epoch route cache) into an
+//! [`arc_swap::ArcSwap`] slot — readers are never blocked, and in-flight
+//! queries keep the snapshot they started with.
+//!
+//! Readers do **not** take any lock, and in steady state they perform
+//! **zero shared-memory writes**: each thread keeps a thread-local
+//! clone of the published snapshot and revalidates it against the
+//! slot's sequence counter — one `Acquire` load of a read-mostly cache
+//! line per query. Only the first query a thread issues after a
+//! publication refreshes (a brief mutex-protected `Arc` clone). The
+//! memory-ordering contract lives with the primitive
+//! (`arc_swap`, the workspace's offline stand-in): the counter is
+//! bumped `Release` together with the slot under the writer mutex, the
+//! reader `Acquire`-loads the counter on *every* query, so a reader is
+//! never more than one in-flight publication behind — ordinary RCU
+//! staleness, and every answered epoch is a published epoch.
+//!
+//! ## Batched queries
+//!
+//! [`route_many`](RouteService::route_many) answers a whole batch
+//! against one snapshot resolution: the per-query epoch check, the
+//! router scratch allocations ([`HopState`] reuse via
+//! [`Router::route_with`]) and the metrics/latency bookkeeping are all
+//! paid once per batch.
+//!
+//! ## Per-epoch warm route cache
+//!
+//! For meshes up to the node budget
+//! ([`with_route_cache`](RouteService::with_route_cache), default
+//! [`DEFAULT_CACHE_NODES`]) each published epoch carries a lazily
+//! filled all-pairs outcome memo (striped interior mutability — see
+//! `crate::cache`): repeated queries for a pair are answered by path
+//! reconstruction instead of re-running the router, bit-identical to a
+//! fresh computation. Larger meshes skip the cache and route on demand
+//! per hop, so the design survives meshes far beyond the memo's memory
+//! budget.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use arc_swap::{cache::Cache, ArcSwap};
 use meshpath_mesh::Coord;
-use meshpath_obs::{AtomicLogHistogram, LogHistogram};
+use meshpath_obs::{AtomicLogHistogram, HitMiss, LogHistogram};
 use meshpath_route::oracle::DistanceField;
-use meshpath_route::{NetState, NetView, RouteResult, Router, RoutingKind, UpdateError};
+use meshpath_route::{HopState, NetState, NetView, RouteResult, Router, RoutingKind, UpdateError};
+
+use crate::cache::RouteCache;
+
+/// Default node budget for the per-epoch warm route cache: meshes up to
+/// this many nodes (32×32) memoize query outcomes per epoch; larger
+/// meshes always route on demand. Override per service with
+/// [`RouteService::with_route_cache`].
+pub const DEFAULT_CACHE_NODES: usize = 1024;
 
 /// Why a route query failed. Every variant names the offending
 /// coordinates, so callers can log or retry without re-deriving
@@ -91,10 +133,11 @@ impl RouteReply {
 ///
 /// Opt-in: a service built with
 /// [`with_metrics`](RouteService::with_metrics) records; the plain
-/// constructors skip all instrumentation (no clock reads on the query
-/// path). Latency histograms are log-bucketed
-/// ([`meshpath_obs::LogHistogram`]), so recording is O(1) and
-/// percentiles are bounds, not exact order statistics.
+/// constructors skip all instrumentation (no clock reads and no shared
+/// counter writes on the query path — the zero-shared-write scaling
+/// claim holds only with metrics off). Latency histograms are
+/// log-bucketed ([`meshpath_obs::LogHistogram`]), so recording is O(1)
+/// and percentiles are bounds, not exact order statistics.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
     queries_ok: AtomicU64,
@@ -102,15 +145,19 @@ pub struct ServiceMetrics {
     query_ns: AtomicLogHistogram,
     updates: AtomicU64,
     update_ns: AtomicLogHistogram,
+    route_cache: HitMiss,
+    batches: AtomicU64,
+    batch_size: AtomicLogHistogram,
+    batch_ns: AtomicLogHistogram,
 }
 
 impl ServiceMetrics {
-    /// Route queries answered successfully.
+    /// Route queries answered successfully (single and batched).
     pub fn queries_ok(&self) -> u64 {
         self.queries_ok.load(Ordering::Relaxed)
     }
 
-    /// Route queries that returned a typed error.
+    /// Route queries that returned a typed error (single and batched).
     pub fn queries_err(&self) -> u64 {
         self.queries_err.load(Ordering::Relaxed)
     }
@@ -120,7 +167,9 @@ impl ServiceMetrics {
         self.updates.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the per-query wall-time histogram (nanoseconds).
+    /// Snapshot of the per-query wall-time histogram (nanoseconds;
+    /// single-query path only — batches record into
+    /// [`batch_ns`](ServiceMetrics::batch_ns)).
     pub fn query_ns(&self) -> LogHistogram {
         self.query_ns.snapshot()
     }
@@ -130,14 +179,81 @@ impl ServiceMetrics {
     pub fn update_ns(&self) -> LogHistogram {
         self.update_ns.snapshot()
     }
+
+    /// Warm route-cache hits (queries answered by path reconstruction).
+    pub fn cache_hits(&self) -> u64 {
+        self.route_cache.hits()
+    }
+
+    /// Warm route-cache misses (queries that ran the router; the
+    /// outcome was memoized for the rest of the epoch).
+    pub fn cache_misses(&self) -> u64 {
+        self.route_cache.misses()
+    }
+
+    /// Cache hit fraction in `[0, 1]` (0.0 when the cache is disabled
+    /// or untouched; never `NaN`).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.route_cache.hit_rate()
+    }
+
+    /// [`route_many`](RouteService::route_many) batches served.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the batch-size histogram (pairs per
+    /// [`route_many`](RouteService::route_many) call).
+    pub fn batch_size(&self) -> LogHistogram {
+        self.batch_size.snapshot()
+    }
+
+    /// Snapshot of the per-batch wall-time histogram (nanoseconds).
+    pub fn batch_ns(&self) -> LogHistogram {
+        self.batch_ns.snapshot()
+    }
+}
+
+/// What one publication makes visible to readers, atomically: the
+/// epoch's snapshot and its (optional) warm route cache.
+#[derive(Debug)]
+struct Served {
+    view: NetView,
+    cache: Option<RouteCache>,
+}
+
+/// Source of unique service ids for the thread-local snapshot caches
+/// (ids, unlike addresses, are never reused by a later service).
+static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Per-thread snapshot caches, keyed by service id: each entry owns a
+/// thread-local clone of one service's published [`Served`], so the
+/// steady-state query path touches no shared mutable memory at all.
+/// Bounded: a thread routing against more services than the cap evicts
+/// its oldest entry (correctness is unaffected — eviction only costs
+/// the next query one refresh).
+const THREAD_CACHE_CAP: usize = 8;
+
+thread_local! {
+    static SERVED_CACHE: RefCell<Vec<(u64, Cache<Served>)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The query facade: answers concurrent route queries against the
-/// current snapshot and applies incremental fault updates.
+/// current snapshot — lock-free, via RCU epoch publication — and
+/// applies incremental fault updates on a writer-side mutex.
 pub struct RouteService {
-    state: RwLock<NetState>,
+    /// Writer state; taken only by mutations, never by queries.
+    writer: Mutex<NetState>,
+    /// The published epoch: readers revalidate thread-local clones
+    /// against this slot's sequence counter.
+    current: ArcSwap<Served>,
+    /// Key for the thread-local snapshot caches.
+    id: u64,
     router: Box<dyn Router + Send + Sync>,
     metrics: Option<ServiceMetrics>,
+    /// Warm-cache node budget: epochs of meshes up to this many nodes
+    /// carry a route cache; larger meshes route on demand.
+    cache_nodes: usize,
 }
 
 impl RouteService {
@@ -149,27 +265,49 @@ impl RouteService {
 
     /// A service over `faults`, routing with the given function.
     pub fn with_kind(faults: meshpath_mesh::FaultSet, kind: RoutingKind) -> Self {
-        RouteService {
-            state: RwLock::new(NetState::new(faults)),
-            router: kind.router(),
-            metrics: None,
-        }
+        RouteService::from_state(NetState::new(faults), kind)
     }
 
     /// A service adopting an existing snapshot (keeps its epoch).
     pub fn adopt(view: NetView, kind: RoutingKind) -> Self {
+        RouteService::from_state(NetState::adopt(view), kind)
+    }
+
+    fn from_state(state: NetState, kind: RoutingKind) -> Self {
+        let cache_nodes = DEFAULT_CACHE_NODES;
+        let current = ArcSwap::new(Self::serve(state.view(), cache_nodes));
         RouteService {
-            state: RwLock::new(NetState::adopt(view)),
+            writer: Mutex::new(state),
+            current,
+            id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
             router: kind.router(),
             metrics: None,
+            cache_nodes,
         }
     }
 
     /// This service with [`ServiceMetrics`] recording enabled
-    /// (builder): every query and fault update is counted and timed.
+    /// (builder): every query, batch and fault update is counted and
+    /// timed, and route-cache hits/misses are tracked.
     pub fn with_metrics(mut self) -> Self {
         self.metrics = Some(ServiceMetrics::default());
         self
+    }
+
+    /// This service with the warm route cache's node budget set to
+    /// `nodes` (builder): epochs of meshes with at most `nodes` nodes
+    /// memoize query outcomes; `0` disables the cache entirely. The
+    /// default is [`DEFAULT_CACHE_NODES`].
+    pub fn with_route_cache(mut self, nodes: usize) -> Self {
+        self.cache_nodes = nodes;
+        let view = self.writer.get_mut().expect("route service writer poisoned").view();
+        self.current.store(Self::serve(view, nodes));
+        self
+    }
+
+    fn serve(view: NetView, cache_nodes: usize) -> Arc<Served> {
+        let cache = (view.mesh().len() <= cache_nodes).then(RouteCache::new);
+        Arc::new(Served { view, cache })
     }
 
     /// The recorded metrics, when
@@ -178,15 +316,15 @@ impl RouteService {
         self.metrics.as_ref()
     }
 
-    /// The current snapshot (cheap clone — the lock is held only for
-    /// the `Arc` bump, never across analysis or routing).
+    /// The current snapshot (cheap clone of the published view; never
+    /// blocks on mutations beyond the `Arc` bump).
     pub fn view(&self) -> NetView {
-        self.state.read().expect("route service lock poisoned").view()
+        self.with_served(|served| served.view.clone())
     }
 
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
-        self.view().epoch()
+        self.with_served(|served| served.view.epoch())
     }
 
     /// The routing function's display name.
@@ -194,14 +332,75 @@ impl RouteService {
         self.router.name()
     }
 
-    /// Routes one message on the current snapshot. Concurrent-safe:
-    /// the query runs entirely against its own snapshot clone.
+    /// Runs `f` against the thread-locally cached publication,
+    /// revalidated against the RCU slot (one `Acquire` load when fresh).
+    /// `f` must not re-enter the service (internal invariant: routing
+    /// never calls back into `RouteService`).
+    fn with_served<R>(&self, f: impl FnOnce(&Served) -> R) -> R {
+        SERVED_CACHE.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            let idx = match tl.iter().position(|(id, _)| *id == self.id) {
+                Some(i) => i,
+                None => {
+                    if tl.len() >= THREAD_CACHE_CAP {
+                        tl.remove(0);
+                    }
+                    tl.push((self.id, Cache::new()));
+                    tl.len() - 1
+                }
+            };
+            f(tl[idx].1.load(&self.current))
+        })
+    }
+
+    /// Routes one message on the current snapshot. Concurrent-safe and
+    /// lock-free: the query runs entirely against the thread's
+    /// revalidated snapshot clone, consulting the epoch's warm route
+    /// cache when one exists.
     pub fn route(&self, src: Coord, dst: Coord) -> Result<RouteReply, RouteError> {
-        self.route_on(&self.view(), src, dst)
+        let t = self.metrics.as_ref().map(|_| Instant::now());
+        let reply = self.with_served(|served| self.route_served(served, src, dst, None));
+        if let (Some(m), Some(t)) = (&self.metrics, t) {
+            m.query_ns.record(t.elapsed().as_nanos() as u64);
+            match &reply {
+                Ok(_) => m.queries_ok.fetch_add(1, Ordering::Relaxed),
+                Err(_) => m.queries_err.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        reply
+    }
+
+    /// Routes a whole batch against **one** snapshot resolution: every
+    /// reply carries the same epoch, router scratch is allocated once
+    /// and reused across the batch ([`Router::route_with`]), and
+    /// metrics/latency bookkeeping is amortized to one record per
+    /// batch. Replies are returned in the order of `pairs`, each
+    /// exactly what [`route`](RouteService::route) would have answered
+    /// at this epoch.
+    pub fn route_many(&self, pairs: &[(Coord, Coord)]) -> Vec<Result<RouteReply, RouteError>> {
+        let t = self.metrics.as_ref().map(|_| Instant::now());
+        let replies = self.with_served(|served| {
+            let mut scratch = HopState::new(Coord::new(0, 0));
+            pairs
+                .iter()
+                .map(|&(s, d)| self.route_served(served, s, d, Some(&mut scratch)))
+                .collect::<Vec<_>>()
+        });
+        if let (Some(m), Some(t)) = (&self.metrics, t) {
+            m.batch_ns.record(t.elapsed().as_nanos() as u64);
+            m.batches.fetch_add(1, Ordering::Relaxed);
+            m.batch_size.record(pairs.len() as u64);
+            let ok = replies.iter().filter(|r| r.is_ok()).count() as u64;
+            m.queries_ok.fetch_add(ok, Ordering::Relaxed);
+            m.queries_err.fetch_add(replies.len() as u64 - ok, Ordering::Relaxed);
+        }
+        replies
     }
 
     /// Routes one message on a caller-held snapshot (e.g. to answer a
-    /// batch against one consistent epoch while mutations proceed).
+    /// batch against one consistent historic epoch while mutations
+    /// proceed). Bypasses the warm route cache — the cache belongs to
+    /// the *published* epoch, which `view` need not be.
     pub fn route_on(
         &self,
         view: &NetView,
@@ -209,10 +408,10 @@ impl RouteService {
         dst: Coord,
     ) -> Result<RouteReply, RouteError> {
         let Some(m) = &self.metrics else {
-            return self.route_inner(view, src, dst);
+            return self.route_uncached(view, src, dst, None);
         };
         let t = Instant::now();
-        let reply = self.route_inner(view, src, dst);
+        let reply = self.route_uncached(view, src, dst, None);
         m.query_ns.record(t.elapsed().as_nanos() as u64);
         match &reply {
             Ok(_) => m.queries_ok.fetch_add(1, Ordering::Relaxed),
@@ -221,12 +420,51 @@ impl RouteService {
         reply
     }
 
-    fn route_inner(
+    /// One query against a resolved publication: validation, then the
+    /// epoch's warm cache (when present), then the router.
+    fn route_served(
+        &self,
+        served: &Served,
+        src: Coord,
+        dst: Coord,
+        scratch: Option<&mut HopState>,
+    ) -> Result<RouteReply, RouteError> {
+        let view = &served.view;
+        self.validate(view, src, dst)?;
+        let Some(cache) = &served.cache else {
+            return self
+                .compute(view, src, dst, scratch)
+                .map(|result| RouteReply { epoch: view.epoch(), result });
+        };
+        if let Some(outcome) = cache.lookup(view.mesh(), src, dst) {
+            if let Some(m) = &self.metrics {
+                m.route_cache.hit();
+            }
+            return outcome.map(|result| RouteReply { epoch: view.epoch(), result });
+        }
+        if let Some(m) = &self.metrics {
+            m.route_cache.miss();
+        }
+        let outcome = self.compute(view, src, dst, scratch);
+        cache.fill(view.mesh(), src, dst, &outcome);
+        outcome.map(|result| RouteReply { epoch: view.epoch(), result })
+    }
+
+    /// The cacheless query path (historic snapshots, over-budget
+    /// meshes before validation).
+    fn route_uncached(
         &self,
         view: &NetView,
         src: Coord,
         dst: Coord,
+        scratch: Option<&mut HopState>,
     ) -> Result<RouteReply, RouteError> {
+        self.validate(view, src, dst)?;
+        self.compute(view, src, dst, scratch)
+            .map(|result| RouteReply { epoch: view.epoch(), result })
+    }
+
+    fn validate(&self, view: &NetView, src: Coord, dst: Coord) -> Result<(), RouteError> {
         let mesh = view.mesh();
         for c in [src, dst] {
             if !mesh.contains(c) {
@@ -239,9 +477,24 @@ impl RouteService {
         if view.faults().is_faulty(dst) {
             return Err(RouteError::DestinationFaulty(dst));
         }
-        let result = self.router.route(view, src, dst);
+        Ok(())
+    }
+
+    /// Runs the router (reusing `scratch` when the caller batches) and
+    /// classifies a non-delivery.
+    fn compute(
+        &self,
+        view: &NetView,
+        src: Coord,
+        dst: Coord,
+        scratch: Option<&mut HopState>,
+    ) -> Result<RouteResult, RouteError> {
+        let result = match scratch {
+            Some(state) => self.router.route_with(view, src, dst, state),
+            None => self.router.route(view, src, dst),
+        };
         if result.delivered {
-            return Ok(RouteReply { epoch: view.epoch(), result });
+            return Ok(result);
         }
         // Classify the failure: disconnection is the expected cause; a
         // connected pair the router gave up on is reported distinctly.
@@ -253,12 +506,14 @@ impl RouteService {
     }
 
     /// Marks `c` faulty (incremental update; see
-    /// [`NetState::add_fault`]) and returns the new epoch.
+    /// [`NetState::add_fault`]), publishes the new epoch without
+    /// blocking readers, and returns it.
     pub fn add_fault(&self, c: Coord) -> Result<u64, UpdateError> {
         self.timed_update(|state| state.add_fault(c).map(|v| v.epoch()))
     }
 
-    /// Repairs the fault at `c` and returns the new epoch.
+    /// Repairs the fault at `c`, publishes the new epoch without
+    /// blocking readers, and returns it.
     pub fn remove_fault(&self, c: Coord) -> Result<u64, UpdateError> {
         self.timed_update(|state| state.remove_fault(c).map(|v| v.epoch()))
     }
@@ -268,8 +523,13 @@ impl RouteService {
         f: impl FnOnce(&mut NetState) -> Result<u64, UpdateError>,
     ) -> Result<u64, UpdateError> {
         let t = self.metrics.as_ref().map(|_| Instant::now());
-        let mut state = self.state.write().expect("route service lock poisoned");
+        let mut state = self.writer.lock().expect("route service writer poisoned");
         let out = f(&mut state);
+        if out.is_ok() {
+            // Published while the writer mutex is held, so epochs enter
+            // the RCU slot in strictly increasing order.
+            self.current.store(Self::serve(state.view(), self.cache_nodes));
+        }
         drop(state);
         if let (Some(m), Some(t)) = (&self.metrics, t) {
             m.update_ns.record(t.elapsed().as_nanos() as u64);
@@ -284,6 +544,7 @@ impl fmt::Debug for RouteService {
         f.debug_struct("RouteService")
             .field("router", &self.router.name())
             .field("view", &self.view())
+            .field("cache_nodes", &self.cache_nodes)
             .finish()
     }
 }
@@ -332,6 +593,63 @@ mod tests {
     }
 
     #[test]
+    fn warm_cache_hits_are_bit_identical_and_counted() {
+        let svc = service().with_metrics();
+        let (s, d) = (Coord::new(5, 1), Coord::new(5, 9));
+        let cold = svc.route(s, d).expect("routable");
+        let warm = svc.route(s, d).expect("routable");
+        assert_eq!(warm.epoch, cold.epoch);
+        assert_eq!(warm.result, cold.result, "a cache hit reconstructs the exact result");
+        let m = svc.metrics().expect("enabled");
+        assert_eq!((m.cache_hits(), m.cache_misses()), (1, 1));
+        assert!(m.cache_hit_rate() > 0.49 && m.cache_hit_rate() < 0.51);
+        // A mutation publishes a fresh epoch with a fresh (empty) cache.
+        svc.add_fault(Coord::new(1, 1)).expect("valid");
+        svc.route(s, d).expect("routable");
+        assert_eq!((m.cache_hits(), m.cache_misses()), (1, 2));
+    }
+
+    #[test]
+    fn cache_budget_gates_memoization() {
+        let svc = service().with_metrics().with_route_cache(0);
+        let (s, d) = (Coord::new(5, 1), Coord::new(5, 9));
+        let a = svc.route(s, d).expect("routable");
+        let b = svc.route(s, d).expect("routable");
+        assert_eq!(a.result, b.result);
+        let m = svc.metrics().expect("enabled");
+        assert_eq!((m.cache_hits(), m.cache_misses()), (0, 0), "budget 0 disables the cache");
+    }
+
+    #[test]
+    fn route_many_matches_per_query_routing_in_order() {
+        let svc = service().with_metrics();
+        let view = svc.view();
+        let pairs: Vec<(Coord, Coord)> = vec![
+            (Coord::new(0, 0), Coord::new(11, 11)),
+            (Coord::new(5, 5), Coord::new(1, 1)), // faulty source
+            (Coord::new(5, 1), Coord::new(5, 9)), // detours the wall
+            (Coord::new(-1, 0), Coord::new(1, 1)), // off-mesh
+            (Coord::new(11, 0), Coord::new(0, 11)),
+        ];
+        let batch = svc.route_many(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for (&(s, d), reply) in pairs.iter().zip(&batch) {
+            match (reply, svc.route_on(&view, s, d)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.epoch, b.epoch, "{s:?}->{d:?}");
+                    assert_eq!(a.result, b.result, "{s:?}->{d:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(*a, b, "{s:?}->{d:?}"),
+                (a, b) => panic!("{s:?}->{d:?}: batch {a:?} vs single {b:?}"),
+            }
+        }
+        let m = svc.metrics().expect("enabled");
+        assert_eq!(m.batches(), 1);
+        assert_eq!(m.batch_size().max(), pairs.len() as u64);
+        assert_eq!(m.batch_ns().count(), 1, "one latency record per batch, not per query");
+    }
+
+    #[test]
     fn typed_errors_cover_every_failure() {
         let svc = service();
         assert_eq!(
@@ -346,13 +664,16 @@ mod tests {
             svc.route(Coord::new(1, 1), Coord::new(6, 5)).err(),
             Some(RouteError::DestinationFaulty(Coord::new(6, 5)))
         );
-        // A fault wall cuts the mesh: unreachable pairs are classified.
+        // A fault wall cuts the mesh: unreachable pairs are classified
+        // (and the classification is itself memoized — ask twice).
         let mesh = Mesh::square(8);
         let wall = RouteService::new(FaultSet::from_coords(mesh, (0..8).map(|x| Coord::new(x, 4))));
-        assert_eq!(
-            wall.route(Coord::new(0, 0), Coord::new(0, 7)).err(),
-            Some(RouteError::Unreachable { src: Coord::new(0, 0), dst: Coord::new(0, 7) })
-        );
+        for _ in 0..2 {
+            assert_eq!(
+                wall.route(Coord::new(0, 0), Coord::new(0, 7)).err(),
+                Some(RouteError::Unreachable { src: Coord::new(0, 0), dst: Coord::new(0, 7) })
+            );
+        }
     }
 
     #[test]
@@ -411,5 +732,27 @@ mod tests {
             m.join().expect("mutation thread");
         });
         assert_eq!(svc.epoch(), 40);
+    }
+
+    #[test]
+    fn many_services_on_one_thread_stay_coherent() {
+        // More services than the thread-local cache cap: eviction must
+        // only cost refreshes, never answers from the wrong service.
+        let services: Vec<RouteService> = (0..(THREAD_CACHE_CAP + 3))
+            .map(|i| {
+                let mesh = Mesh::square(8);
+                RouteService::new(FaultSet::from_coords(mesh, [Coord::new(i as i32 % 8, 3)]))
+            })
+            .collect();
+        for round in 0..2 {
+            for (i, svc) in services.iter().enumerate() {
+                let fault = Coord::new(i as i32 % 8, 3);
+                assert_eq!(
+                    svc.route(fault, Coord::new(7, 7)).err(),
+                    Some(RouteError::SourceFaulty(fault)),
+                    "service {i} round {round} answered with someone else's faults"
+                );
+            }
+        }
     }
 }

@@ -44,7 +44,7 @@ pub mod report;
 pub mod trace;
 
 pub use log::{enabled, LogLevel};
-pub use metrics::{AtomicLogHistogram, LogHistogram};
+pub use metrics::{AtomicLogHistogram, HitMiss, LogHistogram};
 pub use postmortem::{BlockedWait, Postmortem, StalledPacket, VcFront, WaitEdge};
 pub use probe::{FabricProbe, GrantInfo, NoProbe, ShardObs};
 pub use profile::{Phase, PhaseProfile};

@@ -200,10 +200,91 @@ impl AtomicLogHistogram {
     }
 }
 
+/// A relaxed-atomic hit/miss counter pair — the standard cache
+/// instrument (route-cache hits in `meshpath`'s `RouteService`, or any
+/// other memoized fast path). Concurrent writers never contend beyond
+/// the two cache lines; readers snapshot with ordinary loads.
+#[derive(Debug, Default)]
+pub struct HitMiss {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HitMiss {
+    /// A zeroed counter pair.
+    pub fn new() -> Self {
+        HitMiss::default()
+    }
+
+    /// Records one hit.
+    #[inline]
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one miss.
+    #[inline]
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` hits at once (batch amortization).
+    #[inline]
+    pub fn hit_n(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` misses at once (batch amortization).
+    #[inline]
+    pub fn miss_n(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups recorded.
+    pub fn total(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Hit fraction in `[0, 1]`; `0.0` when nothing was recorded (never
+    /// `NaN`, so the value is always JSON-renderable).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, t) = (self.hits(), self.total());
+        if t == 0 {
+            0.0
+        } else {
+            h as f64 / t as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn hit_miss_counts_and_rate() {
+        let hm = HitMiss::new();
+        assert_eq!(hm.hit_rate(), 0.0, "empty pair must not be NaN");
+        hm.hit();
+        hm.miss();
+        hm.hit_n(2);
+        hm.miss_n(0);
+        assert_eq!(hm.hits(), 3);
+        assert_eq!(hm.misses(), 1);
+        assert_eq!(hm.total(), 4);
+        assert!((hm.hit_rate() - 0.75).abs() < 1e-12);
+    }
 
     #[test]
     fn bucket_edges_are_powers_of_two() {

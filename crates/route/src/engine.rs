@@ -184,6 +184,15 @@ impl Visited {
         Visited { counts }
     }
 
+    /// Resets to a fresh walk starting at `start`, keeping the map's
+    /// allocation (the batch-reuse path; see [`HopState::reset`]).
+    ///
+    /// [`HopState::reset`]: crate::HopState::reset
+    pub(crate) fn reset(&mut self, start: Coord) {
+        self.counts.clear();
+        self.counts.insert(start, 1);
+    }
+
     pub(crate) fn insert(&mut self, c: Coord) {
         *self.counts.entry(c).or_insert(0) += 1;
     }

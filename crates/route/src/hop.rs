@@ -97,6 +97,27 @@ impl HopState {
         }
     }
 
+    /// Resets to fresh scratch for a new message injected at `src`,
+    /// keeping the heap allocations (visited map, learned set, waypoint
+    /// stack) of the previous message. This is the batch entry point:
+    /// [`Router::route_with`] resets one `HopState` per query so a
+    /// `route_many`-style caller pays the scratch allocations once per
+    /// batch instead of once per message.
+    pub fn reset(&mut self, src: Coord) {
+        self.prev = None;
+        self.visited.reset(src);
+        self.detour = None;
+        self.detour_run = 0;
+        self.detour_hops = 0;
+        self.replans = 0;
+        self.fallbacks = 0;
+        self.learned.clear();
+        self.waypoints.clear();
+        self.forced = None;
+        self.planned = false;
+        self.healthy_mode = false;
+    }
+
     /// Hops spent in wall-following detours so far.
     pub fn detour_hops(&self) -> u32 {
         self.detour_hops
@@ -144,8 +165,16 @@ pub trait Router {
     ///
     /// [`decide`]: Router::decide
     fn route(&self, view: &NetView, s: Coord, d: Coord) -> RouteResult {
-        let mut state = HopState::new(s);
-        drive(view, s, d, &mut state, |view, ctx| self.decide(view, ctx))
+        self.route_with(view, s, d, &mut HopState::new(s))
+    }
+
+    /// [`route`](Router::route) reusing caller-provided scratch: the
+    /// state is [`reset`](HopState::reset) for `s` and driven to `d`,
+    /// so batched callers amortize the per-message heap allocations
+    /// across a whole batch.
+    fn route_with(&self, view: &NetView, s: Coord, d: Coord, state: &mut HopState) -> RouteResult {
+        state.reset(s);
+        drive(view, s, d, state, |view, ctx| self.decide(view, ctx))
     }
 }
 
@@ -385,6 +414,25 @@ mod tests {
             }
         }
         assert_eq!(here, d);
+    }
+
+    #[test]
+    fn route_with_reused_scratch_matches_fresh_state() {
+        let mesh = Mesh::square(10);
+        let net = NetView::build(FaultSet::from_coords(mesh, [Coord::new(4, 4), Coord::new(5, 4)]));
+        let pairs = [
+            (Coord::new(0, 0), Coord::new(9, 9)),
+            (Coord::new(4, 0), Coord::new(4, 9)), // detours around the wall
+            (Coord::new(9, 2), Coord::new(0, 7)),
+        ];
+        for kind in RoutingKind::ALL {
+            let router = kind.router();
+            let mut state = HopState::new(pairs[0].0);
+            for (s, d) in pairs {
+                let reused = router.route_with(&net, s, d, &mut state);
+                assert_eq!(reused, router.route(&net, s, d), "{} {s:?}->{d:?}", kind.name());
+            }
+        }
     }
 
     #[test]
