@@ -309,6 +309,8 @@ impl LoadSweepResult {
                     .field("epochs", st.epoch_delivered.len().max(1))
                     .array_u64("epoch_delivered", &st.epoch_delivered)
                     .field("churn_dropped", st.churn_dropped)
+                    .field("churn_killed", st.churn_killed)
+                    .field("churn_rejected", st.churn_rejected)
                     .float("sim_wall_ms", p.sim_wall_ms, 3)
                     .float("mflits_per_sec", p.mflits_per_sec(), 3);
                 row
@@ -432,6 +434,9 @@ fn saturated_placeholder(net: &NetView, sim: &SimConfig) -> TrafficStats {
         deadlocked: false,
         epoch_delivered: vec![0; sim.fault_churn.len() + 1],
         churn_dropped: 0,
+        churn_killed: 0,
+        churn_rejected: 0,
+        online_events: Vec::new(),
     }
 }
 

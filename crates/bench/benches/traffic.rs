@@ -64,7 +64,8 @@ fn bench(c: &mut Criterion) {
             let mut acc = 0u32;
             for pk in &packets {
                 let here = pk.src; // head parked one hop in; src still routes
-                acc ^= match hop.decide(black_box(here), black_box(pk)) {
+                let mut pk = *pk;
+                acc ^= match hop.decide(black_box(here), black_box(&mut pk)) {
                     meshpath::traffic::HopDecision::Route(c) => c.len() as u32,
                     meshpath::traffic::HopDecision::Eject => 0,
                 };
@@ -84,7 +85,8 @@ fn bench(c: &mut Criterion) {
                 let mut acc = 0u32;
                 for pk in &packets {
                     let here = pk.src;
-                    acc ^= match hop.decide(black_box(here), black_box(pk)) {
+                    let mut pk = *pk;
+                    acc ^= match hop.decide(black_box(here), black_box(&mut pk)) {
                         meshpath::traffic::HopDecision::Route(c) => c.len() as u32,
                         meshpath::traffic::HopDecision::Eject => 0,
                     };

@@ -133,7 +133,19 @@
 //! | [`traffic`] | `meshpath-traffic` | wormhole NoC traffic simulator, `fault_churn` |
 //! | [`obs`] | `meshpath-obs` | metrics registry, packet-lifecycle tracing, deadlock post-mortems |
 //! | [`analysis`] | `meshpath-analysis` | Fig. 5 harness + traffic load sweeps |
-//! | (this crate) | — | [`RouteService`], [`RouteError`], [`RouteReply`], [`ServiceMetrics`] |
+//! | (this crate) | — | [`RouteService`], [`RouteError`], [`RouteReply`], [`ServiceMetrics`], [`RetryPolicy`] |
+//!
+//! ## Online churn
+//!
+//! The service and the traffic simulator both accept live fault/repair
+//! events mid-run: queue them on a [`traffic::ChurnInjector`] and drain
+//! it into a [`RouteService`] with
+//! [`drain_injector`](RouteService::drain_injector) (each applied event
+//! publishes a new epoch), or hand it to a running simulation via
+//! [`traffic::OnlineChurn`]. Callers racing churn can classify failures
+//! with [`RouteError::is_transient`] and ride them out with
+//! [`route_with_retry`](RouteService::route_with_retry) under a bounded
+//! [`RetryPolicy`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -150,7 +162,9 @@ pub use meshpath_traffic as traffic;
 mod cache;
 mod service;
 
-pub use service::{RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES};
+pub use service::{
+    RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
+};
 
 /// The items most programs need.
 pub mod prelude {
@@ -167,12 +181,12 @@ pub mod prelude {
         NetView, Network, Rb1, Rb2, Rb3, RouteResult, Router, RoutingKind, UpdateError, XyRouter,
     };
     pub use meshpath_traffic::{
-        run_traffic, ChurnEvent, ChurnOp, HopRouter, RoutePolicy, SimConfig, TrafficPattern,
-        TrafficStats, VcClass, PIPELINE_DEPTH,
+        run_traffic, ChaosConfig, ChurnEvent, ChurnInjector, ChurnOp, HopRouter, OnlineChurn,
+        RoutePolicy, SimConfig, TrafficPattern, TrafficStats, VcClass, PIPELINE_DEPTH,
     };
 
     pub use crate::service::{
-        RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
+        RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
     };
 }
 

@@ -1,0 +1,356 @@
+//! Online churn: live fault/repair injection into a *running*
+//! simulation.
+//!
+//! The prescheduled `fault_churn` axis in [`SimConfig`](crate::SimConfig)
+//! fixes every topology change before the run starts. This module is the
+//! complement: a [`ChurnInjector`] handle that external code (an
+//! operator console, a chaos harness, a service front-end) can poke
+//! while the simulation is in flight, plus a seedable [`ChaosConfig`]
+//! schedule that draws random fail/repair events as the run progresses.
+//!
+//! Both feed the same coordinator-side driver: at every churn quantum
+//! boundary the coordinator drains the injector, draws the chaos
+//! schedule, applies each mutation to a [`NetState`] (incremental
+//! rebuild with full-rebuild fallback), and publishes the resulting
+//! [`NetView`] epochs into the running shard workers through the
+//! existing epoch barrier. Applying through `NetState` means invalid
+//! mutations (off-mesh coordinates, double faults, repairs of healthy
+//! nodes) are *rejected and counted*, never panicking a live service.
+//!
+//! Determinism: the chaos schedule is a pure function of `(seed,
+//! cycle)` and the fault set at the quantum boundary, and injector
+//! events are applied in submission order at the next boundary — so a
+//! run with a given injector script and chaos seed is bit-identical at
+//! every shard count, which is what lets the golden tests pin online
+//! churn alongside the prescheduled kind.
+
+use std::sync::{Arc, Mutex};
+
+use meshpath_mesh::{derive_seed, Coord};
+use meshpath_route::{NetState, NetView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ChurnEvent, ChurnOp};
+
+/// A cloneable handle for injecting fault/repair events into a running
+/// simulation.
+///
+/// Clones share one queue. Events are buffered in submission order and
+/// applied at the next churn-quantum boundary the coordinator reaches;
+/// an event targeting an invalid coordinate (off-mesh, already faulty,
+/// not faulty) is rejected there and counted in
+/// [`TrafficStats::churn_rejected`](crate::TrafficStats::churn_rejected)
+/// rather than panicking the run.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnInjector {
+    queue: Arc<Mutex<Vec<ChurnOp>>>,
+}
+
+impl ChurnInjector {
+    /// A fresh, empty injector.
+    pub fn new() -> Self {
+        ChurnInjector::default()
+    }
+
+    /// Queues a node failure.
+    pub fn fail(&self, at: Coord) {
+        self.inject(ChurnOp::Fail(at));
+    }
+
+    /// Queues a node repair.
+    pub fn repair(&self, at: Coord) {
+        self.inject(ChurnOp::Repair(at));
+    }
+
+    /// Queues an arbitrary churn operation.
+    pub fn inject(&self, op: ChurnOp) {
+        self.queue.lock().expect("churn injector lock poisoned").push(op);
+    }
+
+    /// How many events are queued but not yet applied.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("churn injector lock poisoned").len()
+    }
+
+    /// Takes every queued event, in submission order. Normally called
+    /// by the run coordinator at a quantum boundary (or by
+    /// `RouteService::drain_injector` on the service side) — callers
+    /// draining by hand take responsibility for applying the events.
+    pub fn drain(&self) -> Vec<ChurnOp> {
+        std::mem::take(&mut *self.queue.lock().expect("churn injector lock poisoned"))
+    }
+}
+
+/// A seedable random churn schedule ("chaos monkey").
+///
+/// At each churn-quantum boundary inside the `[start, stop)` window the
+/// driver draws at most one failure and one repair. The draw is a pure
+/// function of `(seed, cycle)` and the current fault set, so chaos runs
+/// are reproducible and shard-count independent.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Stream seed; distinct from the traffic seed so chaos and load
+    /// can be varied independently.
+    pub seed: u64,
+    /// Probability of drawing a failure at each boundary.
+    pub fail_prob: f64,
+    /// Probability of drawing a repair at each boundary.
+    pub repair_prob: f64,
+    /// First cycle (inclusive) at which chaos may fire.
+    pub start: u64,
+    /// Cycle at which chaos stops firing; `0` means never stop.
+    pub stop: u64,
+    /// Failures are suppressed while the fault count is at this cap.
+    pub max_faults: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 7, fail_prob: 0.5, repair_prob: 0.5, start: 0, stop: 0, max_faults: 8 }
+    }
+}
+
+impl ChaosConfig {
+    /// Draws this boundary's operations against `view`'s fault set.
+    ///
+    /// Never draws a failure that would empty the mesh, and only draws
+    /// repairs of nodes that were already faulty *before* this
+    /// boundary (so a same-boundary fail is not immediately undone).
+    pub(crate) fn draw(&self, cycle: u64, view: &NetView) -> Vec<ChurnOp> {
+        if cycle < self.start || (self.stop > 0 && cycle >= self.stop) {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, cycle, 1));
+        let faults = view.faults();
+        let faulty: Vec<Coord> = faults.iter().collect();
+        let mut ops = Vec::new();
+        if rng.gen_bool(self.fail_prob)
+            && faults.count() < self.max_faults
+            && faults.healthy_count() > 1
+        {
+            // Pick the n-th healthy node in row-major order: stable
+            // under any internal fault-set representation.
+            let nth = rng.gen_range(0..faults.healthy_count());
+            let pick = faults
+                .mesh()
+                .iter()
+                .filter(|&c| faults.is_healthy(c))
+                .nth(nth)
+                .expect("healthy_count nodes are healthy");
+            ops.push(ChurnOp::Fail(pick));
+        }
+        if rng.gen_bool(self.repair_prob) && !faulty.is_empty() {
+            let pick = faulty[rng.gen_range(0..faulty.len())];
+            ops.push(ChurnOp::Repair(pick));
+        }
+        ops
+    }
+}
+
+/// Online-churn configuration for a [`TrafficSim`](crate::TrafficSim)
+/// run: an injector handle, an optional chaos schedule, and the quantum
+/// at which the coordinator polls both.
+#[derive(Clone, Debug)]
+pub struct OnlineChurn {
+    /// Live injection handle; clone it and keep a copy to poke the run.
+    pub injector: ChurnInjector,
+    /// Optional random schedule drawn alongside injected events.
+    pub chaos: Option<ChaosConfig>,
+    /// Cycles between churn boundaries (>= 1). Smaller quanta react
+    /// faster; larger quanta amortize epoch publication.
+    pub quantum: u64,
+}
+
+impl Default for OnlineChurn {
+    fn default() -> Self {
+        OnlineChurn { injector: ChurnInjector::new(), chaos: None, quantum: 16 }
+    }
+}
+
+impl OnlineChurn {
+    /// Injector-only churn (no random schedule) at the default quantum.
+    pub fn new(injector: ChurnInjector) -> Self {
+        OnlineChurn { injector, ..OnlineChurn::default() }
+    }
+
+    /// Chaos-schedule churn at the default quantum (an injector handle
+    /// is still available via the `injector` field).
+    pub fn chaos(chaos: ChaosConfig) -> Self {
+        OnlineChurn { chaos: Some(chaos), ..OnlineChurn::default() }
+    }
+
+    /// Sets the polling quantum.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum >= 1, "churn quantum must be at least 1 cycle");
+        self.quantum = quantum;
+        self
+    }
+}
+
+/// Coordinator-side churn driver: owns the authoritative [`NetState`]
+/// and turns injector + chaos events into published epochs.
+pub(crate) struct OnlineDriver {
+    injector: ChurnInjector,
+    chaos: Option<ChaosConfig>,
+    quantum: u64,
+    state: NetState,
+    applied: Vec<ChurnEvent>,
+    rejected: u64,
+}
+
+impl OnlineDriver {
+    pub(crate) fn new(churn: OnlineChurn, base: NetView) -> Self {
+        assert!(churn.quantum >= 1, "churn quantum must be at least 1 cycle");
+        OnlineDriver {
+            injector: churn.injector,
+            chaos: churn.chaos,
+            quantum: churn.quantum,
+            state: NetState::adopt(base),
+            applied: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Polls both event sources at a quantum boundary; returns the
+    /// epoch publications to broadcast, one per applied operation.
+    ///
+    /// Invalid operations are counted in `rejected` and dropped — a
+    /// misbehaving injector client cannot wedge or panic the run.
+    pub(crate) fn poll(&mut self, cycle: u64) -> Vec<(NetView, ChurnOp)> {
+        if cycle == 0 || !cycle.is_multiple_of(self.quantum) {
+            return Vec::new();
+        }
+        let mut ops = self.injector.drain();
+        if let Some(chaos) = &self.chaos {
+            ops.extend(chaos.draw(cycle, &self.state.view()));
+        }
+        let mut out = Vec::new();
+        for op in ops {
+            let applied = match op {
+                ChurnOp::Fail(c) => self.state.add_fault(c),
+                ChurnOp::Repair(c) => self.state.remove_fault(c),
+            };
+            match applied {
+                Ok(view) => {
+                    self.applied.push(ChurnEvent { cycle, op });
+                    out.push((view, op));
+                }
+                Err(_) => self.rejected += 1,
+            }
+        }
+        out
+    }
+
+    /// The applied-event log and rejection count, for
+    /// [`TrafficStats`](crate::TrafficStats).
+    pub(crate) fn into_outcome(self) -> (Vec<ChurnEvent>, u64) {
+        (self.applied, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_mesh::{FaultSet, Mesh};
+
+    fn view(side: u32, faulty: &[(i32, i32)]) -> NetView {
+        let mesh = Mesh::square(side);
+        let coords = faulty.iter().map(|&(x, y)| Coord::new(x, y));
+        NetView::build(FaultSet::from_coords(mesh, coords))
+    }
+
+    #[test]
+    fn injector_queues_and_drains_in_order() {
+        let inj = ChurnInjector::new();
+        let other = inj.clone();
+        inj.fail(Coord::new(1, 2));
+        other.repair(Coord::new(3, 4));
+        assert_eq!(inj.pending(), 2);
+        assert_eq!(
+            inj.drain(),
+            vec![ChurnOp::Fail(Coord::new(1, 2)), ChurnOp::Repair(Coord::new(3, 4))]
+        );
+        assert_eq!(other.pending(), 0);
+    }
+
+    #[test]
+    fn driver_applies_at_quantum_boundaries_only() {
+        let inj = ChurnInjector::new();
+        let mut drv =
+            OnlineDriver::new(OnlineChurn::new(inj.clone()).with_quantum(10), view(4, &[]));
+        inj.fail(Coord::new(2, 2));
+        assert!(drv.poll(0).is_empty(), "cycle 0 is the base epoch, never a boundary");
+        assert!(drv.poll(7).is_empty(), "off-boundary cycles do not poll");
+        assert_eq!(inj.pending(), 1);
+        let pubs = drv.poll(10);
+        assert_eq!(pubs.len(), 1);
+        let (v, op) = &pubs[0];
+        assert_eq!(*op, ChurnOp::Fail(Coord::new(2, 2)));
+        assert_eq!(v.epoch(), 1);
+        assert!(!v.faults().is_healthy(Coord::new(2, 2)));
+        let (applied, rejected) = drv.into_outcome();
+        assert_eq!(applied, vec![ChurnEvent::fail(10, Coord::new(2, 2))]);
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn driver_rejects_invalid_operations_without_panicking() {
+        let inj = ChurnInjector::new();
+        let mut drv =
+            OnlineDriver::new(OnlineChurn::new(inj.clone()).with_quantum(1), view(4, &[(1, 1)]));
+        inj.fail(Coord::new(9, 9)); // off-mesh
+        inj.fail(Coord::new(1, 1)); // already faulty
+        inj.repair(Coord::new(2, 2)); // not faulty
+        inj.repair(Coord::new(1, 1)); // valid
+        let pubs = drv.poll(5);
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].1, ChurnOp::Repair(Coord::new(1, 1)));
+        let (applied, rejected) = drv.into_outcome();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(rejected, 3);
+    }
+
+    #[test]
+    fn chaos_draw_is_deterministic_and_windowed() {
+        let chaos = ChaosConfig {
+            seed: 11,
+            fail_prob: 1.0,
+            repair_prob: 1.0,
+            start: 20,
+            stop: 50,
+            max_faults: 4,
+        };
+        let v = view(6, &[(3, 3)]);
+        assert!(chaos.draw(10, &v).is_empty(), "before the window");
+        assert!(chaos.draw(50, &v).is_empty(), "stop is exclusive");
+        let a = chaos.draw(30, &v);
+        let b = chaos.draw(30, &v);
+        assert_eq!(a, b, "same (seed, cycle, faults) must draw identically");
+        assert_eq!(a.len(), 2, "prob-1.0 draws one fail and one repair");
+        assert!(matches!(a[0], ChurnOp::Fail(c) if v.faults().is_healthy(c)));
+        assert_eq!(a[1], ChurnOp::Repair(Coord::new(3, 3)));
+        let other = chaos.draw(31, &v);
+        assert_ne!(a, other, "distinct cycles draw distinct streams");
+    }
+
+    #[test]
+    fn chaos_respects_fault_cap_and_never_empties_the_mesh() {
+        let chaos = ChaosConfig {
+            fail_prob: 1.0,
+            repair_prob: 0.0,
+            max_faults: 1,
+            ..ChaosConfig::default()
+        };
+        let capped = view(4, &[(0, 0)]);
+        assert!(chaos.draw(8, &capped).is_empty(), "at the cap: no failure drawn");
+
+        let chaos = ChaosConfig { fail_prob: 1.0, repair_prob: 0.0, ..ChaosConfig::default() };
+        let mesh = Mesh::square(2);
+        let last = view(2, &[(0, 1), (1, 0), (1, 1)]);
+        assert_eq!(last.faults().healthy_count(), 1);
+        assert_eq!(mesh.len(), 4);
+        assert!(chaos.draw(8, &last).is_empty(), "one healthy node left: no failure drawn");
+    }
+}

@@ -208,7 +208,14 @@ pub struct PacketState {
     pub stalled: u32,
     /// The admission epoch: which network snapshot this packet's route
     /// was compiled against (fault churn). Always 0 without churn.
+    /// Online replanning re-keys a stranded packet onto the current
+    /// epoch.
     pub epoch: u32,
+    /// Set by an online router when the packet can no longer reach its
+    /// destination (it sits on, or heads to, a node that failed after
+    /// admission): the fabric drains it through the ejection port and
+    /// the driver accounts it as `churn_killed` instead of delivered.
+    pub killed: bool,
 }
 
 impl PacketState {
@@ -224,6 +231,7 @@ impl PacketState {
             mode: VcClass::Adaptive,
             stalled: 0,
             epoch: 0,
+            killed: false,
         }
     }
 }
@@ -607,7 +615,7 @@ impl Shard {
                 None => {
                     let flit = self.in_vcs[in_idx].queue.front().expect("occupied slot");
                     debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                    let pk = self.in_vcs[in_idx].heads.front().expect("parked head has state");
+                    let pk = self.in_vcs[in_idx].heads.front_mut().expect("parked head has state");
                     match router.decide(here, pk) {
                         HopDecision::Eject => requests[EJECT_PORT] |= 1 << slot,
                         HopDecision::Route(candidates) => {
@@ -740,7 +748,13 @@ impl Shard {
                 let state =
                     self.in_vcs[in_idx].heads.pop_front().expect("ejected packet has state");
                 deliveries.push(Delivery { packet: flit.packet, state });
-                probe.delivered(node as u32, flit.packet);
+                // A churn-killed worm drains through the ejection port
+                // like a delivery, but the lifecycle event is a drop.
+                if state.killed {
+                    probe.dropped(node as u32, flit.packet);
+                } else {
+                    probe.delivered(node as u32, flit.packet);
+                }
             }
             false
         } else {
@@ -904,7 +918,8 @@ impl Shard {
                 if v.route.is_some() || !f.is_head {
                     continue;
                 }
-                let pk = v.heads.front().expect("parked head has state");
+                // Copy the state: the postmortem must not perturb it.
+                let mut pk = *v.heads.front().expect("parked head has state");
                 probe.stalled_packet(StalledPacket {
                     packet: f.packet,
                     node: node as u32,
@@ -914,7 +929,7 @@ impl Shard {
                     stalled: pk.stalled,
                     generated_at: pk.generated_at,
                 });
-                let HopDecision::Route(cands) = router.decide(here, pk) else { continue };
+                let HopDecision::Route(cands) = router.decide(here, &mut pk) else { continue };
                 for c in cands.iter() {
                     let dir = c.dir as usize;
                     for vc in self.class_range(c.class) {
@@ -1079,7 +1094,8 @@ impl Shard {
                     Some(_) => (EJECT_PORT, None),
                     None => {
                         debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                        let pk = self.in_vcs[in_idx].heads.front().expect("parked head has state");
+                        let pk =
+                            self.in_vcs[in_idx].heads.front_mut().expect("parked head has state");
                         match router.decide(here, pk) {
                             HopDecision::Eject => (EJECT_PORT, None),
                             HopDecision::Route(candidates) => {
@@ -1470,7 +1486,7 @@ mod tests {
             self.scripts.get(&(s, d)).map(|p| p.len() as u32)
         }
 
-        fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+        fn decide(&mut self, here: Coord, pk: &mut PacketState) -> HopDecision {
             if here == pk.dst {
                 return HopDecision::Eject;
             }
@@ -1688,7 +1704,7 @@ mod tests {
             Some(1)
         }
 
-        fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+        fn decide(&mut self, here: Coord, pk: &mut PacketState) -> HopDecision {
             if here == pk.dst {
                 return HopDecision::Eject;
             }

@@ -3,8 +3,10 @@
 //! count** — must produce **bit-identical** [`TrafficStats`] to the
 //! retained scan-order reference stepper (`Fabric::step_reference`) on
 //! random draws of simulator configuration, fault pattern, routing
-//! function, traffic pattern, injection process and packet-length
-//! distribution.
+//! function, traffic pattern, injection process, packet-length
+//! distribution and churn — both the prescheduled `fault_churn` list
+//! and a seeded *online* chaos schedule published mid-run through the
+//! live epoch mechanism.
 //!
 //! The equality is over the *entire* statistics struct — cycle count,
 //! per-cycle flit-hop totals, the full latency histogram, saturation
@@ -20,16 +22,27 @@ use rand::rngs::StdRng;
 use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
 use meshpath_route::NetView;
 
+use crate::churn::{ChaosConfig, OnlineChurn};
 use crate::config::{RoutePolicy, SimConfig};
 use crate::pattern::{InjectionProcess, LengthDist, TrafficPattern};
 use crate::routing::{PathTable, RoutingKind};
 use crate::sim::TrafficSim;
 use crate::stats::TrafficStats;
 
-/// Runs one full simulation on the chosen stepper.
-fn run(net: &NetView, kind: RoutingKind, cfg: &SimConfig, reference: bool) -> TrafficStats {
+/// Runs one full simulation on the chosen stepper, optionally under a
+/// seeded online-churn chaos schedule.
+fn run(
+    net: &NetView,
+    kind: RoutingKind,
+    cfg: &SimConfig,
+    reference: bool,
+    chaos: Option<ChaosConfig>,
+) -> TrafficStats {
     let mut paths = PathTable::new(net, kind);
     let mut sim = TrafficSim::new(&mut paths, cfg.clone());
+    if let Some(chaos) = chaos {
+        sim = sim.with_online_churn(OnlineChurn::chaos(chaos));
+    }
     if reference {
         sim.set_reference_stepper();
     }
@@ -45,14 +58,14 @@ proptest! {
             (4u32..9, 0usize..5, 0usize..5, 0u64..0xffff_ffff),
             (2usize..5, 0usize..3, 1u32..7, 0usize..5),
             (0usize..4, 1u32..5, 0usize..2, 0usize..2),
-            0usize..3,
+            (0usize..3, 0usize..2),
         )
     ) {
         let (
             (mesh_n, faults, kind_ix, seed),
             (vcs, escape_raw, patience, rate_ix),
             (pattern_ix, packet_len, injection_ix, length_ix),
-            churn_ix,
+            (churn_ix, online_ix),
         ) = draw;
         let mesh = Mesh::square(mesh_n);
         let mut frng = StdRng::seed_from_u64(seed);
@@ -70,6 +83,19 @@ proptest! {
             ],
             _ => Vec::new(),
         };
+        // Optional *online* churn: a seeded chaos schedule applied at
+        // quantum boundaries through the live epoch-publication path
+        // (mutually exclusive with the prescheduled list above). The
+        // equivalence must hold for dynamically-published epochs too.
+        let chaos = (online_ix == 1).then_some(ChaosConfig {
+            seed: seed ^ 0x9e37_79b9,
+            fail_prob: 0.6,
+            repair_prob: 0.5,
+            start: 40,
+            stop: 220,
+            max_faults: 4,
+        });
+        let fault_churn = if chaos.is_some() { Vec::new() } else { fault_churn };
         let kind = RoutingKind::ALL[kind_ix];
         // The policy/escape knobs must agree (TrafficSim asserts it):
         // no reserved channel means deterministic replay.
@@ -113,13 +139,13 @@ proptest! {
             fault_churn,
             obs: ObsLevel::Off,
         };
-        let reference = run(&net, kind, &cfg, true);
+        let reference = run(&net, kind, &cfg, true, chaos);
         // Shard counts 1, 2 and 4: the event-driven stepper must match
         // the scan-order reference bit for bit at every partitioning
         // (threads > 1 also exercises the worker-thread transport and
         // the channel-based boundary exchange).
         for threads in [1usize, 2, 4] {
-            let sharded = run(&net, kind, &SimConfig { threads, ..cfg.clone() }, false);
+            let sharded = run(&net, kind, &SimConfig { threads, ..cfg.clone() }, false, chaos);
             prop_assert_eq!(
                 &sharded,
                 &reference,
@@ -138,6 +164,7 @@ proptest! {
                 kind,
                 &SimConfig { threads, obs: ObsLevel::Trace, ..cfg.clone() },
                 false,
+                chaos,
             );
             prop_assert_eq!(
                 &observed,

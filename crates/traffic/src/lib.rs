@@ -63,6 +63,12 @@
 //!   saturation detection, the deadlock liveness assertion, and the
 //!   sharded multi-threaded runner ([`SimConfig::threads`]) with
 //!   bit-identical results at every thread count.
+//! * [`churn`] — **online churn**: a [`ChurnInjector`] handle for live
+//!   fault/repair injection into a running simulation and a seedable
+//!   [`ChaosConfig`] random schedule, applied at churn-quantum
+//!   boundaries through the epoch mechanism with incremental
+//!   escape-forest re-provisioning; stranded in-flight packets are
+//!   replanned or killed (`churn_killed`), never wedged.
 //! * [`stats`] — latency histograms and accepted-throughput accounting.
 //! * [`config`] — [`SimConfig`] including the `escape_vcs` partition
 //!   and the [`RoutePolicy`] adaptivity knob.
@@ -122,6 +128,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod config;
 pub mod fabric;
 #[cfg(test)]
@@ -131,6 +138,7 @@ pub mod routing;
 pub mod sim;
 pub mod stats;
 
+pub use churn::{ChaosConfig, ChurnInjector, OnlineChurn};
 pub use config::{ChurnEvent, ChurnOp, RoutePolicy, SimConfig, PIPELINE_DEPTH};
 pub use fabric::{BoundaryMsg, Delivery, Fabric, Flit, FrontierEntry, PacketState, StepReport};
 pub use pattern::{DestSampler, InjectionProcess, LengthDist, TrafficPattern};
@@ -140,7 +148,7 @@ pub use routing::{
 };
 pub use sim::{
     run_traffic, run_traffic_observed, run_traffic_reusing, run_traffic_reusing_with,
-    single_packet_latency, TrafficSim,
+    single_packet_latency, RunError, TrafficSim,
 };
 pub use stats::{
     DrainStallObserver, LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample,

@@ -51,6 +51,16 @@
 //!   minimal paths, and the tree class closes the faulty-mesh hole
 //!   (XY runs blocked by faults) with a guaranteed — if possibly long —
 //!   last resort.
+//!
+//! Under **online churn** (unscheduled events published mid-run via
+//! [`HopRouter::publish`]) no fault union exists at startup, so the
+//! escape substrate instead tracks the *current* fault set: each
+//! published event incrementally re-provisions the forest
+//! ([`EscapeForest::update`] — component-scoped rebuilds with a
+//! full-rebuild fallback on component merge/split), repaired nodes
+//! regain the tree class, and packets stranded by a fresh fault are
+//! replanned under the new epoch or killed (the `churn_killed` stat)
+//! instead of wedging.
 
 use std::rc::Rc;
 
@@ -58,6 +68,7 @@ use meshpath_mesh::{Coord, Dir, FaultSet, FxHashMap};
 use meshpath_route::{NetView, RouteResult, Router};
 use serde::{Deserialize, Serialize};
 
+use crate::config::ChurnOp;
 use crate::fabric::PacketState;
 
 // The per-hop substrate is defined once, in `meshpath-route`; re-export
@@ -185,13 +196,27 @@ pub trait HopRouter {
     /// every cycle the head is unrouted (possibly several times, once
     /// per output port scanned), so it must be cheap: a table lookup
     /// plus a VC-class choice. Routes are resolved under the packet's
-    /// admission epoch (`pk.epoch`).
-    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision;
+    /// admission epoch (`pk.epoch`). The packet state is mutable so an
+    /// online router can re-key a stranded packet onto the current
+    /// epoch (replan) or mark it killed; any mutation must be
+    /// idempotent, because the reference stepper re-asks per output
+    /// port within one cycle.
+    fn decide(&mut self, here: Coord, pk: &mut PacketState) -> HopDecision;
 
     /// Advances the *admission* epoch (fault churn): subsequent
     /// [`admit`](HopRouter::admit) calls compile against the next
     /// scheduled snapshot. In-flight packets keep their epoch.
     fn advance_epoch(&mut self) {}
+
+    /// Publishes an *online* (unscheduled) epoch: appends `view` to the
+    /// epoch schedule and re-provisions escape structures for `op`.
+    /// The first publish switches the router into online mode —
+    /// degradation checks (kill/replan around fresh faults) activate
+    /// from that point on. Routers that cannot serve online churn
+    /// ignore the call.
+    fn publish(&mut self, view: &NetView, op: ChurnOp) {
+        let _ = (view, op);
+    }
 }
 
 /// A compiled route: the hop sequence, or `None` for an undeliverable
@@ -311,6 +336,17 @@ impl PathTable {
         dirs
     }
 
+    /// Appends an *online* (unscheduled) epoch snapshot to the end of
+    /// the schedule without touching the current admission epoch.
+    /// Unlike [`set_schedule`](PathTable::set_schedule) this keeps
+    /// every existing epoch and cached route: online churn extends the
+    /// schedule while the run is in flight, and the next
+    /// [`advance_epoch`](PathTable::advance_epoch) steps into the new
+    /// snapshot.
+    pub fn push_epoch(&mut self, view: &NetView) {
+        self.views.push(view.clone());
+    }
+
     /// `(cache hits, cache misses)` — the miss count is the number of
     /// full routing-algorithm executions performed.
     pub fn cache_stats(&self) -> (u64, u64) {
@@ -323,12 +359,17 @@ impl PathTable {
 /// them, now phrased as per-hop decisions.
 pub struct ReplayHop<'p> {
     paths: &'p mut PathTable,
+    /// Set by the first [`publish`](HopRouter::publish): faults may now
+    /// appear that admitted routes did not know about, so every hop
+    /// checks the next step against the current fault set and replans
+    /// (or kills) stranded packets.
+    online: bool,
 }
 
 impl<'p> ReplayHop<'p> {
     /// A replay router over `paths`' compiled routes.
     pub fn new(paths: &'p mut PathTable) -> Self {
-        ReplayHop { paths }
+        ReplayHop { paths, online: false }
     }
 }
 
@@ -337,7 +378,16 @@ impl HopRouter for ReplayHop<'_> {
         self.paths.path(s, d).map(|p| p.len() as u32)
     }
 
-    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+    fn decide(&mut self, here: Coord, pk: &mut PacketState) -> HopDecision {
+        if self.online {
+            let faults = self.paths.view().faults();
+            if !faults.is_healthy(here) || !faults.is_healthy(pk.dst) {
+                // The packet sits on, or heads to, a node that failed
+                // after admission: drain it out of the fabric.
+                pk.killed = true;
+                return HopDecision::Eject;
+            }
+        }
         if here == pk.dst {
             return HopDecision::Eject;
         }
@@ -345,12 +395,37 @@ impl HopRouter for ReplayHop<'_> {
             .paths
             .path_at(pk.epoch, pk.src, pk.dst)
             .expect("admitted packets have compiled routes");
-        let dir = path[pk.head_hop as usize];
+        let mut dir = path[pk.head_hop as usize];
+        if self.online && !self.paths.view().faults().is_healthy(here.step(dir)) {
+            // The compiled route runs into a fresh fault: replan from
+            // here under the current epoch (idempotent — the re-keyed
+            // route avoids current faults, so a second decide this
+            // cycle takes the clean path below), or kill the packet
+            // when no current-epoch route exists.
+            let cur = self.paths.current_epoch();
+            match self.paths.path_at(cur, here, pk.dst) {
+                Some(p) => {
+                    pk.src = here;
+                    pk.head_hop = 0;
+                    pk.epoch = cur;
+                    dir = p[0];
+                }
+                None => {
+                    pk.killed = true;
+                    return HopDecision::Eject;
+                }
+            }
+        }
         HopDecision::route1(HopChoice { dir, class: VcClass::Adaptive })
     }
 
     fn advance_epoch(&mut self) {
         self.paths.advance_epoch();
+    }
+
+    fn publish(&mut self, view: &NetView, _op: ChurnOp) {
+        self.online = true;
+        self.paths.push_epoch(view);
     }
 }
 
@@ -378,6 +453,35 @@ fn healthy_bfs(faults: &FaultSet, start: Coord) -> Vec<u32> {
         }
     }
     dist
+}
+
+/// Membership mask (by node id) of the healthy component containing
+/// `start`, optionally treating `without` as faulty — which recovers
+/// the pre-repair component layout when `without` is the node being
+/// repaired. Deterministic: BFS in [`Dir::ALL`] order.
+fn component_members(faults: &FaultSet, start: Coord, without: Option<Coord>) -> Vec<bool> {
+    let mesh = faults.mesh();
+    let mut seen = vec![false; mesh.len()];
+    if Some(start) == without || !faults.is_healthy(start) {
+        return seen;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    seen[mesh.id(start).index()] = true;
+    queue.push_back(start);
+    while let Some(c) = queue.pop_front() {
+        for dir in Dir::ALL {
+            let nb = c.step(dir);
+            if !mesh.contains(nb) || !faults.is_healthy(nb) || Some(nb) == without {
+                continue;
+            }
+            let ni = mesh.id(nb).index();
+            if !seen[ni] {
+                seen[ni] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    seen
 }
 
 /// The farthest reached node of a BFS distance field (maximum
@@ -463,6 +567,7 @@ fn component_center(faults: &FaultSet, start: Coord) -> Coord {
 /// depth is strictly monotone within each phase, the tree channels
 /// admit a total order that every route respects — no cyclic channel
 /// dependency, for any fault pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EscapeForest {
     /// `(parent direction, depth)` per node id; `None` for faulty nodes
     /// and roots (roots have depth 0).
@@ -509,6 +614,113 @@ impl EscapeForest {
             debug_assert!(seen[first], "center BFS must cover the discovering node");
         }
         EscapeForest { parent, depth }
+    }
+
+    /// Incrementally re-provisions the forest after one online churn
+    /// event, `faults` being the post-event configuration. Only the
+    /// dirty component — the one gaining or losing the event's node —
+    /// is rebuilt, rooted at its BFS center exactly as
+    /// [`EscapeForest::new`] would root it, so the result is
+    /// bit-identical to a from-scratch build over `faults`. A component
+    /// split (a failure disconnecting its component) or merge (a repair
+    /// bridging two components) falls back to the full rebuild,
+    /// mirroring the incremental relabeling strategy of `NetState`.
+    pub fn update(&mut self, faults: &FaultSet, op: ChurnOp) {
+        let mesh = faults.mesh();
+        let healthy_neighbors = |c: Coord| -> Vec<Coord> {
+            Dir::ALL
+                .into_iter()
+                .map(|d| c.step(d))
+                .filter(|&nb| mesh.contains(nb) && faults.is_healthy(nb))
+                .collect()
+        };
+        match op {
+            ChurnOp::Fail(c) => {
+                let ci = mesh.id(c).index();
+                self.parent[ci] = None;
+                self.depth[ci] = 0;
+                let neighbors = healthy_neighbors(c);
+                let Some(&seed) = neighbors.first() else {
+                    // The failed node had no healthy neighbors: its
+                    // component was the singleton `{c}`; nothing else
+                    // changes.
+                    return;
+                };
+                let members = component_members(faults, seed, None);
+                if neighbors.iter().any(|&nb| !members[mesh.id(nb).index()]) {
+                    // The failure split its component.
+                    *self = EscapeForest::new(faults);
+                    return;
+                }
+                self.rebuild_component(faults, &members);
+            }
+            ChurnOp::Repair(c) => {
+                // Count the distinct pre-repair components adjacent to
+                // `c` (BFS with `c` still treated as faulty): more than
+                // one means the repair merged them.
+                let mut covered = vec![false; mesh.len()];
+                let mut distinct = 0;
+                for &nb in &healthy_neighbors(c) {
+                    if covered[mesh.id(nb).index()] {
+                        continue;
+                    }
+                    distinct += 1;
+                    if distinct > 1 {
+                        break;
+                    }
+                    for (i, &m) in component_members(faults, nb, Some(c)).iter().enumerate() {
+                        covered[i] |= m;
+                    }
+                }
+                if distinct > 1 {
+                    *self = EscapeForest::new(faults);
+                    return;
+                }
+                let members = component_members(faults, c, None);
+                self.rebuild_component(faults, &members);
+            }
+        }
+    }
+
+    /// Rebuilds one component's tree exactly as [`EscapeForest::new`]
+    /// does. The center search starts from the component's lowest node
+    /// id — the id `new`'s discovery scan would find the component by —
+    /// so the subtree is identical to the one a from-scratch build
+    /// produces.
+    fn rebuild_component(&mut self, faults: &FaultSet, members: &[bool]) {
+        let Some(first) = members.iter().position(|&m| m) else {
+            return;
+        };
+        for (i, &m) in members.iter().enumerate() {
+            if m {
+                self.parent[i] = None;
+                self.depth[i] = 0;
+            }
+        }
+        let mesh = faults.mesh();
+        let fc = mesh.coord(meshpath_mesh::NodeId(first as u32));
+        let root = component_center(faults, fc);
+        let mut seen = vec![false; mesh.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[mesh.id(root).index()] = true;
+        queue.push_back(root);
+        while let Some(c) = queue.pop_front() {
+            let ci = mesh.id(c).index();
+            for dir in Dir::ALL {
+                let nb = c.step(dir);
+                if !mesh.contains(nb) || !faults.is_healthy(nb) {
+                    continue;
+                }
+                let ni = mesh.id(nb).index();
+                if seen[ni] {
+                    continue;
+                }
+                seen[ni] = true;
+                self.parent[ni] = Some(dir.opposite());
+                self.depth[ni] = self.depth[ci] + 1;
+                queue.push_back(nb);
+            }
+        }
     }
 
     /// Tree depth of a node (0 for roots and faulty nodes).
@@ -575,9 +787,16 @@ pub struct EscapeHop<'p> {
     /// candidates could never allocate, so offering them (and paying
     /// the clearance walks) would be pure waste.
     xy_class: bool,
-    /// The union-provisioned substrate faults (see [`union_faults`]).
+    /// The escape-substrate faults: the union of every scheduled
+    /// epoch's faults ([`union_faults`]) — or, once online churn starts
+    /// publishing, the *current* fault set (the forest is then
+    /// re-provisioned incrementally per event).
     substrate: FaultSet,
     forest: EscapeForest,
+    /// Set by the first [`publish`](HopRouter::publish): the substrate
+    /// now tracks the current epoch, and decide kills or replans
+    /// packets stranded by unscheduled faults.
+    online: bool,
     /// Memoized [`xy_path_clear`] per `(epoch, node, destination)`.
     clear: FxHashMap<(u32, Coord, Coord), bool>,
     /// Memoized tree next hop per `(node, destination)` — the
@@ -603,6 +822,7 @@ impl<'p> EscapeHop<'p> {
             xy_class,
             substrate,
             forest,
+            online: false,
             clear: FxHashMap::default(),
             tree_next: FxHashMap::default(),
         }
@@ -646,28 +866,80 @@ impl HopRouter for EscapeHop<'_> {
         self.paths.path(s, d).map(|p| p.len() as u32)
     }
 
-    fn decide(&mut self, here: Coord, pk: &PacketState) -> HopDecision {
+    fn decide(&mut self, here: Coord, pk: &mut PacketState) -> HopDecision {
+        if self.online {
+            let faults = self.paths.view().faults();
+            if !faults.is_healthy(here) || !faults.is_healthy(pk.dst) {
+                // The packet sits on, or heads to, a node that failed
+                // after admission: drain it out of the fabric.
+                pk.killed = true;
+                return HopDecision::Eject;
+            }
+        }
         if here == pk.dst {
             return HopDecision::Eject;
         }
         match pk.mode {
             // Committed to an escape network: ride it to the end.
-            VcClass::EscapeXy => HopDecision::route1(HopChoice {
-                dir: xy_next(here, pk.dst),
-                class: VcClass::EscapeXy,
-            }),
-            VcClass::EscapeTree => HopDecision::route1(
-                self.tree_choice(here, pk.dst).expect("tree commitment implies a substrate route"),
-            ),
+            VcClass::EscapeXy => {
+                let dir = xy_next(here, pk.dst);
+                if self.online && !self.paths.view().faults().is_healthy(here.step(dir)) {
+                    // A fresh fault landed on the committed XY run; the
+                    // class cannot deviate, so drain the packet.
+                    pk.killed = true;
+                    return HopDecision::Eject;
+                }
+                HopDecision::route1(HopChoice { dir, class: VcClass::EscapeXy })
+            }
+            VcClass::EscapeTree => match self.tree_choice(here, pk.dst) {
+                Some(c) => HopDecision::route1(c),
+                None => {
+                    // Only reachable online: a fresh fault cut the pair
+                    // off the re-provisioned forest.
+                    assert!(self.online, "tree commitment implies a substrate route");
+                    pk.killed = true;
+                    HopDecision::Eject
+                }
+            },
             VcClass::Adaptive => {
                 let path = self
                     .paths
                     .path_at(pk.epoch, pk.src, pk.dst)
                     .expect("admitted packets have compiled routes");
+                let mut dir = path[pk.head_hop as usize];
+                if self.online && !self.paths.view().faults().is_healthy(here.step(dir)) {
+                    // The compiled route runs into a fresh fault:
+                    // replan from here under the current epoch
+                    // (idempotent — the re-keyed route avoids current
+                    // faults), fall back to the tree, or kill.
+                    let cur = self.paths.current_epoch();
+                    match self.paths.path_at(cur, here, pk.dst) {
+                        Some(p) => {
+                            pk.src = here;
+                            pk.head_hop = 0;
+                            pk.epoch = cur;
+                            dir = p[0];
+                        }
+                        None => {
+                            return match self.tree_choice(here, pk.dst) {
+                                Some(tree) => HopDecision::route1(tree),
+                                None => {
+                                    pk.killed = true;
+                                    HopDecision::Eject
+                                }
+                            };
+                        }
+                    }
+                }
                 let mut c = HopCandidates::new();
-                c.push(HopChoice { dir: path[pk.head_hop as usize], class: VcClass::Adaptive });
+                c.push(HopChoice { dir, class: VcClass::Adaptive });
                 if pk.stalled >= self.patience {
-                    if self.xy_class && self.xy_clear(pk.epoch, here, pk.dst) {
+                    // Online, escape clearance must hold under the
+                    // *current* faults (the packet's admission epoch
+                    // may predate them).
+                    let clear_epoch =
+                        if self.online { self.paths.current_epoch() } else { pk.epoch };
+                    if self.xy_class && self.xy_clear(clear_epoch, here, pk.dst) {
                         c.push(HopChoice { dir: xy_next(here, pk.dst), class: VcClass::EscapeXy });
                     }
                     if let Some(tree) = self.tree_choice(here, pk.dst) {
@@ -681,6 +953,17 @@ impl HopRouter for EscapeHop<'_> {
 
     fn advance_epoch(&mut self) {
         self.paths.advance_epoch();
+    }
+
+    fn publish(&mut self, view: &NetView, op: ChurnOp) {
+        self.online = true;
+        self.paths.push_epoch(view);
+        self.substrate = view.faults().clone();
+        self.forest.update(&self.substrate, op);
+        // Tree next-hops are keyed per (node, destination) only — the
+        // forest changed, so the memo is stale. The XY-clearance memo
+        // is epoch-keyed and survives.
+        self.tree_next.clear();
     }
 }
 
@@ -753,7 +1036,7 @@ mod tests {
         let mut pk = PacketState::new(s, d, 0, 1);
         let mut here = s;
         for _ in 0..hops {
-            match hop.decide(here, &pk) {
+            match hop.decide(here, &mut pk) {
                 HopDecision::Route(c) => {
                     assert_eq!(c.len(), 1);
                     let first = c.iter().next().unwrap();
@@ -765,7 +1048,7 @@ mod tests {
             }
         }
         assert_eq!(here, d);
-        assert_eq!(hop.decide(here, &pk), HopDecision::Eject);
+        assert_eq!(hop.decide(here, &mut pk), HopDecision::Eject);
     }
 
     /// The candidate classes of a `Route` decision, in order.
@@ -785,14 +1068,14 @@ mod tests {
         // XY from (2,3) to (7,3) crosses the fault at (5,3).
         let (s, d) = (Coord::new(2, 3), Coord::new(7, 3));
         hop.admit(s, d).expect("RB2 routes around the fault");
-        let fresh = PacketState::new(s, d, 0, 1);
+        let mut fresh = PacketState::new(s, d, 0, 1);
         // Below patience: adaptive only.
-        assert_eq!(classes(hop.decide(s, &fresh)), vec![VcClass::Adaptive]);
+        assert_eq!(classes(hop.decide(s, &mut fresh)), vec![VcClass::Adaptive]);
         // Past patience but XY blocked by (5,3): adaptive + tree, no XY.
         let mut stalled = fresh;
         stalled.stalled = 10;
         assert_eq!(
-            classes(hop.decide(s, &stalled)),
+            classes(hop.decide(s, &mut stalled)),
             vec![VcClass::Adaptive, VcClass::EscapeTree],
             "blocked XY run must not be offered"
         );
@@ -801,7 +1084,7 @@ mod tests {
         hop.admit(s2, d2).expect("clear pair");
         let mut stalled2 = PacketState::new(s2, d2, 0, 1);
         stalled2.stalled = 10;
-        match hop.decide(s2, &stalled2) {
+        match hop.decide(s2, &mut stalled2) {
             HopDecision::Route(c) => {
                 let v: Vec<_> = c.iter().collect();
                 assert_eq!(
@@ -815,11 +1098,11 @@ mod tests {
         // Once committed to XY escape: that class only, strict XY.
         let mut escaped = stalled2;
         escaped.mode = VcClass::EscapeXy;
-        assert_eq!(classes(hop.decide(s2, &escaped)), vec![VcClass::EscapeXy]);
+        assert_eq!(classes(hop.decide(s2, &mut escaped)), vec![VcClass::EscapeXy]);
         // Once committed to the tree: that class only.
         let mut treed = stalled2;
         treed.mode = VcClass::EscapeTree;
-        assert_eq!(classes(hop.decide(s2, &treed)), vec![VcClass::EscapeTree]);
+        assert_eq!(classes(hop.decide(s2, &mut treed)), vec![VcClass::EscapeTree]);
     }
 
     #[test]
@@ -834,7 +1117,7 @@ mod tests {
         let mut stalled = PacketState::new(s, d, 0, 1);
         stalled.stalled = 10;
         assert_eq!(
-            classes(hop.decide(s, &stalled)),
+            classes(hop.decide(s, &mut stalled)),
             vec![VcClass::Adaptive, VcClass::EscapeTree],
             "XY candidate requires a reserved XY channel"
         );
@@ -958,5 +1241,155 @@ mod tests {
         let offline_dirs: Vec<Dir> =
             offline.path.windows(2).map(|w| w[0].dir_to(w[1]).unwrap()).collect();
         assert_eq!(compiled.as_ref(), offline_dirs.as_slice());
+    }
+
+    #[test]
+    fn incremental_forest_update_matches_from_scratch() {
+        // A scripted sequence covering the interesting shapes: interior
+        // failures, a wall that splits the mesh (full-rebuild
+        // fallback), a repair that merges the halves back, and repair
+        // of an isolated corner.
+        let mesh = Mesh::square(8);
+        let mut faults = FaultSet::none(mesh);
+        let mut forest = EscapeForest::new(&faults);
+        let wall: Vec<ChurnOp> = (0..8).map(|x| ChurnOp::Fail(Coord::new(x, 3))).collect();
+        let mut script = vec![
+            ChurnOp::Fail(Coord::new(4, 5)),
+            ChurnOp::Fail(Coord::new(0, 1)),
+            ChurnOp::Fail(Coord::new(1, 0)), // corner (0,0) split off
+            ChurnOp::Repair(Coord::new(0, 1)), // merge it back
+            ChurnOp::Repair(Coord::new(4, 5)),
+        ];
+        script.extend(wall); // split into two halves
+        script.push(ChurnOp::Repair(Coord::new(5, 3))); // merge the halves
+        for op in script {
+            match op {
+                ChurnOp::Fail(c) => assert!(faults.inject(c)),
+                ChurnOp::Repair(c) => assert!(faults.repair(c)),
+            }
+            forest.update(&faults, op);
+            assert_eq!(forest, EscapeForest::new(&faults), "diverged after {op:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        /// The incremental update must be **bit-identical** to a
+        /// from-scratch build after every event of a random valid
+        /// fault/repair sequence — the property the online escape
+        /// substrate's determinism (and hence cross-shard bit-identity)
+        /// rests on.
+        #[test]
+        fn incremental_forest_update_is_bit_identical_over_random_churn(
+            draw in (5u32..9, proptest::collection::vec(0usize..1000, 1..40))
+        ) {
+            let (n, picks) = draw;
+            let mesh = Mesh::square(n);
+            let mut faults = FaultSet::none(mesh);
+            let mut forest = EscapeForest::new(&faults);
+            for pick in picks {
+                let c = mesh.coord(meshpath_mesh::NodeId((pick % mesh.len()) as u32));
+                // Toggle: healthy nodes fail, faulty nodes repair —
+                // every event is valid by construction.
+                let op = if faults.is_healthy(c) {
+                    if faults.healthy_count() == 1 {
+                        continue; // keep at least one healthy node
+                    }
+                    faults.inject(c);
+                    ChurnOp::Fail(c)
+                } else {
+                    faults.repair(c);
+                    ChurnOp::Repair(c)
+                };
+                forest.update(&faults, op);
+                proptest::prop_assert_eq!(
+                    &forest,
+                    &EscapeForest::new(&faults),
+                    "diverged after {:?} on {}x{}",
+                    op,
+                    n,
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_publish_reprovisions_forest_and_repair_restores_tree_class() {
+        let mesh = Mesh::square(8);
+        let mut state = meshpath_route::NetState::new(FaultSet::none(mesh));
+        let v0 = state.view();
+        let mut t = PathTable::new(&v0, RoutingKind::Rb2);
+        let mut hop = EscapeHop::new(&mut t, 4, true);
+        let node = Coord::new(4, 4);
+        assert!(hop.tree_choice(node, Coord::new(0, 0)).is_some(), "on the initial forest");
+
+        let v1 = state.add_fault(node).expect("valid");
+        hop.publish(&v1, ChurnOp::Fail(node));
+        hop.advance_epoch();
+        assert!(
+            hop.tree_choice(node, Coord::new(0, 0)).is_none(),
+            "failed node leaves the substrate"
+        );
+        assert_eq!(hop.forest(), &EscapeForest::new(v1.faults()));
+
+        let v2 = state.remove_fault(node).expect("valid");
+        hop.publish(&v2, ChurnOp::Repair(node));
+        hop.advance_epoch();
+        // Union provisioning would decommission the node for the rest
+        // of the run; online re-provisioning restores the tree class.
+        let choice = hop
+            .tree_choice(node, Coord::new(0, 0))
+            .expect("repaired node regains escape-tree membership");
+        assert_eq!(choice.class, VcClass::EscapeTree);
+        assert_eq!(hop.forest(), &EscapeForest::new(v2.faults()));
+    }
+
+    #[test]
+    fn online_decide_replans_around_fresh_faults_and_kills_stranded_packets() {
+        let mesh = Mesh::square(8);
+        let mut state = meshpath_route::NetState::new(FaultSet::none(mesh));
+        let v0 = state.view();
+        let mut t = PathTable::new(&v0, RoutingKind::Rb2);
+        let mut hop = EscapeHop::new(&mut t, 4, true);
+        let (s, d) = (Coord::new(1, 1), Coord::new(6, 1));
+        hop.admit(s, d).expect("clear row");
+        let mut pk = PacketState::new(s, d, 0, 1);
+
+        // An unscheduled fault lands on the compiled row route.
+        let blocker = Coord::new(3, 1);
+        let v1 = state.add_fault(blocker).expect("valid");
+        hop.publish(&v1, ChurnOp::Fail(blocker));
+        hop.advance_epoch();
+
+        // Parked at (2,1), the old route's next step is the fresh
+        // fault: the packet is re-keyed onto the current epoch and the
+        // offered hop avoids the blocker.
+        let here = Coord::new(2, 1);
+        pk.head_hop = 1;
+        match hop.decide(here, &mut pk) {
+            HopDecision::Route(c) => {
+                let first = c.iter().next().expect("replanned route");
+                assert_ne!(here.step(first.dir), blocker, "replan must avoid the fresh fault");
+            }
+            HopDecision::Eject => panic!("replannable packet must not be dropped"),
+        }
+        assert_eq!(pk.epoch, 1, "replan re-keys the packet onto the current epoch");
+        assert_eq!(pk.src, here);
+        assert_eq!(pk.head_hop, 0);
+        assert!(!pk.killed);
+        // Idempotent: the reference stepper asks once per output port.
+        let again = hop.decide(here, &mut pk);
+        assert_eq!((pk.epoch, pk.src, pk.head_hop), (1, here, 0));
+        assert!(matches!(again, HopDecision::Route(_)));
+
+        // The destination itself fails: the packet is killed (drained
+        // out of the fabric), never wedged.
+        let v2 = state.add_fault(d).expect("valid");
+        hop.publish(&v2, ChurnOp::Fail(d));
+        hop.advance_epoch();
+        assert_eq!(hop.decide(here, &mut pk), HopDecision::Eject);
+        assert!(pk.killed, "a packet to a failed destination is accounted as churn-killed");
     }
 }

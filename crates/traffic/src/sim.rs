@@ -20,9 +20,38 @@
 //! id, grants commute within a cycle, and all cross-shard effects are
 //! staged — so `TrafficStats` is **bit-identical at every thread
 //! count** (pinned by `crate::golden`).
+//!
+//! ## Online churn
+//!
+//! [`TrafficSim::with_online_churn`] attaches a
+//! [`ChurnInjector`](crate::ChurnInjector) /
+//! [`ChaosConfig`](crate::ChaosConfig) event source to the run (see
+//! [`crate::churn`]). The coordinator polls it at every churn-quantum
+//! boundary, applies the events to its authoritative `NetState`
+//! (incremental rebuild with full-rebuild fallback), and broadcasts
+//! each resulting [`NetView`] epoch to the shard workers over the existing
+//! control lanes (`Go::Publish` precedes that cycle's `Go::Cycle` on
+//! each FIFO lane, so every worker adopts the epoch at the same
+//! boundary). Workers re-provision their hop routers incrementally
+//! ([`HopRouter::publish`]) and refresh source liveness/samplers;
+//! packets stranded by a fresh fault are replanned or killed
+//! (`churn_killed`), never wedged. Polling is coordinator-side and
+//! deterministic, so online-churn runs stay bit-identical at every
+//! thread count.
+//!
+//! ## Worker panic safety
+//!
+//! A panicking shard worker must not hang the run: each worker runs
+//! under `catch_unwind`, reports the panic over the shared `done` lane,
+//! and returns its channel ends (dropping them unblocks its
+//! neighbors). The coordinator surfaces the failure as a typed
+//! [`RunError`] from the `try_run*` entry points; the plain `run*`
+//! entry points re-panic with the worker's message.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
@@ -32,6 +61,7 @@ use meshpath_route::{NetState, NetView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::churn::{OnlineChurn, OnlineDriver};
 use crate::config::{ChurnOp, RoutePolicy, SimConfig};
 use crate::fabric::{BoundaryMsg, Delivery, Fabric, Flit, PacketState, Shard, StepReport};
 use crate::pattern::{DestSampler, InjectionProcess};
@@ -56,6 +86,50 @@ const ID_SHARD_SHIFT: u32 = 24;
 /// a fabric bug. Without escape VCs it is the expected failure mode of
 /// adaptive wormhole routing under load.
 const DEADLOCK_WINDOW: u64 = 1000;
+
+/// Why a sharded run failed instead of producing statistics.
+///
+/// Returned by the `try_run*` entry points. A worker panic is caught at
+/// the worker boundary and surfaced here — the coordinator tears the
+/// run down (dropping the control lanes unblocks every other worker)
+/// instead of hanging on a dead channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A shard worker panicked; `message` is its panic payload.
+    WorkerPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A worker disappeared (its channel ends dropped) without
+    /// reporting a panic — a transport bug rather than a worker bug.
+    WorkerLost,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::WorkerPanicked { shard, message } => {
+                write!(f, "shard worker {shard} panicked: {message}")
+            }
+            RunError::WorkerLost => write!(f, "a shard worker died without reporting a panic"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Stringifies a caught panic payload (the two shapes `panic!` emits).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A generated packet waiting at its source network interface. The
 /// traveling [`PacketState`] is handed to the fabric with the head
@@ -141,9 +215,21 @@ impl CycleDone {
 enum Go {
     /// Run one cycle (the cycle number, for generation windows).
     Cycle(u64),
+    /// Adopt an online-churn epoch starting at the given cycle: the
+    /// coordinator sends one per applied event, always *before* that
+    /// cycle's `Cycle` on the same FIFO lane.
+    Publish(u64, NetView, ChurnOp),
     /// The run is over (final cycle count and stop classification);
     /// finalize the probe and return the shard with it.
     Finish(u64, StopKind),
+}
+
+/// Worker → coordinator report: a cycle's deltas, or the worker's
+/// dying word. Sharing the `done` lane means the coordinator learns of
+/// a panic exactly where it would otherwise block forever.
+enum WorkerReport {
+    Cycle(CycleDone),
+    Panicked { shard: usize, message: String },
 }
 
 /// One shard of the running simulation: the fabric band plus the
@@ -171,10 +257,22 @@ struct ShardWorker<'a, P: FabricProbe> {
     /// Packet ids allocated by this shard are `id_base + k`.
     id_base: u32,
     next_local: u32,
+    /// Online-churn epochs published into this worker mid-run; they
+    /// extend the prescheduled `env` epochs, so epoch index `k >=
+    /// env.starts.len()` resolves into these parallel vectors at
+    /// `k - env.starts.len()`. Identical across workers: every worker
+    /// receives every publication at the same quantum boundary.
+    online_starts: Vec<u64>,
+    online_views: Vec<NetView>,
+    online_samplers: Vec<DestSampler>,
     /// Golden-equivalence hook: use the retained scan-order reference
     /// stepper instead of the event-driven one.
     #[cfg(test)]
     use_reference: bool,
+    /// Fault-injection hook: panic at the start of this cycle's
+    /// plan/grant phase (exercises the worker panic-safety path).
+    #[cfg(test)]
+    panic_at: Option<u64>,
 }
 
 impl<'a, P: FabricProbe> ShardWorker<'a, P> {
@@ -203,8 +301,50 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
             burst_rate: (cfg.rate / duty).min(1.0),
             id_base: (shard_index as u32) << ID_SHARD_SHIFT,
             next_local: 0,
+            online_starts: Vec::new(),
+            online_views: Vec::new(),
+            online_samplers: Vec::new(),
             #[cfg(test)]
             use_reference: false,
+            #[cfg(test)]
+            panic_at: None,
+        }
+    }
+
+    /// Adopts an online-churn epoch starting at `start`: re-provisions
+    /// the hop router (incremental escape-forest update, route cache
+    /// for the new epoch) and installs the epoch's snapshot and
+    /// destination sampler. `advance_epochs` flips the worker into the
+    /// epoch at `start` like any prescheduled one.
+    fn publish(&mut self, start: u64, view: NetView, op: ChurnOp) {
+        self.router.publish(&view, op);
+        self.online_samplers.push(DestSampler::new(
+            self.cfg.pattern.clone(),
+            view.faults(),
+            self.cfg.seed,
+        ));
+        self.online_starts.push(start);
+        self.online_views.push(view);
+    }
+
+    /// The cycle at which epoch `k + 1` takes effect, across the
+    /// prescheduled and online schedules, or `None` past the last one.
+    fn epoch_start(&self, k: usize) -> Option<u64> {
+        let base = self.env.starts.len();
+        if k < base {
+            Some(self.env.starts[k])
+        } else {
+            self.online_starts.get(k - base).copied()
+        }
+    }
+
+    /// Epoch `k`'s network snapshot (prescheduled or online).
+    fn epoch_view(&self, k: usize) -> &NetView {
+        let base = self.env.views.len();
+        if k < base {
+            &self.env.views[k]
+        } else {
+            &self.online_views[k - base]
         }
     }
 
@@ -214,10 +354,13 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
     /// (a partially injected worm keeps feeding — truncating it would
     /// wedge its VCs forever).
     fn advance_epochs(&mut self, cycle: u64, gen: &mut GenDelta) {
-        while self.cur_epoch < self.env.starts.len() && cycle >= self.env.starts[self.cur_epoch] {
+        while self.epoch_start(self.cur_epoch).is_some_and(|start| cycle >= start) {
             self.cur_epoch += 1;
             self.router.advance_epoch();
-            let faults = self.env.views[self.cur_epoch].faults();
+            // Clone the epoch view (an `Arc` bump) so the fault borrow
+            // does not alias the `sources` mutation below.
+            let view = self.epoch_view(self.cur_epoch).clone();
+            let faults = view.faults();
             for s in &mut self.sources {
                 let healthy = faults.is_healthy(s.coord);
                 if s.active && !healthy {
@@ -247,6 +390,10 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
     /// routers. Cross-shard effects land in the shard's outboxes;
     /// everything else accumulates into `done`.
     fn plan_and_grant(&mut self, cycle: u64, done: &mut CycleDone) {
+        #[cfg(test)]
+        if self.panic_at == Some(cycle) {
+            panic!("injected test panic at cycle {cycle}");
+        }
         if P::ACTIVE {
             self.probe.cycle_start(cycle);
         }
@@ -357,7 +504,11 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
                 continue;
             }
             let src = self.sources[i].coord;
-            let sampler = &self.env.samplers[self.cur_epoch];
+            let sampler = if self.cur_epoch < self.env.samplers.len() {
+                &self.env.samplers[self.cur_epoch]
+            } else {
+                &self.online_samplers[self.cur_epoch - self.env.samplers.len()]
+            };
             let Some(dst) = sampler.dest(src, &mut self.sources[i].rng) else {
                 continue;
             };
@@ -481,6 +632,16 @@ impl RunState {
             // +1: the ejection link (see the fabric timing contract).
             let delivered_at = cycle + 1;
             let gen_at = d.state.generated_at;
+            if d.state.killed {
+                // A churn-killed worm drained through the ejection
+                // port, but it was never delivered: it only releases
+                // its measurement obligation.
+                self.stats.churn_killed += 1;
+                if self.measured_window_contains(gen_at) {
+                    self.measured_outstanding -= 1;
+                }
+                continue;
+            }
             self.stats.epoch_delivered[d.state.epoch as usize] += 1;
             self.w_delivered += 1;
             self.w_lat_sum += delivered_at - gen_at;
@@ -598,11 +759,18 @@ pub struct TrafficSim<'p> {
     env: EpochEnv,
     sources: Vec<SourceNode>,
     stats: TrafficStats,
+    /// Online-churn event sources, polled by the coordinator at every
+    /// quantum boundary (see [`TrafficSim::with_online_churn`]).
+    online: Option<OnlineChurn>,
     /// Golden-equivalence hook: run on the retained scan-order
     /// reference stepper instead of the event-driven one (forces the
     /// in-process transport).
     #[cfg(test)]
     use_reference: bool,
+    /// Fault-injection hook: `(shard, cycle)` at which that shard's
+    /// worker panics (exercises the panic-safety path).
+    #[cfg(test)]
+    panic_at: Option<(usize, u64)>,
 }
 
 /// Builds the policy's hop router over a path table (shared between the
@@ -709,14 +877,14 @@ impl<'p> TrafficSim<'p> {
             .map(|v| DestSampler::new(cfg.pattern.clone(), v.faults(), cfg.seed))
             .collect();
         let mmp = matches!(cfg.injection, InjectionProcess::MarkovOnOff { .. });
-        // Source state exists for every node that is healthy at *any*
-        // epoch (repairs can bring nodes online mid-run); per-node RNG
-        // streams are seeded by node id, so the set's extent never
-        // changes any node's stream. Without churn this is exactly the
-        // classic healthy-node set.
+        // Source state exists for *every* node: online churn can repair
+        // a node that was faulty in every prescheduled epoch, and it
+        // must be able to start generating. Harmless otherwise —
+        // per-node RNG streams are seeded by node id (so extra sources
+        // never perturb any other node's stream) and an inactive source
+        // draws nothing, queues nothing and counts nothing.
         let sources: Vec<SourceNode> = mesh
             .iter()
-            .filter(|&c| views.iter().any(|v| v.faults().is_healthy(c)))
             .map(|c| {
                 let id = mesh.id(c);
                 let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, u64::from(id.0), 0));
@@ -749,6 +917,9 @@ impl<'p> TrafficSim<'p> {
             deadlocked: false,
             epoch_delivered: vec![0; views.len()],
             churn_dropped: 0,
+            churn_killed: 0,
+            churn_rejected: 0,
+            online_events: Vec::new(),
         };
         // TTL default: E-cube's escape walk is the only route source
         // whose length is effectively unbounded; every other router is
@@ -768,9 +939,31 @@ impl<'p> TrafficSim<'p> {
             env: EpochEnv { starts, views, samplers },
             sources,
             stats,
+            online: None,
             #[cfg(test)]
             use_reference: false,
+            #[cfg(test)]
+            panic_at: None,
         }
+    }
+
+    /// Attaches online churn: the coordinator polls the injector (and
+    /// the optional chaos schedule) at every `churn.quantum`-cycle
+    /// boundary and publishes the resulting epochs into the running
+    /// workers. See [`crate::churn`].
+    ///
+    /// # Panics
+    /// Panics when the config also carries a prescheduled
+    /// [`fault_churn`](SimConfig::fault_churn) (the two schedules would
+    /// race for the epoch sequence) or `churn.quantum` is zero.
+    pub fn with_online_churn(mut self, churn: OnlineChurn) -> Self {
+        assert!(
+            self.cfg.fault_churn.is_empty(),
+            "online churn and a prescheduled fault_churn cannot mix in one run"
+        );
+        assert!(churn.quantum >= 1, "churn quantum must be at least 1 cycle");
+        self.online = Some(churn);
+        self
     }
 
     /// Golden-equivalence hook: step the fabric with the retained
@@ -780,10 +973,25 @@ impl<'p> TrafficSim<'p> {
         self.use_reference = true;
     }
 
+    /// Fault-injection hook: make `shard`'s worker panic at the start
+    /// of `cycle` (exercises the panic-safety path).
+    #[cfg(test)]
+    pub(crate) fn set_panic_at(&mut self, shard: usize, cycle: u64) {
+        self.panic_at = Some((shard, cycle));
+    }
+
     /// Runs the full warmup / measure / drain protocol and returns the
     /// collected statistics.
+    ///
+    /// # Panics
+    /// Re-panics with the worker's message when a shard worker
+    /// panicked; use [`TrafficSim::try_run`] to handle that as a typed
+    /// error instead.
     pub fn run(self) -> TrafficStats {
-        self.run_with(&mut ())
+        match self.try_run() {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Like [`TrafficSim::run`], but streaming a [`WindowSample`] to
@@ -793,7 +1001,10 @@ impl<'p> TrafficSim<'p> {
     /// window boundary, classified exactly as at the drain deadline
     /// (`saturated` when measured packets are outstanding).
     pub fn run_with(self, obs: &mut dyn WindowObserver) -> TrafficStats {
-        self.run_observed(obs).0
+        match self.try_run_with(obs) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Like [`TrafficSim::run_with`], but also returning the merged
@@ -802,22 +1013,53 @@ impl<'p> TrafficSim<'p> {
     /// statistics — the instrumented run is bit-identical to the bare
     /// one (pinned by `crate::golden`).
     pub fn run_observed(self, obs: &mut dyn WindowObserver) -> (TrafficStats, Option<ObsReport>) {
+        match self.try_run_observed(obs) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`TrafficSim::run`] with worker failures surfaced as a typed
+    /// [`RunError`] instead of a panic — the graceful-degradation entry
+    /// point for long-lived services driving the simulator.
+    pub fn try_run(self) -> Result<TrafficStats, RunError> {
+        self.try_run_with(&mut ())
+    }
+
+    /// [`TrafficSim::run_with`] with worker failures surfaced as a
+    /// typed [`RunError`].
+    pub fn try_run_with(self, obs: &mut dyn WindowObserver) -> Result<TrafficStats, RunError> {
+        Ok(self.try_run_observed(obs)?.0)
+    }
+
+    /// [`TrafficSim::run_observed`] with worker failures surfaced as a
+    /// typed [`RunError`].
+    pub fn try_run_observed(
+        self,
+        obs: &mut dyn WindowObserver,
+    ) -> Result<(TrafficStats, Option<ObsReport>), RunError> {
         let level = self.cfg.obs;
         if level == ObsLevel::Off {
-            return (self.dispatch(obs, |_, _| NoProbe).0, None);
+            return Ok((self.dispatch(obs, |_, _| NoProbe)?.0, None));
         }
         let mesh = self.env.views[0].mesh();
         let (width, height) = (mesh.width() as usize, mesh.height() as usize);
         let (stats, probes) = self.dispatch(obs, move |i, s: &Shard| {
             let r = s.node_range();
             ShardObs::new(i, r.start as u32, r.end as u32, level)
-        });
-        (stats, Some(ObsReport::assemble(width, height, probes)))
+        })?;
+        Ok((stats, Some(ObsReport::assemble(width, height, probes))))
     }
 
     /// Routes a monomorphized run to the in-process or worker-thread
-    /// transport; `mk` builds the probe of each shard.
-    fn dispatch<P, F>(self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    /// transport; `mk` builds the probe of each shard. The in-process
+    /// transport never fails (a panic there propagates inline on this
+    /// thread — there is no hang to prevent).
+    fn dispatch<P, F>(
+        self,
+        obs: &mut dyn WindowObserver,
+        mk: F,
+    ) -> Result<(TrafficStats, Vec<P>), RunError>
     where
         P: FabricProbe + Send,
         F: Fn(usize, &Shard) -> P,
@@ -828,7 +1070,7 @@ impl<'p> TrafficSim<'p> {
         #[cfg(not(test))]
         let in_process = shards <= 1;
         if in_process {
-            self.run_in_process(obs, mk)
+            Ok(self.run_in_process(obs, mk))
         } else {
             self.run_threaded(obs, mk)
         }
@@ -862,6 +1104,7 @@ impl<'p> TrafficSim<'p> {
         P: FabricProbe,
         F: Fn(usize, &Shard) -> P,
     {
+        let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
         let shards = self.fabric.take_shards();
         let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
         let mut buckets = Self::partition_sources(self.sources, &ranges).into_iter();
@@ -896,13 +1139,31 @@ impl<'p> TrafficSim<'p> {
             ));
         }
         #[cfg(test)]
-        for w in &mut workers {
-            w.use_reference = self.use_reference;
+        {
+            for w in &mut workers {
+                w.use_reference = self.use_reference;
+            }
+            if let Some((shard, at)) = self.panic_at {
+                if let Some(w) = workers.get_mut(shard) {
+                    w.panic_at = Some(at);
+                }
+            }
         }
 
         let mut run = RunState::new(&self.cfg, self.stats);
         let mut cycle = 0u64;
         loop {
+            if let Some(drv) = drv.as_mut() {
+                for (view, op) in drv.poll(cycle) {
+                    // Grow the per-epoch delivery ledger exactly when
+                    // the epoch is published — its length is part of
+                    // the bit-identity contract.
+                    run.stats.epoch_delivered.push(0);
+                    for w in &mut workers {
+                        w.publish(cycle, view.clone(), op);
+                    }
+                }
+            }
             let mut agg = CycleDone::default();
             for w in &mut workers {
                 w.plan_and_grant(cycle, &mut agg);
@@ -931,7 +1192,12 @@ impl<'p> TrafficSim<'p> {
         for w in &mut workers {
             w.finish_run(cycle, reason);
         }
-        let stats = run.finish(workers.iter().map(|w| w.shard.escape_entries).sum());
+        let mut stats = run.finish(workers.iter().map(|w| w.shard.escape_entries).sum());
+        if let Some(drv) = drv {
+            let (events, rejected) = drv.into_outcome();
+            stats.online_events = events;
+            stats.churn_rejected = rejected;
+        }
         (stats, workers.into_iter().map(|w| w.probe).collect())
     }
 
@@ -941,11 +1207,18 @@ impl<'p> TrafficSim<'p> {
     /// their band neighbors over channels; the coordinator gates each
     /// cycle, so no worker ever runs ahead of a termination or
     /// observer decision.
-    fn run_threaded<P, F>(mut self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    fn run_threaded<P, F>(
+        mut self,
+        obs: &mut dyn WindowObserver,
+        mk: F,
+    ) -> Result<(TrafficStats, Vec<P>), RunError>
     where
         P: FabricProbe + Send,
         F: Fn(usize, &Shard) -> P,
     {
+        let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
+        #[cfg(test)]
+        let panic_at = self.panic_at;
         let mut shards = self.fabric.take_shards();
         let n = shards.len();
         assert!(n < (1 << (32 - ID_SHARD_SHIFT)), "shard count exceeds the packet-id namespace");
@@ -982,7 +1255,7 @@ impl<'p> TrafficSim<'p> {
             up_tx.push(Some(t));
             up_rx.push(Some(r));
         }
-        let (done_tx, done_rx) = channel::unbounded::<CycleDone>();
+        let (done_tx, done_rx) = channel::unbounded::<WorkerReport>();
         let mut done_tx = Some(done_tx);
 
         let shard0 = shards.remove(0);
@@ -1003,44 +1276,79 @@ impl<'p> TrafficSim<'p> {
                 let cfg = &cfg;
                 let probe = mk(w, &shard);
                 handles.push(scope.spawn(move |_| {
-                    let mut paths = worker_table(&env.views, kind);
-                    let router = build_hop_router(&mut paths, cfg);
-                    let mut worker =
-                        ShardWorker::new(shard, sources, router, env, cfg, ttl, w, probe);
-                    loop {
-                        match go_rx.recv() {
-                            Ok(Go::Cycle(cycle)) => {
-                                let mut done = CycleDone::default();
-                                worker.plan_and_grant(cycle, &mut done);
-                                let t = P::ACTIVE.then(Instant::now);
-                                let (prev, next) = worker.take_outboxes();
-                                let _ = send_up.send(prev);
-                                if let Some(tx) = &send_down {
-                                    let _ = tx.send(next);
-                                } else {
-                                    debug_assert!(next.is_empty(), "last shard has no neighbor");
+                    // The dying-word sender lives outside the unwind
+                    // boundary: a caught panic is reported over the
+                    // shared `done` lane, exactly where the coordinator
+                    // would otherwise block forever.
+                    let report_tx = done_tx.clone();
+                    let caught = catch_unwind(AssertUnwindSafe(move || {
+                        let mut paths = worker_table(&env.views, kind);
+                        let router = build_hop_router(&mut paths, cfg);
+                        let mut worker =
+                            ShardWorker::new(shard, sources, router, env, cfg, ttl, w, probe);
+                        #[cfg(test)]
+                        {
+                            worker.panic_at = panic_at.and_then(|(s, at)| (s == w).then_some(at));
+                        }
+                        loop {
+                            match go_rx.recv() {
+                                Ok(Go::Cycle(cycle)) => {
+                                    let mut done = CycleDone::default();
+                                    worker.plan_and_grant(cycle, &mut done);
+                                    let t = P::ACTIVE.then(Instant::now);
+                                    let (prev, next) = worker.take_outboxes();
+                                    let _ = send_up.send(prev);
+                                    if let Some(tx) = &send_down {
+                                        let _ = tx.send(next);
+                                    } else {
+                                        debug_assert!(
+                                            next.is_empty(),
+                                            "last shard has no neighbor"
+                                        );
+                                    }
+                                    // A dead neighbor lane means the run
+                                    // is being torn down (that neighbor
+                                    // panicked or exited): return cleanly
+                                    // instead of panicking into the
+                                    // teardown.
+                                    let Ok(msgs) = recv_above.recv() else {
+                                        return (worker.shard, worker.probe);
+                                    };
+                                    worker.shard.apply_boundary(msgs);
+                                    if let Some(rx) = &recv_below {
+                                        let Ok(msgs) = rx.recv() else {
+                                            return (worker.shard, worker.probe);
+                                        };
+                                        worker.shard.apply_boundary(msgs);
+                                    }
+                                    if let Some(t) = t {
+                                        worker.probe.phase_ns(
+                                            Phase::Boundary,
+                                            t.elapsed().as_nanos() as u64,
+                                        );
+                                    }
+                                    worker.finish_cycle(&mut done);
+                                    let _ = done_tx.send(WorkerReport::Cycle(done));
                                 }
-                                worker.shard.apply_boundary(
-                                    recv_above.recv().expect("coordinator shard died mid-cycle"),
-                                );
-                                if let Some(rx) = &recv_below {
-                                    worker.shard.apply_boundary(
-                                        rx.recv().expect("neighbor shard died mid-cycle"),
-                                    );
+                                Ok(Go::Publish(start, view, op)) => {
+                                    worker.publish(start, view, op);
                                 }
-                                if let Some(t) = t {
-                                    worker
-                                        .probe
-                                        .phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
+                                Ok(Go::Finish(cycle, reason)) => {
+                                    worker.finish_run(cycle, reason);
+                                    return (worker.shard, worker.probe);
                                 }
-                                worker.finish_cycle(&mut done);
-                                let _ = done_tx.send(done);
+                                Err(_) => return (worker.shard, worker.probe),
                             }
-                            Ok(Go::Finish(cycle, reason)) => {
-                                worker.finish_run(cycle, reason);
-                                return (worker.shard, worker.probe);
-                            }
-                            Err(_) => return (worker.shard, worker.probe),
+                        }
+                    }));
+                    match caught {
+                        Ok(pair) => Some(pair),
+                        Err(payload) => {
+                            let _ = report_tx.send(WorkerReport::Panicked {
+                                shard: w,
+                                message: panic_message(payload.as_ref()),
+                            });
+                            None
                         }
                     }
                 }));
@@ -1054,31 +1362,105 @@ impl<'p> TrafficSim<'p> {
 
             // Shard 0 runs here, interleaved with coordination.
             let mut w0 = ShardWorker::new(shard0, bucket0, self.router, env, &cfg, ttl, 0, probe0);
+            #[cfg(test)]
+            {
+                w0.panic_at = panic_at.and_then(|(s, at)| (s == 0).then_some(at));
+            }
             let mut run = run;
             let mut cycle = 0u64;
+            let mut failure: Option<RunError> = None;
             loop {
+                if let Some(drv) = drv.as_mut() {
+                    for (view, op) in drv.poll(cycle) {
+                        // Grow the per-epoch delivery ledger exactly
+                        // when the epoch is published — its length is
+                        // part of the bit-identity contract.
+                        run.stats.epoch_delivered.push(0);
+                        for tx in &go_tx {
+                            let _ = tx.send(Go::Publish(cycle, view.clone(), op));
+                        }
+                        w0.publish(cycle, view, op);
+                    }
+                }
                 for tx in &go_tx {
                     let _ = tx.send(Go::Cycle(cycle));
                 }
                 let mut agg = CycleDone::default();
-                w0.plan_and_grant(cycle, &mut agg);
-                let t = P::ACTIVE.then(Instant::now);
-                let (prev, next) = w0.take_outboxes();
-                debug_assert!(prev.is_empty(), "shard 0 has no previous neighbor");
-                let _ = down0_tx.send(next);
-                w0.shard.apply_boundary(up0_rx.recv().expect("worker shard died mid-cycle"));
-                if let Some(t) = t {
-                    w0.probe.phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
+                // Shard 0's own cycle work, caught so a panic here
+                // tears the run down typed instead of unwinding with
+                // worker threads still blocked on their lanes.
+                let step = catch_unwind(AssertUnwindSafe(|| -> Result<(), ()> {
+                    w0.plan_and_grant(cycle, &mut agg);
+                    let t = P::ACTIVE.then(Instant::now);
+                    let (prev, next) = w0.take_outboxes();
+                    debug_assert!(prev.is_empty(), "shard 0 has no previous neighbor");
+                    let _ = down0_tx.send(next);
+                    let Ok(msgs) = up0_rx.recv() else {
+                        return Err(());
+                    };
+                    w0.shard.apply_boundary(msgs);
+                    if let Some(t) = t {
+                        w0.probe.phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
+                    }
+                    w0.finish_cycle(&mut agg);
+                    Ok(())
+                }));
+                match step {
+                    Ok(Ok(())) => {}
+                    Ok(Err(())) => failure = Some(RunError::WorkerLost),
+                    Err(payload) => {
+                        failure = Some(RunError::WorkerPanicked {
+                            shard: 0,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
                 }
-                w0.finish_cycle(&mut agg);
-                for _ in 1..n {
-                    agg.merge(done_rx.recv().expect("worker shard died mid-cycle"));
+                if failure.is_none() {
+                    for _ in 1..n {
+                        match done_rx.recv() {
+                            Ok(WorkerReport::Cycle(d)) => agg.merge(d),
+                            Ok(WorkerReport::Panicked { shard, message }) => {
+                                failure = Some(RunError::WorkerPanicked { shard, message });
+                                break;
+                            }
+                            Err(_) => {
+                                failure = Some(RunError::WorkerLost);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if failure.is_some() {
+                    break;
                 }
                 let stop = run.end_of_cycle(cycle, agg, obs);
                 cycle += 1;
                 if stop {
                     break;
                 }
+            }
+            if let Some(mut err) = failure {
+                // Teardown: dropping every coordinator-held sender
+                // disconnects the control and boundary lanes, so every
+                // blocked worker observes the disconnect and returns —
+                // the run fails typed, it never hangs.
+                drop(go_tx);
+                drop(down0_tx);
+                for h in handles {
+                    let _ = h.join();
+                }
+                // Prefer a root-cause panic report over a bare lane
+                // death: the report may still have been in flight when
+                // the coordinator first noticed the disconnect.
+                if err == RunError::WorkerLost {
+                    while let Ok(r) = done_rx.try_recv() {
+                        if let WorkerReport::Panicked { shard, message } = r {
+                            err = RunError::WorkerPanicked { shard, message };
+                            break;
+                        }
+                    }
+                }
+                return Err(err);
             }
             let reason = run.stop;
             for tx in &go_tx {
@@ -1089,13 +1471,21 @@ impl<'p> TrafficSim<'p> {
             let mut probes = Vec::with_capacity(n);
             probes.push(w0.probe);
             for h in handles {
-                let (shard, probe) = h.join().expect("sharded simulation worker panicked");
+                let Ok(Some((shard, probe))) = h.join() else {
+                    return Err(RunError::WorkerLost);
+                };
                 escape += shard.escape_entries;
                 probes.push(probe);
             }
-            (run.finish(escape), probes)
+            let mut stats = run.finish(escape);
+            if let Some(drv) = drv {
+                let (events, rejected) = drv.into_outcome();
+                stats.online_events = events;
+                stats.churn_rejected = rejected;
+            }
+            Ok((stats, probes))
         })
-        .expect("sharded simulation worker panicked")
+        .expect("simulation coordinator panicked")
     }
 }
 
@@ -1381,6 +1771,122 @@ mod tests {
         };
         let mut paths = PathTable::new(&net, RoutingKind::Xy);
         let _ = TrafficSim::new(&mut paths, cfg);
+    }
+
+    #[test]
+    fn injected_worker_panic_surfaces_as_typed_error() {
+        let net = fault_free(12);
+        let cfg = SimConfig { rate: 0.02, threads: 3, ..SimConfig::smoke() };
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let mut sim = TrafficSim::new(&mut paths, cfg.clone());
+        sim.set_panic_at(1, 40);
+        match sim.try_run() {
+            Err(RunError::WorkerPanicked { shard, message }) => {
+                assert_eq!(shard, 1);
+                assert!(message.contains("injected test panic at cycle 40"), "{message}");
+            }
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+        // The coordinator's own band (shard 0) fails just as typed —
+        // and in both cases the run returned instead of hanging.
+        let mut sim = TrafficSim::new(&mut paths, cfg);
+        sim.set_panic_at(0, 40);
+        match sim.try_run() {
+            Err(RunError::WorkerPanicked { shard, .. }) => assert_eq!(shard, 0),
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn online_churn_kills_stranded_traffic_and_recovers_after_repair() {
+        use crate::churn::{ChurnInjector, OnlineChurn};
+        let net = fault_free(8);
+        let hot = Coord::new(4, 4);
+        let cfg = SimConfig {
+            rate: 0.05,
+            pattern: TrafficPattern::Hotspot { targets: vec![hot], fraction: 0.8 },
+            stats_window: 50,
+            ..SimConfig::smoke()
+        };
+        // Unscheduled events injected *mid-run* from the window
+        // observer: fail the hotspot during the measure phase, repair
+        // it a hundred cycles later.
+        struct MidRun {
+            injector: ChurnInjector,
+            at: Coord,
+        }
+        impl crate::WindowObserver for MidRun {
+            fn on_window(&mut self, s: &crate::WindowSample) -> crate::WindowControl {
+                if s.end == 50 {
+                    self.injector.fail(self.at);
+                } else if s.end == 150 {
+                    self.injector.repair(self.at);
+                }
+                crate::WindowControl::Continue
+            }
+        }
+        let injector = ChurnInjector::new();
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let sim =
+            TrafficSim::new(&mut paths, cfg).with_online_churn(OnlineChurn::new(injector.clone()));
+        let mut obs = MidRun { injector, at: hot };
+        let stats = sim.try_run_with(&mut obs).expect("online churn must not fail the run");
+        assert!(!stats.deadlocked, "online churn must never wedge the fabric");
+        assert_eq!(
+            stats.online_events.iter().map(|e| e.op).collect::<Vec<_>>(),
+            vec![ChurnOp::Fail(hot), ChurnOp::Repair(hot)],
+            "both unscheduled events must apply: {:?}",
+            stats.online_events
+        );
+        assert_eq!(stats.churn_rejected, 0);
+        assert!(stats.churn_killed > 0, "hotspot-bound worms must be killed by the failure");
+        assert_eq!(stats.epoch_delivered.len(), 3, "base epoch + two online epochs");
+        assert!(stats.epoch_delivered[2] > 0, "traffic must flow again after the repair");
+        assert!(stats.measured_delivered <= stats.measured_generated);
+    }
+
+    #[test]
+    fn online_churn_is_bit_identical_at_every_shard_count() {
+        use crate::churn::{ChaosConfig, OnlineChurn};
+        let net = fault_free(12);
+        let chaos = ChaosConfig {
+            seed: 5,
+            fail_prob: 0.6,
+            repair_prob: 0.4,
+            start: 40,
+            stop: 300,
+            max_faults: 5,
+        };
+        let mk = |threads| {
+            let cfg = SimConfig { rate: 0.02, threads, ..SimConfig::smoke() };
+            let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+            TrafficSim::new(&mut paths, cfg)
+                .with_online_churn(OnlineChurn::chaos(chaos).with_quantum(16))
+                .try_run()
+                .expect("chaos run must complete")
+        };
+        let base = mk(1);
+        assert!(!base.online_events.is_empty(), "chaos must fire inside its window");
+        assert!(!base.deadlocked);
+        assert_eq!(base.epoch_delivered.len(), base.online_events.len() + 1);
+        for threads in [2, 4] {
+            assert_eq!(base, mk(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix")]
+    fn online_churn_and_prescheduled_churn_cannot_mix() {
+        use crate::churn::{ChurnInjector, OnlineChurn};
+        use crate::config::ChurnEvent;
+        let net = fault_free(6);
+        let cfg = SimConfig {
+            fault_churn: vec![ChurnEvent::fail(40, Coord::new(2, 2))],
+            ..SimConfig::smoke()
+        };
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let _ = TrafficSim::new(&mut paths, cfg)
+            .with_online_churn(OnlineChurn::new(ChurnInjector::new()));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::config::ChurnEvent;
+
 /// A latency histogram with 1-cycle-wide buckets and an overflow tail.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
@@ -140,6 +142,21 @@ pub struct TrafficStats {
     /// a partially injected worm is always completed first). Always 0
     /// without fault churn.
     pub churn_dropped: u64,
+    /// In-flight packets drained out of the fabric by *online* churn:
+    /// an unscheduled fault landed on the packet's position,
+    /// destination, or committed escape run and no replan existed. The
+    /// graceful-degradation counterpart of a wedge — these packets are
+    /// accounted, not deadlocked. Always 0 without online churn.
+    pub churn_killed: u64,
+    /// Online churn events refused at the epoch barrier (failing an
+    /// already-faulty node, repairing a healthy one, off-mesh targets).
+    /// Always 0 without online churn.
+    pub churn_rejected: u64,
+    /// The online churn events actually applied, in publication order
+    /// (`cycle` = the barrier cycle each took effect). Empty without
+    /// online churn; prescheduled churn is in
+    /// [`SimConfig::fault_churn`](crate::SimConfig) instead.
+    pub online_events: Vec<ChurnEvent>,
 }
 
 impl TrafficStats {
@@ -340,6 +357,9 @@ mod tests {
             deadlocked: false,
             epoch_delivered: vec![18],
             churn_dropped: 0,
+            churn_killed: 0,
+            churn_rejected: 0,
+            online_events: Vec::new(),
         };
         assert_eq!(s.accepted_flits_per_node_cycle(), 0.4);
         assert_eq!(s.delivered_pct(), 90.0);
@@ -368,6 +388,9 @@ mod tests {
             deadlocked: false,
             epoch_delivered: vec![100],
             churn_dropped: 0,
+            churn_killed: 0,
+            churn_rejected: 0,
+            online_events: Vec::new(),
         };
         assert_eq!(s.p50_latency(), 50);
         assert_eq!(s.p95_latency(), 95);

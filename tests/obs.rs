@@ -11,7 +11,7 @@
 //! the fabric demonstrably cannot drain.
 
 use meshpath::prelude::*;
-use meshpath::traffic::{run_traffic_observed, DrainStallObserver, PathTable};
+use meshpath::traffic::{run_traffic_observed, DrainStallObserver, PathTable, TrafficSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -93,6 +93,43 @@ fn wedged_drain_stops_as_drain_stall_with_stalled_packets() {
     assert!(!pm.wait_edges.is_empty());
     // The early cut really did save cycles vs the full deadlock run.
     assert!(stats.cycles < 150 + 500 + 1200, "stopped before the configured horizon");
+}
+
+#[test]
+fn online_churn_wedges_keep_postmortem_parity_and_unperturbed_stats() {
+    // The same wedge recipe, now with live churn published mid-run
+    // through the online epoch path: observability must stay
+    // non-perturbing across epochs the run *invented as it went*, and a
+    // wedge under churn must dump the same-quality post-mortem as a
+    // static one.
+    let net = wedge_net();
+    let chaos = ChaosConfig {
+        seed: 11,
+        fail_prob: 0.5,
+        repair_prob: 0.25,
+        start: 100,
+        stop: 400,
+        max_faults: 3,
+    };
+    let run = |level: ObsLevel| {
+        let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+        let sim = TrafficSim::new(&mut paths, wedge_cfg().with_obs(level))
+            .with_online_churn(OnlineChurn::chaos(chaos));
+        sim.run_observed(&mut ())
+    };
+    let (bare, none) = run(ObsLevel::Off);
+    assert!(none.is_none(), "off means off under churn too");
+    assert!(!bare.online_events.is_empty(), "the chaos schedule must fire: {bare:?}");
+    assert!(bare.deadlocked, "the wedge recipe must still wedge under churn: {bare:?}");
+    for level in [ObsLevel::Metrics, ObsLevel::Trace] {
+        let (stats, report) = run(level);
+        assert_eq!(stats, bare, "observation at {level:?} must not perturb a churning run");
+        let report = report.expect("obs enabled yields a report");
+        assert!(report.stop.is_wedged());
+        let pm = report.postmortem.as_ref().expect("wedged churn runs dump a post-mortem");
+        assert!(!pm.stalled.is_empty(), "stalled packets listed");
+        assert!(!pm.wait_edges.is_empty(), "VC wait-for graph non-empty");
+    }
 }
 
 #[test]
