@@ -2,8 +2,15 @@
 //! fault density.
 //!
 //! Usage: `traffic_sweep [--quick] [--json] [--obs] [--trace]
-//! [--mesh N] [--seed N] [--threads N] [--sim-threads N] [--out DIR]
-//! [--no-early-exit]`.
+//! [--mesh N] [--faults A,B,..] [--rates A,B,..] [--seed N]
+//! [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]`.
+//!
+//! `--faults` and `--rates` override the sweep axes (comma-separated),
+//! the knobs the large-mesh bench ladders use to bound their point
+//! budget: a 256x256 `--quick` run keeps the smoke windows but sweeps
+//! only the low rates that such a mesh can accept (uniform-traffic
+//! bisection capacity shrinks as `4*side/nodes`, so the 16x16 smoke
+//! rates would all saturate).
 //!
 //! `--obs` instruments every simulated point with the `meshpath-obs`
 //! metrics probe (link counters, stall/occupancy histograms, phase
@@ -65,6 +72,18 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--faults" => {
+                cfg.fault_counts = take("--faults")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--faults: comma-separated integers"))
+                    .collect();
+            }
+            "--rates" => {
+                cfg.rates = take("--rates")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--rates: comma-separated floats"))
+                    .collect();
+            }
             "--seed" => cfg.seed = take("--seed").parse().expect("--seed: integer"),
             "--threads" => cfg.threads = take("--threads").parse().expect("--threads: integer"),
             "--sim-threads" => {
@@ -74,7 +93,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: traffic_sweep [--quick] [--json] [--obs] [--trace] [--mesh N] \
-                     [--seed N] [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]"
+                     [--faults A,B,..] [--rates A,B,..] [--seed N] [--threads N] \
+                     [--sim-threads N] [--out DIR] [--no-early-exit]"
                 );
                 return;
             }

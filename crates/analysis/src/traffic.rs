@@ -363,6 +363,12 @@ impl LoadSweepResult {
                             .map(|s| s.boundary_to_prev + s.boundary_to_next)
                             .sum::<u64>(),
                     )
+                    // Coordinator barriers summed over shards; with the
+                    // free-running lease transport this is `cycles *
+                    // shards / realized lease factor`, the figure the
+                    // 256x256 ladder watches to confirm the lease
+                    // actually amortizes the round trip.
+                    .field("barriers", r.shards.iter().map(|s| s.barriers).sum::<u64>())
                     .field("plan_ns", phase_ns(Phase::Plan))
                     .field("boundary_ns", phase_ns(Phase::Boundary))
                     .field("commit_ns", phase_ns(Phase::Commit))
@@ -691,6 +697,7 @@ mod tests {
         assert!(json.contains("\"obs\": \"metrics\""), "{json}");
         assert!(json.contains("\"obs_report\": ["), "{json}");
         assert_eq!(json.matches("\"plan_ns\"").count(), res.points.len());
+        assert_eq!(json.matches("\"barriers\"").count(), res.points.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         // The instrumented sweep's statistics stay bit-identical to the
         // bare sweep's (the sweep-level face of the golden guarantee).

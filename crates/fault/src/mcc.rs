@@ -26,7 +26,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use meshpath_mesh::{Coord, FaultSet, Grid, Mesh, Orientation, Rect};
+use meshpath_mesh::{Coord, FaultSet, FxHashMap, Grid, Mesh, Orientation, Rect};
 
 use crate::labeling::{BorderPolicy, Labeling};
 
@@ -224,10 +224,52 @@ pub struct MccSet {
     labeling: Labeling,
     mccs: Vec<Mcc>,
     /// Oriented coordinate -> owning MCC id (`NO_MCC` for safe cells).
-    cell_mcc: Grid<u32>,
+    cell_mcc: CellIndex,
 }
 
 const NO_MCC: u32 = u32::MAX;
+
+/// Cell-to-component index: dense per-node ids on small meshes, a hash map
+/// holding only the unsafe cells (absent = `NO_MCC`) on large ones — the
+/// storage mirrors the labeling's own mask representation, so a sparse
+/// labeling never re-materializes an O(nodes) grid here.
+#[derive(Clone, Debug)]
+enum CellIndex {
+    Dense(Grid<u32>),
+    Sparse { mesh: Mesh, map: FxHashMap<u32, u32> },
+}
+
+impl CellIndex {
+    fn new(mesh: Mesh, sparse: bool) -> Self {
+        if sparse {
+            CellIndex::Sparse { mesh, map: FxHashMap::default() }
+        } else {
+            CellIndex::Dense(Grid::new(mesh, NO_MCC))
+        }
+    }
+
+    /// Owning component id at `oc` (`NO_MCC` for safe or out-of-mesh).
+    #[inline]
+    fn get(&self, oc: Coord) -> u32 {
+        match self {
+            CellIndex::Dense(g) => g.get(oc).copied().unwrap_or(NO_MCC),
+            CellIndex::Sparse { mesh, map } => match mesh.try_id(oc) {
+                Some(id) => map.get(&id.0).copied().unwrap_or(NO_MCC),
+                None => NO_MCC,
+            },
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, oc: Coord, id: u32) {
+        match self {
+            CellIndex::Dense(g) => g[oc] = id,
+            CellIndex::Sparse { mesh, map } => {
+                map.insert(mesh.id(oc).0, id);
+            }
+        }
+    }
+}
 
 impl MccSet {
     /// Labels `faults` under `orientation`/`border` and extracts the MCCs.
@@ -240,24 +282,28 @@ impl MccSet {
     pub fn from_labeling(labeling: Labeling, faults: &FaultSet) -> Self {
         let mesh = *labeling.mesh();
         let orientation = labeling.orientation();
-        let mut cell_mcc = Grid::new(mesh, NO_MCC);
+        let mut cell_mcc = CellIndex::new(mesh, labeling.mask_is_sparse());
         let mut mccs: Vec<Mcc> = Vec::new();
         let mut stack: Vec<Coord> = Vec::new();
         let mut cells: Vec<Coord> = Vec::new();
 
-        for start in mesh.iter() {
-            if !labeling.status(start).is_unsafe() || cell_mcc[start] != NO_MCC {
+        // `unsafe_nodes()` is row-major sorted under both mask
+        // representations, so discovery order — and with it the MccId
+        // assignment — is identical to a full row-major mesh scan while
+        // touching only the unsafe cells.
+        for start in labeling.unsafe_nodes() {
+            if cell_mcc.get(start) != NO_MCC {
                 continue;
             }
             let id = MccId(mccs.len() as u32);
             cells.clear();
-            cell_mcc[start] = id.0;
+            cell_mcc.set(start, id.0);
             stack.push(start);
             while let Some(u) = stack.pop() {
                 cells.push(u);
                 for v in mesh.neighbors(u) {
-                    if labeling.status(v).is_unsafe() && cell_mcc[v] == NO_MCC {
-                        cell_mcc[v] = id.0;
+                    if labeling.status(v).is_unsafe() && cell_mcc.get(v) == NO_MCC {
+                        cell_mcc.set(v, id.0);
                         stack.push(v);
                     }
                 }
@@ -368,10 +414,8 @@ impl MccSet {
     /// The MCC owning the (oriented) coordinate, if it is an unsafe cell.
     #[inline]
     pub fn mcc_at(&self, oc: Coord) -> Option<MccId> {
-        match self.cell_mcc.get(oc) {
-            Some(&raw) if raw != NO_MCC => Some(MccId(raw)),
-            _ => None,
-        }
+        let raw = self.cell_mcc.get(oc);
+        (raw != NO_MCC).then_some(MccId(raw))
     }
 }
 
@@ -516,6 +560,52 @@ mod tests {
         assert!(!(m.shadow_y(s) && m.critical_y(Coord::new(6, 9))));
         // And the X-type condition for a west-east pair on the same row.
         assert!(m.shadow_x(Coord::new(0, 5)) && m.critical_x(Coord::new(9, 5)));
+    }
+
+    mod representation_equivalence {
+        use super::*;
+        use meshpath_mesh::FaultInjection;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// MCC extraction from a sparse labeling must assign the same
+            /// MccIds, shapes and cell index as from the dense one: the
+            /// discovery scan goes through `unsafe_nodes()` whose order is
+            /// representation-independent.
+            #[test]
+            fn sparse_extraction_matches_dense(
+                ((n, faults), (seed, o_ix)) in
+                    ((5u32..18, 0usize..10), (0u64..u64::MAX, 0usize..4))
+            ) {
+                let mesh = Mesh::square(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let fs = FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng);
+                let o = Orientation::ALL[o_ix];
+                let dense = MccSet::from_labeling(
+                    Labeling::compute_forced(&fs, o, BorderPolicy::Open, false),
+                    &fs,
+                );
+                let sparse = MccSet::from_labeling(
+                    Labeling::compute_forced(&fs, o, BorderPolicy::Open, true),
+                    &fs,
+                );
+                prop_assert_eq!(dense.len(), sparse.len());
+                for (d, s) in dense.iter().zip(sparse.iter()) {
+                    prop_assert_eq!(d.id(), s.id());
+                    prop_assert_eq!(d.x0(), s.x0());
+                    prop_assert_eq!(d.cols(), s.cols());
+                    prop_assert_eq!(d.cell_count(), s.cell_count());
+                    prop_assert_eq!(d.faulty_count(), s.faulty_count());
+                    prop_assert_eq!(d.bbox(), s.bbox());
+                }
+                for oc in mesh.iter() {
+                    prop_assert_eq!(dense.mcc_at(oc), sparse.mcc_at(oc), "at {:?}", oc);
+                }
+            }
+        }
     }
 
     #[test]

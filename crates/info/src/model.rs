@@ -15,11 +15,70 @@
 //! O(1) and the routing layer can scan candidates cheaply.
 
 use meshpath_fault::{Mcc, MccId, MccSet};
-use meshpath_mesh::{BitGrid, Coord, Mesh};
+use meshpath_mesh::{BitGrid, Coord, FxHashSet, Mesh};
 use serde::{Deserialize, Serialize};
 
 use crate::boundary::BoundarySet;
 use crate::walker::Walk;
+
+/// One carrier set (the nodes holding one MCC's triple): dense bits on
+/// small meshes, a hash set of node ids on large ones. Knowledge is sparse
+/// at scale — carriers cluster around the component — so per-MCC `BitGrid`s
+/// would cost `O(nodes)` each (the dominant memory term of a large-mesh
+/// `Network::build`). The representation follows the labeling's own mask
+/// storage, so sparse labelings never materialize dense knowledge tables.
+#[derive(Clone, Debug)]
+enum NodeSet {
+    Dense(BitGrid),
+    Sparse { mesh: Mesh, set: FxHashSet<u32> },
+}
+
+impl NodeSet {
+    fn new(mesh: Mesh, sparse: bool) -> Self {
+        if sparse {
+            NodeSet::Sparse { mesh, set: FxHashSet::default() }
+        } else {
+            NodeSet::Dense(BitGrid::new(mesh))
+        }
+    }
+
+    /// Inserts the node at `c`; returns whether it was newly inserted.
+    fn insert(&mut self, c: Coord) -> bool {
+        match self {
+            NodeSet::Dense(g) => g.insert(c),
+            NodeSet::Sparse { mesh, set } => set.insert(mesh.id(c).0),
+        }
+    }
+
+    /// True when the node at `c` is in the set (false out of mesh).
+    #[inline]
+    fn contains(&self, c: Coord) -> bool {
+        match self {
+            NodeSet::Dense(g) => g.contains(c),
+            NodeSet::Sparse { mesh, set } => {
+                matches!(mesh.try_id(c), Some(id) if set.contains(&id.0))
+            }
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            NodeSet::Dense(g) => g.count(),
+            NodeSet::Sparse { set, .. } => set.len(),
+        }
+    }
+
+    /// In-place union; both sets share a mesh and a representation.
+    fn union_with(&mut self, other: &NodeSet) {
+        match (self, other) {
+            (NodeSet::Dense(a), NodeSet::Dense(b)) => a.union_with(b),
+            (NodeSet::Sparse { set: a, .. }, NodeSet::Sparse { set: b, .. }) => {
+                a.extend(b.iter().copied());
+            }
+            _ => unreachable!("NodeSet representations diverged within one model"),
+        }
+    }
+}
 
 /// Which information model a table was built under.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -98,10 +157,10 @@ impl PropagationStats {
 pub struct InfoModel {
     kind: ModelKind,
     mesh: Mesh,
-    /// One bit-set per MCC: the nodes holding that MCC's triple.
-    knowledge: Vec<BitGrid>,
+    /// One carrier set per MCC: the nodes holding that MCC's triple.
+    knowledge: Vec<NodeSet>,
     /// Union of all carriers (Fig. 5c numerator).
-    involved: BitGrid,
+    involved: NodeSet,
     /// Eq.-4 successor per MCC (type-I), resolved at build time; `None`
     /// for B1/B2 (which do not record relations) and for chain tails.
     succ_y: Vec<Option<MccId>>,
@@ -119,13 +178,14 @@ impl InfoModel {
     /// already-constructed [`BoundarySet`].
     pub fn build_with(set: &MccSet, bounds: &BoundarySet, kind: ModelKind) -> Self {
         let mesh = *set.mesh();
-        let mut knowledge: Vec<BitGrid> = Vec::with_capacity(set.len());
-        let mut involved = BitGrid::new(mesh);
+        let sparse = set.labeling().mask_is_sparse();
+        let mut knowledge: Vec<NodeSet> = Vec::with_capacity(set.len());
+        let mut involved = NodeSet::new(mesh, sparse);
         let mut messages = 0u64;
 
         for mcc in set.iter() {
             let b = bounds.get(mcc.id());
-            let mut grid = BitGrid::new(mesh);
+            let mut grid = NodeSet::new(mesh, sparse);
             let mut absorb = |walk_nodes: &[Coord], messages: &mut u64| {
                 for &c in walk_nodes {
                     grid.insert(c);
@@ -325,10 +385,10 @@ impl InfoModel {
         self.stats
     }
 
-    /// The union of carrier nodes.
+    /// Number of distinct carrier nodes (the Fig. 5c numerator).
     #[inline]
-    pub fn involved(&self) -> &BitGrid {
-        &self.involved
+    pub fn involved_count(&self) -> usize {
+        self.involved.count()
     }
 }
 
@@ -548,5 +608,54 @@ mod tests {
         assert_eq!(m.stats().involved_nodes, 0);
         assert_eq!(m.stats().involved_pct(), 0.0);
         assert!(m.known_at(Coord::new(3, 3)).is_empty());
+    }
+
+    mod representation_equivalence {
+        use super::*;
+        use meshpath_fault::Labeling;
+        use meshpath_mesh::{FaultInjection, Orientation};
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// An `InfoModel` built over a sparse labeling (hash-set
+            /// carrier sets) must agree bit for bit with one built over
+            /// the dense labeling: same knowledge, same propagation stats.
+            #[test]
+            fn sparse_knowledge_matches_dense(
+                ((n, faults), (seed, o_ix, kind_ix)) in
+                    ((5u32..16, 0usize..8), (0u64..u64::MAX, 0usize..4, 0usize..3))
+            ) {
+                let mesh = Mesh::square(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let fs = FaultSet::random(mesh, faults, FaultInjection::Uniform, &mut rng);
+                let o = Orientation::ALL[o_ix];
+                let kind = ModelKind::ALL[kind_ix];
+                let dense = MccSet::from_labeling(
+                    Labeling::compute_forced(&fs, o, meshpath_fault::BorderPolicy::Open, false),
+                    &fs,
+                );
+                let sparse = MccSet::from_labeling(
+                    Labeling::compute_forced(&fs, o, meshpath_fault::BorderPolicy::Open, true),
+                    &fs,
+                );
+                let dm = InfoModel::build(&dense, kind);
+                let sm = InfoModel::build(&sparse, kind);
+                prop_assert_eq!(dm.stats(), sm.stats());
+                prop_assert_eq!(dm.involved_count(), sm.involved_count());
+                for oc in mesh.iter() {
+                    for id in (0..dense.len() as u32).map(MccId) {
+                        prop_assert_eq!(
+                            dm.knows(oc, id),
+                            sm.knows(oc, id),
+                            "knows({:?}, {:?}) diverged", oc, id
+                        );
+                    }
+                    prop_assert_eq!(dm.known_at(oc), sm.known_at(oc));
+                }
+            }
+        }
     }
 }

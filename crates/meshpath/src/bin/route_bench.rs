@@ -2,7 +2,7 @@
 //! trajectory.
 //!
 //! Usage: `route_bench [--quick] [--json] [--obs] [--mesh N]
-//! [--queries N] [--batch N] [--cache-nodes N] [--reps N] [--seed N]`.
+//! [--queries N] [--batch N] [--cache-entries N] [--reps N] [--seed N]`.
 //!
 //! Phases, in row order:
 //!
@@ -47,7 +47,7 @@ fn main() {
     let mut mesh_n: u32 = if quick { 16 } else { 32 };
     let mut queries: usize = if quick { 2_000 } else { 20_000 };
     let mut batch: usize = 256;
-    let mut cache_nodes: usize = DEFAULT_CACHE_NODES;
+    let mut cache_entries: usize = DEFAULT_CACHE_ENTRIES;
     let mut reps: usize = 3;
     let mut seed: u64 = 0x5eed_0007;
     let mut args = argv.iter();
@@ -63,15 +63,15 @@ fn main() {
             "--mesh" => mesh_n = take("--mesh").parse().expect("--mesh: integer"),
             "--queries" => queries = take("--queries").parse().expect("--queries: integer"),
             "--batch" => batch = take("--batch").parse().expect("--batch: integer"),
-            "--cache-nodes" => {
-                cache_nodes = take("--cache-nodes").parse().expect("--cache-nodes: integer")
+            "--cache-entries" => {
+                cache_entries = take("--cache-entries").parse().expect("--cache-entries: integer")
             }
             "--reps" => reps = take("--reps").parse().expect("--reps: integer"),
             "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: route_bench [--quick] [--json] [--obs] [--mesh N] [--queries N] \
-                     [--batch N] [--cache-nodes N] [--reps N] [--seed N]"
+                     [--batch N] [--cache-entries N] [--reps N] [--seed N]"
                 );
                 return;
             }
@@ -88,7 +88,7 @@ fn main() {
     let fault_count = (mesh.len() / 40).max(4);
     let mut rng = StdRng::seed_from_u64(seed);
     let faults = FaultSet::random(mesh, fault_count, FaultInjection::Uniform, &mut rng);
-    let service = RouteService::new(faults).with_route_cache(cache_nodes);
+    let service = RouteService::new(faults).with_route_cache(cache_entries);
     let service = if obs { service.with_metrics() } else { service };
 
     // A deterministic query set over healthy pairs.
@@ -400,7 +400,7 @@ fn main() {
             .field("faults", fault_count)
             .field("queries", queries)
             .field("batch", batch)
-            .field("cache_nodes", cache_nodes)
+            .field("cache_entries", cache_entries)
             .field("seed", seed)
             .string("router", service.router_name())
             .float("total_wall_ms", total_wall_ms, 3);

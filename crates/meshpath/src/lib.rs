@@ -106,12 +106,13 @@
 //! * [`route`](RouteService::route) — one query, one epoch check;
 //! * [`route_many`](RouteService::route_many) — a batch against one
 //!   snapshot resolution, sharing router scratch across the batch;
-//! * the **per-epoch warm route cache** — meshes up to a configurable
-//!   node budget ([`RouteService::with_route_cache`], default
-//!   [`DEFAULT_CACHE_NODES`] nodes) lazily memoize full query outcomes
-//!   per epoch (striped, no global lock), so repeated pairs are
-//!   answered by path reconstruction, bit-identical to re-running the
-//!   router; larger meshes route on demand per hop.
+//! * the **per-epoch warm route cache** — a configurable entries
+//!   budget ([`RouteService::with_route_cache`], default
+//!   [`DEFAULT_CACHE_ENTRIES`] memoized pairs) of lazily filled query
+//!   outcomes per epoch (striped segmented-LRU, no global lock), so
+//!   repeated pairs are answered by path reconstruction, bit-identical
+//!   to re-running the router, on meshes of any size; cold pairs age
+//!   out of the budget instead of gating the cache off.
 //!
 //! For direct, service-free use the same pieces compose by hand:
 //! [`NetState`](prelude::NetState) owns the mutable state,
@@ -163,7 +164,7 @@ mod cache;
 mod service;
 
 pub use service::{
-    RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
+    RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_ENTRIES,
 };
 
 /// The items most programs need.
@@ -186,7 +187,7 @@ pub mod prelude {
     };
 
     pub use crate::service::{
-        RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_NODES,
+        RetryPolicy, RouteError, RouteReply, RouteService, ServiceMetrics, DEFAULT_CACHE_ENTRIES,
     };
 }
 

@@ -34,14 +34,15 @@
 //!
 //! ## Per-epoch warm route cache
 //!
-//! For meshes up to the node budget
+//! Each published epoch carries a lazily filled outcome memo bounded by
+//! an **entries budget**
 //! ([`with_route_cache`](RouteService::with_route_cache), default
-//! [`DEFAULT_CACHE_NODES`]) each published epoch carries a lazily
-//! filled all-pairs outcome memo (striped interior mutability — see
-//! `crate::cache`): repeated queries for a pair are answered by path
-//! reconstruction instead of re-running the router, bit-identical to a
-//! fresh computation. Larger meshes skip the cache and route on demand
-//! per hop, so the design survives meshes far beyond the memo's memory
+//! [`DEFAULT_CACHE_ENTRIES`]; striped interior mutability plus
+//! segmented-LRU eviction — see `crate::cache`): repeated queries for a
+//! pair are answered by path reconstruction instead of re-running the
+//! router, bit-identical to a fresh computation. Because the bound is
+//! on memoized *pairs*, not mesh size, hot pairs are served from the
+//! cache on arbitrarily large meshes while cold pairs age out of the
 //! budget.
 
 use std::cell::RefCell;
@@ -59,11 +60,12 @@ use meshpath_traffic::{ChurnInjector, ChurnOp};
 
 use crate::cache::RouteCache;
 
-/// Default node budget for the per-epoch warm route cache: meshes up to
-/// this many nodes (32×32) memoize query outcomes per epoch; larger
-/// meshes always route on demand. Override per service with
+/// Default entries budget for the per-epoch warm route cache: up to
+/// this many `(source, destination)` outcomes stay memoized per epoch,
+/// independent of mesh size — the cache evicts cold generations instead
+/// of refusing to memoize on large meshes. Override per service with
 /// [`RouteService::with_route_cache`].
-pub const DEFAULT_CACHE_NODES: usize = 1024;
+pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 16;
 
 /// Why a route query failed. Every variant names the offending
 /// coordinates, so callers can log or retry without re-deriving
@@ -286,9 +288,9 @@ pub struct RouteService {
     id: u64,
     router: Box<dyn Router + Send + Sync>,
     metrics: Option<ServiceMetrics>,
-    /// Warm-cache node budget: epochs of meshes up to this many nodes
-    /// carry a route cache; larger meshes route on demand.
-    cache_nodes: usize,
+    /// Warm-cache entries budget: each epoch's cache memoizes up to
+    /// this many pair outcomes (segmented LRU); `0` disables caching.
+    cache_entries: usize,
 }
 
 impl RouteService {
@@ -309,15 +311,15 @@ impl RouteService {
     }
 
     fn from_state(state: NetState, kind: RoutingKind) -> Self {
-        let cache_nodes = DEFAULT_CACHE_NODES;
-        let current = ArcSwap::new(Self::serve(state.view(), cache_nodes));
+        let cache_entries = DEFAULT_CACHE_ENTRIES;
+        let current = ArcSwap::new(Self::serve(state.view(), cache_entries));
         RouteService {
             writer: Mutex::new(state),
             current,
             id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
             router: kind.router(),
             metrics: None,
-            cache_nodes,
+            cache_entries,
         }
     }
 
@@ -329,19 +331,20 @@ impl RouteService {
         self
     }
 
-    /// This service with the warm route cache's node budget set to
-    /// `nodes` (builder): epochs of meshes with at most `nodes` nodes
-    /// memoize query outcomes; `0` disables the cache entirely. The
-    /// default is [`DEFAULT_CACHE_NODES`].
-    pub fn with_route_cache(mut self, nodes: usize) -> Self {
-        self.cache_nodes = nodes;
+    /// This service with the warm route cache's entries budget set to
+    /// `entries` (builder): each epoch memoizes up to `entries` query
+    /// outcomes, evicting cold pairs segmented-LRU style once the
+    /// budget fills; `0` disables the cache entirely. The default is
+    /// [`DEFAULT_CACHE_ENTRIES`].
+    pub fn with_route_cache(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
         let view = self.writer.get_mut().expect("route service writer poisoned").view();
-        self.current.store(Self::serve(view, nodes));
+        self.current.store(Self::serve(view, entries));
         self
     }
 
-    fn serve(view: NetView, cache_nodes: usize) -> Arc<Served> {
-        let cache = (view.mesh().len() <= cache_nodes).then(RouteCache::new);
+    fn serve(view: NetView, cache_entries: usize) -> Arc<Served> {
+        let cache = (cache_entries > 0).then(|| RouteCache::new(cache_entries));
         Arc::new(Served { view, cache })
     }
 
@@ -615,7 +618,7 @@ impl RouteService {
         if out.is_ok() {
             // Published while the writer mutex is held, so epochs enter
             // the RCU slot in strictly increasing order.
-            self.current.store(Self::serve(state.view(), self.cache_nodes));
+            self.current.store(Self::serve(state.view(), self.cache_entries));
         }
         drop(state);
         if let (Some(m), Some(t)) = (&self.metrics, t) {
@@ -631,7 +634,7 @@ impl fmt::Debug for RouteService {
         f.debug_struct("RouteService")
             .field("router", &self.router.name())
             .field("view", &self.view())
-            .field("cache_nodes", &self.cache_nodes)
+            .field("cache_entries", &self.cache_entries)
             .finish()
     }
 }
@@ -705,6 +708,22 @@ mod tests {
         assert_eq!(a.result, b.result);
         let m = svc.metrics().expect("enabled");
         assert_eq!((m.cache_hits(), m.cache_misses()), (0, 0), "budget 0 disables the cache");
+    }
+
+    #[test]
+    fn large_meshes_memoize_hot_pairs_within_the_entries_budget() {
+        // 64x64 = 4096 nodes — far beyond the old all-or-nothing node
+        // gate. The entries-budget LRU must still serve repeats warm.
+        let mesh = Mesh::square(64);
+        let svc = RouteService::new(FaultSet::from_coords(mesh, [Coord::new(30, 30)]))
+            .with_metrics()
+            .with_route_cache(256);
+        let (s, d) = (Coord::new(1, 2), Coord::new(60, 55));
+        let cold = svc.route(s, d).expect("routable");
+        let warm = svc.route(s, d).expect("routable");
+        assert_eq!(warm.result, cold.result, "warm replies stay bit-identical on large meshes");
+        let m = svc.metrics().expect("enabled");
+        assert_eq!((m.cache_hits(), m.cache_misses()), (1, 1));
     }
 
     #[test]

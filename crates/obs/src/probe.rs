@@ -81,6 +81,12 @@ pub trait FabricProbe {
     /// Boundary messages sent to the neighbor shards this cycle.
     #[inline]
     fn boundary_out(&mut self, _to_prev: u64, _to_next: u64) {}
+    /// One coordinator barrier reached: the worker received a lease
+    /// covering `cycles` cycles. Lockstep transports grant one cycle
+    /// per barrier; the free-running lease transport amortizes the
+    /// round trip, so `barriers * lease ~= cycles run`.
+    #[inline]
+    fn barrier(&mut self, _cycles: u64) {}
     /// Adds wall-clock nanoseconds to a worker phase.
     #[inline]
     fn phase_ns(&mut self, _phase: Phase, _ns: u64) {}
@@ -137,6 +143,7 @@ pub struct ShardObs {
     pub(crate) dropped: u64,
     pub(crate) boundary_to_prev: u64,
     pub(crate) boundary_to_next: u64,
+    pub(crate) barriers: u64,
     pub(crate) phases: PhaseProfile,
     pub(crate) ring: FlightRecorder,
     pub(crate) stalled: Vec<StalledPacket>,
@@ -170,6 +177,7 @@ impl ShardObs {
             dropped: 0,
             boundary_to_prev: 0,
             boundary_to_next: 0,
+            barriers: 0,
             phases: PhaseProfile::new(),
             ring: FlightRecorder::new(ring_cap),
             stalled: Vec::new(),
@@ -270,6 +278,11 @@ impl FabricProbe for ShardObs {
     fn boundary_out(&mut self, to_prev: u64, to_next: u64) {
         self.boundary_to_prev += to_prev;
         self.boundary_to_next += to_next;
+    }
+
+    #[inline]
+    fn barrier(&mut self, _cycles: u64) {
+        self.barriers += 1;
     }
 
     #[inline]

@@ -1,9 +1,12 @@
 //! The merged run report: [`ObsReport`] assembly from per-shard
 //! accumulators, plus text heatmap renderers.
 //!
-//! Assembly is deterministic: per-node arrays are disjoint copies (the
-//! row bands partition the mesh), scalars are sums, histograms merge
-//! commutatively, and event streams concatenate in shard-index order.
+//! Assembly is deterministic: per-node arrays merge additively at each
+//! shard's node offset (every node is recorded by exactly one shard,
+//! but the flat *bounding* intervals of rectangular tiles may overlap,
+//! so the merge adds rather than copies), scalars are sums, histograms
+//! merge commutatively, and event streams concatenate in shard-index
+//! order.
 //! Running the same simulation at any thread count therefore produces
 //! the same simulation statistics, while the report's per-shard section
 //! reflects the actual partitioning used.
@@ -56,16 +59,24 @@ fn neighbor(width: usize, height: usize, node: u32, dir: u8) -> Option<u32> {
 /// Per-shard slice of the report (partitioning-dependent data).
 #[derive(Clone, Debug)]
 pub struct ShardReport {
-    /// Shard index (row-band order, bottom rows first).
+    /// Shard index (tile order: columns fastest, bottom rows first).
     pub shard: usize,
-    /// Flat node range `[start, end)` the shard owned.
+    /// Start of the flat *bounding* node interval the shard owned.
+    /// For rectangular tiles narrower than the mesh this interval
+    /// also spans other tiles' columns; it brackets, not partitions.
     pub node_start: u32,
-    /// End of the owned node range (exclusive).
+    /// End of the bounding node interval (exclusive).
     pub node_end: u32,
-    /// Boundary messages sent to the shard below.
+    /// Boundary messages sent toward lower-indexed neighbor tiles
+    /// (`-x` and `-y`).
     pub boundary_to_prev: u64,
-    /// Boundary messages sent to the shard above.
+    /// Boundary messages sent toward higher-indexed neighbor tiles
+    /// (`+x` and `+y`).
     pub boundary_to_next: u64,
+    /// Coordinator barriers this shard's worker synchronized on (one
+    /// per granted lease; lockstep transports grant one cycle per
+    /// barrier, so `cycles / barriers` is the realized lease factor).
+    pub barriers: u64,
     /// Accumulated wall-clock per worker phase.
     pub phases: PhaseProfile,
     /// Trace events offered to this shard's flight recorder.
@@ -129,9 +140,16 @@ impl ObsReport {
         let mut stalled = Vec::new();
         let mut wait_edges = Vec::new();
         for s in &shards {
-            let (a, b) = (s.start as usize, s.end as usize);
-            link_flits[a * 4..b * 4].copy_from_slice(&s.link_flits);
-            escape_entries[a..b].copy_from_slice(&s.escape_entries);
+            // Additive merge at the shard's offset: tile bounding
+            // intervals can overlap, but each node is recorded by
+            // exactly one shard, so adding is exact.
+            let a = s.start as usize;
+            for (i, v) in s.link_flits.iter().enumerate() {
+                link_flits[a * 4 + i] += v;
+            }
+            for (i, v) in s.escape_entries.iter().enumerate() {
+                escape_entries[a + i] += v;
+            }
             stall_cycles.merge(&s.stall_cycles);
             vc_occupancy.merge(&s.vc_occupancy);
             injected += s.injected;
@@ -143,6 +161,7 @@ impl ObsReport {
                 node_end: s.end,
                 boundary_to_prev: s.boundary_to_prev,
                 boundary_to_next: s.boundary_to_next,
+                barriers: s.barriers,
                 phases: s.phases,
                 events_seen: s.ring.seen(),
             });

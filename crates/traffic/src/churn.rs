@@ -213,6 +213,12 @@ impl OnlineDriver {
         }
     }
 
+    /// The polling quantum in cycles (lease windows are clamped to
+    /// quantum boundaries so publications stay ordered with replay).
+    pub(crate) fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
     /// Polls both event sources at a quantum boundary; returns the
     /// epoch publications to broadcast, one per applied operation.
     ///

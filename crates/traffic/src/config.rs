@@ -143,7 +143,7 @@ pub struct SimConfig {
     /// exactly [`packet_len`](SimConfig::packet_len), or geometric with
     /// that mean.
     pub length: LengthDist,
-    /// Worker threads (= row-band fabric shards) stepping a single
+    /// Worker threads (= fabric tile shards) stepping a single
     /// simulation concurrently. Results are **bit-identical at every
     /// thread count** (see the sharding docs in [`crate::fabric`]).
     ///
@@ -154,6 +154,29 @@ pub struct SimConfig {
     /// amortize the cycle barrier). The count is always clamped to the
     /// mesh height — each shard owns at least one row.
     pub threads: usize,
+    /// Tile columns for the shard partition. The resolved worker count
+    /// is arranged as a `cols x rows` tile grid: `tile_cols` columns
+    /// (clamped to the thread count and mesh width) by
+    /// `threads / tile_cols` rows of rectangular tiles. The default
+    /// `1` keeps the classic row-band partition. Like `threads`, the
+    /// tile shape **never changes results** — runs are bit-identical
+    /// at every partitioning (pinned by `crate::golden`).
+    pub tile_cols: usize,
+    /// Lease window length in cycles: how far a worker may free-run
+    /// between coordinator barriers. `0` (the default) selects the
+    /// automatic per-tile bound `min(tile_w, tile_h)` clamped to
+    /// `[1, 64]`, with deterministic occupancy adaptation — idle tiles
+    /// get their lease doubled (capped at 64), hot tiles (more than a
+    /// quarter of the tile's nodes moving flits per cycle over the
+    /// previous lease) get it halved — computed only from committed
+    /// flit counts of the previous window, never wall clock. An
+    /// explicit value fixes the window for every tile. Because the
+    /// per-cycle neighbor boundary exchange is kept regardless, the
+    /// lease only amortizes the coordinator round trip: results are
+    /// **bit-identical for every lease length** (pinned by
+    /// `crate::golden`). Under online churn every lease is clamped to
+    /// the next quantum boundary so epoch publications stay ordered.
+    pub lease: u64,
     /// Streaming-statistics window length in cycles: every
     /// `stats_window` cycles, [`TrafficSim::run_with`] hands a
     /// [`WindowSample`] (window mean latency, accepted flits, in-flight
@@ -202,6 +225,8 @@ impl Default for SimConfig {
             injection: InjectionProcess::Bernoulli,
             length: LengthDist::Fixed,
             threads: 0,
+            tile_cols: 1,
+            lease: 0,
             stats_window: 250,
             fault_churn: Vec::new(),
             obs: ObsLevel::Off,
@@ -229,6 +254,18 @@ impl SimConfig {
     /// [`threads`](SimConfig::threads)).
     pub fn with_threads(self, threads: usize) -> Self {
         SimConfig { threads, ..self }
+    }
+
+    /// This config with a different tile-column count (builder; see
+    /// [`tile_cols`](SimConfig::tile_cols)).
+    pub fn with_tile_cols(self, tile_cols: usize) -> Self {
+        SimConfig { tile_cols, ..self }
+    }
+
+    /// This config with a different lease window (builder; see
+    /// [`lease`](SimConfig::lease)).
+    pub fn with_lease(self, lease: u64) -> Self {
+        SimConfig { lease, ..self }
     }
 
     /// This config with a destination pattern (builder).

@@ -78,10 +78,12 @@
 //!
 //! ## Sharded stepping and the boundary-exchange protocol
 //!
-//! The mesh is spatially partitioned into **row-band shards**
-//! ([`Fabric::new_sharded`]): shard `s` owns the contiguous row band
-//! `rows[s*H/N .. (s+1)*H/N)`, and with row-major node ids that is a
-//! contiguous node range. Each shard owns *all* state of its nodes —
+//! The mesh is spatially partitioned into **rectangular tile shards**
+//! ([`Fabric::new_tiled`]): a `C x R` tile grid where tile `(c, r)`
+//! owns columns `[c*W/C, (c+1)*W/C)` of rows `[r*H/R, (r+1)*H/R)`.
+//! Row bands are the `C = 1` special case ([`Fabric::new_sharded`]),
+//! retained as the default partition. Each shard owns *all* state of
+//! its nodes —
 //! input-VC queues, output-VC owner/credit mirrors, round-robin
 //! pointers, occupancy/request/free-VC bitmasks, and its own
 //! active-router worklist — so two shards share **no** mutable state
@@ -106,17 +108,21 @@
 //! 1. **Plan/grant** (parallel): every shard allocates its active
 //!    routers and ages its parked heads. Grants whose link or credit
 //!    return stays inside the shard are staged locally, exactly as
-//!    before. Grants that cross the band edge — a `±Y` hop out of the
-//!    shard's first or last row, or a credit owed to an upstream router
-//!    in the adjacent band — are appended to a per-neighbor **outbox**
-//!    as [`BoundaryMsg`]s (`Arrival` carries the flit plus, for heads,
+//!    before. Grants that cross a tile edge — a hop out of the shard's
+//!    border rows/columns, or a credit owed to an upstream router in an
+//!    adjacent tile — are appended to a per-direction **outbox** (one
+//!    per mesh [`Dir`], at most four tile neighbors) as
+//!    [`BoundaryMsg`]s (`Arrival` carries the flit plus, for heads,
 //!    the traveling [`PacketState`]; `Credit` names the upstream
 //!    output VC).
-//! 2. **Exchange + commit**: each shard hands its outboxes to its `±1`
-//!    neighbors (adjacent bands only — a single hop crosses at most one
-//!    band edge) and merges the inboxes into its staged arrival/credit
-//!    lists, then commits the cycle boundary: arrivals land (activating
-//!    their routers), credits return (refreshing free-VC bits).
+//! 2. **Exchange + commit**: each shard hands its outboxes to its tile
+//!    neighbors (edge-adjacent tiles only — a single hop crosses at
+//!    most one tile edge) and merges the inboxes into its staged
+//!    arrival/credit lists, then commits the cycle boundary: arrivals
+//!    land (activating their routers), credits return (refreshing
+//!    free-VC bits). The apply order of inboxes is irrelevant: two
+//!    same-cycle arrivals can never target the same input VC (wormhole
+//!    allocation), and staged credits are commutative increments.
 //!
 //! No shard ever observes another shard's mid-cycle state: everything a
 //! neighbor did this cycle arrives as staged messages applied at the
@@ -326,22 +332,41 @@ pub struct StepReport {
     pub moved: u64,
     /// Flits consumed by ejection ports this cycle.
     pub flits_ejected: u64,
+    /// Packets that committed to an escape class this cycle (the
+    /// per-cycle delta the free-running lease transport accumulates —
+    /// overshoot cycles past the stop decision must not pollute the
+    /// run total).
+    pub escape_entries: u64,
 }
 
-/// One row-band shard of the fabric: every router in a contiguous node
-/// range, with all of its buffers, credits, allocator state and
-/// worklist — plus staged arrivals/credits and the outboxes of
-/// [`BoundaryMsg`]s for the two adjacent bands. `Send`, so the sharded
-/// driver can move shards onto worker threads.
+/// One rectangular tile shard of the fabric: every router in a
+/// `[col0, col1) x [row0, row1)` rectangle, with all of its buffers,
+/// credits, allocator state and worklist — plus staged arrivals/credits
+/// and one outbox of [`BoundaryMsg`]s per tile-adjacent neighbor.
+/// `Send`, so the sharded driver can move shards onto worker threads.
 pub(crate) struct Shard {
     mesh: Mesh,
     vcs: usize,
     vc_depth: usize,
     /// VCs per output port reserved as the escape class (top indices).
     escape_vcs: usize,
-    /// Global node range `[start, end)` this shard owns.
+    /// Column range `[col0, col1)` this tile owns.
+    col0: usize,
+    col1: usize,
+    /// Row range `[row0, row1)` this tile owns.
+    row0: usize,
+    row1: usize,
+    /// `col1 - col0`, the local-index row stride.
+    tile_w: usize,
+    /// Bounding global-node-id range `[start, end)`: the ids of the
+    /// tile's first and one-past-last node. Contiguous (and exact) for
+    /// row bands; for narrower tiles the range also spans other tiles'
+    /// columns — callers may only use it as a bounding interval.
     start: usize,
     end: usize,
+    /// Shard index of the tile neighbor in each mesh direction
+    /// (indexed by `Dir as usize`), `None` at the partition edge.
+    neighbors: [Option<usize>; 4],
     /// `[local node][in_port][vc]` flattened.
     in_vcs: Vec<InVc>,
     /// `[local node][out_dir][vc]` flattened.
@@ -354,10 +379,9 @@ pub(crate) struct Shard {
     /// Staged credit returns (local out_vc indices), applied at the
     /// boundary.
     credit_returns: Vec<usize>,
-    /// Boundary messages for the shard owning lower node ids.
-    out_prev: Vec<BoundaryMsg>,
-    /// Boundary messages for the shard owning higher node ids.
-    out_next: Vec<BoundaryMsg>,
+    /// Boundary messages for the tile neighbor in each direction
+    /// (indexed by `Dir as usize`).
+    out_boxes: [Vec<BoundaryMsg>; 4],
     /// Flits currently inside this shard (buffers + staged arrivals).
     pub(crate) in_flight: u64,
     /// Packets that committed to the escape class in this shard.
@@ -379,30 +403,39 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         mesh: Mesh,
         vcs: usize,
         vc_depth: usize,
         escape_vcs: usize,
-        start: usize,
-        end: usize,
+        cols: Range<usize>,
+        rows: Range<usize>,
+        neighbors: [Option<usize>; 4],
     ) -> Self {
-        let nodes = end - start;
+        let width = mesh.width() as usize;
+        let tile_w = cols.end - cols.start;
+        let nodes = tile_w * (rows.end - rows.start);
         let bits = |r: Range<usize>| ((1u32 << r.end) - 1) & !((1u32 << r.start) - 1);
         let mut shard = Shard {
             mesh,
             vcs,
             vc_depth,
             escape_vcs,
-            start,
-            end,
+            col0: cols.start,
+            col1: cols.end,
+            row0: rows.start,
+            row1: rows.end,
+            tile_w,
+            start: rows.start * width + cols.start,
+            end: (rows.end - 1) * width + cols.end,
+            neighbors,
             in_vcs: vec![InVc::default(); nodes * IN_PORTS * vcs],
             out_vcs: vec![OutVc { owner: None, credits: vc_depth as u32 }; nodes * DIRS * vcs],
             rr: vec![0; nodes * OUT_PORTS],
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
-            out_prev: Vec::new(),
-            out_next: Vec::new(),
+            out_boxes: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             in_flight: 0,
             escape_entries: 0,
             occ_mask: vec![0; nodes],
@@ -417,14 +450,53 @@ impl Shard {
         shard
     }
 
-    /// Global node range `[start, end)` this shard owns.
+    /// Bounding global-node-id range `[start, end)` of this tile:
+    /// exact for row bands, a bounding interval (also spanning other
+    /// tiles' columns) for narrower tiles. Every node this shard owns
+    /// lies inside it, and instrumentation keyed on it stays sound
+    /// because each node is recorded by exactly one shard.
     pub(crate) fn node_range(&self) -> Range<usize> {
         self.start..self.end
     }
 
+    /// Number of nodes this tile owns.
     #[inline]
-    fn contains_node(&self, node: usize) -> bool {
-        (self.start..self.end).contains(&node)
+    fn nodes(&self) -> usize {
+        self.tile_w * (self.row1 - self.row0)
+    }
+
+    /// `(tile width, tile height)` in nodes.
+    pub(crate) fn tile_dims(&self) -> (usize, usize) {
+        (self.tile_w, self.row1 - self.row0)
+    }
+
+    /// Shard index of the tile neighbor in each mesh direction
+    /// (indexed by `Dir as usize`).
+    pub(crate) fn neighbors(&self) -> [Option<usize>; 4] {
+        self.neighbors
+    }
+
+    #[inline]
+    pub(crate) fn contains_node(&self, node: usize) -> bool {
+        let w = self.mesh.width() as usize;
+        let (x, y) = (node % w, node / w);
+        (self.col0..self.col1).contains(&x) && (self.row0..self.row1).contains(&y)
+    }
+
+    /// Local (tile-internal) index of an owned global node id.
+    #[inline]
+    fn local_of(&self, node: usize) -> usize {
+        let w = self.mesh.width() as usize;
+        let (x, y) = (node % w, node / w);
+        debug_assert!(self.contains_node(node), "local index of an unowned node");
+        (y - self.row0) * self.tile_w + (x - self.col0)
+    }
+
+    /// Global node id of a local (tile-internal) index.
+    #[inline]
+    fn global_of(&self, lnode: usize) -> usize {
+        let w = self.mesh.width() as usize;
+        (self.row0 + lnode / self.tile_w) * w + self.col0 + lnode % self.tile_w
     }
 
     #[inline]
@@ -492,15 +564,24 @@ impl Shard {
     }
 
     /// The outbox owning boundary messages addressed to `node` (which
-    /// lies outside this shard's range; adjacent bands only).
+    /// lies outside this tile; edge-adjacent tiles only — a single hop
+    /// crosses exactly one tile edge).
     #[inline]
     fn outbox_for(&mut self, node: usize) -> &mut Vec<BoundaryMsg> {
-        if node < self.start {
-            &mut self.out_prev
+        let w = self.mesh.width() as usize;
+        let (x, y) = (node % w, node / w);
+        let dir = if x < self.col0 {
+            Dir::MinusX
+        } else if x >= self.col1 {
+            Dir::PlusX
+        } else if y < self.row0 {
+            Dir::MinusY
         } else {
-            debug_assert!(node >= self.end, "outbox for an owned node");
-            &mut self.out_next
-        }
+            debug_assert!(y >= self.row1, "outbox for an owned node");
+            Dir::PlusY
+        };
+        debug_assert!(self.neighbors[dir as usize].is_some(), "boundary message off the mesh");
+        &mut self.out_boxes[dir as usize]
     }
 
     /// Stages one flit onto `node`'s injection channel (head flits
@@ -508,7 +589,7 @@ impl Shard {
     /// next cycle.
     pub(crate) fn inject(&mut self, node: NodeId, flit: Flit, state: Option<PacketState>) {
         debug_assert_eq!(flit.is_head, state.is_some(), "heads travel with their state");
-        let lnode = node.index() - self.start;
+        let lnode = self.local_of(node.index());
         let idx = self.in_idx(lnode, LOCAL_PORT, 0);
         self.arrivals.push((idx, flit, state));
         self.in_flight += 1;
@@ -516,13 +597,13 @@ impl Shard {
 
     /// Occupancy of the node's injection channel (applied flits only).
     pub(crate) fn local_occupancy(&self, node: NodeId) -> usize {
-        self.in_vcs[self.in_idx(node.index() - self.start, LOCAL_PORT, 0)].queue.len()
+        self.in_vcs[self.in_idx(self.local_of(node.index()), LOCAL_PORT, 0)].queue.len()
     }
 
-    /// Drains the two neighbor outboxes (called between the plan/grant
-    /// phase and commit).
-    pub(crate) fn take_outboxes(&mut self) -> (Vec<BoundaryMsg>, Vec<BoundaryMsg>) {
-        (std::mem::take(&mut self.out_prev), std::mem::take(&mut self.out_next))
+    /// Drains the per-direction neighbor outboxes (called between the
+    /// plan/grant phase and commit), indexed by `Dir as usize`.
+    pub(crate) fn take_outboxes(&mut self) -> [Vec<BoundaryMsg>; 4] {
+        std::mem::take(&mut self.out_boxes)
     }
 
     /// Merges a neighbor's boundary messages into this shard's staged
@@ -531,8 +612,8 @@ impl Shard {
         for m in msgs {
             match m {
                 BoundaryMsg::Arrival { node, in_port, vc, flit, state } => {
-                    let lnode = node as usize - self.start;
                     debug_assert!(self.contains_node(node as usize), "misrouted boundary arrival");
+                    let lnode = self.local_of(node as usize);
                     self.in_flight += 1;
                     self.arrivals.push((
                         self.in_idx(lnode, in_port as usize, vc as usize),
@@ -541,8 +622,8 @@ impl Shard {
                     ));
                 }
                 BoundaryMsg::Credit { node, dir, vc } => {
-                    let lnode = node as usize - self.start;
                     debug_assert!(self.contains_node(node as usize), "misrouted boundary credit");
+                    let lnode = self.local_of(node as usize);
                     self.credit_returns.push(self.out_idx(lnode, dir as usize, vc as usize));
                 }
             }
@@ -561,8 +642,9 @@ impl Shard {
         let mut i = 0;
         while i < self.worklist.len() {
             let node = self.worklist[i] as usize;
-            if self.occ_mask[node - self.start] == 0 {
-                self.in_worklist[node - self.start] = false;
+            let lnode = self.local_of(node);
+            if self.occ_mask[lnode] == 0 {
+                self.in_worklist[lnode] = false;
                 self.worklist.swap_remove(i);
                 continue;
             }
@@ -583,7 +665,7 @@ impl Shard {
         probe: &mut P,
     ) {
         let here = self.mesh.coord(NodeId(node as u32));
-        let lnode = node - self.start;
+        let lnode = self.local_of(node);
         let vcs = self.vcs;
         let slots = IN_PORTS * vcs;
 
@@ -705,7 +787,7 @@ impl Shard {
         probe: &mut P,
     ) -> bool {
         let vcs = self.vcs;
-        let lnode = node - self.start;
+        let lnode = self.local_of(node);
         let (in_port, vc) = (slot / vcs, slot % vcs);
         let in_idx = lnode * IN_PORTS * vcs + slot;
         let flit = self.in_vcs[in_idx].queue.pop_front().expect("granted slots are occupied");
@@ -725,7 +807,7 @@ impl Shard {
             let up_id = self.mesh.id(upstream).index();
             let up_dir = to_upstream.opposite() as usize;
             if self.contains_node(up_id) {
-                let idx = self.out_idx(up_id - self.start, up_dir, vc);
+                let idx = self.out_idx(self.local_of(up_id), up_dir, vc);
                 self.credit_returns.push(idx);
             } else {
                 self.outbox_for(up_id).push(BoundaryMsg::Credit {
@@ -774,6 +856,7 @@ impl Shard {
                     if class != VcClass::Adaptive && st.mode == VcClass::Adaptive {
                         st.mode = class;
                         self.escape_entries += 1;
+                        report.escape_entries += 1;
                         entered_escape = Some(class);
                     }
                 }
@@ -812,11 +895,11 @@ impl Shard {
             let next_id = self.mesh.id(next).index();
             let next_in = dir.opposite() as usize;
             if self.contains_node(next_id) {
-                let next_idx = self.in_idx(next_id - self.start, next_in, v);
+                let next_idx = self.in_idx(self.local_of(next_id), next_in, v);
                 self.arrivals.push((next_idx, flit, state));
             } else {
                 // The flit leaves this shard: hand it (and, for heads,
-                // the traveling state) to the neighbor band.
+                // the traveling state) to the neighbor tile.
                 self.in_flight -= 1;
                 self.outbox_for(next_id).push(BoundaryMsg::Arrival {
                     node: next_id as u32,
@@ -842,7 +925,7 @@ impl Shard {
         let slots = IN_PORTS * self.vcs;
         for i in 0..self.worklist.len() {
             let node = self.worklist[i];
-            let lnode = node as usize - self.start;
+            let lnode = self.local_of(node as usize);
             let mut m = self.occ_mask[lnode];
             while m != 0 {
                 let slot = m.trailing_zeros() as usize;
@@ -869,7 +952,7 @@ impl Shard {
     pub(crate) fn sample_occupancy<P: FabricProbe>(&self, probe: &mut P) {
         for (lnode, m) in self.occ_mask.iter().enumerate() {
             if *m != 0 {
-                probe.occupancy_sample((self.start + lnode) as u32, m.count_ones());
+                probe.occupancy_sample(self.global_of(lnode) as u32, m.count_ones());
             }
         }
     }
@@ -897,8 +980,8 @@ impl Shard {
         probe: &mut P,
     ) {
         let slots = IN_PORTS * self.vcs;
-        for node in self.start..self.end {
-            let lnode = node - self.start;
+        for lnode in 0..self.nodes() {
+            let node = self.global_of(lnode);
             let here = self.mesh.coord(NodeId(node as u32));
             let mut m = self.occ_mask[lnode];
             while m != 0 {
@@ -962,6 +1045,11 @@ impl Shard {
         let slots = IN_PORTS * self.vcs;
         let vcs = self.vcs;
         let depth = self.vc_depth;
+        // `global_of`, inlined so the drain below can keep its
+        // mutable borrow of `arrivals`.
+        let (width, tile_w) = (self.mesh.width() as usize, self.tile_w);
+        let (row0, col0) = (self.row0, self.col0);
+        let global_of = move |lnode: usize| (row0 + lnode / tile_w) * width + col0 + lnode % tile_w;
         for (idx, flit, state) in self.arrivals.drain(..) {
             let v = &mut self.in_vcs[idx];
             let was_empty = v.queue.is_empty();
@@ -978,7 +1066,7 @@ impl Shard {
                 self.occ_mask[lnode] |= 1u64 << (idx % slots);
                 if !self.in_worklist[lnode] {
                     self.in_worklist[lnode] = true;
-                    self.worklist.push((self.start + lnode) as u32);
+                    self.worklist.push(global_of(lnode) as u32);
                 }
             }
         }
@@ -995,8 +1083,8 @@ impl Shard {
     /// Appends this shard's occupied input-VC heads to a frontier
     /// snapshot.
     fn frontier_into(&self, out: &mut Vec<FrontierEntry>) {
-        for lnode in 0..(self.end - self.start) {
-            let here = self.mesh.coord(NodeId((self.start + lnode) as u32));
+        for lnode in 0..self.nodes() {
+            let here = self.mesh.coord(NodeId(self.global_of(lnode) as u32));
             for port in 0..IN_PORTS {
                 for vc in 0..self.vcs {
                     let v = &self.in_vcs[self.in_idx(lnode, port, vc)];
@@ -1049,6 +1137,11 @@ impl Shard {
 
     /// Reference-stepper grant pass for one output port of one node
     /// (the original linear scan; see [`Fabric::step_reference`]).
+    /// Unrouted heads consume the decisions planned once at the start
+    /// of the node's cycle — NOT a fresh `decide` per output port: the
+    /// router consultation schedule is observable under online churn
+    /// (a replan re-keys the packet onto the *current* epoch), so both
+    /// steppers must ask on exactly the same cycles.
     #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
     fn allocate_output_reference(
@@ -1056,12 +1149,12 @@ impl Shard {
         node: usize,
         here: Coord,
         out_port: usize,
-        router: &mut dyn HopRouter,
+        decisions: &[Option<HopDecision>; MAX_SLOTS],
         in_port_used: &mut [bool; IN_PORTS],
         report: &mut StepReport,
         deliveries: &mut Vec<Delivery>,
     ) {
-        let lnode = node - self.start;
+        let lnode = self.local_of(node);
         let slots = IN_PORTS * self.vcs;
         let start = self.rr[lnode * OUT_PORTS + out_port] as usize;
         for k in 0..slots {
@@ -1094,9 +1187,15 @@ impl Shard {
                     Some(_) => (EJECT_PORT, None),
                     None => {
                         debug_assert!(flit.is_head, "body flit at head of an unrouted VC");
-                        let pk =
-                            self.in_vcs[in_idx].heads.front_mut().expect("parked head has state");
-                        match router.decide(here, pk) {
+                        // A head that became the queue front only after
+                        // this cycle's plan pass (its predecessor's tail
+                        // left this cycle) has no decision yet: it waits
+                        // for the next cycle, exactly as in the
+                        // event-driven stepper.
+                        let Some(decision) = decisions[slot] else {
+                            continue;
+                        };
+                        match decision {
                             HopDecision::Eject => (EJECT_PORT, None),
                             HopDecision::Route(candidates) => {
                                 // Linear free-VC probe, independent of
@@ -1129,6 +1228,8 @@ impl Shard {
 
     /// The original scan-order allocation pass over every node of this
     /// shard, in global node order (see [`Fabric::step_reference`]).
+    /// Per node, every parked unrouted head asks the hop router exactly
+    /// once — before any grant — mirroring the event-driven plan phase.
     #[cfg(test)]
     pub(crate) fn allocate_reference(
         &mut self,
@@ -1136,15 +1237,28 @@ impl Shard {
         report: &mut StepReport,
         deliveries: &mut Vec<Delivery>,
     ) {
-        for node in self.start..self.end {
+        let slots = IN_PORTS * self.vcs;
+        for lnode in 0..self.nodes() {
+            let node = self.global_of(lnode);
             let here = self.mesh.coord(NodeId(node as u32));
+            let mut decisions: [Option<HopDecision>; MAX_SLOTS] = [None; MAX_SLOTS];
+            let mut m = self.occ_mask[lnode];
+            while m != 0 {
+                let slot = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let in_idx = lnode * slots + slot;
+                if self.in_vcs[in_idx].route.is_none() {
+                    let pk = self.in_vcs[in_idx].heads.front_mut().expect("parked head has state");
+                    decisions[slot] = Some(router.decide(here, pk));
+                }
+            }
             let mut in_port_used = [false; IN_PORTS];
             for out_port in 0..OUT_PORTS {
                 self.allocate_output_reference(
                     node,
                     here,
                     out_port,
-                    router,
+                    &decisions,
                     &mut in_port_used,
                     report,
                     deliveries,
@@ -1178,7 +1292,7 @@ impl Shard {
     #[cfg(test)]
     fn assert_masks_consistent(&self) {
         let slots = IN_PORTS * self.vcs;
-        for lnode in 0..(self.end - self.start) {
+        for lnode in 0..self.nodes() {
             for slot in 0..slots {
                 let v = &self.in_vcs[lnode * slots + slot];
                 let occupied = !v.queue.is_empty();
@@ -1246,7 +1360,8 @@ impl Fabric {
 
     /// Like [`Fabric::new`], but spatially partitioned into
     /// `num_shards` row-band shards (clamped to the mesh height;
-    /// results are bit-identical at every shard count).
+    /// results are bit-identical at every shard count). Equivalent to
+    /// [`Fabric::new_tiled`] with a single tile column.
     pub fn new_sharded(
         mesh: Mesh,
         vcs: usize,
@@ -1254,20 +1369,52 @@ impl Fabric {
         escape_vcs: usize,
         num_shards: usize,
     ) -> Self {
+        Fabric::new_tiled(mesh, vcs, vc_depth, escape_vcs, 1, num_shards)
+    }
+
+    /// Like [`Fabric::new`], but spatially partitioned into a
+    /// `cols x rows` grid of rectangular tile shards (both clamped to
+    /// the mesh dimensions; results are bit-identical at every tile
+    /// shape — see the module docs on the boundary-exchange protocol).
+    /// Tile `(c, r)` owns columns `[c*W/cols, (c+1)*W/cols)` of rows
+    /// `[r*H/rows, (r+1)*H/rows)` and gets shard index `r * cols + c`.
+    pub fn new_tiled(
+        mesh: Mesh,
+        vcs: usize,
+        vc_depth: usize,
+        escape_vcs: usize,
+        cols: usize,
+        rows: usize,
+    ) -> Self {
         assert!(vcs > 0, "need at least one virtual channel");
         assert!(vcs <= MAX_VCS, "at most {MAX_VCS} VCs per port (bitmask width)");
         assert!(vc_depth > 0, "need at least one buffer slot per VC");
         assert!(escape_vcs < vcs, "escape class must leave at least one adaptive VC");
         let height = mesh.height() as usize;
         let width = mesh.width() as usize;
-        let n = num_shards.clamp(1, height);
-        let shards = (0..n)
-            .map(|s| {
-                let row0 = s * height / n;
-                let row1 = (s + 1) * height / n;
-                Shard::new(mesh, vcs, vc_depth, escape_vcs, row0 * width, row1 * width)
-            })
-            .collect();
+        let cols = cols.clamp(1, width);
+        let rows = rows.clamp(1, height);
+        let mut shards = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = r * cols + c;
+                let neighbors = [
+                    (c + 1 < cols).then_some(t + 1),    // +X
+                    (c > 0).then(|| t - 1),             // -X
+                    (r + 1 < rows).then_some(t + cols), // +Y
+                    (r > 0).then(|| t - cols),          // -Y
+                ];
+                shards.push(Shard::new(
+                    mesh,
+                    vcs,
+                    vc_depth,
+                    escape_vcs,
+                    (c * width / cols)..((c + 1) * width / cols),
+                    (r * height / rows)..((r + 1) * height / rows),
+                    neighbors,
+                ));
+            }
+        }
         Fabric { mesh, shards, pending: FxHashMap::default(), next_packet: 0 }
     }
 
@@ -1276,7 +1423,7 @@ impl Fabric {
         &self.mesh
     }
 
-    /// Number of row-band shards.
+    /// Number of tile shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
@@ -1361,19 +1508,19 @@ impl Fabric {
         out
     }
 
-    /// Routes every shard's boundary outboxes to the adjacent shards
+    /// Routes every shard's boundary outboxes to its tile neighbors
     /// (the in-process equivalent of the worker threads' channel
     /// exchange).
     fn exchange_boundary(&mut self) {
         for i in 0..self.shards.len() {
-            let (prev, next) = self.shards[i].take_outboxes();
-            if !prev.is_empty() {
-                debug_assert!(i > 0, "shard 0 has no previous neighbor");
-                self.shards[i - 1].apply_boundary(prev);
-            }
-            if !next.is_empty() {
-                debug_assert!(i + 1 < self.shards.len(), "last shard has no next neighbor");
-                self.shards[i + 1].apply_boundary(next);
+            let neighbors = self.shards[i].neighbors();
+            let boxes = self.shards[i].take_outboxes();
+            for (d, msgs) in boxes.into_iter().enumerate() {
+                if msgs.is_empty() {
+                    continue;
+                }
+                let nb = neighbors[d].expect("boundary messages stay on the mesh");
+                self.shards[nb].apply_boundary(msgs);
             }
         }
     }
@@ -1444,7 +1591,7 @@ impl Fabric {
     fn set_test_owner(&mut self, node: usize, dir: usize, vc: usize, owner: Option<u32>) {
         let s = self.shard_of(node);
         let shard = &mut self.shards[s];
-        let lnode = node - shard.start;
+        let lnode = shard.local_of(node);
         let idx = shard.out_idx(lnode, dir, vc);
         shard.out_vcs[idx].owner = owner;
         shard.refresh_free_bit(lnode, dir, vc);

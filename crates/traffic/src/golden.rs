@@ -4,9 +4,11 @@
 //! retained scan-order reference stepper (`Fabric::step_reference`) on
 //! random draws of simulator configuration, fault pattern, routing
 //! function, traffic pattern, injection process, packet-length
-//! distribution and churn — both the prescheduled `fault_churn` list
+//! distribution, churn — both the prescheduled `fault_churn` list
 //! and a seeded *online* chaos schedule published mid-run through the
-//! live epoch mechanism.
+//! live epoch mechanism — **lease window length** (1, 2, 8 and the
+//! auto edge-bound) and **tile shape** (row bands and two-column tile
+//! grids).
 //!
 //! The equality is over the *entire* statistics struct — cycle count,
 //! per-cycle flit-hop totals, the full latency histogram, saturation
@@ -49,6 +51,60 @@ fn run(
     sim.run()
 }
 
+/// Regression pin for the router-consultation schedule: under online
+/// churn, `decide` has an observable side effect (a replan re-keys the
+/// packet onto the *current* epoch), so both steppers must ask the
+/// router on exactly the same cycles. The original reference stepper
+/// skipped a parked head's `decide` whenever another VC on the same
+/// input port had already won the crossbar that cycle; with a churn
+/// publication landing in between, the deferred replan re-keyed the
+/// packet one epoch late and `epoch_delivered` diverged. This seed
+/// reproduced that: a head parked at the boundary cycle replans under
+/// epoch 9 in the event-driven plan pass but under epoch 10 in the old
+/// per-output-port reference scan.
+#[test]
+fn reference_stepper_plans_parked_heads_on_the_same_cycles() {
+    use rand::SeedableRng;
+    let seed = 3108541793u64;
+    let mesh = Mesh::square(8);
+    let mut frng = StdRng::seed_from_u64(seed);
+    let net = NetView::build(FaultSet::random(mesh, 0, FaultInjection::Uniform, &mut frng));
+    let chaos = Some(ChaosConfig {
+        seed: seed ^ 0x9e37_79b9,
+        fail_prob: 0.6,
+        repair_prob: 0.5,
+        start: 40,
+        stop: 220,
+        max_faults: 4,
+    });
+    let cfg = SimConfig {
+        vcs: 4,
+        vc_depth: 3,
+        escape_vcs: 0,
+        policy: RoutePolicy::Deterministic,
+        packet_len: 4,
+        rate: 0.35,
+        warmup: 30,
+        measure: 150,
+        drain: 400,
+        seed,
+        pattern: TrafficPattern::Permutation,
+        route_ttl: None,
+        injection: InjectionProcess::Bernoulli,
+        length: LengthDist::Fixed,
+        threads: 1,
+        tile_cols: 1,
+        lease: 1,
+        stats_window: 100,
+        fault_churn: Vec::new(),
+        obs: ObsLevel::Off,
+    };
+    let kind = RoutingKind::ECube;
+    let reference = run(&net, kind, &cfg, true, chaos);
+    let sharded = run(&net, kind, &cfg, false, chaos);
+    assert_eq!(sharded, reference);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -58,14 +114,14 @@ proptest! {
             (4u32..9, 0usize..5, 0usize..5, 0u64..0xffff_ffff),
             (2usize..5, 0usize..3, 1u32..7, 0usize..5),
             (0usize..4, 1u32..5, 0usize..2, 0usize..2),
-            (0usize..3, 0usize..2),
+            (0usize..3, 0usize..2, 0usize..4, 0usize..2),
         )
     ) {
         let (
             (mesh_n, faults, kind_ix, seed),
             (vcs, escape_raw, patience, rate_ix),
             (pattern_ix, packet_len, injection_ix, length_ix),
-            (churn_ix, online_ix),
+            (churn_ix, online_ix, lease_ix, tile_ix),
         ) = draw;
         let mesh = Mesh::square(mesh_n);
         let mut frng = StdRng::seed_from_u64(seed);
@@ -135,17 +191,33 @@ proptest! {
             injection,
             length,
             threads: 1,
+            tile_cols: 1,
+            lease: 1,
             stats_window: 100,
             fault_churn,
             obs: ObsLevel::Off,
         };
+        // Lease window (1, 2, 8, or 0 = the auto tile-edge bound with
+        // occupancy adaptation) and tile shape (1 = row bands, 2 = a
+        // two-column tile grid) for the sharded runs: results must be
+        // bit-identical to the lease=1 lockstep reference at every
+        // drawn combination.
+        let lease = [1u64, 2, 8, 0][lease_ix];
+        let tile_cols = [1usize, 2][tile_ix];
         let reference = run(&net, kind, &cfg, true, chaos);
         // Shard counts 1, 2 and 4: the event-driven stepper must match
         // the scan-order reference bit for bit at every partitioning
-        // (threads > 1 also exercises the worker-thread transport and
-        // the channel-based boundary exchange).
+        // (threads > 1 also exercises the worker-thread transport, the
+        // channel-based boundary exchange and the free-running lease
+        // protocol).
         for threads in [1usize, 2, 4] {
-            let sharded = run(&net, kind, &SimConfig { threads, ..cfg.clone() }, false, chaos);
+            let sharded = run(
+                &net,
+                kind,
+                &SimConfig { threads, tile_cols, lease, ..cfg.clone() },
+                false,
+                chaos,
+            );
             prop_assert_eq!(
                 &sharded,
                 &reference,
@@ -162,7 +234,7 @@ proptest! {
             let observed = run(
                 &net,
                 kind,
-                &SimConfig { threads, obs: ObsLevel::Trace, ..cfg.clone() },
+                &SimConfig { threads, tile_cols, lease, obs: ObsLevel::Trace, ..cfg.clone() },
                 false,
                 chaos,
             );

@@ -517,6 +517,17 @@ fn argmin_witness(mesh: &meshpath_mesh::Mesh, witnesses: &[&[u32]]) -> Coord {
     mesh.coord(meshpath_mesh::NodeId(i as u32))
 }
 
+/// The analytic distance field of a **fault-free** mesh: every node is
+/// reachable and a BFS hop count equals the Manhattan distance, so this
+/// produces exactly [`healthy_bfs`]'s output without touching a queue.
+fn manhattan_field(mesh: &meshpath_mesh::Mesh, start: Coord) -> Vec<u32> {
+    let mut dist = vec![0u32; mesh.len()];
+    for c in mesh.iter() {
+        dist[mesh.id(c).index()] = c.manhattan(start);
+    }
+    dist
+}
+
 /// A (near-)center of `start`'s connected component: the classic
 /// double sweep (farthest node `u` from `start`, farthest node `v`
 /// from `u`) plus one witness-refinement round — grids have many
@@ -526,19 +537,37 @@ fn argmin_witness(mesh: &meshpath_mesh::Mesh, witnesses: &[&[u32]]) -> Coord {
 /// eccentricity is then measured with a real BFS and the best (lowest
 /// eccentricity, lowest id on ties) wins. O(component) — seven BFS
 /// passes — and a pure function of the fault configuration.
+///
+/// On a **fault-free** configuration the seven BFS passes are replaced
+/// by analytic Manhattan fields ([`manhattan_field`]): the farthest /
+/// argmin scans are unchanged, so the refinement walks through exactly
+/// the same candidates and the chosen center is bit-identical to the
+/// BFS path (pinned by `fault_free_center_matches_bfs_path`) — it only
+/// stops paying the faulty-mesh queue cost on fault-free publications.
 fn component_center(faults: &FaultSet, start: Coord) -> Coord {
+    component_center_with(faults, start, faults.count() == 0)
+}
+
+fn component_center_with(faults: &FaultSet, start: Coord, analytic: bool) -> Coord {
     let mesh = faults.mesh();
-    let d0 = healthy_bfs(faults, start);
+    let field = |s: Coord| -> Vec<u32> {
+        if analytic {
+            manhattan_field(mesh, s)
+        } else {
+            healthy_bfs(faults, s)
+        }
+    };
+    let d0 = field(start);
     let (u, ecc0) = farthest(mesh, &d0);
-    let du = healthy_bfs(faults, u);
+    let du = field(u);
     let (v, _) = farthest(mesh, &du);
-    let dv = healthy_bfs(faults, v);
+    let dv = field(v);
     let c1 = argmin_witness(mesh, &[&du, &dv]);
-    let dc1 = healthy_bfs(faults, c1);
+    let dc1 = field(c1);
     let (w, ecc1) = farthest(mesh, &dc1);
-    let dw = healthy_bfs(faults, w);
+    let dw = field(w);
     let c2 = argmin_witness(mesh, &[&du, &dv, &dw]);
-    let dc2 = healthy_bfs(faults, c2);
+    let dc2 = field(c2);
     let (_, ecc2) = farthest(mesh, &dc2);
     let id = |c: Coord| mesh.id(c).index();
     [(ecc0, id(start), start), (ecc1, id(c1), c1), (ecc2, id(c2), c2)]
@@ -1185,6 +1214,41 @@ mod tests {
             .max()
             .unwrap();
         assert!(split_depth <= 12, "per-component centers, got depth {split_depth}");
+    }
+
+    #[test]
+    fn fault_free_center_matches_bfs_path() {
+        // The analytic Manhattan-field fast path must pick exactly the
+        // center the seven-BFS refinement picks — the farthest/argmin
+        // scans are shared, so any divergence is a field mismatch.
+        for n in [2u32, 3, 4, 5, 8, 15, 16, 17, 31] {
+            let mesh = Mesh::square(n);
+            let faults = FaultSet::none(mesh);
+            for start in [Coord::new(0, 0), Coord::new(n as i32 - 1, 0), Coord::new(1, 1)] {
+                if !mesh.contains(start) {
+                    continue;
+                }
+                assert_eq!(
+                    manhattan_field(&mesh, start),
+                    healthy_bfs(&faults, start),
+                    "field mismatch on {n}x{n} from {start:?}"
+                );
+                assert_eq!(
+                    component_center_with(&faults, start, true),
+                    component_center_with(&faults, start, false),
+                    "center diverged on {n}x{n} from {start:?}"
+                );
+            }
+        }
+        // Hand-verified 16x16 refinement from (0,0): u=(15,15) at ecc 30,
+        // v=(0,0), c1=(15,0), w=(0,15), c2=(7,8) with eccentricity 16 —
+        // the winning candidate.
+        let mesh = Mesh::square(16);
+        let faults = FaultSet::none(mesh);
+        assert_eq!(component_center(&faults, Coord::new(0, 0)), Coord::new(7, 8));
+        // And the forest built through the fast path roots there.
+        let forest = EscapeForest::new(&faults);
+        assert_eq!(forest.depth(&mesh, Coord::new(7, 8)), 0);
     }
 
     #[test]

@@ -2,24 +2,43 @@
 //! protocol, and the run loop — sequential or sharded across worker
 //! threads with bit-identical results.
 //!
-//! ## Sharded execution
+//! ## Sharded execution: tiles and leases
 //!
 //! When [`SimConfig::threads`] resolves to `N > 1`, the fabric is built
-//! as `N` row-band shards (see the boundary-exchange protocol in
-//! [`crate::fabric`]) and the run loop becomes one shard worker per
-//! shard: each worker owns its shard, the injection state of its rows
-//! (per-node RNG streams, source queues) and a private [`HopRouter`]
-//! over its own [`PathTable`] (hop decisions are pure functions of the
-//! network, so private route caches cannot diverge). Workers step
-//! concurrently; per cycle they exchange boundary messages with their
-//! band neighbors, then report aggregate deltas (moved flits,
-//! deliveries, generation counters) to the coordinator, which keeps the
-//! global statistics and makes the termination/observer decisions every
-//! worker obeys on the next cycle. Every per-node computation is
-//! identical to the sequential run — per-node RNGs are seeded by node
-//! id, grants commute within a cycle, and all cross-shard effects are
-//! staged — so `TrafficStats` is **bit-identical at every thread
-//! count** (pinned by `crate::golden`).
+//! as a grid of rectangular tile shards (see the boundary-exchange
+//! protocol in [`crate::fabric`]; [`SimConfig::tile_cols`] picks the
+//! grid shape) and the run loop becomes one shard worker per tile: each
+//! worker owns its shard, the injection state of its nodes (per-node
+//! RNG streams, source queues) and a private [`HopRouter`] over its own
+//! [`PathTable`] (hop decisions are pure functions of the network, so
+//! private route caches cannot diverge). Workers step concurrently;
+//! per cycle they exchange cycle-stamped boundary messages with their
+//! tile neighbors, and they report aggregate deltas (moved flits,
+//! deliveries, generation counters) to the coordinator, which keeps
+//! the global statistics and makes the termination/observer decisions.
+//!
+//! The coordinator round trip is amortized by **free-running leases**
+//! ([`SimConfig::lease`]): instead of gating every cycle, the
+//! coordinator grants each worker a lease of up to N cycles
+//! (`Go::Lease`), the worker runs them back-to-back — still exchanging
+//! boundary messages with its neighbors every cycle, which is what
+//! keeps adjacent tiles causally consistent — and reports the whole
+//! window in one message. The coordinator *replays* the buffered
+//! per-cycle deltas in cycle order through the same `RunState`
+//! termination logic the lockstep transports use, so observer
+//! callbacks, stop classification and statistics are computed on
+//! exactly the same sequence of merged cycles. Lease renewal is
+//! occupancy-aware in auto mode: leases stretch for idle tiles and
+//! tighten for hot ones, computed only from the previous window's
+//! committed flit counts — never wall clock — so the schedule is
+//! deterministic. Every per-node computation is identical to the
+//! sequential run — per-node RNGs are seeded by node id, grants
+//! commute within a cycle, and all cross-shard effects are staged —
+//! so `TrafficStats` is **bit-identical at every thread count, tile
+//! shape and lease length** (pinned by `crate::golden`). After a stop
+//! decision, cycles that workers already ran past the stop under a
+//! granted lease are discarded from the statistics; only the
+//! observability probes may record that bounded overshoot tail.
 //!
 //! ## Online churn
 //!
@@ -30,9 +49,11 @@
 //! boundary, applies the events to its authoritative `NetState`
 //! (incremental rebuild with full-rebuild fallback), and broadcasts
 //! each resulting [`NetView`] epoch to the shard workers over the existing
-//! control lanes (`Go::Publish` precedes that cycle's `Go::Cycle` on
-//! each FIFO lane, so every worker adopts the epoch at the same
-//! boundary). Workers re-provision their hop routers incrementally
+//! control lanes (`Go::Publish` precedes the lease that starts at that
+//! boundary on each FIFO lane — leases are clamped to quantum
+//! boundaries, and a lease starting exactly on one is held back until
+//! the replay cursor has polled it — so every worker adopts the epoch
+//! at the same boundary). Workers re-provision their hop routers incrementally
 //! ([`HopRouter::publish`]) and refresh source liveness/samplers;
 //! packets stranded by a fresh fault are replanned or killed
 //! (`churn_killed`), never wedged. Polling is coordinator-side and
@@ -50,7 +71,6 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -187,6 +207,10 @@ struct EpochEnv {
 struct CycleDone {
     moved: u64,
     flits_ejected: u64,
+    /// Escape-class commitments this cycle (per-cycle deltas, so a
+    /// lease's overshoot past the stop decision never pollutes the
+    /// run total).
+    escape_entries: u64,
     injected_any: bool,
     in_flight: u64,
     backlog: u64,
@@ -198,6 +222,7 @@ impl CycleDone {
     fn merge(&mut self, mut other: CycleDone) {
         self.moved += other.moved;
         self.flits_ejected += other.flits_ejected;
+        self.escape_entries += other.escape_entries;
         self.injected_any |= other.injected_any;
         self.in_flight += other.in_flight;
         self.backlog += other.backlog;
@@ -213,22 +238,31 @@ impl CycleDone {
 
 /// Coordinator → worker control message.
 enum Go {
-    /// Run one cycle (the cycle number, for generation windows).
-    Cycle(u64),
+    /// Run `len` cycles starting at `start` without further
+    /// coordinator contact (the free-running lease window). The
+    /// per-cycle neighbor boundary exchange still happens inside the
+    /// window; only the coordinator round trip is amortized.
+    Lease {
+        /// First cycle of the window.
+        start: u64,
+        /// Window length in cycles (>= 1).
+        len: u64,
+    },
     /// Adopt an online-churn epoch starting at the given cycle: the
-    /// coordinator sends one per applied event, always *before* that
-    /// cycle's `Cycle` on the same FIFO lane.
+    /// coordinator sends one per applied event, always *before* the
+    /// lease that starts at that cycle on the same FIFO lane.
     Publish(u64, NetView, ChurnOp),
     /// The run is over (final cycle count and stop classification);
     /// finalize the probe and return the shard with it.
     Finish(u64, StopKind),
 }
 
-/// Worker → coordinator report: a cycle's deltas, or the worker's
-/// dying word. Sharing the `done` lane means the coordinator learns of
-/// a panic exactly where it would otherwise block forever.
+/// Worker → coordinator report: one lease window's per-cycle deltas
+/// (in cycle order, for deterministic replay), or the worker's dying
+/// word. Sharing the `done` lane means the coordinator learns of a
+/// panic exactly where it would otherwise block forever.
 enum WorkerReport {
-    Cycle(CycleDone),
+    Cycles { shard: usize, start: u64, dones: Vec<CycleDone> },
     Panicked { shard: usize, message: String },
 }
 
@@ -429,6 +463,7 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
         }
         done.moved += report.moved;
         done.flits_ejected += report.flits_ejected;
+        done.escape_entries += report.escape_entries;
         if P::ACTIVE {
             let window = self.cfg.stats_window;
             if window > 0 && (cycle + 1).is_multiple_of(window) {
@@ -440,14 +475,19 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
         }
     }
 
-    /// Drains the shard's boundary outboxes, counting the messages
-    /// into the probe on the way to the neighbor shards.
-    fn take_outboxes(&mut self) -> (Vec<BoundaryMsg>, Vec<BoundaryMsg>) {
-        let (prev, next) = self.shard.take_outboxes();
+    /// Drains the shard's per-direction boundary outboxes, counting
+    /// the messages into the probe on the way to the neighbor tiles
+    /// (`-x`/`-y` count toward `prev`, `+x`/`+y` toward `next`,
+    /// preserving the row-band reading of the two counters).
+    fn take_outboxes(&mut self) -> [Vec<BoundaryMsg>; 4] {
+        let boxes = self.shard.take_outboxes();
         if P::ACTIVE {
-            self.probe.boundary_out(prev.len() as u64, next.len() as u64);
+            self.probe.boundary_out(
+                (boxes[1].len() + boxes[3].len()) as u64,
+                (boxes[0].len() + boxes[2].len()) as u64,
+            );
         }
-        (prev, next)
+        boxes
     }
 
     /// The commit half of one cycle (after the boundary exchange):
@@ -619,6 +659,7 @@ impl RunState {
         obs: &mut dyn WindowObserver,
     ) -> bool {
         self.stats.flits_moved += agg.moved;
+        self.stats.escape_packets += agg.escape_entries;
         self.stats.generated += agg.gen.generated;
         self.stats.measured_generated += agg.gen.measured_generated;
         self.stats.unroutable += agg.gen.unroutable;
@@ -731,9 +772,10 @@ impl RunState {
         false
     }
 
-    /// Seals the statistics once every shard has stopped.
-    fn finish(mut self, escape_entries: u64) -> TrafficStats {
-        self.stats.escape_packets = escape_entries;
+    /// Seals the statistics once every shard has stopped. Escape
+    /// commitments were accumulated per replayed cycle, so lease
+    /// overshoot past the stop decision is already excluded.
+    fn finish(self) -> TrafficStats {
         self.stats
     }
 }
@@ -898,7 +940,14 @@ impl<'p> TrafficSim<'p> {
             })
             .collect();
         let nodes = sources.iter().filter(|s| s.active).count();
-        let fabric = Fabric::new_sharded(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs, threads);
+        // Arrange the resolved worker count as a tile grid:
+        // `tile_cols` columns (clamped to the thread count and mesh
+        // width) by `threads / cols` rows. `tile_cols == 1` is the
+        // classic row-band partition; the shard count is `cols * rows
+        // <= threads` (`new_tiled` further clamps to the mesh dims).
+        let cols = cfg.tile_cols.max(1).min(threads).min(mesh.width() as usize);
+        let rows = (threads / cols).max(1);
+        let fabric = Fabric::new_tiled(mesh, cfg.vcs, cfg.vc_depth, cfg.escape_vcs, cols, rows);
         let router = build_hop_router(paths, &cfg);
         let stats = TrafficStats {
             cycles: 0,
@@ -1076,23 +1125,19 @@ impl<'p> TrafficSim<'p> {
         }
     }
 
-    /// Splits the row-major source list into one bucket per shard node
-    /// range.
-    fn partition_sources(
-        sources: Vec<SourceNode>,
-        ranges: &[Range<usize>],
-    ) -> Vec<Vec<SourceNode>> {
-        let mut iter = sources.into_iter().peekable();
-        ranges
-            .iter()
-            .map(|r| {
-                let mut bucket = Vec::new();
-                while iter.peek().is_some_and(|s| r.contains(&s.id.index())) {
-                    bucket.push(iter.next().expect("peeked"));
-                }
-                bucket
-            })
-            .collect()
+    /// Splits the row-major source list into one bucket per shard
+    /// tile (setup-only `O(nodes * shards)` scan; buckets keep the
+    /// row-major order within each tile).
+    fn partition_sources(sources: Vec<SourceNode>, shards: &[Shard]) -> Vec<Vec<SourceNode>> {
+        let mut buckets: Vec<Vec<SourceNode>> = shards.iter().map(|_| Vec::new()).collect();
+        for s in sources {
+            let t = shards
+                .iter()
+                .position(|sh| sh.contains_node(s.id.index()))
+                .expect("tiles partition the mesh");
+            buckets[t].push(s);
+        }
+        buckets
     }
 
     /// The in-process transport: every shard stepped on this thread
@@ -1106,8 +1151,8 @@ impl<'p> TrafficSim<'p> {
     {
         let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
         let shards = self.fabric.take_shards();
-        let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
-        let mut buckets = Self::partition_sources(self.sources, &ranges).into_iter();
+        let nbrs: Vec<[Option<usize>; 4]> = shards.iter().map(|s| s.neighbors()).collect();
+        let mut buckets = Self::partition_sources(self.sources, &shards).into_iter();
         let env = &self.env;
         let mut tables: Vec<PathTable> =
             (1..shards.len()).map(|_| worker_table(&env.views, self.kind)).collect();
@@ -1166,17 +1211,23 @@ impl<'p> TrafficSim<'p> {
             }
             let mut agg = CycleDone::default();
             for w in &mut workers {
+                if P::ACTIVE {
+                    // The in-process transport grants one cycle per
+                    // barrier (the lease baseline).
+                    w.probe.barrier(1);
+                }
                 w.plan_and_grant(cycle, &mut agg);
             }
             // Boundary exchange (in-process: direct hand-off between
-            // adjacent bands).
+            // neighboring tiles).
             for i in 0..workers.len() {
-                let (prev, next) = workers[i].take_outboxes();
-                if !prev.is_empty() {
-                    workers[i - 1].shard.apply_boundary(prev);
-                }
-                if !next.is_empty() {
-                    workers[i + 1].shard.apply_boundary(next);
+                let boxes = workers[i].take_outboxes();
+                for (d, msgs) in boxes.into_iter().enumerate() {
+                    if msgs.is_empty() {
+                        continue;
+                    }
+                    let j = nbrs[i][d].expect("boundary messages stay on the mesh");
+                    workers[j].shard.apply_boundary(msgs);
                 }
             }
             for w in &mut workers {
@@ -1192,7 +1243,7 @@ impl<'p> TrafficSim<'p> {
         for w in &mut workers {
             w.finish_run(cycle, reason);
         }
-        let mut stats = run.finish(workers.iter().map(|w| w.shard.escape_entries).sum());
+        let mut stats = run.finish();
         if let Some(drv) = drv {
             let (events, rejected) = drv.into_outcome();
             stats.online_events = events;
@@ -1201,12 +1252,18 @@ impl<'p> TrafficSim<'p> {
         (stats, workers.into_iter().map(|w| w.probe).collect())
     }
 
-    /// The worker-thread transport: one scoped thread per shard beyond
-    /// the first (which runs on this thread, interleaved with
-    /// coordination). Workers exchange boundary messages directly with
-    /// their band neighbors over channels; the coordinator gates each
-    /// cycle, so no worker ever runs ahead of a termination or
-    /// observer decision.
+    /// The worker-thread transport: one scoped thread per tile shard,
+    /// with the coordinator on this thread granting lease windows and
+    /// replaying the buffered per-cycle reports. Workers exchange
+    /// cycle-stamped boundary messages directly with their tile
+    /// neighbors over channels *every cycle* (which keeps adjacent
+    /// tiles causally consistent); the coordinator round trip is
+    /// amortized over the lease window, and every termination or
+    /// observer decision is computed by replaying the merged per-cycle
+    /// deltas in cycle order through the same `RunState` logic the
+    /// in-process transport uses — so the decisions land on exactly
+    /// the same cycle sequence, and cycles a worker ran past a stop
+    /// decision under an already-granted lease are discarded.
     fn run_threaded<P, F>(
         mut self,
         obs: &mut dyn WindowObserver,
@@ -1217,62 +1274,64 @@ impl<'p> TrafficSim<'p> {
         F: Fn(usize, &Shard) -> P,
     {
         let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
+        let quantum = drv.as_ref().map(|d| d.quantum());
         #[cfg(test)]
         let panic_at = self.panic_at;
-        let mut shards = self.fabric.take_shards();
+        let shards = self.fabric.take_shards();
         let n = shards.len();
         assert!(n < (1 << (32 - ID_SHARD_SHIFT)), "shard count exceeds the packet-id namespace");
-        let ranges: Vec<Range<usize>> = shards.iter().map(|s| s.node_range()).collect();
-        let mut buckets = Self::partition_sources(self.sources, &ranges);
+        let nbrs: Vec<[Option<usize>; 4]> = shards.iter().map(|s| s.neighbors()).collect();
+        let dims: Vec<(usize, usize)> = shards.iter().map(|s| s.tile_dims()).collect();
+        let mut buckets = Self::partition_sources(self.sources, &shards);
         let cfg = self.cfg.clone();
         let ttl = self.ttl;
         let kind = self.kind;
         let env = &self.env;
 
-        // Control channels: one `Go` lane per spawned worker, one
-        // shared `CycleDone` lane back. Boundary lanes: `down[i]`
-        // carries shard i -> i+1, `up[i]` carries i+1 -> i. Every lane
-        // end is *moved* to its unique user — the coordinator keeps
-        // only the ends it reads/writes itself and drops its `done`
-        // sender after spawning — so a worker panic disconnects its
-        // lanes: the neighbors' blocking recvs error out instead of
-        // waiting forever, their panics cascade, and the scope
+        // Control channels: one `Go` lane per worker, one shared
+        // report lane back. Boundary lanes form the tile adjacency
+        // graph: one lane per (shard, direction with a neighbor),
+        // whose receiver sits at the neighbor's opposite port (`Dir`
+        // pairs +x/-x and +y/-y: xor 1). Every lane end is *moved* to
+        // its unique user — the coordinator keeps only the ends it
+        // reads/writes itself and drops its `done` sender after
+        // spawning — so a worker panic disconnects its lanes: the
+        // neighbors' blocking recvs error out instead of waiting
+        // forever, they return into the join, and the coordinator
         // surfaces the failure rather than deadlocking the run.
-        let mut go_tx: Vec<Sender<Go>> = Vec::with_capacity(n - 1);
-        let mut go_rx: Vec<Option<Receiver<Go>>> = Vec::with_capacity(n - 1);
-        let mut down_tx: Vec<Option<Sender<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
-        let mut down_rx: Vec<Option<Receiver<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
-        let mut up_tx: Vec<Option<Sender<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
-        let mut up_rx: Vec<Option<Receiver<Vec<BoundaryMsg>>>> = Vec::with_capacity(n - 1);
-        for _ in 1..n {
+        let mut go_tx: Vec<Sender<Go>> = Vec::with_capacity(n);
+        let mut go_rx: Vec<Option<Receiver<Go>>> = Vec::with_capacity(n);
+        for _ in 0..n {
             let (t, r) = channel::unbounded();
             go_tx.push(t);
             go_rx.push(Some(r));
-            let (t, r) = channel::unbounded();
-            down_tx.push(Some(t));
-            down_rx.push(Some(r));
-            let (t, r) = channel::unbounded();
-            up_tx.push(Some(t));
-            up_rx.push(Some(r));
+        }
+        type BoundaryLane = (u64, Vec<BoundaryMsg>);
+        let mut btx: Vec<[Option<Sender<BoundaryLane>>; 4]> =
+            (0..n).map(|_| [None, None, None, None]).collect();
+        let mut brx: Vec<[Option<Receiver<BoundaryLane>>; 4]> =
+            (0..n).map(|_| [None, None, None, None]).collect();
+        for i in 0..n {
+            for d in 0..4 {
+                if let Some(j) = nbrs[i][d] {
+                    let (t, r) = channel::unbounded();
+                    btx[i][d] = Some(t);
+                    brx[j][d ^ 1] = Some(r);
+                }
+            }
         }
         let (done_tx, done_rx) = channel::unbounded::<WorkerReport>();
         let mut done_tx = Some(done_tx);
-
-        let shard0 = shards.remove(0);
-        let probe0 = mk(0, &shard0);
-        let bucket0 = buckets.remove(0);
         let run = RunState::new(&cfg, self.stats);
 
         crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n - 1);
-            for (w, shard) in shards.into_iter().enumerate().map(|(i, s)| (i + 1, s)) {
-                let sources = std::mem::take(&mut buckets[w - 1]);
-                let go_rx = go_rx[w - 1].take().expect("one worker per lane");
+            let mut handles = Vec::with_capacity(n);
+            for (w, shard) in shards.into_iter().enumerate() {
+                let sources = std::mem::take(&mut buckets[w]);
+                let go_rx = go_rx[w].take().expect("one worker per lane");
                 let done_tx = done_tx.as_ref().expect("dropped only after spawning").clone();
-                let send_up = up_tx[w - 1].take().expect("one worker per lane");
-                let send_down = (w < n - 1).then(|| down_tx[w].take().expect("one worker"));
-                let recv_above = down_rx[w - 1].take().expect("one worker per lane");
-                let recv_below = (w < n - 1).then(|| up_rx[w].take().expect("one worker"));
+                let btx = std::mem::take(&mut btx[w]);
+                let brx = std::mem::take(&mut brx[w]);
                 let cfg = &cfg;
                 let probe = mk(w, &shard);
                 handles.push(scope.spawn(move |_| {
@@ -1292,43 +1351,60 @@ impl<'p> TrafficSim<'p> {
                         }
                         loop {
                             match go_rx.recv() {
-                                Ok(Go::Cycle(cycle)) => {
-                                    let mut done = CycleDone::default();
-                                    worker.plan_and_grant(cycle, &mut done);
-                                    let t = P::ACTIVE.then(Instant::now);
-                                    let (prev, next) = worker.take_outboxes();
-                                    let _ = send_up.send(prev);
-                                    if let Some(tx) = &send_down {
-                                        let _ = tx.send(next);
-                                    } else {
-                                        debug_assert!(
-                                            next.is_empty(),
-                                            "last shard has no neighbor"
-                                        );
+                                Ok(Go::Lease { start, len }) => {
+                                    if P::ACTIVE {
+                                        worker.probe.barrier(len);
                                     }
-                                    // A dead neighbor lane means the run
-                                    // is being torn down (that neighbor
-                                    // panicked or exited): return cleanly
-                                    // instead of panicking into the
-                                    // teardown.
-                                    let Ok(msgs) = recv_above.recv() else {
-                                        return (worker.shard, worker.probe);
-                                    };
-                                    worker.shard.apply_boundary(msgs);
-                                    if let Some(rx) = &recv_below {
-                                        let Ok(msgs) = rx.recv() else {
-                                            return (worker.shard, worker.probe);
-                                        };
-                                        worker.shard.apply_boundary(msgs);
+                                    let mut dones = Vec::with_capacity(len as usize);
+                                    for cycle in start..start + len {
+                                        let mut done = CycleDone::default();
+                                        worker.plan_and_grant(cycle, &mut done);
+                                        let t = P::ACTIVE.then(Instant::now);
+                                        let boxes = worker.take_outboxes();
+                                        for (d, msgs) in boxes.into_iter().enumerate() {
+                                            match &btx[d] {
+                                                // Empty vectors are sent
+                                                // too: they are the
+                                                // neighbor's cycle clock.
+                                                Some(tx) => {
+                                                    let _ = tx.send((cycle, msgs));
+                                                }
+                                                None => debug_assert!(
+                                                    msgs.is_empty(),
+                                                    "boundary messages stay on the mesh"
+                                                ),
+                                            }
+                                        }
+                                        for rx in brx.iter().flatten() {
+                                            // A dead neighbor lane means
+                                            // the run is being torn down
+                                            // (that neighbor panicked or
+                                            // exited): return cleanly
+                                            // instead of panicking into
+                                            // the teardown.
+                                            let Ok((c, msgs)) = rx.recv() else {
+                                                return (worker.shard, worker.probe);
+                                            };
+                                            debug_assert_eq!(
+                                                c, cycle,
+                                                "neighbor lanes desynchronized"
+                                            );
+                                            worker.shard.apply_boundary(msgs);
+                                        }
+                                        if let Some(t) = t {
+                                            worker.probe.phase_ns(
+                                                Phase::Boundary,
+                                                t.elapsed().as_nanos() as u64,
+                                            );
+                                        }
+                                        worker.finish_cycle(&mut done);
+                                        dones.push(done);
                                     }
-                                    if let Some(t) = t {
-                                        worker.probe.phase_ns(
-                                            Phase::Boundary,
-                                            t.elapsed().as_nanos() as u64,
-                                        );
-                                    }
-                                    worker.finish_cycle(&mut done);
-                                    let _ = done_tx.send(WorkerReport::Cycle(done));
+                                    let _ = done_tx.send(WorkerReport::Cycles {
+                                        shard: w,
+                                        start,
+                                        dones,
+                                    });
                                 }
                                 Ok(Go::Publish(start, view, op)) => {
                                     worker.publish(start, view, op);
@@ -1353,99 +1429,193 @@ impl<'p> TrafficSim<'p> {
                     }
                 }));
             }
-
-            // The coordinator's own lane ends; its unused `done`
-            // sender is dropped so only live workers hold one.
-            let down0_tx = down_tx[0].take().expect("worker 1 takes no coordinator lane");
-            let up0_rx = up_rx[0].take().expect("worker 1 takes no coordinator lane");
+            // Only live workers hold a `done` sender now.
             done_tx = None;
 
-            // Shard 0 runs here, interleaved with coordination.
-            let mut w0 = ShardWorker::new(shard0, bucket0, self.router, env, &cfg, ttl, 0, probe0);
-            #[cfg(test)]
-            {
-                w0.panic_at = panic_at.and_then(|(s, at)| (s == 0).then_some(at));
-            }
+            // Lease bookkeeping. `worker_end[w]` is the exclusive end
+            // of w's granted window; `replay_next` is the next cycle
+            // the coordinator replays; `buffer[k]` merges the deltas
+            // of cycle `replay_next + k` together with how many shards
+            // have reported it.
             let mut run = run;
-            let mut cycle = 0u64;
+            let mut worker_end = vec![0u64; n];
+            let mut reported_through = vec![0u64; n];
+            let mut last_moved = vec![0u64; n];
+            let mut last_len = vec![0u64; n];
+            let mut replay_next = 0u64;
+            let mut buffer: VecDeque<(CycleDone, usize)> = VecDeque::new();
+            // Workers whose next lease starts exactly on a churn
+            // quantum boundary wait here until the replay cursor has
+            // polled that boundary, so the boundary's `Go::Publish`
+            // precedes the lease on their FIFO lane.
+            let mut gated: Vec<usize> = Vec::new();
             let mut failure: Option<RunError> = None;
-            loop {
-                if let Some(drv) = drv.as_mut() {
-                    for (view, op) in drv.poll(cycle) {
-                        // Grow the per-epoch delivery ledger exactly
-                        // when the epoch is published — its length is
-                        // part of the bit-identity contract.
-                        run.stats.epoch_delivered.push(0);
-                        for tx in &go_tx {
-                            let _ = tx.send(Go::Publish(cycle, view.clone(), op));
+            let mut stopped = false;
+
+            // The lease window for worker `w` starting at `start`:
+            // the explicit config value, or the auto bound
+            // `min(tile_w, tile_h)` — the tile edge distance, the
+            // soonest a remote tile's effect can cross this tile —
+            // clamped to [1, 64] and adapted by the previous window's
+            // committed flit counts (deterministic: simulation state,
+            // never wall clock). Under online churn every window is
+            // clamped to the next quantum boundary so no lease ever
+            // spans a publication.
+            let lease_for = |w: usize, start: u64, last_moved: &[u64], last_len: &[u64]| -> u64 {
+                let (tw, th) = dims[w];
+                let len = if cfg.lease > 0 {
+                    cfg.lease
+                } else {
+                    let base = (tw.min(th) as u64).clamp(1, 64);
+                    if last_len[w] == 0 {
+                        base
+                    } else if last_moved[w] == 0 {
+                        // Idle tile: stretch the window.
+                        (base * 2).min(64)
+                    } else if last_moved[w] > (tw * th) as u64 / 4 * last_len[w] {
+                        // Hot tile: tighten the window so the
+                        // coordinator can react (stop, publish,
+                        // adapt) sooner.
+                        (base / 2).max(1)
+                    } else {
+                        base
+                    }
+                };
+                match quantum {
+                    Some(q) => len.min((start / q + 1) * q - start).max(1),
+                    None => len.max(1),
+                }
+            };
+            for w in 0..n {
+                let len = lease_for(w, 0, &last_moved, &last_len);
+                let _ = go_tx[w].send(Go::Lease { start: 0, len });
+                worker_end[w] = len;
+            }
+
+            while !stopped && failure.is_none() {
+                match done_rx.recv() {
+                    Ok(WorkerReport::Cycles { shard, start, dones }) => {
+                        debug_assert_eq!(start, reported_through[shard], "report out of order");
+                        reported_through[shard] = start + dones.len() as u64;
+                        last_moved[shard] = dones.iter().map(|d| d.moved).sum();
+                        last_len[shard] = dones.len() as u64;
+                        // Merge the window into the replay buffer.
+                        for (k, d) in dones.into_iter().enumerate() {
+                            let idx = (start + k as u64 - replay_next) as usize;
+                            if buffer.len() <= idx {
+                                buffer.resize_with(idx + 1, Default::default);
+                            }
+                            let slot = &mut buffer[idx];
+                            slot.0.merge(d);
+                            slot.1 += 1;
                         }
-                        w0.publish(cycle, view, op);
-                    }
-                }
-                for tx in &go_tx {
-                    let _ = tx.send(Go::Cycle(cycle));
-                }
-                let mut agg = CycleDone::default();
-                // Shard 0's own cycle work, caught so a panic here
-                // tears the run down typed instead of unwinding with
-                // worker threads still blocked on their lanes.
-                let step = catch_unwind(AssertUnwindSafe(|| -> Result<(), ()> {
-                    w0.plan_and_grant(cycle, &mut agg);
-                    let t = P::ACTIVE.then(Instant::now);
-                    let (prev, next) = w0.take_outboxes();
-                    debug_assert!(prev.is_empty(), "shard 0 has no previous neighbor");
-                    let _ = down0_tx.send(next);
-                    let Ok(msgs) = up0_rx.recv() else {
-                        return Err(());
-                    };
-                    w0.shard.apply_boundary(msgs);
-                    if let Some(t) = t {
-                        w0.probe.phase_ns(Phase::Boundary, t.elapsed().as_nanos() as u64);
-                    }
-                    w0.finish_cycle(&mut agg);
-                    Ok(())
-                }));
-                match step {
-                    Ok(Ok(())) => {}
-                    Ok(Err(())) => failure = Some(RunError::WorkerLost),
-                    Err(payload) => {
-                        failure = Some(RunError::WorkerPanicked {
-                            shard: 0,
-                            message: panic_message(payload.as_ref()),
-                        });
-                    }
-                }
-                if failure.is_none() {
-                    for _ in 1..n {
-                        match done_rx.recv() {
-                            Ok(WorkerReport::Cycle(d)) => agg.merge(d),
-                            Ok(WorkerReport::Panicked { shard, message }) => {
-                                failure = Some(RunError::WorkerPanicked { shard, message });
+                        // Replay every fully-merged cycle in order
+                        // through the same termination logic the
+                        // lockstep transports use.
+                        while buffer.front().is_some_and(|&(_, count)| count == n) {
+                            let (agg, _) = buffer.pop_front().expect("front checked");
+                            if run.end_of_cycle(replay_next, agg, obs) {
+                                replay_next += 1;
+                                stopped = true;
                                 break;
                             }
-                            Err(_) => {
-                                failure = Some(RunError::WorkerLost);
-                                break;
+                            replay_next += 1;
+                            if let Some(q) = quantum {
+                                if replay_next.is_multiple_of(q) {
+                                    let drv = drv.as_mut().expect("quantum implies a driver");
+                                    for (view, op) in drv.poll(replay_next) {
+                                        // Grow the per-epoch delivery
+                                        // ledger exactly when the epoch
+                                        // is published — its length is
+                                        // part of the bit-identity
+                                        // contract.
+                                        run.stats.epoch_delivered.push(0);
+                                        for tx in &go_tx {
+                                            let _ =
+                                                tx.send(Go::Publish(replay_next, view.clone(), op));
+                                        }
+                                    }
+                                    // Release the leases gated on this
+                                    // boundary, now strictly after its
+                                    // publications on every FIFO lane.
+                                    let mut i = 0;
+                                    while i < gated.len() {
+                                        if worker_end[gated[i]] == replay_next {
+                                            let w = gated.swap_remove(i);
+                                            let len =
+                                                lease_for(w, replay_next, &last_moved, &last_len);
+                                            let _ = go_tx[w]
+                                                .send(Go::Lease { start: replay_next, len });
+                                            worker_end[w] += len;
+                                        } else {
+                                            i += 1;
+                                        }
+                                    }
+                                }
                             }
                         }
+                        if stopped {
+                            break;
+                        }
+                        // Prompt renewal: the worker is idle right now,
+                        // and a stalled lease would stall its
+                        // neighbors' per-cycle boundary recvs too.
+                        let next = worker_end[shard];
+                        let gate =
+                            quantum.is_some_and(|q| next.is_multiple_of(q)) && replay_next < next;
+                        if gate {
+                            gated.push(shard);
+                        } else {
+                            let len = lease_for(shard, next, &last_moved, &last_len);
+                            let _ = go_tx[shard].send(Go::Lease { start: next, len });
+                            worker_end[shard] += len;
+                        }
                     }
-                }
-                if failure.is_some() {
-                    break;
-                }
-                let stop = run.end_of_cycle(cycle, agg, obs);
-                cycle += 1;
-                if stop {
-                    break;
+                    Ok(WorkerReport::Panicked { shard, message }) => {
+                        failure = Some(RunError::WorkerPanicked { shard, message });
+                    }
+                    Err(_) => failure = Some(RunError::WorkerLost),
                 }
             }
+
+            if failure.is_none() {
+                // Fence: workers may hold leases past the stop
+                // decision. Top every worker up to the common fence —
+                // gated workers included; their discarded cycles run
+                // with a stale epoch, harmlessly — then drain the
+                // reports (the statistics were sealed by the replay;
+                // these cycles are overshoot) before the finish
+                // broadcast, so every worker sees `Finish` only once
+                // it is idle and every boundary lane is balanced.
+                let fence = worker_end.iter().copied().max().unwrap_or(0);
+                for w in 0..n {
+                    if worker_end[w] < fence {
+                        let _ = go_tx[w]
+                            .send(Go::Lease { start: worker_end[w], len: fence - worker_end[w] });
+                        worker_end[w] = fence;
+                    }
+                }
+                while failure.is_none() && reported_through.iter().any(|&r| r < fence) {
+                    match done_rx.recv() {
+                        Ok(WorkerReport::Cycles { shard, start, dones }) => {
+                            reported_through[shard] = start + dones.len() as u64;
+                        }
+                        Ok(WorkerReport::Panicked { shard, message }) => {
+                            failure = Some(RunError::WorkerPanicked { shard, message });
+                        }
+                        Err(_) => failure = Some(RunError::WorkerLost),
+                    }
+                }
+            }
+
             if let Some(mut err) = failure {
                 // Teardown: dropping every coordinator-held sender
-                // disconnects the control and boundary lanes, so every
-                // blocked worker observes the disconnect and returns —
-                // the run fails typed, it never hangs.
+                // disconnects the control lanes, so every blocked
+                // worker observes the disconnect — directly, or
+                // through the boundary lane of a neighbor that already
+                // returned — and returns: the run fails typed, it
+                // never hangs.
                 drop(go_tx);
-                drop(down0_tx);
                 for h in handles {
                     let _ = h.join();
                 }
@@ -1464,20 +1634,16 @@ impl<'p> TrafficSim<'p> {
             }
             let reason = run.stop;
             for tx in &go_tx {
-                let _ = tx.send(Go::Finish(cycle, reason));
+                let _ = tx.send(Go::Finish(replay_next, reason));
             }
-            w0.finish_run(cycle, reason);
-            let mut escape = w0.shard.escape_entries;
             let mut probes = Vec::with_capacity(n);
-            probes.push(w0.probe);
             for h in handles {
-                let Ok(Some((shard, probe))) = h.join() else {
+                let Ok(Some((_shard, probe))) = h.join() else {
                     return Err(RunError::WorkerLost);
                 };
-                escape += shard.escape_entries;
                 probes.push(probe);
             }
-            let mut stats = run.finish(escape);
+            let mut stats = run.finish();
             if let Some(drv) = drv {
                 let (events, rejected) = drv.into_outcome();
                 stats.online_events = events;
@@ -1639,6 +1805,40 @@ mod tests {
                 assert_eq!(sequential, sharded, "threads = {threads}, rate = {rate}");
             }
         }
+    }
+
+    #[test]
+    fn lease_windows_cut_coordinator_barriers_by_the_lease_factor() {
+        // The point of the free-running lease: the per-shard barrier
+        // count (one per granted lease, recorded by the obs probe) must
+        // shrink by at least the lease factor relative to lockstep —
+        // while the statistics stay bit-identical.
+        let net = fault_free(12);
+        let base = SimConfig {
+            rate: 0.01,
+            threads: 2,
+            obs: crate::ObsLevel::Metrics,
+            ..SimConfig::smoke()
+        };
+        let barriers = |lease: u64| -> (TrafficStats, u64) {
+            let mut paths = PathTable::new(&net, RoutingKind::Xy);
+            let cfg = SimConfig { lease, ..base.clone() };
+            let (stats, report) = run_traffic_observed(&mut paths, &cfg, &mut ());
+            let report = report.expect("metrics recording was on");
+            (stats, report.shards.iter().map(|s| s.barriers).sum())
+        };
+        let (lockstep_stats, lockstep_barriers) = barriers(1);
+        let (leased_stats, leased_barriers) = barriers(8);
+        assert_eq!(leased_stats, lockstep_stats, "lease windows must not change results");
+        assert!(lockstep_barriers > 0 && leased_barriers > 0);
+        // Fence windows at churn-quantum boundaries and the drain tail
+        // are clamped short, so the realized factor lands a hair under
+        // the nominal lease; 7x of a nominal 8 is the honest floor.
+        assert!(
+            lockstep_barriers >= 7 * leased_barriers,
+            "lease 8 must amortize ~8x fewer barriers: lockstep {lockstep_barriers}, \
+             leased {leased_barriers}"
+        );
     }
 
     #[test]
