@@ -3,7 +3,24 @@
 //!
 //! Usage: `traffic_sweep [--quick] [--json] [--obs] [--trace]
 //! [--mesh N] [--faults A,B,..] [--rates A,B,..] [--seed N]
-//! [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]`.
+//! [--threads N] [--sim-threads N] [--out DIR] [--no-early-exit]
+//! [--workload SPEC] [--record-trace FILE]`.
+//!
+//! `--workload SPEC` replaces the synthetic injection processes with a
+//! scheduled workload (see `meshpath-workload`); `rate` is then
+//! ignored, so sweep a single rate. SPEC is one of:
+//!
+//! * `trace:FILE` — replay a recorded packet trace (the format
+//!   `--record-trace` writes);
+//! * `dag:FILE` — a dependency-driven flow DAG file;
+//! * `alltoall[:ROUNDS]` — barrier-synchronised all-to-all rounds
+//!   (default 4) of `packet_len`-flit messages;
+//! * `perm:L,K[,ROUNDS]` — (L,K)-permutation rounds (default 4),
+//!   seeded from `--seed`.
+//!
+//! `--record-trace FILE` records the packet trace of the sweep's
+//! single grid point (it refuses multi-point grids) and writes it to
+//! FILE, replayable bit-identically with `--workload trace:FILE`.
 //!
 //! `--faults` and `--rates` override the sweep axes (comma-separated),
 //! the knobs the large-mesh bench ladders use to bound their point
@@ -38,7 +55,52 @@
 
 use meshpath_analysis::cli::emit;
 use meshpath_analysis::traffic::{run_load_sweep, LoadSweepConfig};
-use meshpath_traffic::ObsLevel;
+use meshpath_analysis::workload_io::{read_dag, read_trace, write_trace};
+use meshpath_traffic::{ObsLevel, RoutingKind};
+use meshpath_workload::WorkloadSpec;
+
+/// Parses a `--workload` SPEC (see the module docs). `len` and `seed`
+/// come from the sweep configuration.
+fn parse_workload(spec: &str, len: u32, seed: u64) -> Result<WorkloadSpec, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    match kind {
+        "trace" => {
+            let (entries, horizon) = read_trace(&read(rest)?).map_err(|e| e.to_string())?;
+            Ok(WorkloadSpec::Trace { entries, horizon })
+        }
+        "dag" => Ok(WorkloadSpec::Dag(read_dag(&read(rest)?).map_err(|e| e.to_string())?)),
+        "alltoall" => {
+            let rounds = if rest.is_empty() {
+                4
+            } else {
+                rest.parse().map_err(|_| format!("alltoall rounds: {rest:?}"))?
+            };
+            Ok(WorkloadSpec::AllToAll { rounds, len })
+        }
+        "perm" => {
+            let parts: Vec<&str> = rest.split(',').collect();
+            let num = |s: &str| s.trim().parse::<u32>().map_err(|_| format!("perm spec: {rest:?}"));
+            match parts.as_slice() {
+                [l, k] => {
+                    Ok(WorkloadSpec::Permutation { l: num(l)?, k: num(k)?, rounds: 4, len, seed })
+                }
+                [l, k, rounds] => Ok(WorkloadSpec::Permutation {
+                    l: num(l)?,
+                    k: num(k)?,
+                    rounds: num(rounds)?,
+                    len,
+                    seed,
+                }),
+                _ => Err(format!("perm spec wants L,K[,ROUNDS]: {rest:?}")),
+            }
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (trace:FILE | dag:FILE | alltoall[:R] | perm:L,K[,R])"
+        )),
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +113,8 @@ fn main() {
     };
     let mut out: Option<String> = None;
     let mut json = false;
+    let mut workload_arg: Option<String> = None;
+    let mut record_trace: Option<String> = None;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -84,17 +148,37 @@ fn main() {
                     .map(|v| v.trim().parse().expect("--rates: comma-separated floats"))
                     .collect();
             }
+            "--routers" => {
+                cfg.routers = take("--routers")
+                    .split(',')
+                    .map(|v| match v.trim().to_ascii_lowercase().as_str() {
+                        "xy" => RoutingKind::Xy,
+                        "ecube" | "e-cube" => RoutingKind::ECube,
+                        "rb1" => RoutingKind::Rb1,
+                        "rb2" => RoutingKind::Rb2,
+                        "rb3" => RoutingKind::Rb3,
+                        other => {
+                            eprintln!("--routers: unknown router {other:?}");
+                            std::process::exit(2);
+                        }
+                    })
+                    .collect();
+            }
             "--seed" => cfg.seed = take("--seed").parse().expect("--seed: integer"),
             "--threads" => cfg.threads = take("--threads").parse().expect("--threads: integer"),
             "--sim-threads" => {
                 cfg.sim.threads = take("--sim-threads").parse().expect("--sim-threads: integer");
             }
             "--out" => out = Some(take("--out")),
+            "--workload" => workload_arg = Some(take("--workload")),
+            "--record-trace" => record_trace = Some(take("--record-trace")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: traffic_sweep [--quick] [--json] [--obs] [--trace] [--mesh N] \
                      [--faults A,B,..] [--rates A,B,..] [--seed N] [--threads N] \
-                     [--sim-threads N] [--out DIR] [--no-early-exit]"
+                     [--sim-threads N] [--out DIR] [--no-early-exit] [--routers A,B,..] \
+                     [--workload trace:FILE|dag:FILE|alltoall[:R]|perm:L,K[,R]] \
+                     [--record-trace FILE]"
                 );
                 return;
             }
@@ -117,7 +201,38 @@ fn main() {
         }
     }
 
+    if let Some(spec) = &workload_arg {
+        match parse_workload(spec, cfg.sim.packet_len, cfg.seed) {
+            Ok(w) => cfg.workload = Some(w),
+            Err(e) => {
+                eprintln!("--workload: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let grid_points = cfg.fault_counts.len() * cfg.rates.len() * cfg.routers.len();
+    if record_trace.is_some() {
+        if grid_points != 1 {
+            eprintln!(
+                "--record-trace wants exactly one grid point (one fault count, one rate, one \
+                 router), this sweep has {grid_points}"
+            );
+            std::process::exit(2);
+        }
+        cfg.sim.record_trace = true;
+    }
+
     let res = run_load_sweep(&cfg);
+    if let Some(path) = &record_trace {
+        let entries = res.points[0].trace.as_deref().unwrap_or(&[]);
+        let horizon = cfg.sim.warmup + cfg.sim.measure;
+        if let Err(e) = std::fs::write(path, write_trace(entries, horizon)) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        } else if meshpath_obs::enabled(meshpath_obs::LogLevel::Info) {
+            eprintln!("recorded {} trace entries to {path}", entries.len());
+        }
+    }
     if json {
         let doc = res.to_json();
         print!("{doc}");

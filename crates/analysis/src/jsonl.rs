@@ -146,6 +146,154 @@ pub fn document_with(
     s
 }
 
+/// A value parsed from a flat JSON object line — the subset
+/// [`JsonObject`] can emit (numbers, restricted strings, booleans,
+/// `null`, arrays of numbers or restricted strings).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlatValue {
+    /// An integer or float (floats are representable losslessly enough
+    /// for every field this workspace round-trips).
+    Num(f64),
+    /// A quoted string (same restricted charset the emitter enforces).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array of numbers.
+    Nums(Vec<f64>),
+    /// An array of strings.
+    Strs(Vec<String>),
+}
+
+impl FlatValue {
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FlatValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a string array, if it is one (an empty array
+    /// parses as `Nums`; it is accepted here too).
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match self {
+            FlatValue::Strs(v) => Some(v),
+            FlatValue::Nums(v) if v.is_empty() => Some(&[]),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line (`{"k": v, ...}`) into its
+/// `(key, value)` pairs, in order — the reader for the formats
+/// [`JsonObject`] writes (trace files, DAG files). Nested objects are
+/// not supported; strings must use the emitter's restricted charset
+/// (no escapes).
+pub fn parse_flat(line: &str) -> Result<Vec<(String, FlatValue)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a flat object: {line:?}"))?
+        .trim();
+    let mut pairs = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let (key, after_key) = take_string(rest)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?
+            .trim_start();
+        let (value, after_value) = take_value(after_colon)?;
+        pairs.push((key, value));
+        rest = after_value.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected ',' before {rest:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+/// Reads a leading quoted string; returns it and the remaining input.
+fn take_string(s: &str) -> Result<(String, &str), String> {
+    let body = s.strip_prefix('"').ok_or_else(|| format!("expected a string at {s:?}"))?;
+    let end = body.find('"').ok_or_else(|| format!("unterminated string at {s:?}"))?;
+    let text = &body[..end];
+    if !text.chars().all(|c| c.is_ascii_alphanumeric() || "_-.".contains(c)) {
+        return Err(format!("string outside the restricted charset: {text:?}"));
+    }
+    Ok((text.to_string(), &body[end + 1..]))
+}
+
+/// Reads a leading scalar or array value; returns it and the rest.
+fn take_value(s: &str) -> Result<(FlatValue, &str), String> {
+    if let Some(rest) = s.strip_prefix("true") {
+        return Ok((FlatValue::Bool(true), rest));
+    }
+    if let Some(rest) = s.strip_prefix("false") {
+        return Ok((FlatValue::Bool(false), rest));
+    }
+    if let Some(rest) = s.strip_prefix("null") {
+        return Ok((FlatValue::Null, rest));
+    }
+    if s.starts_with('"') {
+        let (text, rest) = take_string(s)?;
+        return Ok((FlatValue::Str(text), rest));
+    }
+    if let Some(mut rest) = s.strip_prefix('[') {
+        rest = rest.trim_start();
+        let mut nums = Vec::new();
+        let mut strs = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                break if !strs.is_empty() {
+                    Ok((FlatValue::Strs(strs), after))
+                } else {
+                    Ok((FlatValue::Nums(nums), after))
+                };
+            }
+            match take_value(rest)? {
+                (FlatValue::Num(n), after) if strs.is_empty() => {
+                    nums.push(n);
+                    rest = after;
+                }
+                (FlatValue::Str(t), after) if nums.is_empty() => {
+                    strs.push(t);
+                    rest = after;
+                }
+                _ => return Err(format!("mixed or nested array at {s:?}")),
+            }
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err(format!("expected ',' or ']' in array at {s:?}"));
+            }
+        }
+    } else {
+        let end = s.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(s.len());
+        let (num, rest) = s.split_at(end);
+        let n: f64 = num.parse().map_err(|_| format!("expected a value at {s:?}"))?;
+        Ok((FlatValue::Num(n), rest))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +321,37 @@ mod tests {
     #[should_panic(expected = "needs escaping")]
     fn strings_requiring_escapes_are_refused() {
         JsonObject::new().string("k", "a\"b");
+    }
+
+    #[test]
+    fn parse_flat_round_trips_the_emitter() {
+        let mut o = JsonObject::new();
+        o.field("a", 3)
+            .string("b", "x-y.z")
+            .float("c", 1.5, 3)
+            .array_u64("d", &[3, 4])
+            .field("e", true)
+            .float("f", f64::NAN, 2);
+        let pairs = parse_flat(&o.render()).expect("parses");
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], ("a".into(), FlatValue::Num(3.0)));
+        assert_eq!(pairs[0].1.as_u64(), Some(3));
+        assert_eq!(pairs[1].1.as_str(), Some("x-y.z"));
+        assert_eq!(pairs[2].1, FlatValue::Num(1.5));
+        assert_eq!(pairs[3].1, FlatValue::Nums(vec![3.0, 4.0]));
+        assert_eq!(pairs[4].1, FlatValue::Bool(true));
+        assert_eq!(pairs[5].1, FlatValue::Null);
+    }
+
+    #[test]
+    fn parse_flat_reads_string_arrays_and_rejects_garbage() {
+        let pairs = parse_flat(r#"{"deps": ["a", "b-2"], "none": []}"#).expect("parses");
+        assert_eq!(pairs[0].1.as_strs(), Some(&["a".to_string(), "b-2".to_string()][..]));
+        assert_eq!(pairs[1].1.as_strs(), Some(&[][..]), "empty arrays act as string arrays");
+        assert!(parse_flat("not json").is_err());
+        assert!(parse_flat(r#"{"k": }"#).is_err());
+        assert!(parse_flat(r#"{"k": [1, "x"]}"#).is_err(), "mixed arrays refused");
+        assert!(parse_flat(r#"{"k": "a b"}"#).is_err(), "unrestricted strings refused");
     }
 
     #[test]

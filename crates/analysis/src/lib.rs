@@ -39,6 +39,7 @@ pub mod jsonl;
 pub mod sweep;
 pub mod table;
 pub mod traffic;
+pub mod workload_io;
 
 pub use fig5::{fig5a, fig5b, fig5c, fig5d, fig5e, Fig5Data};
 pub use sweep::{run_sweep, ConfigRecord, RouterAgg, SweepConfig, SweepResult};

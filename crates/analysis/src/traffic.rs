@@ -12,9 +12,10 @@ use meshpath_mesh::{FaultInjection, FaultSet, Mesh};
 use meshpath_obs::Phase;
 use meshpath_route::NetView;
 use meshpath_traffic::{
-    run_traffic_observed, DrainStallObserver, LatencyHistogram, ObsReport, PathTable, RoutingKind,
-    SimConfig, TrafficStats, WindowObserver,
+    DrainStallObserver, LatencyHistogram, ObsReport, PathTable, RoutingKind, SimConfig, TraceEntry,
+    TrafficSim, TrafficStats, WindowObserver, WorkloadOutcome,
 };
+use meshpath_workload::WorkloadSpec;
 
 use crate::jsonl::{document_with, JsonObject};
 use rand::rngs::StdRng;
@@ -64,6 +65,14 @@ pub struct LoadSweepConfig {
     /// post-saturation curve matters, as `examples/traffic_saturation`
     /// does.
     pub early_exit: bool,
+    /// Scheduled workload replacing the synthetic injection processes:
+    /// trace replay, a flow DAG, or barrier-synchronised collective
+    /// rounds. Every grid point runs the same spec (rebuilt per point
+    /// against that point's fault configuration), and workload points
+    /// carry `flow_p50`/`flow_p99`/`phase_cycles` in the `--json` rows.
+    /// `rate` is ignored by workload runs, so sweep a single rate.
+    #[serde(skip)]
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Default for LoadSweepConfig {
@@ -78,6 +87,7 @@ impl Default for LoadSweepConfig {
             threads: 0,
             injection: FaultInjection::Uniform,
             early_exit: true,
+            workload: None,
         }
     }
 }
@@ -122,6 +132,18 @@ pub struct LoadPoint {
     /// [`LoadSweepResult::to_json`].
     #[serde(skip)]
     pub obs: Option<ObsReport>,
+    /// The workload outcome (flow completions, phase timings, abort
+    /// ledger), present when the sweep ran a
+    /// [`workload`](LoadSweepConfig::workload) and the point was
+    /// simulated.
+    #[serde(skip)]
+    pub workload: Option<WorkloadOutcome>,
+    /// The recorded packet trace, present when
+    /// [`SimConfig::record_trace`] was set and the point was simulated
+    /// — the payload `traffic_sweep --record-trace` writes out through
+    /// [`crate::workload_io`].
+    #[serde(skip)]
+    pub trace: Option<Vec<TraceEntry>>,
 }
 
 impl LoadPoint {
@@ -270,6 +292,8 @@ impl LoadSweepResult {
             .string("injection", c.sim.injection.name())
             .string("length", c.sim.length.name())
             .field("sim_threads", c.sim.threads)
+            .field("tile_cols", c.sim.tile_cols)
+            .field("lease", c.sim.lease)
             .field("vcs", c.sim.vcs)
             .field("escape_vcs", c.sim.escape_vcs)
             .field("vc_depth", c.sim.vc_depth)
@@ -279,6 +303,9 @@ impl LoadSweepResult {
             .field("drain", c.sim.drain)
             .field("churn_events", c.sim.fault_churn.len())
             .string("obs", c.sim.obs.name());
+        if let Some(spec) = &c.workload {
+            config.string("workload", spec.name());
+        }
         let rows: Vec<JsonObject> = self
             .points
             .iter()
@@ -313,6 +340,14 @@ impl LoadSweepResult {
                     .field("churn_rejected", st.churn_rejected)
                     .float("sim_wall_ms", p.sim_wall_ms, 3)
                     .float("mflits_per_sec", p.mflits_per_sec(), 3);
+                if let Some(wl) = &p.workload {
+                    row.field("flows_delivered", wl.flows_delivered)
+                        .field("flows_aborted", wl.flows_aborted)
+                        .field("flow_p50", wl.flow_p50())
+                        .field("flow_p99", wl.flow_p99())
+                        .field("flow_makespan", wl.makespan)
+                        .array_u64("phase_cycles", &wl.phase_cycles());
+                }
                 row
             })
             .collect();
@@ -513,6 +548,8 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
                                 simulated: false,
                                 sim_wall_ms: 0.0,
                                 obs: None,
+                                workload: None,
+                                trace: None,
                             }
                         } else {
                             let sim = SimConfig {
@@ -530,19 +567,25 @@ pub fn run_load_sweep(config: &LoadSweepConfig) -> LoadSweepResult {
                             let observer: &mut dyn WindowObserver =
                                 if cfg.early_exit { &mut stall } else { &mut passive };
                             let started = Instant::now();
-                            let (stats, obs) = run_traffic_observed(&mut paths, &sim, observer);
+                            let mut run = TrafficSim::new(&mut paths, sim);
+                            if let Some(spec) = &cfg.workload {
+                                run = run.with_workload(spec.build(net));
+                            }
+                            let out = run.run_full(observer);
                             let sim_wall_ms = started.elapsed().as_secs_f64() * 1e3;
-                            if stats.saturated || stats.deadlocked {
+                            if out.stats.saturated || out.stats.deadlocked {
                                 sat_from = Some(sat_from.map_or(rate, |s: f64| s.min(rate)));
                             }
                             LoadPoint {
                                 router,
                                 faults,
                                 rate,
-                                stats,
+                                stats: out.stats,
                                 simulated: true,
                                 sim_wall_ms,
-                                obs,
+                                obs: out.obs,
+                                workload: out.workload,
+                                trace: out.trace,
                             }
                         };
                         let idx = (fi * n_rates + ri) * n_routers + ki;
@@ -615,6 +658,10 @@ mod tests {
             "\"mflits_per_sec\"",
             "\"flits_moved\"",
             "\"simulated\"",
+            // The sharding knobs ride in the config object so a BENCH
+            // row is attributable to its transport configuration.
+            "\"tile_cols\"",
+            "\"lease\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -789,6 +836,56 @@ mod tests {
         let full = run_load_sweep(&LoadSweepConfig { early_exit: false, ..cfg });
         assert!(full.points.iter().all(|p| p.simulated));
         assert!(full.points.iter().all(|p| p.stats.saturated || p.stats.deadlocked));
+    }
+
+    #[test]
+    fn workload_sweep_carries_flow_metrics_into_json() {
+        // An all-to-all collective sweep point: the workload replaces
+        // the synthetic generators, the outcome rides in the point and
+        // the flow/phase metrics ride in the JSON rows.
+        let cfg = LoadSweepConfig {
+            mesh: 8,
+            fault_counts: vec![0, 2],
+            rates: vec![0.01],
+            routers: vec![RoutingKind::Xy, RoutingKind::Rb2],
+            sim: SimConfig::smoke(),
+            threads: 2,
+            workload: Some(WorkloadSpec::AllToAll { rounds: 2, len: 4 }),
+            ..Default::default()
+        };
+        let res = run_load_sweep(&cfg);
+        for p in &res.points {
+            let wl = p.workload.as_ref().expect("workload points carry an outcome");
+            assert_eq!(wl.phases.len(), 2, "both rounds completed");
+            assert!(wl.flows_delivered > 0);
+            assert!(wl.phase_cycles().iter().all(|&c| c > 0));
+            // Every generated packet came from the workload (released
+            // also counts admission-rejected flows, e.g. a fault draw
+            // that disconnects a participant).
+            assert!(p.stats.generated <= wl.released, "workload replaces the generators");
+            assert!(p.stats.generated > 0);
+        }
+        // Same spec, same seed: the sweep is paired, so the fault-free
+        // phase times are identical across routers only if the routers
+        // are — which they are not; just check determinism per router.
+        let again = run_load_sweep(&cfg);
+        for (pa, pb) in res.points.iter().zip(&again.points) {
+            assert_eq!(pa.stats, pb.stats);
+            assert_eq!(pa.workload, pb.workload);
+        }
+        let json = res.to_json();
+        for key in [
+            "\"workload\": \"alltoall\"",
+            "\"flows_delivered\"",
+            "\"flows_aborted\"",
+            "\"flow_p50\"",
+            "\"flow_p99\"",
+            "\"flow_makespan\"",
+            "\"phase_cycles\": [",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"phase_cycles\"").count(), res.points.len());
     }
 
     #[test]

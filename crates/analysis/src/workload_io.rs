@@ -1,0 +1,318 @@
+//! Workload file I/O: the versioned JSONL packet-trace format
+//! (`--record-trace` / `--workload trace:FILE`) and the flow-DAG file
+//! format (`--workload dag:FILE`), both emitted and parsed through
+//! [`crate::jsonl`] so the hand-rolled JSON lives in one place.
+//!
+//! ## Trace format (version 1)
+//!
+//! Line 1 is the header, then one flat object per recorded entry:
+//!
+//! ```json
+//! {"format": "meshpath-trace", "version": 1, "horizon": 120, "entries": 2}
+//! {"cycle": 0, "src_x": 1, "src_y": 2, "dst_x": 5, "dst_y": 0, "len": 4, "flow": 4294967295, "drop": 0}
+//! {"cycle": 3, "src_x": 0, "src_y": 0, "dst_x": 7, "dst_y": 7, "len": 0, "flow": 4294967295, "drop": 1}
+//! ```
+//!
+//! `drop` is 0 for injected packets, 1 for unroutable rejections and 2
+//! for TTL rejections; rejections carry `len: 0` and exist so a replay
+//! reproduces the recording run's drop counters (and RNG-free
+//! admission schedule) exactly. `horizon` is the recording run's
+//! generation horizon (`warmup + measure` for synthetic runs): the
+//! replay holds the simulation open until it so both runs terminate on
+//! the same cycle.
+//!
+//! ## DAG format (version 1)
+//!
+//! Line 1 is the header, then one flow per line; `deps` names flows by
+//! their `name` field and must form a DAG:
+//!
+//! ```json
+//! {"format": "meshpath-dag", "version": 1, "flows": 2}
+//! {"name": "a", "src_x": 0, "src_y": 0, "dst_x": 7, "dst_y": 7, "len": 8, "deps": [], "earliest": 0}
+//! {"name": "b", "src_x": 7, "src_y": 7, "dst_x": 0, "dst_y": 0, "len": 4, "deps": ["a"], "earliest": 0}
+//! ```
+
+use std::fmt;
+
+use meshpath_mesh::Coord;
+use meshpath_traffic::TraceEntry;
+use meshpath_workload::{DagSpec, FlowDag, FlowSpec};
+
+use crate::jsonl::{parse_flat, FlatValue, JsonObject};
+
+/// Current version of both on-disk formats.
+pub const WORKLOAD_FORMAT_VERSION: u64 = 1;
+
+/// Why a workload file failed to parse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadIoError {
+    /// The file is empty or its header line is missing/invalid.
+    BadHeader(String),
+    /// The header names a format or version this reader cannot take.
+    UnsupportedFormat {
+        /// The `format` string found (empty if absent).
+        format: String,
+        /// The `version` found (0 if absent).
+        version: u64,
+    },
+    /// A body line failed to parse (1-based line number + reason).
+    BadLine(usize, String),
+    /// The parsed DAG failed validation (unknown dep, cycle, ...).
+    InvalidDag(String),
+}
+
+impl fmt::Display for WorkloadIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadIoError::BadHeader(why) => write!(f, "bad workload file header: {why}"),
+            WorkloadIoError::UnsupportedFormat { format, version } => {
+                write!(f, "unsupported workload file format {format:?} version {version}")
+            }
+            WorkloadIoError::BadLine(n, why) => write!(f, "line {n}: {why}"),
+            WorkloadIoError::InvalidDag(why) => write!(f, "invalid DAG: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadIoError {}
+
+/// Renders a recorded trace in the version-1 format.
+pub fn write_trace(entries: &[TraceEntry], horizon: u64) -> String {
+    let mut out = String::with_capacity(64 + 96 * entries.len());
+    let mut header = JsonObject::new();
+    header
+        .string("format", "meshpath-trace")
+        .field("version", WORKLOAD_FORMAT_VERSION)
+        .field("horizon", horizon)
+        .field("entries", entries.len());
+    out.push_str(&header.render());
+    out.push('\n');
+    for e in entries {
+        let mut o = JsonObject::new();
+        o.field("cycle", e.cycle)
+            .field("src_x", e.src.x)
+            .field("src_y", e.src.y)
+            .field("dst_x", e.dst.x)
+            .field("dst_y", e.dst.y)
+            .field("len", e.len)
+            .field("flow", e.flow)
+            .field("drop", e.drop);
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Looks up `key` in a parsed flat object.
+fn get<'a>(pairs: &'a [(String, FlatValue)], key: &str) -> Option<&'a FlatValue> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(pairs: &[(String, FlatValue)], key: &str) -> Result<u64, String> {
+    get(pairs, key)
+        .and_then(FlatValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn get_coord(pairs: &[(String, FlatValue)], xk: &str, yk: &str) -> Result<Coord, String> {
+    let read = |key: &str| -> Result<i32, String> {
+        match get(pairs, key) {
+            Some(FlatValue::Num(n)) if n.fract() == 0.0 => Ok(*n as i32),
+            _ => Err(format!("missing or non-integer field {key:?}")),
+        }
+    };
+    Ok(Coord::new(read(xk)?, read(yk)?))
+}
+
+/// Parses and validates the header line; returns its pairs.
+fn read_header(text: &str, format: &str) -> Result<Vec<(String, FlatValue)>, WorkloadIoError> {
+    let first =
+        text.lines().next().ok_or_else(|| WorkloadIoError::BadHeader("empty file".to_string()))?;
+    let pairs = parse_flat(first).map_err(WorkloadIoError::BadHeader)?;
+    let found = get(&pairs, "format").and_then(FlatValue::as_str).unwrap_or("").to_string();
+    let version = get(&pairs, "version").and_then(FlatValue::as_u64).unwrap_or(0);
+    if found != format || version != WORKLOAD_FORMAT_VERSION {
+        return Err(WorkloadIoError::UnsupportedFormat { format: found, version });
+    }
+    Ok(pairs)
+}
+
+/// Parses a version-1 trace file into its entries and horizon.
+pub fn read_trace(text: &str) -> Result<(Vec<TraceEntry>, u64), WorkloadIoError> {
+    let header = read_header(text, "meshpath-trace")?;
+    let horizon = get_u64(&header, "horizon").map_err(WorkloadIoError::BadHeader)?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat(line).map_err(|e| WorkloadIoError::BadLine(i + 1, e))?;
+        let field =
+            |key: &str| get_u64(&pairs, key).map_err(|e| WorkloadIoError::BadLine(i + 1, e));
+        entries.push(TraceEntry {
+            cycle: field("cycle")?,
+            src: get_coord(&pairs, "src_x", "src_y")
+                .map_err(|e| WorkloadIoError::BadLine(i + 1, e))?,
+            dst: get_coord(&pairs, "dst_x", "dst_y")
+                .map_err(|e| WorkloadIoError::BadLine(i + 1, e))?,
+            len: field("len")? as u32,
+            flow: field("flow")? as u32,
+            drop: field("drop")? as u8,
+        });
+    }
+    if let Some(FlatValue::Num(n)) = get(&header, "entries") {
+        if *n as usize != entries.len() {
+            return Err(WorkloadIoError::BadHeader(format!(
+                "header promises {n} entries, file has {}",
+                entries.len()
+            )));
+        }
+    }
+    Ok((entries, horizon))
+}
+
+/// Renders a DAG spec in the version-1 format.
+pub fn write_dag(spec: &DagSpec) -> String {
+    let mut out = String::with_capacity(64 + 96 * spec.flows.len());
+    let mut header = JsonObject::new();
+    header
+        .string("format", "meshpath-dag")
+        .field("version", WORKLOAD_FORMAT_VERSION)
+        .field("flows", spec.flows.len());
+    out.push_str(&header.render());
+    out.push('\n');
+    for f in &spec.flows {
+        let mut o = JsonObject::new();
+        o.string("name", &f.name)
+            .field("src_x", f.src.x)
+            .field("src_y", f.src.y)
+            .field("dst_x", f.dst.x)
+            .field("dst_y", f.dst.y)
+            .field("len", f.len)
+            // `field` takes the raw (unquoted) form, which is how the
+            // string array rides through the emitter.
+            .field("deps", render_deps(&f.deps))
+            .field("earliest", f.earliest);
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out
+}
+
+// `JsonObject` has no string-array emitter; render deps inline through
+// its `field` raw path (the names share the restricted charset the
+// emitter enforces for strings).
+fn render_deps(deps: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in deps.iter().enumerate() {
+        assert!(
+            d.chars().all(|c| c.is_ascii_alphanumeric() || "_-.".contains(c)),
+            "DAG flow names stay in the restricted charset: {d:?}"
+        );
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('"');
+        s.push_str(d);
+        s.push('"');
+    }
+    s.push(']');
+    s
+}
+
+/// Parses a version-1 DAG file and validates it (via [`FlowDag::new`],
+/// the validating constructor), returning the spec.
+pub fn read_dag(text: &str) -> Result<DagSpec, WorkloadIoError> {
+    read_header(text, "meshpath-dag")?;
+    let mut flows = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat(line).map_err(|e| WorkloadIoError::BadLine(i + 1, e))?;
+        let bad = |e| WorkloadIoError::BadLine(i + 1, e);
+        flows.push(FlowSpec {
+            name: get(&pairs, "name")
+                .and_then(FlatValue::as_str)
+                .ok_or_else(|| bad("missing string field \"name\"".to_string()))?
+                .to_string(),
+            src: get_coord(&pairs, "src_x", "src_y").map_err(bad)?,
+            dst: get_coord(&pairs, "dst_x", "dst_y").map_err(bad)?,
+            len: get_u64(&pairs, "len").map_err(bad)? as u32,
+            deps: get(&pairs, "deps")
+                .and_then(FlatValue::as_strs)
+                .map(<[String]>::to_vec)
+                .unwrap_or_default(),
+            earliest: get_u64(&pairs, "earliest").unwrap_or(0),
+        });
+    }
+    let spec = DagSpec { flows };
+    FlowDag::new(spec.clone()).map_err(|e| WorkloadIoError::InvalidDag(e.to_string()))?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshpath_traffic::NO_FLOW;
+    use meshpath_workload::FlowSpec;
+
+    #[test]
+    fn traces_round_trip() {
+        let entries = vec![
+            TraceEntry {
+                cycle: 0,
+                src: Coord::new(1, 2),
+                dst: Coord::new(5, 0),
+                len: 4,
+                flow: NO_FLOW,
+                drop: 0,
+            },
+            TraceEntry {
+                cycle: 3,
+                src: Coord::new(0, 0),
+                dst: Coord::new(7, 7),
+                len: 0,
+                flow: NO_FLOW,
+                drop: 1,
+            },
+        ];
+        let text = write_trace(&entries, 120);
+        assert!(text.starts_with(
+            "{\"format\": \"meshpath-trace\", \"version\": 1, \"horizon\": 120, \"entries\": 2}\n"
+        ));
+        let (parsed, horizon) = read_trace(&text).expect("round trip");
+        assert_eq!(horizon, 120);
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn trace_header_is_checked() {
+        assert!(matches!(read_trace(""), Err(WorkloadIoError::BadHeader(_))));
+        let wrong = "{\"format\": \"meshpath-dag\", \"version\": 1, \"horizon\": 3}\n";
+        assert!(matches!(read_trace(wrong), Err(WorkloadIoError::UnsupportedFormat { .. })));
+        let future = "{\"format\": \"meshpath-trace\", \"version\": 2, \"horizon\": 3}\n";
+        assert!(matches!(read_trace(future), Err(WorkloadIoError::UnsupportedFormat { .. })));
+        let miscount = write_trace(&[], 5).replace("\"entries\": 0", "\"entries\": 7");
+        assert!(matches!(read_trace(&miscount), Err(WorkloadIoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn dags_round_trip_and_validate() {
+        let spec = DagSpec {
+            flows: vec![
+                FlowSpec::root("a", Coord::new(0, 0), Coord::new(7, 7), 8),
+                FlowSpec::after("b", Coord::new(7, 7), Coord::new(0, 0), 4, &["a"]),
+            ],
+        };
+        let text = write_dag(&spec);
+        assert!(text.contains("\"deps\": [\"a\"]"), "{text}");
+        let parsed = read_dag(&text).expect("round trip");
+        assert_eq!(parsed, spec);
+
+        let cyclic = text.replace("\"deps\": []", "\"deps\": [\"b\"]");
+        assert!(matches!(read_dag(&cyclic), Err(WorkloadIoError::InvalidDag(_))));
+        let unnamed = text.replace("\"name\": \"a\", ", "");
+        assert!(matches!(read_dag(&unnamed), Err(WorkloadIoError::BadLine(2, _))));
+    }
+}

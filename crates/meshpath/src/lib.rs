@@ -159,6 +159,7 @@ pub use meshpath_obs as obs;
 pub use meshpath_route as route;
 pub use meshpath_sim as sim;
 pub use meshpath_traffic as traffic;
+pub use meshpath_workload as workload;
 
 mod cache;
 mod service;

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod log;
 pub mod metrics;
 pub mod postmortem;
@@ -43,6 +44,7 @@ pub mod profile;
 pub mod report;
 pub mod trace;
 
+pub use flow::{FlowEvent, FlowEventKind, FlowLog};
 pub use log::{enabled, LogLevel};
 pub use metrics::{AtomicLogHistogram, HitMiss, LogHistogram};
 pub use postmortem::{BlockedWait, Postmortem, StalledPacket, VcFront, WaitEdge};

@@ -243,7 +243,16 @@ impl OnlineDriver {
                     self.applied.push(ChurnEvent { cycle, op });
                     out.push((view, op));
                 }
-                Err(_) => self.rejected += 1,
+                Err(e) => {
+                    // Rejections are counted, not fatal — but a chaos
+                    // schedule (or an injector client) targeting an
+                    // invalid coordinate is worth a visible note, with
+                    // the offending op, under `MESHPATH_LOG=info`.
+                    if meshpath_obs::enabled(meshpath_obs::LogLevel::Info) {
+                        eprintln!("[churn] cycle {cycle}: rejected {op:?}: {e}");
+                    }
+                    self.rejected += 1;
+                }
             }
         }
         out

@@ -205,6 +205,16 @@ pub struct SimConfig {
     /// one (pinned by `crate::golden`). Retrieve the merged report with
     /// [`TrafficSim::run_observed`](crate::TrafficSim::run_observed).
     pub obs: ObsLevel,
+    /// Record every generation attempt as a packet-trace entry
+    /// (`cycle, src, dst, len`, with rejections as drop markers). The
+    /// recorded trace comes back in
+    /// [`RunOutput::trace`](crate::sim::RunOutput) and replays through
+    /// a trace workload source
+    /// ([`TrafficSim::with_workload`](crate::TrafficSim::with_workload))
+    /// bit-identically — same `TrafficStats`, same cycle count — under
+    /// the same config. Off by default (recording allocates per
+    /// generated packet).
+    pub record_trace: bool,
 }
 
 impl Default for SimConfig {
@@ -230,6 +240,7 @@ impl Default for SimConfig {
             stats_window: 250,
             fault_churn: Vec::new(),
             obs: ObsLevel::Off,
+            record_trace: false,
         }
     }
 }
@@ -283,6 +294,12 @@ impl SimConfig {
     /// [`obs`](SimConfig::obs)).
     pub fn with_obs(self, obs: ObsLevel) -> Self {
         SimConfig { obs, ..self }
+    }
+
+    /// This config with generation-trace recording switched on
+    /// (builder; see [`record_trace`](SimConfig::record_trace)).
+    pub fn with_record_trace(self) -> Self {
+        SimConfig { record_trace: true, ..self }
     }
 
     /// The effective shard/worker count for a mesh of `nodes` nodes
@@ -351,13 +368,15 @@ mod tests {
             .with_threads(2)
             .with_pattern(TrafficPattern::Transpose)
             .with_fault_churn(vec![ChurnEvent::fail(50, Coord::new(1, 1))])
-            .with_obs(ObsLevel::Metrics);
+            .with_obs(ObsLevel::Metrics)
+            .with_record_trace();
         assert_eq!(c.rate, 0.125);
         assert_eq!(c.seed, 99);
         assert_eq!(c.threads, 2);
         assert_eq!(c.pattern, TrafficPattern::Transpose);
         assert_eq!(c.fault_churn.len(), 1);
         assert_eq!(c.obs, ObsLevel::Metrics);
+        assert!(c.record_trace);
         let d = c.without_escape();
         assert_eq!(d.escape_vcs, 0);
         assert_eq!(d.rate, 0.125, "builders chain without losing fields");

@@ -222,6 +222,11 @@ pub struct PacketState {
     /// admission): the fabric drains it through the ejection port and
     /// the driver accounts it as `churn_killed` instead of delivered.
     pub killed: bool,
+    /// The application flow this packet carries
+    /// ([`NO_FLOW`](crate::source::NO_FLOW) for synthetic traffic).
+    /// Travels with the head so the [`Delivery`] feedback can close the
+    /// loop to a coordinator-side workload scheduler.
+    pub flow: u32,
 }
 
 impl PacketState {
@@ -238,6 +243,7 @@ impl PacketState {
             stalled: 0,
             epoch: 0,
             killed: false,
+            flow: crate::source::NO_FLOW,
         }
     }
 }

@@ -98,6 +98,7 @@ fn reference_stepper_plans_parked_heads_on_the_same_cycles() {
         stats_window: 100,
         fault_churn: Vec::new(),
         obs: ObsLevel::Off,
+        record_trace: false,
     };
     let kind = RoutingKind::ECube;
     let reference = run(&net, kind, &cfg, true, chaos);
@@ -196,6 +197,7 @@ proptest! {
             stats_window: 100,
             fault_churn,
             obs: ObsLevel::Off,
+            record_trace: false,
         };
         // Lease window (1, 2, 8, or 0 = the auto tile-edge bound with
         // occupancy adaptation) and tile shape (1 = row bands, 2 = a

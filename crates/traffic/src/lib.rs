@@ -136,6 +136,7 @@ mod golden;
 pub mod pattern;
 pub mod routing;
 pub mod sim;
+pub mod source;
 pub mod stats;
 
 pub use churn::{ChaosConfig, ChurnInjector, OnlineChurn};
@@ -148,7 +149,10 @@ pub use routing::{
 };
 pub use sim::{
     run_traffic, run_traffic_observed, run_traffic_reusing, run_traffic_reusing_with,
-    single_packet_latency, RunError, TrafficSim,
+    single_packet_latency, RunError, RunOutput, TrafficSim,
+};
+pub use source::{
+    FlowCompletion, PhaseOutcome, TraceEntry, WorkloadMsg, WorkloadOutcome, WorkloadSource, NO_FLOW,
 };
 pub use stats::{
     DrainStallObserver, LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample,
@@ -157,8 +161,9 @@ pub use stats::{
 // The observability surface downstream code needs to configure
 // recording and consume reports, re-exported from `meshpath-obs`.
 pub use meshpath_obs::{
-    BlockedWait, LogHistogram, ObsLevel, ObsReport, PhaseProfile, Postmortem, ShardReport,
-    StalledPacket, StopKind, TraceEvent, TraceEventKind, VcFront, WaitEdge,
+    BlockedWait, FlowEvent, FlowEventKind, LogHistogram, ObsLevel, ObsReport, PhaseProfile,
+    Postmortem, ShardReport, StalledPacket, StopKind, TraceEvent, TraceEventKind, VcFront,
+    WaitEdge,
 };
 
 // Re-exported so downstream code can name the substrate types the

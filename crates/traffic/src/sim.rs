@@ -69,7 +69,7 @@
 //! [`RunError`] from the `try_run*` entry points; the plain `run*`
 //! entry points re-panic with the worker's message.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -86,6 +86,7 @@ use crate::config::{ChurnOp, RoutePolicy, SimConfig};
 use crate::fabric::{BoundaryMsg, Delivery, Fabric, Flit, PacketState, Shard, StepReport};
 use crate::pattern::{DestSampler, InjectionProcess};
 use crate::routing::{EscapeHop, HopRouter, PathTable, ReplayHop, RoutingKind};
+use crate::source::{TraceEntry, WorkloadDriver, WorkloadMsg, WorkloadOutcome, WorkloadSource};
 use crate::stats::{LatencyHistogram, TrafficStats, WindowControl, WindowObserver, WindowSample};
 
 /// Latencies above this resolve to the histogram overflow bucket.
@@ -216,6 +217,17 @@ struct CycleDone {
     backlog: u64,
     gen: GenDelta,
     deliveries: Vec<Delivery>,
+    /// Flow ids of workload messages that died worker-side this cycle
+    /// (admission failure, TTL budget, churn queue drop) — the
+    /// coordinator's workload driver cascades them so a dependent flow
+    /// never waits on a dead predecessor. Empty unless a workload is
+    /// attached.
+    aborted: Vec<u32>,
+    /// Generation attempts recorded this cycle (empty unless
+    /// [`SimConfig::record_trace`] is set). The coordinator sorts each
+    /// cycle's merged entries by source node, which is deterministic:
+    /// one node's attempts stay on one shard, in release order.
+    trace: Vec<TraceEntry>,
 }
 
 impl CycleDone {
@@ -233,6 +245,8 @@ impl CycleDone {
         self.gen.churn_dropped += other.gen.churn_dropped;
         self.gen.measured_dropped += other.gen.measured_dropped;
         self.deliveries.append(&mut other.deliveries);
+        self.aborted.append(&mut other.aborted);
+        self.trace.append(&mut other.trace);
     }
 }
 
@@ -252,6 +266,12 @@ enum Go {
     /// coordinator sends one per applied event, always *before* the
     /// lease that starts at that cycle on the same FIFO lane.
     Publish(u64, NetView, ChurnOp),
+    /// Enqueue the workload messages releasing at the given cycle
+    /// (each worker keeps the ones whose source node it owns). Sent
+    /// before the one-cycle lease covering that cycle on the same FIFO
+    /// lane — with a workload attached every lease is clamped to one
+    /// cycle, since the source can react to any delivery.
+    Inject(u64, Vec<WorkloadMsg>),
     /// The run is over (final cycle count and stop classification);
     /// finalize the probe and return the shard with it.
     Finish(u64, StopKind),
@@ -299,6 +319,17 @@ struct ShardWorker<'a, P: FabricProbe> {
     online_starts: Vec<u64>,
     online_views: Vec<NetView>,
     online_samplers: Vec<DestSampler>,
+    /// Whether a workload source drives this run: the synthetic
+    /// injection process is disabled and traffic comes exclusively
+    /// from `Go::Inject` broadcasts (see [`crate::source`]).
+    workload: bool,
+    /// Workload messages awaiting their injection cycle (release
+    /// order; with the one-cycle workload lease this never holds more
+    /// than one cycle's worth).
+    pending_workload: VecDeque<WorkloadMsg>,
+    /// Node index -> position in `sources` for the nodes this shard
+    /// owns (workload messages address sources by coordinate).
+    src_slot: HashMap<usize, usize>,
     /// Golden-equivalence hook: use the retained scan-order reference
     /// stepper instead of the event-driven one.
     #[cfg(test)]
@@ -322,6 +353,7 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
         probe: P,
     ) -> Self {
         let duty = cfg.injection.duty_cycle();
+        let src_slot = sources.iter().enumerate().map(|(i, s)| (s.id.index(), i)).collect();
         ShardWorker {
             shard,
             probe,
@@ -338,6 +370,9 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
             online_starts: Vec::new(),
             online_views: Vec::new(),
             online_samplers: Vec::new(),
+            workload: false,
+            pending_workload: VecDeque::new(),
+            src_slot,
             #[cfg(test)]
             use_reference: false,
             #[cfg(test)]
@@ -387,7 +422,7 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
     /// discards not-yet-injected packets queued at decommissioned nodes
     /// (a partially injected worm keeps feeding — truncating it would
     /// wedge its VCs forever).
-    fn advance_epochs(&mut self, cycle: u64, gen: &mut GenDelta) {
+    fn advance_epochs(&mut self, cycle: u64, done: &mut CycleDone) {
         while self.epoch_start(self.cur_epoch).is_some_and(|start| cycle >= start) {
             self.cur_epoch += 1;
             self.router.advance_epoch();
@@ -395,6 +430,7 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
             // does not alias the `sources` mutation below.
             let view = self.epoch_view(self.cur_epoch).clone();
             let faults = view.faults();
+            let workload = self.workload;
             for s in &mut self.sources {
                 let healthy = faults.is_healthy(s.coord);
                 if s.active && !healthy {
@@ -404,10 +440,16 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
                     let keep =
                         usize::from(s.queue.front().is_some_and(|p| p.remaining < p.state.len));
                     for dropped in s.queue.drain(keep..) {
-                        gen.churn_dropped += 1;
+                        done.gen.churn_dropped += 1;
                         let t = dropped.state.generated_at;
                         if t >= self.cfg.warmup && t < self.gen_until {
-                            gen.measured_dropped += 1;
+                            done.gen.measured_dropped += 1;
+                        }
+                        if workload {
+                            // A discarded workload packet will never
+                            // deliver: report the abort so the
+                            // scheduler can cascade it.
+                            done.aborted.push(dropped.state.flow);
                         }
                         if P::ACTIVE {
                             self.probe.dropped(s.id.0, dropped.id);
@@ -432,9 +474,11 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
             self.probe.cycle_start(cycle);
         }
         let t = P::ACTIVE.then(Instant::now);
-        self.advance_epochs(cycle, &mut done.gen);
-        if cycle < self.gen_until {
-            self.generate(cycle, &mut done.gen);
+        self.advance_epochs(cycle, done);
+        if self.workload {
+            self.release_workload(cycle, done);
+        } else if cycle < self.gen_until {
+            self.generate(cycle, done);
         }
         done.injected_any |= self.feed_injection_channels();
         let mut report = StepReport::default();
@@ -521,7 +565,8 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
     /// pair (is it routable, and how long is the compiled route, for
     /// the TTL check); all forwarding decisions happen per hop in the
     /// fabric.
-    fn generate(&mut self, cycle: u64, gen: &mut GenDelta) {
+    fn generate(&mut self, cycle: u64, done: &mut CycleDone) {
+        let record = self.cfg.record_trace;
         let mean_len = self.cfg.packet_len;
         let measured = cycle >= self.cfg.warmup && cycle < self.gen_until;
         for i in 0..self.sources.len() {
@@ -553,11 +598,34 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
                 continue;
             };
             let Some(hops) = self.router.admit(src, dst) else {
-                gen.unroutable += 1;
+                done.gen.unroutable += 1;
+                if record {
+                    // Rejections are recorded as drop markers: the
+                    // original run drew no packet length for them, so
+                    // the replay must count — not inject — them.
+                    done.trace.push(TraceEntry {
+                        cycle,
+                        src,
+                        dst,
+                        len: 0,
+                        flow: crate::source::NO_FLOW,
+                        drop: 1,
+                    });
+                }
                 continue;
             };
             if hops > self.ttl {
-                gen.ttl_dropped += 1;
+                done.gen.ttl_dropped += 1;
+                if record {
+                    done.trace.push(TraceEntry {
+                        cycle,
+                        src,
+                        dst,
+                        len: 0,
+                        flow: crate::source::NO_FLOW,
+                        drop: 2,
+                    });
+                }
                 continue;
             }
             let len = self.cfg.length.sample(mean_len, &mut self.sources[i].rng);
@@ -567,13 +635,137 @@ impl<'a, P: FabricProbe> ShardWorker<'a, P> {
             assert!(self.next_local < 1 << ID_SHARD_SHIFT, "packet-id namespace exhausted");
             let id = self.id_base + self.next_local;
             self.next_local += 1;
-            gen.generated += 1;
+            done.gen.generated += 1;
             if measured {
-                gen.measured_generated += 1;
+                done.gen.measured_generated += 1;
             }
             let mut state = PacketState::new(src, dst, cycle, len);
             state.epoch = self.cur_epoch as u32;
             self.sources[i].queue.push_back(QueuedPacket { id, state, remaining: len });
+            if record {
+                done.trace.push(TraceEntry {
+                    cycle,
+                    src,
+                    dst,
+                    len,
+                    flow: crate::source::NO_FLOW,
+                    drop: 0,
+                });
+            }
+        }
+    }
+
+    /// Keeps the workload messages whose source node this shard owns
+    /// (broadcast filter; a message addressing an off-mesh source is
+    /// adopted by shard 0 so exactly one shard reports its abort).
+    fn enqueue_workload(&mut self, msgs: &[WorkloadMsg]) {
+        let mesh = *self.env.views[0].mesh();
+        for m in msgs {
+            let mine = if mesh.contains(m.src) {
+                self.shard.contains_node(mesh.id(m.src).index())
+            } else {
+                self.id_base == 0
+            };
+            if mine {
+                self.pending_workload.push_back(*m);
+            }
+        }
+    }
+
+    /// Releases this cycle's workload messages into the source queues
+    /// (the workload-mode replacement for [`ShardWorker::generate`]).
+    fn release_workload(&mut self, cycle: u64, done: &mut CycleDone) {
+        while self.pending_workload.front().is_some_and(|m| m.at <= cycle) {
+            let m = self.pending_workload.pop_front().expect("front checked");
+            debug_assert_eq!(m.at, cycle, "workload messages release at their injection cycle");
+            self.admit_workload(cycle, m, done);
+        }
+    }
+
+    /// Admits one workload message: replayed rejection markers only
+    /// bump the matching counter; live messages run the same admission
+    /// gauntlet as generated traffic (routability, TTL), but a
+    /// rejection is additionally reported on the abort lane — a
+    /// workload message someone may depend on must never vanish
+    /// silently.
+    fn admit_workload(&mut self, cycle: u64, m: WorkloadMsg, done: &mut CycleDone) {
+        let record = self.cfg.record_trace;
+        let mesh = *self.env.views[0].mesh();
+        if m.drop != 0 {
+            if m.drop == 1 {
+                done.gen.unroutable += 1;
+            } else {
+                done.gen.ttl_dropped += 1;
+            }
+            if record {
+                done.trace.push(TraceEntry {
+                    cycle,
+                    src: m.src,
+                    dst: m.dst,
+                    len: 0,
+                    flow: m.flow,
+                    drop: m.drop,
+                });
+            }
+            return;
+        }
+        let rejected: Option<u8> = if !mesh.contains(m.src) || !mesh.contains(m.dst) {
+            Some(1)
+        } else {
+            let slot = self.src_slot[&mesh.id(m.src).index()];
+            if !self.sources[slot].active {
+                // A decommissioned source cannot inject; the message
+                // dies like an unroutable pair.
+                Some(1)
+            } else {
+                match self.router.admit(m.src, m.dst) {
+                    None => Some(1),
+                    Some(hops) if hops > self.ttl => Some(2),
+                    Some(_) => None,
+                }
+            }
+        };
+        if let Some(drop) = rejected {
+            if drop == 1 {
+                done.gen.unroutable += 1;
+            } else {
+                done.gen.ttl_dropped += 1;
+            }
+            done.aborted.push(m.flow);
+            if record {
+                done.trace.push(TraceEntry {
+                    cycle,
+                    src: m.src,
+                    dst: m.dst,
+                    len: 0,
+                    flow: m.flow,
+                    drop,
+                });
+            }
+            return;
+        }
+        let slot = self.src_slot[&mesh.id(m.src).index()];
+        let len = m.len.max(1);
+        assert!(self.next_local < 1 << ID_SHARD_SHIFT, "packet-id namespace exhausted");
+        let id = self.id_base + self.next_local;
+        self.next_local += 1;
+        done.gen.generated += 1;
+        if cycle >= self.cfg.warmup && cycle < self.gen_until {
+            done.gen.measured_generated += 1;
+        }
+        let mut state = PacketState::new(m.src, m.dst, cycle, len);
+        state.epoch = self.cur_epoch as u32;
+        state.flow = m.flow;
+        self.sources[slot].queue.push_back(QueuedPacket { id, state, remaining: len });
+        if record {
+            done.trace.push(TraceEntry {
+                cycle,
+                src: m.src,
+                dst: m.dst,
+                len,
+                flow: m.flow,
+                drop: 0,
+            });
         }
     }
 
@@ -625,6 +817,12 @@ struct RunState {
     w_lat_sum: u64,
     w_ejected: u64,
     w_moved: u64,
+    /// Whether generation attempts are being recorded
+    /// ([`SimConfig::record_trace`]).
+    record_trace: bool,
+    /// The recorded trace, appended per replayed cycle in canonical
+    /// (source-node, release) order.
+    trace: Vec<TraceEntry>,
 }
 
 impl RunState {
@@ -643,6 +841,8 @@ impl RunState {
             w_lat_sum: 0,
             w_ejected: 0,
             w_moved: 0,
+            record_trace: cfg.record_trace,
+            trace: Vec::new(),
         }
     }
 
@@ -651,13 +851,30 @@ impl RunState {
     }
 
     /// Absorbs one cycle's merged shard reports and decides whether the
-    /// run ends. `cycle` is the cycle just simulated (0-based).
+    /// run ends. `cycle` is the cycle just simulated (0-based). With a
+    /// workload attached (`wl`), deliveries and worker-side aborts are
+    /// fed back to the scheduler here — strictly before the source is
+    /// next polled — and the generation-window termination gate is
+    /// replaced by the source's own exhaustion signal.
     fn end_of_cycle(
         &mut self,
         cycle: u64,
         mut agg: CycleDone,
         obs: &mut dyn WindowObserver,
+        mut wl: Option<&mut WorkloadDriver>,
     ) -> bool {
+        if self.record_trace {
+            // Stable by source node: one node's attempts live on one
+            // shard in release order, so this is the canonical order
+            // regardless of how the shard reports merged.
+            agg.trace.sort_by_key(|e| (e.src.y, e.src.x));
+            self.trace.append(&mut agg.trace);
+        }
+        if let Some(wl) = wl.as_deref_mut() {
+            for flow in agg.aborted.drain(..) {
+                wl.on_worker_abort(flow, cycle);
+            }
+        }
         self.stats.flits_moved += agg.moved;
         self.stats.escape_packets += agg.escape_entries;
         self.stats.generated += agg.gen.generated;
@@ -681,6 +898,9 @@ impl RunState {
                 if self.measured_window_contains(gen_at) {
                     self.measured_outstanding -= 1;
                 }
+                if let Some(wl) = wl.as_deref_mut() {
+                    wl.on_delivery(d.state.flow, delivered_at, true);
+                }
                 continue;
             }
             self.stats.epoch_delivered[d.state.epoch as usize] += 1;
@@ -690,6 +910,9 @@ impl RunState {
                 self.stats.measured_delivered += 1;
                 self.measured_outstanding -= 1;
                 self.stats.latency.record(delivered_at - gen_at);
+            }
+            if let Some(wl) = wl.as_deref_mut() {
+                wl.on_delivery(d.state.flow, delivered_at, false);
             }
         }
         if self.measured_window_contains(cycle) {
@@ -744,14 +967,22 @@ impl RunState {
         }
 
         let work_left = agg.in_flight > 0 || agg.backlog > 0;
+        // The generation horizon: nothing more will enter the fabric.
+        // Synthetic runs cross it at the end of the measurement window;
+        // a workload run crosses it when its source reports exhaustion
+        // (a trace replay pins that to the recorded horizon so the
+        // replayed run stops on exactly the original's cycle; a DAG
+        // holds it until every flow resolves).
+        let horizon = match wl.as_deref() {
+            Some(wl) => wl.exhausted(cycle),
+            None => cycle >= self.gen_until,
+        };
         // Successful end of run. `idle_streak == 0` matters even once
         // every measured packet is home: leftover warmup-era worms may
         // be wedged in a cyclic wait, and breaking here would report a
         // clean run — let the deadlock detector below classify them
         // first.
-        if cycle >= self.gen_until
-            && (!work_left || (self.measured_outstanding == 0 && self.idle_streak == 0))
-        {
+        if horizon && (!work_left || (self.measured_outstanding == 0 && self.idle_streak == 0)) {
             return true;
         }
         // Classification: a cyclic wait is a deadlock even when it
@@ -772,12 +1003,47 @@ impl RunState {
         false
     }
 
+    /// Takes the recorded trace out (`Some` exactly when recording was
+    /// on, even if nothing generated).
+    fn take_trace(&mut self) -> Option<Vec<TraceEntry>> {
+        self.record_trace.then(|| std::mem::take(&mut self.trace))
+    }
+
     /// Seals the statistics once every shard has stopped. Escape
     /// commitments were accumulated per replayed cycle, so lease
     /// overshoot past the stop decision is already excluded.
     fn finish(self) -> TrafficStats {
         self.stats
     }
+}
+
+/// Everything a run can produce: the statistics, the optional merged
+/// observability report, the workload outcome (when a
+/// [`WorkloadSource`] was attached) and the recorded packet trace
+/// (when [`SimConfig::record_trace`] was set).
+///
+/// Returned by [`TrafficSim::try_run_full`]; the narrower entry points
+/// are projections of this.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run statistics.
+    pub stats: TrafficStats,
+    /// The merged observability report ([`SimConfig::obs`] above
+    /// [`ObsLevel::Off`]).
+    pub obs: Option<ObsReport>,
+    /// Flow/phase completion metrics of the attached workload.
+    pub workload: Option<WorkloadOutcome>,
+    /// The recorded generation trace, replayable through a trace
+    /// workload source for a bit-identical rerun.
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
+/// What the transports hand back before the observability report is
+/// assembled.
+struct CoreOutput {
+    stats: TrafficStats,
+    workload: Option<WorkloadOutcome>,
+    trace: Option<Vec<TraceEntry>>,
 }
 
 /// One traffic simulation: a sharded fabric over a fault configuration,
@@ -804,6 +1070,9 @@ pub struct TrafficSim<'p> {
     /// Online-churn event sources, polled by the coordinator at every
     /// quantum boundary (see [`TrafficSim::with_online_churn`]).
     online: Option<OnlineChurn>,
+    /// The attached workload source, if any: it replaces the synthetic
+    /// injection process entirely (see [`TrafficSim::with_workload`]).
+    workload: Option<Box<dyn WorkloadSource>>,
     /// Golden-equivalence hook: run on the retained scan-order
     /// reference stepper instead of the event-driven one (forces the
     /// in-process transport).
@@ -989,6 +1258,7 @@ impl<'p> TrafficSim<'p> {
             sources,
             stats,
             online: None,
+            workload: None,
             #[cfg(test)]
             use_reference: false,
             #[cfg(test)]
@@ -1012,6 +1282,26 @@ impl<'p> TrafficSim<'p> {
         );
         assert!(churn.quantum >= 1, "churn quantum must be at least 1 cycle");
         self.online = Some(churn);
+        self
+    }
+
+    /// Attaches a workload source: the synthetic injection process is
+    /// disabled and every packet of the run comes from the source,
+    /// released per cycle by the coordinator and broadcast to the
+    /// owning shard workers. Delivery and abort feedback closes the
+    /// loop each cycle, so dependency-driven sources (flow DAGs,
+    /// collective phases) schedule deterministically at every shard
+    /// count. Retrieve the flow/phase completion metrics with
+    /// [`TrafficSim::try_run_full`].
+    ///
+    /// Composes with [`TrafficSim::with_online_churn`]: churn events
+    /// still apply at their quantum boundaries, and flows whose
+    /// packets churn kills or drops are aborted (and cascaded), never
+    /// wedged. In the threaded transport a workload clamps every lease
+    /// to one cycle — the source may react to any delivery — so
+    /// expect lockstep-coordination cost.
+    pub fn with_workload(mut self, source: Box<dyn WorkloadSource>) -> Self {
+        self.workload = Some(source);
         self
     }
 
@@ -1087,17 +1377,46 @@ impl<'p> TrafficSim<'p> {
         self,
         obs: &mut dyn WindowObserver,
     ) -> Result<(TrafficStats, Option<ObsReport>), RunError> {
+        let out = self.try_run_full(obs)?;
+        Ok((out.stats, out.obs))
+    }
+
+    /// The widest entry point: runs the protocol and returns
+    /// everything the run produced — statistics, the observability
+    /// report, the workload outcome and the recorded trace (see
+    /// [`RunOutput`]). Worker failures surface as a typed
+    /// [`RunError`].
+    pub fn try_run_full(self, obs: &mut dyn WindowObserver) -> Result<RunOutput, RunError> {
         let level = self.cfg.obs;
         if level == ObsLevel::Off {
-            return Ok((self.dispatch(obs, |_, _| NoProbe)?.0, None));
+            let (core, _) = self.dispatch::<NoProbe, _>(obs, |_, _| NoProbe)?;
+            return Ok(RunOutput {
+                stats: core.stats,
+                obs: None,
+                workload: core.workload,
+                trace: core.trace,
+            });
         }
         let mesh = self.env.views[0].mesh();
         let (width, height) = (mesh.width() as usize, mesh.height() as usize);
-        let (stats, probes) = self.dispatch(obs, move |i, s: &Shard| {
+        let (core, probes) = self.dispatch(obs, move |i, s: &Shard| {
             let r = s.node_range();
             ShardObs::new(i, r.start as u32, r.end as u32, level)
         })?;
-        Ok((stats, Some(ObsReport::assemble(width, height, probes))))
+        Ok(RunOutput {
+            stats: core.stats,
+            obs: Some(ObsReport::assemble(width, height, probes)),
+            workload: core.workload,
+            trace: core.trace,
+        })
+    }
+
+    /// [`TrafficSim::try_run_full`], re-panicking on worker failure.
+    pub fn run_full(self, obs: &mut dyn WindowObserver) -> RunOutput {
+        match self.try_run_full(obs) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Routes a monomorphized run to the in-process or worker-thread
@@ -1108,7 +1427,7 @@ impl<'p> TrafficSim<'p> {
         self,
         obs: &mut dyn WindowObserver,
         mk: F,
-    ) -> Result<(TrafficStats, Vec<P>), RunError>
+    ) -> Result<(CoreOutput, Vec<P>), RunError>
     where
         P: FabricProbe + Send,
         F: Fn(usize, &Shard) -> P,
@@ -1144,12 +1463,13 @@ impl<'p> TrafficSim<'p> {
     /// (the sequential path, and the reference-stepper path in tests).
     /// Boundary hand-off time is folded into the commit phase here —
     /// only the threaded transport has a distinct boundary-sync wait.
-    fn run_in_process<P, F>(mut self, obs: &mut dyn WindowObserver, mk: F) -> (TrafficStats, Vec<P>)
+    fn run_in_process<P, F>(mut self, obs: &mut dyn WindowObserver, mk: F) -> (CoreOutput, Vec<P>)
     where
         P: FabricProbe,
         F: Fn(usize, &Shard) -> P,
     {
         let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
+        let mut wl = self.workload.take().map(WorkloadDriver::new);
         let shards = self.fabric.take_shards();
         let nbrs: Vec<[Option<usize>; 4]> = shards.iter().map(|s| s.neighbors()).collect();
         let mut buckets = Self::partition_sources(self.sources, &shards).into_iter();
@@ -1183,6 +1503,11 @@ impl<'p> TrafficSim<'p> {
                 probe,
             ));
         }
+        if wl.is_some() {
+            for w in &mut workers {
+                w.workload = true;
+            }
+        }
         #[cfg(test)]
         {
             for w in &mut workers {
@@ -1206,6 +1531,17 @@ impl<'p> TrafficSim<'p> {
                     run.stats.epoch_delivered.push(0);
                     for w in &mut workers {
                         w.publish(cycle, view.clone(), op);
+                    }
+                }
+            }
+            if let Some(wl) = wl.as_mut() {
+                // Poll the source strictly after the previous cycle's
+                // feedback (`end_of_cycle` below) and any epoch
+                // publication for this boundary.
+                let msgs = wl.poll(cycle);
+                if !msgs.is_empty() {
+                    for w in &mut workers {
+                        w.enqueue_workload(&msgs);
                     }
                 }
             }
@@ -1233,7 +1569,7 @@ impl<'p> TrafficSim<'p> {
             for w in &mut workers {
                 w.finish_cycle(&mut agg);
             }
-            let stop = run.end_of_cycle(cycle, agg, obs);
+            let stop = run.end_of_cycle(cycle, agg, obs, wl.as_mut());
             cycle += 1;
             if stop {
                 break;
@@ -1243,13 +1579,15 @@ impl<'p> TrafficSim<'p> {
         for w in &mut workers {
             w.finish_run(cycle, reason);
         }
+        let trace = run.take_trace();
         let mut stats = run.finish();
         if let Some(drv) = drv {
             let (events, rejected) = drv.into_outcome();
             stats.online_events = events;
             stats.churn_rejected = rejected;
         }
-        (stats, workers.into_iter().map(|w| w.probe).collect())
+        let core = CoreOutput { stats, workload: wl.map(WorkloadDriver::into_outcome), trace };
+        (core, workers.into_iter().map(|w| w.probe).collect())
     }
 
     /// The worker-thread transport: one scoped thread per tile shard,
@@ -1268,13 +1606,21 @@ impl<'p> TrafficSim<'p> {
         mut self,
         obs: &mut dyn WindowObserver,
         mk: F,
-    ) -> Result<(TrafficStats, Vec<P>), RunError>
+    ) -> Result<(CoreOutput, Vec<P>), RunError>
     where
         P: FabricProbe + Send,
         F: Fn(usize, &Shard) -> P,
     {
         let mut drv = self.online.take().map(|c| OnlineDriver::new(c, self.env.views[0].clone()));
-        let quantum = drv.as_ref().map(|d| d.quantum());
+        let mut wl = self.workload.take().map(WorkloadDriver::new);
+        let workload = wl.is_some();
+        // A workload source may react to any delivery, so every cycle
+        // is a coordination boundary: quantum 1 clamps every lease to
+        // one cycle and gates it on the replay cursor, which puts the
+        // cycle's `Go::Inject` ahead of its lease on every FIFO lane.
+        // The churn driver still fires only at its own quantum's
+        // multiples (it skips other cycles internally).
+        let quantum = if workload { Some(1) } else { drv.as_ref().map(|d| d.quantum()) };
         #[cfg(test)]
         let panic_at = self.panic_at;
         let shards = self.fabric.take_shards();
@@ -1345,6 +1691,7 @@ impl<'p> TrafficSim<'p> {
                         let router = build_hop_router(&mut paths, cfg);
                         let mut worker =
                             ShardWorker::new(shard, sources, router, env, cfg, ttl, w, probe);
+                        worker.workload = workload;
                         #[cfg(test)]
                         {
                             worker.panic_at = panic_at.and_then(|(s, at)| (s == w).then_some(at));
@@ -1408,6 +1755,13 @@ impl<'p> TrafficSim<'p> {
                                 }
                                 Ok(Go::Publish(start, view, op)) => {
                                     worker.publish(start, view, op);
+                                }
+                                Ok(Go::Inject(at, msgs)) => {
+                                    debug_assert!(
+                                        msgs.iter().all(|m| m.at == at),
+                                        "inject batch spans cycles"
+                                    );
+                                    worker.enqueue_workload(&msgs);
                                 }
                                 Ok(Go::Finish(cycle, reason)) => {
                                     worker.finish_run(cycle, reason);
@@ -1486,6 +1840,17 @@ impl<'p> TrafficSim<'p> {
                     None => len.max(1),
                 }
             };
+            // Cycle 0's workload release precedes the initial leases
+            // on every FIFO lane (the churn driver never fires at
+            // cycle 0).
+            if let Some(wl) = wl.as_mut() {
+                let msgs = wl.poll(0);
+                if !msgs.is_empty() {
+                    for tx in &go_tx {
+                        let _ = tx.send(Go::Inject(0, msgs.clone()));
+                    }
+                }
+            }
             for w in 0..n {
                 let len = lease_for(w, 0, &last_moved, &last_len);
                 let _ = go_tx[w].send(Go::Lease { start: 0, len });
@@ -1514,7 +1879,7 @@ impl<'p> TrafficSim<'p> {
                         // lockstep transports use.
                         while buffer.front().is_some_and(|&(_, count)| count == n) {
                             let (agg, _) = buffer.pop_front().expect("front checked");
-                            if run.end_of_cycle(replay_next, agg, obs) {
+                            if run.end_of_cycle(replay_next, agg, obs, wl.as_mut()) {
                                 replay_next += 1;
                                 stopped = true;
                                 break;
@@ -1522,17 +1887,35 @@ impl<'p> TrafficSim<'p> {
                             replay_next += 1;
                             if let Some(q) = quantum {
                                 if replay_next.is_multiple_of(q) {
-                                    let drv = drv.as_mut().expect("quantum implies a driver");
-                                    for (view, op) in drv.poll(replay_next) {
-                                        // Grow the per-epoch delivery
-                                        // ledger exactly when the epoch
-                                        // is published — its length is
-                                        // part of the bit-identity
-                                        // contract.
-                                        run.stats.epoch_delivered.push(0);
-                                        for tx in &go_tx {
-                                            let _ =
-                                                tx.send(Go::Publish(replay_next, view.clone(), op));
+                                    if let Some(drv) = drv.as_mut() {
+                                        for (view, op) in drv.poll(replay_next) {
+                                            // Grow the per-epoch delivery
+                                            // ledger exactly when the epoch
+                                            // is published — its length is
+                                            // part of the bit-identity
+                                            // contract.
+                                            run.stats.epoch_delivered.push(0);
+                                            for tx in &go_tx {
+                                                let _ = tx.send(Go::Publish(
+                                                    replay_next,
+                                                    view.clone(),
+                                                    op,
+                                                ));
+                                            }
+                                        }
+                                    }
+                                    if let Some(wl) = wl.as_mut() {
+                                        // Strictly after the cycle's
+                                        // publications and the previous
+                                        // cycle's feedback, strictly
+                                        // before the leases gated on
+                                        // this boundary.
+                                        let msgs = wl.poll(replay_next);
+                                        if !msgs.is_empty() {
+                                            for tx in &go_tx {
+                                                let _ =
+                                                    tx.send(Go::Inject(replay_next, msgs.clone()));
+                                            }
                                         }
                                     }
                                     // Release the leases gated on this
@@ -1643,13 +2026,15 @@ impl<'p> TrafficSim<'p> {
                 };
                 probes.push(probe);
             }
+            let trace = run.take_trace();
             let mut stats = run.finish();
             if let Some(drv) = drv {
                 let (events, rejected) = drv.into_outcome();
                 stats.online_events = events;
                 stats.churn_rejected = rejected;
             }
-            Ok((stats, probes))
+            let core = CoreOutput { stats, workload: wl.map(WorkloadDriver::into_outcome), trace };
+            Ok((core, probes))
         })
         .expect("simulation coordinator panicked")
     }

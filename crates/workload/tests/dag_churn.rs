@@ -1,0 +1,62 @@
+//! Satellite: a DAG under *online* churn never wedges — a flow whose
+//! packet is killed by a mid-run fault is aborted, its dependents are
+//! cascaded into `flows_aborted`, and the run exits cleanly.
+
+use meshpath_mesh::{Coord, FaultSet, Mesh};
+use meshpath_route::NetView;
+use meshpath_traffic::{
+    ChurnInjector, OnlineChurn, PathTable, RoutingKind, SimConfig, TrafficPattern, TrafficSim,
+};
+use meshpath_workload::{DagSpec, FlowDag, FlowSpec};
+
+/// Flow `a` crosses the mesh to (7,7); its destination is failed by
+/// the churn injector while the packet is in flight, so the fabric
+/// kills it (`churn_killed`). Flow `b` depends on `a` and must be
+/// aborted by cascade — never released, never wedging the run.
+fn run_killed_dag(threads: usize) {
+    let mesh = Mesh::square(8);
+    let net = NetView::build(FaultSet::from_coords(mesh, []));
+    let spec = DagSpec {
+        flows: vec![
+            // 14 hops away, 8 flits: alive well past the churn quantum.
+            FlowSpec::root("a", Coord::new(0, 0), Coord::new(7, 7), 8),
+            FlowSpec::after("b", Coord::new(7, 7), Coord::new(0, 0), 4, &["a"]),
+        ],
+    };
+    let cfg = SimConfig {
+        seed: 5,
+        rate: 0.0,
+        pattern: TrafficPattern::UniformRandom,
+        warmup: 20,
+        measure: 100,
+        drain: 600,
+        threads,
+        ..SimConfig::default()
+    };
+    let injector = ChurnInjector::new();
+    injector.fail(Coord::new(7, 7));
+    let mut paths = PathTable::new(&net, RoutingKind::Rb2);
+    let out = TrafficSim::new(&mut paths, cfg)
+        .with_workload(Box::new(FlowDag::new(spec).expect("valid DAG")))
+        .with_online_churn(OnlineChurn::new(injector).with_quantum(8))
+        .run_full(&mut ());
+
+    assert_eq!(out.stats.churn_killed, 1, "a's packet was killed in flight ({threads} threads)");
+    assert!(!out.stats.deadlocked);
+    let wl = out.workload.expect("workload run");
+    assert_eq!(wl.flows_delivered, 0);
+    assert_eq!(wl.flows_aborted, 2, "a aborted, b cascaded ({threads} threads)");
+    assert_eq!(wl.released, 1, "b was never released");
+    assert!(wl.completions.is_empty());
+    assert!(wl.critical_path.is_empty());
+}
+
+#[test]
+fn killed_predecessor_cascades_and_never_wedges_in_process() {
+    run_killed_dag(1);
+}
+
+#[test]
+fn killed_predecessor_cascades_and_never_wedges_sharded() {
+    run_killed_dag(4);
+}
